@@ -1,0 +1,199 @@
+(* Regenerates every table and figure of the paper plus the ablations,
+   then runs Bechamel micro-benchmarks of the core operations.
+
+   Environment:
+     DHTLB_SCALE=full   paper scale (100 trials); default is quick scale
+     DHTLB_TRIALS=n     explicit trial count
+     DHTLB_ONLY=a,b     run only the named sections (see [sections]) *)
+
+let wanted =
+  match Sys.getenv_opt "DHTLB_ONLY" with
+  | None | Some "" -> None
+  | Some s -> Some (String.split_on_char ',' (String.lowercase_ascii s))
+
+let section name f =
+  let run =
+    match wanted with
+    | None -> true
+    | Some names -> List.mem (String.lowercase_ascii name) names
+  in
+  if run then begin
+    Printf.printf "==== %s ====\n%!" name;
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Printf.printf "---- (%s: %.1fs)\n\n%!" name (Unix.gettimeofday () -. t0)
+  end
+
+let trials = Scale.trials ()
+let seed = Scale.seed ()
+
+let paper_table1 () =
+  print_string
+    "Paper reference (Table I): medians 69.4/346.6/692.3 (1000n), \
+     13.8/69.3/138.4 (5000n), 7.0/34.6/69.2 (10000n)\n";
+  let trials = min trials 5 in
+  print_string (Initial_distribution.print_table1 (Initial_distribution.table1 ~trials ~seed ()))
+
+let paper_table2 () =
+  print_string
+    "Paper reference (Table II) row 'churn 0':    7.476 7.467 5.043 5.022 5.016\n\
+     Paper reference (Table II) row 'churn 0.01': 3.721 2.104 3.076 1.873 1.309\n";
+  let cells = Churn_sweep.run ~trials ~seed () in
+  print_string (Churn_sweep.print_table cells)
+
+let figures_1_3 () =
+  print_string (Initial_distribution.figure1 ~seed ());
+  print_newline ();
+  print_string (Initial_distribution.figure2 ~seed ());
+  print_newline ();
+  print_string (Initial_distribution.figure3 ~seed ())
+
+let paired_figures () =
+  List.iter
+    (fun spec ->
+      print_string (Paired_figures.run_spec spec);
+      print_newline ())
+    (Paired_figures.specs ~seed ())
+
+let summaries () =
+  print_string (Summaries.random_injection ~trials ~seed ());
+  print_newline ();
+  print_string (Summaries.neighbor_injection ~trials ~seed ());
+  print_newline ();
+  print_string (Summaries.invitation ~trials ~seed ())
+
+let ablations () =
+  print_string (Ablations.sybil_threshold ~trials ~seed ());
+  print_newline ();
+  print_string (Ablations.max_sybils ~trials ~seed ());
+  print_newline ();
+  print_string (Ablations.num_successors ~trials ~seed ());
+  print_newline ();
+  print_string (Ablations.churn_with_injection ~trials ~seed ());
+  print_newline ();
+  print_string (Ablations.messages ~seed ())
+
+let extensions () =
+  print_string (Ablations.invitation_median_split ~trials ~seed ());
+  print_newline ();
+  print_string (Ablations.neighbor_avoid_repeats ~trials ~seed ());
+  print_newline ();
+  print_string (Ablations.rejoin_identity ~trials ~seed ());
+  print_newline ();
+  print_string (Ablations.strength_aware ~trials ~seed ());
+  print_newline ();
+  print_string (Ablations.clustered_keys ~trials ~seed ());
+  print_newline ();
+  print_string (Ablations.stagger ~trials ~seed ());
+  print_newline ();
+  print_string (Ablations.static_vnodes ~trials ~seed ());
+  print_newline ();
+  print_string (Ablations.failure_churn ~trials ~seed ())
+
+let maintenance () =
+  print_string
+    "Stabilization protocol under churn (paper VI-A footnote 2: maintenance      costs rise with churn)
+";
+  print_string (Maintenance.print_table (Maintenance.run ~seed ()))
+
+let failures () =
+  print_string
+    "Key loss under simultaneous failure vs replication (paper IV-A/V backup      assumption)
+";
+  print_string
+    (Failure_recovery.print_table
+       (Failure_recovery.run ~seed ~trials:(min trials 5) ()))
+
+let routing () =
+  print_string
+    "Lookup hop scaling (Chord guarantee; also the per-join charge)\n";
+  print_string (Lookup_hops.print_table (Lookup_hops.run ~seed ()));
+  print_newline ();
+  print_string "Across overlays (Chord fingers / Symphony k=4 / Kademlia k=8):\n";
+  print_string (Overlay_hops.print_table (Overlay_hops.run ~seed ()))
+
+let timeline () =
+  print_string
+    "Work completed per tick, first 50 ticks (paper V-C detailed window)\n";
+  print_string (Work_timeline.print_table (Work_timeline.run ~seed ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the substrate's hot operations.        *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let rng = Prng.create seed in
+  let payload = Bytes.make 64 'x' in
+  Prng.fill_bytes rng payload;
+  let payload = Bytes.to_string payload in
+  let id_a = Keygen.fresh rng and id_b = Keygen.fresh rng in
+  let big_set =
+    let s = ref Id_set.empty in
+    for _ = 1 to 10_000 do
+      s := Id_set.add (Keygen.fresh rng) !s
+    done;
+    !s
+  in
+  let arc = Interval.make ~after:id_a ~upto:id_b in
+  let ring_dht =
+    let dht = Dht.create () in
+    Array.iter
+      (fun id ->
+        match Dht.join dht ~id ~payload:() with Ok _ -> () | Error _ -> ())
+      (Keygen.node_ids rng 1000);
+    dht
+  in
+  let ring = Dht.ring ring_dht in
+  let tables = Routing.build_tables ring in
+  let start = match Ring.min_binding_opt ring with
+    | Some (id, _) -> id
+    | None -> assert false
+  in
+  let small_sim_params =
+    { (Params.default ~nodes:100 ~tasks:2_000) with Params.seed }
+  in
+  let tests =
+    Test.make_grouped ~name:"dhtlb"
+      [
+        Test.make ~name:"sha1-64B" (Staged.stage (fun () -> Sha1.digest_string payload));
+        Test.make ~name:"id-midpoint" (Staged.stage (fun () -> Id.midpoint id_a id_b));
+        Test.make ~name:"idset-split-arc-10k"
+          (Staged.stage (fun () -> Id_set.split_arc arc big_set));
+        Test.make ~name:"ring-lookup-1000n"
+          (Staged.stage (fun () ->
+               Routing.lookup ring tables ~start ~key:id_b));
+        Test.make ~name:"sim-run-100n-2000t"
+          (Staged.stage (fun () ->
+               Engine.run small_sim_params Engine.no_strategy));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+      in
+      Printf.printf "  %-28s %12.1f ns/run\n" name ns)
+    results
+
+let () =
+  Printf.printf "dhtlb benchmark harness (%s)\n\n%!" (Scale.describe ());
+  section "table1" paper_table1;
+  section "figures1-3" figures_1_3;
+  section "table2" paper_table2;
+  section "figures4-14" paired_figures;
+  section "summaries" summaries;
+  section "ablations" ablations;
+  section "extensions" extensions;
+  section "maintenance" maintenance;
+  section "failures" failures;
+  section "routing" routing;
+  section "timeline" timeline;
+  section "micro" micro

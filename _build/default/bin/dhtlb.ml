@@ -1,0 +1,502 @@
+(* dhtlb: command-line front end for the reproduction.
+
+   Every table, figure, summary and ablation from DESIGN.md's experiment
+   index is an individual subcommand; `simulate` runs one free-form
+   configuration. *)
+
+open Cmdliner
+
+(* ---------------------------------------------------------------- *)
+(* Shared options                                                     *)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Base RNG seed.")
+
+let domains_t =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Run trials on N OCaml domains in parallel.")
+
+let trials_t =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "trials" ] ~docv:"N" ~doc:"Independent trials per cell.")
+
+let nodes_t =
+  Arg.(
+    value & opt int 1000 & info [ "nodes" ] ~docv:"N" ~doc:"Initial network size.")
+
+let tasks_t =
+  Arg.(
+    value
+    & opt int 100_000
+    & info [ "tasks" ] ~docv:"N" ~doc:"Number of tasks in the job.")
+
+let churn_t =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "churn" ] ~docv:"RATE" ~doc:"Per-node per-tick churn rate.")
+
+let failure_t =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "failures" ] ~docv:"RATE"
+        ~doc:"Per-node per-tick ungraceful failure rate.")
+
+let strategy_t =
+  let parse s =
+    match Strategy.of_name s with Ok t -> Ok t | Error e -> Error (`Msg e)
+  in
+  let print ppf t = Format.pp_print_string ppf (Strategy.name t) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Strategy.No_strategy
+    & info [ "strategy" ] ~docv:"NAME"
+        ~doc:
+          "Balancing strategy: none, churn, random, neighbor, smart-neighbor, \
+           invitation, strength-aware or static-vnodes.")
+
+let threshold_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "sybil-threshold" ] ~docv:"N"
+        ~doc:"Workload at or below which a node makes Sybils.")
+
+let max_sybils_t =
+  Arg.(
+    value
+    & opt int 5
+    & info [ "max-sybils" ] ~docv:"N" ~doc:"Maximum Sybils per node.")
+
+let successors_t =
+  Arg.(
+    value
+    & opt int 5
+    & info [ "successors" ] ~docv:"N" ~doc:"Successor/predecessor list length.")
+
+let hetero_t =
+  Arg.(
+    value & flag
+    & info [ "heterogeneous" ]
+        ~doc:"Node strengths uniform in [1, max-sybils] instead of all 1.")
+
+let strength_work_t =
+  Arg.(
+    value & flag
+    & info [ "strength-work" ]
+        ~doc:"Nodes complete strength tasks per tick instead of one.")
+
+let period_t =
+  Arg.(
+    value
+    & opt int 5
+    & info [ "period" ] ~docv:"TICKS" ~doc:"Ticks between per-node decisions.")
+
+let no_stagger_t =
+  Arg.(
+    value & flag
+    & info [ "no-stagger" ]
+        ~doc:"Synchronize all decisions on global period boundaries.")
+
+let invite_factor_t =
+  Arg.(
+    value
+    & opt float 2.0
+    & info [ "invite-factor" ] ~docv:"F"
+        ~doc:"Overload threshold multiple of the mean (Invitation).")
+
+let median_split_t =
+  Arg.(
+    value & flag
+    & info [ "median-split" ]
+        ~doc:"Invitation helpers split at the median task key.")
+
+let avoid_repeats_t =
+  Arg.(
+    value & flag
+    & info [ "avoid-repeats" ]
+        ~doc:"Neighbor injection remembers arcs that yielded nothing.")
+
+let clustered_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hotspots" ] ~docv:"N"
+        ~doc:"Cluster task keys around N Zipf-popular hotspots.")
+
+let spread_t =
+  Arg.(
+    value
+    & opt float 0.02
+    & info [ "spread" ] ~docv:"F"
+        ~doc:"Hotspot width as a ring fraction (with --hotspots).")
+
+let zipf_t =
+  Arg.(
+    value
+    & opt float 1.1
+    & info [ "zipf-s" ] ~docv:"S"
+        ~doc:"Zipf exponent for hotspot popularity (with --hotspots).")
+
+let params_t =
+  let build nodes tasks churn failures threshold max_sybils successors hetero
+      strength_work period no_stagger invite_factor median_split avoid_repeats
+      hotspots spread zipf_s seed =
+    {
+      (Params.default ~nodes ~tasks) with
+      Params.churn_rate = churn;
+      failure_rate = failures;
+      sybil_threshold = threshold;
+      max_sybils;
+      num_successors = successors;
+      heterogeneity =
+        (if hetero then Params.Heterogeneous else Params.Homogeneous);
+      work = (if strength_work then Params.Strength_per_tick else Params.Task_per_tick);
+      decision_period = period;
+      stagger_decisions = not no_stagger;
+      invite_factor;
+      split_at_median = median_split;
+      avoid_repeats;
+      keys =
+        (match hotspots with
+        | Some h -> Params.Clustered { hotspots = h; spread; zipf_s }
+        | None -> Params.Uniform_sha1);
+      seed;
+    }
+  in
+  Term.(
+    const build $ nodes_t $ tasks_t $ churn_t $ failure_t $ threshold_t
+    $ max_sybils_t $ successors_t $ hetero_t $ strength_work_t $ period_t
+    $ no_stagger_t $ invite_factor_t $ median_split_t $ avoid_repeats_t
+    $ clustered_t $ spread_t $ zipf_t $ seed_t)
+
+(* ---------------------------------------------------------------- *)
+(* Commands                                                           *)
+
+let csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the result as CSV to $(docv).")
+
+let maybe_csv path contents =
+  match path with
+  | Some file ->
+    Csv_out.write_file file contents;
+    Printf.eprintf "wrote %s\n%!" file
+  | None -> ()
+
+let simulate params strategy trials domains snapshots trace_csv json =
+  let params = Strategy.default_params strategy params in
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error e ->
+    prerr_endline ("invalid parameters: " ^ e);
+    exit 2);
+  Format.printf "parameters: %a@." Params.pp params;
+  if trials = 1 then begin
+    let r =
+      Engine.run ~snapshot_at:snapshots params (Strategy.make strategy ())
+    in
+    (match r.Engine.outcome with
+    | Engine.Finished t ->
+      Format.printf "finished in %d ticks (ideal %d, factor %.3f)@." t
+        r.Engine.ideal r.Engine.factor
+    | Engine.Aborted t ->
+      Format.printf "ABORTED at safety cap %d ticks (ideal %d)@." t r.Engine.ideal);
+    Format.printf "work/tick mean: %.1f; final vnodes: %d; active: %d@."
+      r.Engine.work_per_tick r.Engine.final_vnodes r.Engine.final_active;
+    Format.printf "messages: %a@." Messages.pp r.Engine.messages;
+    List.iter
+      (fun (tick, w) ->
+        if Array.length w > 0 then
+          Format.printf "@.workload distribution at tick %d:@.%s" tick
+            (Figure.compare_histograms
+               [ { Figure.label = Strategy.name strategy; workloads = w } ]))
+      (Trace.snapshots r.Engine.trace);
+    maybe_csv trace_csv (Export.trace_csv r.Engine.trace);
+    if json then
+      print_endline (Json_out.to_string ~pretty:true (Export.result_json r))
+  end
+  else begin
+    let agg =
+      Runner.run_trials ~trials ~domains params (Strategy.make strategy)
+    in
+    Format.printf "%a@." Runner.pp_aggregate agg;
+    if json then
+      print_endline
+        (Json_out.to_string ~pretty:true
+           (Export.aggregate_json ~label:(Strategy.name strategy) agg))
+  end
+
+let simulate_cmd =
+  let snapshots_t =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "snapshot" ] ~docv:"TICKS"
+          ~doc:"Comma-separated ticks at which to print the distribution.")
+  in
+  let trace_csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-csv" ] ~docv:"FILE"
+          ~doc:"Write the per-tick trace as CSV (single-trial runs).")
+  in
+  let json_t =
+    Arg.(value & flag & info [ "json" ] ~doc:"Also print the result as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one simulation configuration.")
+    Term.(
+      const simulate $ params_t $ strategy_t $ trials_t $ domains_t
+      $ snapshots_t $ trace_csv_t $ json_t)
+
+let print_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun s -> print_string (f s)) $ seed_t)
+
+let print_cmd_trials name doc f =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun trials seed -> print_string (f ~trials ~seed))
+      $ trials_t $ seed_t)
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Table I: median task distribution.")
+    Term.(
+      const (fun trials seed csv ->
+          let rows = Initial_distribution.table1 ~trials ~seed () in
+          print_string (Initial_distribution.print_table1 rows);
+          maybe_csv csv (Export.table1_csv rows))
+      $ trials_t $ seed_t $ csv_t)
+
+let table2_cmd =
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Table II: churn-rate sweep.")
+    Term.(
+      const (fun trials seed csv ->
+          let cells = Churn_sweep.run ~trials ~seed () in
+          print_string (Churn_sweep.print_table cells);
+          maybe_csv csv (Export.churn_sweep_csv cells))
+      $ trials_t $ seed_t $ csv_t)
+
+let hops_cmd =
+  Cmd.v
+    (Cmd.info "hops" ~doc:"Lookup hop-count scaling across ring sizes.")
+    Term.(
+      const (fun seed csv ->
+          let rows = Lookup_hops.run ~seed () in
+          print_string (Lookup_hops.print_table rows);
+          print_newline ();
+          print_string "Across overlays (Chord fingers / Symphony k=4 / Kademlia k=8):\n";
+          print_string (Overlay_hops.print_table (Overlay_hops.run ~seed ()));
+          maybe_csv csv (Export.lookup_hops_csv rows))
+      $ seed_t $ csv_t)
+
+let timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Work completed per tick for each strategy (first 50 ticks).")
+    Term.(
+      const (fun seed csv ->
+          let series = Work_timeline.run ~seed () in
+          print_string (Work_timeline.print_table series);
+          maybe_csv csv (Export.work_timeline_csv series))
+      $ seed_t $ csv_t)
+
+let fig_cmd =
+  let n_t = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  let run n seed csv =
+    let out =
+      match n with
+      | 1 -> Ok (Initial_distribution.figure1 ~seed ())
+      | 2 -> Ok (Initial_distribution.figure2 ~seed ())
+      | 3 -> Ok (Initial_distribution.figure3 ~seed ())
+      | n -> Paired_figures.figure ~seed n
+    in
+    match out with
+    | Ok s ->
+      print_string s;
+      (match csv with
+      | Some file when n >= 4 -> (
+        match
+          List.find_opt
+            (fun sp -> sp.Paired_figures.fig = n)
+            (Paired_figures.specs ~seed ())
+        with
+        | Some spec ->
+          let series =
+            List.filter
+              (fun (s : Figure.series) -> Array.length s.Figure.workloads > 0)
+              (Paired_figures.series_of_spec spec)
+          in
+          if series <> [] then begin
+            Csv_out.write_file file (Figure.csv series);
+            Printf.eprintf "wrote %s\n%!" file
+          end
+        | None -> ())
+      | Some _ ->
+        prerr_endline "--csv is only supported for the simulated figures (4-14)"
+      | None -> ())
+    | Error e ->
+      prerr_endline e;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Regenerate Figure N (1-14).")
+    Term.(const run $ n_t $ seed_t $ csv_t)
+
+let summary_cmd =
+  let which_t =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("ri", `Ri); ("ni", `Ni); ("inv", `Inv) ])) None
+      & info [] ~docv:"ri|ni|inv")
+  in
+  let run which trials seed =
+    let s =
+      match which with
+      | `Ri -> Summaries.random_injection ~trials ~seed ()
+      | `Ni -> Summaries.neighbor_injection ~trials ~seed ()
+      | `Inv -> Summaries.invitation ~trials ~seed ()
+    in
+    print_string s
+  in
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Section VI runtime-factor summaries.")
+    Term.(const run $ which_t $ trials_t $ seed_t)
+
+let ablate_cmd =
+  let which_t =
+    let table =
+      [
+        ("threshold", `Threshold);
+        ("maxsybils", `MaxSybils);
+        ("successors", `Successors);
+        ("churn-ri", `ChurnRi);
+        ("median-split", `MedianSplit);
+        ("avoid-repeats", `AvoidRepeats);
+        ("rejoin-id", `RejoinId);
+        ("strength-aware", `StrengthAware);
+        ("clustered", `Clustered);
+        ("stagger", `Stagger);
+        ("static-vnodes", `StaticVnodes);
+        ("failure-churn", `FailureChurn);
+      ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum table)) None
+      & info [] ~docv:"WHICH"
+          ~doc:
+            "threshold, maxsybils, successors, churn-ri, median-split, \
+             avoid-repeats, rejoin-id, strength-aware, clustered or stagger.")
+  in
+  let run which trials seed =
+    let s =
+      match which with
+      | `Threshold -> Ablations.sybil_threshold ~trials ~seed ()
+      | `MaxSybils -> Ablations.max_sybils ~trials ~seed ()
+      | `Successors -> Ablations.num_successors ~trials ~seed ()
+      | `ChurnRi -> Ablations.churn_with_injection ~trials ~seed ()
+      | `MedianSplit -> Ablations.invitation_median_split ~trials ~seed ()
+      | `AvoidRepeats -> Ablations.neighbor_avoid_repeats ~trials ~seed ()
+      | `RejoinId -> Ablations.rejoin_identity ~trials ~seed ()
+      | `StrengthAware -> Ablations.strength_aware ~trials ~seed ()
+      | `Clustered -> Ablations.clustered_keys ~trials ~seed ()
+      | `Stagger -> Ablations.stagger ~trials ~seed ()
+      | `StaticVnodes -> Ablations.static_vnodes ~trials ~seed ()
+      | `FailureChurn -> Ablations.failure_churn ~trials ~seed ()
+    in
+    print_string s
+  in
+  Cmd.v
+    (Cmd.info "ablate" ~doc:"Parameter ablations and extensions.")
+    Term.(const run $ which_t $ trials_t $ seed_t)
+
+let messages_cmd =
+  print_cmd "messages" "Per-strategy message accounting." (fun seed ->
+      Ablations.messages ~seed ())
+
+let compare_cmd =
+  let run params trials domains =
+    Format.printf "parameters: %a, %d trial(s) per strategy@.@." Params.pp
+      params trials;
+    let baseline_factors =
+      Runner.factors ~trials ~domains params (Strategy.make Strategy.No_strategy)
+    in
+    Printf.printf "%-16s %8s %8s %10s %12s %12s\n" "strategy" "factor" "+/-"
+      "msgs/task" "sybil joins" "p(vs none)";
+    List.iter
+      (fun strategy ->
+        let params = Strategy.default_params strategy params in
+        let factors =
+          Runner.factors ~trials ~domains params (Strategy.make strategy)
+        in
+        let agg =
+          Runner.run_trials ~trials ~domains params (Strategy.make strategy)
+        in
+        let r = Engine.run params (Strategy.make strategy ()) in
+        let m = r.Engine.messages in
+        let p_col =
+          if strategy = Strategy.No_strategy || trials < 2 then "-"
+          else
+            let t = Significance.welch_t_test factors baseline_factors in
+            Printf.sprintf "%.4f%s" t.Significance.p_value
+              (if t.Significance.significant_05 then "*" else "")
+        in
+        Printf.printf "%-16s %8.3f %8.3f %10.2f %12d %12s\n"
+          (Strategy.name strategy) agg.Runner.mean_factor
+          agg.Runner.stddev_factor
+          (float_of_int (Messages.total m)
+          /. float_of_int (max 1 params.Params.tasks))
+          (m.Messages.joins - params.Params.nodes)
+          p_col)
+      Strategy.all
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"All strategies head-to-head on one network configuration.")
+    Term.(const run $ params_t $ trials_t $ domains_t)
+
+let maintenance_cmd =
+  print_cmd "maintenance"
+    "Stabilization cost under churn (paper footnote 2)." (fun seed ->
+      Maintenance.print_table (Maintenance.run ~seed ()))
+
+let failures_cmd =
+  print_cmd_trials "failures"
+    "Key loss under simultaneous failures vs replication."
+    (fun ~trials ~seed ->
+      Failure_recovery.print_table (Failure_recovery.run ~seed ~trials ()))
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "dhtlb" ~version:"1.0.0"
+       ~doc:
+         "Autonomous DHT load balancing via churn and the Sybil attack \
+          (reproduction of Rosen, Levin & Bourgeois, IPPS 2021).")
+    [
+      simulate_cmd;
+      table1_cmd;
+      table2_cmd;
+      fig_cmd;
+      summary_cmd;
+      ablate_cmd;
+      messages_cmd;
+      compare_cmd;
+      maintenance_cmd;
+      failures_cmd;
+      hops_cmd;
+      timeline_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

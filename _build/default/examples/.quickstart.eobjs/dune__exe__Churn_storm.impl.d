@@ -1,0 +1,1 @@
+examples/churn_storm.ml: Array Format Id Keygen List Printf Prng Stabilizer

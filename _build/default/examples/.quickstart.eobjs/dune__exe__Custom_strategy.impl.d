@@ -1,0 +1,1 @@
+examples/custom_strategy.ml: Array Decision Dht Engine Id_set Interval List Params Printf State Strategy

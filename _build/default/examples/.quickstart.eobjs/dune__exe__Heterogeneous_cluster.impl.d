@@ -1,0 +1,1 @@
+examples/heterogeneous_cluster.ml: Array Engine Inequality Params Printf Runner Strategy Trace

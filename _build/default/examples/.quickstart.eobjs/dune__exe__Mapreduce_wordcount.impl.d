@@ -1,0 +1,1 @@
+examples/mapreduce_wordcount.ml: Array Keygen List Mapreduce Printf Prng

@@ -1,0 +1,1 @@
+examples/overlay_tour.ml: Array Format Id Kademlia Keygen Overlay_hops Printf Prng Ring Routing Symphony

@@ -1,0 +1,1 @@
+examples/strategy_showdown.ml: Array Engine List Messages Params Printf Runner Strategy Sys

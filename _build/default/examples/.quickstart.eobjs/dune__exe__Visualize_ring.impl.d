@@ -1,0 +1,1 @@
+examples/visualize_ring.ml: Array Circle Format Hashtbl Id Interval Keygen Option Printf Prng Ring

@@ -1,0 +1,31 @@
+(* Quickstart: build a 1000-node Chord network with 100k tasks, run it
+   once with no balancing and once with Random Injection, and print the
+   speedup.  This is the paper's headline result in ~30 lines.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let params = Params.default ~nodes:1000 ~tasks:100_000 in
+
+  (* Baseline: hashed placement is unbalanced, so the most loaded node
+     drags the whole job. *)
+  let baseline = Engine.run params Engine.no_strategy in
+
+  (* Random Injection: idle nodes inject Sybil vnodes at random ring
+     addresses and acquire work from loaded arcs. *)
+  let balanced =
+    Engine.run params (Strategy.make Strategy.Random_injection ())
+  in
+
+  let ticks r =
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+  in
+  Printf.printf "ideal runtime:            %d ticks\n" baseline.Engine.ideal;
+  Printf.printf "no strategy:              %d ticks (factor %.2f)\n"
+    (ticks baseline) baseline.Engine.factor;
+  Printf.printf "random injection:         %d ticks (factor %.2f)\n"
+    (ticks balanced) balanced.Engine.factor;
+  Printf.printf "speedup from balancing:   %.2fx\n"
+    (float_of_int (ticks baseline) /. float_of_int (ticks balanced));
+  Printf.printf "sybil joins performed:    %d\n"
+    balanced.Engine.messages.Messages.joins

@@ -1,0 +1,34 @@
+(* All four strategies (plus the smart-neighbor variant) head-to-head on
+   identical networks, with their message bills — the trade-off the paper
+   discusses throughout §VI: proactive strategies balance better but talk
+   more; invitation is reactive and frugal.
+
+   Run with: dune exec examples/strategy_showdown.exe [nodes] [tasks] *)
+
+let () =
+  let nodes = try int_of_string Sys.argv.(1) with _ -> 1000 in
+  let tasks = try int_of_string Sys.argv.(2) with _ -> 100_000 in
+  let trials = 3 in
+  Printf.printf "%d nodes, %d tasks, %d trials per strategy\n\n" nodes tasks
+    trials;
+  Printf.printf "%-16s %8s %8s %10s %10s %10s\n" "strategy" "factor" "+/-"
+    "joins" "queries" "msgs/task";
+  List.iter
+    (fun strategy ->
+      let params =
+        Strategy.default_params strategy (Params.default ~nodes ~tasks)
+      in
+      let agg = Runner.run_trials ~trials params (Strategy.make strategy) in
+      (* One representative run for the message profile. *)
+      let r = Engine.run params (Strategy.make strategy ()) in
+      let m = r.Engine.messages in
+      Printf.printf "%-16s %8.3f %8.3f %10d %10d %10.2f\n"
+        (Strategy.name strategy) agg.Runner.mean_factor
+        agg.Runner.stddev_factor m.Messages.joins m.Messages.workload_queries
+        (float_of_int (Messages.total m) /. float_of_int tasks))
+    Strategy.all;
+  print_newline ();
+  print_endline
+    "Expect: random wins on runtime; neighbor variants cut the join count;";
+  print_endline
+    "invitation needs the fewest control messages (reactive, not proactive)."

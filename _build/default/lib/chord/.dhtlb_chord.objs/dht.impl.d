@@ -1,0 +1,1 @@
+lib/chord/dht.ml: Format Id Id_set Interval List Messages Printf Ring

@@ -1,0 +1,1 @@
+lib/chord/dht.mli: Id Id_set Interval Messages Ring

@@ -1,0 +1,1 @@
+lib/chord/local_view.ml: Array Id List

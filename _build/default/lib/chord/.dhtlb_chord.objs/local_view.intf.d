@@ -1,0 +1,1 @@
+lib/chord/local_view.mli: Id

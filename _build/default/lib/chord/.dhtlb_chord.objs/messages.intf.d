@@ -1,0 +1,1 @@
+lib/chord/messages.mli: Format

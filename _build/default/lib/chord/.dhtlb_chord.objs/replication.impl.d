@@ -1,0 +1,1 @@
+lib/chord/replication.ml: Array Float Hashtbl Id Keygen Prng

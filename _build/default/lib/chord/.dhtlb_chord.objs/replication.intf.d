@@ -1,0 +1,1 @@
+lib/chord/replication.mli: Id Prng

@@ -1,0 +1,1 @@
+lib/chord/routing.ml: Finger_table Hashtbl Id Ring

@@ -1,0 +1,1 @@
+lib/chord/routing.mli: Id Ring

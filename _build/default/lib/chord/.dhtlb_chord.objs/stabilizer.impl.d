@@ -1,0 +1,1 @@
+lib/chord/stabilizer.ml: Array Hashtbl Id List Local_view

@@ -1,0 +1,1 @@
+lib/chord/stabilizer.mli: Id Local_view

@@ -1,0 +1,136 @@
+type 'a vnode = { id : Id.t; mutable keys : Id_set.t; payload : 'a }
+
+type 'a t = {
+  mutable ring : 'a vnode Ring.t;
+  mutable total_keys : int;
+  messages : Messages.t;
+}
+
+let create () = { ring = Ring.empty; total_keys = 0; messages = Messages.create () }
+let messages t = t.messages
+let size t = Ring.cardinal t.ring
+let total_keys t = t.total_keys
+let find t id = Ring.find_opt id t.ring
+
+let join t ~id ~payload =
+  if Ring.mem id t.ring then Error `Occupied
+  else begin
+    t.messages.joins <- t.messages.joins + 1;
+    let keys =
+      match Ring.successor id t.ring with
+      | None -> Id_set.empty (* first vnode: nothing to take over *)
+      | Some (_, succ) ->
+        (* The newcomer's arc is (pred(id), id]; carve it out of the keys
+           currently held by the successor. *)
+        let after =
+          match Ring.predecessor id t.ring with
+          | Some (p, _) -> p
+          | None -> assert false
+        in
+        let arc = Interval.make ~after ~upto:id in
+        let inside, outside = Id_set.split_arc arc succ.keys in
+        succ.keys <- outside;
+        t.messages.key_transfers <- t.messages.key_transfers + Id_set.cardinal inside;
+        inside
+    in
+    let vn = { id; keys; payload } in
+    t.ring <- Ring.add id vn t.ring;
+    Ok vn
+  end
+
+let leave t id =
+  match Ring.find_opt id t.ring with
+  | None -> Error `Not_member
+  | Some vn ->
+    if Ring.cardinal t.ring = 1 then
+      if Id_set.is_empty vn.keys then begin
+        t.messages.leaves <- t.messages.leaves + 1;
+        t.ring <- Ring.remove id t.ring;
+        Ok ()
+      end
+      else Error `Last_node
+    else begin
+      t.messages.leaves <- t.messages.leaves + 1;
+      t.ring <- Ring.remove id t.ring;
+      (match Ring.successor id t.ring with
+      | Some (_, succ) ->
+        let moved = Id_set.cardinal vn.keys in
+        if moved > 0 then begin
+          succ.keys <- Id_set.union succ.keys vn.keys;
+          t.messages.key_transfers <- t.messages.key_transfers + moved
+        end
+      | None -> assert false);
+      Ok ()
+    end
+
+let owner_of t key =
+  match Ring.successor_incl key t.ring with
+  | None -> None
+  | Some (_, vn) -> Some vn
+
+let insert_key t key =
+  match owner_of t key with
+  | None -> Error `Empty_ring
+  | Some vn ->
+    if Id_set.mem key vn.keys then Error `Duplicate
+    else begin
+      vn.keys <- Id_set.add key vn.keys;
+      t.total_keys <- t.total_keys + 1;
+      Ok ()
+    end
+
+let consume ?(pick = fun _ -> 0) t id n =
+  match Ring.find_opt id t.ring with
+  | None -> 0
+  | Some vn ->
+    let rec go done_ keys =
+      let c = Id_set.cardinal keys in
+      if done_ >= n || c = 0 then (done_, keys)
+      else begin
+        let i = pick c in
+        if i < 0 || i >= c then invalid_arg "Dht.consume: pick out of range";
+        let key = Id_set.nth keys i in
+        go (done_ + 1) (Id_set.remove key keys)
+      end
+    in
+    let completed, rest = go 0 vn.keys in
+    vn.keys <- rest;
+    t.total_keys <- t.total_keys - completed;
+    completed
+
+let workload t id =
+  match Ring.find_opt id t.ring with None -> 0 | Some vn -> Id_set.cardinal vn.keys
+
+let arc_of t id = Ring.arc_of id t.ring
+
+let successor t id =
+  match Ring.successor id t.ring with None -> None | Some (_, vn) -> Some vn
+
+let predecessor t id =
+  match Ring.predecessor id t.ring with None -> None | Some (_, vn) -> Some vn
+
+let k_successors t id k = List.map snd (Ring.k_successors id k t.ring)
+let k_predecessors t id k = List.map snd (Ring.k_predecessors id k t.ring)
+let iter f t = Ring.iter (fun _ vn -> f vn) t.ring
+let fold f t acc = Ring.fold (fun _ vn acc -> f vn acc) t.ring acc
+let vnode_ids t = List.map fst (Ring.bindings t.ring)
+let ring t = t.ring
+
+let check_invariants t =
+  let counted = fold (fun vn acc -> acc + Id_set.cardinal vn.keys) t 0 in
+  if counted <> t.total_keys then
+    invalid_arg
+      (Printf.sprintf "Dht: total_keys=%d but counted=%d" t.total_keys counted);
+  iter
+    (fun vn ->
+      match arc_of t vn.id with
+      | None -> invalid_arg "Dht: vnode without arc"
+      | Some arc ->
+        Id_set.iter
+          (fun key ->
+            if not (Interval.mem key arc) then
+              invalid_arg
+                (Format.asprintf "Dht: key %a outside arc %a of vnode %a" Id.pp
+                   key Interval.pp arc Id.pp vn.id))
+          vn.keys)
+    t

@@ -1,0 +1,78 @@
+(** A Chord DHT with key ownership and ChordReduce-style key transfer.
+
+    Every virtual node (vnode) owns the keys in the arc between its
+    predecessor and itself.  Following the paper's "active, aggressive
+    backup" assumption, joins and leaves move keys synchronously and
+    losslessly:
+
+    - a vnode joining at [x] takes the keys in [(pred(x), x]] from its
+      successor;
+    - a vnode leaving hands its remaining keys to its successor.
+
+    The payload type ['a] carries simulator state (e.g. which physical
+    node owns the vnode).  The structure is mutable; all operations are
+    O(log n) plus the size of any key range moved.  Message costs are
+    charged to the embedded {!Messages.t}. *)
+
+type 'a vnode = private {
+  id : Id.t;
+  mutable keys : Id_set.t;  (** keys (tasks) currently owned *)
+  payload : 'a;
+}
+
+type 'a t
+
+val create : unit -> 'a t
+
+val messages : 'a t -> Messages.t
+
+val size : 'a t -> int
+(** Number of vnodes. *)
+
+val total_keys : 'a t -> int
+(** Keys currently stored across all vnodes; O(1). *)
+
+val find : 'a t -> Id.t -> 'a vnode option
+
+val join : 'a t -> id:Id.t -> payload:'a -> ('a vnode, [ `Occupied ]) result
+(** Insert a vnode.  If the ring is non-empty the newcomer immediately
+    acquires its share of its successor's keys. *)
+
+val leave : 'a t -> Id.t -> (unit, [ `Not_member | `Last_node ]) result
+(** Remove a vnode, handing its keys to its successor.  Refuses to remove
+    the last vnode while it still holds keys ([`Last_node]): the paper's
+    networks never drain completely because joins and leaves balance. *)
+
+val insert_key : 'a t -> Id.t -> (unit, [ `Empty_ring | `Duplicate ]) result
+(** Store a key on its owner (the first vnode clockwise of the key). *)
+
+val owner_of : 'a t -> Id.t -> 'a vnode option
+(** The vnode responsible for a key. *)
+
+val consume : ?pick:(int -> int) -> 'a t -> Id.t -> int -> int
+(** [consume t id n] completes up to [n] of vnode [id]'s tasks and
+    returns the number actually completed; [0] if [id] is not a member.
+    [pick c] chooses the index (in key order) of the next task to
+    complete among the [c] remaining; it defaults to always picking
+    index 0 (smallest key).  Simulations pass a uniform pick so that the
+    keys remaining in an arc stay uniformly distributed — workers process
+    tasks in no particular key order. *)
+
+val workload : 'a t -> Id.t -> int
+(** Tasks currently owned by a vnode; [0] if not a member. O(1). *)
+
+val arc_of : 'a t -> Id.t -> Interval.t option
+val successor : 'a t -> Id.t -> 'a vnode option
+val predecessor : 'a t -> Id.t -> 'a vnode option
+val k_successors : 'a t -> Id.t -> int -> 'a vnode list
+val k_predecessors : 'a t -> Id.t -> int -> 'a vnode list
+
+val iter : ('a vnode -> unit) -> 'a t -> unit
+val fold : ('a vnode -> 'b -> 'b) -> 'a t -> 'b -> 'b
+val vnode_ids : 'a t -> Id.t list
+val ring : 'a t -> 'a vnode Ring.t
+(** The underlying ring, e.g. for building finger tables. *)
+
+val check_invariants : 'a t -> unit
+(** Asserts: key counts consistent, every key owned by the correct vnode.
+    O(n·keys); for tests only. *)

@@ -1,0 +1,38 @@
+type t = { node : Id.t; fingers : (int * Id.t) array }
+
+let node t = t.node
+
+let make id ring =
+  let rec collect k acc last =
+    if k >= Id.bits then acc
+    else
+      let target = Id.add_pow2 id k in
+      match Ring.successor_incl target ring with
+      | None -> acc
+      | Some (fid, _) ->
+        let acc =
+          (* Skip self-pointers and duplicates: successive fingers often
+             resolve to the same node on sparse rings. *)
+          if Id.equal fid id then acc
+          else
+            match last with
+            | Some prev when Id.equal prev fid -> acc
+            | _ -> (k, fid) :: acc
+        in
+        collect (k + 1) acc (Some fid)
+  in
+  { node = id; fingers = Array.of_list (List.rev (collect 0 [] None)) }
+
+let entries t = Array.copy t.fingers
+
+let closest_preceding t key =
+  (* Scan fingers from farthest to nearest, returning the first one that
+     lies strictly inside (node, key). *)
+  let n = Array.length t.fingers in
+  let rec go i =
+    if i < 0 then t.node
+    else
+      let _, fid = t.fingers.(i) in
+      if Id.between_oo ~after:t.node ~before:key fid then fid else go (i - 1)
+  in
+  go (n - 1)

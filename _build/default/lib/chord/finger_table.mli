@@ -1,0 +1,24 @@
+(** Chord finger tables.
+
+    Finger [k] of a node [n] points at the first node clockwise of
+    [n + 2^k]; greedy routing over fingers reaches any key in O(log N)
+    hops.  The simulator's control decisions only use successor lists, but
+    joins and Sybil injections must route to their target, so lookup cost
+    is part of every strategy's message bill. *)
+
+type t
+
+val node : t -> Id.t
+(** The node this table belongs to. *)
+
+val make : Id.t -> 'a Ring.t -> t
+(** Build the table for a node from a consistent global ring (the
+    simulator's stand-in for a converged stabilization protocol). *)
+
+val entries : t -> (int * Id.t) array
+(** De-duplicated [(finger index, target node)] pairs, ascending. *)
+
+val closest_preceding : t -> Id.t -> Id.t
+(** [closest_preceding t key]: the finger most closely preceding [key]
+    clockwise — the next hop in iterative lookup.  Falls back to the
+    owning node itself when no finger precedes the key. *)

@@ -1,0 +1,50 @@
+type t = {
+  id : Id.t;
+  mutable successors : Id.t list;
+  mutable predecessor : Id.t option;
+  mutable alive : bool;
+  fingers : Id.t option array;
+  mutable next_finger : int;
+}
+
+let create id =
+  {
+    id;
+    successors = [];
+    predecessor = None;
+    alive = true;
+    fingers = Array.make Id.bits None;
+    next_finger = 0;
+  }
+
+let first_successor t =
+  match t.successors with [] -> None | s :: _ -> Some s
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+
+let adopt_successor t s ~max_len =
+  if not (Id.equal s t.id) then begin
+    let rest =
+      List.filter
+        (fun x ->
+          (not (Id.equal x s))
+          && not (Id.equal x t.id)
+          && not (Id.between_oo ~after:t.id ~before:s x))
+      t.successors
+    in
+    t.successors <- take max_len (s :: rest)
+  end
+
+let drop_successor t s =
+  t.successors <- List.filter (fun x -> not (Id.equal x s)) t.successors
+
+let refresh_tail t succ_list ~max_len =
+  match t.successors with
+  | [] -> ()
+  | head :: _ ->
+    let tail =
+      List.filter (fun x -> not (Id.equal x t.id) && not (Id.equal x head)) succ_list
+    in
+    t.successors <- take max_len (head :: tail)

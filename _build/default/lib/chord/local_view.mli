@@ -1,0 +1,32 @@
+(** A node's local, possibly stale view of the ring.
+
+    The simulator's main loop keeps a globally consistent ring (the paper
+    assumes maintenance keeps up); this module and {!Stabilizer} supply
+    the maintenance protocol itself, so that assumption can be priced:
+    how many messages per tick does it take, and how fast do views
+    re-converge after churn?  (Paper §VI-A, footnote 2.) *)
+
+type t = {
+  id : Id.t;
+  mutable successors : Id.t list;  (** nearest first; may be stale *)
+  mutable predecessor : Id.t option;
+  mutable alive : bool;
+  fingers : Id.t option array;  (** entry [k] ~ successor of [id + 2^k] *)
+  mutable next_finger : int;  (** round-robin repair cursor *)
+}
+
+val create : Id.t -> t
+
+val first_successor : t -> Id.t option
+(** Head of the successor list, if any. *)
+
+val adopt_successor : t -> Id.t -> max_len:int -> unit
+(** Push a closer successor to the front, dropping entries that are no
+    longer between the node and the new head, truncating to [max_len]. *)
+
+val drop_successor : t -> Id.t -> unit
+(** Remove a (discovered dead) entry from the successor list. *)
+
+val refresh_tail : t -> Id.t list -> max_len:int -> unit
+(** Replace everything after the first successor with that successor's
+    own list (shifted) — the Chord successor-list maintenance step. *)

@@ -1,0 +1,49 @@
+type t = {
+  mutable joins : int;
+  mutable leaves : int;
+  mutable key_transfers : int;
+  mutable workload_queries : int;
+  mutable invitations : int;
+  mutable lookup_hops : int;
+  mutable maintenance : int;
+}
+
+let create () =
+  {
+    joins = 0;
+    leaves = 0;
+    key_transfers = 0;
+    workload_queries = 0;
+    invitations = 0;
+    lookup_hops = 0;
+    maintenance = 0;
+  }
+
+let reset t =
+  t.joins <- 0;
+  t.leaves <- 0;
+  t.key_transfers <- 0;
+  t.workload_queries <- 0;
+  t.invitations <- 0;
+  t.lookup_hops <- 0;
+  t.maintenance <- 0
+
+let total t =
+  t.joins + t.leaves + t.key_transfers + t.workload_queries + t.invitations
+  + t.lookup_hops + t.maintenance
+
+let add acc d =
+  acc.joins <- acc.joins + d.joins;
+  acc.leaves <- acc.leaves + d.leaves;
+  acc.key_transfers <- acc.key_transfers + d.key_transfers;
+  acc.workload_queries <- acc.workload_queries + d.workload_queries;
+  acc.invitations <- acc.invitations + d.invitations;
+  acc.lookup_hops <- acc.lookup_hops + d.lookup_hops;
+  acc.maintenance <- acc.maintenance + d.maintenance
+
+let pp ppf t =
+  Format.fprintf ppf
+    "joins=%d leaves=%d key_transfers=%d queries=%d invitations=%d \
+     lookup_hops=%d maintenance=%d total=%d"
+    t.joins t.leaves t.key_transfers t.workload_queries t.invitations
+    t.lookup_hops t.maintenance (total t)

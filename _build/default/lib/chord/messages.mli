@@ -1,0 +1,25 @@
+(** Message accounting.
+
+    The paper repeatedly argues about bandwidth ("estimation …  can be
+    done without any communication", "invitation …  greatly reducing the
+    maintenance costs"), so the simulator charges every strategy for the
+    messages a real implementation would send.  Counters are cumulative
+    over a run. *)
+
+type t = {
+  mutable joins : int;  (** node or Sybil joins (each costs a lookup) *)
+  mutable leaves : int;  (** voluntary departures *)
+  mutable key_transfers : int;  (** individual keys moved between nodes *)
+  mutable workload_queries : int;  (** "how many tasks do you have?" *)
+  mutable invitations : int;  (** overloaded-node help announcements *)
+  mutable lookup_hops : int;  (** routing hops for joins/injections *)
+  mutable maintenance : int;  (** periodic successor-list pings *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val total : t -> int
+val add : t -> t -> unit
+(** [add acc delta] accumulates [delta] into [acc]. *)
+
+val pp : Format.formatter -> t -> unit

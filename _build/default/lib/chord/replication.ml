@@ -1,0 +1,57 @@
+type outcome = {
+  total_keys : int;
+  lost_keys : int;
+  surviving_nodes : int;
+  failed_nodes : int;
+}
+
+let loss_after_failure ~ring ~keys ~failed ~replicas =
+  if replicas < 0 then invalid_arg "Replication: replicas < 0";
+  let n = Array.length ring in
+  if n = 0 then invalid_arg "Replication: empty ring";
+  let sorted = Array.copy ring in
+  Array.sort Id.compare sorted;
+  (* First index whose id >= key, wrapping to 0: the key's owner. *)
+  let owner_index key =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Id.compare sorted.(mid) key >= 0 then hi := mid else lo := mid + 1
+    done;
+    if !lo = n then 0 else !lo
+  in
+  let holders = min n (replicas + 1) in
+  let lost = ref 0 in
+  Array.iter
+    (fun key ->
+      let o = owner_index key in
+      let rec all_dead i =
+        i >= holders || (failed sorted.((o + i) mod n) && all_dead (i + 1))
+      in
+      if all_dead 0 then incr lost)
+    keys;
+  let failed_nodes =
+    Array.fold_left (fun acc id -> if failed id then acc + 1 else acc) 0 sorted
+  in
+  {
+    total_keys = Array.length keys;
+    lost_keys = !lost;
+    surviving_nodes = n - failed_nodes;
+    failed_nodes;
+  }
+
+let simulate rng ~nodes ~keys ~replicas ~fail_fraction =
+  if not (fail_fraction >= 0.0 && fail_fraction <= 1.0) then
+    invalid_arg "Replication.simulate: fail_fraction out of [0,1]";
+  let ring = Keygen.node_ids rng nodes in
+  let key_arr = Array.init keys (fun _ -> Keygen.fresh rng) in
+  let dead = Hashtbl.create nodes in
+  Array.iter
+    (fun id -> if Prng.bernoulli rng fail_fraction then Hashtbl.replace dead id ())
+    ring;
+  loss_after_failure ~ring ~keys:key_arr
+    ~failed:(fun id -> Hashtbl.mem dead id)
+    ~replicas
+
+let expected_loss_rate ~fail_fraction ~replicas =
+  Float.pow fail_fraction (float_of_int (replicas + 1))

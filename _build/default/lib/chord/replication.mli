@@ -1,0 +1,43 @@
+(** Key survivability under simultaneous failures.
+
+    The paper's model assumes nodes "actively back up their data and
+    tasks to [their] successors", so that losing a node loses nothing
+    (§IV-A), citing ChordReduce's recovery from "quite catastrophic
+    failures".  This module prices that assumption: with each key
+    replicated on its owner's next [replicas] successors, a key is lost
+    in a simultaneous failure event only if the owner {e and} all its
+    replica holders die together — probability ≈ f^(replicas+1) for a
+    random fraction [f].  The experiment regenerating this curve backs
+    the paper's §V assumption section. *)
+
+type outcome = {
+  total_keys : int;
+  lost_keys : int;
+  surviving_nodes : int;
+  failed_nodes : int;
+}
+
+val loss_after_failure :
+  ring:Id.t array ->
+  keys:Id.t array ->
+  failed:(Id.t -> bool) ->
+  replicas:int ->
+  outcome
+(** Exact accounting on a concrete ring: a key survives iff its owner or
+    one of the owner's next [replicas] live-at-assignment successors is
+    not in the failed set.  [ring] must be non-empty; it is sorted
+    internally.  @raise Invalid_argument if [replicas < 0] or the ring
+    is empty. *)
+
+val simulate :
+  Prng.t ->
+  nodes:int ->
+  keys:int ->
+  replicas:int ->
+  fail_fraction:float ->
+  outcome
+(** Random instance: SHA-1 ring and keys, a uniformly chosen fraction of
+    nodes fails simultaneously. *)
+
+val expected_loss_rate : fail_fraction:float -> replicas:int -> float
+(** The analytic approximation [f^(replicas+1)]. *)

@@ -1,0 +1,70 @@
+module M = Map.Make (Id)
+
+type 'a t = 'a M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+let cardinal = M.cardinal
+let mem = M.mem
+let find_opt = M.find_opt
+let add = M.add
+let remove = M.remove
+let min_binding_opt = M.min_binding_opt
+
+let successor id t =
+  match M.find_first_opt (fun k -> Id.compare k id > 0) t with
+  | Some _ as s -> s
+  | None -> M.min_binding_opt t
+
+let successor_incl id t =
+  match M.find_first_opt (fun k -> Id.compare k id >= 0) t with
+  | Some _ as s -> s
+  | None -> M.min_binding_opt t
+
+let predecessor id t =
+  match M.find_last_opt (fun k -> Id.compare k id < 0) t with
+  | Some _ as s -> s
+  | None -> M.max_binding_opt t
+
+let k_neighbors next id k t =
+  let n = cardinal t in
+  let limit = min k (max 0 (n - 1)) in
+  let rec go cur acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      match next cur t with
+      | None -> List.rev acc
+      | Some ((nid, _) as binding) ->
+        if Id.equal nid id then List.rev acc
+        else go nid (binding :: acc) (remaining - 1)
+  in
+  go id [] limit
+
+let k_successors id k t = k_neighbors successor id k t
+let k_predecessors id k t = k_neighbors predecessor id k t
+
+let arc_of id t =
+  if not (M.mem id t) then None
+  else
+    match predecessor id t with
+    | None -> Some (Interval.full id)
+    | Some (p, _) -> Some (Interval.make ~after:p ~upto:id)
+
+let iter = M.iter
+let fold = M.fold
+let bindings = M.bindings
+
+let nth t i =
+  if i < 0 || i >= cardinal t then invalid_arg "Ring.nth: index out of bounds";
+  let remaining = ref i and result = ref None in
+  (try
+     M.iter
+       (fun k v ->
+         if !remaining = 0 then begin
+           result := Some (k, v);
+           raise Exit
+         end
+         else decr remaining)
+       t
+   with Exit -> ());
+  match !result with Some b -> b | None -> assert false

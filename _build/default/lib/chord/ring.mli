@@ -1,0 +1,44 @@
+(** The sorted ring of virtual nodes.
+
+    A purely functional map from identifiers to payloads with wrap-aware
+    navigation: successors and predecessors wrap past [2^160 - 1] back to
+    [0], as on the Chord circle.  All navigation is O(log n). *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val cardinal : 'a t -> int
+val mem : Id.t -> 'a t -> bool
+val find_opt : Id.t -> 'a t -> 'a option
+val add : Id.t -> 'a -> 'a t -> 'a t
+val remove : Id.t -> 'a t -> 'a t
+
+val successor : Id.t -> 'a t -> (Id.t * 'a) option
+(** First member strictly clockwise of the given id (wrapping); [None]
+    only on an empty ring.  If the id is the only member, returns it. *)
+
+val successor_incl : Id.t -> 'a t -> (Id.t * 'a) option
+(** First member at or clockwise of the id: the {e owner} of key [id]. *)
+
+val predecessor : Id.t -> 'a t -> (Id.t * 'a) option
+(** First member strictly counterclockwise of the id (wrapping). *)
+
+val k_successors : Id.t -> int -> 'a t -> (Id.t * 'a) list
+(** Up to [k] distinct members clockwise of the id, nearest first,
+    excluding the id itself; fewer if the ring is smaller. *)
+
+val k_predecessors : Id.t -> int -> 'a t -> (Id.t * 'a) list
+(** Up to [k] distinct members counterclockwise, nearest first. *)
+
+val arc_of : Id.t -> 'a t -> Interval.t option
+(** The responsibility arc of member [id]: [(predecessor id, id]].
+    [None] if [id] is not a member.  A lone member owns the full ring. *)
+
+val iter : (Id.t -> 'a -> unit) -> 'a t -> unit
+val fold : (Id.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+val bindings : 'a t -> (Id.t * 'a) list
+val min_binding_opt : 'a t -> (Id.t * 'a) option
+val nth : 'a t -> int -> Id.t * 'a
+(** [nth t i]: the [i]-th member in id order. O(n) worst case; used only
+    by tests and sampling. @raise Invalid_argument out of bounds. *)

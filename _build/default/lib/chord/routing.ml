@@ -1,0 +1,40 @@
+module Tbl = Hashtbl.Make (struct
+  type t = Id.t
+
+  let equal = Id.equal
+  let hash = Id.hash
+end)
+
+type tables = Finger_table.t Tbl.t
+
+let build_tables ring =
+  let tables = Tbl.create (max 16 (Ring.cardinal ring)) in
+  Ring.iter (fun id _ -> Tbl.replace tables id (Finger_table.make id ring)) ring;
+  tables
+
+let lookup ring tables ~start ~key =
+  if Ring.is_empty ring || not (Ring.mem start ring) then None
+  else
+    let max_hops = 2 * Id.bits in
+    let rec go cur hops =
+      let succ =
+        match Ring.successor cur ring with
+        | Some (sid, _) -> sid
+        | None -> cur
+      in
+      if Id.between_oc ~after:cur ~upto:succ key then Some (succ, hops + 1)
+      else if hops >= max_hops then None (* routing loop: inconsistent ring *)
+      else
+        let next =
+          match Tbl.find_opt tables cur with
+          | Some ft -> Finger_table.closest_preceding ft key
+          | None -> succ
+        in
+        (* If fingers make no progress, fall back to the successor; this
+           mirrors Chord's guaranteed-correct successor routing. *)
+        let next = if Id.equal next cur then succ else next in
+        go next (hops + 1)
+    in
+    go start 0
+
+let expected_hops n = if n <= 1 then 0.0 else log (float_of_int n) /. log 2.0 /. 2.0

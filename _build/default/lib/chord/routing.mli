@@ -1,0 +1,20 @@
+(** Iterative Chord lookups over finger tables.
+
+    [lookup] resolves the owner of a key exactly as the Chord paper does:
+    repeatedly ask the current node for its closest preceding finger until
+    the key falls between a node and its successor.  Returns the owner and
+    the hop count; hop counts are what the simulator charges joins with. *)
+
+type tables
+(** Finger tables for every ring member. *)
+
+val build_tables : 'a Ring.t -> tables
+(** O(N log N); rebuild after ring membership changes. *)
+
+val lookup :
+  'a Ring.t -> tables -> start:Id.t -> key:Id.t -> (Id.t * int) option
+(** [lookup ring tables ~start ~key] is [Some (owner, hops)], or [None]
+    on an empty ring or when [start] is not a member. *)
+
+val expected_hops : int -> float
+(** [expected_hops n] is [log2 n / 2], Chord's theoretical mean. *)

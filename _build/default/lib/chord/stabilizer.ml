@@ -1,0 +1,316 @@
+module Tbl = Hashtbl.Make (struct
+  type t = Id.t
+
+  let equal = Id.equal
+  let hash = Id.hash
+end)
+
+type t = {
+  views : Local_view.t Tbl.t;
+  succ_list_len : int;
+}
+
+let live_views t =
+  Tbl.fold (fun _ v acc -> if v.Local_view.alive then v :: acc else acc) t.views []
+  |> List.sort (fun a b -> Id.compare a.Local_view.id b.Local_view.id)
+
+let size t = List.length (live_views t)
+let members t = List.map (fun v -> v.Local_view.id) (live_views t)
+
+let true_successors ids id k =
+  (* ids sorted ascending; next k members clockwise of id, excluding id *)
+  let n = List.length ids in
+  let arr = Array.of_list ids in
+  let start =
+    let rec find i = if i >= n then 0 else if Id.compare arr.(i) id > 0 then i else find (i + 1) in
+    find 0
+  in
+  let rec collect i acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let j = i mod n in
+      if Id.equal arr.(j) id then List.rev acc
+      else collect (i + 1) (arr.(j) :: acc) (remaining - 1)
+  in
+  collect start [] (min k (n - 1))
+
+let true_predecessor ids id =
+  let rec last_before acc = function
+    | [] -> acc
+    | x :: tl -> if Id.compare x id < 0 then last_before (Some x) tl else acc
+  in
+  match last_before None ids with
+  | Some p -> Some p
+  | None -> (
+    (* wrap: the largest member, unless id is alone *)
+    match List.rev ids with
+    | m :: _ when not (Id.equal m id) -> Some m
+    | _ -> None)
+
+let bootstrap ~succ_list_len ids =
+  if succ_list_len < 1 then invalid_arg "Stabilizer.bootstrap: succ_list_len < 1";
+  if ids = [] then invalid_arg "Stabilizer.bootstrap: no members";
+  let sorted = List.sort_uniq Id.compare ids in
+  let t = { views = Tbl.create (List.length sorted); succ_list_len } in
+  List.iter
+    (fun id ->
+      let v = Local_view.create id in
+      v.Local_view.successors <- true_successors sorted id succ_list_len;
+      v.Local_view.predecessor <- true_predecessor sorted id;
+      Tbl.replace t.views id v)
+    sorted;
+  t
+
+let view t id = Tbl.find_opt t.views id
+
+let alive t id =
+  match Tbl.find_opt t.views id with
+  | Some v -> v.Local_view.alive
+  | None -> false
+
+let lookup t ~start ~key =
+  match Tbl.find_opt t.views start with
+  | None -> None
+  | Some v when not v.Local_view.alive -> None
+  | Some v ->
+    let cap = 2 * max 2 (Tbl.length t.views) in
+    (* A real node pings each successor-list entry in turn and routes via
+       the first live one, so a single corpse in a stale view does not
+       end the lookup. *)
+    let first_live_entry (cur : Local_view.t) =
+      List.find_map
+        (fun s ->
+          match Tbl.find_opt t.views s with
+          | Some sv when sv.Local_view.alive -> Some sv
+          | _ -> None)
+        cur.Local_view.successors
+    in
+    let rec go (cur : Local_view.t) hops =
+      if hops > cap then None
+      else
+        match first_live_entry cur with
+        | None -> if hops = 0 then Some (cur.Local_view.id, 0) else None
+        | Some sv ->
+          if Id.between_oc ~after:cur.Local_view.id ~upto:sv.Local_view.id key
+          then Some (sv.Local_view.id, hops + 1)
+          else go sv (hops + 1)
+    in
+    go v 0
+
+let join t id =
+  if not (alive t id) then begin
+    match live_views t with
+    | [] -> invalid_arg "Stabilizer.join: no live contact"
+    | contact :: _ ->
+      let v = Local_view.create id in
+      let succ =
+        match lookup t ~start:contact.Local_view.id ~key:id with
+        | Some (s, _) when not (Id.equal s id) -> s
+        | _ ->
+          (* routing failed (stale views) or we are alone; start from
+             the contact itself and let stabilization sort it out *)
+          contact.Local_view.id
+      in
+      (* As in Chord's join, fetch the successor's list immediately so a
+         single failure cannot isolate the newcomer. *)
+      let tail =
+        match Tbl.find_opt t.views succ with
+        | Some sv -> List.filter (fun x -> not (Id.equal x id)) sv.Local_view.successors
+        | None -> []
+      in
+      let rec take n = function
+        | [] -> []
+        | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+      in
+      v.Local_view.successors <- take t.succ_list_len (succ :: tail);
+      Tbl.replace t.views id v
+  end
+
+let fail t id =
+  match Tbl.find_opt t.views id with
+  | Some v -> v.Local_view.alive <- false
+  | None -> ()
+
+let leave t id =
+  match Tbl.find_opt t.views id with
+  | None -> ()
+  | Some v when not v.Local_view.alive -> ()
+  | Some v ->
+    v.Local_view.alive <- false;
+    (* tell the successor to adopt our predecessor *)
+    (match (Local_view.first_successor v, v.Local_view.predecessor) with
+    | Some s, pred -> (
+      match Tbl.find_opt t.views s with
+      | Some sv when sv.Local_view.alive -> (
+        match sv.Local_view.predecessor with
+        | Some p when Id.equal p id -> sv.Local_view.predecessor <- pred
+        | _ -> ())
+      | _ -> ())
+    | None, _ -> ());
+    (* tell the predecessor to skip straight to our successor *)
+    (match (v.Local_view.predecessor, Local_view.first_successor v) with
+    | Some p, Some s -> (
+      match Tbl.find_opt t.views p with
+      | Some pv when pv.Local_view.alive ->
+        Local_view.drop_successor pv id;
+        Local_view.adopt_successor pv s ~max_len:t.succ_list_len
+      | _ -> ())
+    | _ -> ())
+
+let stabilize_round t =
+  let messages = ref 0 in
+  let nodes = live_views t in
+  List.iter
+    (fun (n : Local_view.t) ->
+      if n.Local_view.alive then begin
+        (* check the predecessor's pulse *)
+        (match n.Local_view.predecessor with
+        | Some p ->
+          incr messages;
+          if not (alive t p) then n.Local_view.predecessor <- None
+        | None -> ());
+        (* find the first live successor, dropping corpses *)
+        let rec first_live () =
+          match Local_view.first_successor n with
+          | None -> None
+          | Some s ->
+            incr messages (* ping *);
+            if alive t s then Some s
+            else begin
+              Local_view.drop_successor n s;
+              first_live ()
+            end
+        in
+        match first_live () with
+        | None ->
+          (* Isolated: every known successor died.  A real node falls
+             back to a cached bootstrap contact; model that by adopting
+             any live member (the ring edge is long but stabilization
+             then walks it back to the true successor). *)
+          (match
+             List.find_opt
+               (fun (v : Local_view.t) -> not (Id.equal v.Local_view.id n.Local_view.id))
+               nodes
+           with
+          | Some contact ->
+            incr messages;
+            Local_view.adopt_successor n contact.Local_view.id
+              ~max_len:t.succ_list_len
+          | None -> ())
+        | Some s -> (
+          match Tbl.find_opt t.views s with
+          | None -> ()
+          | Some sv ->
+            (* stabilize: adopt the successor's predecessor if closer *)
+            incr messages;
+            (match sv.Local_view.predecessor with
+            | Some x
+              when alive t x
+                   && Id.between_oo ~after:n.Local_view.id ~before:s x ->
+              Local_view.adopt_successor n x ~max_len:t.succ_list_len
+            | _ -> ());
+            (* notify the (possibly new) first successor *)
+            (match Local_view.first_successor n with
+            | Some s' -> (
+              match Tbl.find_opt t.views s' with
+              | Some sv' when sv'.Local_view.alive ->
+                incr messages;
+                (match sv'.Local_view.predecessor with
+                | None -> sv'.Local_view.predecessor <- Some n.Local_view.id
+                | Some p
+                  when (not (alive t p))
+                       || Id.between_oo ~after:p ~before:s' n.Local_view.id ->
+                  sv'.Local_view.predecessor <- Some n.Local_view.id
+                | Some _ -> ())
+              | _ -> ())
+            | None -> ());
+            (* refresh the successor-list tail from the live successor *)
+            (match Local_view.first_successor n with
+            | Some s' when Id.equal s' s ->
+              incr messages;
+              Local_view.refresh_tail n
+                (List.filter (alive t) sv.Local_view.successors)
+                ~max_len:t.succ_list_len
+            | _ -> ()))
+      end)
+    nodes;
+  !messages
+
+let fix_fingers_round ?(batch = 8) t =
+  let messages = ref 0 in
+  List.iter
+    (fun (n : Local_view.t) ->
+      for _ = 1 to batch do
+        let k = n.Local_view.next_finger in
+        n.Local_view.next_finger <- (k + 1) mod Id.bits;
+        let target = Id.add_pow2 n.Local_view.id k in
+        match lookup t ~start:n.Local_view.id ~key:target with
+        | Some (owner, hops) ->
+          messages := !messages + 1 + hops;
+          n.Local_view.fingers.(k) <- Some owner
+        | None ->
+          incr messages;
+          n.Local_view.fingers.(k) <- None
+      done)
+    (live_views t);
+  !messages
+
+let finger_accuracy t =
+  let ids = members t in
+  if List.length ids <= 1 then 1.0
+  else begin
+    let sorted = Array.of_list ids in
+    let n = Array.length sorted in
+    let true_owner key =
+      (* first member >= key, wrapping *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Id.compare sorted.(mid) key >= 0 then hi := mid else lo := mid + 1
+      done;
+      if !lo = n then sorted.(0) else sorted.(!lo)
+    in
+    let good = ref 0 and total = ref 0 in
+    List.iter
+      (fun (v : Local_view.t) ->
+        Array.iteri
+          (fun k entry ->
+            match entry with
+            | None -> ()
+            | Some f ->
+              incr total;
+              let want = true_owner (Id.add_pow2 v.Local_view.id k) in
+              if Id.equal f want then incr good)
+          v.Local_view.fingers)
+      (live_views t);
+    if !total = 0 then 0.0 else float_of_int !good /. float_of_int !total
+  end
+
+let is_consistent t =
+  let ids = members t in
+  match ids with
+  | [] -> true
+  | [ _ ] -> true
+  | _ ->
+    List.for_all
+      (fun (v : Local_view.t) ->
+        let id = v.Local_view.id in
+        let want_succs = true_successors ids id t.succ_list_len in
+        let want_pred = true_predecessor ids id in
+        v.Local_view.successors = want_succs
+        && v.Local_view.predecessor = want_pred)
+      (live_views t)
+
+let max_staleness t =
+  let ids = members t in
+  if List.length ids <= 1 then 0
+  else
+    List.fold_left
+      (fun acc (v : Local_view.t) ->
+        let want =
+          match true_successors ids v.Local_view.id 1 with
+          | [ s ] -> Some s
+          | _ -> None
+        in
+        if Local_view.first_successor v = want then acc else acc + 1)
+      0 (live_views t)

@@ -1,0 +1,71 @@
+(** The Chord stabilization protocol over local views.
+
+    Nodes hold only {!Local_view}s of each other; no global oracle is
+    consulted during protocol steps, so this is the real algorithm from
+    the Chord paper: each round every live node
+
+    + pings its successor list until it finds a live head (failure
+      detection; each ping is charged as a message);
+    + asks that successor for its predecessor and adopts it if it lies
+      between them ([stabilize]);
+    + notifies the successor, which updates its predecessor ([notify]);
+    + copies the successor's list to refresh its own tail.
+
+    The module reports per-round message counts and can check whether
+    the views have converged to the true membership — which is how the
+    maintenance cost of a given churn rate is measured. *)
+
+type t
+
+val bootstrap : succ_list_len:int -> Id.t list -> t
+(** A network whose views start perfectly consistent.
+    @raise Invalid_argument on an empty list or [succ_list_len < 1]. *)
+
+val size : t -> int
+(** Live nodes. *)
+
+val members : t -> Id.t list
+(** Live node ids, sorted. *)
+
+val join : t -> Id.t -> unit
+(** A new node appears knowing one live contact (the bootstrap member);
+    it learns its successor by asking around and joins with a bare view
+    that stabilization must complete.  No-op if the id is present. *)
+
+val fail : t -> Id.t -> unit
+(** The node vanishes silently — no goodbye, neighbours discover the
+    death only by pinging.  No-op on unknown/dead ids. *)
+
+val leave : t -> Id.t -> unit
+(** Graceful departure: tells predecessor and successor before going. *)
+
+val stabilize_round : t -> int
+(** One protocol round for every live node; returns messages sent. *)
+
+val fix_fingers_round : ?batch:int -> t -> int
+(** Chord's [fix_fingers]: every live node repairs [batch] finger
+    entries (default 8) by looking up [id + 2^k] through its current
+    views, round-robin over [k].  Returns messages (one lookup charged
+    per repaired finger, plus its hops).  Fingers whose lookup dead-ends
+    are cleared. *)
+
+val finger_accuracy : t -> float
+(** Fraction of populated finger entries across live nodes that agree
+    with the true membership ([1.0] when perfect; [0.0] when no fingers
+    are populated). *)
+
+val is_consistent : t -> bool
+(** Every live node's first successor and predecessor agree with the
+    true membership, and successor lists hold the true next-k members. *)
+
+val max_staleness : t -> int
+(** Number of live nodes whose first successor is wrong — a convergence
+    measure (0 = converged heads). *)
+
+val view : t -> Id.t -> Local_view.t option
+(** Inspect one node's view (tests). *)
+
+val lookup : t -> start:Id.t -> key:Id.t -> (Id.t * int) option
+(** Successor-list-only routing over the (possibly stale) views; returns
+    owner and hop count, or [None] if routing hit a dead end.  Correct
+    whenever views are consistent. *)

@@ -1,0 +1,1 @@
+lib/core/invitation.ml: Array Decision Dht Engine Id_set Interval List Messages Params State

@@ -1,0 +1,1 @@
+lib/core/neighbor_injection.ml: Array Decision Dht Engine Id_set Interval List Messages Params State

@@ -1,0 +1,1 @@
+lib/core/neighbor_injection.mli: Engine

@@ -1,0 +1,1 @@
+lib/core/random_injection.ml: Array Decision Engine Keygen Params State

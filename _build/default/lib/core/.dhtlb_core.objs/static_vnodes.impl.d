@@ -1,0 +1,1 @@
+lib/core/static_vnodes.ml: Array Decision Engine Keygen State

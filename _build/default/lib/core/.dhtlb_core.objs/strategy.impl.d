@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Engine Invitation List Neighbor_injection Params Printf Random_injection Static_vnodes Strength_aware String

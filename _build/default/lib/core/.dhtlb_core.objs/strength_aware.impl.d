@@ -1,0 +1,1 @@
+lib/core/strength_aware.ml: Array Decision Dht Engine Id_set Interval Keygen List Messages Params State

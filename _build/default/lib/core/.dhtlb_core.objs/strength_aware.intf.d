@@ -1,0 +1,1 @@
+lib/core/strength_aware.mli: Engine

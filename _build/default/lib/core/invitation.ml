@@ -1,0 +1,85 @@
+(* The ring presence of [pid] holding the most tasks: the natural place
+   for an overloaded machine to ask for relief. *)
+let heaviest_vnode (state : State.t) (p : State.phys) =
+  List.fold_left
+    (fun best id ->
+      let w = Dht.workload state.State.dht id in
+      match best with
+      | Some (_, bw) when bw >= w -> best
+      | _ -> Some (id, w))
+    None p.State.vnodes
+
+let split_point (state : State.t) inviter_id arc =
+  if state.State.params.Params.split_at_median then
+    match Dht.find state.State.dht inviter_id with
+    | Some vn when Id_set.cardinal vn.Dht.keys > 1 ->
+      (* The Sybil takes the arc up to the median key, i.e. half the
+         inviter's actual tasks rather than half its address space. *)
+      Id_set.nth vn.Dht.keys ((Id_set.cardinal vn.Dht.keys / 2) - 1)
+    | _ -> Interval.midpoint arc
+  else Interval.midpoint arc
+
+let decide (state : State.t) =
+  let params = state.State.params in
+  let threshold = params.Params.sybil_threshold in
+  let overload =
+    params.Params.invite_factor *. state.State.initial_mean
+  in
+  let messages = Dht.messages state.State.dht in
+  Array.iter
+    (fun (p : State.phys) ->
+      if p.State.active && Decision.due state p then begin
+        let pid = p.State.pid in
+        let w = State.workload_of_phys state pid in
+        if w = 0 && State.sybil_count state pid > 0 then
+          State.retire_sybils state pid;
+        if float_of_int w > overload then begin
+          match heaviest_vnode state p with
+          | None | Some (_, 0) -> ()
+          | Some (inviter_id, _) -> begin
+            let k = params.Params.num_successors in
+            let preds =
+              List.filter
+                (fun (vn : State.payload Dht.vnode) ->
+                  vn.Dht.payload.State.owner <> pid)
+                (Dht.k_predecessors state.State.dht inviter_id k)
+            in
+            (* One announcement reaches k predecessors; each replies with
+               its workload. *)
+            messages.Messages.invitations <- messages.Messages.invitations + k;
+            messages.Messages.workload_queries <-
+              messages.Messages.workload_queries + List.length preds;
+            let candidates =
+              List.filter
+                (fun (vn : State.payload Dht.vnode) ->
+                  let hpid = vn.Dht.payload.State.owner in
+                  State.workload_of_phys state hpid <= threshold
+                  && State.sybil_count state hpid
+                     < State.sybil_capacity state hpid)
+                preds
+            in
+            let helper =
+              List.fold_left
+                (fun best (vn : State.payload Dht.vnode) ->
+                  let hpid = vn.Dht.payload.State.owner in
+                  let hw = State.workload_of_phys state hpid in
+                  match best with
+                  | Some (_, bw) when bw <= hw -> best
+                  | _ -> Some (hpid, hw))
+                None candidates
+            in
+            match helper with
+            | None -> () (* invitation refused *)
+            | Some (hpid, _) -> begin
+              match Dht.arc_of state.State.dht inviter_id with
+              | None -> ()
+              | Some arc ->
+                ignore
+                  (State.create_sybil state hpid (split_point state inviter_id arc))
+            end
+          end
+        end
+      end)
+    state.State.phys
+
+let strategy () = { Engine.name = "invitation"; decide }

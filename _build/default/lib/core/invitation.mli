@@ -1,0 +1,15 @@
+(** Invitation (paper §IV-D) — the reactive strategy.
+
+    Instead of idle nodes hunting for work, an {e overburdened} machine
+    (workload above [invite_factor × tasks/nodes]) announces for help to
+    its [num_successors] predecessors.  The least-loaded predecessor whose
+    workload is at or below [sybil_threshold] — and which still has Sybil
+    capacity — injects a Sybil into the inviter's arc, taking over roughly
+    half of it.  An invitation is refused when no predecessor qualifies,
+    matching §IV-D.
+
+    With [params.split_at_median] the helper splits at the inviter's
+    median task key (an exact halving of the load) instead of the arc
+    midpoint — an extension measured as an ablation. *)
+
+val strategy : unit -> Engine.strategy

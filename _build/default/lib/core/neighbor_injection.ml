@@ -1,0 +1,97 @@
+type variant = Estimate | Smart
+
+(* The arcs a machine can see locally: walking its successor list
+   [s0; s1; ...], successor [s_i] owns the arc from the previous list
+   entry (or from the machine itself for [s0]) up to [s_i].  Arcs owned by
+   the machine's own Sybils are of no use and are filtered out. *)
+let successor_arcs (state : State.t) pid self_id =
+  let k = state.State.params.Params.num_successors in
+  let succs = Dht.k_successors state.State.dht self_id k in
+  let rec arcs after = function
+    | [] -> []
+    | (vn : State.payload Dht.vnode) :: rest ->
+      let arc = Interval.make ~after ~upto:vn.Dht.id in
+      let tail = arcs vn.Dht.id rest in
+      if vn.Dht.payload.State.owner = pid then tail else (arc, vn) :: tail
+  in
+  arcs self_id succs
+
+let pick_estimate state pid candidates =
+  let avoid = state.State.params.Params.avoid_repeats in
+  let usable =
+    if avoid then
+      List.filter
+        (fun (arc, _) -> not (State.arc_recently_failed state pid arc))
+        candidates
+    else candidates
+  in
+  match usable with
+  | [] -> None
+  | hd :: tl ->
+    Some
+      (List.fold_left
+         (fun (best_arc, best_vn) (arc, vn) ->
+           if Interval.compare_width arc best_arc > 0 then (arc, vn)
+           else (best_arc, best_vn))
+         hd tl)
+
+let pick_smart state candidates =
+  match candidates with
+  | [] -> None
+  | hd :: tl ->
+    let messages = Dht.messages state.State.dht in
+    messages.Messages.workload_queries <-
+      messages.Messages.workload_queries + List.length candidates;
+    let load (_, (vn : State.payload Dht.vnode)) = Id_set.cardinal vn.Dht.keys in
+    Some
+      (List.fold_left
+         (fun best c -> if load c > load best then c else best)
+         hd tl)
+
+let decide variant (state : State.t) =
+  let threshold = state.State.params.Params.sybil_threshold in
+  Array.iter
+    (fun (p : State.phys) ->
+      if p.State.active && Decision.due state p then begin
+        let pid = p.State.pid in
+        let w = State.workload_of_phys state pid in
+        (* Same Sybil lifecycle as random injection: fruitless Sybils
+           quit, then the node may target a new successor arc at once. *)
+        if w = 0 && State.sybil_count state pid > 0 then
+          State.retire_sybils state pid;
+        if
+          w <= threshold
+          && State.sybil_count state pid < State.sybil_capacity state pid
+        then begin
+          match p.State.vnodes with
+          | [] -> ()
+          | self_id :: _ ->
+            let candidates = successor_arcs state pid self_id in
+            let chosen =
+              match variant with
+              | Estimate -> pick_estimate state pid candidates
+              | Smart -> pick_smart state candidates
+            in
+            (match chosen with
+            | None -> ()
+            | Some (arc, _) ->
+              let sybil_id = Interval.midpoint arc in
+              if State.create_sybil state pid sybil_id then begin
+                if
+                  state.State.params.Params.avoid_repeats
+                  && Dht.workload state.State.dht sybil_id = 0
+                then State.note_failed_arc state pid arc
+              end
+              else if state.State.params.Params.avoid_repeats then
+                State.note_failed_arc state pid arc)
+        end
+      end)
+    state.State.phys
+
+let strategy variant () =
+  let name =
+    match variant with
+    | Estimate -> "neighbor-injection"
+    | Smart -> "smart-neighbor-injection"
+  in
+  { Engine.name; decide = decide variant }

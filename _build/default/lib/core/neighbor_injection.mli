@@ -1,0 +1,17 @@
+(** Neighbor Injection (paper §IV-C).
+
+    An under-utilized machine scans the arcs of its [num_successors]
+    successors and injects a Sybil at the midpoint of the {e widest} arc —
+    a zero-message estimate of "most work".  The {!Smart} variant instead
+    queries each successor's true workload (charged as messages) and
+    splits the heaviest successor's arc, trading bandwidth for accuracy
+    exactly as §VI-C discusses.
+
+    With [params.avoid_repeats] set, a machine remembers arcs where a
+    Sybil acquired nothing and skips them on later decisions — the
+    refinement §IV-C suggests to break the "constantly checking the
+    largest gap" loop. *)
+
+type variant = Estimate | Smart
+
+val strategy : variant -> unit -> Engine.strategy

@@ -1,0 +1,24 @@
+let decide (state : State.t) =
+  let threshold = state.State.params.Params.sybil_threshold in
+  Array.iter
+    (fun (p : State.phys) ->
+      if p.State.active && Decision.due state p then begin
+        let pid = p.State.pid in
+        let w = State.workload_of_phys state pid in
+        (* Sybils that acquired nothing quit first (freeing their ring
+           positions); the node may then immediately re-roll one new
+           Sybil at a fresh address in the same decision. *)
+        if w = 0 && State.sybil_count state pid > 0 then
+          State.retire_sybils state pid;
+        if
+          w <= threshold
+          && State.sybil_count state pid < State.sybil_capacity state pid
+        then
+          (* One Sybil per decision, at a random address; a (vanishingly
+             rare) collision with an existing vnode simply wastes the
+             attempt, as it would in a real ring. *)
+          ignore (State.create_sybil state pid (Keygen.fresh state.State.rng))
+      end)
+    state.State.phys
+
+let strategy () = { Engine.name = "random-injection"; decide }

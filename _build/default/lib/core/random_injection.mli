@@ -1,0 +1,11 @@
+(** Random Injection (paper §IV-B) — the paper's best strategy.
+
+    On each decision tick every under-utilized machine (workload at or
+    below [sybil_threshold]) creates one Sybil vnode at a uniformly random
+    ring address, hoping to land inside a loaded arc and acquire its
+    tasks.  A machine holding Sybils but no work retires them, freeing the
+    ring and letting a later decision re-roll the position.  Machines
+    never exceed their Sybil capacity ([max_sybils], or [strength] in
+    heterogeneous networks). *)
+
+val strategy : unit -> Engine.strategy

@@ -1,0 +1,16 @@
+let decide (state : State.t) =
+  (* Only the first period matters: every machine's first due tick falls
+     in ticks [0, period); afterwards everyone is at capacity and the
+     strategy is inert. *)
+  Array.iter
+    (fun (p : State.phys) ->
+      if p.State.active && Decision.due state p then begin
+        let pid = p.State.pid in
+        let want = State.sybil_capacity state pid - State.sybil_count state pid in
+        for _ = 1 to want do
+          ignore (State.create_sybil state pid (Keygen.fresh state.State.rng))
+        done
+      end)
+    state.State.phys
+
+let strategy () = { Engine.name = "static-vnodes"; decide }

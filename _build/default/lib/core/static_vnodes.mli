@@ -1,0 +1,17 @@
+(** Static virtual servers — the classic non-adaptive baseline.
+
+    The standard DHT load-balancing fix (going back to the original
+    Chord/CFS work) gives every node a fixed number of virtual servers at
+    random addresses from the start.  It smooths placement variance but
+    cannot react to the workload: Sybils stay where they landed whether
+    or not they captured work, and no new capacity appears as hot arcs
+    emerge.
+
+    Included as a baseline against the paper's adaptive strategies: it
+    shows how much of their gain comes merely from having more ring
+    presences versus from placing them adaptively. *)
+
+val strategy : unit -> Engine.strategy
+(** Each machine creates its full Sybil allowance ([max_sybils], or
+    [strength] when heterogeneous) at uniformly random addresses on its
+    first decision tick, then never acts again. *)

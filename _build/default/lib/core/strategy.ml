@@ -1,0 +1,57 @@
+type t =
+  | No_strategy
+  | Induced_churn
+  | Random_injection
+  | Neighbor_injection
+  | Smart_neighbor_injection
+  | Invitation
+  | Strength_aware_injection
+  | Static_virtual_nodes
+
+let all =
+  [
+    No_strategy;
+    Induced_churn;
+    Random_injection;
+    Neighbor_injection;
+    Smart_neighbor_injection;
+    Invitation;
+    Strength_aware_injection;
+    Static_virtual_nodes;
+  ]
+
+let name = function
+  | No_strategy -> "none"
+  | Induced_churn -> "churn"
+  | Random_injection -> "random"
+  | Neighbor_injection -> "neighbor"
+  | Smart_neighbor_injection -> "smart-neighbor"
+  | Invitation -> "invitation"
+  | Strength_aware_injection -> "strength-aware"
+  | Static_virtual_nodes -> "static-vnodes"
+
+let of_name s =
+  match
+    List.find_opt (fun t -> String.equal (name t) (String.lowercase_ascii s)) all
+  with
+  | Some t -> Ok t
+  | None ->
+    Error
+      (Printf.sprintf "unknown strategy %S (expected one of: %s)" s
+         (String.concat ", " (List.map name all)))
+
+let make = function
+  | No_strategy -> fun () -> Engine.no_strategy
+  | Induced_churn -> fun () -> { Engine.no_strategy with name = "churn" }
+  | Random_injection -> Random_injection.strategy
+  | Neighbor_injection -> Neighbor_injection.strategy Neighbor_injection.Estimate
+  | Smart_neighbor_injection -> Neighbor_injection.strategy Neighbor_injection.Smart
+  | Invitation -> Invitation.strategy
+  | Strength_aware_injection -> Strength_aware.strategy
+  | Static_virtual_nodes -> Static_vnodes.strategy
+
+let default_params t (params : Params.t) =
+  match t with
+  | Induced_churn when params.Params.churn_rate = 0.0 ->
+    { params with Params.churn_rate = 0.01 }
+  | _ -> params

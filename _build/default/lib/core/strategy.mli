@@ -1,0 +1,34 @@
+(** The four autonomous load-balancing strategies, as one dispatchable
+    enumeration (paper §IV).
+
+    [Induced_churn] carries no decision logic — the engine applies
+    ambient churn whenever [params.churn_rate > 0]; selecting it merely
+    names the configuration, exactly as in the paper where the churn
+    strategy "is no more than an overcomplicated way of turning machines
+    off and on again". *)
+
+type t =
+  | No_strategy  (** baseline: no balancing, no churn *)
+  | Induced_churn  (** §IV-A; pair with [churn_rate > 0] *)
+  | Random_injection  (** §IV-B *)
+  | Neighbor_injection  (** §IV-C, zero-message estimate variant *)
+  | Smart_neighbor_injection  (** §IV-C, query variant *)
+  | Invitation  (** §IV-D *)
+  | Strength_aware_injection
+      (** §VII future work: Random Injection weighted by node strength *)
+  | Static_virtual_nodes
+      (** classic non-adaptive baseline: a fixed Sybil allowance placed
+          once at startup *)
+
+val all : t list
+
+val name : t -> string
+val of_name : string -> (t, string) result
+
+val make : t -> unit -> Engine.strategy
+(** Fresh strategy instance for one simulation run. *)
+
+val default_params : t -> Params.t -> Params.t
+(** Adjust parameters to a strategy's conventions: [Induced_churn] gets
+    [churn_rate = 0.01] if none was set; all others are returned
+    unchanged. *)

@@ -1,0 +1,85 @@
+(* Strength-aware injection (paper §VII future work).
+
+   Two strength terms on top of Random Injection:
+
+   - share-proportional capacity: a strength-s machine runs at most s-1
+     Sybils, so its ring presence — and hence its expected workload — is
+     proportional to what it can actually drain per tick.  Weak
+     (strength-1) machines never inject, which is §VII's diagnosis
+     ("weaker nodes acquiring more work from stronger nodes").
+
+   - drain-time targeting: an idle strong machine queries its successor
+     list for workloads and strengths and splits the arc whose *drain
+     time* (workload / strength) is worst, falling back to a random
+     address when nothing nearby is slow.  This moves work from slow
+     custodians to fast thieves instead of uniformly. *)
+
+let drain_time_of (state : State.t) (vn : State.payload Dht.vnode) =
+  let owner = vn.Dht.payload.State.owner in
+  let strength = float_of_int state.State.phys.(owner).State.strength in
+  float_of_int (Id_set.cardinal vn.Dht.keys) /. strength
+
+(* The arcs visible from [self_id]'s successor list, excluding arcs the
+   machine itself owns (same locality as neighbor injection). *)
+let successor_arcs (state : State.t) pid self_id =
+  let k = state.State.params.Params.num_successors in
+  let succs = Dht.k_successors state.State.dht self_id k in
+  let rec arcs after = function
+    | [] -> []
+    | (vn : State.payload Dht.vnode) :: rest ->
+      let arc = Interval.make ~after ~upto:vn.Dht.id in
+      let tail = arcs vn.Dht.id rest in
+      if vn.Dht.payload.State.owner = pid then tail else (arc, vn) :: tail
+  in
+  arcs self_id succs
+
+let decide (state : State.t) =
+  let params = state.State.params in
+  let threshold = float_of_int params.Params.sybil_threshold in
+  Array.iter
+    (fun (p : State.phys) ->
+      if p.State.active && Decision.due state p then begin
+        let pid = p.State.pid in
+        let w = State.workload_of_phys state pid in
+        if w = 0 && State.sybil_count state pid > 0 then
+          State.retire_sybils state pid;
+        let strength = float_of_int p.State.strength in
+        let drain_time = float_of_int w /. strength in
+        let cap =
+          match params.Params.heterogeneity with
+          | Params.Homogeneous -> State.sybil_capacity state pid
+          | Params.Heterogeneous -> p.State.strength - 1
+        in
+        if drain_time <= threshold && State.sybil_count state pid < cap then begin
+          match p.State.vnodes with
+          | [] -> ()
+          | self_id :: _ ->
+            let candidates = successor_arcs state pid self_id in
+            let messages = Dht.messages state.State.dht in
+            messages.Messages.workload_queries <-
+              messages.Messages.workload_queries + List.length candidates;
+            let worst =
+              List.fold_left
+                (fun best ((_, vn) as c) ->
+                  match best with
+                  | Some (_, bvn) when drain_time_of state bvn >= drain_time_of state vn ->
+                    best
+                  | _ -> Some c)
+                None candidates
+            in
+            let target =
+              match worst with
+              | Some (arc, vn)
+              (* only steal from arcs meaningfully slower than us: the
+                 thief must finish the stolen half sooner than the
+                 custodian would have *)
+                when drain_time_of state vn > 2.0 *. (drain_time +. 1.0) ->
+                Interval.midpoint arc
+              | _ -> Keygen.fresh state.State.rng
+            in
+            ignore (State.create_sybil state pid target)
+        end
+      end)
+    state.State.phys
+
+let strategy () = { Engine.name = "strength-aware"; decide }

@@ -1,0 +1,23 @@
+(** Strength-aware injection — the paper's future work, implemented.
+
+    §VII diagnoses why every strategy underperforms on heterogeneous
+    strength-per-tick networks: "weaker nodes acquiring more work from
+    stronger nodes, leading to an overall longer runtime, despite the
+    workload being better balanced", and proposes considering "the node
+    strength as a factor" as future work.
+
+    This strategy is Random Injection with two strength terms:
+
+    - {b hunt rate}: an under-utilized node rolls a Sybil with
+      probability [strength / max_sybils], so a strength-5 node hunts
+      five times more often than a strength-1 node and work flows toward
+      capacity;
+    - {b time-scaled threshold}: "under-utilized" means the node's
+      {e drain time} [workload / strength] is at or below
+      [sybil_threshold], not its raw task count.
+
+    The [ablate strength-aware] experiment shows it recovering most of
+    the heterogeneous gap while leaving homogeneous behaviour unchanged
+    (there both terms reduce to plain Random Injection). *)
+
+val strategy : unit -> Engine.strategy

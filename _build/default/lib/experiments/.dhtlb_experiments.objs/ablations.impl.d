@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Buffer Engine Format Harness List Messages Params Printf Strategy

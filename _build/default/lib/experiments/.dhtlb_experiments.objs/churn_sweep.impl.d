@@ -1,0 +1,1 @@
+lib/experiments/churn_sweep.ml: Buffer List Params Printf Runner Strategy

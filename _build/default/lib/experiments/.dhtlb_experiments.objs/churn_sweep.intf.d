@@ -1,0 +1,1 @@
+lib/experiments/churn_sweep.mli: Runner

@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Array Churn_sweep Csv_out Engine Failure_recovery Initial_distribution Json_out List Lookup_hops Maintenance Messages Printf Runner Strategy Trace Work_timeline

@@ -1,0 +1,1 @@
+lib/experiments/export.mli: Churn_sweep Engine Failure_recovery Initial_distribution Json_out Lookup_hops Maintenance Runner Trace Work_timeline

@@ -1,0 +1,1 @@
+lib/experiments/failure_recovery.ml: Array Buffer Descriptive List Printf Prng Replication

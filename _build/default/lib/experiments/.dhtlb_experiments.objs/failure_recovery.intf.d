@@ -1,0 +1,1 @@
+lib/experiments/failure_recovery.mli:

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Printf Runner Scale Strategy String

@@ -1,0 +1,1 @@
+lib/experiments/initial_distribution.ml: Array Buffer Circle Descriptive Histogram Id Keygen List Printf Prng

@@ -1,0 +1,1 @@
+lib/experiments/initial_distribution.mli: Prng

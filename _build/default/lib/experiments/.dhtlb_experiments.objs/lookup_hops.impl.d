@@ -1,0 +1,1 @@
+lib/experiments/lookup_hops.ml: Array Buffer Descriptive Keygen List Printf Prng Ring Routing

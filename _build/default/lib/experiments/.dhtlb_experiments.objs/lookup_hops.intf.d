@@ -1,0 +1,1 @@
+lib/experiments/lookup_hops.mli:

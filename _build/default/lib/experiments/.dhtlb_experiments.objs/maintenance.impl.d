@@ -1,0 +1,1 @@
+lib/experiments/maintenance.ml: Array Buffer Keygen List Printf Prng Stabilizer

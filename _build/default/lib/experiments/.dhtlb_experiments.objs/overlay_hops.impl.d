@@ -1,0 +1,1 @@
+lib/experiments/overlay_hops.ml: Array Buffer Kademlia Keygen List Printf Prng Ring Routing Symphony

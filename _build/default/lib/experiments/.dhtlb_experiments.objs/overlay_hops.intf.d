@@ -1,0 +1,1 @@
+lib/experiments/overlay_hops.mli:

@@ -1,0 +1,1 @@
+lib/experiments/paired_figures.ml: Array Buffer Descriptive Engine Figure Format Inequality List Params Printf Strategy Trace

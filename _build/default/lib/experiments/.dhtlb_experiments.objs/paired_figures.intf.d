@@ -1,0 +1,1 @@
+lib/experiments/paired_figures.mli: Figure Params Strategy

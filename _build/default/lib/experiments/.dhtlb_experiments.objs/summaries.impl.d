@@ -1,0 +1,1 @@
+lib/experiments/summaries.ml: Buffer Harness Params Strategy

@@ -1,0 +1,1 @@
+lib/experiments/work_timeline.ml: Array Buffer Descriptive Engine List Params Printf Strategy Trace

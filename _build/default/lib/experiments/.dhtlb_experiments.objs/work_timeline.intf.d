@@ -1,0 +1,1 @@
+lib/experiments/work_timeline.mli: Strategy

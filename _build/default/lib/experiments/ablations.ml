@@ -1,0 +1,234 @@
+let p ?(seed = 42) nodes tasks = { (Params.default ~nodes ~tasks) with Params.seed }
+
+let section ?trials title rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Harness.header title);
+  List.iter
+    (fun (label, params, strategy) ->
+      Buffer.add_string buf
+        (Harness.row ~label (Harness.aggregate ?trials params strategy)))
+    rows;
+  Buffer.contents buf
+
+let sybil_threshold ?trials ?(seed = 42) () =
+  let with_thr params t = { params with Params.sybil_threshold = t } in
+  let rows =
+    List.concat_map
+      (fun (nodes, tasks, note) ->
+        List.map
+          (fun thr ->
+            ( Printf.sprintf "RI %dn/%dt threshold=%d%s" nodes tasks thr note,
+              with_thr (p ~seed nodes tasks) thr,
+              Strategy.Random_injection ))
+          [ 0; 5; 10 ])
+      [
+        (1000, 100_000, " (paper: >=0.1 gain)");
+        (100, 10_000, " (paper: >=0.1 gain)");
+        (1000, 1_000_000, " (paper: no gain)");
+      ]
+  in
+  section ?trials "A1: sybilThreshold under Random Injection" rows
+
+let max_sybils ?trials ?(seed = 42) () =
+  let base = p ~seed 1000 100_000 in
+  let hetero =
+    {
+      base with
+      Params.heterogeneity = Params.Heterogeneous;
+      work = Params.Strength_per_tick;
+    }
+  in
+  let rows =
+    List.concat_map
+      (fun (label, params) ->
+        List.map
+          (fun m ->
+            ( Printf.sprintf "RI %s maxSybils=%d" label m,
+              { params with Params.max_sybils = m },
+              Strategy.Random_injection ))
+          [ 5; 10 ])
+      [ ("homogeneous 1000n/1e5t", base); ("heterogeneous 1000n/1e5t", hetero) ]
+  in
+  section ?trials "A2: maxSybils (paper: no homogeneous effect; hurts heterogeneous)"
+    rows
+
+let num_successors ?trials ?(seed = 42) () =
+  let rows =
+    List.map
+      (fun k ->
+        ( Printf.sprintf "neighbor 1000n/1e5t successors=%d" k,
+          { (p ~seed 1000 100_000) with Params.num_successors = k },
+          Strategy.Neighbor_injection ))
+      [ 5; 10 ]
+  in
+  section ?trials "A3: numSuccessors under Neighbor Injection (paper: ~0.3 gain)" rows
+
+let churn_with_injection ?trials ?(seed = 42) () =
+  let rows =
+    List.map
+      (fun rate ->
+        ( Printf.sprintf "RI 1000n/1e5t churn=%g" rate,
+          { (p ~seed 1000 100_000) with Params.churn_rate = rate },
+          Strategy.Random_injection ))
+      [ 0.0; 0.001; 0.01 ]
+    (* The paper never tested churn on Invitation (its footnote 4,
+       suspecting "the same effect as in the neighbor strategy");
+       measure it. *)
+    @ List.map
+        (fun rate ->
+          ( Printf.sprintf "invitation 1000n/1e5t churn=%g (fn. 4)" rate,
+            { (p ~seed 1000 100_000) with Params.churn_rate = rate },
+            Strategy.Invitation ))
+        [ 0.0; 0.01 ]
+  in
+  section ?trials "A4: ambient churn under Random Injection (paper: ~+0.06 at 0.01)"
+    rows
+
+let messages ?(seed = 42) () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Harness.header "A5: message accounting per strategy (one 1000n/1e5t run)");
+  List.iter
+    (fun strategy ->
+      let params =
+        Strategy.default_params strategy (p ~seed 1000 100_000)
+      in
+      let r = Engine.run params (Strategy.make strategy ()) in
+      Buffer.add_string buf
+        (Format.asprintf "  %-16s factor=%6.3f  %a\n" (Strategy.name strategy)
+           r.Engine.factor Messages.pp r.Engine.messages))
+    Strategy.all;
+  Buffer.contents buf
+
+let invitation_median_split ?trials ?(seed = 42) () =
+  let rows =
+    List.map
+      (fun (label, median) ->
+        ( "invitation 1000n/1e5t split=" ^ label,
+          { (p ~seed 1000 100_000) with Params.split_at_median = median },
+          Strategy.Invitation ))
+      [ ("arc-midpoint", false); ("median-key", true) ]
+  in
+  section ?trials "EXT: Invitation split point (extension)" rows
+
+let neighbor_avoid_repeats ?trials ?(seed = 42) () =
+  let rows =
+    List.map
+      (fun (label, avoid) ->
+        ( "neighbor 1000n/1e5t failed-arc-memory=" ^ label,
+          { (p ~seed 1000 100_000) with Params.avoid_repeats = avoid },
+          Strategy.Neighbor_injection ))
+      [ ("off", false); ("on", true) ]
+  in
+  section ?trials "EXT: Neighbor Injection failed-arc memory (paper IV-C refinement)"
+    rows
+
+let strength_aware ?trials ?(seed = 42) () =
+  let hetero nodes tasks =
+    {
+      (p ~seed nodes tasks) with
+      Params.heterogeneity = Params.Heterogeneous;
+      work = Params.Strength_per_tick;
+    }
+  in
+  let rows =
+    [
+      ( "random          homogeneous 1000n/1e5t",
+        p ~seed 1000 100_000,
+        Strategy.Random_injection );
+      ( "strength-aware  homogeneous 1000n/1e5t",
+        p ~seed 1000 100_000,
+        Strategy.Strength_aware_injection );
+      ( "random          hetero+strength 1000n/1e5t",
+        hetero 1000 100_000,
+        Strategy.Random_injection );
+      ( "strength-aware  hetero+strength 1000n/1e5t",
+        hetero 1000 100_000,
+        Strategy.Strength_aware_injection );
+    ]
+  in
+  section ?trials
+    "EXT: strength-aware injection (paper VII future work: weak nodes should      not steal from strong ones)"
+    rows
+
+let clustered_keys ?trials ?(seed = 42) () =
+  let clustered =
+    {
+      (p ~seed 1000 100_000) with
+      Params.keys = Params.Clustered { hotspots = 20; spread = 0.02; zipf_s = 1.1 };
+    }
+  in
+  let rows =
+    [
+      ("none    uniform-sha1 keys", p ~seed 1000 100_000, Strategy.No_strategy);
+      ("none    clustered/zipf keys", clustered, Strategy.No_strategy);
+      ("random  uniform-sha1 keys", p ~seed 1000 100_000, Strategy.Random_injection);
+      ("random  clustered/zipf keys", clustered, Strategy.Random_injection);
+    ]
+  in
+  section ?trials
+    "EXT: clustered (Zipfian) task keys (paper III: real workloads cluster)" rows
+
+let stagger ?trials ?(seed = 42) () =
+  let rows =
+    List.map
+      (fun (label, flag) ->
+        ( "random 1000n/1e5t decisions=" ^ label,
+          { (p ~seed 1000 100_000) with Params.stagger_decisions = flag },
+          Strategy.Random_injection ))
+      [ ("staggered", true); ("synchronized", false) ]
+  in
+  section ?trials "EXT: staggered vs synchronized decision phases" rows
+
+let failure_churn ?trials:_ ?(seed = 42) () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Harness.header
+       "EXT: graceful churn vs ungraceful failure at rate 0.01 (paper IV-A: \
+        dying is of minimal impact)");
+  List.iter
+    (fun (label, churn, fail) ->
+      let params =
+        {
+          (p ~seed 1000 100_000) with
+          Params.churn_rate = churn;
+          failure_rate = fail;
+        }
+      in
+      let r = Engine.run params Engine.no_strategy in
+      Buffer.add_string buf
+        (Format.asprintf "  %-32s factor=%6.3f  key_transfers=%d@\n" label
+           r.Engine.factor r.Engine.messages.Messages.key_transfers))
+    [
+      ("no churn (baseline)", 0.0, 0.0);
+      ("graceful churn 0.01", 0.01, 0.0);
+      ("ungraceful failures 0.01", 0.0, 0.01);
+    ];
+  Buffer.contents buf
+
+let static_vnodes ?trials ?(seed = 42) () =
+  let base = p ~seed 1000 100_000 in
+  let rows =
+    [
+      ("none (baseline)", base, Strategy.No_strategy);
+      ("static virtual servers (5/node)", base, Strategy.Static_virtual_nodes);
+      ("random injection (adaptive)", base, Strategy.Random_injection);
+    ]
+  in
+  section ?trials
+    "EXT: static virtual servers vs adaptive injection (1000n/1e5t)" rows
+
+let rejoin_identity ?trials ?(seed = 42) () =
+  let rows =
+    List.map
+      (fun (label, fresh) ->
+        ( "churn-0.01 1000n/1e5t rejoin-id=" ^ label,
+          {
+            (p ~seed 1000 100_000) with
+            Params.churn_rate = 0.01;
+            rejoin_fresh_id = fresh;
+          },
+          Strategy.Induced_churn ))
+      [ ("fresh", true); ("original", false) ]
+  in
+  section ?trials "EXT: churned nodes rejoin at fresh vs original id" rows

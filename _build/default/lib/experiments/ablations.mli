@@ -1,0 +1,58 @@
+(** Ablations over the paper's secondary variables (§VI-B.1, §VI-C) plus
+    the bandwidth accounting behind its messaging claims. *)
+
+val sybil_threshold : ?trials:int -> ?seed:int -> unit -> string
+(** A1: thresholds 0/5/10 under Random Injection; the paper saw a ≥0.1
+    improvement on ratio-100 networks, none on ratio-1000 ones. *)
+
+val max_sybils : ?trials:int -> ?seed:int -> unit -> string
+(** A2: maxSybils 5 vs 10, homogeneous and heterogeneous; the paper saw
+    no homogeneous effect but degradation in heterogeneous networks. *)
+
+val num_successors : ?trials:int -> ?seed:int -> unit -> string
+(** A3: successor-list length 5 vs 10 under Neighbor Injection (~0.3
+    improvement in the paper). *)
+
+val churn_with_injection : ?trials:int -> ?seed:int -> unit -> string
+(** A4: ambient churn 0 vs 0.01 under Random Injection (paper: ~+0.06,
+    i.e. churn no longer helps once injection is active). *)
+
+val messages : ?seed:int -> unit -> string
+(** A5: per-strategy message bills on one 1000n/1e5t run; the paper's
+    qualitative claims are: estimate-neighbor sends no workload queries,
+    invitation (reactive) sends fewer messages than the proactive
+    strategies, random injection generates the most churn-like joins. *)
+
+val invitation_median_split : ?trials:int -> ?seed:int -> unit -> string
+(** Extension: Invitation splitting at the inviter's median task key
+    instead of the arc midpoint. *)
+
+val neighbor_avoid_repeats : ?trials:int -> ?seed:int -> unit -> string
+(** Extension: Neighbor Injection with failed-arc memory (§IV-C's
+    suggested refinement). *)
+
+val rejoin_identity : ?trials:int -> ?seed:int -> unit -> string
+(** Extension: churned nodes rejoining at a fresh random id vs pinned to
+    their original id. *)
+
+val strength_aware : ?trials:int -> ?seed:int -> unit -> string
+(** Extension (paper §VII future work): strength-aware injection vs
+    plain Random Injection on homogeneous and heterogeneous
+    strength-per-tick networks. *)
+
+val clustered_keys : ?trials:int -> ?seed:int -> unit -> string
+(** Extension: the §III "Zipfian" workload shape — task keys clustered
+    around popular hotspots — under no strategy vs Random Injection. *)
+
+val stagger : ?trials:int -> ?seed:int -> unit -> string
+(** Interpretation check: per-node staggered decision phases (default)
+    vs globally synchronized decision rounds. *)
+
+val failure_churn : ?trials:int -> ?seed:int -> unit -> string
+(** §IV-A's claim that "a node suddenly dying is of minimal impact":
+    graceful churn vs ungraceful failures at the same rate — identical
+    balancing effect, extra recovery traffic. *)
+
+val static_vnodes : ?trials:int -> ?seed:int -> unit -> string
+(** Baseline: classic static virtual servers vs the adaptive strategies —
+    how much of the gain is adaptivity rather than extra vnodes. *)

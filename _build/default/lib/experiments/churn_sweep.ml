@@ -1,0 +1,65 @@
+type cell = {
+  churn_rate : float;
+  nodes : int;
+  tasks : int;
+  aggregate : Runner.aggregate;
+}
+
+let rates = [ 0.0; 0.0001; 0.001; 0.01 ]
+
+let configs =
+  [
+    (1000, 100_000);
+    (1000, 1_000_000);
+    (100, 10_000);
+    (100, 100_000);
+    (100, 1_000_000);
+  ]
+
+let run ?(trials = 3) ?(seed = 42) ?(rates = rates) ?(configs = configs) () =
+  List.concat_map
+    (fun churn_rate ->
+      List.map
+        (fun (nodes, tasks) ->
+          let params =
+            { (Params.default ~nodes ~tasks) with
+              Params.churn_rate;
+              seed;
+            }
+          in
+          let aggregate =
+            Runner.run_trials ~trials params (Strategy.make Strategy.Induced_churn)
+          in
+          { churn_rate; nodes; tasks; aggregate })
+        configs)
+    rates
+
+let print_table cells =
+  let buf = Buffer.create 1024 in
+  let configs =
+    List.sort_uniq compare (List.map (fun c -> (c.nodes, c.tasks)) cells)
+  in
+  let rates = List.sort_uniq compare (List.map (fun c -> c.churn_rate) cells) in
+  Buffer.add_string buf (Printf.sprintf "%-8s" "Churn");
+  List.iter
+    (fun (n, t) -> Buffer.add_string buf (Printf.sprintf " | %5dn/%.0e" n (float_of_int t)))
+    configs;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun rate ->
+      Buffer.add_string buf (Printf.sprintf "%-8g" rate);
+      List.iter
+        (fun (n, t) ->
+          match
+            List.find_opt
+              (fun c -> c.churn_rate = rate && c.nodes = n && c.tasks = t)
+              cells
+          with
+          | Some c ->
+            Buffer.add_string buf
+              (Printf.sprintf " | %11.3f" c.aggregate.Runner.mean_factor)
+          | None -> Buffer.add_string buf (Printf.sprintf " | %11s" "-"))
+        configs;
+      Buffer.add_char buf '\n')
+    rates;
+  Buffer.contents buf

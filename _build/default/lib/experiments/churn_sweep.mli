@@ -1,0 +1,23 @@
+(** Table II: runtime factor of the Induced Churn strategy across churn
+    rates and network shapes. *)
+
+type cell = {
+  churn_rate : float;
+  nodes : int;
+  tasks : int;
+  aggregate : Runner.aggregate;
+}
+
+val rates : float list
+(** The paper's rates: 0, 0.0001, 0.001, 0.01. *)
+
+val configs : (int * int) list
+(** The paper's five (nodes, tasks) columns. *)
+
+val run :
+  ?trials:int -> ?seed:int -> ?rates:float list -> ?configs:(int * int) list ->
+  unit -> cell list
+
+val print_table : cell list -> string
+(** Rows = churn rates, columns = network configurations — Table II's
+    layout. *)

@@ -1,0 +1,168 @@
+let f = Printf.sprintf "%.6f"
+
+let table1_csv rows =
+  Csv_out.table
+    ~header:[ "nodes"; "tasks"; "median_workload"; "sigma" ]
+    (List.map
+       (fun (r : Initial_distribution.table1_row) ->
+         [
+           string_of_int r.Initial_distribution.nodes;
+           string_of_int r.Initial_distribution.tasks;
+           f r.Initial_distribution.median_workload;
+           f r.Initial_distribution.sigma;
+         ])
+       rows)
+
+let churn_sweep_csv cells =
+  Csv_out.table
+    ~header:
+      [ "churn_rate"; "nodes"; "tasks"; "mean_factor"; "stddev_factor"; "trials" ]
+    (List.map
+       (fun (c : Churn_sweep.cell) ->
+         [
+           f c.Churn_sweep.churn_rate;
+           string_of_int c.Churn_sweep.nodes;
+           string_of_int c.Churn_sweep.tasks;
+           f c.Churn_sweep.aggregate.Runner.mean_factor;
+           f c.Churn_sweep.aggregate.Runner.stddev_factor;
+           string_of_int c.Churn_sweep.aggregate.Runner.trials;
+         ])
+       cells)
+
+let lookup_hops_csv rows =
+  Csv_out.table
+    ~header:[ "nodes"; "lookups"; "mean_hops"; "p99_hops"; "expected" ]
+    (List.map
+       (fun (r : Lookup_hops.row) ->
+         [
+           string_of_int r.Lookup_hops.nodes;
+           string_of_int r.Lookup_hops.lookups;
+           f r.Lookup_hops.mean_hops;
+           f r.Lookup_hops.p99_hops;
+           f r.Lookup_hops.expected;
+         ])
+       rows)
+
+let maintenance_csv rows =
+  Csv_out.table
+    ~header:
+      [
+        "churn_rate";
+        "rounds";
+        "messages_per_node_round";
+        "finger_messages_per_node_round";
+        "mean_stale_heads";
+        "final_consistent";
+        "final_finger_accuracy";
+      ]
+    (List.map
+       (fun (r : Maintenance.row) ->
+         [
+           f r.Maintenance.churn_rate;
+           string_of_int r.Maintenance.rounds;
+           f r.Maintenance.messages_per_node_round;
+           f r.Maintenance.finger_messages_per_node_round;
+           f r.Maintenance.mean_stale_heads;
+           string_of_bool r.Maintenance.final_consistent;
+           f r.Maintenance.final_finger_accuracy;
+         ])
+       rows)
+
+let failure_recovery_csv rows =
+  Csv_out.table
+    ~header:[ "fail_fraction"; "replicas"; "measured_loss_rate"; "expected_loss_rate" ]
+    (List.map
+       (fun (r : Failure_recovery.row) ->
+         [
+           f r.Failure_recovery.fail_fraction;
+           string_of_int r.Failure_recovery.replicas;
+           f r.Failure_recovery.measured_loss_rate;
+           f r.Failure_recovery.expected_loss_rate;
+         ])
+       rows)
+
+let work_timeline_csv series =
+  let header =
+    "tick"
+    :: List.map
+         (fun (s : Work_timeline.series) -> Strategy.name s.Work_timeline.strategy)
+         series
+  in
+  let window =
+    List.fold_left
+      (fun acc (s : Work_timeline.series) ->
+        max acc (Array.length s.Work_timeline.work_per_tick))
+      0 series
+  in
+  let rows =
+    List.init window (fun tick ->
+        string_of_int tick
+        :: List.map
+             (fun (s : Work_timeline.series) ->
+               if tick < Array.length s.Work_timeline.work_per_tick then
+                 string_of_int s.Work_timeline.work_per_tick.(tick)
+               else "")
+             series)
+  in
+  Csv_out.table ~header rows
+
+let trace_csv trace =
+  Csv_out.table
+    ~header:[ "tick"; "work_done"; "remaining"; "active_nodes"; "vnodes" ]
+    (Array.to_list
+       (Array.map
+          (fun (p : Trace.point) ->
+            [
+              string_of_int p.Trace.tick;
+              string_of_int p.Trace.work_done;
+              string_of_int p.Trace.remaining;
+              string_of_int p.Trace.active_nodes;
+              string_of_int p.Trace.vnodes;
+            ])
+          (Trace.points trace)))
+
+let messages_json (m : Messages.t) =
+  Json_out.Obj
+    [
+      ("joins", Json_out.Int m.Messages.joins);
+      ("leaves", Json_out.Int m.Messages.leaves);
+      ("key_transfers", Json_out.Int m.Messages.key_transfers);
+      ("workload_queries", Json_out.Int m.Messages.workload_queries);
+      ("invitations", Json_out.Int m.Messages.invitations);
+      ("lookup_hops", Json_out.Int m.Messages.lookup_hops);
+      ("maintenance", Json_out.Int m.Messages.maintenance);
+      ("total", Json_out.Int (Messages.total m));
+    ]
+
+let result_json (r : Engine.result) =
+  let outcome, ticks =
+    match r.Engine.outcome with
+    | Engine.Finished t -> ("finished", t)
+    | Engine.Aborted t -> ("aborted", t)
+  in
+  Json_out.Obj
+    [
+      ("outcome", Json_out.String outcome);
+      ("ticks", Json_out.Int ticks);
+      ("ideal", Json_out.Int r.Engine.ideal);
+      ("factor", Json_out.Float r.Engine.factor);
+      ("work_per_tick", Json_out.Float r.Engine.work_per_tick);
+      ("final_vnodes", Json_out.Int r.Engine.final_vnodes);
+      ("final_active", Json_out.Int r.Engine.final_active);
+      ("messages", messages_json r.Engine.messages);
+    ]
+
+let aggregate_json ~label (a : Runner.aggregate) =
+  Json_out.Obj
+    [
+      ("label", Json_out.String label);
+      ("trials", Json_out.Int a.Runner.trials);
+      ("mean_factor", Json_out.Float a.Runner.mean_factor);
+      ("stddev_factor", Json_out.Float a.Runner.stddev_factor);
+      ("min_factor", Json_out.Float a.Runner.min_factor);
+      ("max_factor", Json_out.Float a.Runner.max_factor);
+      ("mean_ticks", Json_out.Float a.Runner.mean_ticks);
+      ("mean_ideal", Json_out.Float a.Runner.mean_ideal);
+      ("aborted", Json_out.Int a.Runner.aborted);
+      ("mean_messages", Json_out.Float a.Runner.mean_messages);
+    ]

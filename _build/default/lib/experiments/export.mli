@@ -1,0 +1,18 @@
+(** Machine-readable exports of experiment results (CSV / JSON). *)
+
+val table1_csv : Initial_distribution.table1_row list -> string
+val churn_sweep_csv : Churn_sweep.cell list -> string
+val lookup_hops_csv : Lookup_hops.row list -> string
+val maintenance_csv : Maintenance.row list -> string
+val failure_recovery_csv : Failure_recovery.row list -> string
+val work_timeline_csv : Work_timeline.series list -> string
+
+val trace_csv : Trace.t -> string
+(** Per-tick series of one run: tick, work done, remaining, active
+    machines, vnodes. *)
+
+val result_json : Engine.result -> Json_out.t
+(** One simulation result as a JSON object (outcome, factor, messages,
+    work-per-tick mean; traces are exported separately as CSV). *)
+
+val aggregate_json : label:string -> Runner.aggregate -> Json_out.t

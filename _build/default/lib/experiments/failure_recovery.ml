@@ -1,0 +1,44 @@
+type row = {
+  fail_fraction : float;
+  replicas : int;
+  measured_loss_rate : float;
+  expected_loss_rate : float;
+}
+
+let run ?(seed = 42) ?(nodes = 1000) ?(keys = 50_000) ?(trials = 3)
+    ?(fractions = [ 0.1; 0.25; 0.5 ]) ?(replica_counts = [ 0; 1; 2; 5; 10 ]) () =
+  List.concat_map
+    (fun fail_fraction ->
+      List.map
+        (fun replicas ->
+          let rates =
+            Array.init trials (fun t ->
+                let rng = Prng.create (seed + t) in
+                let o =
+                  Replication.simulate rng ~nodes ~keys ~replicas ~fail_fraction
+                in
+                float_of_int o.Replication.lost_keys
+                /. float_of_int o.Replication.total_keys)
+          in
+          {
+            fail_fraction;
+            replicas;
+            measured_loss_rate = Descriptive.mean rates;
+            expected_loss_rate =
+              Replication.expected_loss_rate ~fail_fraction ~replicas;
+          })
+        replica_counts)
+    fractions
+
+let print_table rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-8s %9s %15s %15s\n" "fail" "replicas" "measured loss"
+       "expected f^r+1");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-8g %9d %15.6f %15.6f\n" r.fail_fraction r.replicas
+           r.measured_loss_rate r.expected_loss_rate))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Key survivability under catastrophic simultaneous failure.
+
+    Backs the paper's §IV-A/§V assumption that successor-list
+    replication makes node loss harmless: measured key-loss rates versus
+    the analytic [f^(r+1)] for failure fractions up to half the network,
+    at the paper's successor-list lengths (5 and 10) and below. *)
+
+type row = {
+  fail_fraction : float;
+  replicas : int;
+  measured_loss_rate : float;
+  expected_loss_rate : float;
+}
+
+val run :
+  ?seed:int -> ?nodes:int -> ?keys:int -> ?trials:int ->
+  ?fractions:float list -> ?replica_counts:int list -> unit -> row list
+
+val print_table : row list -> string

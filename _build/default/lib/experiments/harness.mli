@@ -1,0 +1,12 @@
+(** Shared helpers for experiment tables. *)
+
+val aggregate :
+  ?trials:int -> Params.t -> Strategy.t -> Runner.aggregate
+(** Multi-trial run of one (parameters, strategy) cell. *)
+
+val row :
+  label:string -> Runner.aggregate -> string
+(** One formatted table row: label, mean±sd factor, range, abort count. *)
+
+val header : string -> string
+(** Section header with an underline. *)

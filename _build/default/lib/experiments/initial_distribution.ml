@@ -1,0 +1,116 @@
+let workloads rng ~nodes ~tasks =
+  let node_ids = Keygen.node_ids rng nodes in
+  Array.sort Id.compare node_ids;
+  let counts = Array.make nodes 0 in
+  (* Owner of a key = first node id >= key (wrapping to index 0), found by
+     binary search over the sorted node ids. *)
+  let owner key =
+    let lo = ref 0 and hi = ref nodes in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Id.compare node_ids.(mid) key >= 0 then hi := mid else lo := mid + 1
+    done;
+    if !lo = nodes then 0 else !lo
+  in
+  for _ = 1 to tasks do
+    let key = Keygen.fresh rng in
+    let i = owner key in
+    counts.(i) <- counts.(i) + 1
+  done;
+  counts
+
+let table1_configs =
+  [
+    (1000, 100_000);
+    (1000, 500_000);
+    (1000, 1_000_000);
+    (5000, 100_000);
+    (5000, 500_000);
+    (5000, 1_000_000);
+    (10000, 100_000);
+    (10000, 500_000);
+    (10000, 1_000_000);
+  ]
+
+type table1_row = {
+  nodes : int;
+  tasks : int;
+  median_workload : float;
+  sigma : float;
+}
+
+let table1 ?(trials = 3) ?(seed = 42) () =
+  List.map
+    (fun (nodes, tasks) ->
+      let medians = Array.make trials 0.0 and sigmas = Array.make trials 0.0 in
+      for t = 0 to trials - 1 do
+        let rng = Prng.create (seed + t) in
+        let w = workloads rng ~nodes ~tasks in
+        medians.(t) <- Descriptive.median_int w;
+        sigmas.(t) <- Descriptive.stddev_int w
+      done;
+      {
+        nodes;
+        tasks;
+        median_workload = Descriptive.mean medians;
+        sigma = Descriptive.mean sigmas;
+      })
+    table1_configs
+
+let print_table1 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%8s %9s %16s %10s\n" "Nodes" "Tasks" "Median Workload" "sigma");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%8d %9d %16.3f %10.3f\n" r.nodes r.tasks
+           r.median_workload r.sigma))
+    rows;
+  Buffer.contents buf
+
+let figure1 ?(seed = 42) ?(nodes = 1000) ?(tasks = 1_000_000) () =
+  let rng = Prng.create seed in
+  let w = workloads rng ~nodes ~tasks in
+  let hist = Histogram.log10 w in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Probability distribution of workload (%d nodes, %d tasks)\n" nodes tasks);
+  Buffer.add_string buf
+    (Printf.sprintf "median=%.1f mean=%.1f stddev=%.1f max=%d\n"
+       (Descriptive.median_int w) (Descriptive.mean_int w)
+       (Descriptive.stddev_int w)
+       (Array.fold_left max 0 w));
+  Array.iter
+    (fun (mid, p) ->
+      if p > 0.0 then
+        Buffer.add_string buf (Printf.sprintf "  workload~%-9.0f p=%.4f\n" mid p))
+    (Histogram.probability hist);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Histogram.render hist);
+  Buffer.contents buf
+
+let circle_figure ~title ~node_ids ~task_keys =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (Circle.render_ascii ~nodes:node_ids ~tasks:task_keys ());
+  Buffer.add_string buf "\nCoordinates (x = sin(2pi id/2^160), y = cos(...)):\n";
+  Buffer.add_string buf (Circle.to_csv ~nodes:node_ids ~tasks:task_keys);
+  Buffer.contents buf
+
+let figure2 ?(seed = 42) () =
+  let rng = Prng.create seed in
+  let node_ids = Keygen.node_ids rng 10 in
+  let task_keys = Keygen.task_keys rng 100 in
+  circle_figure ~title:"Figure 2: 10 SHA-1 nodes (N), 100 tasks (+)" ~node_ids
+    ~task_keys
+
+let figure3 ?(seed = 42) () =
+  let rng = Prng.create seed in
+  (* Discard the node draw so the tasks match Figure 2's workload. *)
+  let _ = Keygen.node_ids rng 10 in
+  let task_keys = Keygen.task_keys rng 100 in
+  let node_ids = Keygen.even_ids 10 in
+  circle_figure ~title:"Figure 3: 10 evenly spaced nodes (N), 100 tasks (+)"
+    ~node_ids ~task_keys

@@ -1,0 +1,30 @@
+(** Static key-distribution experiments: Table I and Figures 1–3.
+
+    These need no simulation: they distribute SHA-1 task keys over SHA-1
+    node ids and measure the resulting workloads, demonstrating the
+    paper's §III point that hashed placement is far from uniform. *)
+
+val workloads : Prng.t -> nodes:int -> tasks:int -> int array
+(** Tasks per node after hashing [tasks] keys onto [nodes] ring members. *)
+
+type table1_row = {
+  nodes : int;
+  tasks : int;
+  median_workload : float;  (** mean over trials of the per-trial median *)
+  sigma : float;  (** mean over trials of the per-trial stddev *)
+}
+
+val table1 : ?trials:int -> ?seed:int -> unit -> table1_row list
+(** The paper's nine (nodes × tasks) configurations. *)
+
+val print_table1 : table1_row list -> string
+
+val figure1 : ?seed:int -> ?nodes:int -> ?tasks:int -> unit -> string
+(** Log-binned probability distribution of workload (default 1000 nodes,
+    10^6 tasks), as a printable series plus ASCII chart. *)
+
+val figure2 : ?seed:int -> unit -> string
+(** 10 hashed nodes, 100 hashed tasks on the unit circle. *)
+
+val figure3 : ?seed:int -> unit -> string
+(** Same tasks, but 10 evenly spaced nodes. *)

@@ -1,0 +1,19 @@
+(** Routing cost scaling — the Chord guarantee the strategies ride on.
+
+    Every Sybil injection is a join, and a join costs one lookup.  This
+    experiment validates that the finger-table substrate delivers
+    Chord's O(log N) promise: mean hops ≈ log2(N)/2 across network
+    sizes, which is also the per-join message charge used by the
+    simulator. *)
+
+type row = {
+  nodes : int;
+  lookups : int;
+  mean_hops : float;
+  p99_hops : float;
+  expected : float;  (** log2(nodes)/2 *)
+}
+
+val run : ?seed:int -> ?sizes:int list -> ?lookups:int -> unit -> row list
+
+val print_table : row list -> string

@@ -1,0 +1,66 @@
+type row = {
+  churn_rate : float;
+  rounds : int;
+  messages_per_node_round : float;
+  finger_messages_per_node_round : float;
+  mean_stale_heads : float;
+  final_consistent : bool;
+  final_finger_accuracy : float;
+}
+
+let run ?(seed = 42) ?(nodes = 500) ?(rounds = 60) ?(rates = [ 0.0; 0.0001; 0.001; 0.01; 0.05 ]) () =
+  List.map
+    (fun churn_rate ->
+      let rng = Prng.create seed in
+      let ids = Array.to_list (Keygen.node_ids rng nodes) in
+      let net = Stabilizer.bootstrap ~succ_list_len:5 ids in
+      let messages = ref 0 and finger_messages = ref 0 and stale = ref 0 in
+      for _ = 1 to rounds do
+        (* churn: each live member leaves with p, an equal-sized pool of
+           newcomers join with p — mirroring the simulator's model *)
+        List.iter
+          (fun id -> if Prng.bernoulli rng churn_rate then Stabilizer.fail net id)
+          (Stabilizer.members net);
+        for _ = 1 to nodes do
+          if Prng.bernoulli rng churn_rate then
+            Stabilizer.join net (Keygen.fresh rng)
+        done;
+        messages := !messages + Stabilizer.stabilize_round net;
+        finger_messages :=
+          !finger_messages + Stabilizer.fix_fingers_round ~batch:1 net;
+        stale := !stale + Stabilizer.max_staleness net
+      done;
+      (* grace rounds with no churn: views must reconverge *)
+      let grace = 8 in
+      for _ = 1 to grace do
+        ignore (Stabilizer.stabilize_round net);
+        ignore (Stabilizer.fix_fingers_round ~batch:40 net)
+      done;
+      {
+        churn_rate;
+        rounds;
+        messages_per_node_round =
+          float_of_int !messages /. float_of_int (rounds * nodes);
+        finger_messages_per_node_round =
+          float_of_int !finger_messages /. float_of_int (rounds * nodes);
+        mean_stale_heads = float_of_int !stale /. float_of_int rounds;
+        final_consistent = Stabilizer.is_consistent net;
+        final_finger_accuracy = Stabilizer.finger_accuracy net;
+      })
+    rates
+
+let print_table rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %10s %18s %16s %14s %12s %14s\n" "churn" "rounds"
+       "msgs/node/round" "finger msgs/n/r" "stale heads" "reconverged"
+       "finger acc");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-10g %10d %18.2f %16.2f %14.2f %12b %14.3f\n"
+           r.churn_rate r.rounds r.messages_per_node_round
+           r.finger_messages_per_node_round r.mean_stale_heads
+           r.final_consistent r.final_finger_accuracy))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Maintenance cost of churn (paper §VI-A, footnote 2).
+
+    The paper notes its simulation does not capture "the rising
+    maintenance costs" of higher churn and that beyond some rate churn
+    becomes "prohibitively expensive".  Running the real stabilization
+    protocol ({!Stabilizer}) under churn measures exactly that: messages
+    per node per round, and how far views lag behind the membership. *)
+
+type row = {
+  churn_rate : float;
+  rounds : int;
+  messages_per_node_round : float;
+      (** stabilize/notify + ping traffic per node per round *)
+  finger_messages_per_node_round : float;
+      (** fix_fingers traffic (1 finger per node per round) *)
+  mean_stale_heads : float;  (** avg nodes with a wrong first successor *)
+  final_consistent : bool;  (** converged after churn stopped + grace *)
+  final_finger_accuracy : float;  (** fraction of correct fingers at end *)
+}
+
+val run :
+  ?seed:int -> ?nodes:int -> ?rounds:int -> ?rates:float list -> unit ->
+  row list
+(** Default: 500 nodes, 60 churn rounds per rate, the paper's churn
+    rates (plus 0.05 to show the blow-up), 8 grace rounds at the end. *)
+
+val print_table : row list -> string

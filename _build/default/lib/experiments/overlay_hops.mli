@@ -1,0 +1,20 @@
+(** Routing cost across the three classic overlays.
+
+    The paper's setting spans BitTorrent (Kademlia, their ref [16]),
+    Chord (their substrate) and Symphony (§II's P2P MapReduce host).
+    The balancing strategies only assume ring ownership plus neighbor
+    lists, so any of these overlays could carry them; this experiment
+    compares what a join's lookup costs on each. *)
+
+type row = {
+  overlay : string;
+  nodes : int;
+  mean_hops : float;
+  expected : float;
+}
+
+val run : ?seed:int -> ?sizes:int list -> ?lookups:int -> unit -> row list
+(** Chord (finger tables), Symphony (k = 4 long links) and Kademlia
+    (k-buckets, k = 8) at each size. *)
+
+val print_table : row list -> string

@@ -1,0 +1,29 @@
+(** Figures 4–14: workload-distribution histograms of two networks with
+    identical initial configurations, snapshotted at the beginning of a
+    given tick.
+
+    "Identical starting configuration" is literal: both arms are built
+    from the same seed, so node ids and task keys coincide and only the
+    strategy differs — exactly the paper's paired comparisons. *)
+
+type arm = { label : string; params : Params.t; strategy : Strategy.t }
+
+type spec = {
+  fig : int;
+  title : string;
+  arms : arm list;
+  at_tick : int;
+}
+
+val specs : ?seed:int -> unit -> spec list
+(** Specifications for Figures 4 through 14. *)
+
+val series_of_spec : spec -> Figure.series list
+(** Simulate every arm and return the per-arm workload snapshots (empty
+    workloads for arms that finished before the snapshot tick). *)
+
+val run_spec : spec -> string
+(** Simulate every arm and print the overlaid histogram table. *)
+
+val figure : ?seed:int -> int -> (string, string) result
+(** [figure n] renders Figure [n]; [Error] for unknown numbers. *)

@@ -1,0 +1,33 @@
+let is_full () =
+  match Sys.getenv_opt "DHTLB_SCALE" with
+  | Some s -> String.lowercase_ascii s = "full"
+  | None -> false
+
+let trials () =
+  match Sys.getenv_opt "DHTLB_TRIALS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> invalid_arg "DHTLB_TRIALS must be a positive integer")
+  | None -> if is_full () then 100 else 3
+
+let seed () =
+  match Sys.getenv_opt "DHTLB_SEED" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> invalid_arg "DHTLB_SEED must be an integer")
+  | None -> 42
+
+let domains () =
+  match Sys.getenv_opt "DHTLB_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> invalid_arg "DHTLB_DOMAINS must be a positive integer")
+  | None -> 1
+
+let describe () =
+  Printf.sprintf "scale=%s trials=%d seed=%d domains=%d"
+    (if is_full () then "full" else "quick")
+    (trials ()) (seed ()) (domains ())

@@ -1,0 +1,24 @@
+(** Experiment scaling knobs.
+
+    Paper scale (100 trials, tasks up to 10^6) takes tens of minutes; the
+    default "quick" scale preserves every network size but runs fewer
+    trials so the whole suite finishes in minutes.  Control via
+    environment:
+
+    - [DHTLB_SCALE=full] — 100 trials everywhere (paper scale);
+    - [DHTLB_TRIALS=n] — exact trial count override;
+    - [DHTLB_SEED=n] — base seed (default 42);
+    - [DHTLB_DOMAINS=n] — run trials on [n] OCaml domains in parallel
+      (default: 1, sequential). *)
+
+val trials : unit -> int
+(** Trials per experiment cell (default 3; [full] = 100). *)
+
+val seed : unit -> int
+
+val domains : unit -> int
+
+val is_full : unit -> bool
+
+val describe : unit -> string
+(** One line suitable for experiment headers. *)

@@ -1,0 +1,86 @@
+let p ?(seed = 42) nodes tasks = { (Params.default ~nodes ~tasks) with Params.seed }
+
+let random_injection ?trials ?(seed = 42) () =
+  let buf = Buffer.create 2048 in
+  let emit label params strategy =
+    Buffer.add_string buf (Harness.row ~label (Harness.aggregate ?trials params strategy))
+  in
+  Buffer.add_string buf
+    (Harness.header "S-RI: Random Injection runtime factors (paper VI-B)");
+  emit "RI 1000n/1e5t (paper: 1.36..1.70)" (p ~seed 1000 100_000)
+    Strategy.Random_injection;
+  emit "RI 1000n/1e6t (paper: 1.12..1.25)" (p ~seed 1000 1_000_000)
+    Strategy.Random_injection;
+  Buffer.add_string buf "  -- same tasks-per-node ratio (1000/node), sizes compared:\n";
+  emit "RI  100n/1e5t (smaller net, ~0.086 faster)" (p ~seed 100 100_000)
+    Strategy.Random_injection;
+  emit "RI 1000n/1e6t (larger net)" (p ~seed 1000 1_000_000)
+    Strategy.Random_injection;
+  Buffer.add_string buf "  -- heterogeneous networks (strength-per-tick work):\n";
+  let hetero nodes tasks =
+    {
+      (p ~seed nodes tasks) with
+      Params.heterogeneity = Params.Heterogeneous;
+      work = Params.Strength_per_tick;
+    }
+  in
+  emit "RI hetero 1000n/1e6t (1000/node; paper worst 1.955)"
+    (hetero 1000 1_000_000) Strategy.Random_injection;
+  emit "RI hetero 1000n/1e5t (100/node; paper worst 4.052)"
+    (hetero 1000 100_000) Strategy.Random_injection;
+  Buffer.contents buf
+
+let neighbor_injection ?trials ?(seed = 42) () =
+  let buf = Buffer.create 2048 in
+  let emit label params strategy =
+    Buffer.add_string buf (Harness.row ~label (Harness.aggregate ?trials params strategy))
+  in
+  Buffer.add_string buf
+    (Harness.header "S-NI: Neighbor Injection runtime factors (paper VI-C)");
+  emit "none     1000n/1e5t (paper: 7.476)" (p ~seed 1000 100_000)
+    Strategy.No_strategy;
+  emit "neighbor 1000n/1e5t (paper: 5.033)" (p ~seed 1000 100_000)
+    Strategy.Neighbor_injection;
+  emit "none      100n/1e4t (paper: 5.043)" (p ~seed 100 10_000)
+    Strategy.No_strategy;
+  emit "neighbor  100n/1e4t (paper: 3.006)" (p ~seed 100 10_000)
+    Strategy.Neighbor_injection;
+  Buffer.add_string buf "  -- smart variant (paper: ~1.2 better on average):\n";
+  emit "smart    1000n/1e5t" (p ~seed 1000 100_000)
+    Strategy.Smart_neighbor_injection;
+  emit "smart     100n/1e4t" (p ~seed 100 10_000)
+    Strategy.Smart_neighbor_injection;
+  Buffer.add_string buf
+    "  -- heterogeneous strength-per-tick (paper: worse than homogeneous):\n";
+  let hetero =
+    {
+      (p ~seed 1000 100_000) with
+      Params.heterogeneity = Params.Heterogeneous;
+      work = Params.Strength_per_tick;
+    }
+  in
+  emit "neighbor hetero 1000n/1e5t" hetero Strategy.Neighbor_injection;
+  emit "smart    hetero 1000n/1e5t" hetero Strategy.Smart_neighbor_injection;
+  Buffer.contents buf
+
+let invitation ?trials ?(seed = 42) () =
+  let buf = Buffer.create 2048 in
+  let emit label params strategy =
+    Buffer.add_string buf (Harness.row ~label (Harness.aggregate ?trials params strategy))
+  in
+  Buffer.add_string buf
+    (Harness.header "S-INV: Invitation runtime factors (paper VI-D)");
+  emit "invitation  100n/1e5t (paper: 3.749)" (p ~seed 100 100_000)
+    Strategy.Invitation;
+  emit "invitation 1000n/1e5t (paper: 5.673)" (p ~seed 1000 100_000)
+    Strategy.Invitation;
+  let hetero =
+    {
+      (p ~seed 1000 100_000) with
+      Params.heterogeneity = Params.Heterogeneous;
+      work = Params.Strength_per_tick;
+    }
+  in
+  emit "invitation hetero strength-work 1000n/1e5t (paper: 6.097)" hetero
+    Strategy.Invitation;
+  Buffer.contents buf

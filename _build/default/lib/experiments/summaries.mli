@@ -1,0 +1,19 @@
+(** §VI prose results: the runtime-factor summaries for Random Injection
+    (VI-B), Neighbor Injection (VI-C) and Invitation (VI-D).
+
+    Each function prints the measured numbers next to the paper's claims
+    so EXPERIMENTS.md can be filled by reading the output. *)
+
+val random_injection : ?trials:int -> ?seed:int -> unit -> string
+(** RI on 1000/1e5 and 1000/1e6 (paper: factors within [1.36, 1.7] and
+    [1.12, 1.25]); same-tasks-per-node size comparison; heterogeneous
+    ratio-100 vs ratio-1000 behaviour. *)
+
+val neighbor_injection : ?trials:int -> ?seed:int -> unit -> string
+(** NI base factors on 1000/1e5 and 100/1e4 (paper: 5.033 and 3.006,
+    i.e. ~2 below no-strategy), the smart-variant improvement (~1.2),
+    and the heterogeneous strength-work degradation. *)
+
+val invitation : ?trials:int -> ?seed:int -> unit -> string
+(** Invitation base factors on 100/1e5 (paper 3.749) and 1000/1e5
+    (paper 5.673), plus the heterogeneous strength-work case (6.097). *)

@@ -1,0 +1,17 @@
+(** Work completed per tick — the paper's "average work per tick" output
+    (§V-C) over the detailed early window (§V-C: "the first 50 ticks").
+
+    Identical starting networks, one per strategy; prints tasks finished
+    per tick side by side so the balancing dynamics are visible: the
+    baseline's throughput collapses as nodes idle, the strategies hold it
+    near the network capacity. *)
+
+type series = { strategy : Strategy.t; work_per_tick : int array }
+
+val run :
+  ?seed:int -> ?nodes:int -> ?tasks:int -> ?window:int ->
+  ?strategies:Strategy.t list -> unit -> series list
+
+val print_table : series list -> string
+
+val mean_over_window : series -> float

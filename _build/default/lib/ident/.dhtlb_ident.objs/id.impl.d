@@ -1,0 +1,1 @@
+lib/ident/id.ml: Buffer Bytes Char Float Format Hashtbl Printf String

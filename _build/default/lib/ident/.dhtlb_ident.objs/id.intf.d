@@ -1,0 +1,1 @@
+lib/ident/id.mli: Format

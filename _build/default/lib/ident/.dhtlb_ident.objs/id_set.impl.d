@@ -1,0 +1,1 @@
+lib/ident/id_set.ml: Id Interval Ordset

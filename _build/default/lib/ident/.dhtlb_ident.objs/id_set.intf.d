@@ -1,0 +1,1 @@
+lib/ident/id_set.mli: Id Interval Ordset

@@ -1,0 +1,1 @@
+lib/ident/interval.ml: Float Format Id

@@ -1,0 +1,1 @@
+lib/ident/interval.mli: Format Id

@@ -1,0 +1,1 @@
+lib/ident/ordset.mli:

@@ -1,0 +1,167 @@
+type t = string
+
+let bits = 160
+let bytes_len = 20
+
+let zero = String.make bytes_len '\x00'
+let max_id = String.make bytes_len '\xff'
+
+let of_raw_string s =
+  if String.length s <> bytes_len then
+    invalid_arg "Id.of_raw_string: expected 20 bytes";
+  s
+
+let to_raw_string t = t
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Id.of_hex: not a hex digit"
+
+let of_hex s =
+  if String.length s <> 2 * bytes_len then
+    invalid_arg "Id.of_hex: expected 40 hex characters";
+  String.init bytes_len (fun i ->
+      Char.chr ((hex_digit s.[2 * i] lsl 4) lor hex_digit s.[(2 * i) + 1]))
+
+let to_hex t =
+  let b = Buffer.create (2 * bytes_len) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) t;
+  Buffer.contents b
+
+let of_int n =
+  if n < 0 then invalid_arg "Id.of_int: negative";
+  let b = Bytes.make bytes_len '\x00' in
+  let rec fill i n =
+    if n > 0 && i >= 0 then begin
+      Bytes.set b i (Char.chr (n land 0xff));
+      fill (i - 1) (n lsr 8)
+    end
+  in
+  fill (bytes_len - 1) n;
+  Bytes.unsafe_to_string b
+
+let compare = String.compare
+let equal = String.equal
+let hash = Hashtbl.hash
+
+let pp ppf t = Format.fprintf ppf "%s.." (String.sub (to_hex t) 0 8)
+let pp_full ppf t = Format.pp_print_string ppf (to_hex t)
+
+(* Arithmetic works byte-wise, least-significant byte last, with an
+   explicit carry/borrow. *)
+
+let add a b =
+  let r = Bytes.create bytes_len in
+  let carry = ref 0 in
+  for i = bytes_len - 1 downto 0 do
+    let s = Char.code a.[i] + Char.code b.[i] + !carry in
+    Bytes.set r i (Char.chr (s land 0xff));
+    carry := s lsr 8
+  done;
+  Bytes.unsafe_to_string r
+
+let sub a b =
+  let r = Bytes.create bytes_len in
+  let borrow = ref 0 in
+  for i = bytes_len - 1 downto 0 do
+    let d = Char.code a.[i] - Char.code b.[i] - !borrow in
+    if d < 0 then begin
+      Bytes.set r i (Char.chr (d + 256));
+      borrow := 1
+    end
+    else begin
+      Bytes.set r i (Char.chr d);
+      borrow := 0
+    end
+  done;
+  Bytes.unsafe_to_string r
+
+let one = of_int 1
+let succ t = add t one
+let pred t = sub t one
+
+let add_pow2 t k =
+  if k < 0 || k >= bits then invalid_arg "Id.add_pow2: exponent out of range";
+  let p = Bytes.make bytes_len '\x00' in
+  Bytes.set p (bytes_len - 1 - (k / 8)) (Char.chr (1 lsl (k mod 8)));
+  add t (Bytes.unsafe_to_string p)
+
+let half t =
+  let r = Bytes.create bytes_len in
+  let carry = ref 0 in
+  for i = 0 to bytes_len - 1 do
+    let v = Char.code t.[i] lor (!carry lsl 8) in
+    Bytes.set r i (Char.chr (v lsr 1));
+    carry := v land 1
+  done;
+  Bytes.unsafe_to_string r
+
+let logxor a b =
+  let r = Bytes.create bytes_len in
+  for i = 0 to bytes_len - 1 do
+    Bytes.set r i (Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+  done;
+  Bytes.unsafe_to_string r
+
+let msb t =
+  let rec scan_byte i =
+    if i >= bytes_len then None
+    else
+      let v = Char.code t.[i] in
+      if v = 0 then scan_byte (i + 1)
+      else begin
+        let rec top bit = if v lsr bit > 0 then bit else top (bit - 1) in
+        Some ((8 * (bytes_len - 1 - i)) + top 7)
+      end
+  in
+  scan_byte 0
+
+let distance_cw a b = sub b a
+
+let half_ring = add_pow2 zero (bits - 1)
+
+let midpoint a b =
+  if equal a b then
+    (* the arc is the whole ring: halfway round is the antipode *)
+    add a half_ring
+  else add a (half (distance_cw a b))
+
+let between_oo ~after ~before x =
+  if equal after before then false
+  else if compare after before < 0 then
+    compare after x < 0 && compare x before < 0
+  else compare after x < 0 || compare x before < 0
+
+let between_oc ~after ~upto x =
+  if equal after upto then true
+  else if compare after upto < 0 then
+    compare after x < 0 && compare x upto <= 0
+  else compare after x < 0 || compare x upto <= 0
+
+(* Use the top 62 bits for a float projection: doubles carry 53 bits of
+   mantissa so this is as precise as a float fraction can be. *)
+let to_fraction t =
+  let acc = ref 0.0 in
+  for i = 0 to 7 do
+    acc := (!acc *. 256.0) +. float_of_int (Char.code t.[i])
+  done;
+  !acc /. 18446744073709551616.0 (* 2^64 *)
+
+let of_fraction f =
+  if not (f >= 0.0 && f < 1.0) then invalid_arg "Id.of_fraction: out of [0,1)";
+  let scaled = f *. 18446744073709551616.0 in
+  let b = Bytes.make bytes_len '\x00' in
+  (* Extract 8 big-endian bytes of the 64-bit scaled value. *)
+  let rec fill i v =
+    if i >= 0 then begin
+      let byte = v /. 256.0 in
+      let hi = Float.of_int (int_of_float (floor byte)) in
+      Bytes.set b i (Char.chr (int_of_float (v -. (hi *. 256.0)) land 0xff));
+      fill (i - 1) hi
+    end
+  in
+  fill 7 (floor scaled);
+  Bytes.unsafe_to_string b

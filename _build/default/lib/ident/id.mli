@@ -1,0 +1,112 @@
+(** 160-bit identifiers on the Chord ring.
+
+    Identifiers are unsigned 160-bit integers represented as 20-byte
+    big-endian strings, so the structural ordering of the representation
+    coincides with the numeric ordering.  All ring arithmetic is modulo
+    [2^160].  The clockwise direction is the direction of increasing ids
+    (wrapping at [2^160 - 1] back to [0]), matching Chord. *)
+
+type t
+
+val bits : int
+(** Number of bits in an identifier (160). *)
+
+val bytes_len : int
+(** Number of bytes in the representation (20). *)
+
+val zero : t
+(** The identifier 0. *)
+
+val max_id : t
+(** The identifier [2^160 - 1]. *)
+
+val of_raw_string : string -> t
+(** [of_raw_string s] interprets [s] as a big-endian 160-bit integer.
+    @raise Invalid_argument if [String.length s <> bytes_len]. *)
+
+val to_raw_string : t -> string
+(** Big-endian 20-byte representation. *)
+
+val of_hex : string -> t
+(** [of_hex s] parses a 40-character hexadecimal string.
+    @raise Invalid_argument on malformed input. *)
+
+val to_hex : t -> string
+(** 40-character lowercase hexadecimal rendering. *)
+
+val of_int : int -> t
+(** [of_int n] embeds a non-negative OCaml integer.
+    @raise Invalid_argument if [n < 0]. *)
+
+val compare : t -> t -> int
+(** Numeric (= lexicographic on the representation) comparison. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the first 8 hex digits followed by [..] — enough to tell ids
+    apart in logs without drowning them. *)
+
+val pp_full : Format.formatter -> t -> unit
+(** Prints all 40 hex digits. *)
+
+(** {1 Modular arithmetic} *)
+
+val succ : t -> t
+(** [succ t] is [t + 1 mod 2^160]. *)
+
+val pred : t -> t
+(** [pred t] is [t - 1 mod 2^160]. *)
+
+val add : t -> t -> t
+(** Addition modulo [2^160]. *)
+
+val sub : t -> t -> t
+(** Subtraction modulo [2^160]. *)
+
+val add_pow2 : t -> int -> t
+(** [add_pow2 t k] is [t + 2^k mod 2^160]; the start of the [k]-th Chord
+    finger interval.  @raise Invalid_argument unless [0 <= k < bits]. *)
+
+val half : t -> t
+(** [half t] is [t / 2] (logical shift right by one). *)
+
+val logxor : t -> t -> t
+(** Bitwise exclusive or — the Kademlia distance metric. *)
+
+val msb : t -> int option
+(** Index of the most significant set bit ([Some 159] for the top bit),
+    or [None] for zero.  [msb (logxor a b)] is 159 minus the length of
+    [a] and [b]'s common prefix — the Kademlia bucket index. *)
+
+(** {1 Ring geometry} *)
+
+val distance_cw : t -> t -> t
+(** [distance_cw a b] is the clockwise distance from [a] to [b]:
+    [b - a mod 2^160].  [distance_cw a a = zero]. *)
+
+val midpoint : t -> t -> t
+(** [midpoint a b] is the id halfway along the clockwise arc from [a] to
+    [b]: [a + (b - a mod 2^160) / 2].  When [a = b] the arc is the whole
+    ring and the midpoint is the antipode of [a]. *)
+
+val between_oo : after:t -> before:t -> t -> bool
+(** [between_oo ~after ~before x]: is [x] strictly inside the clockwise
+    open arc [(after, before)]?  Empty when [after = before]. *)
+
+val between_oc : after:t -> upto:t -> t -> bool
+(** [between_oc ~after ~upto x]: is [x] in the clockwise half-open arc
+    [(after, upto]]?  This is Chord key responsibility: the node with id
+    [upto] whose predecessor is [after] owns exactly these keys.  When
+    [after = upto] the arc is the full ring (a lone node owns all keys). *)
+
+val to_fraction : t -> float
+(** [to_fraction t] maps [t] to [t / 2^160] in [0, 1); used for the
+    unit-circle visualization and for arc-length estimates. *)
+
+val of_fraction : float -> t
+(** [of_fraction f] maps [f] in [0, 1) to an id; inverse of
+    {!to_fraction} up to float precision.
+    @raise Invalid_argument unless [0.0 <= f < 1.0]. *)

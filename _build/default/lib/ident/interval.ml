@@ -1,0 +1,24 @@
+type t = { after : Id.t; upto : Id.t }
+
+let make ~after ~upto = { after; upto }
+let full id = { after = id; upto = id }
+let mem x { after; upto } = Id.between_oc ~after ~upto x
+let width { after; upto } = Id.distance_cw after upto
+
+let fraction t =
+  if Id.equal t.after t.upto then 1.0
+  else
+    let f = Id.to_fraction (width t) in
+    if f <= 0.0 then Float.min_float else f
+
+let midpoint { after; upto } = Id.midpoint after upto
+
+let compare_width a b =
+  let full_a = Id.equal a.after a.upto and full_b = Id.equal b.after b.upto in
+  match (full_a, full_b) with
+  | true, true -> 0
+  | true, false -> 1
+  | false, true -> -1
+  | false, false -> Id.compare (width a) (width b)
+
+let pp ppf { after; upto } = Format.fprintf ppf "(%a, %a]" Id.pp after Id.pp upto

@@ -1,0 +1,32 @@
+(** Clockwise arcs of the identifier ring.
+
+    An arc [(after, upto]] is the half-open set of ids strictly clockwise
+    of [after] up to and including [upto].  This is exactly a Chord node's
+    zone of responsibility: node [upto] with predecessor [after] owns the
+    arc.  When [after = upto] the arc covers the whole ring. *)
+
+type t = private { after : Id.t; upto : Id.t }
+
+val make : after:Id.t -> upto:Id.t -> t
+
+val full : Id.t -> t
+(** [full id] is the whole-ring arc anchored at [id] (a lone node). *)
+
+val mem : Id.t -> t -> bool
+
+val width : t -> Id.t
+(** Clockwise length of the arc as an id-sized integer; the full ring has
+    width [0] by modular arithmetic — use {!fraction} when the distinction
+    matters. *)
+
+val fraction : t -> float
+(** Arc length as a fraction of the ring in [(0, 1]]; the full-ring arc
+    yields [1.0]. *)
+
+val midpoint : t -> Id.t
+(** The id halfway along the arc. *)
+
+val compare_width : t -> t -> int
+(** Compares arcs by clockwise length (full ring sorts largest). *)
+
+val pp : Format.formatter -> t -> unit

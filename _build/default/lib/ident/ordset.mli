@@ -1,0 +1,50 @@
+(** Size-augmented balanced search trees.
+
+    A drop-in replacement for [Stdlib.Set] specialized for the simulator's
+    needs: [cardinal] is O(1) and [split]/[union] are O(log n)-ish, which
+    matters because every DHT join splits a task set and every leave merges
+    one, and workload queries ([cardinal]) happen on every tick for every
+    node. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) : sig
+  type elt = Ord.t
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val cardinal : t -> int
+  (** O(1). *)
+
+  val mem : elt -> t -> bool
+  val add : elt -> t -> t
+  val remove : elt -> t -> t
+  val singleton : elt -> t
+  val min_elt_opt : t -> elt option
+  val max_elt_opt : t -> elt option
+
+  val take_min : t -> (elt * t) option
+  (** [take_min t] removes and returns the smallest element. *)
+
+  val split : elt -> t -> t * bool * t
+  (** [split x t] is [(lt, present, gt)] partitioning [t] around [x]. *)
+
+  val union : t -> t -> t
+  val fold : (elt -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (elt -> unit) -> t -> unit
+  val elements : t -> elt list
+  val of_list : elt list -> t
+
+  val nth : t -> int -> elt
+  (** [nth t i] is the [i]-th smallest element (0-based); O(log n).
+      @raise Invalid_argument if [i] is out of bounds. *)
+
+  val check_invariants : t -> unit
+  (** Validates balance, size counters and ordering; raises
+      [Invalid_argument] on violation.  For tests. *)
+end

@@ -1,0 +1,1 @@
+lib/io/csv_out.ml: Buffer Fun List String

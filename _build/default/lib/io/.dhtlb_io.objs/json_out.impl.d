@@ -1,0 +1,1 @@
+lib/io/json_out.ml: Buffer Char Float List Printf String

@@ -1,0 +1,37 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row fields = String.concat "," (List.map escape_field fields)
+
+let table ~header rows =
+  let width = List.length header in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (row header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      if List.length r <> width then
+        invalid_arg "Csv_out.table: ragged row";
+      Buffer.add_string buf (row r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

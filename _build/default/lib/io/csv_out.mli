@@ -1,0 +1,20 @@
+(** Minimal RFC 4180 CSV writing.
+
+    Experiment outputs are plain tables; this module renders them so
+    results can flow into pandas/gnuplot without parsing our ASCII
+    layouts.  Only writing is provided — the repository never reads
+    CSV. *)
+
+val escape_field : string -> string
+(** Quote a field iff it contains a comma, quote, CR or LF; inner quotes
+    are doubled per RFC 4180. *)
+
+val row : string list -> string
+(** One line, no trailing newline. *)
+
+val table : header:string list -> string list list -> string
+(** Header plus rows, each terminated with ["\n"].
+    @raise Invalid_argument if any row's width differs from the header's. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]: create/truncate and write. *)

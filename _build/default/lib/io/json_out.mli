@@ -1,0 +1,19 @@
+(** Minimal JSON emission (no parsing), for machine-readable experiment
+    results.  Strings are escaped per RFC 8259; floats use a roundtrip
+    format; NaN/infinity are emitted as [null] (JSON has no encoding for
+    them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents with two spaces. *)
+
+val escape_string : string -> string
+(** The quoted, escaped JSON representation of a string. *)

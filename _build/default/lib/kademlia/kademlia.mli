@@ -1,0 +1,59 @@
+(** A Kademlia overlay (Maymounkov & Mazières, 2002) — BitTorrent's DHT.
+
+    The paper grounds its motivation in BitTorrent and cites BEP 5 (the
+    Mainline DHT), which is Kademlia; this module provides that overlay
+    so routing-cost assumptions can be checked against the XOR-metric
+    family as well.  Distance between ids is bitwise XOR; each node keeps
+    [k]-buckets of peers by shared-prefix length, and iterative lookup
+    converges on the node whose id is XOR-closest to the key in
+    O(log N) hops.
+
+    Ownership here is XOR-closeness (as in real Kademlia), which differs
+    from the ring rule — {!owner} exposes it so tests can compare. *)
+
+type t
+
+val distance : Id.t -> Id.t -> Id.t
+(** XOR distance: symmetric, zero iff equal, satisfies the triangle
+    inequality. *)
+
+val bucket_index : self:Id.t -> Id.t -> int option
+(** Bucket an id falls into relative to [self]: 159 minus the common
+    prefix length; [None] for [self] itself. *)
+
+val build : Prng.t -> ids:Id.t array -> k:int -> t
+(** Build routing tables for all members: each bucket holds up to [k]
+    XOR-closest members with the right prefix relation.
+    @raise Invalid_argument on empty ids or [k < 1]. *)
+
+val size : t -> int
+
+val owner : t -> Id.t -> Id.t
+(** The member XOR-closest to the key (ties broken toward smaller id —
+    XOR distances are unique per pair, so ties cannot occur between
+    distinct members). *)
+
+val bucket_of : t -> self:Id.t -> int -> Id.t list
+(** Contents of one bucket (tests/inspection). *)
+
+val add_node : t -> Id.t -> unit
+(** Join: the newcomer builds buckets from the current membership and is
+    offered to every member's matching bucket (accepted when the bucket
+    has room or the newcomer is closer than the bucket's furthest
+    entry).  No-op if already present. *)
+
+val remove_node : t -> Id.t -> unit
+(** Leave/failure: the node disappears and is purged from every bucket
+    (as failed pings would do).  No-op if absent. *)
+
+val members : t -> Id.t list
+(** Current membership, sorted. *)
+
+val lookup : t -> start:Id.t -> key:Id.t -> (Id.t * int) option
+(** Iterative lookup with α = 1: repeatedly query the closest node
+    learned so far for its closest bucket entries until no progress;
+    returns the XOR-owner and the number of queries.  [None] if [start]
+    is not a member. *)
+
+val expected_hops : int -> float
+(** ~log2(N) upper bound used for sanity checks. *)

@@ -1,0 +1,63 @@
+(** ChordReduce-style MapReduce over a ring of workers (paper §II).
+
+    The paper's motivation is running MapReduce on a Chord DHT: input
+    chunks are stored at the hash of their identifier, each worker maps
+    the chunks it owns, intermediate pairs are shuffled to the worker
+    owning the hash of their key, and owners reduce.  This module executes
+    such a job and reports per-phase load statistics — the makespan in
+    ticks (one task per worker per tick) is exactly the quantity the
+    balancing strategies shrink by adding Sybil vnodes to loaded arcs.
+
+    Keys are compared with polymorphic equality; use stable key types. *)
+
+type ('k, 'v) job = {
+  map : Id.t -> string -> ('k * 'v) list;
+      (** applied to each input record (chunk id, contents) *)
+  combine : 'v -> 'v -> 'v;  (** associative merge of two values *)
+  key_id : 'k -> Id.t;  (** ring placement of an intermediate key *)
+}
+
+type phase_stats = {
+  tasks : int;
+  busy_workers : int;  (** workers that received at least one task *)
+  makespan : int;  (** max tasks on one worker = phase length in ticks *)
+  mean_load : float;
+  gini : float;
+}
+
+type ('k, 'v) result = {
+  pairs : ('k * 'v) list;  (** final reduced pairs, unordered *)
+  map_stats : phase_stats;
+  reduce_stats : phase_stats;
+  total_makespan : int;  (** map + reduce makespan *)
+}
+
+val run :
+  workers:Id.t array -> input:(Id.t * string) list -> ('k, 'v) job ->
+  ('k, 'v) result
+(** @raise Invalid_argument if [workers] is empty. *)
+
+val word_count : (string, int) job
+(** The canonical example: splits records on whitespace, counts words;
+    intermediate keys placed at [SHA1(word)]. *)
+
+(** Sets of chunk ids used by {!inverted_index} values. *)
+module Chunks : sig
+  type t
+
+  val cardinal : t -> int
+  val mem : Id.t -> t -> bool
+  val to_list : t -> Id.t list
+end
+
+val inverted_index : (string, Chunks.t) job
+(** Word → set of chunk ids containing it — the classic search-index
+    job from the MapReduce paper. *)
+
+val grep : pattern:string -> (Id.t, int) job
+(** Chunk id → number of occurrences of [pattern] in that chunk; chunks
+    without a match emit nothing (distributed grep). *)
+
+val chunk_input : string list -> (Id.t * string) list
+(** Give each record a ring position at the SHA-1 of its contents and
+    ordinal — how ChordReduce stores job data. *)

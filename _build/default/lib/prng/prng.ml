@@ -1,0 +1,91 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64: used only for seeding and stream splitting. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9e3779b97f4a7c15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed =
+  let st = ref seed in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  (* xoshiro must not start in the all-zero state; SplitMix64 outputs zero
+     for at most one of the four draws, so this is already impossible, but
+     guard anyway. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create seed = of_seed64 (Int64.of_int seed)
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** *)
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Prng.int_below: bound must be positive";
+  if n land (n - 1) = 0 then
+    (* Power of two: mask the top bits. *)
+    Int64.to_int (Int64.shift_right_logical (bits64 t) 1) land (n - 1)
+  else begin
+    (* Rejection sampling over 62 bits to avoid modulo bias. *)
+    let bound = Int64.of_int n in
+    let max62 = Int64.shift_right_logical Int64.minus_one 2 in
+    let limit = Int64.sub max62 (Int64.rem max62 bound) in
+    let rec draw () =
+      let v = Int64.shift_right_logical (bits64 t) 2 in
+      if v >= limit then draw () else Int64.to_int (Int64.rem v bound)
+    in
+    draw ()
+  end
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int_below t (hi - lo + 1)
+
+let float_unit t =
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v *. 0x1.0p-53
+
+let bernoulli t p = if p <= 0.0 then false else if p >= 1.0 then true else float_unit t < p
+
+let fill_bytes t buf =
+  let n = Bytes.length buf in
+  let i = ref 0 in
+  while !i < n do
+    let v = ref (bits64 t) in
+    let take = min 8 (n - !i) in
+    for j = 0 to take - 1 do
+      Bytes.set buf (!i + j) (Char.chr (Int64.to_int !v land 0xff));
+      v := Int64.shift_right_logical !v 8
+    done;
+    i := !i + take
+  done
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,33 @@
+(** SHA-1 (RFC 3174 / FIPS 180-1), pure OCaml.
+
+    The paper derives every node id and task key from SHA-1, so the hash
+    is a first-class substrate here.  This implementation processes
+    64-byte blocks with untagged [int] arithmetic masked to 32 bits and
+    supports incremental hashing.
+
+    SHA-1 is of course cryptographically broken for collision resistance;
+    it is used here, as in the paper and in Chord/BitTorrent, purely as a
+    fixed 160-bit mixing function. *)
+
+type ctx
+(** Mutable hashing state. *)
+
+val init : unit -> ctx
+
+val feed_string : ctx -> ?off:int -> ?len:int -> string -> unit
+(** Absorb a substring.  @raise Invalid_argument on bad bounds. *)
+
+val feed_bytes : ctx -> ?off:int -> ?len:int -> bytes -> unit
+
+val get : ctx -> string
+(** Finalize and return the 20-byte big-endian digest.  The context may
+    keep being fed afterwards ([get] works on a copy of the state). *)
+
+val digest_string : string -> string
+(** One-shot convenience: [digest_string s] is the 20-byte digest. *)
+
+val hex_of_digest : string -> string
+(** Render a 20-byte digest as 40 lowercase hex characters. *)
+
+val digest_hex : string -> string
+(** [digest_hex s = hex_of_digest (digest_string s)]. *)

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Descriptive Domain Engine Format List Messages Params

@@ -1,0 +1,1 @@
+lib/sim/state.ml: Array Dht Hashtbl Id Interval Keygen List Messages Params Prng Routing

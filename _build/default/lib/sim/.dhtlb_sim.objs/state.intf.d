@@ -1,0 +1,1 @@
+lib/sim/state.mli: Dht Id Interval Params Prng

@@ -1,0 +1,5 @@
+let due (state : State.t) (p : State.phys) =
+  let period = state.State.params.Params.decision_period in
+  if state.State.params.Params.stagger_decisions then
+    (state.State.tick + p.State.pid) mod period = 0
+  else state.State.tick mod period = 0

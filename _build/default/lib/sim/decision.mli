@@ -1,0 +1,11 @@
+(** Per-node decision cadence.
+
+    The paper's nodes check their workload "every 5 ticks".  In a real
+    deployment those checks are not synchronized across machines, so by
+    default node [p] acts on ticks where [(tick + p) mod period = 0] —
+    one decision per period per node, spread evenly over the period.
+    With [stagger_decisions = false] every node acts on the global
+    period boundary instead (burstier; kept as an ablation). *)
+
+val due : State.t -> State.phys -> bool
+(** Is this machine's decision due on the current tick? *)

@@ -1,0 +1,59 @@
+type strategy = { name : string; decide : State.t -> unit }
+
+let no_strategy = { name = "none"; decide = (fun _ -> ()) }
+
+type outcome = Finished of int | Aborted of int
+
+type result = {
+  outcome : outcome;
+  ideal : int;
+  factor : float;
+  work_per_tick : float;
+  messages : Messages.t;
+  trace : Trace.t;
+  final_vnodes : int;
+  final_active : int;
+}
+
+let run_state ?(snapshot_at = []) (state : State.t) strategy =
+  let params = state.State.params in
+  let ideal =
+    Params.ideal_runtime params ~strengths:(State.strengths_of_initial state)
+  in
+  let cap = max 1 (params.Params.max_ticks_factor * max 1 ideal) in
+  let trace = Trace.create ~snapshot_at in
+  let rec loop () =
+    if State.remaining_tasks state = 0 then Finished state.State.tick
+    else if state.State.tick >= cap then Aborted cap
+    else begin
+      Trace.maybe_snapshot trace state;
+      strategy.decide state;
+      let work_done = State.consume_tick state in
+      State.apply_churn state;
+      State.advance_tick state;
+      Trace.record trace
+        {
+          Trace.tick = state.State.tick - 1;
+          work_done;
+          remaining = State.remaining_tasks state;
+          active_nodes = State.active_count state;
+          vnodes = State.vnode_count state;
+        };
+      loop ()
+    end
+  in
+  let outcome = loop () in
+  let ticks = match outcome with Finished t | Aborted t -> t in
+  {
+    outcome;
+    ideal;
+    factor = float_of_int ticks /. float_of_int (max 1 ideal);
+    work_per_tick = Trace.work_per_tick_mean trace;
+    messages = Dht.messages state.State.dht;
+    trace;
+    final_vnodes = State.vnode_count state;
+    final_active = State.active_count state;
+  }
+
+let run ?snapshot_at params strategy =
+  run_state ?snapshot_at (State.create params) strategy

@@ -1,0 +1,45 @@
+(** The tick loop (paper §V).
+
+    Each tick, in order:
+
+    + capture a workload snapshot if requested for this tick;
+    + run the balancing strategy's decision step — called every tick;
+      strategies use {!Decision.due} so each node acts once per
+      [decision_period] ticks (staggered per node by default, matching
+      the paper's "check occurs every 5 ticks");
+    + every active machine completes up to its capacity in tasks;
+    + ambient churn moves machines between the ring and the waiting pool.
+
+    The run ends when no tasks remain; a safety cap of
+    [max_ticks_factor × ideal] aborts pathological configurations. *)
+
+type strategy = {
+  name : string;
+  decide : State.t -> unit;  (** called once per tick, before work *)
+}
+
+val no_strategy : strategy
+(** The paper's baseline: no decisions at all (combine with
+    [churn_rate = 0] for the no-op baseline, or [> 0] for the Induced
+    Churn strategy). *)
+
+type outcome = Finished of int  (** ticks taken *) | Aborted of int
+
+type result = {
+  outcome : outcome;
+  ideal : int;
+  factor : float;  (** runtime / ideal; uses the cap when aborted *)
+  work_per_tick : float;
+  messages : Messages.t;
+  trace : Trace.t;
+  final_vnodes : int;
+  final_active : int;
+}
+
+val run : ?snapshot_at:int list -> Params.t -> strategy -> result
+
+val run_state :
+  ?snapshot_at:int list -> State.t -> strategy -> result
+(** Like {!run} but over a pre-built state — lets callers share an
+    identical initial configuration across strategies, as the paper's
+    paired figures do. *)

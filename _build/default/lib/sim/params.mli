@@ -1,0 +1,76 @@
+(** Experimental variables (paper §V-B), with the paper's defaults.
+
+    A value of this record fully determines one simulated network; the
+    runner derives per-trial RNG seeds from [seed]. *)
+
+type work_measurement =
+  | Task_per_tick  (** every node completes one task per tick (default) *)
+  | Strength_per_tick  (** a node completes [strength] tasks per tick *)
+
+type heterogeneity =
+  | Homogeneous  (** all nodes have strength 1 (default) *)
+  | Heterogeneous  (** strength uniform in [1, max_sybils] *)
+
+type key_distribution =
+  | Uniform_sha1  (** SHA-1 of fresh randomness — the paper's setup *)
+  | Clustered of { hotspots : int; spread : float; zipf_s : float }
+      (** task keys cluster around [hotspots] centers with Zipf([zipf_s])
+          popularity, each key offset uniformly within [spread] of the
+          ring from its center — the "Zipfian" workload shape §III says
+          real DHT data follows.  [0 < spread <= 1]. *)
+
+type t = {
+  nodes : int;  (** initial network size *)
+  tasks : int;  (** job size in tasks *)
+  churn_rate : float;  (** per-node, per-tick leave/join probability *)
+  failure_rate : float;
+      (** per-node, per-tick probability of dying {e without} handover;
+          keys are recovered from successor-list replicas (the paper's
+          active-backup assumption), which costs recovery traffic but
+          loses nothing.  Failed machines rejoin like churned ones.
+          Default 0. *)
+  max_sybils : int;  (** Sybil cap (homogeneous); strength range (hetero) *)
+  sybil_threshold : int;  (** workload at or below which Sybils are made *)
+  num_successors : int;  (** successor/predecessor list length *)
+  heterogeneity : heterogeneity;
+  work : work_measurement;
+  keys : key_distribution;  (** how task keys are placed *)
+  decision_period : int;  (** ticks between strategy decisions (paper: 5) *)
+  stagger_decisions : bool;
+      (** [true] (default): each node checks every [decision_period]
+          ticks on its own phase, as unsynchronized real nodes would —
+          node [p] acts when [(tick + p) mod period = 0].  [false]: all
+          nodes act together on global period boundaries (an ablation;
+          noticeably worse because injections arrive in bursts). *)
+  invite_factor : float;
+      (** a node is overburdened when its workload exceeds
+          [invite_factor × (tasks / nodes)]; used by Invitation only *)
+  rejoin_fresh_id : bool;
+      (** churned nodes rejoin at a fresh random id (default [true]);
+          [false] pins each node to its original id — an ablation *)
+  split_at_median : bool;
+      (** Invitation helpers split the inviter's arc at the median task
+          key instead of the arc midpoint — an extension (default
+          [false]) *)
+  avoid_repeats : bool;
+      (** Neighbor injection remembers arcs that yielded no work and
+          skips them (paper §IV-C suggests this; default [false]) *)
+  seed : int;
+  max_ticks_factor : int;
+      (** safety cap: abort after [max_ticks_factor × ideal] ticks *)
+}
+
+val default : nodes:int -> tasks:int -> t
+(** Paper defaults: no churn, [max_sybils = 5], [sybil_threshold = 0],
+    [num_successors = 5], homogeneous, one task per tick, decisions every
+    5 ticks, [invite_factor = 2.0], seed 42. *)
+
+val ideal_runtime : t -> strengths:int array -> int
+(** ⌈tasks / total capacity⌉ where capacity is the number of initially
+    active nodes (task-per-tick) or the sum of their strengths
+    (strength-per-tick).  [strengths] covers the initially active nodes. *)
+
+val validate : t -> (unit, string) result
+(** Rejects nonsensical parameter combinations. *)
+
+val pp : Format.formatter -> t -> unit

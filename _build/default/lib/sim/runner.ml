@@ -1,0 +1,84 @@
+type aggregate = {
+  trials : int;
+  mean_factor : float;
+  stddev_factor : float;
+  min_factor : float;
+  max_factor : float;
+  mean_ticks : float;
+  mean_ideal : float;
+  aborted : int;
+  mean_messages : float;
+}
+
+let run_one (params : Params.t) mk_strategy i =
+  let params = { params with Params.seed = params.Params.seed + i } in
+  Engine.run params (mk_strategy ())
+
+(* Trials are embarrassingly parallel: each builds its own state and
+   PRNG, so splitting the index range across domains is race-free and
+   bit-reproducible.  Static block partitioning is fine — trials of one
+   experiment have near-identical cost. *)
+let run_parallel ~trials ~domains params mk_strategy =
+  let slots = Array.make trials None in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let i = ref d in
+            while !i < trials do
+              slots.(!i) <- Some (run_one params mk_strategy !i);
+              i := !i + domains
+            done))
+  in
+  List.iter Domain.join workers;
+  Array.map
+    (function Some r -> r | None -> invalid_arg "Runner: missing trial")
+    slots
+
+let run_all ?(trials = 10) ?(domains = 1) (params : Params.t) mk_strategy =
+  if trials < 1 then invalid_arg "Runner.run_trials: trials < 1";
+  if domains < 1 then invalid_arg "Runner.run_trials: domains < 1";
+  if domains = 1 || trials = 1 then
+    Array.init trials (run_one params mk_strategy)
+  else run_parallel ~trials ~domains:(min domains trials) params mk_strategy
+
+let factors ?trials ?domains params mk_strategy =
+  Array.map (fun r -> r.Engine.factor) (run_all ?trials ?domains params mk_strategy)
+
+let run_trials ?trials ?domains params mk_strategy =
+  let results = run_all ?trials ?domains params mk_strategy in
+  let factors = Array.map (fun r -> r.Engine.factor) results in
+  let ticks =
+    Array.map
+      (fun r ->
+        match r.Engine.outcome with
+        | Engine.Finished t | Engine.Aborted t -> float_of_int t)
+      results
+  in
+  let summary = Descriptive.summarize factors in
+  {
+    trials = Array.length results;
+    mean_factor = summary.Descriptive.mean;
+    stddev_factor = summary.Descriptive.stddev;
+    min_factor = summary.Descriptive.min;
+    max_factor = summary.Descriptive.max;
+    mean_ticks = Descriptive.mean ticks;
+    mean_ideal =
+      Descriptive.mean (Array.map (fun r -> float_of_int r.Engine.ideal) results);
+    aborted =
+      Array.fold_left
+        (fun acc r ->
+          match r.Engine.outcome with
+          | Engine.Aborted _ -> acc + 1
+          | Engine.Finished _ -> acc)
+        0 results;
+    mean_messages =
+      Descriptive.mean
+        (Array.map (fun r -> float_of_int (Messages.total r.Engine.messages)) results);
+  }
+
+let pp_aggregate ppf a =
+  Format.fprintf ppf
+    "trials=%d factor=%.3f±%.3f [%.3f, %.3f] ticks=%.1f ideal=%.1f aborted=%d \
+     msgs=%.0f"
+    a.trials a.mean_factor a.stddev_factor a.min_factor a.max_factor
+    a.mean_ticks a.mean_ideal a.aborted a.mean_messages

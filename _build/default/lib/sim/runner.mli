@@ -1,0 +1,40 @@
+(** Multi-trial experiment runner.
+
+    The paper reports averages over (typically 100) trials; each trial
+    here reruns the same parameters with a derived seed so trials are
+    independent but the whole experiment is reproducible. *)
+
+type aggregate = {
+  trials : int;
+  mean_factor : float;
+  stddev_factor : float;
+  min_factor : float;
+  max_factor : float;
+  mean_ticks : float;
+  mean_ideal : float;
+  aborted : int;  (** trials that hit the safety cap *)
+  mean_messages : float;  (** mean total messages per trial *)
+}
+
+val run_trials :
+  ?trials:int ->
+  ?domains:int ->
+  Params.t ->
+  (unit -> Engine.strategy) ->
+  aggregate
+(** [run_trials ~trials params mk_strategy] runs [trials] (default 10)
+    independent simulations, building a fresh strategy per trial (some
+    strategies carry per-run state).  Trial [i] uses seed
+    [params.seed + i].
+
+    [domains] (default 1) runs trials on that many OCaml 5 domains in
+    parallel; trials are fully independent (fresh state and PRNG each),
+    so results are bit-identical to the sequential run regardless of
+    the domain count. *)
+
+val factors :
+  ?trials:int -> ?domains:int -> Params.t -> (unit -> Engine.strategy) ->
+  float array
+(** Raw per-trial runtime factors, for distribution-level assertions. *)
+
+val pp_aggregate : Format.formatter -> aggregate -> unit

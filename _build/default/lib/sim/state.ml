@@ -1,0 +1,265 @@
+type payload = { owner : int }
+
+type phys = {
+  pid : int;
+  strength : int;
+  original_id : Id.t;
+  mutable active : bool;
+  mutable vnodes : Id.t list;
+  mutable failed_arcs : Interval.t list;
+}
+
+type t = {
+  params : Params.t;
+  dht : payload Dht.t;
+  phys : phys array;
+  rng : Prng.t;
+  initial_mean : float;
+  mutable tick : int;
+  mutable work_done_total : int;
+}
+
+let create (params : Params.t) =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("State.create: " ^ msg));
+  let rng = Prng.create params.seed in
+  let n = params.nodes in
+  let total_phys = 2 * n in
+  let ids = Keygen.node_ids rng total_phys in
+  let strength () =
+    match params.heterogeneity with
+    | Params.Homogeneous -> 1
+    | Params.Heterogeneous -> Prng.int_in rng ~lo:1 ~hi:params.max_sybils
+  in
+  let phys =
+    Array.init total_phys (fun pid ->
+        {
+          pid;
+          strength = strength ();
+          original_id = ids.(pid);
+          active = pid < n;
+          vnodes = (if pid < n then [ ids.(pid) ] else []);
+          failed_arcs = [];
+        })
+  in
+  let dht = Dht.create () in
+  for pid = 0 to n - 1 do
+    match Dht.join dht ~id:ids.(pid) ~payload:{ owner = pid } with
+    | Ok _ -> ()
+    | Error `Occupied -> assert false (* node ids are drawn distinct *)
+  done;
+  let keys =
+    match params.keys with
+    | Params.Uniform_sha1 -> Keygen.task_keys rng params.tasks
+    | Params.Clustered { hotspots; spread; zipf_s } ->
+      let centers = Keygen.node_ids rng hotspots in
+      Array.init params.tasks (fun _ ->
+          let j = Keygen.zipf rng ~n:hotspots ~s:zipf_s - 1 in
+          let offset = Id.of_fraction (Prng.float_unit rng *. spread) in
+          Id.add centers.(j) offset)
+  in
+  Array.iter
+    (fun key ->
+      match Dht.insert_key dht key with
+      | Ok () -> ()
+      | Error `Duplicate -> () (* negligible probability; drop silently *)
+      | Error `Empty_ring -> assert false)
+    keys;
+  {
+    params;
+    dht;
+    phys;
+    rng;
+    initial_mean = float_of_int params.tasks /. float_of_int n;
+    tick = 0;
+    work_done_total = 0;
+  }
+
+let remaining_tasks t = Dht.total_keys t.dht
+
+let active_count t =
+  Array.fold_left (fun acc p -> if p.active then acc + 1 else acc) 0 t.phys
+
+let vnode_count t = Dht.size t.dht
+
+let workload_of_phys t pid =
+  List.fold_left (fun acc id -> acc + Dht.workload t.dht id) 0 t.phys.(pid).vnodes
+
+let capacity_of_phys t pid =
+  match t.params.work with
+  | Params.Task_per_tick -> 1
+  | Params.Strength_per_tick -> t.phys.(pid).strength
+
+let sybil_count t pid = max 0 (List.length t.phys.(pid).vnodes - 1)
+
+let sybil_capacity t pid =
+  match t.params.heterogeneity with
+  | Params.Homogeneous -> t.params.max_sybils
+  | Params.Heterogeneous -> t.phys.(pid).strength
+
+let workloads_snapshot t =
+  let acc = ref [] in
+  Array.iter
+    (fun p -> if p.active then acc := workload_of_phys t p.pid :: !acc)
+    t.phys;
+  Array.of_list (List.rev !acc)
+
+let strengths_of_initial t =
+  Array.init t.params.nodes (fun pid -> t.phys.(pid).strength)
+
+let consume_tick t =
+  let done_ = ref 0 in
+  (* Workers complete tasks in no particular key order; a uniform pick
+     keeps the remaining keys uniformly spread within each arc, which
+     matters because Sybil placement reasons about arc fractions. *)
+  let pick c = Prng.int_below t.rng c in
+  Array.iter
+    (fun p ->
+      if p.active then begin
+        let budget = ref (capacity_of_phys t p.pid) in
+        List.iter
+          (fun vid ->
+            if !budget > 0 then begin
+              let c = Dht.consume ~pick t.dht vid !budget in
+              budget := !budget - c;
+              done_ := !done_ + c
+            end)
+          p.vnodes
+      end)
+    t.phys;
+  t.work_done_total <- t.work_done_total + !done_;
+  !done_
+
+(* A join in a real DHT costs a lookup; with no live finger tables in the
+   hot loop we charge Chord's expected hop count for the current size. *)
+let charge_lookup t =
+  let n = max 2 (Dht.size t.dht) in
+  let hops = int_of_float (ceil (Routing.expected_hops n)) in
+  (Dht.messages t.dht).Messages.lookup_hops <-
+    (Dht.messages t.dht).Messages.lookup_hops + hops
+
+let create_sybil t pid id =
+  let p = t.phys.(pid) in
+  if (not p.active) || sybil_count t pid >= sybil_capacity t pid then false
+  else begin
+    charge_lookup t;
+    match Dht.join t.dht ~id ~payload:{ owner = pid } with
+    | Ok _ ->
+      p.vnodes <- p.vnodes @ [ id ];
+      true
+    | Error `Occupied -> false
+  end
+
+let retire_sybils t pid =
+  let p = t.phys.(pid) in
+  match p.vnodes with
+  | [] -> ()
+  | primary :: sybils ->
+    List.iter
+      (fun id ->
+        match Dht.leave t.dht id with
+        | Ok () -> ()
+        | Error `Not_member -> assert false
+        | Error `Last_node -> assert false (* the primary is still present *))
+      sybils;
+    p.vnodes <- [ primary ]
+
+(* Departure of a whole machine: Sybils leave first, then the primary.
+   The primary survives only if it is the ring's last key-holding vnode. *)
+let leave_phys t pid =
+  let p = t.phys.(pid) in
+  retire_sybils t pid;
+  match p.vnodes with
+  | [] -> ()
+  | [ primary ] -> begin
+    match Dht.leave t.dht primary with
+    | Ok () ->
+      p.vnodes <- [];
+      p.active <- false;
+      p.failed_arcs <- []
+    | Error `Last_node -> () (* stays: someone must hold the keys *)
+    | Error `Not_member -> assert false
+  end
+  | _ :: _ -> assert false
+
+let join_phys t pid =
+  let p = t.phys.(pid) in
+  let id =
+    if t.params.rejoin_fresh_id then Keygen.fresh t.rng else p.original_id
+  in
+  charge_lookup t;
+  match Dht.join t.dht ~id ~payload:{ owner = pid } with
+  | Ok _ ->
+    p.vnodes <- [ id ];
+    p.active <- true
+  | Error `Occupied -> () (* stays waiting; retries on a later tick *)
+
+(* Ungraceful death: like a leave, except nobody hands keys over — the
+   successor must fetch them from its replicas, so the recovery costs a
+   second transfer of every key the dead machine held (the paper's
+   active-backup assumption makes the fetch always succeed). *)
+let fail_phys t pid =
+  let lost_keys = workload_of_phys t pid in
+  let messages = Dht.messages t.dht in
+  messages.Messages.key_transfers <-
+    messages.Messages.key_transfers + lost_keys;
+  leave_phys t pid
+
+let apply_churn t =
+  let churn = t.params.churn_rate and fail = t.params.failure_rate in
+  if churn > 0.0 || fail > 0.0 then
+    Array.iter
+      (fun p ->
+        if p.active then begin
+          if churn > 0.0 && Prng.bernoulli t.rng churn then leave_phys t p.pid
+          else if fail > 0.0 && Prng.bernoulli t.rng fail then fail_phys t p.pid
+        end
+        else if Prng.bernoulli t.rng (churn +. fail) then join_phys t p.pid)
+      t.phys
+
+let advance_tick t = t.tick <- t.tick + 1
+
+let note_failed_arc t pid arc =
+  let p = t.phys.(pid) in
+  (* Keep a small bounded memory; old failures age out as the list is
+     truncated. *)
+  let keep = 8 in
+  let rec take n = function
+    | [] -> []
+    | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+  in
+  p.failed_arcs <- take keep (arc :: p.failed_arcs)
+
+let arc_recently_failed t pid arc =
+  List.exists
+    (fun (a : Interval.t) ->
+      Id.equal a.Interval.after arc.Interval.after
+      && Id.equal a.Interval.upto arc.Interval.upto)
+    t.phys.(pid).failed_arcs
+
+let check_invariants t =
+  Dht.check_invariants t.dht;
+  (* Every vnode in the ring is listed by exactly one active machine and
+     vice versa. *)
+  let listed = Hashtbl.create 64 in
+  Array.iter
+    (fun p ->
+      if (not p.active) && p.vnodes <> [] then
+        invalid_arg "State: waiting machine with vnodes";
+      List.iter
+        (fun id ->
+          if Hashtbl.mem listed id then invalid_arg "State: vnode listed twice";
+          Hashtbl.replace listed id p.pid)
+        p.vnodes)
+    t.phys;
+  Dht.iter
+    (fun vn ->
+      match Hashtbl.find_opt listed vn.Dht.id with
+      | None -> invalid_arg "State: ring vnode not owned by any machine"
+      | Some pid ->
+        if vn.Dht.payload.owner <> pid then
+          invalid_arg "State: payload owner mismatch")
+    t.dht;
+  if Hashtbl.length listed <> Dht.size t.dht then
+    invalid_arg "State: machine lists a vnode missing from the ring"

@@ -1,0 +1,93 @@
+(** Mutable simulation state: the DHT, the physical machines behind its
+    virtual nodes, and the churn waiting pool.
+
+    A {e physical node} is a machine; it is [active] when it participates
+    in the ring and waiting otherwise.  An active node always has a
+    primary vnode and may run additional Sybil vnodes.  Work lives in the
+    DHT: a physical node's workload is the sum of the tasks owned by all
+    its ring presences.
+
+    Per the paper's churn model there are [2 × nodes] physical machines:
+    the initial network plus an equal-sized waiting pool; machines move
+    between the two sets at [churn_rate] per tick. *)
+
+type payload = { owner : int }
+(** DHT vnode payload: index of the owning physical node. *)
+
+type phys = private {
+  pid : int;
+  strength : int;  (** 1 in homogeneous networks *)
+  original_id : Id.t;  (** id at first join; reused if [rejoin_fresh_id=false] *)
+  mutable active : bool;
+  mutable vnodes : Id.t list;  (** head = primary vnode; rest = Sybils *)
+  mutable failed_arcs : Interval.t list;
+      (** arcs that yielded no work (neighbor injection, avoid_repeats) *)
+}
+
+type t = private {
+  params : Params.t;
+  dht : payload Dht.t;
+  phys : phys array;  (** indices [0, nodes)] start active; rest waiting *)
+  rng : Prng.t;
+  initial_mean : float;  (** tasks / nodes at start *)
+  mutable tick : int;
+  mutable work_done_total : int;
+}
+
+val create : Params.t -> t
+(** Build the initial network: [nodes] active machines with SHA-1 ids
+    owning [tasks] SHA-1 keys, plus [nodes] waiting machines.
+    @raise Invalid_argument if {!Params.validate} rejects the params. *)
+
+(** {1 Queries} *)
+
+val remaining_tasks : t -> int
+val active_count : t -> int
+val vnode_count : t -> int
+
+val workload_of_phys : t -> int -> int
+(** Total tasks across all ring presences of a physical node. *)
+
+val capacity_of_phys : t -> int -> int
+(** Tasks the node can complete per tick (1 or [strength]). *)
+
+val sybil_count : t -> int -> int
+val sybil_capacity : t -> int -> int
+(** [max_sybils] when homogeneous, [strength] when heterogeneous. *)
+
+val workloads_snapshot : t -> int array
+(** Per-active-physical-node workloads, for the histogram figures. *)
+
+val strengths_of_initial : t -> int array
+(** Strengths of the initially active machines (for ideal runtime). *)
+
+(** {1 Mutation} *)
+
+val consume_tick : t -> int
+(** Every active machine completes up to its capacity in tasks; returns
+    total work done this tick. *)
+
+val create_sybil : t -> int -> Id.t -> bool
+(** [create_sybil t pid id] joins a Sybil vnode for machine [pid] at
+    [id]; charges the join's expected lookup hops.  [false] if the id is
+    occupied, the machine is inactive, or it is at its Sybil cap. *)
+
+val retire_sybils : t -> int -> unit
+(** All of the machine's Sybils leave the ring (keys hand over). *)
+
+val apply_churn : t -> unit
+(** One tick of churn: active machines leave gracefully with probability
+    [churn_rate] or die ungracefully with probability [failure_rate]
+    (failures charge replica-recovery traffic; all vnodes depart either
+    way; the ring's last key-holding vnode is protected), and waiting
+    machines join at a fresh or original id at the combined rate.
+    No-op when both rates are 0. *)
+
+val advance_tick : t -> unit
+(** Increment the tick counter (engine use). *)
+
+val note_failed_arc : t -> int -> Interval.t -> unit
+val arc_recently_failed : t -> int -> Interval.t -> bool
+
+val check_invariants : t -> unit
+(** DHT invariants plus phys/vnode cross-consistency.  For tests. *)

@@ -1,0 +1,38 @@
+type point = {
+  tick : int;
+  work_done : int;
+  remaining : int;
+  active_nodes : int;
+  vnodes : int;
+}
+
+type t = {
+  snapshot_at : int list;
+  mutable points_rev : point list;
+  mutable n_points : int;
+  mutable snapshots_rev : (int * int array) list;
+}
+
+let create ~snapshot_at =
+  { snapshot_at; points_rev = []; n_points = 0; snapshots_rev = [] }
+
+let record t p =
+  t.points_rev <- p :: t.points_rev;
+  t.n_points <- t.n_points + 1
+
+let maybe_snapshot t state =
+  let tick = state.State.tick in
+  if
+    List.mem tick t.snapshot_at
+    && not (List.mem_assoc tick t.snapshots_rev)
+  then t.snapshots_rev <- (tick, State.workloads_snapshot state) :: t.snapshots_rev
+
+let points t = Array.of_list (List.rev t.points_rev)
+let snapshots t = List.rev t.snapshots_rev
+let snapshot_at_tick t tick = List.assoc_opt tick t.snapshots_rev
+
+let work_per_tick_mean t =
+  if t.n_points = 0 then 0.0
+  else
+    let total = List.fold_left (fun acc p -> acc + p.work_done) 0 t.points_rev in
+    float_of_int total /. float_of_int t.n_points

@@ -1,0 +1,32 @@
+(** Per-tick series and workload snapshots recorded during a run.
+
+    The paper reports "average work per tick and statistical information
+    about how the tasks are distributed" plus detailed early-tick
+    histograms; this module captures exactly that. *)
+
+type point = {
+  tick : int;
+  work_done : int;  (** tasks completed this tick *)
+  remaining : int;  (** tasks left after this tick *)
+  active_nodes : int;
+  vnodes : int;
+}
+
+type t
+
+val create : snapshot_at:int list -> t
+
+val record : t -> point -> unit
+
+val maybe_snapshot : t -> State.t -> unit
+(** Capture the per-node workload distribution if the state's current
+    tick is one of [snapshot_at] (each tick captured at most once). *)
+
+val points : t -> point array
+val snapshots : t -> (int * int array) list
+(** [(tick, workloads)] pairs in capture order. *)
+
+val snapshot_at_tick : t -> int -> int array option
+
+val work_per_tick_mean : t -> float
+(** Average tasks completed per tick over the run; 0 for empty traces. *)

@@ -1,0 +1,1 @@
+lib/stats/inequality.ml: Array Descriptive

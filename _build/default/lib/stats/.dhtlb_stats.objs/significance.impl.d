@@ -1,0 +1,1 @@
+lib/stats/significance.ml: Array Descriptive Float Format

@@ -1,0 +1,79 @@
+type bin = { lo : float; hi : float; count : int }
+type t = { bins : bin array; total : int }
+
+let linear ?(bins = 20) ~lo ~hi xs =
+  if bins < 1 then invalid_arg "Histogram.linear: bins < 1";
+  if not (hi > lo) then invalid_arg "Histogram.linear: hi <= lo";
+  let width = (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let fx = float_of_int x in
+      let i = int_of_float ((fx -. lo) /. width) in
+      let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  {
+    bins =
+      Array.mapi
+        (fun i c ->
+          {
+            lo = lo +. (float_of_int i *. width);
+            hi = lo +. (float_of_int (i + 1) *. width);
+            count = c;
+          })
+        counts;
+    total = Array.length xs;
+  }
+
+let log10 ?(bins_per_decade = 4) xs =
+  if bins_per_decade < 1 then invalid_arg "Histogram.log10: bins_per_decade < 1";
+  let max_x = Array.fold_left max 1 xs in
+  let decades = Float.log10 (float_of_int max_x) in
+  let nbins = max 1 (int_of_float (ceil (decades *. float_of_int bins_per_decade))) in
+  let edge i = Float.pow 10.0 (float_of_int i /. float_of_int bins_per_decade) in
+  (* bin 0 holds the zero workloads; bin i >= 1 holds [edge (i-1), edge i). *)
+  let counts = Array.make (nbins + 1) 0 in
+  Array.iter
+    (fun x ->
+      if x <= 0 then counts.(0) <- counts.(0) + 1
+      else begin
+        let lx = Float.log10 (float_of_int x) in
+        let i = 1 + int_of_float (floor (lx *. float_of_int bins_per_decade)) in
+        let i = if i > nbins then nbins else i in
+        counts.(i) <- counts.(i) + 1
+      end)
+    xs;
+  {
+    bins =
+      Array.mapi
+        (fun i c ->
+          if i = 0 then { lo = 0.0; hi = 1.0; count = c }
+          else { lo = edge (i - 1); hi = edge i; count = c })
+        counts;
+    total = Array.length xs;
+  }
+
+let probability t =
+  let n = float_of_int (max 1 t.total) in
+  Array.map
+    (fun { lo; hi; count } -> ((lo +. hi) /. 2.0, float_of_int count /. n))
+    t.bins
+
+let label { lo; hi; _ } =
+  if hi -. lo >= 10.0 || floor lo <> lo then
+    Printf.sprintf "[%6.0f,%6.0f)" lo hi
+  else Printf.sprintf "[%6.1f,%6.1f)" lo hi
+
+let counts t = Array.map (fun b -> (label b, b.count)) t.bins
+
+let render ?(width = 50) t =
+  let peak = Array.fold_left (fun acc b -> max acc b.count) 1 t.bins in
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun b ->
+      let len = b.count * width / peak in
+      Buffer.add_string buf
+        (Printf.sprintf "%s |%s %d\n" (label b) (String.make len '#') b.count))
+    t.bins;
+  Buffer.contents buf

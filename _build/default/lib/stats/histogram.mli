@@ -1,0 +1,32 @@
+(** Workload histograms, matching the paper's figures.
+
+    The figures bin node workloads (tasks per node) and plot counts or
+    probabilities.  Figure 1 uses a logarithmic x-axis ("a few unfortunate
+    nodes are burdened with more than 10,000 tasks"), the per-tick figures
+    use linear bins; both are provided, plus an ASCII renderer so every
+    figure can be eyeballed straight from the bench output. *)
+
+type bin = { lo : float; hi : float; count : int }
+(** A half-open bin [[lo, hi)]; the last bin is closed on both ends. *)
+
+type t = { bins : bin array; total : int }
+
+val linear : ?bins:int -> lo:float -> hi:float -> int array -> t
+(** [linear ~bins ~lo ~hi xs] bins integer samples into [bins] equal-width
+    bins over [[lo, hi]]; samples outside the range are clamped into the
+    first/last bin.  Default 20 bins.
+    @raise Invalid_argument if [hi <= lo] or [bins < 1]. *)
+
+val log10 : ?bins_per_decade:int -> int array -> t
+(** Logarithmic bins starting at 1; zero values get a dedicated first bin
+    ([[0, 1)]).  Suitable for Figure 1's heavy-tailed distribution. *)
+
+val probability : t -> (float * float) array
+(** [(bin midpoint, probability mass)] series, as plotted in Figure 1. *)
+
+val counts : t -> (string * int) array
+(** [(bin label, count)] series for the tick-by-tick figures. *)
+
+val render : ?width:int -> t -> string
+(** Multi-line ASCII rendering: one row per bin, bar lengths scaled to
+    [width] (default 50) columns. *)

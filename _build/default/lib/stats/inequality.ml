@@ -1,0 +1,25 @@
+let gini xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Inequality.gini: empty input";
+  Array.iter (fun x -> if x < 0 then invalid_arg "Inequality.gini: negative value") xs;
+  let sorted = Array.map float_of_int xs in
+  Array.sort compare sorted;
+  let total = Array.fold_left ( +. ) 0.0 sorted in
+  if total = 0.0 then 0.0
+  else begin
+    (* G = (2 Σ_i i·x_i) / (n Σ x) - (n+1)/n with 1-based ranks over the
+       ascending sort. *)
+    let weighted = ref 0.0 in
+    Array.iteri (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x)) sorted;
+    let nf = float_of_int n in
+    (2.0 *. !weighted /. (nf *. total)) -. ((nf +. 1.0) /. nf)
+  end
+
+let coefficient_of_variation xs =
+  let mu = Descriptive.mean_int xs in
+  if mu = 0.0 then 0.0 else Descriptive.stddev_int xs /. mu
+
+let max_over_mean xs =
+  let mu = Descriptive.mean_int xs in
+  if mu = 0.0 then 0.0
+  else float_of_int (Array.fold_left max 0 xs) /. mu

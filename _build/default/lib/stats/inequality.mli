@@ -1,0 +1,20 @@
+(** Inequality measures for workload distributions.
+
+    The paper argues DHT workloads are highly unbalanced (Zipf-like); the
+    Gini coefficient and coefficient of variation give scalar measures of
+    that imbalance, used to quantify how much each strategy rebalances the
+    network over time. *)
+
+val gini : int array -> float
+(** Gini coefficient in [[0, 1]]: 0 = perfectly equal, →1 = one node owns
+    everything.  Zero-total inputs yield 0.
+    @raise Invalid_argument on empty input or negative values. *)
+
+val coefficient_of_variation : int array -> float
+(** stddev / mean; 0 when the mean is 0.
+    @raise Invalid_argument on empty input. *)
+
+val max_over_mean : int array -> float
+(** Peak workload divided by mean workload — a direct proxy for the
+    runtime factor of a network with no balancing (the most loaded node
+    is the last to finish).  0 when the mean is 0. *)

@@ -1,0 +1,61 @@
+type result = {
+  t_statistic : float;
+  degrees_of_freedom : float;
+  p_value : float;
+  significant_05 : bool;
+}
+
+(* Standard normal CDF via the Abramowitz–Stegun erf approximation
+   (7.1.26), accurate to ~1.5e-7 — far below sampling noise here. *)
+let normal_cdf x =
+  let t = 1.0 /. (1.0 +. (0.3275911 *. Float.abs x /. sqrt 2.0)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t
+          *. (-0.284496736
+             +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  let erf = 1.0 -. (poly *. exp (-.(x *. x) /. 2.0)) in
+  if x >= 0.0 then 0.5 *. (1.0 +. erf) else 0.5 *. (1.0 -. erf)
+
+let welch_t_test a b =
+  let na = Array.length a and nb = Array.length b in
+  if na < 2 || nb < 2 then
+    invalid_arg "Significance.welch_t_test: need >= 2 samples per side";
+  let mean xs = Descriptive.mean xs in
+  let var xs =
+    (* unbiased sample variance *)
+    let mu = mean xs and n = float_of_int (Array.length xs) in
+    Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs
+    /. (n -. 1.0)
+  in
+  let ma = mean a and mb = mean b in
+  let va = var a /. float_of_int na and vb = var b /. float_of_int nb in
+  let se = sqrt (va +. vb) in
+  if se = 0.0 then
+    (* identical constant samples: no evidence of difference unless the
+       means differ exactly, in which case the difference is certain *)
+    let diff = ma <> mb in
+    {
+      t_statistic = (if diff then Float.infinity else 0.0);
+      degrees_of_freedom = float_of_int (na + nb - 2);
+      p_value = (if diff then 0.0 else 1.0);
+      significant_05 = diff;
+    }
+  else begin
+    let t = (ma -. mb) /. se in
+    let df =
+      ((va +. vb) ** 2.0)
+      /. ((va ** 2.0 /. float_of_int (na - 1)) +. (vb ** 2.0 /. float_of_int (nb - 1)))
+    in
+    (* two-sided p via the normal approximation *)
+    let p = 2.0 *. (1.0 -. normal_cdf (Float.abs t)) in
+    let p = Float.min 1.0 (Float.max 0.0 p) in
+    { t_statistic = t; degrees_of_freedom = df; p_value = p; significant_05 = p < 0.05 }
+  end
+
+let pp ppf r =
+  Format.fprintf ppf "t=%.3f df=%.1f p=%.4f%s" r.t_statistic
+    r.degrees_of_freedom r.p_value
+    (if r.significant_05 then " (significant)" else "")

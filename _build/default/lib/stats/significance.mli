@@ -1,0 +1,19 @@
+(** Welch's t-test for comparing two strategies' runtime factors.
+
+    Experiment tables claim "A beats B"; this module quantifies how sure
+    the data is.  Welch's unequal-variance t-test with the
+    Welch–Satterthwaite degrees of freedom, and a conservative normal
+    approximation of the p-value (adequate at the 10+ trial counts the
+    runner produces). *)
+
+type result = {
+  t_statistic : float;  (** positive when the first sample's mean is larger *)
+  degrees_of_freedom : float;
+  p_value : float;  (** two-sided *)
+  significant_05 : bool;  (** p < 0.05 *)
+}
+
+val welch_t_test : float array -> float array -> result
+(** @raise Invalid_argument if either sample has fewer than 2 points. *)
+
+val pp : Format.formatter -> result -> unit

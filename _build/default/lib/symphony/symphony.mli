@@ -1,0 +1,36 @@
+(** A Symphony small-world overlay (Manku, Bawa & Raghavan, 2003).
+
+    The paper's §II discusses MapReduce on Symphony (Lee et al.); this
+    module provides the overlay so the routing-cost assumptions behind
+    the balancing strategies can be checked on a second topology.  Each
+    node keeps its ring successor(s) plus [k] {e long links} whose
+    clockwise distances are drawn from the harmonic distribution
+    [p(d) ∝ 1/d] on [[1/N, 1]]; greedy clockwise routing then takes
+    O(log²N / k) hops in expectation.
+
+    Key ownership is the same ring rule as Chord (successor of the key),
+    so the load-balancing strategies are unchanged — only lookup cost
+    differs. *)
+
+type t
+
+val build : Prng.t -> ids:Id.t array -> long_links:int -> t
+(** Construct the overlay over the given member ids.
+    @raise Invalid_argument on an empty id array or negative
+    [long_links]. *)
+
+val size : t -> int
+
+val long_links_of : t -> Id.t -> Id.t list
+(** A node's long-link targets (tests/inspection); empty for
+    non-members. *)
+
+val lookup : t -> start:Id.t -> key:Id.t -> (Id.t * int) option
+(** Greedy unidirectional routing: hop to the neighbour (successor or
+    long link) that most reduces the clockwise distance to the key
+    without overshooting it.  Returns the key's owner and the hop
+    count; [None] if [start] is not a member. *)
+
+val expected_hops : n:int -> k:int -> float
+(** Symphony's [log²N / (2k)] estimate (with the successor counted as
+    one extra link). *)

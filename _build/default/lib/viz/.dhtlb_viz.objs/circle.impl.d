@@ -1,0 +1,1 @@
+lib/viz/circle.ml: Array Buffer Float Id Printf

@@ -1,0 +1,1 @@
+lib/viz/circle.mli: Id

@@ -1,0 +1,1 @@
+lib/viz/figure.ml: Array Buffer Histogram List Printf String

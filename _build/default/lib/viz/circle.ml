@@ -1,0 +1,49 @@
+type point = { id : Id.t; x : float; y : float }
+
+let tau = 2.0 *. Float.pi
+
+let project id =
+  let angle = tau *. Id.to_fraction id in
+  (sin angle, cos angle)
+
+let point_of id =
+  let x, y = project id in
+  { id; x; y }
+
+let layout ~nodes ~tasks = (Array.map point_of nodes, Array.map point_of tasks)
+
+let to_csv ~nodes ~tasks =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "kind,id,x,y\n";
+  let emit kind { id; x; y } =
+    Buffer.add_string buf
+      (Printf.sprintf "%s,%s,%.6f,%.6f\n" kind (Id.to_hex id) x y)
+  in
+  let np, tp = layout ~nodes ~tasks in
+  Array.iter (emit "node") np;
+  Array.iter (emit "task") tp;
+  Buffer.contents buf
+
+let render_ascii ?(size = 33) ~nodes ~tasks () =
+  if size < 5 then invalid_arg "Circle.render_ascii: size too small";
+  let grid = Array.make_matrix size size ' ' in
+  let place mark id =
+    let x, y = project id in
+    (* x in [-1,1] → column; y in [-1,1] → row (top = +1). *)
+    let col = int_of_float ((x +. 1.0) /. 2.0 *. float_of_int (size - 1)) in
+    let row = int_of_float ((1.0 -. y) /. 2.0 *. float_of_int (size - 1)) in
+    grid.(row).(col) <-
+      (match (grid.(row).(col), mark) with
+      | ' ', m -> m
+      | c, m when c = m -> m
+      | _ -> '*')
+  in
+  Array.iter (place '+') tasks;
+  Array.iter (place 'N') nodes;
+  let buf = Buffer.create (size * (size + 1)) in
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.contents buf

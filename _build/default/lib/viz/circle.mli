@@ -1,0 +1,20 @@
+(** Unit-circle projection of ring members (paper §III, Figures 2–3).
+
+    Each id maps to [(sin(2π·id/2^160), cos(2π·id/2^160))] — angle grows
+    clockwise from the top of the circle, exactly the paper's equations. *)
+
+type point = { id : Id.t; x : float; y : float }
+
+val project : Id.t -> float * float
+
+val layout : nodes:Id.t array -> tasks:Id.t array -> point array * point array
+(** Projected node and task coordinates. *)
+
+val to_csv : nodes:Id.t array -> tasks:Id.t array -> string
+(** CSV with columns [kind,id,x,y] ([kind] ∈ {node, task}), ready for any
+    plotting tool. *)
+
+val render_ascii :
+  ?size:int -> nodes:Id.t array -> tasks:Id.t array -> unit -> string
+(** Text rendering on a [size]×[size] grid (default 33): ['N'] marks
+    nodes, ['+'] tasks, ['*'] both in one cell. *)

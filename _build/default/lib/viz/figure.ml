@@ -1,0 +1,69 @@
+type series = { label : string; workloads : int array }
+
+let common_histograms ?(bins = 20) series =
+  if series = [] then invalid_arg "Figure: no series";
+  let hi =
+    List.fold_left
+      (fun acc s -> Array.fold_left max acc s.workloads)
+      1 series
+  in
+  List.map
+    (fun s ->
+      (s.label, Histogram.linear ~bins ~lo:0.0 ~hi:(float_of_int hi) s.workloads))
+    series
+
+let compare_histograms ?bins ?(width = 30) series =
+  let hists = common_histograms ?bins series in
+  let buf = Buffer.create 4096 in
+  let peak =
+    List.fold_left
+      (fun acc (_, h) ->
+        Array.fold_left (fun a (b : Histogram.bin) -> max a b.count) acc
+          h.Histogram.bins)
+      1 hists
+  in
+  let nbins =
+    match hists with (_, h) :: _ -> Array.length h.Histogram.bins | [] -> 0
+  in
+  Buffer.add_string buf (Printf.sprintf "%-17s" "workload bin");
+  List.iter
+    (fun (label, _) -> Buffer.add_string buf (Printf.sprintf " | %-*s" width label))
+    hists;
+  Buffer.add_char buf '\n';
+  for i = 0 to nbins - 1 do
+    let b = (snd (List.hd hists)).Histogram.bins.(i) in
+    Buffer.add_string buf
+      (Printf.sprintf "[%6.0f, %6.0f)" b.Histogram.lo b.Histogram.hi);
+    List.iter
+      (fun (_, h) ->
+        let c = h.Histogram.bins.(i).Histogram.count in
+        let bar = String.make (c * (width - 7) / peak) '#' in
+        Buffer.add_string buf (Printf.sprintf " | %5d %-*s" c (width - 7) bar))
+      hists;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let csv ?bins series =
+  let hists = common_histograms ?bins series in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "bin_lo,bin_hi";
+  List.iter (fun (label, _) -> Buffer.add_string buf ("," ^ label)) hists;
+  Buffer.add_char buf '\n';
+  let nbins =
+    match hists with (_, h) :: _ -> Array.length h.Histogram.bins | [] -> 0
+  in
+  for i = 0 to nbins - 1 do
+    let b = (snd (List.hd hists)).Histogram.bins.(i) in
+    Buffer.add_string buf (Printf.sprintf "%.1f,%.1f" b.Histogram.lo b.Histogram.hi);
+    List.iter
+      (fun (_, h) ->
+        Buffer.add_string buf
+          (Printf.sprintf ",%d" h.Histogram.bins.(i).Histogram.count))
+      hists;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let probability_series workloads =
+  Histogram.probability (Histogram.log10 workloads)

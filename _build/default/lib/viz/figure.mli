@@ -1,0 +1,19 @@
+(** Printable figures: workload histograms, alone or side by side.
+
+    The paper's Figures 4–14 all overlay two workload histograms (one per
+    strategy) at a given tick; {!compare_histograms} prints that as an
+    aligned table with ASCII bars, and {!csv} exports the series for
+    external plotting. *)
+
+type series = { label : string; workloads : int array }
+
+val compare_histograms : ?bins:int -> ?width:int -> series list -> string
+(** All series binned over a common [0, max] range (default 20 bins);
+    one table row per bin, one count column and bar per series.
+    @raise Invalid_argument on an empty series list. *)
+
+val csv : ?bins:int -> series list -> string
+(** Columns: [bin_lo, bin_hi, <label1>, <label2>, ...]. *)
+
+val probability_series : int array -> (float * float) array
+(** Figure 1's log-binned probability distribution of workload. *)

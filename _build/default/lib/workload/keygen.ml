@@ -1,0 +1,45 @@
+let fresh rng =
+  let buf = Bytes.create 16 in
+  Prng.fill_bytes rng buf;
+  let ctx = Sha1.init () in
+  Sha1.feed_bytes ctx buf;
+  Id.of_raw_string (Sha1.get ctx)
+
+let rec fresh_distinct rng taken =
+  let id = fresh rng in
+  if Id_set.mem id taken then fresh_distinct rng taken else id
+
+let distinct rng n =
+  let out = Array.make n Id.zero in
+  let taken = ref Id_set.empty in
+  for i = 0 to n - 1 do
+    let id = fresh_distinct rng !taken in
+    taken := Id_set.add id !taken;
+    out.(i) <- id
+  done;
+  out
+
+let node_ids = distinct
+let task_keys = distinct
+
+let even_ids n =
+  if n < 1 then invalid_arg "Keygen.even_ids: n < 1";
+  Array.init n (fun k -> Id.of_fraction (float_of_int k /. float_of_int n))
+
+let zipf rng ~n ~s =
+  if n < 1 then invalid_arg "Keygen.zipf: n < 1";
+  if s < 0.0 then invalid_arg "Keygen.zipf: s < 0";
+  (* Inverse CDF over the truncated harmonic weights; O(n) worst case but
+     heavily front-loaded, so the expected scan is short for s >= 1. *)
+  let norm = ref 0.0 in
+  for k = 1 to n do
+    norm := !norm +. (1.0 /. Float.pow (float_of_int k) s)
+  done;
+  let target = Prng.float_unit rng *. !norm in
+  let rec scan k acc =
+    if k >= n then n
+    else
+      let acc = acc +. (1.0 /. Float.pow (float_of_int k) s) in
+      if acc >= target then k else scan (k + 1) acc
+  in
+  scan 1 0.0

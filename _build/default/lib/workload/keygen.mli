@@ -1,0 +1,31 @@
+(** Identifier and key generation.
+
+    The paper generates node ids and task keys "by feeding random numbers
+    into the SHA1 hash function"; {!fresh} reproduces that pipeline
+    deterministically from a {!Prng.t}.  {!even_ids} produces the
+    perfectly spaced placement of Figure 3, and {!zipf} provides the
+    skewed popularity model the paper invokes when describing workload
+    shape. *)
+
+val fresh : Prng.t -> Id.t
+(** SHA-1 of the next 16 random bytes: one fresh 160-bit id. *)
+
+val fresh_distinct : Prng.t -> Id_set.t -> Id.t
+(** A fresh id guaranteed not to collide with the given set (retries;
+    collisions are astronomically unlikely but joins require unique
+    ring positions). *)
+
+val node_ids : Prng.t -> int -> Id.t array
+(** [node_ids rng n] draws [n] distinct node ids. *)
+
+val task_keys : Prng.t -> int -> Id.t array
+(** [task_keys rng m] draws [m] distinct task keys. *)
+
+val even_ids : int -> Id.t array
+(** [even_ids n]: ids at fractions [k/n] of the ring, [k = 0..n-1] —
+    the idealized placement of Figure 3. *)
+
+val zipf : Prng.t -> n:int -> s:float -> int
+(** [zipf rng ~n ~s] samples a 1-based rank from a Zipf([s]) distribution
+    over [n] ranks by inverse-CDF on the truncated harmonic series.
+    @raise Invalid_argument if [n < 1] or [s < 0]. *)

@@ -1,0 +1,1 @@
+test/test_dht.ml: Alcotest Dht Id Id_set List QCheck Testutil

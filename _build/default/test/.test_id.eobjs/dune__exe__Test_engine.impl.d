@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Decision Engine Fun List Params Printf QCheck State Strategy Testutil Trace

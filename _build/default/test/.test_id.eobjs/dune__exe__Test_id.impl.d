@@ -1,0 +1,1 @@
+test/test_id.ml: Alcotest Id QCheck String Testutil

@@ -1,0 +1,1 @@
+test/test_id_set.ml: Alcotest Id Id_set Interval List QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_id_set.mli:

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Float Id Interval QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Csv_out Engine Export Filename Float Fun Json_out List Params String Sys

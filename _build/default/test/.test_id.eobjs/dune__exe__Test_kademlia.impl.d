@@ -1,0 +1,1 @@
+test/test_kademlia.ml: Alcotest Array Id Kademlia Keygen List Printf Prng QCheck Testutil

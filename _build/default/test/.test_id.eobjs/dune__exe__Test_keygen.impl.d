@@ -1,0 +1,1 @@
+test/test_keygen.ml: Alcotest Array Float Id Id_set Keygen Prng QCheck Testutil

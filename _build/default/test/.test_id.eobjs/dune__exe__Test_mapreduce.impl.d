@@ -1,0 +1,1 @@
+test/test_mapreduce.ml: Alcotest Array Hashtbl Id Keygen List Mapreduce Option Prng QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_messages.ml: Alcotest Format Messages Option String

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Engine Fun Id Keygen Params Printf Prng QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_ordset.ml: Alcotest Fun Int List Ordset Printf QCheck Set String Testutil

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Bytes Float Fun Int64 Prng QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Float Id List Prng QCheck Replication Testutil

@@ -1,0 +1,1 @@
+test/test_ring.ml: Alcotest Id Interval List Option QCheck Ring Testutil

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Finger_table Format Id Keygen List Option Prng Ring Routing Testutil

@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Format Params Runner Strategy String

@@ -1,0 +1,1 @@
+test/test_sha1.ml: Alcotest Bytes Char List Printf QCheck Sha1 String Testutil

@@ -1,0 +1,1 @@
+test/test_stabilizer.ml: Alcotest Array Id Keygen List Prng QCheck Stabilizer Testutil

@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Array Dht Id Id_set Interval Keygen List Messages Params Printf Prng State Testutil

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Descriptive Histogram Inequality List QCheck Significance String Testutil

@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Array Decision Dht Engine Id Inequality Lazy List Params Runner State Strategy

@@ -1,0 +1,1 @@
+test/test_symphony.ml: Alcotest Array Id Keygen List Printf Prng QCheck Symphony Testutil

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Array Circle Figure Float Id Keygen List Prng QCheck String Testutil

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Array Dht Id Keygen List Prng QCheck QCheck_alcotest

@@ -1,0 +1,227 @@
+(* Unit and property tests for the 160-bit ring identifiers. *)
+
+let id_of_int = Id.of_int
+
+let arb_id = Testutil.arb_id
+let prop name count arb law = Testutil.prop ~count name arb law
+let check_id = Testutil.check_id
+
+let test_constants () =
+  Alcotest.(check string) "zero hex" (String.make 40 '0') (Id.to_hex Id.zero);
+  Alcotest.(check string) "max hex" (String.make 40 'f') (Id.to_hex Id.max_id);
+  Alcotest.(check int) "bits" 160 Id.bits;
+  Alcotest.(check int) "bytes" 20 Id.bytes_len
+
+let test_of_int () =
+  Alcotest.check check_id "0" Id.zero (id_of_int 0);
+  Alcotest.(check string) "255"
+    (String.make 38 '0' ^ "ff")
+    (Id.to_hex (id_of_int 255));
+  Alcotest.(check string) "256"
+    (String.make 37 '0' ^ "100")
+    (Id.to_hex (id_of_int 256));
+  Alcotest.check_raises "negative" (Invalid_argument "Id.of_int: negative")
+    (fun () -> ignore (id_of_int (-1)))
+
+let test_hex_roundtrip () =
+  let h = "00112233445566778899aabbccddeeff01234567" in
+  Alcotest.(check string) "roundtrip" h (Id.to_hex (Id.of_hex h));
+  Alcotest.check_raises "short" (Invalid_argument "Id.of_hex: expected 40 hex characters")
+    (fun () -> ignore (Id.of_hex "abc"))
+
+let test_succ_pred () =
+  Alcotest.check check_id "succ zero" (id_of_int 1) (Id.succ Id.zero);
+  Alcotest.check check_id "pred one" Id.zero (Id.pred (id_of_int 1));
+  Alcotest.check check_id "succ wraps" Id.zero (Id.succ Id.max_id);
+  Alcotest.check check_id "pred wraps" Id.max_id (Id.pred Id.zero)
+
+let test_add_sub () =
+  Alcotest.check check_id "3+4" (id_of_int 7) (Id.add (id_of_int 3) (id_of_int 4));
+  Alcotest.check check_id "7-4" (id_of_int 3) (Id.sub (id_of_int 7) (id_of_int 4));
+  (* carry across byte boundaries *)
+  Alcotest.check check_id "255+1" (id_of_int 256) (Id.add (id_of_int 255) (id_of_int 1));
+  Alcotest.check check_id "65535+1" (id_of_int 65536)
+    (Id.add (id_of_int 65535) (id_of_int 1));
+  (* wrap: max + 1 = 0 *)
+  Alcotest.check check_id "max+1" Id.zero (Id.add Id.max_id (id_of_int 1))
+
+let test_add_pow2 () =
+  Alcotest.check check_id "2^0" (id_of_int 1) (Id.add_pow2 Id.zero 0);
+  Alcotest.check check_id "2^10" (id_of_int 1024) (Id.add_pow2 Id.zero 10);
+  (* 2^159 twice wraps to 0 *)
+  let h = Id.add_pow2 Id.zero 159 in
+  Alcotest.check check_id "2^159 * 2 = 0" Id.zero (Id.add h h);
+  Alcotest.check_raises "k too large"
+    (Invalid_argument "Id.add_pow2: exponent out of range") (fun () ->
+      ignore (Id.add_pow2 Id.zero 160))
+
+let test_half () =
+  Alcotest.check check_id "half 8" (id_of_int 4) (Id.half (id_of_int 8));
+  Alcotest.check check_id "half 9" (id_of_int 4) (Id.half (id_of_int 9));
+  Alcotest.check check_id "half 256" (id_of_int 128) (Id.half (id_of_int 256))
+
+let test_distance () =
+  Alcotest.check check_id "cw 3->10" (id_of_int 7)
+    (Id.distance_cw (id_of_int 3) (id_of_int 10));
+  (* wrapping distance: 10 -> 3 goes the long way round *)
+  let d = Id.distance_cw (id_of_int 10) (id_of_int 3) in
+  Alcotest.check check_id "wraps" (Id.sub Id.zero (id_of_int 7)) d;
+  Alcotest.check check_id "self" Id.zero (Id.distance_cw (id_of_int 5) (id_of_int 5))
+
+let test_midpoint () =
+  Alcotest.check check_id "mid 0..10" (id_of_int 5)
+    (Id.midpoint Id.zero (id_of_int 10));
+  (* midpoint of the full ring is the antipode *)
+  let anti = Id.midpoint (id_of_int 5) (id_of_int 5) in
+  Alcotest.check check_id "antipode" (Id.add (id_of_int 5) (Id.add_pow2 Id.zero 159)) anti
+
+let test_between () =
+  let b ~after ~upto x = Id.between_oc ~after ~upto (id_of_int x) in
+  let after = id_of_int 10 and upto = id_of_int 20 in
+  Alcotest.(check bool) "inside" true (b ~after ~upto 15);
+  Alcotest.(check bool) "upper closed" true (b ~after ~upto 20);
+  Alcotest.(check bool) "lower open" false (b ~after ~upto 10);
+  Alcotest.(check bool) "outside" false (b ~after ~upto 25);
+  (* wrapping arc (20, 10] *)
+  let b' x = Id.between_oc ~after:upto ~upto:after (id_of_int x) in
+  Alcotest.(check bool) "wrap inside low" true (b' 5);
+  Alcotest.(check bool) "wrap inside high" true (b' 25);
+  Alcotest.(check bool) "wrap outside" false (b' 15);
+  (* degenerate arc = full ring *)
+  Alcotest.(check bool) "full ring" true
+    (Id.between_oc ~after ~upto:after (id_of_int 3));
+  Alcotest.(check bool) "oo empty when equal" false
+    (Id.between_oo ~after ~before:after (id_of_int 3))
+
+let test_fraction () =
+  Alcotest.(check (float 1e-9)) "zero" 0.0 (Id.to_fraction Id.zero);
+  let half = Id.add_pow2 Id.zero 159 in
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Id.to_fraction half);
+  Alcotest.(check (float 1e-9)) "max near 1" 1.0 (Id.to_fraction Id.max_id);
+  Alcotest.check_raises "of_fraction bounds"
+    (Invalid_argument "Id.of_fraction: out of [0,1)") (fun () ->
+      ignore (Id.of_fraction 1.0))
+
+let test_logxor () =
+  Alcotest.check check_id "xor" (id_of_int 0b0110)
+    (Id.logxor (id_of_int 0b1010) (id_of_int 0b1100));
+  Alcotest.check check_id "self inverse" Id.zero
+    (Id.logxor (id_of_int 12345) (id_of_int 12345));
+  Alcotest.check check_id "zero identity" (id_of_int 7)
+    (Id.logxor (id_of_int 7) Id.zero)
+
+let test_msb () =
+  Alcotest.(check (option int)) "zero" None (Id.msb Id.zero);
+  Alcotest.(check (option int)) "one" (Some 0) (Id.msb (id_of_int 1));
+  Alcotest.(check (option int)) "255" (Some 7) (Id.msb (id_of_int 255));
+  Alcotest.(check (option int)) "256" (Some 8) (Id.msb (id_of_int 256));
+  Alcotest.(check (option int)) "max" (Some 159) (Id.msb Id.max_id);
+  Alcotest.(check (option int)) "2^159" (Some 159)
+    (Id.msb (Id.add_pow2 Id.zero 159))
+
+(* Properties *)
+
+let prop_add_sub_inverse =
+  prop "add/sub inverse" 500
+    (QCheck.pair arb_id arb_id)
+    (fun (a, b) -> Id.equal (Id.sub (Id.add a b) b) a)
+
+let prop_add_commutative =
+  prop "add commutative" 500
+    (QCheck.pair arb_id arb_id)
+    (fun (a, b) -> Id.equal (Id.add a b) (Id.add b a))
+
+let prop_succ_pred_inverse =
+  prop "succ/pred inverse" 500 arb_id (fun a ->
+      Id.equal (Id.pred (Id.succ a)) a && Id.equal (Id.succ (Id.pred a)) a)
+
+let prop_hex_roundtrip =
+  prop "hex roundtrip" 500 arb_id (fun a -> Id.equal (Id.of_hex (Id.to_hex a)) a)
+
+let prop_raw_roundtrip =
+  prop "raw roundtrip" 500 arb_id (fun a ->
+      Id.equal (Id.of_raw_string (Id.to_raw_string a)) a)
+
+let prop_midpoint_in_arc =
+  prop "midpoint lies in the arc" 500
+    (QCheck.pair arb_id arb_id)
+    (fun (a, b) ->
+      QCheck.assume (not (Id.equal a b));
+      let m = Id.midpoint a b in
+      (* The midpoint of (a, b] is in the arc unless the arc has width 1,
+         in which case it equals the endpoint b... or a. *)
+      Id.between_oc ~after:a ~upto:b m || Id.equal m a)
+
+let prop_between_halves =
+  prop "midpoint splits the arc" 300
+    (QCheck.triple arb_id arb_id arb_id)
+    (fun (a, b, x) ->
+      QCheck.assume (not (Id.equal a b));
+      let m = Id.midpoint a b in
+      QCheck.assume (not (Id.equal m a) && not (Id.equal m b));
+      (* every x in (a,b] is in exactly one of (a,m] and (m,b] *)
+      QCheck.assume (Id.between_oc ~after:a ~upto:b x);
+      let in1 = Id.between_oc ~after:a ~upto:m x in
+      let in2 = Id.between_oc ~after:m ~upto:b x in
+      in1 <> in2)
+
+let prop_fraction_monotone =
+  prop "to_fraction monotone" 500
+    (QCheck.pair arb_id arb_id)
+    (fun (a, b) ->
+      let c = Id.compare a b and fa = Id.to_fraction a and fb = Id.to_fraction b in
+      if c < 0 then fa <= fb else if c > 0 then fa >= fb else fa = fb)
+
+let prop_xor_involution =
+  prop "xor is an involution" 500
+    (QCheck.pair arb_id arb_id)
+    (fun (a, b) -> Id.equal (Id.logxor (Id.logxor a b) b) a)
+
+let prop_msb_pow2 =
+  prop "msb of 2^k is k" 160
+    (QCheck.int_range 0 159)
+    (fun k -> Id.msb (Id.add_pow2 Id.zero k) = Some k)
+
+let prop_distance_triangle =
+  prop "cw distances around the ring sum to 0 (mod 2^160)" 500
+    (QCheck.triple arb_id arb_id arb_id)
+    (fun (a, b, c) ->
+      let d1 = Id.distance_cw a b
+      and d2 = Id.distance_cw b c
+      and d3 = Id.distance_cw c a in
+      Id.equal (Id.add d1 (Id.add d2 d3)) Id.zero)
+
+let () =
+  Alcotest.run "id"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "of_int" `Quick test_of_int;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "succ/pred" `Quick test_succ_pred;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "add_pow2" `Quick test_add_pow2;
+          Alcotest.test_case "half" `Quick test_half;
+          Alcotest.test_case "distance" `Quick test_distance;
+          Alcotest.test_case "midpoint" `Quick test_midpoint;
+          Alcotest.test_case "between" `Quick test_between;
+          Alcotest.test_case "fraction" `Quick test_fraction;
+          Alcotest.test_case "logxor" `Quick test_logxor;
+          Alcotest.test_case "msb" `Quick test_msb;
+        ] );
+      ( "properties",
+        [
+          prop_add_sub_inverse;
+          prop_add_commutative;
+          prop_succ_pred_inverse;
+          prop_hex_roundtrip;
+          prop_raw_roundtrip;
+          prop_midpoint_in_arc;
+          prop_between_halves;
+          prop_fraction_monotone;
+          prop_distance_triangle;
+          prop_xor_involution;
+          prop_msb_pow2;
+        ] );
+    ]

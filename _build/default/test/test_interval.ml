@@ -1,0 +1,84 @@
+(* Tests for clockwise ring arcs. *)
+
+let i = Id.of_int
+
+let test_make_mem () =
+  let arc = Interval.make ~after:(i 10) ~upto:(i 20) in
+  Alcotest.(check bool) "inside" true (Interval.mem (i 15) arc);
+  Alcotest.(check bool) "upto included" true (Interval.mem (i 20) arc);
+  Alcotest.(check bool) "after excluded" false (Interval.mem (i 10) arc);
+  Alcotest.(check bool) "outside" false (Interval.mem (i 30) arc)
+
+let test_wrap_mem () =
+  let arc = Interval.make ~after:(i 20) ~upto:(i 10) in
+  Alcotest.(check bool) "low side" true (Interval.mem (i 5) arc);
+  Alcotest.(check bool) "high side" true (Interval.mem (i 25) arc);
+  Alcotest.(check bool) "gap" false (Interval.mem (i 15) arc);
+  Alcotest.(check bool) "boundary upto" true (Interval.mem (i 10) arc);
+  Alcotest.(check bool) "boundary after" false (Interval.mem (i 20) arc)
+
+let test_full () =
+  let arc = Interval.full (i 7) in
+  Alcotest.(check bool) "everything inside" true (Interval.mem (i 7) arc);
+  Alcotest.(check bool) "everything inside 2" true (Interval.mem Id.zero arc);
+  Alcotest.(check (float 1e-12)) "fraction 1" 1.0 (Interval.fraction arc)
+
+let test_width_fraction () =
+  let arc = Interval.make ~after:Id.zero ~upto:(Id.add_pow2 Id.zero 159) in
+  Alcotest.(check (float 1e-9)) "half ring" 0.5 (Interval.fraction arc);
+  Alcotest.check Testutil.check_id "width" (Id.add_pow2 Id.zero 159)
+    (Interval.width arc)
+
+let test_midpoint () =
+  let arc = Interval.make ~after:Id.zero ~upto:(i 100) in
+  Alcotest.check Testutil.check_id "mid" (i 50) (Interval.midpoint arc)
+
+let test_compare_width () =
+  let small = Interval.make ~after:(i 0) ~upto:(i 10) in
+  let big = Interval.make ~after:(i 0) ~upto:(i 100) in
+  let full = Interval.full (i 3) in
+  Alcotest.(check bool) "small < big" true (Interval.compare_width small big < 0);
+  Alcotest.(check bool) "big < full" true (Interval.compare_width big full < 0);
+  Alcotest.(check int) "full = full" 0 (Interval.compare_width full (Interval.full (i 9)));
+  Alcotest.(check int) "equal widths" 0
+    (Interval.compare_width small (Interval.make ~after:(i 5) ~upto:(i 15)))
+
+let prop_mem_matches_between =
+  Testutil.prop "Interval.mem agrees with Id.between_oc"
+    (QCheck.triple Testutil.arb_id Testutil.arb_id Testutil.arb_id)
+    (fun (a, b, x) ->
+      Interval.mem x (Interval.make ~after:a ~upto:b)
+      = Id.between_oc ~after:a ~upto:b x)
+
+let prop_fraction_positive =
+  Testutil.prop "fraction always in (0, 1]"
+    (QCheck.pair Testutil.arb_id Testutil.arb_id)
+    (fun (a, b) ->
+      let f = Interval.fraction (Interval.make ~after:a ~upto:b) in
+      f > 0.0 && f <= 1.0)
+
+let prop_complementary_fractions =
+  Testutil.prop "arc + complement fractions sum to ~1"
+    (QCheck.pair Testutil.arb_id Testutil.arb_id)
+    (fun (a, b) ->
+      QCheck.assume (not (Id.equal a b));
+      let f1 = Interval.fraction (Interval.make ~after:a ~upto:b) in
+      let f2 = Interval.fraction (Interval.make ~after:b ~upto:a) in
+      Float.abs (f1 +. f2 -. 1.0) < 1e-9)
+
+let () =
+  Alcotest.run "interval"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make/mem" `Quick test_make_mem;
+          Alcotest.test_case "wrapping arc" `Quick test_wrap_mem;
+          Alcotest.test_case "full ring" `Quick test_full;
+          Alcotest.test_case "width/fraction" `Quick test_width_fraction;
+          Alcotest.test_case "midpoint" `Quick test_midpoint;
+          Alcotest.test_case "compare_width" `Quick test_compare_width;
+        ] );
+      ( "properties",
+        [ prop_mem_matches_between; prop_fraction_positive; prop_complementary_fractions ]
+      );
+    ]

@@ -1,0 +1,111 @@
+(* CSV and JSON emission. *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv_out.escape_field "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv_out.escape_field "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv_out.escape_field "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv_out.escape_field "a\nb");
+  Alcotest.(check string) "empty" "" (Csv_out.escape_field "")
+
+let test_csv_row () =
+  Alcotest.(check string) "row" "a,\"b,c\",d" (Csv_out.row [ "a"; "b,c"; "d" ])
+
+let test_csv_table () =
+  let t = Csv_out.table ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4" ] ] in
+  Alcotest.(check string) "table" "x,y\n1,2\n3,4\n" t;
+  Alcotest.check_raises "ragged" (Invalid_argument "Csv_out.table: ragged row")
+    (fun () -> ignore (Csv_out.table ~header:[ "x" ] [ [ "1"; "2" ] ]))
+
+let test_csv_write_file () =
+  let path = Filename.temp_file "dhtlb_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv_out.write_file path "a,b\n";
+      let ic = open_in path in
+      let line = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "written" "a,b" line)
+
+let test_json_scalars () =
+  let j v = Json_out.to_string v in
+  Alcotest.(check string) "null" "null" (j Json_out.Null);
+  Alcotest.(check string) "true" "true" (j (Json_out.Bool true));
+  Alcotest.(check string) "int" "42" (j (Json_out.Int 42));
+  Alcotest.(check string) "float" "1.5" (j (Json_out.Float 1.5));
+  Alcotest.(check string) "integral float" "3.0" (j (Json_out.Float 3.0));
+  Alcotest.(check string) "nan is null" "null" (j (Json_out.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null" (j (Json_out.Float Float.infinity));
+  Alcotest.(check string) "string" "\"hi\"" (j (Json_out.String "hi"))
+
+let test_json_escaping () =
+  Alcotest.(check string) "quotes" "\"a\\\"b\"" (Json_out.escape_string "a\"b");
+  Alcotest.(check string) "backslash" "\"a\\\\b\"" (Json_out.escape_string "a\\b");
+  Alcotest.(check string) "newline" "\"a\\nb\"" (Json_out.escape_string "a\nb");
+  Alcotest.(check string) "control" "\"\\u0001\"" (Json_out.escape_string "\x01")
+
+let test_json_structures () =
+  let j v = Json_out.to_string v in
+  Alcotest.(check string) "empty list" "[]" (j (Json_out.List []));
+  Alcotest.(check string) "list" "[1,2]"
+    (j (Json_out.List [ Json_out.Int 1; Json_out.Int 2 ]));
+  Alcotest.(check string) "empty obj" "{}" (j (Json_out.Obj []));
+  Alcotest.(check string) "obj" "{\"a\":1}"
+    (j (Json_out.Obj [ ("a", Json_out.Int 1) ]));
+  let pretty =
+    Json_out.to_string ~pretty:true (Json_out.Obj [ ("a", Json_out.Int 1) ])
+  in
+  Alcotest.(check string) "pretty" "{\n  \"a\": 1\n}" pretty
+
+let test_json_float_roundtrip () =
+  (* %.17g must preserve any finite float through a parse *)
+  let v = 0.1 +. 0.2 in
+  let s = Json_out.to_string (Json_out.Float v) in
+  Alcotest.(check (float 0.0)) "roundtrip" v (float_of_string s)
+
+let test_export_trace_csv () =
+  let params = Params.default ~nodes:20 ~tasks:100 in
+  let r = Engine.run params Engine.no_strategy in
+  let csv = Export.trace_csv r.Engine.trace in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "tick,work_done,remaining,active_nodes,vnodes"
+    (List.hd lines);
+  (* one row per tick *)
+  let ticks = match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t in
+  Alcotest.(check int) "rows" ticks (List.length lines - 1)
+
+let test_export_result_json () =
+  let params = Params.default ~nodes:20 ~tasks:100 in
+  let r = Engine.run params Engine.no_strategy in
+  let s = Json_out.to_string (Export.result_json r) in
+  let has needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "outcome" true (has "\"outcome\":\"finished\"");
+  Alcotest.(check bool) "messages" true (has "\"joins\":")
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "csv",
+        [
+          Alcotest.test_case "escape" `Quick test_csv_escape;
+          Alcotest.test_case "row" `Quick test_csv_row;
+          Alcotest.test_case "table" `Quick test_csv_table;
+          Alcotest.test_case "write file" `Quick test_csv_write_file;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "structures" `Quick test_json_structures;
+          Alcotest.test_case "float roundtrip" `Quick test_json_float_roundtrip;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "trace csv" `Quick test_export_trace_csv;
+          Alcotest.test_case "result json" `Quick test_export_result_json;
+        ] );
+    ]

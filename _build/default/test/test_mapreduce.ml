@@ -1,0 +1,166 @@
+(* ChordReduce-style MapReduce over a worker ring. *)
+
+let workers n = Keygen.node_ids (Prng.create 11) n
+
+let test_word_count_correct () =
+  let input =
+    Mapreduce.chunk_input [ "a b a"; "b c"; "a" ]
+  in
+  let r = Mapreduce.run ~workers:(workers 5) ~input Mapreduce.word_count in
+  let sorted = List.sort compare r.Mapreduce.pairs in
+  Alcotest.(check (list (pair string int)))
+    "counts" [ ("a", 3); ("b", 2); ("c", 1) ] sorted
+
+let test_empty_input () =
+  let r = Mapreduce.run ~workers:(workers 3) ~input:[] Mapreduce.word_count in
+  Alcotest.(check (list (pair string int))) "no pairs" [] r.Mapreduce.pairs;
+  Alcotest.(check int) "makespan 0" 0 r.Mapreduce.total_makespan
+
+let test_no_workers () =
+  Alcotest.check_raises "empty ring" (Invalid_argument "Mapreduce.run: no workers")
+    (fun () ->
+      ignore (Mapreduce.run ~workers:[||] ~input:[] Mapreduce.word_count))
+
+let test_stats () =
+  let input = Mapreduce.chunk_input (List.init 100 (fun i -> "w" ^ string_of_int i)) in
+  let r = Mapreduce.run ~workers:(workers 10) ~input Mapreduce.word_count in
+  Alcotest.(check int) "map tasks = records" 100 r.Mapreduce.map_stats.Mapreduce.tasks;
+  Alcotest.(check int) "reduce tasks = distinct words" 100
+    r.Mapreduce.reduce_stats.Mapreduce.tasks;
+  Alcotest.(check bool) "makespan >= ceil(tasks/workers)" true
+    (r.Mapreduce.map_stats.Mapreduce.makespan >= 10);
+  Alcotest.(check bool) "busy <= workers" true
+    (r.Mapreduce.map_stats.Mapreduce.busy_workers <= 10);
+  Alcotest.(check (float 1e-9)) "mean load" 10.0
+    r.Mapreduce.map_stats.Mapreduce.mean_load;
+  Alcotest.(check int) "total = map + reduce"
+    (r.Mapreduce.map_stats.Mapreduce.makespan
+    + r.Mapreduce.reduce_stats.Mapreduce.makespan)
+    r.Mapreduce.total_makespan
+
+let test_output_independent_of_ring () =
+  (* The worker placement must never change the reduced values. *)
+  let input = Mapreduce.chunk_input [ "x y z x"; "y x"; "z z z" ] in
+  let r1 = Mapreduce.run ~workers:(workers 3) ~input Mapreduce.word_count in
+  let r2 = Mapreduce.run ~workers:(workers 17) ~input Mapreduce.word_count in
+  Alcotest.(check (list (pair string int)))
+    "same output"
+    (List.sort compare r1.Mapreduce.pairs)
+    (List.sort compare r2.Mapreduce.pairs)
+
+let test_more_workers_shrink_makespan () =
+  let input = Mapreduce.chunk_input (List.init 400 (fun i -> "r" ^ string_of_int i)) in
+  let small = Mapreduce.run ~workers:(workers 5) ~input Mapreduce.word_count in
+  let large = Mapreduce.run ~workers:(workers 100) ~input Mapreduce.word_count in
+  Alcotest.(check bool) "more workers help" true
+    (large.Mapreduce.total_makespan < small.Mapreduce.total_makespan)
+
+let test_chunk_input () =
+  let c1 = Mapreduce.chunk_input [ "a"; "b" ] in
+  let c2 = Mapreduce.chunk_input [ "a"; "b" ] in
+  Alcotest.(check int) "two chunks" 2 (List.length c1);
+  (* deterministic ids, distinct per ordinal even for equal contents *)
+  List.iter2
+    (fun (i1, _) (i2, _) ->
+      Alcotest.check Testutil.check_id "deterministic" i1 i2)
+    c1 c2;
+  let c3 = Mapreduce.chunk_input [ "a"; "a" ] in
+  match c3 with
+  | [ (i1, _); (i2, _) ] ->
+    Alcotest.(check bool) "ordinal disambiguates" false (Id.equal i1 i2)
+  | _ -> Alcotest.fail "two chunks expected"
+
+let test_word_count_tokenizer () =
+  let pairs = Mapreduce.word_count.Mapreduce.map Id.zero "  hello   world \n hello " in
+  let sorted = List.sort compare pairs in
+  Alcotest.(check (list (pair string int)))
+    "splits and drops blanks"
+    [ ("hello", 1); ("hello", 1); ("world", 1) ]
+    sorted
+
+let test_inverted_index () =
+  let records = [ "apple banana"; "banana cherry"; "apple" ] in
+  let input = Mapreduce.chunk_input records in
+  let chunk_ids = List.map fst input in
+  let r = Mapreduce.run ~workers:(workers 5) ~input Mapreduce.inverted_index in
+  let find w = List.assoc w r.Mapreduce.pairs in
+  Alcotest.(check int) "apple in 2 chunks" 2 (Mapreduce.Chunks.cardinal (find "apple"));
+  Alcotest.(check int) "banana in 2 chunks" 2 (Mapreduce.Chunks.cardinal (find "banana"));
+  Alcotest.(check int) "cherry in 1 chunk" 1 (Mapreduce.Chunks.cardinal (find "cherry"));
+  (* the postings actually point at the right chunks *)
+  let apple_chunks = Mapreduce.Chunks.to_list (find "apple") in
+  Alcotest.(check bool) "chunk 0 indexed" true
+    (List.exists (Id.equal (List.nth chunk_ids 0)) apple_chunks);
+  Alcotest.(check bool) "chunk 2 indexed" true
+    (List.exists (Id.equal (List.nth chunk_ids 2)) apple_chunks);
+  (* duplicate words within one chunk do not duplicate postings *)
+  let r2 =
+    Mapreduce.run ~workers:(workers 5)
+      ~input:(Mapreduce.chunk_input [ "dup dup dup" ])
+      Mapreduce.inverted_index
+  in
+  Alcotest.(check int) "dedup within chunk" 1
+    (Mapreduce.Chunks.cardinal (List.assoc "dup" r2.Mapreduce.pairs))
+
+let test_grep () =
+  let records = [ "the cat sat"; "no match here"; "cat cat cat" ] in
+  let input = Mapreduce.chunk_input records in
+  let chunk_ids = Array.of_list (List.map fst input) in
+  let r = Mapreduce.run ~workers:(workers 4) ~input (Mapreduce.grep ~pattern:"cat") in
+  Alcotest.(check int) "two matching chunks" 2 (List.length r.Mapreduce.pairs);
+  Alcotest.(check (option int)) "chunk 0 one hit" (Some 1)
+    (List.assoc_opt chunk_ids.(0) r.Mapreduce.pairs);
+  Alcotest.(check (option int)) "chunk 2 three hits" (Some 3)
+    (List.assoc_opt chunk_ids.(2) r.Mapreduce.pairs);
+  Alcotest.(check (option int)) "chunk 1 absent" None
+    (List.assoc_opt chunk_ids.(1) r.Mapreduce.pairs);
+  (* overlap semantics: non-overlapping count *)
+  let r2 =
+    Mapreduce.run ~workers:(workers 4)
+      ~input:(Mapreduce.chunk_input [ "aaaa" ])
+      (Mapreduce.grep ~pattern:"aa")
+  in
+  match r2.Mapreduce.pairs with
+  | [ (_, n) ] -> Alcotest.(check int) "non-overlapping" 2 n
+  | _ -> Alcotest.fail "one matching chunk expected"
+
+let prop_counts_match_naive =
+  Testutil.prop ~count:100 "wordcount matches naive counting"
+    QCheck.(small_list (string_of_size (QCheck.Gen.int_bound 12)))
+    (fun records ->
+      let input = Mapreduce.chunk_input records in
+      let r = Mapreduce.run ~workers:(workers 7) ~input Mapreduce.word_count in
+      let naive = Hashtbl.create 16 in
+      List.iter
+        (fun record ->
+          List.iter
+            (fun (w, c) ->
+              Hashtbl.replace naive w
+                (c + Option.value ~default:0 (Hashtbl.find_opt naive w)))
+            (Mapreduce.word_count.Mapreduce.map Id.zero record))
+        records;
+      List.for_all
+        (fun (w, c) -> Hashtbl.find_opt naive w = Some c)
+        r.Mapreduce.pairs
+      && List.length r.Mapreduce.pairs = Hashtbl.length naive)
+
+let () =
+  Alcotest.run "mapreduce"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "wordcount" `Quick test_word_count_correct;
+          Alcotest.test_case "empty input" `Quick test_empty_input;
+          Alcotest.test_case "no workers" `Quick test_no_workers;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "ring-independent output" `Quick
+            test_output_independent_of_ring;
+          Alcotest.test_case "more workers help" `Quick
+            test_more_workers_shrink_makespan;
+          Alcotest.test_case "chunk_input" `Quick test_chunk_input;
+          Alcotest.test_case "tokenizer" `Quick test_word_count_tokenizer;
+          Alcotest.test_case "inverted index" `Quick test_inverted_index;
+          Alcotest.test_case "grep" `Quick test_grep;
+        ] );
+      ("properties", [ prop_counts_match_naive ]);
+    ]

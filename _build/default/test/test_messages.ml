@@ -1,0 +1,46 @@
+(* Message accounting bookkeeping. *)
+
+let test_create_zero () =
+  let m = Messages.create () in
+  Alcotest.(check int) "total" 0 (Messages.total m)
+
+let test_total_and_add () =
+  let m = Messages.create () in
+  m.Messages.joins <- 3;
+  m.Messages.key_transfers <- 10;
+  m.Messages.lookup_hops <- 7;
+  Alcotest.(check int) "total" 20 (Messages.total m);
+  let acc = Messages.create () in
+  acc.Messages.joins <- 1;
+  Messages.add acc m;
+  Alcotest.(check int) "accumulated joins" 4 acc.Messages.joins;
+  Alcotest.(check int) "accumulated total" 21 (Messages.total acc)
+
+let test_reset () =
+  let m = Messages.create () in
+  m.Messages.invitations <- 5;
+  m.Messages.workload_queries <- 2;
+  m.Messages.maintenance <- 9;
+  m.Messages.leaves <- 1;
+  Messages.reset m;
+  Alcotest.(check int) "reset" 0 (Messages.total m)
+
+let test_pp () =
+  let m = Messages.create () in
+  m.Messages.joins <- 2;
+  let s = Format.asprintf "%a" Messages.pp m in
+  Alcotest.(check bool) "mentions joins" true
+    (String.length s > 0
+    && Option.is_some (String.index_opt s 'j'))
+
+let () =
+  Alcotest.run "messages"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create" `Quick test_create_zero;
+          Alcotest.test_case "total/add" `Quick test_total_and_add;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+    ]

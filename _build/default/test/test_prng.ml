@@ -1,0 +1,131 @@
+(* Determinism and distribution sanity for the simulation PRNG. *)
+
+let test_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.bits64 a) (Prng.bits64 b) then incr same
+  done;
+  Alcotest.(check int) "different seeds diverge" 0 !same
+
+let test_split_independent () =
+  let parent = Prng.create 9 in
+  let child1 = Prng.split parent in
+  let child2 = Prng.split parent in
+  Alcotest.(check bool) "children differ" false
+    (Int64.equal (Prng.bits64 child1) (Prng.bits64 child2))
+
+let test_int_below_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int_below rng 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "int_below out of range"
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int_below: bound must be positive")
+    (fun () -> ignore (Prng.int_below rng 0))
+
+let test_int_below_uniform () =
+  let rng = Prng.create 11 in
+  let n = 10 and draws = 100_000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let v = Prng.int_below rng n in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int n in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      if dev > 0.05 then
+        Alcotest.failf "bucket %d deviates %.1f%% from uniform" i (100.0 *. dev))
+    counts
+
+let test_int_in () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng ~lo:3 ~hi:5 in
+    if v < 3 || v > 5 then Alcotest.fail "int_in out of range"
+  done;
+  Alcotest.(check int) "singleton range" 4 (Prng.int_in rng ~lo:4 ~hi:4);
+  Alcotest.check_raises "empty range" (Invalid_argument "Prng.int_in: empty range")
+    (fun () -> ignore (Prng.int_in rng ~lo:5 ~hi:4))
+
+let test_float_unit () =
+  let rng = Prng.create 13 in
+  let sum = ref 0.0 in
+  for _ = 1 to 100_000 do
+    let f = Prng.float_unit rng in
+    if not (f >= 0.0 && f < 1.0) then Alcotest.fail "float_unit out of [0,1)";
+    sum := !sum +. f
+  done;
+  let mean = !sum /. 100_000.0 in
+  if Float.abs (mean -. 0.5) > 0.01 then
+    Alcotest.failf "float_unit mean %.4f far from 0.5" mean
+
+let test_bernoulli () =
+  let rng = Prng.create 17 in
+  Alcotest.(check bool) "p=0 never" false (Prng.bernoulli rng 0.0);
+  Alcotest.(check bool) "p=1 always" true (Prng.bernoulli rng 1.0);
+  let hits = ref 0 in
+  for _ = 1 to 100_000 do
+    if Prng.bernoulli rng 0.01 then incr hits
+  done;
+  (* 1000 expected; allow 4 sigma (~126). *)
+  if abs (!hits - 1000) > 130 then
+    Alcotest.failf "bernoulli(0.01) hit %d times out of 100k" !hits
+
+let test_fill_bytes () =
+  let rng = Prng.create 19 in
+  let b = Bytes.make 33 '\x00' in
+  Prng.fill_bytes rng b;
+  (* 33 zero bytes after filling would mean the filler is broken. *)
+  Alcotest.(check bool) "not all zero" false
+    (Bytes.for_all (fun c -> c = '\x00') b);
+  let b2 = Bytes.make 33 '\x00' in
+  Prng.fill_bytes (Prng.create 19) b2;
+  Alcotest.(check bytes) "deterministic" b2
+    (let b3 = Bytes.make 33 '\x00' in
+     Prng.fill_bytes (Prng.create 19) b3;
+     b3)
+
+let test_shuffle () =
+  let rng = Prng.create 23 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted;
+  Alcotest.(check bool) "actually moved" false (a = Array.init 50 Fun.id)
+
+let prop_int_below_in_range =
+  Testutil.prop ~count:500 "int_below always in range"
+    QCheck.(pair (int_range 1 1_000_000) small_int)
+    (fun (bound, seed) ->
+      let rng = Prng.create seed in
+      let v = Prng.int_below rng bound in
+      v >= 0 && v < bound)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+          Alcotest.test_case "split independence" `Quick test_split_independent;
+          Alcotest.test_case "int_below bounds" `Quick test_int_below_bounds;
+          Alcotest.test_case "int_below uniformity" `Quick test_int_below_uniform;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "float_unit" `Quick test_float_unit;
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+          Alcotest.test_case "fill_bytes" `Quick test_fill_bytes;
+          Alcotest.test_case "shuffle" `Quick test_shuffle;
+        ] );
+      ("properties", [ prop_int_below_in_range ]);
+    ]

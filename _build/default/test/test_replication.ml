@@ -1,0 +1,127 @@
+(* Key survivability under simultaneous failures. *)
+
+let i = Id.of_int
+
+let test_no_failures_no_loss () =
+  let rng = Prng.create 1 in
+  let o =
+    Replication.simulate rng ~nodes:200 ~keys:5_000 ~replicas:0 ~fail_fraction:0.0
+  in
+  Alcotest.(check int) "no loss" 0 o.Replication.lost_keys;
+  Alcotest.(check int) "all survive" 200 o.Replication.surviving_nodes
+
+let test_total_failure_loses_all () =
+  let rng = Prng.create 2 in
+  let o =
+    Replication.simulate rng ~nodes:100 ~keys:1_000 ~replicas:10 ~fail_fraction:1.0
+  in
+  Alcotest.(check int) "all lost" o.Replication.total_keys o.Replication.lost_keys;
+  Alcotest.(check int) "no survivors" 0 o.Replication.surviving_nodes
+
+let test_exact_accounting () =
+  (* ring {100, 200, 300, 400}; key 150 owned by 200; replicas 1 means
+     it also lives on 300. *)
+  let ring = [| i 100; i 200; i 300; i 400 |] in
+  let keys = [| i 150 |] in
+  let failed_200 id = Id.equal id (i 200) in
+  let o = Replication.loss_after_failure ~ring ~keys ~failed:failed_200 ~replicas:1 in
+  Alcotest.(check int) "replica saves it" 0 o.Replication.lost_keys;
+  let failed_200_300 id = Id.equal id (i 200) || Id.equal id (i 300) in
+  let o = Replication.loss_after_failure ~ring ~keys ~failed:failed_200_300 ~replicas:1 in
+  Alcotest.(check int) "owner+replica dead" 1 o.Replication.lost_keys;
+  let o = Replication.loss_after_failure ~ring ~keys ~failed:failed_200_300 ~replicas:2 in
+  Alcotest.(check int) "second replica saves it" 0 o.Replication.lost_keys
+
+let test_wrap_replicas () =
+  (* key 450 wraps to owner 100; with replicas 1 the copy is on 200. *)
+  let ring = [| i 100; i 200; i 300; i 400 |] in
+  let keys = [| i 450 |] in
+  let failed id = Id.equal id (i 100) in
+  let o = Replication.loss_after_failure ~ring ~keys ~failed ~replicas:1 in
+  Alcotest.(check int) "wrap owner covered" 0 o.Replication.lost_keys;
+  let failed id = Id.equal id (i 100) || Id.equal id (i 200) in
+  let o = Replication.loss_after_failure ~ring ~keys ~failed ~replicas:1 in
+  Alcotest.(check int) "wrap owner+replica dead" 1 o.Replication.lost_keys
+
+let test_replicas_capped_by_ring () =
+  (* replicas > nodes: every key held by everyone; lost only if all die *)
+  let ring = [| i 10; i 20 |] in
+  let keys = [| i 15 |] in
+  let failed id = Id.equal id (i 20) in
+  let o = Replication.loss_after_failure ~ring ~keys ~failed ~replicas:99 in
+  Alcotest.(check int) "capped at ring size" 0 o.Replication.lost_keys
+
+let test_rejects () =
+  Alcotest.(check bool) "negative replicas" true
+    (try
+       ignore
+         (Replication.loss_after_failure ~ring:[| i 1 |] ~keys:[||]
+            ~failed:(fun _ -> false) ~replicas:(-1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty ring" true
+    (try
+       ignore
+         (Replication.loss_after_failure ~ring:[||] ~keys:[||]
+            ~failed:(fun _ -> false) ~replicas:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_loss_matches_theory () =
+  (* 50% failure: loss ~ 0.5^(r+1) within sampling noise. *)
+  let rng = Prng.create 3 in
+  List.iter
+    (fun replicas ->
+      let o =
+        Replication.simulate rng ~nodes:2_000 ~keys:40_000 ~replicas
+          ~fail_fraction:0.5
+      in
+      let measured =
+        float_of_int o.Replication.lost_keys /. float_of_int o.Replication.total_keys
+      in
+      let expected = Replication.expected_loss_rate ~fail_fraction:0.5 ~replicas in
+      if Float.abs (measured -. expected) > 0.05 then
+        Alcotest.failf "replicas=%d measured %.4f vs expected %.4f" replicas
+          measured expected)
+    [ 0; 1; 2; 4 ]
+
+let test_more_replicas_never_worse () =
+  let rng = Prng.create 4 in
+  let loss r =
+    let o =
+      Replication.simulate
+        (Prng.split rng) (* independent draws are fine: we compare trends *)
+        ~nodes:1_000 ~keys:20_000 ~replicas:r ~fail_fraction:0.4
+    in
+    float_of_int o.Replication.lost_keys /. float_of_int o.Replication.total_keys
+  in
+  let l0 = loss 0 and l2 = loss 2 and l5 = loss 5 in
+  Alcotest.(check bool) "0 -> 2 improves" true (l2 < l0);
+  Alcotest.(check bool) "2 -> 5 improves" true (l5 <= l2)
+
+let prop_loss_rate_bounds =
+  Testutil.prop ~count:50 "loss rate always within [0,1] and monotone in f"
+    QCheck.(pair (int_range 0 5) (int_range 0 100))
+    (fun (replicas, pct) ->
+      let rng = Prng.create (pct + (replicas * 1000)) in
+      let f = float_of_int pct /. 100.0 in
+      let o = Replication.simulate rng ~nodes:200 ~keys:2_000 ~replicas ~fail_fraction:f in
+      o.Replication.lost_keys >= 0 && o.Replication.lost_keys <= o.Replication.total_keys)
+
+let () =
+  Alcotest.run "replication"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "no failures" `Quick test_no_failures_no_loss;
+          Alcotest.test_case "total failure" `Quick test_total_failure_loses_all;
+          Alcotest.test_case "exact accounting" `Quick test_exact_accounting;
+          Alcotest.test_case "wrap replicas" `Quick test_wrap_replicas;
+          Alcotest.test_case "replicas capped" `Quick test_replicas_capped_by_ring;
+          Alcotest.test_case "rejects" `Quick test_rejects;
+          Alcotest.test_case "matches f^(r+1)" `Quick test_loss_matches_theory;
+          Alcotest.test_case "monotone in replicas" `Quick
+            test_more_replicas_never_worse;
+        ] );
+      ("properties", [ prop_loss_rate_bounds ]);
+    ]

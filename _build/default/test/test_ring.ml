@@ -1,0 +1,148 @@
+(* Ring navigation: successors, predecessors and arcs with wraparound. *)
+
+let i = Id.of_int
+
+let ring_of ints =
+  List.fold_left (fun r n -> Ring.add (i n) n r) Ring.empty ints
+
+let test_empty () =
+  Alcotest.(check bool) "empty" true (Ring.is_empty Ring.empty);
+  Alcotest.(check bool) "successor none" true
+    (Ring.successor (i 5) Ring.empty = None);
+  Alcotest.(check bool) "predecessor none" true
+    (Ring.predecessor (i 5) Ring.empty = None)
+
+let test_successor () =
+  let r = ring_of [ 10; 20; 30 ] in
+  let s id = Option.map snd (Ring.successor (i id) r) in
+  Alcotest.(check (option int)) "middle" (Some 20) (s 10);
+  Alcotest.(check (option int)) "between" (Some 20) (s 15);
+  Alcotest.(check (option int)) "wraps" (Some 10) (s 30);
+  Alcotest.(check (option int)) "wraps past max" (Some 10) (s 35)
+
+let test_successor_incl () =
+  let r = ring_of [ 10; 20; 30 ] in
+  let s id = Option.map snd (Ring.successor_incl (i id) r) in
+  Alcotest.(check (option int)) "exact member" (Some 20) (s 20);
+  Alcotest.(check (option int)) "between" (Some 30) (s 21);
+  Alcotest.(check (option int)) "wraps" (Some 10) (s 31)
+
+let test_predecessor () =
+  let r = ring_of [ 10; 20; 30 ] in
+  let p id = Option.map snd (Ring.predecessor (i id) r) in
+  Alcotest.(check (option int)) "middle" (Some 10) (p 20);
+  Alcotest.(check (option int)) "between" (Some 20) (p 25);
+  Alcotest.(check (option int)) "wraps" (Some 30) (p 10);
+  Alcotest.(check (option int)) "wraps below min" (Some 30) (p 5)
+
+let test_singleton () =
+  let r = ring_of [ 42 ] in
+  Alcotest.(check (option int)) "successor of self" (Some 42)
+    (Option.map snd (Ring.successor (i 42) r));
+  Alcotest.(check (option int)) "predecessor of self" (Some 42)
+    (Option.map snd (Ring.predecessor (i 42) r))
+
+let test_k_neighbors () =
+  let r = ring_of [ 10; 20; 30; 40 ] in
+  let succs = List.map snd (Ring.k_successors (i 10) 2 r) in
+  Alcotest.(check (list int)) "two successors" [ 20; 30 ] succs;
+  let succs = List.map snd (Ring.k_successors (i 10) 10 r) in
+  Alcotest.(check (list int)) "capped at n-1, excludes self" [ 20; 30; 40 ] succs;
+  let preds = List.map snd (Ring.k_predecessors (i 10) 2 r) in
+  Alcotest.(check (list int)) "predecessors wrap" [ 40; 30 ] preds
+
+let test_arc_of () =
+  let r = ring_of [ 10; 20; 30 ] in
+  (match Ring.arc_of (i 20) r with
+  | Some arc ->
+    Alcotest.(check bool) "15 in (10,20]" true (Interval.mem (i 15) arc);
+    Alcotest.(check bool) "25 not" false (Interval.mem (i 25) arc)
+  | None -> Alcotest.fail "arc_of member");
+  (* wrap arc of the smallest member *)
+  (match Ring.arc_of (i 10) r with
+  | Some arc ->
+    Alcotest.(check bool) "35 in (30,10]" true (Interval.mem (i 35) arc);
+    Alcotest.(check bool) "5 in (30,10]" true (Interval.mem (i 5) arc)
+  | None -> Alcotest.fail "arc_of smallest");
+  Alcotest.(check bool) "non-member" true (Ring.arc_of (i 99) r = None);
+  (* lone member owns everything *)
+  match Ring.arc_of (i 5) (ring_of [ 5 ]) with
+  | Some arc -> Alcotest.(check bool) "full" true (Interval.mem (i 77) arc)
+  | None -> Alcotest.fail "lone arc"
+
+let test_nth () =
+  let r = ring_of [ 30; 10; 20 ] in
+  Alcotest.(check int) "nth 0" 10 (snd (Ring.nth r 0));
+  Alcotest.(check int) "nth 2" 30 (snd (Ring.nth r 2));
+  Alcotest.check_raises "bounds" (Invalid_argument "Ring.nth: index out of bounds")
+    (fun () -> ignore (Ring.nth r 3))
+
+let test_bindings_and_iteration () =
+  let r = ring_of [ 30; 10; 20 ] in
+  Alcotest.(check (list int)) "bindings sorted" [ 10; 20; 30 ]
+    (List.map snd (Ring.bindings r));
+  (match Ring.min_binding_opt r with
+  | Some (_, v) -> Alcotest.(check int) "min binding" 10 v
+  | None -> Alcotest.fail "min binding");
+  let sum = Ring.fold (fun _ v acc -> acc + v) r 0 in
+  Alcotest.(check int) "fold" 60 sum;
+  let seen = ref 0 in
+  Ring.iter (fun _ _ -> incr seen) r;
+  Alcotest.(check int) "iter" 3 !seen;
+  Alcotest.(check bool) "mem" true (Ring.mem (i 20) r);
+  Alcotest.(check bool) "find" true (Ring.find_opt (i 20) r = Some 20);
+  let r' = Ring.remove (i 20) r in
+  Alcotest.(check int) "remove" 2 (Ring.cardinal r');
+  Alcotest.(check int) "original intact" 3 (Ring.cardinal r)
+
+let prop_successor_is_min_greater =
+  Testutil.prop ~count:400 "successor = argmin of clockwise distance"
+    QCheck.(pair (small_list Testutil.arb_small_id) Testutil.arb_small_id)
+    (fun (ids, x) ->
+      QCheck.assume (ids <> []);
+      let r = List.fold_left (fun r id -> Ring.add id () r) Ring.empty ids in
+      match Ring.successor x r with
+      | None -> false
+      | Some (s, ()) ->
+        (* No member lies strictly inside (x, s). *)
+        List.for_all
+          (fun id -> Id.equal id s || not (Id.between_oo ~after:x ~before:s id))
+          ids)
+
+let prop_arcs_partition =
+  Testutil.prop ~count:300 "member arcs partition the ring"
+    QCheck.(pair (small_list Testutil.arb_small_id) Testutil.arb_small_id)
+    (fun (ids, key) ->
+      QCheck.assume (ids <> []);
+      let r = List.fold_left (fun r id -> Ring.add id () r) Ring.empty ids in
+      let owners =
+        Ring.fold
+          (fun id () acc ->
+            match Ring.arc_of id r with
+            | Some arc when Interval.mem key arc -> id :: acc
+            | _ -> acc)
+          r []
+      in
+      (* Every key belongs to exactly one member's arc, and it is the
+         successor_incl of the key. *)
+      match (owners, Ring.successor_incl key r) with
+      | [ o ], Some (s, ()) -> Id.equal o s
+      | _ -> false)
+
+let () =
+  Alcotest.run "ring"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "successor" `Quick test_successor;
+          Alcotest.test_case "successor_incl" `Quick test_successor_incl;
+          Alcotest.test_case "predecessor" `Quick test_predecessor;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "k_neighbors" `Quick test_k_neighbors;
+          Alcotest.test_case "arc_of" `Quick test_arc_of;
+          Alcotest.test_case "nth" `Quick test_nth;
+          Alcotest.test_case "bindings/iteration" `Quick test_bindings_and_iteration;
+        ] );
+      ("properties", [ prop_successor_is_min_greater; prop_arcs_partition ]);
+    ]

@@ -1,0 +1,83 @@
+(* Multi-trial aggregation. *)
+
+let base = Params.default ~nodes:50 ~tasks:500
+
+let test_trial_count () =
+  let a = Runner.run_trials ~trials:4 base (Strategy.make Strategy.No_strategy) in
+  Alcotest.(check int) "trials" 4 a.Runner.trials;
+  Alcotest.(check int) "none aborted" 0 a.Runner.aborted
+
+let test_aggregate_consistency () =
+  let a = Runner.run_trials ~trials:5 base (Strategy.make Strategy.No_strategy) in
+  Alcotest.(check bool) "min <= mean" true (a.Runner.min_factor <= a.Runner.mean_factor);
+  Alcotest.(check bool) "mean <= max" true (a.Runner.mean_factor <= a.Runner.max_factor);
+  Alcotest.(check bool) "stddev >= 0" true (a.Runner.stddev_factor >= 0.0);
+  Alcotest.(check (float 1e-6)) "ideal" 10.0 a.Runner.mean_ideal;
+  Alcotest.(check (float 1e-6)) "ticks = factor x ideal"
+    (a.Runner.mean_factor *. 10.0) a.Runner.mean_ticks
+
+let test_trials_vary () =
+  (* Different seeds -> different networks -> (almost surely) different
+     runtimes; a zero stddev over 5 trials would indicate seed reuse. *)
+  let a = Runner.run_trials ~trials:5 base (Strategy.make Strategy.No_strategy) in
+  Alcotest.(check bool) "stddev positive" true (a.Runner.stddev_factor > 0.0)
+
+let test_factors_deterministic () =
+  let f1 = Runner.factors ~trials:3 base (Strategy.make Strategy.No_strategy) in
+  let f2 = Runner.factors ~trials:3 base (Strategy.make Strategy.No_strategy) in
+  Alcotest.(check (array (float 1e-12))) "reproducible" f1 f2;
+  Alcotest.(check int) "length" 3 (Array.length f1)
+
+let test_rejects_zero_trials () =
+  Alcotest.check_raises "trials<1" (Invalid_argument "Runner.run_trials: trials < 1")
+    (fun () ->
+      ignore (Runner.run_trials ~trials:0 base (Strategy.make Strategy.No_strategy)))
+
+let test_pp () =
+  let a = Runner.run_trials ~trials:2 base (Strategy.make Strategy.No_strategy) in
+  let s = Format.asprintf "%a" Runner.pp_aggregate a in
+  Alcotest.(check bool) "mentions trials" true
+    (String.length s > 10)
+
+let test_parallel_matches_sequential () =
+  let seq = Runner.factors ~trials:6 base (Strategy.make Strategy.No_strategy) in
+  let par =
+    Runner.factors ~trials:6 ~domains:3 base (Strategy.make Strategy.No_strategy)
+  in
+  Alcotest.(check (array (float 1e-12))) "bit-identical" seq par
+
+let test_parallel_more_domains_than_trials () =
+  let par =
+    Runner.factors ~trials:2 ~domains:8 base (Strategy.make Strategy.No_strategy)
+  in
+  Alcotest.(check int) "two results" 2 (Array.length par)
+
+let test_parallel_rejects_zero_domains () =
+  Alcotest.check_raises "domains<1"
+    (Invalid_argument "Runner.run_trials: domains < 1") (fun () ->
+      ignore
+        (Runner.run_trials ~trials:2 ~domains:0 base
+           (Strategy.make Strategy.No_strategy)))
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "trial count" `Quick test_trial_count;
+          Alcotest.test_case "aggregate consistency" `Quick test_aggregate_consistency;
+          Alcotest.test_case "trials vary" `Quick test_trials_vary;
+          Alcotest.test_case "factors deterministic" `Quick test_factors_deterministic;
+          Alcotest.test_case "zero trials rejected" `Quick test_rejects_zero_trials;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "domains > trials" `Quick
+            test_parallel_more_domains_than_trials;
+          Alcotest.test_case "rejects zero domains" `Quick
+            test_parallel_rejects_zero_domains;
+        ] );
+    ]

@@ -1,0 +1,123 @@
+(* SHA-1 against the RFC 3174 / FIPS 180-1 test vectors, plus streaming
+   equivalence properties. *)
+
+let vectors =
+  [
+    ("", "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    ("abc", "a9993e364706816aba3e25717850c26c9cd0d89d");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "a49b2446a02c645bf419f995b67091253a04a259" );
+    ("a", "86f7e437faa5a7fce15d1ddcb9eaeaea377667b8");
+    ( "The quick brown fox jumps over the lazy dog",
+      "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12" );
+  ]
+
+let test_vectors () =
+  List.iter
+    (fun (input, expect) ->
+      Alcotest.(check string)
+        (Printf.sprintf "sha1(%S)" (String.sub input 0 (min 20 (String.length input))))
+        expect (Sha1.digest_hex input))
+    vectors
+
+let test_million_a () =
+  (* The classic stress vector: 10^6 repetitions of 'a', fed in uneven
+     chunks to exercise the block-staging logic. *)
+  let ctx = Sha1.init () in
+  let chunk = String.make 977 'a' in
+  let fed = ref 0 in
+  while !fed + 977 <= 1_000_000 do
+    Sha1.feed_string ctx chunk;
+    fed := !fed + 977
+  done;
+  Sha1.feed_string ctx (String.make (1_000_000 - !fed) 'a');
+  Alcotest.(check string) "10^6 x a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Sha1.hex_of_digest (Sha1.get ctx))
+
+let test_incremental_prefix () =
+  (* [get] must not corrupt the context: feeding more afterwards hashes
+     the whole prefix+suffix. *)
+  let ctx = Sha1.init () in
+  Sha1.feed_string ctx "abc";
+  let first = Sha1.get ctx in
+  Alcotest.(check string) "prefix" "a9993e364706816aba3e25717850c26c9cd0d89d"
+    (Sha1.hex_of_digest first);
+  Sha1.feed_string ctx "def";
+  Alcotest.(check string) "extended" (Sha1.digest_hex "abcdef")
+    (Sha1.hex_of_digest (Sha1.get ctx))
+
+let test_offsets () =
+  let ctx = Sha1.init () in
+  Sha1.feed_string ctx ~off:3 ~len:3 "xyzabcxyz";
+  Alcotest.(check string) "substring" (Sha1.digest_hex "abc")
+    (Sha1.hex_of_digest (Sha1.get ctx));
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Sha1.feed_string: bad bounds")
+    (fun () -> Sha1.feed_string (Sha1.init ()) ~off:5 ~len:10 "short")
+
+let prop_chunking_invariant =
+  Testutil.prop ~count:300 "digest independent of chunking"
+    QCheck.(pair (string_of_size (QCheck.Gen.int_bound 300)) (int_bound 64))
+    (fun (s, cut) ->
+      let cut = min cut (String.length s) in
+      let ctx = Sha1.init () in
+      Sha1.feed_string ctx ~off:0 ~len:cut s;
+      Sha1.feed_string ctx ~off:cut ~len:(String.length s - cut) s;
+      String.equal (Sha1.get ctx) (Sha1.digest_string s))
+
+let prop_bytes_equals_string =
+  Testutil.prop ~count:200 "feed_bytes = feed_string"
+    QCheck.(string_of_size (QCheck.Gen.int_bound 200))
+    (fun s ->
+      let ctx = Sha1.init () in
+      Sha1.feed_bytes ctx (Bytes.of_string s);
+      String.equal (Sha1.get ctx) (Sha1.digest_string s))
+
+let prop_digest_length =
+  Testutil.prop ~count:200 "digest is 20 bytes"
+    QCheck.(string_of_size (QCheck.Gen.int_bound 200))
+    (fun s -> String.length (Sha1.digest_string s) = 20)
+
+let prop_avalanche =
+  Testutil.prop ~count:200 "single-byte change flips the digest"
+    QCheck.(string_of_size (QCheck.Gen.int_range 1 100))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+      not (String.equal (Sha1.digest_string s) (Sha1.digest_string (Bytes.to_string b))))
+
+let test_block_boundaries () =
+  (* Inputs straddling the 55/56/63/64-byte padding boundaries are the
+     classic SHA-1 implementation bugs. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'b' in
+      let ctx = Sha1.init () in
+      String.iter (fun c -> Sha1.feed_string ctx (String.make 1 c)) s;
+      Alcotest.(check string)
+        (Printf.sprintf "len %d byte-at-a-time" n)
+        (Sha1.digest_hex s)
+        (Sha1.hex_of_digest (Sha1.get ctx)))
+    [ 54; 55; 56; 57; 63; 64; 65; 119; 127; 128 ]
+
+let () =
+  Alcotest.run "sha1"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "RFC vectors" `Quick test_vectors;
+          Alcotest.test_case "million a" `Slow test_million_a;
+          Alcotest.test_case "get then continue" `Quick test_incremental_prefix;
+          Alcotest.test_case "offset feeding" `Quick test_offsets;
+          Alcotest.test_case "block boundaries" `Quick test_block_boundaries;
+        ] );
+      ( "properties",
+        [
+          prop_chunking_invariant;
+          prop_bytes_equals_string;
+          prop_digest_length;
+          prop_avalanche;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* The stabilization protocol over local views. *)
+
+let ids_of n seed = Array.to_list (Keygen.node_ids (Prng.create seed) n)
+
+let bootstrap ?(k = 4) n seed = Stabilizer.bootstrap ~succ_list_len:k (ids_of n seed)
+
+let stabilize_until_consistent ?(max_rounds = 50) net =
+  let rec go rounds =
+    if Stabilizer.is_consistent net then rounds
+    else if rounds >= max_rounds then
+      Alcotest.failf "not consistent after %d rounds" max_rounds
+    else begin
+      ignore (Stabilizer.stabilize_round net);
+      go (rounds + 1)
+    end
+  in
+  go 0
+
+let test_bootstrap_consistent () =
+  let net = bootstrap 50 1 in
+  Alcotest.(check int) "size" 50 (Stabilizer.size net);
+  Alcotest.(check bool) "consistent" true (Stabilizer.is_consistent net);
+  Alcotest.(check int) "no stale heads" 0 (Stabilizer.max_staleness net)
+
+let test_bootstrap_rejects () =
+  Alcotest.(check bool) "empty" true
+    (try
+       ignore (Stabilizer.bootstrap ~succ_list_len:3 []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "k<1" true
+    (try
+       ignore (Stabilizer.bootstrap ~succ_list_len:0 (ids_of 3 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_stabilize_idempotent_when_consistent () =
+  let net = bootstrap 30 2 in
+  ignore (Stabilizer.stabilize_round net);
+  Alcotest.(check bool) "still consistent" true (Stabilizer.is_consistent net)
+
+let test_join_converges () =
+  let net = bootstrap 40 3 in
+  let rng = Prng.create 99 in
+  for _ = 1 to 5 do
+    Stabilizer.join net (Keygen.fresh rng)
+  done;
+  Alcotest.(check int) "grew" 45 (Stabilizer.size net);
+  Alcotest.(check bool) "initially stale" true (not (Stabilizer.is_consistent net));
+  let rounds = stabilize_until_consistent net in
+  Alcotest.(check bool) "converged quickly" true (rounds <= 20)
+
+let test_fail_converges () =
+  let net = bootstrap 40 4 in
+  let victims =
+    List.filteri (fun i _ -> i mod 10 = 0) (Stabilizer.members net)
+  in
+  List.iter (Stabilizer.fail net) victims;
+  Alcotest.(check int) "shrank" 36 (Stabilizer.size net);
+  let _ = stabilize_until_consistent net in
+  Alcotest.(check bool) "reconverged" true (Stabilizer.is_consistent net)
+
+let test_graceful_leave_faster () =
+  (* A graceful leave patches neighbours immediately, so the first
+     successor of the predecessor is already correct. *)
+  let net = bootstrap 20 5 in
+  let members = Stabilizer.members net in
+  let victim = List.nth members 7 in
+  Stabilizer.leave net victim;
+  let _ = stabilize_until_consistent net in
+  Alcotest.(check bool) "consistent after leave" true (Stabilizer.is_consistent net)
+
+let test_massive_failure_recovery () =
+  (* Fail 25% simultaneously: with succ_list_len 6 the survivors must
+     re-knit the ring. *)
+  let net = bootstrap ~k:6 80 6 in
+  let rng = Prng.create 7 in
+  List.iter
+    (fun id -> if Prng.bernoulli rng 0.25 then Stabilizer.fail net id)
+    (Stabilizer.members net);
+  let _ = stabilize_until_consistent ~max_rounds:100 net in
+  Alcotest.(check bool) "recovered" true (Stabilizer.is_consistent net)
+
+let test_lookup_on_consistent_views () =
+  let net = bootstrap 64 8 in
+  let rng = Prng.create 11 in
+  let members = Array.of_list (Stabilizer.members net) in
+  let sorted = Array.copy members in
+  Array.sort Id.compare sorted;
+  for _ = 1 to 50 do
+    let key = Keygen.fresh rng in
+    let start = members.(Prng.int_below rng (Array.length members)) in
+    match Stabilizer.lookup net ~start ~key with
+    | None -> Alcotest.fail "lookup dead end on consistent views"
+    | Some (owner, hops) ->
+      (* true owner by binary-search convention *)
+      let want =
+        let n = Array.length sorted in
+        let rec find i = if i >= n then sorted.(0) else if Id.compare sorted.(i) key >= 0 then sorted.(i) else find (i + 1) in
+        find 0
+      in
+      Alcotest.check Testutil.check_id "owner" want owner;
+      Alcotest.(check bool) "hops bounded" true (hops <= Array.length members)
+  done
+
+let test_messages_scale_linearly () =
+  let m50 = Stabilizer.stabilize_round (bootstrap 50 9) in
+  let m200 = Stabilizer.stabilize_round (bootstrap 200 9) in
+  (* consistent rings: ~4 messages per node per round, linear in n *)
+  Alcotest.(check bool) "roughly linear" true
+    (float_of_int m200 /. float_of_int m50 > 3.0
+    && float_of_int m200 /. float_of_int m50 < 5.0)
+
+let test_join_duplicate_noop () =
+  let net = bootstrap 10 10 in
+  let existing = List.hd (Stabilizer.members net) in
+  Stabilizer.join net existing;
+  Alcotest.(check int) "unchanged" 10 (Stabilizer.size net)
+
+let test_fix_fingers_converges () =
+  let net = bootstrap 50 20 in
+  (* enough batched rounds to cover all 160 finger slots *)
+  for _ = 1 to 20 do
+    ignore (Stabilizer.fix_fingers_round net)
+  done;
+  let acc = Stabilizer.finger_accuracy net in
+  if acc < 0.999 then Alcotest.failf "finger accuracy %.3f after full repair" acc
+
+let test_fix_fingers_recovers_after_churn () =
+  let net = bootstrap ~k:6 60 21 in
+  for _ = 1 to 20 do
+    ignore (Stabilizer.fix_fingers_round net)
+  done;
+  (* kill 15%: fingers pointing at corpses are now wrong *)
+  let victims = List.filteri (fun i _ -> i mod 7 = 0) (Stabilizer.members net) in
+  List.iter (Stabilizer.fail net) victims;
+  let _ = stabilize_until_consistent ~max_rounds:100 net in
+  for _ = 1 to 20 do
+    ignore (Stabilizer.fix_fingers_round net)
+  done;
+  let acc = Stabilizer.finger_accuracy net in
+  if acc < 0.99 then Alcotest.failf "finger accuracy %.3f after recovery" acc
+
+let test_fix_fingers_messages_positive () =
+  let net = bootstrap 20 22 in
+  Alcotest.(check bool) "charges messages" true
+    (Stabilizer.fix_fingers_round ~batch:4 net > 0)
+
+let prop_churn_storm_recovers =
+  Testutil.prop ~count:25 "random churn storms always reconverge"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let net = bootstrap ~k:6 40 seed in
+      let rng = Prng.create seed in
+      for _ = 1 to 10 do
+        (* interleave joins, failures and a stabilize round *)
+        List.iter
+          (fun id -> if Prng.bernoulli rng 0.08 then Stabilizer.fail net id)
+          (Stabilizer.members net);
+        if Prng.bernoulli rng 0.7 then Stabilizer.join net (Keygen.fresh rng);
+        ignore (Stabilizer.stabilize_round net)
+      done;
+      let rec settle n =
+        if Stabilizer.is_consistent net then true
+        else if n = 0 then false
+        else begin
+          ignore (Stabilizer.stabilize_round net);
+          settle (n - 1)
+        end
+      in
+      settle 60)
+
+let () =
+  Alcotest.run "stabilizer"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "bootstrap consistent" `Quick test_bootstrap_consistent;
+          Alcotest.test_case "bootstrap rejects" `Quick test_bootstrap_rejects;
+          Alcotest.test_case "idempotent when consistent" `Quick
+            test_stabilize_idempotent_when_consistent;
+          Alcotest.test_case "joins converge" `Quick test_join_converges;
+          Alcotest.test_case "failures converge" `Quick test_fail_converges;
+          Alcotest.test_case "graceful leave" `Quick test_graceful_leave_faster;
+          Alcotest.test_case "25% mass failure" `Quick test_massive_failure_recovery;
+          Alcotest.test_case "lookup over views" `Quick test_lookup_on_consistent_views;
+          Alcotest.test_case "message scaling" `Quick test_messages_scale_linearly;
+          Alcotest.test_case "duplicate join" `Quick test_join_duplicate_noop;
+          Alcotest.test_case "fix_fingers converges" `Quick
+            test_fix_fingers_converges;
+          Alcotest.test_case "fix_fingers after churn" `Quick
+            test_fix_fingers_recovers_after_churn;
+          Alcotest.test_case "fix_fingers messages" `Quick
+            test_fix_fingers_messages_positive;
+        ] );
+      ("properties", [ prop_churn_storm_recovers ]);
+    ]

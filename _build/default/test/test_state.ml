@@ -1,0 +1,201 @@
+(* Simulation state: machines, Sybils, churn and consumption. *)
+
+let mk ?(nodes = 50) ?(tasks = 500) ?(f = fun p -> p) () =
+  State.create (f (Params.default ~nodes ~tasks))
+
+let total_workload state =
+  Array.fold_left
+    (fun acc (p : State.phys) ->
+      if p.State.active then acc + State.workload_of_phys state p.State.pid
+      else acc)
+    0 state.State.phys
+
+let test_create () =
+  let s = mk () in
+  State.check_invariants s;
+  Alcotest.(check int) "active" 50 (State.active_count s);
+  Alcotest.(check int) "vnodes" 50 (State.vnode_count s);
+  Alcotest.(check int) "waiting pool same size" 100 (Array.length s.State.phys);
+  Alcotest.(check int) "tasks stored" 500 (State.remaining_tasks s);
+  Alcotest.(check int) "workloads sum to tasks" 500 (total_workload s);
+  Alcotest.(check (float 1e-9)) "initial mean" 10.0 s.State.initial_mean
+
+let test_create_rejects () =
+  Alcotest.(check bool) "invalid params raise" true
+    (try
+       ignore (State.create { (Params.default ~nodes:0 ~tasks:1) with Params.seed = 1 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_homogeneous_strengths () =
+  let s = mk () in
+  Array.iter
+    (fun (p : State.phys) ->
+      Alcotest.(check int) "strength 1" 1 p.State.strength)
+    s.State.phys
+
+let test_heterogeneous_strengths () =
+  let s =
+    mk ~f:(fun p -> { p with Params.heterogeneity = Params.Heterogeneous }) ()
+  in
+  let seen = Array.make 6 0 in
+  Array.iter
+    (fun (p : State.phys) ->
+      let st = p.State.strength in
+      if st < 1 || st > 5 then Alcotest.failf "strength %d out of [1,5]" st;
+      seen.(st) <- seen.(st) + 1)
+    s.State.phys;
+  (* with 100 machines, every strength should appear *)
+  for k = 1 to 5 do
+    Alcotest.(check bool) (Printf.sprintf "strength %d present" k) true (seen.(k) > 0)
+  done
+
+let test_consume_tick () =
+  let s = mk () in
+  let before = State.remaining_tasks s in
+  let done_ = State.consume_tick s in
+  Alcotest.(check int) "conservation" before (State.remaining_tasks s + done_);
+  (* every busy machine consumes exactly 1 (homogeneous task-per-tick) *)
+  Alcotest.(check bool) "at most one per machine" true (done_ <= 50);
+  Alcotest.(check bool) "someone worked" true (done_ > 0);
+  State.check_invariants s
+
+let test_capacity () =
+  let s = mk () in
+  Alcotest.(check int) "task mode" 1 (State.capacity_of_phys s 0);
+  let s2 =
+    mk
+      ~f:(fun p ->
+        {
+          p with
+          Params.heterogeneity = Params.Heterogeneous;
+          work = Params.Strength_per_tick;
+        })
+      ()
+  in
+  Alcotest.(check int) "strength mode" s2.State.phys.(3).State.strength
+    (State.capacity_of_phys s2 3)
+
+let test_sybil_lifecycle () =
+  let s = mk () in
+  let rng = Prng.create 99 in
+  Alcotest.(check int) "no sybils" 0 (State.sybil_count s 0);
+  Alcotest.(check int) "cap homogeneous" 5 (State.sybil_capacity s 0);
+  let created = State.create_sybil s 0 (Keygen.fresh_distinct rng Id_set.empty) in
+  Alcotest.(check bool) "created" true created;
+  Alcotest.(check int) "one sybil" 1 (State.sybil_count s 0);
+  Alcotest.(check int) "ring grew" 51 (State.vnode_count s);
+  State.check_invariants s;
+  State.retire_sybils s 0;
+  Alcotest.(check int) "retired" 0 (State.sybil_count s 0);
+  Alcotest.(check int) "ring shrank" 50 (State.vnode_count s);
+  Alcotest.(check int) "keys conserved" 500 (State.remaining_tasks s);
+  State.check_invariants s
+
+let test_sybil_cap_enforced () =
+  let s = mk () in
+  let rng = Prng.create 7 in
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "under cap" true
+      (State.create_sybil s 0 (Keygen.fresh rng))
+  done;
+  Alcotest.(check bool) "cap reached" false
+    (State.create_sybil s 0 (Keygen.fresh rng))
+
+let test_sybil_occupied_id () =
+  let s = mk () in
+  let taken = List.hd s.State.phys.(1).State.vnodes in
+  Alcotest.(check bool) "occupied id refused" false (State.create_sybil s 0 taken)
+
+let test_churn_preserves_tasks () =
+  let s = mk ~f:(fun p -> { p with Params.churn_rate = 0.3 }) () in
+  for _ = 1 to 20 do
+    State.apply_churn s;
+    State.check_invariants s;
+    Alcotest.(check int) "tasks survive churn" 500 (State.remaining_tasks s)
+  done;
+  (* with rate 0.3 over 20 ticks someone must have left and joined *)
+  Alcotest.(check bool) "pool is in use" true
+    (Array.exists (fun (p : State.phys) -> p.State.pid >= 50 && p.State.active)
+       s.State.phys)
+
+let test_failure_churn_conserves_and_charges () =
+  let s = mk ~f:(fun p -> { p with Params.failure_rate = 0.3 }) () in
+  let transfers_before =
+    (Dht.messages s.State.dht).Messages.key_transfers
+  in
+  for _ = 1 to 15 do
+    State.apply_churn s;
+    State.check_invariants s;
+    Alcotest.(check int) "tasks survive failures" 500 (State.remaining_tasks s)
+  done;
+  (* recovery traffic was charged *)
+  Alcotest.(check bool) "recovery transfers charged" true
+    ((Dht.messages s.State.dht).Messages.key_transfers > transfers_before)
+
+let test_churn_rejoins_original_id () =
+  let s =
+    mk
+      ~f:(fun p ->
+        { p with Params.churn_rate = 0.5; rejoin_fresh_id = false })
+      ()
+  in
+  for _ = 1 to 10 do
+    State.apply_churn s
+  done;
+  Array.iter
+    (fun (p : State.phys) ->
+      if p.State.active then
+        match p.State.vnodes with
+        | primary :: _ ->
+          Alcotest.check Testutil.check_id "pinned id" p.State.original_id primary
+        | [] -> Alcotest.fail "active without vnode")
+    s.State.phys
+
+let test_snapshot () =
+  let s = mk () in
+  let w = State.workloads_snapshot s in
+  Alcotest.(check int) "one entry per active machine" 50 (Array.length w);
+  Alcotest.(check int) "sums to tasks" 500 (Array.fold_left ( + ) 0 w)
+
+let test_strengths_of_initial () =
+  let s = mk () in
+  Alcotest.(check int) "length" 50 (Array.length (State.strengths_of_initial s))
+
+let test_failed_arc_memory () =
+  let s = mk () in
+  let arc = Interval.make ~after:(Id.of_int 1) ~upto:(Id.of_int 2) in
+  Alcotest.(check bool) "initially clear" false (State.arc_recently_failed s 0 arc);
+  State.note_failed_arc s 0 arc;
+  Alcotest.(check bool) "remembered" true (State.arc_recently_failed s 0 arc);
+  (* bounded memory: 9 more pushes age the first one out *)
+  for k = 1 to 9 do
+    State.note_failed_arc s 0
+      (Interval.make ~after:(Id.of_int (10 * k)) ~upto:(Id.of_int ((10 * k) + 1)))
+  done;
+  Alcotest.(check bool) "aged out" false (State.arc_recently_failed s 0 arc)
+
+let () =
+  Alcotest.run "state"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create" `Quick test_create;
+          Alcotest.test_case "create rejects" `Quick test_create_rejects;
+          Alcotest.test_case "homogeneous strengths" `Quick test_homogeneous_strengths;
+          Alcotest.test_case "heterogeneous strengths" `Quick
+            test_heterogeneous_strengths;
+          Alcotest.test_case "consume tick" `Quick test_consume_tick;
+          Alcotest.test_case "capacity" `Quick test_capacity;
+          Alcotest.test_case "sybil lifecycle" `Quick test_sybil_lifecycle;
+          Alcotest.test_case "sybil cap" `Quick test_sybil_cap_enforced;
+          Alcotest.test_case "sybil occupied id" `Quick test_sybil_occupied_id;
+          Alcotest.test_case "churn conserves tasks" `Quick test_churn_preserves_tasks;
+          Alcotest.test_case "failure churn" `Quick
+            test_failure_churn_conserves_and_charges;
+          Alcotest.test_case "rejoin original id" `Quick test_churn_rejoins_original_id;
+          Alcotest.test_case "snapshot" `Quick test_snapshot;
+          Alcotest.test_case "initial strengths" `Quick test_strengths_of_initial;
+          Alcotest.test_case "failed-arc memory" `Quick test_failed_arc_memory;
+        ] );
+    ]

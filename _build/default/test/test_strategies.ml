@@ -1,0 +1,363 @@
+(* The paper's strategies: directional results and internal rules.
+
+   Directional assertions (strategy X beats baseline) run on multi-trial
+   means over seeded networks where the paper reports gaps of 2-6x, so
+   they are robust, not flaky. *)
+
+let nodes = 300
+let tasks = 30_000 (* 100 tasks/node: churn's gains need a meaty ratio (Table II) *)
+let trials = 3
+
+let mean_factor ?(f = fun p -> p) strategy =
+  let params = f (Params.default ~nodes ~tasks) in
+  let params = Strategy.default_params strategy params in
+  (Runner.run_trials ~trials params (Strategy.make strategy)).Runner.mean_factor
+
+let baseline = lazy (mean_factor Strategy.No_strategy)
+
+let test_every_strategy_beats_baseline () =
+  let base = Lazy.force baseline in
+  List.iter
+    (fun strategy ->
+      let f = mean_factor strategy in
+      if f >= base then
+        Alcotest.failf "%s (%.3f) not better than baseline (%.3f)"
+          (Strategy.name strategy) f base)
+    [
+      Strategy.Induced_churn;
+      Strategy.Random_injection;
+      Strategy.Neighbor_injection;
+      Strategy.Smart_neighbor_injection;
+      Strategy.Invitation;
+    ]
+
+let test_random_injection_wins () =
+  (* The paper's headline: random injection is the best strategy. *)
+  let ri = mean_factor Strategy.Random_injection in
+  List.iter
+    (fun strategy ->
+      let f = mean_factor strategy in
+      if ri > f +. 0.2 then
+        Alcotest.failf "random injection (%.3f) loses to %s (%.3f)" ri
+          (Strategy.name strategy) f)
+    [ Strategy.Induced_churn; Strategy.Neighbor_injection; Strategy.Invitation ]
+
+let test_smart_beats_estimate () =
+  let smart = mean_factor Strategy.Smart_neighbor_injection in
+  let estimate = mean_factor Strategy.Neighbor_injection in
+  if smart > estimate +. 0.2 then
+    Alcotest.failf "smart (%.3f) worse than estimate (%.3f)" smart estimate
+
+let test_names_roundtrip () =
+  List.iter
+    (fun s ->
+      match Strategy.of_name (Strategy.name s) with
+      | Ok s' when s' = s -> ()
+      | _ -> Alcotest.failf "roundtrip failed for %s" (Strategy.name s))
+    Strategy.all;
+  (match Strategy.of_name "RANDOM" with
+  | Ok Strategy.Random_injection -> ()
+  | _ -> Alcotest.fail "case-insensitive lookup");
+  match Strategy.of_name "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown name accepted"
+
+let test_default_params () =
+  let p = Params.default ~nodes ~tasks in
+  let p' = Strategy.default_params Strategy.Induced_churn p in
+  Alcotest.(check (float 0.0)) "churn default" 0.01 p'.Params.churn_rate;
+  let p'' =
+    Strategy.default_params Strategy.Induced_churn
+      { p with Params.churn_rate = 0.001 }
+  in
+  Alcotest.(check (float 0.0)) "explicit churn kept" 0.001 p''.Params.churn_rate;
+  let p3 = Strategy.default_params Strategy.Random_injection p in
+  Alcotest.(check (float 0.0)) "others unchanged" 0.0 p3.Params.churn_rate
+
+(* Internal rules, observed through a short hand-driven run. *)
+
+let test_sybil_cap_respected_during_run () =
+  let params =
+    { (Params.default ~nodes:100 ~tasks:1000) with Params.max_sybils = 2 }
+  in
+  let state = State.create params in
+  let strategy = Strategy.make Strategy.Random_injection () in
+  for _ = 1 to 40 do
+    strategy.Engine.decide state;
+    ignore (State.consume_tick state);
+    State.advance_tick state;
+    Array.iter
+      (fun (p : State.phys) ->
+        let c = State.sybil_count state p.State.pid in
+        if c > 2 then Alcotest.failf "machine %d has %d sybils (cap 2)" p.State.pid c)
+      state.State.phys
+  done;
+  State.check_invariants state
+
+let test_retire_rule () =
+  (* After the job drains, every machine has zero work; the next decision
+     retires all Sybils, shrinking the ring back to the primaries. *)
+  let params = Params.default ~nodes:50 ~tasks:200 in
+  let state = State.create params in
+  let strategy = Strategy.make Strategy.Random_injection () in
+  let steps = ref 0 in
+  while State.remaining_tasks state > 0 && !steps < 1000 do
+    strategy.Engine.decide state;
+    ignore (State.consume_tick state);
+    State.advance_tick state;
+    incr steps
+  done;
+  Alcotest.(check int) "drained" 0 (State.remaining_tasks state);
+  (* The job is done, so on each machine's next due tick it retires the
+     Sybils it held going in (it has no work) and may re-roll exactly one
+     fresh Sybil in the same decision (§IV-B's oscillation).  So after a
+     due tick a machine holds at most one Sybil, and any Sybils beyond
+     the first are gone. *)
+  for _ = 1 to params.Params.decision_period do
+    let was_due =
+      Array.map
+        (fun (p : State.phys) -> p.State.active && Decision.due state p)
+        state.State.phys
+    in
+    strategy.Engine.decide state;
+    Array.iteri
+      (fun pid due ->
+        if due then begin
+          let c = State.sybil_count state pid in
+          if c > 1 then
+            Alcotest.failf "machine %d kept %d sybils after its due tick" pid c
+        end)
+      was_due;
+    State.advance_tick state
+  done
+
+let test_heterogeneous_sybil_capacity () =
+  let params =
+    {
+      (Params.default ~nodes:100 ~tasks:1000) with
+      Params.heterogeneity = Params.Heterogeneous;
+      max_sybils = 5;
+    }
+  in
+  let state = State.create params in
+  let strategy = Strategy.make Strategy.Random_injection () in
+  for _ = 1 to 60 do
+    strategy.Engine.decide state;
+    ignore (State.consume_tick state);
+    State.advance_tick state
+  done;
+  Array.iter
+    (fun (p : State.phys) ->
+      let c = State.sybil_count state p.State.pid in
+      if c > p.State.strength then
+        Alcotest.failf "machine %d: %d sybils > strength %d" p.State.pid c
+          p.State.strength)
+    state.State.phys
+
+let test_invitation_only_when_overloaded () =
+  (* In a perfectly balanced tiny network nobody exceeds the overload
+     threshold, so invitation never creates a Sybil. *)
+  let params =
+    { (Params.default ~nodes:4 ~tasks:0) with Params.invite_factor = 2.0 }
+  in
+  let state = State.create params in
+  let strategy = Strategy.make Strategy.Invitation () in
+  strategy.Engine.decide state;
+  Alcotest.(check int) "no sybils on balanced net" 4 (State.vnode_count state)
+
+let test_neighbor_injection_places_in_successor_arc () =
+  (* After a neighbor-injection decision on a fresh network, every Sybil
+     must sit within num_successors hops clockwise of its owner's
+     primary vnode. *)
+  let params = Params.default ~nodes:60 ~tasks:600 in
+  let state = State.create params in
+  (* capture primary vnode positions before the decision *)
+  let strategy = Strategy.make Strategy.Neighbor_injection () in
+  strategy.Engine.decide state;
+  State.check_invariants state;
+  Array.iter
+    (fun (p : State.phys) ->
+      match p.State.vnodes with
+      | primary :: sybils when sybils <> [] ->
+        List.iter
+          (fun sybil ->
+            (* the sybil must lie in the arc covered by the successor
+               list: (primary, k-th successor] *)
+            let succs = Dht.k_successors state.State.dht primary 20 in
+            match List.rev succs with
+            | last :: _ ->
+              Alcotest.(check bool) "sybil within visible arc" true
+                (Id.between_oc ~after:primary ~upto:last.Dht.id sybil)
+            | [] -> ())
+          sybils
+      | _ -> ())
+    state.State.phys
+
+let test_strength_aware_homogeneous_parity () =
+  (* With no strength signal the strategy must not be materially worse
+     than plain Random Injection. *)
+  let ri = mean_factor Strategy.Random_injection in
+  let sa = mean_factor Strategy.Strength_aware_injection in
+  if sa > ri +. 0.3 then
+    Alcotest.failf "strength-aware homogeneous %.3f vs RI %.3f" sa ri
+
+let hetero_strength p =
+  {
+    p with
+    Params.heterogeneity = Params.Heterogeneous;
+    work = Params.Strength_per_tick;
+  }
+
+let test_strength_aware_beats_ri_heterogeneous () =
+  (* The point of the extension: on heterogeneous strength-per-tick
+     networks it must outperform plain Random Injection. *)
+  let ri = mean_factor ~f:hetero_strength Strategy.Random_injection in
+  let sa = mean_factor ~f:hetero_strength Strategy.Strength_aware_injection in
+  if sa >= ri then
+    Alcotest.failf "strength-aware %.3f not better than RI %.3f (hetero)" sa ri
+
+let test_strength_aware_weak_nodes_never_inject () =
+  let params =
+    hetero_strength (Params.default ~nodes:100 ~tasks:2_000)
+  in
+  let state = State.create params in
+  let strategy = Strategy.make Strategy.Strength_aware_injection () in
+  for _ = 1 to 50 do
+    strategy.Engine.decide state;
+    ignore (State.consume_tick state);
+    State.advance_tick state;
+    Array.iter
+      (fun (p : State.phys) ->
+        if p.State.strength = 1 && State.sybil_count state p.State.pid > 0 then
+          Alcotest.failf "weak machine %d injected a sybil" p.State.pid)
+      state.State.phys
+  done;
+  State.check_invariants state
+
+let test_static_vnodes_beats_baseline_loses_to_adaptive () =
+  let static = mean_factor Strategy.Static_virtual_nodes in
+  let baseline = Lazy.force baseline in
+  let adaptive = mean_factor Strategy.Random_injection in
+  if static >= baseline then
+    Alcotest.failf "static vnodes (%.3f) not better than baseline (%.3f)"
+      static baseline;
+  if adaptive >= static then
+    Alcotest.failf "adaptive RI (%.3f) not better than static vnodes (%.3f)"
+      adaptive static
+
+let test_static_vnodes_fires_once () =
+  let params = Params.default ~nodes:60 ~tasks:600 in
+  let state = State.create params in
+  let strategy = Strategy.make Strategy.Static_virtual_nodes () in
+  (* run one full period: every machine hits its due tick once *)
+  for _ = 1 to params.Params.decision_period do
+    strategy.Engine.decide state;
+    State.advance_tick state
+  done;
+  let vnodes_after_setup = State.vnode_count state in
+  Alcotest.(check int) "everyone at full allowance" (60 * 6) vnodes_after_setup;
+  (* further decisions change nothing *)
+  for _ = 1 to 2 * params.Params.decision_period do
+    strategy.Engine.decide state;
+    ignore (State.consume_tick state);
+    State.advance_tick state
+  done;
+  Alcotest.(check int) "inert afterwards" vnodes_after_setup
+    (State.vnode_count state)
+
+let test_clustered_keys_increase_imbalance () =
+  let uniform = Params.default ~nodes:200 ~tasks:20_000 in
+  let clustered =
+    {
+      uniform with
+      Params.keys = Params.Clustered { hotspots = 5; spread = 0.01; zipf_s = 1.0 };
+    }
+  in
+  let gini p = Inequality.gini (State.workloads_snapshot (State.create p)) in
+  Alcotest.(check bool) "clustered keys are more unequal" true
+    (gini clustered > gini uniform)
+
+let test_clustered_keys_all_stored () =
+  let params =
+    {
+      (Params.default ~nodes:100 ~tasks:5_000) with
+      Params.keys = Params.Clustered { hotspots = 10; spread = 0.05; zipf_s = 1.2 };
+    }
+  in
+  let state = State.create params in
+  Alcotest.(check int) "all tasks stored" 5_000 (State.remaining_tasks state);
+  State.check_invariants state
+
+let test_invitation_median_split_runs () =
+  let params =
+    { (Params.default ~nodes:100 ~tasks:5_000) with Params.split_at_median = true }
+  in
+  let r = Engine.run params (Strategy.make Strategy.Invitation ()) in
+  (match r.Engine.outcome with
+  | Engine.Finished _ -> ()
+  | Engine.Aborted _ -> Alcotest.fail "median-split invitation aborted");
+  Alcotest.(check bool) "balances" true (r.Engine.factor < 5.0)
+
+let test_neighbor_avoid_repeats_runs () =
+  let params =
+    { (Params.default ~nodes:100 ~tasks:5_000) with Params.avoid_repeats = true }
+  in
+  let r = Engine.run params (Strategy.make Strategy.Neighbor_injection ()) in
+  match r.Engine.outcome with
+  | Engine.Finished _ -> ()
+  | Engine.Aborted _ -> Alcotest.fail "avoid-repeats neighbor aborted"
+
+let () =
+  Alcotest.run "strategies"
+    [
+      ( "directional",
+        [
+          Alcotest.test_case "all beat baseline" `Slow
+            test_every_strategy_beats_baseline;
+          Alcotest.test_case "random injection wins" `Slow
+            test_random_injection_wins;
+          Alcotest.test_case "smart >= estimate" `Slow test_smart_beats_estimate;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "name roundtrip" `Quick test_names_roundtrip;
+          Alcotest.test_case "default params" `Quick test_default_params;
+          Alcotest.test_case "sybil cap during run" `Quick
+            test_sybil_cap_respected_during_run;
+          Alcotest.test_case "retire rule" `Quick test_retire_rule;
+          Alcotest.test_case "hetero capacity" `Quick
+            test_heterogeneous_sybil_capacity;
+          Alcotest.test_case "invitation needs overload" `Quick
+            test_invitation_only_when_overloaded;
+          Alcotest.test_case "neighbor sybils near owner" `Quick
+            test_neighbor_injection_places_in_successor_arc;
+        ] );
+      ( "strength-aware",
+        [
+          Alcotest.test_case "homogeneous parity" `Slow
+            test_strength_aware_homogeneous_parity;
+          Alcotest.test_case "beats RI heterogeneous" `Slow
+            test_strength_aware_beats_ri_heterogeneous;
+          Alcotest.test_case "weak nodes never inject" `Quick
+            test_strength_aware_weak_nodes_never_inject;
+        ] );
+      ( "static vnodes",
+        [
+          Alcotest.test_case "between baseline and adaptive" `Slow
+            test_static_vnodes_beats_baseline_loses_to_adaptive;
+          Alcotest.test_case "fires once" `Quick test_static_vnodes_fires_once;
+        ] );
+      ( "clustered keys",
+        [
+          Alcotest.test_case "more imbalance" `Quick
+            test_clustered_keys_increase_imbalance;
+          Alcotest.test_case "all stored" `Quick test_clustered_keys_all_stored;
+        ] );
+      ( "variants",
+        [
+          Alcotest.test_case "invitation median split" `Quick
+            test_invitation_median_split_runs;
+          Alcotest.test_case "neighbor avoid repeats" `Quick
+            test_neighbor_avoid_repeats_runs;
+        ] );
+    ]

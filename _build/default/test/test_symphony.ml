@@ -1,0 +1,140 @@
+(* Symphony small-world overlay. *)
+
+let build ?(seed = 7) ?(k = 4) n =
+  let rng = Prng.create seed in
+  let ids = Keygen.node_ids rng n in
+  (ids, Symphony.build rng ~ids ~long_links:k)
+
+let ring_owner ids key =
+  let sorted = Array.copy ids in
+  Array.sort Id.compare sorted;
+  let n = Array.length sorted in
+  let rec find i =
+    if i >= n then sorted.(0)
+    else if Id.compare sorted.(i) key >= 0 then sorted.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let test_build () =
+  let _, net = build 64 in
+  Alcotest.(check int) "size" 64 (Symphony.size net);
+  Alcotest.check_raises "empty" (Invalid_argument "Symphony.build: no members")
+    (fun () ->
+      ignore (Symphony.build (Prng.create 1) ~ids:[||] ~long_links:2))
+
+let test_links_are_members () =
+  let ids, net = build 64 in
+  let member id = Array.exists (Id.equal id) ids in
+  Array.iter
+    (fun id ->
+      let links = Symphony.long_links_of net id in
+      Alcotest.(check bool) "some links" true (List.length links >= 1);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "link is a member" true (member l);
+          Alcotest.(check bool) "no self link" false (Id.equal l id))
+        links)
+    ids
+
+let test_lookup_owner_matches_ring () =
+  let ids, net = build 128 in
+  let rng = Prng.create 3 in
+  for _ = 1 to 100 do
+    let key = Keygen.fresh rng in
+    let start = ids.(Prng.int_below rng 128) in
+    match Symphony.lookup net ~start ~key with
+    | None -> Alcotest.fail "lookup failed"
+    | Some (owner, hops) ->
+      Alcotest.check Testutil.check_id "owner = ring successor"
+        (ring_owner ids key) owner;
+      Alcotest.(check bool) "hops bounded" true (hops <= 128)
+  done
+
+let test_more_links_fewer_hops () =
+  let mean_hops k =
+    let ids, net = build ~seed:11 ~k 512 in
+    let rng = Prng.create 5 in
+    let total = ref 0 in
+    for _ = 1 to 200 do
+      let start = ids.(Prng.int_below rng 512) in
+      match Symphony.lookup net ~start ~key:(Keygen.fresh rng) with
+      | Some (_, h) -> total := !total + h
+      | None -> Alcotest.fail "lookup failed"
+    done;
+    float_of_int !total /. 200.0
+  in
+  let slow = mean_hops 1 and fast = mean_hops 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "k=8 (%.1f) beats k=1 (%.1f)" fast slow)
+    true (fast < slow)
+
+let test_hops_sublinear () =
+  let ids, net = build ~seed:13 512 in
+  let rng = Prng.create 7 in
+  let total = ref 0 in
+  for _ = 1 to 200 do
+    let start = ids.(Prng.int_below rng 512) in
+    match Symphony.lookup net ~start ~key:(Keygen.fresh rng) with
+    | Some (_, h) -> total := !total + h
+    | None -> Alcotest.fail "lookup failed"
+  done;
+  let mean = float_of_int !total /. 200.0 in
+  (* successor-only routing would average 256 hops; small world must be
+     far below (theory: log^2/2k ~ 10) *)
+  Alcotest.(check bool) (Printf.sprintf "mean %.1f << 256" mean) true (mean < 40.0)
+
+let test_singleton_and_nonmember () =
+  let rng = Prng.create 17 in
+  let lone = Keygen.fresh rng in
+  let net = Symphony.build rng ~ids:[| lone |] ~long_links:3 in
+  (match Symphony.lookup net ~start:lone ~key:(Keygen.fresh rng) with
+  | Some (owner, 0) -> Alcotest.check Testutil.check_id "lone owner" lone owner
+  | _ -> Alcotest.fail "singleton lookup");
+  Alcotest.(check bool) "non-member start" true
+    (Symphony.lookup net ~start:(Keygen.fresh rng) ~key:lone = None);
+  Alcotest.(check (list Testutil.check_id)) "no links when alone" []
+    (Symphony.long_links_of net lone)
+
+let test_expected_hops () =
+  Alcotest.(check (float 1e-9)) "n=1" 0.0 (Symphony.expected_hops ~n:1 ~k:4);
+  let e = Symphony.expected_hops ~n:1024 ~k:5 in
+  Alcotest.(check (float 1e-9)) "log^2/2k" 10.0 e
+
+let prop_harmonic_links_are_biased_close =
+  (* Long links under the harmonic distribution favour nearby nodes: the
+     median link distance must be well below the uniform median (1/2). *)
+  Testutil.prop ~count:20 "harmonic link bias" QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let ids = Keygen.node_ids rng 256 in
+      let net = Symphony.build rng ~ids ~long_links:4 in
+      let distances =
+        Array.to_list ids
+        |> List.concat_map (fun id ->
+               List.map
+                 (fun l -> Id.to_fraction (Id.distance_cw id l))
+                 (Symphony.long_links_of net id))
+      in
+      let sorted = List.sort compare distances in
+      let median = List.nth sorted (List.length sorted / 2) in
+      median < 0.25)
+
+let () =
+  Alcotest.run "symphony"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "build" `Quick test_build;
+          Alcotest.test_case "links are members" `Quick test_links_are_members;
+          Alcotest.test_case "owner matches ring" `Quick
+            test_lookup_owner_matches_ring;
+          Alcotest.test_case "more links fewer hops" `Quick
+            test_more_links_fewer_hops;
+          Alcotest.test_case "hops sublinear" `Quick test_hops_sublinear;
+          Alcotest.test_case "singleton/non-member" `Quick
+            test_singleton_and_nonmember;
+          Alcotest.test_case "expected hops" `Quick test_expected_hops;
+        ] );
+      ("properties", [ prop_harmonic_links_are_biased_close ]);
+    ]

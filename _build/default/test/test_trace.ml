@@ -1,0 +1,56 @@
+(* Trace recording and snapshot capture. *)
+
+let point tick work_done remaining =
+  { Trace.tick; work_done; remaining; active_nodes = 10; vnodes = 10 }
+
+let test_empty () =
+  let t = Trace.create ~snapshot_at:[] in
+  Alcotest.(check int) "no points" 0 (Array.length (Trace.points t));
+  Alcotest.(check bool) "no snapshots" true (Trace.snapshots t = []);
+  Alcotest.(check (float 0.0)) "mean 0" 0.0 (Trace.work_per_tick_mean t)
+
+let test_record_order () =
+  let t = Trace.create ~snapshot_at:[] in
+  Trace.record t (point 0 5 95);
+  Trace.record t (point 1 7 88);
+  Trace.record t (point 2 3 85);
+  let pts = Trace.points t in
+  Alcotest.(check int) "three points" 3 (Array.length pts);
+  Alcotest.(check int) "ordered" 0 pts.(0).Trace.tick;
+  Alcotest.(check int) "ordered last" 2 pts.(2).Trace.tick;
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Trace.work_per_tick_mean t)
+
+let test_snapshot_capture () =
+  let t = Trace.create ~snapshot_at:[ 0; 2 ] in
+  let state = State.create (Params.default ~nodes:10 ~tasks:50) in
+  Trace.maybe_snapshot t state;
+  (* not requested at tick 1 *)
+  State.advance_tick state;
+  Trace.maybe_snapshot t state;
+  State.advance_tick state;
+  Trace.maybe_snapshot t state;
+  let snaps = Trace.snapshots t in
+  Alcotest.(check (list int)) "captured ticks" [ 0; 2 ] (List.map fst snaps);
+  (match Trace.snapshot_at_tick t 0 with
+  | Some w -> Alcotest.(check int) "per active node" 10 (Array.length w)
+  | None -> Alcotest.fail "tick 0 missing");
+  Alcotest.(check bool) "tick 1 absent" true (Trace.snapshot_at_tick t 1 = None)
+
+let test_snapshot_once () =
+  let t = Trace.create ~snapshot_at:[ 0 ] in
+  let state = State.create (Params.default ~nodes:5 ~tasks:10) in
+  Trace.maybe_snapshot t state;
+  Trace.maybe_snapshot t state;
+  Alcotest.(check int) "captured once" 1 (List.length (Trace.snapshots t))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "record order" `Quick test_record_order;
+          Alcotest.test_case "snapshot capture" `Quick test_snapshot_capture;
+          Alcotest.test_case "snapshot once" `Quick test_snapshot_once;
+        ] );
+    ]

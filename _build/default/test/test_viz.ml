@@ -1,0 +1,116 @@
+(* Circle projection and figure rendering. *)
+
+let feq = Alcotest.(check (float 1e-6))
+
+let test_projection_landmarks () =
+  (* id 0 is at angle 0: top of the circle (x=0, y=1). *)
+  let x, y = Circle.project Id.zero in
+  feq "x at 0" 0.0 x;
+  feq "y at 0" 1.0 y;
+  (* a quarter turn: x=1, y=0 *)
+  let x, y = Circle.project (Id.of_fraction 0.25) in
+  feq "x at quarter" 1.0 x;
+  feq "y at quarter" 0.0 y;
+  (* half turn: bottom *)
+  let x, y = Circle.project (Id.of_fraction 0.5) in
+  feq "x at half" 0.0 x;
+  feq "y at half" (-1.0) y
+
+let test_on_unit_circle () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 100 do
+    let x, y = Circle.project (Keygen.fresh rng) in
+    feq "radius 1" 1.0 ((x *. x) +. (y *. y))
+  done
+
+let test_layout_and_csv () =
+  let nodes = Keygen.even_ids 4 in
+  let tasks = [| Id.of_fraction 0.1 |] in
+  let np, tp = Circle.layout ~nodes ~tasks in
+  Alcotest.(check int) "node points" 4 (Array.length np);
+  Alcotest.(check int) "task points" 1 (Array.length tp);
+  let csv = Circle.to_csv ~nodes ~tasks in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 5 rows" 6 (List.length lines);
+  Alcotest.(check string) "header" "kind,id,x,y" (List.hd lines)
+
+let test_render_ascii () =
+  let nodes = Keygen.even_ids 4 in
+  let tasks = [| Id.of_fraction 0.6 |] in
+  let grid = Circle.render_ascii ~size:21 ~nodes ~tasks () in
+  let lines = String.split_on_char '\n' grid in
+  Alcotest.(check int) "21 rows" 21 (List.length lines - 1);
+  Alcotest.(check bool) "has nodes" true (String.contains grid 'N');
+  Alcotest.(check bool) "has tasks" true (String.contains grid '+');
+  Alcotest.check_raises "too small" (Invalid_argument "Circle.render_ascii: size too small")
+    (fun () -> ignore (Circle.render_ascii ~size:2 ~nodes ~tasks ()))
+
+let test_compare_histograms () =
+  let s1 = { Figure.label = "alpha"; workloads = [| 0; 1; 2; 3; 10 |] } in
+  let s2 = { Figure.label = "beta"; workloads = [| 5; 5; 5 |] } in
+  let out = Figure.compare_histograms ~bins:5 [ s1; s2 ] in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "header + 5 bins" 6 (List.length lines);
+  Alcotest.(check bool) "labels present" true
+    (let hdr = List.hd lines in
+     let has needle =
+       let n = String.length needle and h = String.length hdr in
+       let rec go i = i + n <= h && (String.sub hdr i n = needle || go (i + 1)) in
+       go 0
+     in
+     has "alpha" && has "beta")
+
+let test_compare_histograms_empty () =
+  Alcotest.check_raises "no series" (Invalid_argument "Figure: no series") (fun () ->
+      ignore (Figure.compare_histograms []))
+
+let test_figure_csv () =
+  let s = { Figure.label = "x"; workloads = [| 1; 2; 3 |] } in
+  let csv = Figure.csv ~bins:3 [ s ] in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "bin_lo,bin_hi,x" (List.hd lines);
+  Alcotest.(check int) "3 bins" 4 (List.length lines);
+  (* counts in the csv sum to the sample count *)
+  let total =
+    List.fold_left
+      (fun acc line ->
+        match String.split_on_char ',' line with
+        | [ _; _; c ] -> acc + int_of_string c
+        | _ -> acc)
+      0 (List.tl lines)
+  in
+  Alcotest.(check int) "mass" 3 total
+
+let test_probability_series () =
+  let p = Figure.probability_series [| 0; 1; 10; 100 |] in
+  let mass = Array.fold_left (fun acc (_, m) -> acc +. m) 0.0 p in
+  feq "sums to 1" 1.0 mass
+
+let prop_projection_injective_on_distinct_fractions =
+  Testutil.prop ~count:200 "distinct ids at distinct angles project apart"
+    (QCheck.pair (QCheck.float_range 0.0 0.99) (QCheck.float_range 0.0 0.99))
+    (fun (f1, f2) ->
+      QCheck.assume (Float.abs (f1 -. f2) > 1e-3);
+      let x1, y1 = Circle.project (Id.of_fraction f1) in
+      let x2, y2 = Circle.project (Id.of_fraction f2) in
+      Float.abs (x1 -. x2) > 1e-9 || Float.abs (y1 -. y2) > 1e-9)
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "circle",
+        [
+          Alcotest.test_case "landmarks" `Quick test_projection_landmarks;
+          Alcotest.test_case "unit circle" `Quick test_on_unit_circle;
+          Alcotest.test_case "layout/csv" `Quick test_layout_and_csv;
+          Alcotest.test_case "ascii render" `Quick test_render_ascii;
+        ] );
+      ( "figure",
+        [
+          Alcotest.test_case "compare histograms" `Quick test_compare_histograms;
+          Alcotest.test_case "empty series" `Quick test_compare_histograms_empty;
+          Alcotest.test_case "csv" `Quick test_figure_csv;
+          Alcotest.test_case "probability series" `Quick test_probability_series;
+        ] );
+      ("properties", [ prop_projection_injective_on_distinct_fractions ]);
+    ]

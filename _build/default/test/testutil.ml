@@ -1,0 +1,42 @@
+(* Helpers shared across the test executables. *)
+
+let arb_id =
+  QCheck.make
+    ~print:(fun id -> Id.to_hex id)
+    (QCheck.Gen.map
+       (fun s -> Id.of_raw_string s)
+       (QCheck.Gen.string_size ~gen:QCheck.Gen.char (QCheck.Gen.return 20)))
+
+(* Small ids (two low bytes random) generate frequent collisions and
+   adjacencies, which exercise wrap/equality edge cases far more than
+   uniform 160-bit draws. *)
+let arb_small_id =
+  QCheck.make
+    ~print:(fun id -> Id.to_hex id)
+    (QCheck.Gen.map (fun n -> Id.of_int n) (QCheck.Gen.int_bound 65535))
+
+let prop ?(count = 300) name law_arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count law_arb law)
+
+let check_id = Alcotest.testable Id.pp_full Id.equal
+
+let ids_of_ints = List.map Id.of_int
+
+let fresh_rng ?(seed = 42) () = Prng.create seed
+
+(* A ring-consistent DHT with [n] nodes and [m] keys, deterministic. *)
+let sample_dht ?(seed = 42) ~nodes ~keys () =
+  let rng = Prng.create seed in
+  let dht = Dht.create () in
+  Array.iter
+    (fun id ->
+      match Dht.join dht ~id ~payload:() with
+      | Ok _ -> ()
+      | Error `Occupied -> ())
+    (Keygen.node_ids rng nodes);
+  for _ = 1 to keys do
+    match Dht.insert_key dht (Keygen.fresh rng) with
+    | Ok () | Error `Duplicate -> ()
+    | Error `Empty_ring -> assert false
+  done;
+  (dht, rng)
