@@ -11,6 +11,13 @@ let wanted =
   | None | Some "" -> None
   | Some s -> Some (String.split_on_char ',' (String.lowercase_ascii s))
 
+(* Wall time of every section that ran, and the hot-path throughput
+   metrics, accumulate here and are dumped to BENCH_hotpath.json so
+   successive PRs have a machine-readable perf trajectory. *)
+let section_times : (string * float) list ref = ref []
+let hotpath_metrics : (string * Json_out.t) list ref = ref []
+let metric name v = hotpath_metrics := (name, v) :: !hotpath_metrics
+
 let section name f =
   let run =
     match wanted with
@@ -21,7 +28,9 @@ let section name f =
     Printf.printf "==== %s ====\n%!" name;
     let t0 = Unix.gettimeofday () in
     f ();
-    Printf.printf "---- (%s: %.1fs)\n\n%!" name (Unix.gettimeofday () -. t0)
+    let dt = Unix.gettimeofday () -. t0 in
+    section_times := (name, dt) :: !section_times;
+    Printf.printf "---- (%s: %.1fs)\n\n%!" name dt
   end
 
 let trials = Scale.trials ()
@@ -118,6 +127,97 @@ let timeline () =
   print_string (Work_timeline.print_table (Work_timeline.run ~seed ()))
 
 (* ------------------------------------------------------------------ *)
+(* The simulation hot path: tick/consume throughput end to end, plus   *)
+(* the Id_set bulk removal against the single-key loop it replaced.    *)
+
+let hotpath () =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let nodes = 1000 and tasks = 100_000 in
+  let params = { (Params.default ~nodes ~tasks) with Params.seed } in
+  let state, dt_create = timed (fun () -> State.create params) in
+  let r, dt_run = timed (fun () -> Engine.run_state state Engine.no_strategy) in
+  let ticks = match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t in
+  let ticks_per_s = float_of_int ticks /. dt_run in
+  let keys_per_s = float_of_int tasks /. dt_run in
+  Printf.printf
+    "end-to-end %dn/%dt (no strategy): create %.3fs, run %.3fs (%d ticks, \
+     %.0f ticks/s, %.0f keys consumed/s)\n"
+    nodes tasks dt_create dt_run ticks ticks_per_s keys_per_s;
+  metric "sim_nodes" (Json_out.Int nodes);
+  metric "sim_tasks" (Json_out.Int tasks);
+  metric "sim_create_s" (Json_out.Float dt_create);
+  metric "sim_run_s" (Json_out.Float dt_run);
+  metric "sim_ticks" (Json_out.Int ticks);
+  metric "ticks_per_s" (Json_out.Float ticks_per_s);
+  metric "keys_consumed_per_s" (Json_out.Float keys_per_s);
+  (* Drain a 100k-key set: the legacy nth+remove loop vs the one-pass
+     bulk removal, on identical draw streams. *)
+  let n_keys = 100_000 in
+  let keys =
+    let rng = Prng.create seed in
+    let a = Keygen.task_keys rng n_keys in
+    Array.sort Id.compare a;
+    a
+  in
+  let full = Id_set.of_sorted_array keys in
+  let drain_single () =
+    let rng = Prng.create (seed + 1) in
+    let s = ref full in
+    while Id_set.cardinal !s > 0 do
+      let k = Id_set.nth !s (Prng.int_below rng (Id_set.cardinal !s)) in
+      s := Id_set.remove k !s
+    done
+  in
+  let drain_bulk batch () =
+    let rng = Prng.create (seed + 1) in
+    let rand b = Prng.int_below rng b in
+    let s = ref full in
+    while Id_set.cardinal !s > 0 do
+      let _, rest = Id_set.take_random_n ~rand !s batch in
+      s := rest
+    done
+  in
+  let (), dt_single = timed drain_single in
+  let (), dt_bulk1 = timed (drain_bulk 1) in
+  let (), dt_bulk6 = timed (drain_bulk 6) in
+  let rate dt = float_of_int n_keys /. dt in
+  Printf.printf
+    "drain 100k keys: nth+remove %.0f keys/s, bulk(1) %.0f keys/s, bulk(6) \
+     %.0f keys/s (speedup %.2fx / %.2fx)\n"
+    (rate dt_single) (rate dt_bulk1) (rate dt_bulk6)
+    (dt_single /. dt_bulk1) (dt_single /. dt_bulk6)
+    ;
+  metric "drain_single_keys_per_s" (Json_out.Float (rate dt_single));
+  metric "drain_bulk1_keys_per_s" (Json_out.Float (rate dt_bulk1));
+  metric "drain_bulk6_keys_per_s" (Json_out.Float (rate dt_bulk6));
+  metric "bulk1_speedup" (Json_out.Float (dt_single /. dt_bulk1));
+  metric "bulk6_speedup" (Json_out.Float (dt_single /. dt_bulk6))
+
+let emit_hotpath_json () =
+  let file = "BENCH_hotpath.json" in
+  let json =
+    Json_out.Obj
+      [
+        ("schema", Json_out.String "dhtlb-hotpath/1");
+        ("scale", Json_out.String (Scale.describe ()));
+        ( "sections_wall_s",
+          Json_out.Obj
+            (List.rev_map (fun (n, s) -> (n, Json_out.Float s)) !section_times)
+        );
+        ("hotpath", Json_out.Obj (List.rev !hotpath_metrics));
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Json_out.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate's hot operations.        *)
 
 let micro () =
@@ -196,4 +296,6 @@ let () =
   section "failures" failures;
   section "routing" routing;
   section "timeline" timeline;
-  section "micro" micro
+  section "hotpath" hotpath;
+  section "micro" micro;
+  emit_hotpath_json ()

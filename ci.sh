@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI entry point: full build, the whole test battery, and a quick bench
+# smoke run of the simulation hot path (writes BENCH_hotpath.json).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> dune build @all"
+dune build @all
+
+echo "==> dune runtest"
+dune runtest
+
+echo "==> bench smoke (hotpath section, quick scale)"
+DHTLB_ONLY=hotpath dune exec bench/main.exe
+
+echo "==> ci.sh: all green"

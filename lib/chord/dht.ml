@@ -2,18 +2,30 @@ type 'a vnode = { id : Id.t; mutable keys : Id_set.t; payload : 'a }
 
 type 'a t = {
   mutable ring : 'a vnode Ring.t;
+  (* Hash index over the same vnodes: point lookups (find/workload/
+     consume) are O(1) instead of an O(log n) ring descent, which the
+     strategies' every-decision-period workload scans hit for every
+     vnode of every machine. *)
+  index : (Id.t, 'a vnode) Hashtbl.t;
   mutable total_keys : int;
   messages : Messages.t;
 }
 
-let create () = { ring = Ring.empty; total_keys = 0; messages = Messages.create () }
+let create () =
+  {
+    ring = Ring.empty;
+    index = Hashtbl.create 256;
+    total_keys = 0;
+    messages = Messages.create ();
+  }
+
 let messages t = t.messages
 let size t = Ring.cardinal t.ring
 let total_keys t = t.total_keys
-let find t id = Ring.find_opt id t.ring
+let find t id = Hashtbl.find_opt t.index id
 
 let join t ~id ~payload =
-  if Ring.mem id t.ring then Error `Occupied
+  if Hashtbl.mem t.index id then Error `Occupied
   else begin
     t.messages.joins <- t.messages.joins + 1;
     let keys =
@@ -35,23 +47,26 @@ let join t ~id ~payload =
     in
     let vn = { id; keys; payload } in
     t.ring <- Ring.add id vn t.ring;
+    Hashtbl.replace t.index id vn;
     Ok vn
   end
 
 let leave t id =
-  match Ring.find_opt id t.ring with
+  match Hashtbl.find_opt t.index id with
   | None -> Error `Not_member
   | Some vn ->
     if Ring.cardinal t.ring = 1 then
       if Id_set.is_empty vn.keys then begin
         t.messages.leaves <- t.messages.leaves + 1;
         t.ring <- Ring.remove id t.ring;
+        Hashtbl.remove t.index id;
         Ok ()
       end
       else Error `Last_node
     else begin
       t.messages.leaves <- t.messages.leaves + 1;
       t.ring <- Ring.remove id t.ring;
+      Hashtbl.remove t.index id;
       (match Ring.successor id t.ring with
       | Some (_, succ) ->
         let moved = Id_set.cardinal vn.keys in
@@ -79,27 +94,102 @@ let insert_key t key =
       Ok ()
     end
 
-let consume ?(pick = fun _ -> 0) t id n =
-  match Ring.find_opt id t.ring with
-  | None -> 0
-  | Some vn ->
-    let rec go done_ keys =
-      let c = Id_set.cardinal keys in
-      if done_ >= n || c = 0 then (done_, keys)
+(* Bulk load: sort the batch once, then hand every vnode its arc's slice
+   as an [of_sorted_array] set instead of one owner lookup and one AVL
+   insert per key.  Duplicates (within the batch or against stored keys)
+   are dropped, exactly as repeated [insert_key] calls would drop them. *)
+let insert_keys t keys =
+  if Ring.is_empty t.ring then Error `Empty_ring
+  else begin
+    let sorted = Array.copy keys in
+    Array.sort Id.compare sorted;
+    let distinct =
+      let n = Array.length sorted in
+      if n = 0 then [||]
       else begin
-        let i = pick c in
-        if i < 0 || i >= c then invalid_arg "Dht.consume: pick out of range";
-        let key = Id_set.nth keys i in
-        go (done_ + 1) (Id_set.remove key keys)
+        let out = Array.make n sorted.(0) in
+        let m = ref 1 in
+        for i = 1 to n - 1 do
+          if not (Id.equal sorted.(i) sorted.(i - 1)) then begin
+            out.(!m) <- sorted.(i);
+            incr m
+          end
+        done;
+        Array.sub out 0 !m
       end
     in
-    let completed, rest = go 0 vn.keys in
-    vn.keys <- rest;
-    t.total_keys <- t.total_keys - completed;
-    completed
+    let n = Array.length distinct in
+    (* First index holding an id strictly greater than [x]; [n] if none. *)
+    let first_gt x =
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Id.compare distinct.(mid) x <= 0 then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    let inserted = ref 0 in
+    let give vn slice_set =
+      if not (Id_set.is_empty slice_set) then begin
+        let before = Id_set.cardinal vn.keys in
+        vn.keys <- Id_set.union vn.keys slice_set;
+        inserted := !inserted + Id_set.cardinal vn.keys - before
+      end
+    in
+    let slice lo hi =
+      (* [lo, hi): already sorted and distinct. *)
+      if hi <= lo then Id_set.empty
+      else Id_set.of_sorted_array (Array.sub distinct lo (hi - lo))
+    in
+    let bindings = Ring.bindings t.ring in
+    (match bindings with
+    | [] -> assert false
+    | (first_id, first_vn) :: rest ->
+      let last_id =
+        match List.rev rest with (id, _) :: _ -> id | [] -> first_id
+      in
+      if rest = [] then
+        (* A lone vnode owns the whole ring. *)
+        give first_vn (slice 0 n)
+      else begin
+        (* Wrap arc (last, first]: the tail beyond the last vnode plus
+           the head up to and including the first. *)
+        give first_vn
+          (Id_set.union (slice (first_gt last_id) n) (slice 0 (first_gt first_id)));
+        let prev = ref first_id in
+        List.iter
+          (fun (id, vn) ->
+            give vn (slice (first_gt !prev) (first_gt id));
+            prev := id)
+          rest
+      end);
+    t.total_keys <- t.total_keys + !inserted;
+    Ok !inserted
+  end
+
+let consume ~pick t id n =
+  match Hashtbl.find_opt t.index id with
+  | None -> 0
+  | Some vn ->
+    let c = Id_set.cardinal vn.keys in
+    if n <= 0 || c = 0 then 0
+    else begin
+      let rand bound =
+        let i = pick bound in
+        if i < 0 || i >= bound then invalid_arg "Dht.consume: pick out of range";
+        i
+      in
+      let taken, rest = Id_set.take_random_n ~rand vn.keys n in
+      let completed = List.length taken in
+      vn.keys <- rest;
+      t.total_keys <- t.total_keys - completed;
+      completed
+    end
 
 let workload t id =
-  match Ring.find_opt id t.ring with None -> 0 | Some vn -> Id_set.cardinal vn.keys
+  match Hashtbl.find_opt t.index id with
+  | None -> 0
+  | Some vn -> Id_set.cardinal vn.keys
 
 let arc_of t id = Ring.arc_of id t.ring
 
@@ -121,8 +211,16 @@ let check_invariants t =
   if counted <> t.total_keys then
     invalid_arg
       (Printf.sprintf "Dht: total_keys=%d but counted=%d" t.total_keys counted);
+  if Hashtbl.length t.index <> Ring.cardinal t.ring then
+    invalid_arg
+      (Printf.sprintf "Dht: index has %d entries but ring has %d"
+         (Hashtbl.length t.index) (Ring.cardinal t.ring));
   iter
     (fun vn ->
+      (match Hashtbl.find_opt t.index vn.id with
+      | Some vn' when vn' == vn -> ()
+      | Some _ -> invalid_arg "Dht: index points at a stale vnode"
+      | None -> invalid_arg "Dht: ring vnode missing from index");
       match arc_of t vn.id with
       | None -> invalid_arg "Dht: vnode without arc"
       | Some arc ->

@@ -46,17 +46,29 @@ val leave : 'a t -> Id.t -> (unit, [ `Not_member | `Last_node ]) result
 val insert_key : 'a t -> Id.t -> (unit, [ `Empty_ring | `Duplicate ]) result
 (** Store a key on its owner (the first vnode clockwise of the key). *)
 
+val insert_keys : 'a t -> Id.t array -> (int, [ `Empty_ring ]) result
+(** Bulk [insert_key]: stores every key of the batch on its owner and
+    returns the number actually inserted.  Duplicate keys — within the
+    batch or already stored — are dropped, as repeated [insert_key]
+    calls would drop them.  One sort plus an [of_sorted_array] slice per
+    vnode arc: O(b log b + n log b) for a batch of [b] keys over [n]
+    vnodes, rather than [b] owner lookups and AVL inserts. *)
+
 val owner_of : 'a t -> Id.t -> 'a vnode option
 (** The vnode responsible for a key. *)
 
-val consume : ?pick:(int -> int) -> 'a t -> Id.t -> int -> int
-(** [consume t id n] completes up to [n] of vnode [id]'s tasks and
+val consume : pick:(int -> int) -> 'a t -> Id.t -> int -> int
+(** [consume ~pick t id n] completes up to [n] of vnode [id]'s tasks and
     returns the number actually completed; [0] if [id] is not a member.
     [pick c] chooses the index (in key order) of the next task to
-    complete among the [c] remaining; it defaults to always picking
-    index 0 (smallest key).  Simulations pass a uniform pick so that the
-    keys remaining in an arc stay uniformly distributed — workers process
-    tasks in no particular key order. *)
+    complete among the [c] remaining.  The argument is required because
+    the choice is load-bearing: Sybil arc placement reasons about how
+    keys are spread within arcs, so simulations must pass a uniform pick
+    (a silent always-leftmost default would skew the remaining-key
+    distribution).  The whole budget is removed in one tree pass
+    ({!Id_set.take_random_n}), drawing [pick c], [pick (c-1)], ... so
+    the random stream matches the per-key loop it replaced.
+    @raise Invalid_argument if [pick] returns an index out of range. *)
 
 val workload : 'a t -> Id.t -> int
 (** Tasks currently owned by a vnode; [0] if not a member. O(1). *)

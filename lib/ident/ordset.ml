@@ -170,6 +170,117 @@ module Make (Ord : ORDERED) = struct
       else if i = cl then v
       else nth r (i - cl - 1)
 
+  (* O(n) balanced construction from a strictly increasing array. *)
+  let of_sorted_array a =
+    let len = Array.length a in
+    for i = 1 to len - 1 do
+      if Ord.compare a.(i - 1) a.(i) >= 0 then
+        invalid_arg "Ordset.of_sorted_array: not strictly increasing"
+    done;
+    let rec build lo hi =
+      if lo >= hi then Empty
+      else
+        let mid = (lo + hi) / 2 in
+        mk (build lo mid) a.(mid) (build (mid + 1) hi)
+    in
+    build 0 len
+
+  let rec extract_rank t i =
+    match t with
+    | Empty -> invalid_arg "Ordset.extract_rank: rank out of bounds"
+    | Node { l; v; r; _ } ->
+      let cl = cardinal l in
+      if i < cl then
+        let x, l' = extract_rank l i in
+        (x, bal l' v r)
+      else if i = cl then (v, concat l r)
+      else
+        let x, r' = extract_rank r (i - cl - 1) in
+        (x, bal l v r')
+
+  (* Removes the elements at the given ranks (strictly increasing, all in
+     bounds) in a single descent: ranks are partitioned per subtree and
+     the survivors reassembled with [join]/[concat], so extracting [n]
+     ranks costs O(n log(k/n + 1) + log k) rather than n full
+     root-to-leaf searches. *)
+  let extract_ranks t ranks =
+    let check_sorted =
+      let rec go = function
+        | a :: (b :: _ as tl) ->
+          if a >= b then
+            invalid_arg "Ordset.extract_ranks: ranks not strictly increasing"
+          else go tl
+        | _ -> ()
+      in
+      go
+    in
+    check_sorted ranks;
+    (match ranks with
+    | i :: _ when i < 0 -> invalid_arg "Ordset.extract_ranks: negative rank"
+    | _ -> ());
+    let rec go t ranks =
+      match ranks with
+      | [] -> ([], t)
+      | _ -> (
+        match t with
+        | Empty -> invalid_arg "Ordset.extract_ranks: rank out of bounds"
+        | Node { l; v; r; _ } ->
+          let cl = cardinal l in
+          let rec split3 acc = function
+            | i :: tl when i < cl -> split3 (i :: acc) tl
+            | rest -> (List.rev acc, rest)
+          in
+          let left_ranks, rest = split3 [] ranks in
+          let here, right_ranks =
+            match rest with i :: tl when i = cl -> (true, tl) | _ -> (false, rest)
+          in
+          let right_ranks = List.map (fun i -> i - cl - 1) right_ranks in
+          let lelts, l' = go l left_ranks in
+          let relts, r' = go r right_ranks in
+          let t' = if here then concat l' r' else join l' v r' in
+          let tail = if here then v :: relts else relts in
+          (lelts @ tail, t'))
+    in
+    go t ranks
+
+  (* Bulk random sampling without replacement.  Draws [rand c], [rand
+     (c-1)], ... exactly as a caller looping [nth]/[remove] would, so a
+     deterministic [rand] stream selects the same elements as the
+     one-at-a-time loop it replaces — then removes them all in one tree
+     pass via [extract_ranks]. *)
+  let take_random_n ~rand t n =
+    let c = cardinal t in
+    let n = min n c in
+    if n <= 0 then ([], t)
+    else if n = 1 then begin
+      (* The common per-tick budget: one draw, one descent. *)
+      let i = rand c in
+      if i < 0 || i >= c then
+        invalid_arg "Ordset.take_random_n: rand out of range";
+      let x, t' = extract_rank t i in
+      ([ x ], t')
+    end
+    else begin
+      (* Convert each draw (an index into the shrinking set) to a rank in
+         the original tree: the i-th not-yet-chosen rank.  [chosen] stays
+         sorted ascending; n is a per-tick budget, so the O(n^2) list walk
+         is negligible next to the tree work. *)
+      let chosen = ref [] in
+      for j = 0 to n - 1 do
+        let i = rand (c - j) in
+        if i < 0 || i >= c - j then
+          invalid_arg "Ordset.take_random_n: rand out of range";
+        (* Every already-chosen rank <= cur shifts the target right by
+           one; past the first gap the remaining ranks are all larger. *)
+        let rec insert acc cur = function
+          | r :: tl when r <= cur -> insert (r :: acc) (cur + 1) tl
+          | rest -> List.rev_append acc (cur :: rest)
+        in
+        chosen := insert [] i !chosen
+      done;
+      extract_ranks t !chosen
+    end
+
   let check_invariants t =
     let rec go = function
       | Empty -> (0, 0, None, None)

@@ -44,6 +44,29 @@ module Make (Ord : ORDERED) : sig
   (** [nth t i] is the [i]-th smallest element (0-based); O(log n).
       @raise Invalid_argument if [i] is out of bounds. *)
 
+  val of_sorted_array : elt array -> t
+  (** O(n) perfectly balanced construction.
+      @raise Invalid_argument unless the array is strictly increasing. *)
+
+  val extract_rank : t -> int -> elt * t
+  (** [extract_rank t i] removes and returns the [i]-th smallest element
+      in a single root-to-leaf pass (one descent where [nth] + [remove]
+      costs two). @raise Invalid_argument if [i] is out of bounds. *)
+
+  val extract_ranks : t -> int list -> elt list * t
+  (** [extract_ranks t ranks] removes the elements at the given ranks
+      (which must be strictly increasing and in bounds) in one tree pass;
+      returns them in rank order.  O(|ranks| · log(n/|ranks| + 1) + log n).
+      @raise Invalid_argument on unsorted or out-of-bounds ranks. *)
+
+  val take_random_n : rand:(int -> int) -> t -> int -> elt list * t
+  (** [take_random_n ~rand t n] removes [min n (cardinal t)] elements
+      sampled without replacement, calling [rand c], [rand (c-1)], ... on
+      the shrinking count — exactly the draws a [nth]/[remove]
+      one-at-a-time loop makes, so results are stream-compatible with the
+      loop it replaces — but performs all removals in a single tree pass.
+      @raise Invalid_argument if [rand] returns out of [0, bound). *)
+
   val check_invariants : t -> unit
   (** Validates balance, size counters and ordering; raises
       [Invalid_argument] on violation.  For tests. *)

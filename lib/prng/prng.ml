@@ -67,7 +67,10 @@ let float_unit t =
   let v = Int64.shift_right_logical (bits64 t) 11 in
   Int64.to_float v *. 0x1.0p-53
 
-let bernoulli t p = if p <= 0.0 then false else if p >= 1.0 then true else float_unit t < p
+let bernoulli t p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Prng.bernoulli: probability outside [0, 1]";
+  if p = 0.0 then false else if p = 1.0 then true else float_unit t < p
 
 let fill_bytes t buf =
   let n = Bytes.length buf in

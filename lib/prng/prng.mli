@@ -30,7 +30,10 @@ val float_unit : t -> float
 (** Uniform in [[0, 1)] with 53 bits of precision. *)
 
 val bernoulli : t -> float -> bool
-(** [bernoulli t p] is [true] with probability [p] (clamped to [0, 1]). *)
+(** [bernoulli t p] is [true] with probability [p].  Degenerate
+    probabilities (exactly 0 or 1) return without consuming a draw.
+    @raise Invalid_argument if [p] is outside [0, 1] (or NaN) — a
+    caller-side rate arithmetic bug, not something to clamp silently. *)
 
 val fill_bytes : t -> bytes -> unit
 (** Overwrite a buffer with random bytes. *)

@@ -15,31 +15,53 @@ let run_one (params : Params.t) mk_strategy i =
   Engine.run params (mk_strategy ())
 
 (* Trials are embarrassingly parallel: each builds its own state and
-   PRNG, so splitting the index range across domains is race-free and
-   bit-reproducible.  Static block partitioning is fine — trials of one
-   experiment have near-identical cost. *)
+   PRNG, so partitioning the index range across domains is race-free and
+   bit-reproducible.  Each domain owns a contiguous chunk and fills a
+   private array returned through [Domain.join] — no strided writes into
+   a shared boxed-option array, so nothing depends on publication order.
+   Static block partitioning is fine: trials of one experiment have
+   near-identical cost. *)
 let run_parallel ~trials ~domains params mk_strategy =
-  let slots = Array.make trials None in
+  let base = trials / domains and rem = trials mod domains in
+  let chunk d =
+    (* Domains [0, rem) take one extra trial each. *)
+    let lo = (d * base) + min d rem in
+    let len = base + if d < rem then 1 else 0 in
+    (lo, len)
+  in
   let workers =
     List.init domains (fun d ->
+        let lo, len = chunk d in
         Domain.spawn (fun () ->
-            let i = ref d in
-            while !i < trials do
-              slots.(!i) <- Some (run_one params mk_strategy !i);
-              i := !i + domains
-            done))
+            ( lo,
+              Array.init len (fun j ->
+                  (* A raising trial must not leave the whole experiment
+                     half-filled: capture per trial and rethrow after all
+                     domains have joined. *)
+                  match run_one params mk_strategy (lo + j) with
+                  | r -> Ok r
+                  | exception e -> Error (e, Printexc.get_raw_backtrace ())) )))
   in
-  List.iter Domain.join workers;
+  let slots = Array.make trials (Error (Exit, Printexc.get_raw_backtrace ())) in
+  List.iter
+    (fun w ->
+      let lo, results = Domain.join w in
+      Array.blit results 0 slots lo (Array.length results))
+    workers;
+  (* Rethrow the lowest-index failure so the surfaced error does not
+     depend on domain scheduling. *)
   Array.map
-    (function Some r -> r | None -> invalid_arg "Runner: missing trial")
+    (function
+      | Ok r -> r
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
     slots
 
 let run_all ?(trials = 10) ?(domains = 1) (params : Params.t) mk_strategy =
-  if trials < 1 then invalid_arg "Runner.run_trials: trials < 1";
-  if domains < 1 then invalid_arg "Runner.run_trials: domains < 1";
-  if domains = 1 || trials = 1 then
-    Array.init trials (run_one params mk_strategy)
-  else run_parallel ~trials ~domains:(min domains trials) params mk_strategy
+  if trials < 1 then invalid_arg "Runner.run_all: trials < 1";
+  if domains < 1 then invalid_arg "Runner.run_all: domains < 1";
+  let domains = min domains trials in
+  if domains = 1 then Array.init trials (run_one params mk_strategy)
+  else run_parallel ~trials ~domains params mk_strategy
 
 let factors ?trials ?domains params mk_strategy =
   Array.map (fun r -> r.Engine.factor) (run_all ?trials ?domains params mk_strategy)

@@ -28,9 +28,12 @@ val run_trials :
     [params.seed + i].
 
     [domains] (default 1) runs trials on that many OCaml 5 domains in
-    parallel; trials are fully independent (fresh state and PRNG each),
-    so results are bit-identical to the sequential run regardless of
-    the domain count. *)
+    parallel (capped at [trials]); trials are fully independent (fresh
+    state and PRNG each), so results are bit-identical to the sequential
+    run regardless of the domain count.  If a trial raises, every domain
+    is still joined and the exception of the lowest-numbered failing
+    trial is rethrown with its backtrace, independent of scheduling.
+    @raise Invalid_argument if [trials < 1] or [domains < 1]. *)
 
 val factors :
   ?trials:int -> ?domains:int -> Params.t -> (unit -> Engine.strategy) ->

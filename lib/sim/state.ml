@@ -59,13 +59,9 @@ let create (params : Params.t) =
           let offset = Id.of_fraction (Prng.float_unit rng *. spread) in
           Id.add centers.(j) offset)
   in
-  Array.iter
-    (fun key ->
-      match Dht.insert_key dht key with
-      | Ok () -> ()
-      | Error `Duplicate -> () (* negligible probability; drop silently *)
-      | Error `Empty_ring -> assert false)
-    keys;
+  (match Dht.insert_keys dht keys with
+  | Ok _ -> () (* duplicate keys (negligible probability) drop silently *)
+  | Error `Empty_ring -> assert false);
   {
     params;
     dht;
@@ -208,6 +204,10 @@ let fail_phys t pid =
 
 let apply_churn t =
   let churn = t.params.churn_rate and fail = t.params.failure_rate in
+  (* Waiting machines rejoin at the combined departure rate so the pool
+     stays in equilibrium; the sum of two probabilities can exceed 1
+     (e.g. churn 0.8 + fail 0.5), so clamp before drawing. *)
+  let rejoin = min 1.0 (churn +. fail) in
   if churn > 0.0 || fail > 0.0 then
     Array.iter
       (fun p ->
@@ -215,7 +215,7 @@ let apply_churn t =
           if churn > 0.0 && Prng.bernoulli t.rng churn then leave_phys t p.pid
           else if fail > 0.0 && Prng.bernoulli t.rng fail then fail_phys t p.pid
         end
-        else if Prng.bernoulli t.rng (churn +. fail) then join_phys t p.pid)
+        else if Prng.bernoulli t.rng rejoin then join_phys t p.pid)
       t.phys
 
 let advance_tick t = t.tick <- t.tick + 1

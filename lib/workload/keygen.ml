@@ -10,11 +10,18 @@ let rec fresh_distinct rng taken =
   if Id_set.mem id taken then fresh_distinct rng taken else id
 
 let distinct rng n =
+  (* Dedup via a hash table, not an ordered set: O(1) per draw, and the
+     membership structure consumes no randomness, so the id stream is
+     identical either way. *)
   let out = Array.make n Id.zero in
-  let taken = ref Id_set.empty in
+  let taken = Hashtbl.create (2 * n) in
   for i = 0 to n - 1 do
-    let id = fresh_distinct rng !taken in
-    taken := Id_set.add id !taken;
+    let rec draw () =
+      let id = fresh rng in
+      if Hashtbl.mem taken id then draw () else id
+    in
+    let id = draw () in
+    Hashtbl.replace taken id ();
     out.(i) <- id
   done;
   out

@@ -2,6 +2,10 @@
 
 let i = Id.of_int
 
+(* Deterministic leftmost pick: tests below assert counts, not spread. *)
+let leftmost _ = 0
+let consume = Dht.consume ~pick:leftmost
+
 let mk_dht node_ints key_ints =
   let dht = Dht.create () in
   List.iter
@@ -53,7 +57,7 @@ let test_leave_last_node () =
   | Error `Last_node -> ()
   | _ -> Alcotest.fail "must protect the last key holder");
   (* consume the key, then leaving is allowed *)
-  let _ = Dht.consume dht (i 100) 1 in
+  let _ = consume dht (i 100) 1 in
   match Dht.leave dht (i 100) with
   | Ok () -> Alcotest.(check int) "empty" 0 (Dht.size dht)
   | Error _ -> Alcotest.fail "empty last node may leave"
@@ -79,11 +83,11 @@ let test_insert_and_owner () =
 
 let test_consume () =
   let dht = mk_dht [ 100 ] [ 10; 20; 30 ] in
-  Alcotest.(check int) "consume 2" 2 (Dht.consume dht (i 100) 2);
+  Alcotest.(check int) "consume 2" 2 (consume dht (i 100) 2);
   Alcotest.(check int) "remaining" 1 (Dht.workload dht (i 100));
-  Alcotest.(check int) "consume beyond" 1 (Dht.consume dht (i 100) 5);
-  Alcotest.(check int) "drained" 0 (Dht.consume dht (i 100) 5);
-  Alcotest.(check int) "non-member" 0 (Dht.consume dht (i 999) 5);
+  Alcotest.(check int) "consume beyond" 1 (consume dht (i 100) 5);
+  Alcotest.(check int) "drained" 0 (consume dht (i 100) 5);
+  Alcotest.(check int) "non-member" 0 (consume dht (i 999) 5);
   Alcotest.(check int) "total zero" 0 (Dht.total_keys dht)
 
 let test_neighbors () =
@@ -141,10 +145,56 @@ let prop_random_ops =
             match Dht.insert_key dht (i n) with
             | Ok () -> incr inserted
             | Error _ -> ())
-          | `Consume (n, c) -> consumed := !consumed + Dht.consume dht (i n) c)
+          | `Consume (n, c) -> consumed := !consumed + consume dht (i n) c)
         ops;
       Dht.check_invariants dht;
       Dht.total_keys dht = !inserted - !consumed)
+
+let test_consume_rejects_bad_pick () =
+  let dht = mk_dht [ 100 ] [ 10; 20; 30 ] in
+  Alcotest.check_raises "pick out of range"
+    (Invalid_argument "Dht.consume: pick out of range") (fun () ->
+      ignore (Dht.consume ~pick:(fun c -> c) dht (i 100) 1))
+
+(* Bulk loading must land every key on the same owner as one-at-a-time
+   insertion, drop duplicates the same way, and count what it stored. *)
+let test_insert_keys_bulk_matches_single () =
+  let nodes = [ 100; 300; 700 ] in
+  let keys = [ 50; 100; 150; 300; 301; 650; 700; 701; 900; 50 (* dup *) ] in
+  let bulk = mk_dht nodes [] in
+  (match Dht.insert_keys bulk (Array.of_list (List.map i keys)) with
+  | Ok n -> Alcotest.(check int) "inserted count" 9 n
+  | Error `Empty_ring -> Alcotest.fail "ring not empty");
+  (* a second bulk load of the same batch stores nothing new *)
+  (match Dht.insert_keys bulk (Array.of_list (List.map i keys)) with
+  | Ok n -> Alcotest.(check int) "all duplicates" 0 n
+  | Error `Empty_ring -> Alcotest.fail "ring not empty");
+  let single = mk_dht nodes [] in
+  List.iter (fun k -> ignore (Dht.insert_key single (i k))) keys;
+  List.iter
+    (fun node ->
+      Alcotest.(check int)
+        (Printf.sprintf "workload of %d" node)
+        (Dht.workload single (i node))
+        (Dht.workload bulk (i node)))
+    nodes;
+  Alcotest.(check int) "total" (Dht.total_keys single) (Dht.total_keys bulk);
+  Dht.check_invariants bulk
+
+let test_insert_keys_edge_rings () =
+  (match Dht.insert_keys (Dht.create ()) [| i 5 |] with
+  | Error `Empty_ring -> ()
+  | Ok _ -> Alcotest.fail "empty ring must be rejected");
+  let lone = mk_dht [ 100 ] [] in
+  (match Dht.insert_keys lone [| i 5; i 100; i 900 |] with
+  | Ok n -> Alcotest.(check int) "lone vnode takes all" 3 n
+  | Error `Empty_ring -> Alcotest.fail "ring not empty");
+  Alcotest.(check int) "lone workload" 3 (Dht.workload lone (i 100));
+  Dht.check_invariants lone;
+  let empty_batch = mk_dht [ 100; 200 ] [] in
+  match Dht.insert_keys empty_batch [||] with
+  | Ok n -> Alcotest.(check int) "empty batch" 0 n
+  | Error `Empty_ring -> Alcotest.fail "ring not empty"
 
 let test_check_invariants_sample () =
   let dht, _ = Testutil.sample_dht ~nodes:200 ~keys:2000 () in
@@ -164,6 +214,11 @@ let () =
           Alcotest.test_case "leave non-member" `Quick test_leave_not_member;
           Alcotest.test_case "insert/owner" `Quick test_insert_and_owner;
           Alcotest.test_case "consume" `Quick test_consume;
+          Alcotest.test_case "consume bad pick" `Quick test_consume_rejects_bad_pick;
+          Alcotest.test_case "insert_keys bulk = single" `Quick
+            test_insert_keys_bulk_matches_single;
+          Alcotest.test_case "insert_keys edge rings" `Quick
+            test_insert_keys_edge_rings;
           Alcotest.test_case "neighbors" `Quick test_neighbors;
           Alcotest.test_case "bulk fixture invariants" `Quick
             test_check_invariants_sample;

@@ -89,6 +89,115 @@ let prop_nth =
         (List.init (List.length elems) Fun.id)
         elems)
 
+let prop_of_sorted_array =
+  Testutil.prop ~count:300 "of_sorted_array = of_list"
+    QCheck.(small_list (int_bound 1000))
+    (fun xs ->
+      let sorted = Array.of_list (M.elements (M.of_list xs)) in
+      let s = S.of_sorted_array sorted in
+      S.check_invariants s;
+      S.elements s = Array.to_list sorted)
+
+let prop_extract_rank =
+  Testutil.prop ~count:300 "extract_rank = (nth, remove nth)"
+    QCheck.(pair (small_list (int_bound 500)) small_nat)
+    (fun (xs, i) ->
+      let s = S.of_list xs in
+      QCheck.assume (S.cardinal s > 0);
+      let i = i mod S.cardinal s in
+      let x, s' = S.extract_rank s i in
+      S.check_invariants s';
+      x = S.nth s i && S.elements s' = S.elements (S.remove x s))
+
+let prop_extract_ranks =
+  Testutil.prop ~count:300 "extract_ranks removes exactly those ranks"
+    QCheck.(pair (small_list (int_bound 500)) (small_list small_nat))
+    (fun (xs, picks) ->
+      let s = S.of_list xs in
+      QCheck.assume (S.cardinal s > 0);
+      let ranks =
+        List.sort_uniq Int.compare (List.map (fun i -> i mod S.cardinal s) picks)
+      in
+      let taken, s' = S.extract_ranks s ranks in
+      S.check_invariants s';
+      let expected = List.map (S.nth s) ranks in
+      taken = expected
+      && S.cardinal s' = S.cardinal s - List.length ranks
+      && List.for_all (fun x -> not (S.mem x s')) taken)
+
+(* The load-bearing property for Dht.consume stream compatibility: with
+   the same [rand] draw sequence, the one-pass bulk removal picks exactly
+   the elements the old nth-then-remove loop picked, in the same order of
+   draws. *)
+let prop_take_random_n_matches_loop =
+  Testutil.prop ~count:300 "take_random_n = sequential nth/remove loop"
+    QCheck.(triple (small_list (int_bound 1000)) small_nat small_nat)
+    (fun (xs, n, seed) ->
+      let s = S.of_list xs in
+      let reference rand =
+        let rec go acc s k =
+          if k = 0 || S.cardinal s = 0 then (List.rev acc, s)
+          else begin
+            let x = S.nth s (rand (S.cardinal s)) in
+            go (x :: acc) (S.remove x s) (k - 1)
+          end
+        in
+        go [] s n
+      in
+      let mk_rand () =
+        let rng = Prng.create seed in
+        fun bound -> Prng.int_below rng bound
+      in
+      let ref_taken, ref_rest = reference (mk_rand ()) in
+      let bulk_taken, bulk_rest = S.take_random_n ~rand:(mk_rand ()) s n in
+      S.check_invariants bulk_rest;
+      (* the loop reports draw order, the bulk pass rank order *)
+      List.sort Int.compare bulk_taken = List.sort Int.compare ref_taken
+      && S.elements bulk_rest = S.elements ref_rest)
+
+let test_extract_ranks_rejects () =
+  let s = S.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Ordset.extract_ranks: rank out of bounds") (fun () ->
+      ignore (S.extract_ranks s [ 3 ]));
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Ordset.extract_ranks: ranks not strictly increasing")
+    (fun () -> ignore (S.extract_ranks s [ 1; 0 ]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Ordset.extract_ranks: negative rank") (fun () ->
+      ignore (S.extract_ranks s [ -1 ]))
+
+let test_of_sorted_array_rejects () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Ordset.of_sorted_array: not strictly increasing")
+    (fun () -> ignore (S.of_sorted_array [| 1; 1; 2 |]));
+  Alcotest.check_raises "descending"
+    (Invalid_argument "Ordset.of_sorted_array: not strictly increasing")
+    (fun () -> ignore (S.of_sorted_array [| 2; 1 |]))
+
+let test_take_random_n_edges () =
+  let s = S.of_list [ 1; 2; 3 ] in
+  let no_rand _ = Alcotest.fail "rand must not be consulted" in
+  Alcotest.(check bool) "n=0 unchanged" true
+    (let taken, s' = S.take_random_n ~rand:no_rand s 0 in
+     taken = [] && S.elements s' = [ 1; 2; 3 ]);
+  Alcotest.(check bool) "empty set" true
+    (let taken, s' = S.take_random_n ~rand:no_rand S.empty 5 in
+     taken = [] && S.is_empty s');
+  (* n beyond cardinal drains the set with exactly [cardinal] draws *)
+  let draws = ref [] in
+  let rand b =
+    draws := b :: !draws;
+    0
+  in
+  let taken, s' = S.take_random_n ~rand s 10 in
+  Alcotest.(check (list int)) "drained" [ 1; 2; 3 ] (List.sort Int.compare taken);
+  Alcotest.(check bool) "empty after" true (S.is_empty s');
+  Alcotest.(check (list int)) "bounds shrink" [ 3; 2; 1 ] (List.rev !draws);
+  Alcotest.check_raises "rand out of range"
+    (Invalid_argument "Ordset.take_random_n: rand out of range") (fun () ->
+      ignore (S.take_random_n ~rand:(fun b -> b) (S.of_list [ 1; 2 ]) 2))
+
 let test_empty () =
   Alcotest.(check bool) "is_empty" true (S.is_empty S.empty);
   Alcotest.(check int) "cardinal" 0 (S.cardinal S.empty);
@@ -132,6 +241,20 @@ let () =
           Alcotest.test_case "add idempotent" `Quick test_add_idempotent;
           Alcotest.test_case "nth bounds" `Quick test_nth_bounds;
           Alcotest.test_case "10k sequential inserts" `Quick test_large_sequential;
+          Alcotest.test_case "extract_ranks rejects" `Quick test_extract_ranks_rejects;
+          Alcotest.test_case "of_sorted_array rejects" `Quick
+            test_of_sorted_array_rejects;
+          Alcotest.test_case "take_random_n edges" `Quick test_take_random_n_edges;
         ] );
-      ("properties", [ prop_model; prop_split; prop_union; prop_nth ]);
+      ( "properties",
+        [
+          prop_model;
+          prop_split;
+          prop_union;
+          prop_nth;
+          prop_of_sorted_array;
+          prop_extract_rank;
+          prop_extract_ranks;
+          prop_take_random_n_matches_loop;
+        ] );
     ]

@@ -80,6 +80,20 @@ let test_bernoulli () =
   if abs (!hits - 1000) > 130 then
     Alcotest.failf "bernoulli(0.01) hit %d times out of 100k" !hits
 
+let test_bernoulli_rejects_out_of_range () =
+  let rng = Prng.create 17 in
+  let expect p =
+    Alcotest.check_raises
+      (Printf.sprintf "p=%g" p)
+      (Invalid_argument "Prng.bernoulli: probability outside [0, 1]")
+      (fun () -> ignore (Prng.bernoulli rng p))
+  in
+  expect 1.3;
+  (* churn 0.8 + fail 0.5, the State.apply_churn regression *)
+  expect (-0.1);
+  expect Float.nan;
+  expect Float.infinity
+
 let test_fill_bytes () =
   let rng = Prng.create 19 in
   let b = Bytes.make 33 '\x00' in
@@ -124,6 +138,8 @@ let () =
           Alcotest.test_case "int_in" `Quick test_int_in;
           Alcotest.test_case "float_unit" `Quick test_float_unit;
           Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+          Alcotest.test_case "bernoulli range guard" `Quick
+            test_bernoulli_rejects_out_of_range;
           Alcotest.test_case "fill_bytes" `Quick test_fill_bytes;
           Alcotest.test_case "shuffle" `Quick test_shuffle;
         ] );

@@ -29,7 +29,7 @@ let test_factors_deterministic () =
   Alcotest.(check int) "length" 3 (Array.length f1)
 
 let test_rejects_zero_trials () =
-  Alcotest.check_raises "trials<1" (Invalid_argument "Runner.run_trials: trials < 1")
+  Alcotest.check_raises "trials<1" (Invalid_argument "Runner.run_all: trials < 1")
     (fun () ->
       ignore (Runner.run_trials ~trials:0 base (Strategy.make Strategy.No_strategy)))
 
@@ -54,10 +54,48 @@ let test_parallel_more_domains_than_trials () =
 
 let test_parallel_rejects_zero_domains () =
   Alcotest.check_raises "domains<1"
-    (Invalid_argument "Runner.run_trials: domains < 1") (fun () ->
+    (Invalid_argument "Runner.run_all: domains < 1") (fun () ->
       ignore
         (Runner.run_trials ~trials:2 ~domains:0 base
            (Strategy.make Strategy.No_strategy)))
+
+(* domains=0 must be rejected even when trials=1 would shortcut to the
+   sequential branch: validation happens once, up front. *)
+let test_validation_up_front () =
+  Alcotest.check_raises "domains<1, trials=1"
+    (Invalid_argument "Runner.run_all: domains < 1") (fun () ->
+      ignore
+        (Runner.run_trials ~trials:1 ~domains:0 base
+           (Strategy.make Strategy.No_strategy)))
+
+let test_parallel_four_domains_bit_identical () =
+  let seq = Runner.factors ~trials:8 ~domains:1 base (Strategy.make Strategy.No_strategy) in
+  let par = Runner.factors ~trials:8 ~domains:4 base (Strategy.make Strategy.No_strategy) in
+  Alcotest.(check int) "length" 8 (Array.length par);
+  Array.iteri
+    (fun i f ->
+      if Int64.bits_of_float f <> Int64.bits_of_float seq.(i) then
+        Alcotest.failf "trial %d differs: %h (seq) vs %h (par)" i seq.(i) f)
+    par
+
+(* A worker exception must not be swallowed, must not leave the run
+   half-reported, and must surface deterministically (lowest failing
+   trial index) regardless of which domain hits it first. *)
+let test_parallel_propagates_exception () =
+  let boom_seed = base.Params.seed + 3 in
+  let mk_strategy () =
+    {
+      Engine.name = "boom";
+      decide =
+        (fun state ->
+          if state.State.params.Params.seed = boom_seed then
+            failwith "trial 3 exploded");
+    }
+  in
+  Alcotest.check_raises "sequential" (Failure "trial 3 exploded") (fun () ->
+      ignore (Runner.factors ~trials:6 base mk_strategy));
+  Alcotest.check_raises "parallel" (Failure "trial 3 exploded") (fun () ->
+      ignore (Runner.factors ~trials:6 ~domains:3 base mk_strategy))
 
 let () =
   Alcotest.run "runner"
@@ -79,5 +117,10 @@ let () =
             test_parallel_more_domains_than_trials;
           Alcotest.test_case "rejects zero domains" `Quick
             test_parallel_rejects_zero_domains;
+          Alcotest.test_case "validation up front" `Quick test_validation_up_front;
+          Alcotest.test_case "4 domains bit-identical" `Quick
+            test_parallel_four_domains_bit_identical;
+          Alcotest.test_case "propagates exceptions" `Quick
+            test_parallel_propagates_exception;
         ] );
     ]

@@ -162,6 +162,58 @@ let test_strengths_of_initial () =
   let s = mk () in
   Alcotest.(check int) "length" 50 (Array.length (State.strengths_of_initial s))
 
+(* Regression: the rejoin probability is churn + fail, which exceeds 1.0
+   here (0.8 + 0.5 = 1.3).  Unclamped, this now trips Prng.bernoulli's
+   range guard; clamped, churn must keep conserving tasks and cycling
+   machines through the waiting pool. *)
+let test_churn_plus_fail_above_one () =
+  let s =
+    mk ~f:(fun p -> { p with Params.churn_rate = 0.8; failure_rate = 0.5 }) ()
+  in
+  for _ = 1 to 20 do
+    State.apply_churn s;
+    State.check_invariants s;
+    Alcotest.(check int) "tasks survive extreme churn" 500
+      (State.remaining_tasks s)
+  done;
+  Alcotest.(check bool) "ring still populated" true (State.vnode_count s >= 1);
+  Alcotest.(check bool) "waiting pool cycled in" true
+    (Array.exists
+       (fun (p : State.phys) -> p.State.pid >= 50 && p.State.active)
+       s.State.phys)
+
+(* ~200 ticks of everything at once: consumption, graceful leaves,
+   failures, Sybil joins and retirements.  After every step the full
+   cross-invariants must hold and keys must be conserved:
+   remaining + work_done_total = tasks. *)
+let test_randomized_ops_conserve_keys () =
+  let tasks = 400 in
+  let s =
+    mk ~nodes:30 ~tasks
+      ~f:(fun p ->
+        { p with Params.churn_rate = 0.08; failure_rate = 0.04; seed = 9 })
+      ()
+  in
+  let rng = Prng.create 4242 in
+  for tick = 1 to 200 do
+    (* A little strategy-like noise on top of the engine's own steps. *)
+    let pid = Prng.int_below rng (Array.length s.State.phys) in
+    if s.State.phys.(pid).State.active then begin
+      if Prng.bernoulli rng 0.3 then
+        ignore (State.create_sybil s pid (Keygen.fresh rng))
+      else if Prng.bernoulli rng 0.1 then State.retire_sybils s pid
+    end;
+    ignore (State.consume_tick s);
+    State.apply_churn s;
+    State.advance_tick s;
+    State.check_invariants s;
+    let remaining = State.remaining_tasks s in
+    if remaining + s.State.work_done_total <> tasks then
+      Alcotest.failf "tick %d: remaining %d + done %d <> %d" tick remaining
+        s.State.work_done_total tasks
+  done;
+  Alcotest.(check int) "tick advanced" 200 s.State.tick
+
 let test_failed_arc_memory () =
   let s = mk () in
   let arc = Interval.make ~after:(Id.of_int 1) ~upto:(Id.of_int 2) in
@@ -191,6 +243,10 @@ let () =
           Alcotest.test_case "sybil cap" `Quick test_sybil_cap_enforced;
           Alcotest.test_case "sybil occupied id" `Quick test_sybil_occupied_id;
           Alcotest.test_case "churn conserves tasks" `Quick test_churn_preserves_tasks;
+          Alcotest.test_case "churn+fail above one" `Quick
+            test_churn_plus_fail_above_one;
+          Alcotest.test_case "randomized ops conserve keys" `Quick
+            test_randomized_ops_conserve_keys;
           Alcotest.test_case "failure churn" `Quick
             test_failure_churn_conserves_and_charges;
           Alcotest.test_case "rejoin original id" `Quick test_churn_rejoins_original_id;
