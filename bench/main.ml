@@ -197,6 +197,18 @@ let hotpath () =
   metric "bulk1_speedup" (Json_out.Float (dt_single /. dt_bulk1));
   metric "bulk6_speedup" (Json_out.Float (dt_single /. dt_bulk6))
 
+(* Stamp the emitted metrics with enough provenance to compare runs
+   across commits and machines: the git revision the numbers belong to,
+   the core count, and the compiler that produced the binary. *)
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, rev when rev <> "" -> rev
+    | _ -> "unknown"
+  with _ -> "unknown"
+
 let emit_hotpath_json () =
   let file = "BENCH_hotpath.json" in
   let json =
@@ -204,6 +216,9 @@ let emit_hotpath_json () =
       [
         ("schema", Json_out.String "dhtlb-hotpath/1");
         ("scale", Json_out.String (Scale.describe ()));
+        ("git_rev", Json_out.String (git_rev ()));
+        ("domains", Json_out.Int (Domain.recommended_domain_count ()));
+        ("ocaml_version", Json_out.String Sys.ocaml_version);
         ( "sections_wall_s",
           Json_out.Obj
             (List.rev_map (fun (n, s) -> (n, Json_out.Float s)) !section_times)

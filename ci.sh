@@ -1,6 +1,7 @@
 #!/bin/sh
-# CI entry point: full build, the whole test battery, and a quick bench
-# smoke run of the simulation hot path (writes BENCH_hotpath.json).
+# CI entry point: full build, the whole test battery (normal and checked
+# mode), the differential-oracle smoke run, and a quick bench smoke run
+# of the simulation hot path (writes BENCH_hotpath.json).
 set -eu
 
 cd "$(dirname "$0")"
@@ -10,6 +11,12 @@ dune build @all
 
 echo "==> dune runtest"
 dune runtest
+
+echo "==> oracle smoke (engine vs naive reference model, 200 scenarios)"
+DHTLB_ORACLE_CASES=200 dune exec test/test_oracle.exe
+
+echo "==> full battery under the invariant harness (DHTLB_CHECK=1)"
+DHTLB_CHECK=1 dune runtest --force
 
 echo "==> bench smoke (hotpath section, quick scale)"
 DHTLB_ONLY=hotpath dune exec bench/main.exe

@@ -1,13 +1,32 @@
-(* The ring presence of [pid] holding the most tasks: the natural place
-   for an overloaded machine to ask for relief. *)
-let heaviest_vnode (state : State.t) (p : State.phys) =
+(* Pure decision rules, shared with the reference oracle.  Both folds
+   keep the FIRST extremum, so list order — vnode order for the inviter,
+   nearest-predecessor-first for helpers — is part of the rule. *)
+
+let is_overloaded ~workload ~invite_factor ~initial_mean =
+  float_of_int workload > invite_factor *. initial_mean
+
+(* The ring presence holding the most tasks: the natural place for an
+   overloaded machine to ask for relief.  Input in vnode-list order. *)
+let pick_heaviest_vnode (vnodes : ('a * int) list) =
   List.fold_left
-    (fun best id ->
-      let w = Dht.workload state.State.dht id in
+    (fun best (id, w) ->
       match best with
       | Some (_, bw) when bw >= w -> best
       | _ -> Some (id, w))
-    None p.State.vnodes
+    None vnodes
+
+(* The least-loaded qualifying predecessor; ties go to the nearest. *)
+let choose_helper (candidates : ('a * int) list) =
+  List.fold_left
+    (fun best (h, hw) ->
+      match best with
+      | Some (_, bw) when bw <= hw -> best
+      | _ -> Some (h, hw))
+    None candidates
+
+let heaviest_vnode (state : State.t) (p : State.phys) =
+  pick_heaviest_vnode
+    (List.map (fun id -> (id, Dht.workload state.State.dht id)) p.State.vnodes)
 
 let split_point (state : State.t) inviter_id arc =
   if state.State.params.Params.split_at_median then
@@ -22,18 +41,18 @@ let split_point (state : State.t) inviter_id arc =
 let decide (state : State.t) =
   let params = state.State.params in
   let threshold = params.Params.sybil_threshold in
-  let overload =
-    params.Params.invite_factor *. state.State.initial_mean
-  in
   let messages = Dht.messages state.State.dht in
   Array.iter
     (fun (p : State.phys) ->
       if p.State.active && Decision.due state p then begin
         let pid = p.State.pid in
         let w = State.workload_of_phys state pid in
-        if w = 0 && State.sybil_count state pid > 0 then
-          State.retire_sybils state pid;
-        if float_of_int w > overload then begin
+        if Random_injection.should_retire ~workload:w ~sybils:(State.sybil_count state pid)
+        then State.retire_sybils state pid;
+        if
+          is_overloaded ~workload:w ~invite_factor:params.Params.invite_factor
+            ~initial_mean:state.State.initial_mean
+        then begin
           match heaviest_vnode state p with
           | None | Some (_, 0) -> ()
           | Some (inviter_id, _) -> begin
@@ -59,14 +78,12 @@ let decide (state : State.t) =
                 preds
             in
             let helper =
-              List.fold_left
-                (fun best (vn : State.payload Dht.vnode) ->
-                  let hpid = vn.Dht.payload.State.owner in
-                  let hw = State.workload_of_phys state hpid in
-                  match best with
-                  | Some (_, bw) when bw <= hw -> best
-                  | _ -> Some (hpid, hw))
-                None candidates
+              choose_helper
+                (List.map
+                   (fun (vn : State.payload Dht.vnode) ->
+                     let hpid = vn.Dht.payload.State.owner in
+                     (hpid, State.workload_of_phys state hpid))
+                   candidates)
             in
             match helper with
             | None -> () (* invitation refused *)

@@ -13,3 +13,20 @@
     midpoint — an extension measured as an ablation. *)
 
 val strategy : unit -> Engine.strategy
+
+(** {1 Pure decision rules}
+
+    Exposed so the reference oracle (lib/oracle) replays literally the
+    same handshake.  Both folds keep the {e first} extremum, so list
+    order — vnode order for the inviter, nearest-predecessor-first for
+    helpers — is part of the rule. *)
+
+val is_overloaded :
+  workload:int -> invite_factor:float -> initial_mean:float -> bool
+(** Strictly above [invite_factor × (tasks / nodes)]. *)
+
+val pick_heaviest_vnode : ('a * int) list -> ('a * int) option
+(** The inviter's ring presence holding the most tasks (first wins ties). *)
+
+val choose_helper : ('a * int) list -> ('a * int) option
+(** The least-loaded qualifying predecessor (nearest wins ties). *)

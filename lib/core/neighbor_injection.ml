@@ -1,5 +1,27 @@
 type variant = Estimate | Smart
 
+(* Pure selection rules, shared with the reference oracle.  Both folds
+   keep the FIRST maximum, so the candidate order — successor-list order,
+   nearest first — is part of the decision rule and must be preserved by
+   any reimplementation. *)
+
+let pick_widest (candidates : (Interval.t * 'a) list) =
+  match candidates with
+  | [] -> None
+  | hd :: tl ->
+    Some
+      (List.fold_left
+         (fun (best_arc, best_vn) (arc, vn) ->
+           if Interval.compare_width arc best_arc > 0 then (arc, vn)
+           else (best_arc, best_vn))
+         hd tl)
+
+let pick_heaviest ~load (candidates : (Interval.t * 'a) list) =
+  match candidates with
+  | [] -> None
+  | hd :: tl ->
+    Some (List.fold_left (fun best c -> if load c > load best then c else best) hd tl)
+
 (* The arcs a machine can see locally: walking its successor list
    [s0; s1; ...], successor [s_i] owns the arc from the previous list
    entry (or from the machine itself for [s0]) up to [s_i].  Arcs owned by
@@ -25,28 +47,18 @@ let pick_estimate state pid candidates =
         candidates
     else candidates
   in
-  match usable with
-  | [] -> None
-  | hd :: tl ->
-    Some
-      (List.fold_left
-         (fun (best_arc, best_vn) (arc, vn) ->
-           if Interval.compare_width arc best_arc > 0 then (arc, vn)
-           else (best_arc, best_vn))
-         hd tl)
+  pick_widest usable
 
 let pick_smart state candidates =
   match candidates with
   | [] -> None
-  | hd :: tl ->
+  | _ ->
     let messages = Dht.messages state.State.dht in
     messages.Messages.workload_queries <-
       messages.Messages.workload_queries + List.length candidates;
-    let load (_, (vn : State.payload Dht.vnode)) = Id_set.cardinal vn.Dht.keys in
-    Some
-      (List.fold_left
-         (fun best c -> if load c > load best then c else best)
-         hd tl)
+    pick_heaviest
+      ~load:(fun (_, (vn : State.payload Dht.vnode)) -> Id_set.cardinal vn.Dht.keys)
+      candidates
 
 let decide variant (state : State.t) =
   let threshold = state.State.params.Params.sybil_threshold in
@@ -57,11 +69,14 @@ let decide variant (state : State.t) =
         let w = State.workload_of_phys state pid in
         (* Same Sybil lifecycle as random injection: fruitless Sybils
            quit, then the node may target a new successor arc at once. *)
-        if w = 0 && State.sybil_count state pid > 0 then
-          State.retire_sybils state pid;
         if
-          w <= threshold
-          && State.sybil_count state pid < State.sybil_capacity state pid
+          Random_injection.should_retire ~workload:w
+            ~sybils:(State.sybil_count state pid)
+        then State.retire_sybils state pid;
+        if
+          Random_injection.should_inject ~workload:w ~threshold
+            ~sybils:(State.sybil_count state pid)
+            ~capacity:(State.sybil_capacity state pid)
         then begin
           match p.State.vnodes with
           | [] -> ()

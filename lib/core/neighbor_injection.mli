@@ -15,3 +15,20 @@
 type variant = Estimate | Smart
 
 val strategy : variant -> unit -> Engine.strategy
+
+(** {1 Pure decision rules}
+
+    Exposed so the reference oracle (lib/oracle) replays literally the
+    same selection over its own naive structures.  Both folds keep the
+    {e first} maximum, so candidate order (successor-list order, nearest
+    first) is part of the rule. *)
+
+val pick_widest : (Interval.t * 'a) list -> (Interval.t * 'a) option
+(** The widest arc (zero-message estimate); ties go to the nearest. *)
+
+val pick_heaviest :
+  load:(Interval.t * 'a -> int) ->
+  (Interval.t * 'a) list ->
+  (Interval.t * 'a) option
+(** The arc whose owner reports the most tasks (Smart variant); ties go
+    to the nearest. *)

@@ -1,3 +1,10 @@
+(* The pure decision rules, shared with the reference oracle (lib/oracle)
+   so both sides apply literally the same predicate. *)
+let should_retire ~workload ~sybils = workload = 0 && sybils > 0
+
+let should_inject ~workload ~threshold ~sybils ~capacity =
+  workload <= threshold && sybils < capacity
+
 let decide (state : State.t) =
   let threshold = state.State.params.Params.sybil_threshold in
   Array.iter
@@ -8,11 +15,12 @@ let decide (state : State.t) =
         (* Sybils that acquired nothing quit first (freeing their ring
            positions); the node may then immediately re-roll one new
            Sybil at a fresh address in the same decision. *)
-        if w = 0 && State.sybil_count state pid > 0 then
+        if should_retire ~workload:w ~sybils:(State.sybil_count state pid) then
           State.retire_sybils state pid;
         if
-          w <= threshold
-          && State.sybil_count state pid < State.sybil_capacity state pid
+          should_inject ~workload:w ~threshold
+            ~sybils:(State.sybil_count state pid)
+            ~capacity:(State.sybil_capacity state pid)
         then
           (* One Sybil per decision, at a random address; a (vanishingly
              rare) collision with an existing vnode simply wastes the

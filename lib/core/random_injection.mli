@@ -9,3 +9,15 @@
     heterogeneous networks). *)
 
 val strategy : unit -> Engine.strategy
+
+(** {1 Pure decision rules}
+
+    Exposed so the reference oracle (lib/oracle) replays literally the
+    same predicates over its own naive data structures. *)
+
+val should_retire : workload:int -> sybils:int -> bool
+(** A machine holding Sybils but no work retires them. *)
+
+val should_inject :
+  workload:int -> threshold:int -> sybils:int -> capacity:int -> bool
+(** Under-utilized and below its Sybil cap: rolls one new Sybil. *)

@@ -14,10 +14,34 @@
      address when nothing nearby is slow.  This moves work from slow
      custodians to fast thieves instead of uniformly. *)
 
+(* Pure decision rules, shared with the reference oracle. *)
+
+let drain_time ~workload ~strength =
+  float_of_int workload /. float_of_int strength
+
+let injection_cap ~heterogeneity ~capacity ~strength =
+  match heterogeneity with
+  | Params.Homogeneous -> capacity
+  | Params.Heterogeneous -> strength - 1
+
+(* The candidate with the worst drain time; first wins ties. *)
+let pick_slowest ~drain (candidates : 'a list) =
+  List.fold_left
+    (fun best c ->
+      match best with
+      | Some b when drain b >= drain c -> best
+      | _ -> Some c)
+    None candidates
+
+(* Only steal from arcs meaningfully slower than us: the thief must
+   finish the stolen half sooner than the custodian would have. *)
+let worth_stealing ~own ~candidate = candidate > 2.0 *. (own +. 1.0)
+
 let drain_time_of (state : State.t) (vn : State.payload Dht.vnode) =
   let owner = vn.Dht.payload.State.owner in
-  let strength = float_of_int state.State.phys.(owner).State.strength in
-  float_of_int (Id_set.cardinal vn.Dht.keys) /. strength
+  drain_time
+    ~workload:(Id_set.cardinal vn.Dht.keys)
+    ~strength:state.State.phys.(owner).State.strength
 
 (* The arcs visible from [self_id]'s successor list, excluding arcs the
    machine itself owns (same locality as neighbor injection). *)
@@ -41,16 +65,15 @@ let decide (state : State.t) =
       if p.State.active && Decision.due state p then begin
         let pid = p.State.pid in
         let w = State.workload_of_phys state pid in
-        if w = 0 && State.sybil_count state pid > 0 then
-          State.retire_sybils state pid;
-        let strength = float_of_int p.State.strength in
-        let drain_time = float_of_int w /. strength in
+        if Random_injection.should_retire ~workload:w ~sybils:(State.sybil_count state pid)
+        then State.retire_sybils state pid;
+        let own_drain = drain_time ~workload:w ~strength:p.State.strength in
         let cap =
-          match params.Params.heterogeneity with
-          | Params.Homogeneous -> State.sybil_capacity state pid
-          | Params.Heterogeneous -> p.State.strength - 1
+          injection_cap ~heterogeneity:params.Params.heterogeneity
+            ~capacity:(State.sybil_capacity state pid)
+            ~strength:p.State.strength
         in
-        if drain_time <= threshold && State.sybil_count state pid < cap then begin
+        if own_drain <= threshold && State.sybil_count state pid < cap then begin
           match p.State.vnodes with
           | [] -> ()
           | self_id :: _ ->
@@ -59,21 +82,13 @@ let decide (state : State.t) =
             messages.Messages.workload_queries <-
               messages.Messages.workload_queries + List.length candidates;
             let worst =
-              List.fold_left
-                (fun best ((_, vn) as c) ->
-                  match best with
-                  | Some (_, bvn) when drain_time_of state bvn >= drain_time_of state vn ->
-                    best
-                  | _ -> Some c)
-                None candidates
+              pick_slowest ~drain:(fun (_, vn) -> drain_time_of state vn) candidates
             in
             let target =
               match worst with
               | Some (arc, vn)
-              (* only steal from arcs meaningfully slower than us: the
-                 thief must finish the stolen half sooner than the
-                 custodian would have *)
-                when drain_time_of state vn > 2.0 *. (drain_time +. 1.0) ->
+                when worth_stealing ~own:own_drain
+                       ~candidate:(drain_time_of state vn) ->
                 Interval.midpoint arc
               | _ -> Keygen.fresh state.State.rng
             in

@@ -21,3 +21,23 @@
     (there both terms reduce to plain Random Injection). *)
 
 val strategy : unit -> Engine.strategy
+
+(** {1 Pure decision rules}
+
+    Exposed so the reference oracle (lib/oracle) replays literally the
+    same arithmetic and tie-breaking. *)
+
+val drain_time : workload:int -> strength:int -> float
+(** Ticks to drain the current workload at full strength. *)
+
+val injection_cap :
+  heterogeneity:Params.heterogeneity -> capacity:int -> strength:int -> int
+(** Share-proportional cap: [capacity] when homogeneous, [strength - 1]
+    when heterogeneous (so strength-1 machines never inject). *)
+
+val pick_slowest : drain:('a -> float) -> 'a list -> 'a option
+(** The candidate with the worst drain time; first wins ties. *)
+
+val worth_stealing : own:float -> candidate:float -> bool
+(** [candidate > 2 × (own + 1)]: the thief must finish the stolen half
+    sooner than the custodian would have. *)

@@ -1,0 +1,804 @@
+(* Reference model for the simulation engine (differential oracle).
+
+   A deliberately naive re-implementation of the whole simulation: the
+   ring is a sorted association list, key sets are sorted lists, every
+   query is a linear scan, and nothing is shared with lib/chord or
+   lib/sim's data structures.  What IS shared — by design — is the
+   randomness (lib/prng via lib/workload's Keygen) and the pure decision
+   rules exported by the strategy modules, so an engine run and an oracle
+   run from the same [Params.t] consume the identical PRNG stream and
+   must agree bit-for-bit on every per-tick observable.
+
+   The draw-order contract both sides follow (any change to either side
+   must keep them in lockstep):
+
+     create:   2n node ids -> 2n strength draws (heterogeneous only)
+               -> task keys (uniform or clustered)
+     per tick: strategy decide draws (Keygen.fresh = 2 x bits64, in
+               machine pid order) -> consume draws (bounds c, c-1, ...
+               per vnode, machine order then vnode-list order) -> churn
+               bernoulli draws (machine order, with the p=0/p=1
+               short-circuits of Prng.bernoulli and the [churn > 0.0]
+               guards in State.apply_churn)
+
+   The oracle additionally re-checks its own invariants after every tick
+   unconditionally — it is the belt to the engine's DHTLB_CHECK braces. *)
+
+type ovnode = {
+  id : Id.t;
+  owner : int;
+  mutable keys : Id.t list; (* strictly ascending *)
+}
+
+type omach = {
+  pid : int;
+  strength : int;
+  original_id : Id.t;
+  mutable active : bool;
+  mutable vnodes : Id.t list; (* head is the primary *)
+  mutable failed_arcs : Interval.t list;
+}
+
+type msgs = {
+  mutable joins : int;
+  mutable leaves : int;
+  mutable key_transfers : int;
+  mutable workload_queries : int;
+  mutable invitations : int;
+  mutable lookup_hops : int;
+  mutable maintenance : int;
+}
+
+type t = {
+  params : Params.t;
+  rng : Prng.t;
+  mutable ring : ovnode list; (* ascending by id *)
+  machs : omach array;
+  msgs : msgs;
+  initial_mean : float;
+  mutable initial_tasks : int;
+  mutable tick : int;
+  mutable work_done_total : int;
+  mutable last_msg_total : int;
+}
+
+type point = {
+  tick : int;
+  work_done : int;
+  remaining : int;
+  active_nodes : int;
+  vnodes : int;
+}
+
+type outcome = Finished of int | Aborted of int
+
+type result = {
+  outcome : outcome;
+  ideal : int;
+  factor : float;
+  points : point array;
+  msgs : msgs;
+  final_vnodes : int;
+  final_active : int;
+  work_done_total : int;
+}
+
+(* ---- sorted-list primitives -------------------------------------- *)
+
+let rec insert_sorted k = function
+  | [] -> [ k ]
+  | hd :: tl as l ->
+    let c = Id.compare k hd in
+    if c < 0 then k :: l
+    else if c = 0 then invalid_arg "Oracle: duplicate key insert"
+    else hd :: insert_sorted k tl
+
+let rec mem_key k = function
+  | [] -> false
+  | hd :: tl ->
+    let c = Id.compare k hd in
+    if c < 0 then false else if c = 0 then true else mem_key k tl
+
+let rec merge_sorted a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+    let c = Id.compare x y in
+    if c < 0 then x :: merge_sorted xs b
+    else if c > 0 then y :: merge_sorted a ys
+    else invalid_arg "Oracle: merging overlapping key sets"
+
+let rec remove_index i = function
+  | [] -> invalid_arg "Oracle: remove_index out of range"
+  | hd :: tl -> if i = 0 then tl else hd :: remove_index (i - 1) tl
+
+(* ---- ring as a sorted association list --------------------------- *)
+
+let ring_size o = List.length o.ring
+let find_vnode o id = List.find_opt (fun vn -> Id.equal vn.id id) o.ring
+
+let rec insert_vnode vn = function
+  | [] -> [ vn ]
+  | hd :: tl as l ->
+    if Id.compare vn.id hd.id < 0 then vn :: l else hd :: insert_vnode vn tl
+
+(* First vnode strictly clockwise of [id], wrapping; the head of the
+   sorted list is the wrap target.  None only on the empty ring. *)
+let successor o id =
+  match List.find_opt (fun vn -> Id.compare vn.id id > 0) o.ring with
+  | Some _ as s -> s
+  | None -> ( match o.ring with [] -> None | hd :: _ -> Some hd)
+
+(* First vnode at or clockwise of [id]: the owner of key [id]. *)
+let owner_of o key =
+  match List.find_opt (fun vn -> Id.compare vn.id key >= 0) o.ring with
+  | Some _ as s -> s
+  | None -> ( match o.ring with [] -> None | hd :: _ -> Some hd)
+
+(* Last vnode strictly counter-clockwise of [id], wrapping to the tail. *)
+let predecessor o id =
+  let before = List.filter (fun vn -> Id.compare vn.id id < 0) o.ring in
+  match List.rev before with
+  | last :: _ -> Some last
+  | [] -> ( match List.rev o.ring with last :: _ -> Some last | [] -> None)
+
+(* Walk [next] repeatedly, exactly like Ring.k_neighbors: at most
+   [min k (size - 1)] hops, stopping if the walk returns to [id]. *)
+let k_walk next o id k =
+  let n = ring_size o in
+  let limit = min k (max 0 (n - 1)) in
+  let rec go cur acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      match next o cur with
+      | None -> List.rev acc
+      | Some vn ->
+        if Id.equal vn.id id then List.rev acc
+        else go vn.id (vn :: acc) (remaining - 1)
+  in
+  go id [] limit
+
+let k_successors o id k = k_walk successor o id k
+let k_predecessors o id k = k_walk (fun o vn -> predecessor o vn) o id k
+
+let arc_of o id =
+  match find_vnode o id with
+  | None -> None
+  | Some _ -> (
+    match predecessor o id with
+    | None -> Some (Interval.full id)
+    | Some p -> Some (Interval.make ~after:p.id ~upto:id))
+
+(* ---- DHT operations (mirroring Dht) ------------------------------ *)
+
+let vnode_workload o id =
+  match find_vnode o id with None -> 0 | Some vn -> List.length vn.keys
+
+let remaining_tasks o =
+  List.fold_left (fun acc vn -> acc + List.length vn.keys) 0 o.ring
+
+let join o ~id ~owner =
+  if find_vnode o id <> None then Error `Occupied
+  else begin
+    o.msgs.joins <- o.msgs.joins + 1;
+    let keys =
+      match successor o id with
+      | None -> [] (* first vnode: nothing to take over *)
+      | Some succ ->
+        let after =
+          match predecessor o id with
+          | Some p -> p.id
+          | None -> assert false
+        in
+        let arc = Interval.make ~after ~upto:id in
+        let inside, outside =
+          List.partition (fun k -> Interval.mem k arc) succ.keys
+        in
+        succ.keys <- outside;
+        o.msgs.key_transfers <- o.msgs.key_transfers + List.length inside;
+        inside
+    in
+    o.ring <- insert_vnode { id; owner; keys } o.ring;
+    Ok ()
+  end
+
+let leave o id =
+  match find_vnode o id with
+  | None -> Error `Not_member
+  | Some vn ->
+    if ring_size o = 1 then
+      if vn.keys = [] then begin
+        o.msgs.leaves <- o.msgs.leaves + 1;
+        o.ring <- [];
+        Ok ()
+      end
+      else Error `Last_node
+    else begin
+      o.msgs.leaves <- o.msgs.leaves + 1;
+      o.ring <- List.filter (fun v -> not (Id.equal v.id id)) o.ring;
+      (match successor o id with
+      | Some succ ->
+        let moved = List.length vn.keys in
+        if moved > 0 then begin
+          succ.keys <- merge_sorted succ.keys vn.keys;
+          o.msgs.key_transfers <- o.msgs.key_transfers + moved
+        end
+      | None -> assert false);
+      Ok ()
+    end
+
+(* Same draw discipline as Id_set.take_random_n: one [int_below] per
+   taken key, bounds c, c-1, ..., each indexing the shrinking set. *)
+let consume o id budget =
+  match find_vnode o id with
+  | None -> 0
+  | Some vn ->
+    let c = List.length vn.keys in
+    if budget <= 0 || c = 0 then 0
+    else begin
+      let taken = min budget c in
+      for j = 0 to taken - 1 do
+        let i = Prng.int_below o.rng (c - j) in
+        vn.keys <- remove_index i vn.keys
+      done;
+      taken
+    end
+
+(* ---- machine lifecycle (mirroring State) ------------------------- *)
+
+let workload_of_phys o pid =
+  List.fold_left (fun acc id -> acc + vnode_workload o id) 0 o.machs.(pid).vnodes
+
+let capacity_of_phys o pid =
+  match o.params.Params.work with
+  | Params.Task_per_tick -> 1
+  | Params.Strength_per_tick -> o.machs.(pid).strength
+
+let sybil_count o pid = max 0 (List.length o.machs.(pid).vnodes - 1)
+
+let sybil_capacity o pid =
+  match o.params.Params.heterogeneity with
+  | Params.Homogeneous -> o.params.Params.max_sybils
+  | Params.Heterogeneous -> o.machs.(pid).strength
+
+let charge_lookup o =
+  let n = max 2 (ring_size o) in
+  let hops = int_of_float (ceil (Routing.expected_hops n)) in
+  o.msgs.lookup_hops <- o.msgs.lookup_hops + hops
+
+let create_sybil o pid id =
+  let m = o.machs.(pid) in
+  if (not m.active) || sybil_count o pid >= sybil_capacity o pid then false
+  else begin
+    charge_lookup o;
+    match join o ~id ~owner:pid with
+    | Ok () ->
+      m.vnodes <- m.vnodes @ [ id ];
+      true
+    | Error `Occupied -> false
+  end
+
+let retire_sybils o pid =
+  let m = o.machs.(pid) in
+  match m.vnodes with
+  | [] -> ()
+  | primary :: sybils ->
+    List.iter
+      (fun id ->
+        match leave o id with
+        | Ok () -> ()
+        | Error (`Not_member | `Last_node) -> assert false)
+      sybils;
+    m.vnodes <- [ primary ]
+
+let leave_phys o pid =
+  let m = o.machs.(pid) in
+  retire_sybils o pid;
+  match m.vnodes with
+  | [] -> ()
+  | [ primary ] -> begin
+    match leave o primary with
+    | Ok () ->
+      m.vnodes <- [];
+      m.active <- false;
+      m.failed_arcs <- []
+    | Error `Last_node -> () (* stays: someone must hold the keys *)
+    | Error `Not_member -> assert false
+  end
+  | _ :: _ -> assert false
+
+let join_phys o pid =
+  let m = o.machs.(pid) in
+  let id =
+    if o.params.Params.rejoin_fresh_id then Keygen.fresh o.rng
+    else m.original_id
+  in
+  charge_lookup o;
+  match join o ~id ~owner:pid with
+  | Ok () ->
+    m.vnodes <- [ id ];
+    m.active <- true
+  | Error `Occupied -> () (* stays waiting; retries on a later tick *)
+
+let fail_phys o pid =
+  let lost = workload_of_phys o pid in
+  o.msgs.key_transfers <- o.msgs.key_transfers + lost;
+  leave_phys o pid
+
+let apply_churn o =
+  let churn = o.params.Params.churn_rate
+  and fail = o.params.Params.failure_rate in
+  let rejoin = min 1.0 (churn +. fail) in
+  if churn > 0.0 || fail > 0.0 then
+    Array.iter
+      (fun m ->
+        if m.active then begin
+          if churn > 0.0 && Prng.bernoulli o.rng churn then leave_phys o m.pid
+          else if fail > 0.0 && Prng.bernoulli o.rng fail then fail_phys o m.pid
+        end
+        else if Prng.bernoulli o.rng rejoin then join_phys o m.pid)
+      o.machs
+
+let consume_tick o =
+  let done_ = ref 0 in
+  Array.iter
+    (fun m ->
+      if m.active then begin
+        let budget = ref (capacity_of_phys o m.pid) in
+        List.iter
+          (fun vid ->
+            if !budget > 0 then begin
+              let c = consume o vid !budget in
+              budget := !budget - c;
+              done_ := !done_ + c
+            end)
+          m.vnodes
+      end)
+    o.machs;
+  o.work_done_total <- o.work_done_total + !done_;
+  !done_
+
+let note_failed_arc o pid arc =
+  let m = o.machs.(pid) in
+  let keep = 8 in
+  let rec take n = function
+    | [] -> []
+    | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+  in
+  m.failed_arcs <- take keep (arc :: m.failed_arcs)
+
+let arc_recently_failed o pid arc =
+  List.exists
+    (fun (a : Interval.t) ->
+      Id.equal a.Interval.after arc.Interval.after
+      && Id.equal a.Interval.upto arc.Interval.upto)
+    o.machs.(pid).failed_arcs
+
+(* ---- construction (mirroring State.create) ----------------------- *)
+
+let create (params : Params.t) =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Oracle.create: " ^ msg));
+  let rng = Prng.create params.Params.seed in
+  let n = params.Params.nodes in
+  let total_phys = 2 * n in
+  let ids = Keygen.node_ids rng total_phys in
+  (* Array.init evaluates 0..n-1 in order, so an explicit ascending loop
+     reproduces State.create's strength draws exactly. *)
+  let machs =
+    Array.init total_phys (fun pid ->
+        let strength =
+          match params.Params.heterogeneity with
+          | Params.Homogeneous -> 1
+          | Params.Heterogeneous ->
+            Prng.int_in rng ~lo:1 ~hi:params.Params.max_sybils
+        in
+        {
+          pid;
+          strength;
+          original_id = ids.(pid);
+          active = pid < n;
+          vnodes = (if pid < n then [ ids.(pid) ] else []);
+          failed_arcs = [];
+        })
+  in
+  let o =
+    {
+      params;
+      rng;
+      ring = [];
+      machs;
+      msgs =
+        {
+          joins = 0;
+          leaves = 0;
+          key_transfers = 0;
+          workload_queries = 0;
+          invitations = 0;
+          lookup_hops = 0;
+          maintenance = 0;
+        };
+      initial_mean =
+        float_of_int params.Params.tasks /. float_of_int n;
+      initial_tasks = 0;
+      tick = 0;
+      work_done_total = 0;
+      last_msg_total = 0;
+    }
+  in
+  for pid = 0 to n - 1 do
+    match join o ~id:ids.(pid) ~owner:pid with
+    | Ok () -> ()
+    | Error `Occupied -> assert false
+  done;
+  let keys =
+    match params.Params.keys with
+    | Params.Uniform_sha1 -> Keygen.task_keys rng params.Params.tasks
+    | Params.Clustered { hotspots; spread; zipf_s } ->
+      let centers = Keygen.node_ids rng hotspots in
+      Array.init params.Params.tasks (fun _ ->
+          let j = Keygen.zipf rng ~n:hotspots ~s:zipf_s - 1 in
+          let offset = Id.of_fraction (Prng.float_unit rng *. spread) in
+          Id.add centers.(j) offset)
+  in
+  (* Per-key owner lookup and duplicate drop: same set semantics (and
+     the same inserted count) as Dht.insert_keys' bulk load. *)
+  Array.iter
+    (fun key ->
+      match owner_of o key with
+      | None -> assert false
+      | Some vn ->
+        if not (mem_key key vn.keys) then begin
+          vn.keys <- insert_sorted key vn.keys;
+          o.initial_tasks <- o.initial_tasks + 1
+        end)
+    keys;
+  o
+
+(* ---- strategy replays -------------------------------------------- *)
+
+let due (o : t) (m : omach) =
+  Decision.due_at ~tick:o.tick ~pid:m.pid
+    ~period:o.params.Params.decision_period
+    ~stagger:o.params.Params.stagger_decisions
+
+let random_decide o =
+  let threshold = o.params.Params.sybil_threshold in
+  Array.iter
+    (fun m ->
+      if m.active && due o m then begin
+        let pid = m.pid in
+        let w = workload_of_phys o pid in
+        if Random_injection.should_retire ~workload:w ~sybils:(sybil_count o pid)
+        then retire_sybils o pid;
+        if
+          Random_injection.should_inject ~workload:w ~threshold
+            ~sybils:(sybil_count o pid) ~capacity:(sybil_capacity o pid)
+        then ignore (create_sybil o pid (Keygen.fresh o.rng))
+      end)
+    o.machs
+
+(* The arcs visible from a machine's successor list, own arcs excluded —
+   same construction and order as Neighbor_injection.successor_arcs. *)
+let successor_arcs o pid self_id =
+  let k = o.params.Params.num_successors in
+  let succs = k_successors o self_id k in
+  let rec arcs after = function
+    | [] -> []
+    | vn :: rest ->
+      let arc = Interval.make ~after ~upto:vn.id in
+      let tail = arcs vn.id rest in
+      if vn.owner = pid then tail else (arc, vn) :: tail
+  in
+  arcs self_id succs
+
+let neighbor_decide variant o =
+  let threshold = o.params.Params.sybil_threshold in
+  let avoid = o.params.Params.avoid_repeats in
+  Array.iter
+    (fun m ->
+      if m.active && due o m then begin
+        let pid = m.pid in
+        let w = workload_of_phys o pid in
+        if Random_injection.should_retire ~workload:w ~sybils:(sybil_count o pid)
+        then retire_sybils o pid;
+        if
+          Random_injection.should_inject ~workload:w ~threshold
+            ~sybils:(sybil_count o pid) ~capacity:(sybil_capacity o pid)
+        then begin
+          match m.vnodes with
+          | [] -> ()
+          | self_id :: _ ->
+            let candidates = successor_arcs o pid self_id in
+            let chosen =
+              match variant with
+              | Neighbor_injection.Estimate ->
+                let usable =
+                  if avoid then
+                    List.filter
+                      (fun (arc, _) -> not (arc_recently_failed o pid arc))
+                      candidates
+                  else candidates
+                in
+                Neighbor_injection.pick_widest usable
+              | Neighbor_injection.Smart -> (
+                match candidates with
+                | [] -> None
+                | _ ->
+                  o.msgs.workload_queries <-
+                    o.msgs.workload_queries + List.length candidates;
+                  Neighbor_injection.pick_heaviest
+                    ~load:(fun (_, vn) -> List.length vn.keys)
+                    candidates)
+            in
+            (match chosen with
+            | None -> ()
+            | Some (arc, _) ->
+              let sybil_id = Interval.midpoint arc in
+              if create_sybil o pid sybil_id then begin
+                if avoid && vnode_workload o sybil_id = 0 then
+                  note_failed_arc o pid arc
+              end
+              else if avoid then note_failed_arc o pid arc)
+        end
+      end)
+    o.machs
+
+let invitation_split_point o inviter_id arc =
+  if o.params.Params.split_at_median then
+    match find_vnode o inviter_id with
+    | Some vn when List.length vn.keys > 1 ->
+      List.nth vn.keys ((List.length vn.keys / 2) - 1)
+    | _ -> Interval.midpoint arc
+  else Interval.midpoint arc
+
+let invitation_decide o =
+  let threshold = o.params.Params.sybil_threshold in
+  Array.iter
+    (fun m ->
+      if m.active && due o m then begin
+        let pid = m.pid in
+        let w = workload_of_phys o pid in
+        if Random_injection.should_retire ~workload:w ~sybils:(sybil_count o pid)
+        then retire_sybils o pid;
+        if
+          Invitation.is_overloaded ~workload:w
+            ~invite_factor:o.params.Params.invite_factor
+            ~initial_mean:o.initial_mean
+        then begin
+          let heaviest =
+            Invitation.pick_heaviest_vnode
+              (List.map (fun id -> (id, vnode_workload o id)) m.vnodes)
+          in
+          match heaviest with
+          | None | Some (_, 0) -> ()
+          | Some (inviter_id, _) -> begin
+            let k = o.params.Params.num_successors in
+            let preds =
+              List.filter
+                (fun vn -> vn.owner <> pid)
+                (k_predecessors o inviter_id k)
+            in
+            o.msgs.invitations <- o.msgs.invitations + k;
+            o.msgs.workload_queries <-
+              o.msgs.workload_queries + List.length preds;
+            let candidates =
+              List.filter
+                (fun vn ->
+                  workload_of_phys o vn.owner <= threshold
+                  && sybil_count o vn.owner < sybil_capacity o vn.owner)
+                preds
+            in
+            let helper =
+              Invitation.choose_helper
+                (List.map
+                   (fun vn -> (vn.owner, workload_of_phys o vn.owner))
+                   candidates)
+            in
+            match helper with
+            | None -> () (* invitation refused *)
+            | Some (hpid, _) -> begin
+              match arc_of o inviter_id with
+              | None -> ()
+              | Some arc ->
+                ignore
+                  (create_sybil o hpid (invitation_split_point o inviter_id arc))
+            end
+          end
+        end
+      end)
+    o.machs
+
+let strength_decide o =
+  let threshold = float_of_int o.params.Params.sybil_threshold in
+  let drain_of vn =
+    Strength_aware.drain_time ~workload:(List.length vn.keys)
+      ~strength:o.machs.(vn.owner).strength
+  in
+  Array.iter
+    (fun m ->
+      if m.active && due o m then begin
+        let pid = m.pid in
+        let w = workload_of_phys o pid in
+        if Random_injection.should_retire ~workload:w ~sybils:(sybil_count o pid)
+        then retire_sybils o pid;
+        let own_drain =
+          Strength_aware.drain_time ~workload:w ~strength:m.strength
+        in
+        let cap =
+          Strength_aware.injection_cap
+            ~heterogeneity:o.params.Params.heterogeneity
+            ~capacity:(sybil_capacity o pid) ~strength:m.strength
+        in
+        if own_drain <= threshold && sybil_count o pid < cap then begin
+          match m.vnodes with
+          | [] -> ()
+          | self_id :: _ ->
+            let candidates = successor_arcs o pid self_id in
+            o.msgs.workload_queries <-
+              o.msgs.workload_queries + List.length candidates;
+            let worst =
+              Strength_aware.pick_slowest
+                ~drain:(fun (_, vn) -> drain_of vn)
+                candidates
+            in
+            let target =
+              match worst with
+              | Some (arc, vn)
+                when Strength_aware.worth_stealing ~own:own_drain
+                       ~candidate:(drain_of vn) ->
+                Interval.midpoint arc
+              | _ -> Keygen.fresh o.rng
+            in
+            ignore (create_sybil o pid target)
+        end
+      end)
+    o.machs
+
+let static_decide o =
+  Array.iter
+    (fun m ->
+      if m.active && due o m then begin
+        let pid = m.pid in
+        let want = sybil_capacity o pid - sybil_count o pid in
+        for _ = 1 to want do
+          ignore (create_sybil o pid (Keygen.fresh o.rng))
+        done
+      end)
+    o.machs
+
+let decide_of = function
+  | Strategy.No_strategy | Strategy.Induced_churn -> fun _ -> ()
+  | Strategy.Random_injection -> random_decide
+  | Strategy.Neighbor_injection -> neighbor_decide Neighbor_injection.Estimate
+  | Strategy.Smart_neighbor_injection -> neighbor_decide Neighbor_injection.Smart
+  | Strategy.Invitation -> invitation_decide
+  | Strategy.Strength_aware_injection -> strength_decide
+  | Strategy.Static_virtual_nodes -> static_decide
+
+(* ---- internal invariants (always on) ----------------------------- *)
+
+let check_invariants o =
+  (* Keys strictly ascending and inside their vnode's arc. *)
+  List.iter
+    (fun vn ->
+      let arc =
+        match arc_of o vn.id with
+        | Some a -> a
+        | None -> invalid_arg "Oracle: vnode without arc"
+      in
+      let rec check_sorted = function
+        | a :: (b :: _ as tl) ->
+          if Id.compare a b >= 0 then
+            invalid_arg "Oracle: key list not strictly ascending"
+          else check_sorted tl
+        | _ -> ()
+      in
+      check_sorted vn.keys;
+      List.iter
+        (fun k ->
+          if not (Interval.mem k arc) then
+            invalid_arg "Oracle: key outside its vnode's arc")
+        vn.keys)
+    o.ring;
+  (* Ring strictly ascending by id. *)
+  let rec ring_sorted = function
+    | a :: (b :: _ as tl) ->
+      if Id.compare a.id b.id >= 0 then
+        invalid_arg "Oracle: ring not strictly ascending"
+      else ring_sorted tl
+    | _ -> ()
+  in
+  ring_sorted o.ring;
+  (* Machine/ring cross-accounting. *)
+  let listed = Hashtbl.create 64 in
+  Array.iter
+    (fun m ->
+      if (not m.active) && m.vnodes <> [] then
+        invalid_arg "Oracle: waiting machine with vnodes";
+      if m.active && m.vnodes = [] then
+        invalid_arg "Oracle: active machine with no ring presence";
+      List.iter
+        (fun id ->
+          if Hashtbl.mem listed id then
+            invalid_arg "Oracle: vnode listed twice";
+          Hashtbl.replace listed id m.pid)
+        m.vnodes)
+    o.machs;
+  List.iter
+    (fun vn ->
+      match Hashtbl.find_opt listed vn.id with
+      | None -> invalid_arg "Oracle: ring vnode not owned by any machine"
+      | Some pid ->
+        if vn.owner <> pid then invalid_arg "Oracle: owner mismatch")
+    o.ring;
+  if Hashtbl.length listed <> ring_size o then
+    invalid_arg "Oracle: machine lists a vnode missing from the ring";
+  (* Key conservation. *)
+  if o.work_done_total + remaining_tasks o <> o.initial_tasks then
+    invalid_arg "Oracle: key conservation violated";
+  (* Sybil caps. *)
+  Array.iter
+    (fun m ->
+      if m.active && sybil_count o m.pid > sybil_capacity o m.pid then
+        invalid_arg "Oracle: machine over its Sybil cap")
+    o.machs;
+  (* Message accounting: joins - leaves tracks the ring size, and the
+     total only ever grows. *)
+  if o.msgs.joins - o.msgs.leaves <> ring_size o then
+    invalid_arg "Oracle: joins - leaves <> ring size";
+  let total =
+    o.msgs.joins + o.msgs.leaves + o.msgs.key_transfers
+    + o.msgs.workload_queries + o.msgs.invitations + o.msgs.lookup_hops
+    + o.msgs.maintenance
+  in
+  if total < o.last_msg_total then
+    invalid_arg "Oracle: message counters decreased";
+  o.last_msg_total <- total
+
+(* ---- the run loop (mirroring Engine.run_state) ------------------- *)
+
+let active_count o =
+  Array.fold_left (fun acc m -> if m.active then acc + 1 else acc) 0 o.machs
+
+let run (params : Params.t) (strat : Strategy.t) =
+  let o = create params in
+  let decide = decide_of strat in
+  let strengths = Array.init params.Params.nodes (fun pid -> o.machs.(pid).strength) in
+  let ideal = Params.ideal_runtime params ~strengths in
+  let cap = max 1 (params.Params.max_ticks_factor * max 1 ideal) in
+  let points_rev = ref [] in
+  let rec loop () =
+    if remaining_tasks o = 0 then Finished o.tick
+    else if o.tick >= cap then Aborted cap
+    else begin
+      decide o;
+      let work_done = consume_tick o in
+      apply_churn o;
+      o.tick <- o.tick + 1;
+      points_rev :=
+        {
+          tick = o.tick - 1;
+          work_done;
+          remaining = remaining_tasks o;
+          active_nodes = active_count o;
+          vnodes = ring_size o;
+        }
+        :: !points_rev;
+      check_invariants o;
+      loop ()
+    end
+  in
+  let outcome = loop () in
+  let ticks = match outcome with Finished t | Aborted t -> t in
+  {
+    outcome;
+    ideal;
+    factor = float_of_int ticks /. float_of_int (max 1 ideal);
+    points = Array.of_list (List.rev !points_rev);
+    msgs = o.msgs;
+    final_vnodes = ring_size o;
+    final_active = active_count o;
+    work_done_total = o.work_done_total;
+  }

@@ -1,0 +1,63 @@
+(** Differential oracle: a naive reference model of the whole simulation.
+
+    [run params strat] replays the exact run [Engine.run params
+    (Strategy.make strat ())] would perform — same PRNG stream, same
+    decision rules, same churn — but on deliberately naive data
+    structures: the ring is a sorted association list, key sets are
+    sorted lists, every lookup is a linear scan.  Nothing is shared with
+    the engine's [Ring]/[Id_set]/[Dht] except the randomness
+    ({!Prng}/{!Keygen}), the hop model ({!Routing.expected_hops}) and the
+    pure decision rules exported by the strategy modules — so the two
+    implementations can only agree if both are correct.
+
+    Engine and oracle must match {e bit-for-bit} on: the outcome
+    (finished tick or abort cap), every per-tick trace point
+    ([work_done]/[remaining]/[active_nodes]/[vnodes]), the runtime
+    factor, and all seven message counters.  [test/test_oracle.ml]
+    enforces this over qcheck-generated scenarios spanning every
+    strategy; see [docs/TESTING.md] for the PRNG draw-order contract
+    that keeps the two sides in lockstep.
+
+    The oracle re-checks its own invariants (key conservation, arc
+    ownership, Sybil caps, message accounting) after every tick,
+    unconditionally — it is cheap at oracle scales. *)
+
+type msgs = {
+  mutable joins : int;
+  mutable leaves : int;
+  mutable key_transfers : int;
+  mutable workload_queries : int;
+  mutable invitations : int;
+  mutable lookup_hops : int;
+  mutable maintenance : int;
+}
+
+type point = {
+  tick : int;
+  work_done : int;
+  remaining : int;
+  active_nodes : int;
+  vnodes : int;
+}
+(** Mirrors {!Trace.point} field for field. *)
+
+type outcome = Finished of int | Aborted of int
+(** Mirrors {!Engine.outcome}. *)
+
+type result = {
+  outcome : outcome;
+  ideal : int;
+  factor : float;
+  points : point array;
+  msgs : msgs;
+  final_vnodes : int;
+  final_active : int;
+  work_done_total : int;
+}
+
+val run : Params.t -> Strategy.t -> result
+(** Run the reference model to completion.  Callers comparing against
+    the engine must apply {!Strategy.default_params} to [params] first
+    (or to neither side), exactly as the runner does.
+    @raise Invalid_argument on invalid params or an internal invariant
+    violation — the latter is always a bug worth a report. *)

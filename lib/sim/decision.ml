@@ -1,5 +1,10 @@
+(* The cadence rule is pure so the reference oracle can replay it without
+   a [State.t]: node [pid] acts on ticks where [(tick + pid) mod period]
+   is zero (staggered) or on global period boundaries. *)
+let due_at ~tick ~pid ~period ~stagger =
+  if stagger then (tick + pid) mod period = 0 else tick mod period = 0
+
 let due (state : State.t) (p : State.phys) =
-  let period = state.State.params.Params.decision_period in
-  if state.State.params.Params.stagger_decisions then
-    (state.State.tick + p.State.pid) mod period = 0
-  else state.State.tick mod period = 0
+  due_at ~tick:state.State.tick ~pid:p.State.pid
+    ~period:state.State.params.Params.decision_period
+    ~stagger:state.State.params.Params.stagger_decisions

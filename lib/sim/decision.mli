@@ -7,5 +7,9 @@
     With [stagger_decisions = false] every node acts on the global
     period boundary instead (burstier; kept as an ablation). *)
 
+val due_at : tick:int -> pid:int -> period:int -> stagger:bool -> bool
+(** The pure cadence rule; shared by the engine strategies and the
+    reference oracle so both sides act on exactly the same ticks. *)
+
 val due : State.t -> State.phys -> bool
 (** Is this machine's decision due on the current tick? *)

@@ -22,6 +22,22 @@ let run_state ?(snapshot_at = []) (state : State.t) strategy =
   in
   let cap = max 1 (params.Params.max_ticks_factor * max 1 ideal) in
   let trace = Trace.create ~snapshot_at in
+  (* Invariant mode: run the full harness after every tick, and verify
+     message counters never run backwards (they only ever accumulate). *)
+  let checking = Params.check_requested params in
+  let last_messages = ref (Messages.total (Dht.messages state.State.dht)) in
+  let check_tick () =
+    if checking then begin
+      State.check_tick_invariants state;
+      let total = Messages.total (Dht.messages state.State.dht) in
+      if total < !last_messages then
+        invalid_arg
+          (Printf.sprintf
+             "Engine: message counters decreased (%d -> %d at tick %d)"
+             !last_messages total state.State.tick);
+      last_messages := total
+    end
+  in
   let rec loop () =
     if State.remaining_tasks state = 0 then Finished state.State.tick
     else if state.State.tick >= cap then Aborted cap
@@ -39,6 +55,7 @@ let run_state ?(snapshot_at = []) (state : State.t) strategy =
           active_nodes = State.active_count state;
           vnodes = State.vnode_count state;
         };
+      check_tick ();
       loop ()
     end
   in

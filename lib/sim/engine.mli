@@ -11,7 +11,12 @@
     + ambient churn moves machines between the ring and the waiting pool.
 
     The run ends when no tasks remain; a safety cap of
-    [max_ticks_factor × ideal] aborts pathological configurations. *)
+    [max_ticks_factor × ideal] aborts pathological configurations.
+
+    When {!Params.check_requested} (set [check_every_tick], or run with
+    [DHTLB_CHECK=1]) the engine executes {!State.check_tick_invariants}
+    after every tick and verifies message counters are monotone — the
+    always-on safety net for hot-path refactors. *)
 
 type strategy = {
   name : string;

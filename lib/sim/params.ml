@@ -24,6 +24,7 @@ type t = {
   avoid_repeats : bool;
   seed : int;
   max_ticks_factor : int;
+  check_every_tick : bool;
 }
 
 let default ~nodes ~tasks =
@@ -46,7 +47,20 @@ let default ~nodes ~tasks =
     avoid_repeats = false;
     seed = 42;
     max_ticks_factor = 50;
+    check_every_tick = false;
   }
+
+(* DHTLB_CHECK=1 switches the invariant harness on for every run in the
+   process without threading a flag through callers — CI uses it to run
+   the whole battery in checked mode.  Read once: the engine consults
+   this on every tick of every run. *)
+let env_check =
+  lazy
+    (match Sys.getenv_opt "DHTLB_CHECK" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let check_requested t = t.check_every_tick || Lazy.force env_check
 
 let ideal_runtime t ~strengths =
   let capacity =

@@ -58,6 +58,10 @@ type t = {
   seed : int;
   max_ticks_factor : int;
       (** safety cap: abort after [max_ticks_factor × ideal] ticks *)
+  check_every_tick : bool;
+      (** run the full invariant harness ({!State.check_tick_invariants})
+          after every engine tick — O(nodes + keys) per tick, for tests
+          and debugging (default [false]) *)
 }
 
 val default : nodes:int -> tasks:int -> t
@@ -69,6 +73,10 @@ val ideal_runtime : t -> strengths:int array -> int
 (** ⌈tasks / total capacity⌉ where capacity is the number of initially
     active nodes (task-per-tick) or the sum of their strengths
     (strength-per-tick).  [strengths] covers the initially active nodes. *)
+
+val check_requested : t -> bool
+(** [check_every_tick], or the [DHTLB_CHECK=1] environment override
+    (read once per process) — the engine's invariant-mode switch. *)
 
 val validate : t -> (unit, string) result
 (** Rejects nonsensical parameter combinations. *)

@@ -15,6 +15,7 @@ type t = {
   phys : phys array;
   rng : Prng.t;
   initial_mean : float;
+  initial_tasks : int;
   mutable tick : int;
   mutable work_done_total : int;
 }
@@ -59,15 +60,18 @@ let create (params : Params.t) =
           let offset = Id.of_fraction (Prng.float_unit rng *. spread) in
           Id.add centers.(j) offset)
   in
-  (match Dht.insert_keys dht keys with
-  | Ok _ -> () (* duplicate keys (negligible probability) drop silently *)
-  | Error `Empty_ring -> assert false);
+  let initial_tasks =
+    match Dht.insert_keys dht keys with
+    | Ok n -> n (* duplicate keys (negligible probability) drop silently *)
+    | Error `Empty_ring -> assert false
+  in
   {
     params;
     dht;
     phys;
     rng;
     initial_mean = float_of_int params.tasks /. float_of_int n;
+    initial_tasks;
     tick = 0;
     work_done_total = 0;
   }
@@ -159,7 +163,17 @@ let retire_sybils t pid =
         | Error `Not_member -> assert false
         | Error `Last_node -> assert false (* the primary is still present *))
       sybils;
-    p.vnodes <- [ primary ]
+    p.vnodes <- [ primary ];
+    (* Invariant mode verifies the retirement actually cleared the ring:
+       a zero-work machine must not keep ghost Sybil vnodes behind. *)
+    if Params.check_requested t.params then
+      List.iter
+        (fun id ->
+          match Dht.find t.dht id with
+          | Some _ ->
+            invalid_arg "State: retired Sybil vnode still present in the ring"
+          | None -> ())
+        sybils
 
 (* Departure of a whole machine: Sybils leave first, then the primary.
    The primary survives only if it is the ring's last key-holding vnode. *)
@@ -247,6 +261,8 @@ let check_invariants t =
     (fun p ->
       if (not p.active) && p.vnodes <> [] then
         invalid_arg "State: waiting machine with vnodes";
+      if p.active && p.vnodes = [] then
+        invalid_arg "State: active machine with no ring presence";
       List.iter
         (fun id ->
           if Hashtbl.mem listed id then invalid_arg "State: vnode listed twice";
@@ -263,3 +279,91 @@ let check_invariants t =
     t.dht;
   if Hashtbl.length listed <> Dht.size t.dht then
     invalid_arg "State: machine lists a vnode missing from the ring"
+
+(* The full per-tick harness: structural invariants plus the conservation
+   and accounting laws every refactor of the hot path must preserve.
+   O(nodes + keys); run by the engine when [Params.check_requested]. *)
+let check_tick_invariants t =
+  check_invariants t;
+  (* Key conservation: tasks are only ever completed, never lost in a
+     join/leave/failure handover. *)
+  let remaining = remaining_tasks t in
+  if t.work_done_total + remaining <> t.initial_tasks then
+    invalid_arg
+      (Printf.sprintf
+         "State: key conservation violated (done %d + remaining %d <> initial %d)"
+         t.work_done_total remaining t.initial_tasks);
+  (* Sybil caps: no machine exceeds max_sybils (homogeneous) or its
+     strength (heterogeneous). *)
+  Array.iter
+    (fun p ->
+      if p.active && sybil_count t p.pid > sybil_capacity t p.pid then
+        invalid_arg
+          (Printf.sprintf "State: machine %d runs %d Sybils over its cap %d"
+             p.pid (sybil_count t p.pid) (sybil_capacity t p.pid)))
+    t.phys;
+  (* Ring-presence accounting: every machine vnode is in the ring exactly
+     once, so the ring size is the sum of the per-machine lists. *)
+  let total_vnodes =
+    Array.fold_left (fun acc p -> acc + List.length p.vnodes) 0 t.phys
+  in
+  if total_vnodes <> Dht.size t.dht then
+    invalid_arg
+      (Printf.sprintf "State: machines list %d vnodes but the ring has %d"
+         total_vnodes (Dht.size t.dht));
+  (* Message accounting: every successful join and leave is charged, so
+     the ring size is exactly their difference. *)
+  let m = Dht.messages t.dht in
+  if m.Messages.joins - m.Messages.leaves <> Dht.size t.dht then
+    invalid_arg
+      (Printf.sprintf
+         "State: message accounting broken (joins %d - leaves %d <> ring %d)"
+         m.Messages.joins m.Messages.leaves (Dht.size t.dht))
+
+(* Deterministic hand-built states for edge-case tests: exact vnode ids
+   and key placement instead of SHA-1 draws.  Not for simulations —
+   [create] is the only entry point that reproduces the paper's setup
+   (and its PRNG stream). *)
+module For_testing = struct
+  let build ~params ~machines ~keys =
+    (match Params.validate params with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("State.For_testing.build: " ^ msg));
+    let dht = Dht.create () in
+    let phys =
+      Array.mapi
+        (fun pid (strength, vnodes) ->
+          List.iter
+            (fun id ->
+              match Dht.join dht ~id ~payload:{ owner = pid } with
+              | Ok _ -> ()
+              | Error `Occupied ->
+                invalid_arg "State.For_testing.build: duplicate vnode id")
+            vnodes;
+          {
+            pid;
+            strength;
+            original_id = (match vnodes with id :: _ -> id | [] -> Id.zero);
+            active = vnodes <> [];
+            vnodes;
+            failed_arcs = [];
+          })
+        machines
+    in
+    let initial_tasks =
+      match Dht.insert_keys dht (Array.of_list keys) with
+      | Ok n -> n
+      | Error `Empty_ring -> invalid_arg "State.For_testing.build: no vnodes"
+    in
+    {
+      params;
+      dht;
+      phys;
+      rng = Prng.create params.Params.seed;
+      initial_mean =
+        float_of_int params.Params.tasks /. float_of_int params.Params.nodes;
+      initial_tasks;
+      tick = 0;
+      work_done_total = 0;
+    }
+end

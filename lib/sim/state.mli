@@ -30,6 +30,7 @@ type t = private {
   phys : phys array;  (** indices [0, nodes)] start active; rest waiting *)
   rng : Prng.t;
   initial_mean : float;  (** tasks / nodes at start *)
+  initial_tasks : int;  (** keys actually stored at setup (conservation) *)
   mutable tick : int;
   mutable work_done_total : int;
 }
@@ -91,3 +92,39 @@ val arc_recently_failed : t -> int -> Interval.t -> bool
 
 val check_invariants : t -> unit
 (** DHT invariants plus phys/vnode cross-consistency.  For tests. *)
+
+val check_tick_invariants : t -> unit
+(** {!check_invariants} plus the conservation and accounting laws:
+
+    - {b key conservation}: [work_done_total + remaining = initial_tasks]
+      — handovers and failure recovery never lose or duplicate a task;
+    - {b ownership rule}: every key lies in its owner vnode's arc, and
+      every ring vnode belongs to exactly one active machine (via
+      {!check_invariants});
+    - {b Sybil caps}: no machine exceeds [max_sybils] (homogeneous) or
+      its strength (heterogeneous);
+    - {b ring-presence accounting}: ring size equals the sum of the
+      machines' vnode lists;
+    - {b message accounting}: [joins - leaves] equals the ring size.
+
+    O(nodes + keys).  The engine runs this after every tick when
+    {!Params.check_requested} (set [check_every_tick] or [DHTLB_CHECK=1]).
+    @raise Invalid_argument on the first violated invariant. *)
+
+(** Deterministic hand-built states for edge-case tests. *)
+module For_testing : sig
+  val build :
+    params:Params.t ->
+    machines:(int * Id.t list) array ->
+    keys:Id.t list ->
+    t
+  (** [build ~params ~machines ~keys] constructs a state with exactly the
+      given machines — [(strength, vnodes)] with the head vnode primary,
+      [[]] meaning a waiting machine — and the given task keys.  The
+      machine array need not match [params.nodes]; [initial_mean] is
+      still [params.tasks / params.nodes], which lets tests steer the
+      Invitation overload bar independently of the keys placed.  Tests
+      only: simulations must use {!create}.
+      @raise Invalid_argument on duplicate vnode ids, an all-waiting
+      machine array with keys, or invalid [params]. *)
+end

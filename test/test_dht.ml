@@ -128,9 +128,27 @@ let prop_random_ops =
         (2, map (fun (a, b) -> `Consume (a, b)) (pair (int_bound 1023) (int_bound 3)));
       ]
   in
+  (* Print the full op trace (not just its length) and shrink both the
+     sequence and the ids, so a failure reproduces from the output. *)
+  let print_op = function
+    | `Join n -> Printf.sprintf "join %d" n
+    | `Leave n -> Printf.sprintf "leave %d" n
+    | `Insert n -> Printf.sprintf "insert %d" n
+    | `Consume (n, c) -> Printf.sprintf "consume %d x%d" n c
+  in
+  let shrink_op o yield =
+    match o with
+    | `Join n -> QCheck.Shrink.int n (fun n' -> yield (`Join n'))
+    | `Leave n -> QCheck.Shrink.int n (fun n' -> yield (`Leave n'))
+    | `Insert n -> QCheck.Shrink.int n (fun n' -> yield (`Insert n'))
+    | `Consume (n, c) ->
+      QCheck.Shrink.int n (fun n' -> yield (`Consume (n', c)));
+      QCheck.Shrink.int c (fun c' -> yield (`Consume (n, c')))
+  in
   let arb =
     QCheck.make
-      ~print:(fun ops -> string_of_int (List.length ops))
+      ~print:(fun ops -> String.concat ";" (List.map print_op ops))
+      ~shrink:(QCheck.Shrink.list ~shrink:shrink_op)
       (list_size (int_range 1 120) op)
   in
   Testutil.prop ~count:200 "random join/leave/insert/consume keeps invariants" arb

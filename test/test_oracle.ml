@@ -1,11 +1,26 @@
-(* Differential testing of the engine against a brute-force reference.
+(* Differential testing of the engine against naive reference models.
 
-   The reference simulator is deliberately naive — plain sorted arrays,
-   per-key linear scans, no balanced trees, no ring structure sharing —
-   so a bug would have to exist identically in both implementations to
-   slip through.  It covers the strategy-free fragment (with and without
-   work-measurement modes), where the engine's behaviour is exactly
-   determined by the initial assignment. *)
+   Two oracles, increasing in scope:
+
+   - a closed-form brute-force runtime for the strategy-free fragment
+     (assignment determines everything), kept from the original suite;
+
+   - [Oracle.run] (lib/oracle): a full naive re-implementation of the
+     simulation — sorted lists, linear scans, no structure sharing —
+     that consumes the same PRNG stream as the engine and replays every
+     strategy's decision rule.  Engine and oracle must agree
+     bit-for-bit on the outcome, every per-tick trace point, the
+     runtime factor and all seven message counters, across generated
+     scenarios spanning all strategies, churn, failures, heterogeneous
+     strengths, clustered keys and every ablation toggle.
+
+   Scenario generation shrinks: a divergence minimises toward fewer
+   nodes/tasks, no churn, homogeneous strengths, and prints the full
+   reproducing configuration (including the simulation seed).
+   DHTLB_ORACLE_CASES overrides the total number of generated scenarios
+   (default 512, split evenly across strategies). *)
+
+(* ---- brute-force closed-form oracle (strategy-free) -------------- *)
 
 (* Reference: assign each key to the first node id >= it (wrapping),
    then runtime = max over nodes of ceil(keys / capacity). *)
@@ -96,10 +111,278 @@ let test_known_case () =
   in
   Alcotest.(check int) "engine agrees" expect (engine_runtime params)
 
+(* ---- full-strategy differential oracle --------------------------- *)
+
+type scenario = {
+  nodes : int;
+  tasks : int;
+  churn : float;
+  fail : float;
+  hetero : bool;
+  strength_work : bool;
+  clustered : bool;
+  sybil_threshold : int;
+  period : int;
+  stagger : bool;
+  rejoin_fresh : bool;
+  split_median : bool;
+  avoid_repeats : bool;
+  max_ticks_factor : int;
+  seed : int;
+}
+
+let params_of (s : scenario) =
+  {
+    (Params.default ~nodes:s.nodes ~tasks:s.tasks) with
+    Params.churn_rate = s.churn;
+    failure_rate = s.fail;
+    heterogeneity = (if s.hetero then Params.Heterogeneous else Params.Homogeneous);
+    work = (if s.strength_work then Params.Strength_per_tick else Params.Task_per_tick);
+    keys =
+      (if s.clustered then
+         Params.Clustered { hotspots = 3; spread = 0.1; zipf_s = 1.0 }
+       else Params.Uniform_sha1);
+    sybil_threshold = s.sybil_threshold;
+    decision_period = s.period;
+    stagger_decisions = s.stagger;
+    rejoin_fresh_id = s.rejoin_fresh;
+    split_at_median = s.split_median;
+    avoid_repeats = s.avoid_repeats;
+    max_ticks_factor = s.max_ticks_factor;
+    seed = s.seed;
+  }
+
+let print_scenario strat s =
+  Printf.sprintf
+    "strategy=%s nodes=%d tasks=%d churn=%g fail=%g hetero=%b strength_work=%b \
+     clustered=%b threshold=%d period=%d stagger=%b rejoin_fresh=%b \
+     split_median=%b avoid_repeats=%b max_ticks_factor=%d Params.seed=%d"
+    (Strategy.name strat) s.nodes s.tasks s.churn s.fail s.hetero
+    s.strength_work s.clustered s.sybil_threshold s.period s.stagger
+    s.rejoin_fresh s.split_median s.avoid_repeats s.max_ticks_factor s.seed
+
+let gen_scenario =
+  QCheck.Gen.(
+    let* nodes = int_range 2 25 in
+    let* tasks = int_range 0 300 in
+    let* churn = oneofl [ 0.0; 0.0; 0.05; 0.2 ] in
+    let* fail = oneofl [ 0.0; 0.0; 0.05; 0.1 ] in
+    let* hetero = bool in
+    let* strength_work = bool in
+    let* clustered = frequency [ (3, return false); (1, return true) ] in
+    let* sybil_threshold = int_range 0 3 in
+    let* period = int_range 1 6 in
+    let* stagger = bool in
+    let* rejoin_fresh = bool in
+    let* split_median = bool in
+    let* avoid_repeats = bool in
+    let* max_ticks_factor = int_range 5 10 in
+    let* seed = int_bound 1_000_000 in
+    return
+      {
+        nodes;
+        tasks;
+        churn;
+        fail;
+        hetero;
+        strength_work;
+        clustered;
+        sybil_threshold;
+        period;
+        stagger;
+        rejoin_fresh;
+        split_median;
+        avoid_repeats;
+        max_ticks_factor;
+        seed;
+      })
+
+(* A divergence shrinks toward the boring end of every axis: fewer
+   machines and tasks, no churn/failures, homogeneous strengths, uniform
+   keys, every ablation toggle off.  The simulation seed is never
+   shrunk — it is part of the scenario's identity. *)
+let shrink_scenario (s : scenario) yield =
+  if s.tasks > 0 then begin
+    yield { s with tasks = s.tasks / 2 };
+    yield { s with tasks = s.tasks - 1 }
+  end;
+  if s.nodes > 2 then begin
+    yield { s with nodes = max 2 (s.nodes / 2) };
+    yield { s with nodes = s.nodes - 1 }
+  end;
+  if s.churn > 0.0 then yield { s with churn = 0.0 };
+  if s.fail > 0.0 then yield { s with fail = 0.0 };
+  if s.hetero then yield { s with hetero = false };
+  if s.strength_work then yield { s with strength_work = false };
+  if s.clustered then yield { s with clustered = false };
+  if s.sybil_threshold > 0 then yield { s with sybil_threshold = 0 };
+  if s.period > 1 then yield { s with period = 1 };
+  if s.stagger then yield { s with stagger = false };
+  if not s.rejoin_fresh then yield { s with rejoin_fresh = true };
+  if s.split_median then yield { s with split_median = false };
+  if s.avoid_repeats then yield { s with avoid_repeats = false };
+  if s.max_ticks_factor > 5 then yield { s with max_ticks_factor = 5 }
+
+let arb_scenario strat =
+  QCheck.make ~print:(print_scenario strat) ~shrink:shrink_scenario gen_scenario
+
+(* Run both implementations and report the FIRST divergence in full —
+   qcheck then shrinks the scenario and prints the reproducing line. *)
+let compare_runs (strat : Strategy.t) (s : scenario) =
+  let params = Strategy.default_params strat (params_of s) in
+  let er = Engine.run params (Strategy.make strat ()) in
+  let orr = Oracle.run params strat in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let outcome_str = function
+    | `E (Engine.Finished t) | `O (Oracle.Finished t) ->
+      Printf.sprintf "Finished %d" t
+    | `E (Engine.Aborted t) | `O (Oracle.Aborted t) ->
+      Printf.sprintf "Aborted %d" t
+  in
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  let* () =
+    match (er.Engine.outcome, orr.Oracle.outcome) with
+    | Engine.Finished a, Oracle.Finished b when a = b -> Ok ()
+    | Engine.Aborted a, Oracle.Aborted b when a = b -> Ok ()
+    | e, o ->
+      fail "outcome: engine %s, oracle %s"
+        (outcome_str (`E e)) (outcome_str (`O o))
+  in
+  let* () =
+    if er.Engine.ideal = orr.Oracle.ideal then Ok ()
+    else fail "ideal: engine %d, oracle %d" er.Engine.ideal orr.Oracle.ideal
+  in
+  let* () =
+    if er.Engine.factor = orr.Oracle.factor then Ok ()
+    else fail "factor: engine %g, oracle %g" er.Engine.factor orr.Oracle.factor
+  in
+  let ep = Trace.points er.Engine.trace in
+  let op = orr.Oracle.points in
+  let* () =
+    if Array.length ep = Array.length op then Ok ()
+    else
+      fail "trace length: engine %d points, oracle %d" (Array.length ep)
+        (Array.length op)
+  in
+  let* () =
+    let bad = ref (Ok ()) in
+    (try
+       Array.iteri
+         (fun i (e : Trace.point) ->
+           let o = op.(i) in
+           if
+             e.Trace.tick <> o.Oracle.tick
+             || e.Trace.work_done <> o.Oracle.work_done
+             || e.Trace.remaining <> o.Oracle.remaining
+             || e.Trace.active_nodes <> o.Oracle.active_nodes
+             || e.Trace.vnodes <> o.Oracle.vnodes
+           then begin
+             bad :=
+               fail
+                 "tick %d: engine {work=%d rem=%d active=%d vnodes=%d}, oracle \
+                  {work=%d rem=%d active=%d vnodes=%d}"
+                 e.Trace.tick e.Trace.work_done e.Trace.remaining
+                 e.Trace.active_nodes e.Trace.vnodes o.Oracle.work_done
+                 o.Oracle.remaining o.Oracle.active_nodes o.Oracle.vnodes;
+             raise Exit
+           end)
+         ep
+     with Exit -> ());
+    !bad
+  in
+  let em = er.Engine.messages and om = orr.Oracle.msgs in
+  let* () =
+    let pairs =
+      [
+        ("joins", em.Messages.joins, om.Oracle.joins);
+        ("leaves", em.Messages.leaves, om.Oracle.leaves);
+        ("key_transfers", em.Messages.key_transfers, om.Oracle.key_transfers);
+        ("workload_queries", em.Messages.workload_queries, om.Oracle.workload_queries);
+        ("invitations", em.Messages.invitations, om.Oracle.invitations);
+        ("lookup_hops", em.Messages.lookup_hops, om.Oracle.lookup_hops);
+        ("maintenance", em.Messages.maintenance, om.Oracle.maintenance);
+      ]
+    in
+    match List.find_opt (fun (_, a, b) -> a <> b) pairs with
+    | None -> Ok ()
+    | Some (name, a, b) -> fail "messages.%s: engine %d, oracle %d" name a b
+  in
+  let* () =
+    if er.Engine.final_vnodes = orr.Oracle.final_vnodes then Ok ()
+    else
+      fail "final_vnodes: engine %d, oracle %d" er.Engine.final_vnodes
+        orr.Oracle.final_vnodes
+  in
+  if er.Engine.final_active = orr.Oracle.final_active then Ok ()
+  else
+    fail "final_active: engine %d, oracle %d" er.Engine.final_active
+      orr.Oracle.final_active
+
+(* Total generated scenarios across all strategies; DHTLB_ORACLE_CASES
+   overrides (CI smoke uses a smaller pool, nightly a larger one). *)
+let total_cases =
+  match Sys.getenv_opt "DHTLB_ORACLE_CASES" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> invalid_arg "DHTLB_ORACLE_CASES must be a positive integer")
+  | None -> 512
+
+let per_strategy_count =
+  max 1 (total_cases / List.length Strategy.all)
+
+let prop_oracle strat =
+  Testutil.prop ~count:per_strategy_count
+    (Printf.sprintf "engine = full oracle (%s)" (Strategy.name strat))
+    (arb_scenario strat)
+    (fun s ->
+      match compare_runs strat s with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "engine/oracle diverged: %s" msg)
+
+let oracle_props = List.map prop_oracle Strategy.all
+
+(* Deterministic spot checks: one stressed configuration per strategy,
+   churn + failures + heterogeneous strengths + strength-per-tick work,
+   so the suite exercises every replayed code path even at count=1. *)
+let test_oracle_stressed strat () =
+  let s =
+    {
+      nodes = 12;
+      tasks = 180;
+      churn = 0.1;
+      fail = 0.05;
+      hetero = true;
+      strength_work = true;
+      clustered = false;
+      sybil_threshold = 1;
+      period = 3;
+      stagger = true;
+      rejoin_fresh = true;
+      split_median = false;
+      avoid_repeats = true;
+      max_ticks_factor = 8;
+      seed = 1234;
+    }
+  in
+  match compare_runs strat s with
+  | Ok () -> ()
+  | Error msg ->
+    Alcotest.failf "engine/oracle diverged on %s: %s" (print_scenario strat s) msg
+
+let stressed_cases =
+  List.map
+    (fun strat ->
+      Alcotest.test_case
+        (Printf.sprintf "stressed %s" (Strategy.name strat))
+        `Quick (test_oracle_stressed strat))
+    Strategy.all
+
 let () =
   Alcotest.run "oracle"
     [
       ( "differential",
-        [ Alcotest.test_case "known case" `Quick test_known_case ] );
-      ("properties", [ prop_engine_matches_reference ]);
+        Alcotest.test_case "known case" `Quick test_known_case :: stressed_cases
+      );
+      ("properties", prop_engine_matches_reference :: oracle_props);
     ]

@@ -22,6 +22,15 @@ let arb_ops =
         (1, return TakeMin);
       ]
   in
+  (* Shrink both the sequence (dropping ops) and the individual
+     arguments, so a failing trace minimises to the shortest op list
+     with the smallest elements that still breaks. *)
+  let shrink_op op yield =
+    match op with
+    | Add n -> QCheck.Shrink.int n (fun n' -> yield (Add n'))
+    | Remove n -> QCheck.Shrink.int n (fun n' -> yield (Remove n'))
+    | TakeMin -> ()
+  in
   QCheck.make
     ~print:(fun ops ->
       String.concat ";"
@@ -31,6 +40,7 @@ let arb_ops =
              | Remove n -> Printf.sprintf "rem %d" n
              | TakeMin -> "takemin")
            ops))
+    ~shrink:(QCheck.Shrink.list ~shrink:shrink_op)
     (list_size (int_range 0 200) op)
 
 let apply_ops ops =

@@ -1,0 +1,252 @@
+(* Edge cases of the Invitation handshake and Smart Neighbor Injection,
+   on hand-built rings ([State.For_testing.build]) where the exact vnode
+   ids and key placement pin down every branch of the decision rules.
+
+   Throughout: [decision_period = 1] and [stagger_decisions = false], so
+   every machine is due at tick 0 and a single [decide] call exercises
+   the rule under test. *)
+
+let decide strat state = ((Strategy.make strat ()).Engine.decide) state
+
+let base_params ~nodes ~tasks =
+  {
+    (Params.default ~nodes ~tasks) with
+    Params.decision_period = 1;
+    stagger_decisions = false;
+  }
+
+let ids = List.map Id.of_int
+let msgs state = Dht.messages state.State.dht
+
+(* ---- Invitation -------------------------------------------------- *)
+
+(* Ring {100, 200, 300}: m0's arc is the wrap arc (300, 100], m1 owns
+   (100, 200], m2 owns (200, 300].  initial_mean = tasks/nodes = 1, so
+   with invite_factor 2 a machine is overloaded iff its workload > 2. *)
+
+let test_invitation_all_above_threshold () =
+  (* Every predecessor is above sybilThreshold: the invitation is
+     announced (k invitation messages, one workload reply per
+     predecessor) and then refused — no Sybil joins. *)
+  let params =
+    { (base_params ~nodes:3 ~tasks:3) with Params.num_successors = 2 }
+  in
+  let state =
+    State.For_testing.build ~params
+      ~machines:
+        [| (1, ids [ 100 ]); (1, ids [ 200 ]); (1, ids [ 300 ]) |]
+      ~keys:(ids [ 90; 91; 92; 93; 150; 250 ])
+  in
+  (* m0 holds 4 tasks (overloaded); m1 and m2 hold 1 each — above the
+     default sybil_threshold of 0, so neither qualifies as helper. *)
+  Alcotest.(check int) "m0 workload" 4 (State.workload_of_phys state 0);
+  let m = msgs state in
+  let joins0 = m.Messages.joins
+  and inv0 = m.Messages.invitations
+  and q0 = m.Messages.workload_queries in
+  decide Strategy.Invitation state;
+  Alcotest.(check int) "announcement reaches k predecessors" (inv0 + 2)
+    m.Messages.invitations;
+  Alcotest.(check int) "each predecessor replies once" (q0 + 2)
+    m.Messages.workload_queries;
+  Alcotest.(check int) "no Sybil joined" joins0 m.Messages.joins;
+  Alcotest.(check int) "ring unchanged" 3 (State.vnode_count state)
+
+let test_invitation_helper_at_capacity () =
+  (* The only reachable predecessor qualifies by workload but has no
+     Sybil capacity left (max_sybils = 1, already running one): it is
+     filtered out and the invitation is refused. *)
+  let params =
+    {
+      (base_params ~nodes:3 ~tasks:6) with
+      Params.num_successors = 1;
+      max_sybils = 1;
+      sybil_threshold = 5;
+    }
+  in
+  (* m2 runs primary 300 plus Sybil 310: sybil_count = capacity = 1.
+     m2 (vnode 300) is the nearest predecessor of inviter m0 (100). *)
+  let state =
+    State.For_testing.build ~params
+      ~machines:
+        [| (1, ids [ 100 ]); (1, ids [ 200 ]); (1, ids [ 300; 310 ]) |]
+      ~keys:(ids [ 90; 91; 92; 93; 94; 150; 250; 305 ])
+  in
+  Alcotest.(check int) "m0 overloaded" 5 (State.workload_of_phys state 0);
+  Alcotest.(check int) "m2 at its Sybil cap" 1 (State.sybil_count state 2);
+  let m = msgs state in
+  let joins0 = m.Messages.joins in
+  decide Strategy.Invitation state;
+  Alcotest.(check int) "no Sybil joined" joins0 m.Messages.joins;
+  Alcotest.(check int) "m2 still has exactly one Sybil" 1
+    (State.sybil_count state 2)
+
+let test_invitation_tie_nearest_predecessor () =
+  (* Two predecessors tie on (qualifying) workload: the nearest one —
+     first in the predecessor walk — becomes the helper. *)
+  let params =
+    {
+      (base_params ~nodes:3 ~tasks:3) with
+      Params.num_successors = 2;
+      sybil_threshold = 1;
+    }
+  in
+  let state =
+    State.For_testing.build ~params
+      ~machines:
+        [| (1, ids [ 100 ]); (1, ids [ 200 ]); (1, ids [ 300 ]) |]
+      ~keys:(ids [ 90; 91; 92; 93; 150; 250 ])
+  in
+  (* Predecessors of inviter vnode 100, nearest first: 300 (m2) then
+     200 (m1); both hold exactly 1 task. *)
+  decide Strategy.Invitation state;
+  Alcotest.(check int) "nearest predecessor m2 got the Sybil" 1
+    (State.sybil_count state 2);
+  Alcotest.(check int) "farther predecessor m1 did not" 0
+    (State.sybil_count state 1)
+
+let test_invitation_sybil_lands_on_empty_half () =
+  (* The inviter's tasks all sit in the upper half of its arc: the
+     helper's Sybil at the arc midpoint joins an empty half-arc and
+     relieves nothing (acquires 0 keys, no key transfer). *)
+  let params =
+    {
+      (base_params ~nodes:3 ~tasks:3) with
+      Params.num_successors = 1;
+      sybil_threshold = 1;
+    }
+  in
+  (* m0's arc is (500, 1000], midpoint 750; its 5 tasks live in
+     (750, 1000].  Nearest predecessor of 1000 is 500 (m1). *)
+  let state =
+    State.For_testing.build ~params
+      ~machines:
+        [| (1, ids [ 1000 ]); (1, ids [ 500 ]); (1, ids [ 2000 ]) |]
+      ~keys:(ids [ 900; 901; 902; 903; 904; 450; 1500 ])
+  in
+  let m = msgs state in
+  let joins0 = m.Messages.joins and xfer0 = m.Messages.key_transfers in
+  decide Strategy.Invitation state;
+  Alcotest.(check int) "helper's Sybil joined" (joins0 + 1) m.Messages.joins;
+  Alcotest.(check int) "helper m1 runs the Sybil" 1 (State.sybil_count state 1);
+  Alcotest.(check int) "the Sybil acquired no keys" 0
+    (Dht.workload state.State.dht (Id.of_int 750));
+  Alcotest.(check int) "no key transfer happened" xfer0
+    m.Messages.key_transfers;
+  Alcotest.(check int) "inviter still holds everything" 5
+    (State.workload_of_phys state 0)
+
+(* ---- Smart Neighbor Injection ------------------------------------ *)
+
+let test_smart_all_arcs_self_owned () =
+  (* Every successor within k is the machine's own Sybil: no candidate
+     arcs, so no workload queries are sent and nothing joins. *)
+  let params =
+    {
+      (base_params ~nodes:2 ~tasks:3) with
+      Params.num_successors = 1;
+      sybil_threshold = 1;
+      max_sybils = 3;
+    }
+  in
+  let state =
+    State.For_testing.build ~params
+      ~machines:[| (1, ids [ 100; 200 ]); (1, ids [ 300 ]) |]
+      ~keys:(ids [ 50; 250; 260 ])
+  in
+  let m = msgs state in
+  let joins0 = m.Messages.joins and q0 = m.Messages.workload_queries in
+  decide Strategy.Smart_neighbor_injection state;
+  (* m0 (workload 1 <= threshold) sees only its own vnode 200 within
+     k=1; m1 (workload 2 > threshold) does not inject. *)
+  Alcotest.(check int) "no workload queries" q0 m.Messages.workload_queries;
+  Alcotest.(check int) "no Sybil joined" joins0 m.Messages.joins;
+  Alcotest.(check int) "ring unchanged" 3 (State.vnode_count state)
+
+let test_smart_load_tie_nearest_successor () =
+  (* Two candidate arcs tie on load: the first — the nearest successor's
+     arc — wins, and the Sybil lands at its midpoint. *)
+  let params =
+    {
+      (base_params ~nodes:3 ~tasks:4) with
+      Params.num_successors = 2;
+      sybil_threshold = 0;
+    }
+  in
+  (* Vnodes 200 and 300 hold 2 tasks each; after m0's Sybil steals the
+     task at 150, both m1 and m2 stay above the threshold, so m0's two
+     queries are the only ones this tick. *)
+  let state =
+    State.For_testing.build ~params
+      ~machines:
+        [| (1, ids [ 100 ]); (1, ids [ 200 ]); (1, ids [ 300 ]) |]
+      ~keys:(ids [ 150; 160; 250; 260 ])
+  in
+  let m = msgs state in
+  let q0 = m.Messages.workload_queries in
+  decide Strategy.Smart_neighbor_injection state;
+  (* m0 (workload 0, no Sybils to retire) queries both successor arcs
+     (200: 2 tasks, 300: 2 tasks), ties, picks (100, 200] and splits it
+     at midpoint 150. *)
+  Alcotest.(check int) "both candidates queried" (q0 + 2)
+    m.Messages.workload_queries;
+  Alcotest.(check int) "m0 runs the Sybil" 1 (State.sybil_count state 0);
+  Alcotest.(check bool) "Sybil sits at the nearest arc's midpoint" true
+    (List.mem (Id.of_int 150) state.State.phys.(0).State.vnodes);
+  (* The midpoint Sybil captured the task at 150 from vnode 200. *)
+  Alcotest.(check int) "Sybil took the tied arc's task" 1
+    (Dht.workload state.State.dht (Id.of_int 150))
+
+let test_smart_adjacent_ids_midpoint_occupied () =
+  (* Adjacent vnode ids: the candidate arc (100, 101] has width 1, its
+     midpoint computes to 100 — already occupied by the injector itself.
+     create_sybil charges the lookup, the join is refused, and the
+     decision ends gracefully with no ring change. *)
+  let params =
+    {
+      (base_params ~nodes:2 ~tasks:1) with
+      Params.num_successors = 1;
+      sybil_threshold = 0;
+    }
+  in
+  let state =
+    State.For_testing.build ~params
+      ~machines:[| (1, ids [ 100 ]); (1, ids [ 101 ]) |]
+      ~keys:(ids [ 101 ])
+  in
+  let m = msgs state in
+  let joins0 = m.Messages.joins and hops0 = m.Messages.lookup_hops in
+  decide Strategy.Smart_neighbor_injection state;
+  Alcotest.(check int) "join refused (midpoint occupied)" joins0
+    m.Messages.joins;
+  (* expected_hops (max 2 2) = 0.5, ceil -> 1: the failed attempt still
+     paid for its lookup. *)
+  Alcotest.(check int) "lookup still charged" (hops0 + 1)
+    m.Messages.lookup_hops;
+  Alcotest.(check int) "m0 kept a single vnode" 0 (State.sybil_count state 0);
+  Alcotest.(check int) "ring unchanged" 2 (State.vnode_count state)
+
+let () =
+  Alcotest.run "strategy_edges"
+    [
+      ( "invitation",
+        [
+          Alcotest.test_case "all predecessors above threshold" `Quick
+            test_invitation_all_above_threshold;
+          Alcotest.test_case "helper at Sybil capacity" `Quick
+            test_invitation_helper_at_capacity;
+          Alcotest.test_case "workload tie -> nearest predecessor" `Quick
+            test_invitation_tie_nearest_predecessor;
+          Alcotest.test_case "Sybil lands on empty half-arc" `Quick
+            test_invitation_sybil_lands_on_empty_half;
+        ] );
+      ( "smart-neighbor",
+        [
+          Alcotest.test_case "all arcs self-owned" `Quick
+            test_smart_all_arcs_self_owned;
+          Alcotest.test_case "load tie -> nearest successor" `Quick
+            test_smart_load_tie_nearest_successor;
+          Alcotest.test_case "adjacent ids: midpoint occupied" `Quick
+            test_smart_adjacent_ids_midpoint_occupied;
+        ] );
+    ]

@@ -15,8 +15,31 @@ let arb_small_id =
     ~print:(fun id -> Id.to_hex id)
     (QCheck.Gen.map (fun n -> Id.of_int n) (QCheck.Gen.int_bound 65535))
 
+(* One explicit seed per test executable so every qcheck failure is
+   reproducible: honour QCHECK_SEED when set, otherwise self-initialise
+   and print the chosen seed before the suites run. *)
+let qcheck_seed =
+  lazy
+    (let seed =
+       match Sys.getenv_opt "QCHECK_SEED" with
+       | Some s -> (
+         match int_of_string_opt (String.trim s) with
+         | Some n -> n
+         | None -> invalid_arg "QCHECK_SEED must be an integer")
+       | None ->
+         Random.self_init ();
+         Random.int 1_000_000_000
+     in
+     Printf.printf "qcheck random seed: %d (set QCHECK_SEED=%d to reproduce)\n%!"
+       seed seed;
+     seed)
+
 let prop ?(count = 300) name law_arb law =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count law_arb law)
+  (* Each property gets a fresh state from the same seed, so a single
+     failing test can be re-run alone and still hit the same inputs. *)
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| Lazy.force qcheck_seed |])
+    (QCheck.Test.make ~name ~count law_arb law)
 
 let check_id = Alcotest.testable Id.pp_full Id.equal
 
