@@ -139,7 +139,13 @@ let hotpath () =
   let nodes = 1000 and tasks = 100_000 in
   let params = { (Params.default ~nodes ~tasks) with Params.seed } in
   let state, dt_create = timed (fun () -> State.create params) in
-  let r, dt_run = timed (fun () -> Engine.run_state state Engine.no_strategy) in
+  (* Headline numbers are pinned metrics-off / in-memory trace so they
+     stay comparable across commits regardless of the environment. *)
+  let r, dt_run =
+    timed (fun () ->
+        Engine.run_state ~sink:Trace.Memory ~metrics:false state
+          Engine.no_strategy)
+  in
   let ticks = match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t in
   let ticks_per_s = float_of_int ticks /. dt_run in
   let keys_per_s = float_of_int tasks /. dt_run in
@@ -154,6 +160,36 @@ let hotpath () =
   metric "sim_ticks" (Json_out.Int ticks);
   metric "ticks_per_s" (Json_out.Float ticks_per_s);
   metric "keys_consumed_per_s" (Json_out.Float keys_per_s);
+  (* Identical rerun with metrics on: attributes the run time to engine
+     phases for the BENCH json.  The headline timing above is untouched
+     (this also spot-checks that instrumentation leaves the simulation
+     deterministic). *)
+  let r2 =
+    Engine.run_state ~sink:Trace.Memory ~metrics:true (State.create params)
+      Engine.no_strategy
+  in
+  let ticks2 =
+    match r2.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+  in
+  if ticks2 <> ticks then
+    Printf.printf "WARNING: metrics-on rerun took %d ticks, expected %d\n"
+      ticks2 ticks;
+  let m = r2.Engine.metrics in
+  Printf.printf
+    "phase split (metrics-on rerun): decide %.3fs consume %.3fs churn %.3fs \
+     trace %.3fs check %.3fs (wall %.3fs)\n"
+    m.Metrics.decide_s m.Metrics.consume_s m.Metrics.churn_s m.Metrics.trace_s
+    m.Metrics.check_s m.Metrics.wall_s;
+  metric "phase_decide_s" (Json_out.Float m.Metrics.decide_s);
+  metric "phase_consume_s" (Json_out.Float m.Metrics.consume_s);
+  metric "phase_churn_s" (Json_out.Float m.Metrics.churn_s);
+  metric "phase_trace_s" (Json_out.Float m.Metrics.trace_s);
+  metric "phase_check_s" (Json_out.Float m.Metrics.check_s);
+  metric "phase_wall_s" (Json_out.Float m.Metrics.wall_s);
+  metric "gc_minor_words" (Json_out.Float m.Metrics.minor_words);
+  metric "gc_major_words" (Json_out.Float m.Metrics.major_words);
+  metric "gc_minor_collections" (Json_out.Int m.Metrics.minor_collections);
+  metric "gc_major_collections" (Json_out.Int m.Metrics.major_collections);
   (* Drain a 100k-key set: the legacy nth+remove loop vs the one-pass
      bulk removal, on identical draw streams. *)
   let n_keys = 100_000 in

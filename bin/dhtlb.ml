@@ -192,17 +192,36 @@ let maybe_csv path contents =
     Printf.eprintf "wrote %s\n%!" file
   | None -> ()
 
-let simulate params strategy trials domains snapshots trace_csv json =
+let simulate params strategy trials domains snapshots trace_csv trace_out
+    metrics json =
   let params = Strategy.default_params strategy params in
   (match Params.validate params with
   | Ok () -> ()
   | Error e ->
     prerr_endline ("invalid parameters: " ^ e);
     exit 2);
+  let sink =
+    match trace_out with
+    | None -> None
+    | Some spec -> (
+      match Trace.sink_of_string spec with
+      | Ok s -> Some s
+      | Error e ->
+        prerr_endline ("invalid --trace-out: " ^ e);
+        exit 2)
+  in
+  (* file sinks would have every trial overwrite the same path *)
+  (match sink with
+  | Some (Trace.Csv_file _ | Trace.Jsonl_file _) when trials > 1 ->
+    prerr_endline "--trace-out csv:/jsonl: requires --trials 1";
+    exit 2
+  | _ -> ());
   Format.printf "parameters: %a@." Params.pp params;
   if trials = 1 then begin
     let r =
-      Engine.run ~snapshot_at:snapshots params (Strategy.make strategy ())
+      Engine.run ?sink ?metrics:(if metrics then Some true else None)
+        ~snapshot_at:snapshots params
+        (Strategy.make strategy ())
     in
     (match r.Engine.outcome with
     | Engine.Finished t ->
@@ -213,6 +232,8 @@ let simulate params strategy trials domains snapshots trace_csv json =
     Format.printf "work/tick mean: %.1f; final vnodes: %d; active: %d@."
       r.Engine.work_per_tick r.Engine.final_vnodes r.Engine.final_active;
     Format.printf "messages: %a@." Messages.pp r.Engine.messages;
+    if r.Engine.metrics.Metrics.enabled then
+      Format.printf "metrics: %a@." Metrics.pp_report r.Engine.metrics;
     List.iter
       (fun (tick, w) ->
         if Array.length w > 0 then
@@ -250,6 +271,25 @@ let simulate_cmd =
       & info [ "trace-csv" ] ~docv:"FILE"
           ~doc:"Write the per-tick trace as CSV (single-trial runs).")
   in
+  let trace_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"SPEC"
+          ~doc:
+            "Trace sink: $(b,memory), $(b,null), $(b,ring:N), $(b,csv:PATH) \
+             or $(b,jsonl:PATH).  Bounds trace memory for long runs; \
+             defaults to \\$DHTLB_TRACE_OUT, else memory.  File sinks \
+             require --trials 1.")
+  in
+  let metrics_t =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Report per-phase wall-clock timings and GC deltas (also \
+             enabled by DHTLB_METRICS=1).")
+  in
   let json_t =
     Arg.(value & flag & info [ "json" ] ~doc:"Also print the result as JSON.")
   in
@@ -257,7 +297,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one simulation configuration.")
     Term.(
       const simulate $ params_t $ strategy_t $ trials_t $ domains_t
-      $ snapshots_t $ trace_csv_t $ json_t)
+      $ snapshots_t $ trace_csv_t $ trace_out_t $ metrics_t $ json_t)
 
 let print_cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const (fun s -> print_string (f s)) $ seed_t)

@@ -1,7 +1,10 @@
 #!/bin/sh
 # CI entry point: full build, the whole test battery (normal and checked
-# mode), the differential-oracle smoke run, and a quick bench smoke run
-# of the simulation hot path (writes BENCH_hotpath.json).
+# mode), the differential-oracle smoke run (twice: plain, and with
+# metrics + a bounded trace sink to prove instrumentation does not
+# perturb the PRNG stream), and a quick bench smoke run of the
+# simulation hot path (writes BENCH_hotpath.json) gated against the
+# committed baseline.
 set -eu
 
 cd "$(dirname "$0")"
@@ -15,10 +18,47 @@ dune runtest
 echo "==> oracle smoke (engine vs naive reference model, 200 scenarios)"
 DHTLB_ORACLE_CASES=200 dune exec test/test_oracle.exe
 
+echo "==> oracle smoke with metrics + ring trace sink (instrumentation must not perturb)"
+DHTLB_ORACLE_CASES=100 DHTLB_METRICS=1 DHTLB_TRACE_OUT=ring:32 \
+  dune exec test/test_oracle.exe
+
 echo "==> full battery under the invariant harness (DHTLB_CHECK=1)"
 DHTLB_CHECK=1 dune runtest --force
 
 echo "==> bench smoke (hotpath section, quick scale)"
+# Keep the committed baseline aside before the bench overwrites it.
+baseline=""
+if [ -f BENCH_hotpath.json ]; then
+  baseline=$(mktemp)
+  cp BENCH_hotpath.json "$baseline"
+fi
 DHTLB_ONLY=hotpath dune exec bench/main.exe
+
+# Regression gate: fail if the end-to-end hot-path run slowed by more
+# than 25% against the committed BENCH_hotpath.json.  Skip with
+# DHTLB_BENCH_GATE=0 (e.g. on known-slow shared machines).
+if [ "${DHTLB_BENCH_GATE:-1}" = "0" ]; then
+  echo "==> bench gate skipped (DHTLB_BENCH_GATE=0)"
+elif [ -n "$baseline" ]; then
+  extract() {
+    grep '"sim_run_s"' "$1" | head -n1 | sed 's/.*: *//; s/,.*//'
+  }
+  old=$(extract "$baseline")
+  new=$(extract BENCH_hotpath.json)
+  if [ -z "$old" ] || [ -z "$new" ]; then
+    echo "==> bench gate: could not read sim_run_s (old='$old' new='$new')" >&2
+    rm -f "$baseline"
+    exit 1
+  fi
+  if awk -v old="$old" -v new="$new" 'BEGIN { exit !(new > old * 1.25) }'; then
+    echo "==> bench gate FAILED: sim_run_s ${new}s vs baseline ${old}s (>25% slower)" >&2
+    rm -f "$baseline"
+    exit 1
+  fi
+  echo "==> bench gate OK: sim_run_s ${new}s vs baseline ${old}s"
+  rm -f "$baseline"
+else
+  echo "==> bench gate skipped (no committed BENCH_hotpath.json baseline)"
+fi
 
 echo "==> ci.sh: all green"

@@ -16,16 +16,30 @@ let table1_csv rows =
 let churn_sweep_csv cells =
   Csv_out.table
     ~header:
-      [ "churn_rate"; "nodes"; "tasks"; "mean_factor"; "stddev_factor"; "trials" ]
+      [
+        "churn_rate";
+        "nodes";
+        "tasks";
+        "mean_factor";
+        "stddev_factor";
+        "trials";
+        "aborted";
+        "mean_factor_finished";
+      ]
     (List.map
        (fun (c : Churn_sweep.cell) ->
+         let a = c.Churn_sweep.aggregate in
          [
            f c.Churn_sweep.churn_rate;
            string_of_int c.Churn_sweep.nodes;
            string_of_int c.Churn_sweep.tasks;
-           f c.Churn_sweep.aggregate.Runner.mean_factor;
-           f c.Churn_sweep.aggregate.Runner.stddev_factor;
-           string_of_int c.Churn_sweep.aggregate.Runner.trials;
+           f a.Runner.mean_factor;
+           f a.Runner.stddev_factor;
+           string_of_int a.Runner.trials;
+           string_of_int a.Runner.aborted;
+           (* empty cell rather than "nan" when every trial aborted *)
+           (if a.Runner.finished = 0 then ""
+            else f a.Runner.mean_factor_finished);
          ])
        cells)
 
@@ -134,6 +148,24 @@ let messages_json (m : Messages.t) =
       ("total", Json_out.Int (Messages.total m));
     ]
 
+let metrics_json (m : Metrics.report) =
+  Json_out.Obj
+    [
+      ("enabled", Json_out.Bool m.Metrics.enabled);
+      ("ticks", Json_out.Int m.Metrics.ticks);
+      ("wall_s", Json_out.Float m.Metrics.wall_s);
+      ("decide_s", Json_out.Float m.Metrics.decide_s);
+      ("consume_s", Json_out.Float m.Metrics.consume_s);
+      ("churn_s", Json_out.Float m.Metrics.churn_s);
+      ("check_s", Json_out.Float m.Metrics.check_s);
+      ("trace_s", Json_out.Float m.Metrics.trace_s);
+      ("minor_words", Json_out.Float m.Metrics.minor_words);
+      ("major_words", Json_out.Float m.Metrics.major_words);
+      ("promoted_words", Json_out.Float m.Metrics.promoted_words);
+      ("minor_collections", Json_out.Int m.Metrics.minor_collections);
+      ("major_collections", Json_out.Int m.Metrics.major_collections);
+    ]
+
 let result_json (r : Engine.result) =
   let outcome, ticks =
     match r.Engine.outcome with
@@ -141,16 +173,21 @@ let result_json (r : Engine.result) =
     | Engine.Aborted t -> ("aborted", t)
   in
   Json_out.Obj
-    [
-      ("outcome", Json_out.String outcome);
-      ("ticks", Json_out.Int ticks);
-      ("ideal", Json_out.Int r.Engine.ideal);
-      ("factor", Json_out.Float r.Engine.factor);
-      ("work_per_tick", Json_out.Float r.Engine.work_per_tick);
-      ("final_vnodes", Json_out.Int r.Engine.final_vnodes);
-      ("final_active", Json_out.Int r.Engine.final_active);
-      ("messages", messages_json r.Engine.messages);
-    ]
+    ([
+       ("outcome", Json_out.String outcome);
+       ("ticks", Json_out.Int ticks);
+       ("ideal", Json_out.Int r.Engine.ideal);
+       ("factor", Json_out.Float r.Engine.factor);
+       ("work_per_tick", Json_out.Float r.Engine.work_per_tick);
+       ("final_vnodes", Json_out.Int r.Engine.final_vnodes);
+       ("final_active", Json_out.Int r.Engine.final_active);
+       ("messages", messages_json r.Engine.messages);
+     ]
+    (* keep the historical shape when metrics were off *)
+    @
+    if r.Engine.metrics.Metrics.enabled then
+      [ ("metrics", metrics_json r.Engine.metrics) ]
+    else [])
 
 let aggregate_json ~label (a : Runner.aggregate) =
   Json_out.Obj
@@ -164,5 +201,8 @@ let aggregate_json ~label (a : Runner.aggregate) =
       ("mean_ticks", Json_out.Float a.Runner.mean_ticks);
       ("mean_ideal", Json_out.Float a.Runner.mean_ideal);
       ("aborted", Json_out.Int a.Runner.aborted);
+      ("finished", Json_out.Int a.Runner.finished);
+      ("mean_factor_finished", Json_out.Float a.Runner.mean_factor_finished);
+      ("mean_ticks_finished", Json_out.Float a.Runner.mean_ticks_finished);
       ("mean_messages", Json_out.Float a.Runner.mean_messages);
     ]

@@ -11,8 +11,13 @@ val trace_csv : Trace.t -> string
 (** Per-tick series of one run: tick, work done, remaining, active
     machines, vnodes. *)
 
+val metrics_json : Metrics.report -> Json_out.t
+(** Per-phase timings and GC deltas of one run. *)
+
 val result_json : Engine.result -> Json_out.t
 (** One simulation result as a JSON object (outcome, factor, messages,
-    work-per-tick mean; traces are exported separately as CSV). *)
+    work-per-tick mean; traces are exported separately as CSV).  Gains a
+    ["metrics"] object when the run had metrics enabled; the shape is
+    unchanged otherwise. *)
 
 val aggregate_json : label:string -> Runner.aggregate -> Json_out.t

@@ -1,0 +1,68 @@
+(** Per-phase wall-clock accounting for the simulation tick loop.
+
+    A [t] accumulates elapsed seconds per engine phase plus GC deltas
+    over one run.  Construction with [~enabled:false] yields a metrics
+    object whose [start]/[lap]/[tick] calls are branch-only — no clock
+    syscalls, no allocation — so an instrumented hot loop costs nothing
+    measurable when metrics are off.
+
+    Instrumentation never draws from the simulation PRNG, so enabling it
+    cannot change a run's outcome (the differential-oracle suite runs
+    with metrics on to prove it). *)
+
+type phase =
+  | Decide  (** strategy decision step *)
+  | Consume  (** task consumption ([State.consume_tick]) *)
+  | Churn  (** [State.apply_churn] *)
+  | Check  (** invariant harness (only nonzero in checked mode) *)
+  | Trace  (** trace recording and snapshot capture *)
+
+type t
+
+val create : enabled:bool -> unit -> t
+(** When enabled, captures the wall clock and a [Gc.quick_stat]
+    baseline. *)
+
+val enabled : t -> bool
+
+val enabled_by_env : unit -> bool
+(** The [DHTLB_METRICS=1] process-wide switch (read once), the default
+    for runs that don't pass an explicit flag. *)
+
+val now : unit -> float
+(** [Unix.gettimeofday], exported for callers timing around whole runs. *)
+
+val start : t -> float
+(** Open a timing chain: the current time, or [0.] when disabled. *)
+
+val lap : t -> phase -> float -> float
+(** [lap t phase mark] charges [now () - mark] to [phase] and returns a
+    fresh mark; no-op returning [0.] when disabled. *)
+
+val add : t -> phase -> float -> unit
+(** Directly accumulate [dt] seconds against a phase. *)
+
+val tick : t -> unit
+(** Count one completed tick. *)
+
+(** Immutable summary of a run's accounting. *)
+type report = {
+  enabled : bool;
+  ticks : int;
+  wall_s : float;  (** creation to [report] call *)
+  decide_s : float;
+  consume_s : float;
+  churn_s : float;
+  check_s : float;
+  trace_s : float;
+  minor_words : float;  (** GC deltas since creation; per-domain *)
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val report : t -> report
+(** All-zero (with [enabled = false]) when metrics were disabled. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,35 @@
+type 'a t = {
+  capacity : int;
+  mutable data : 'a array; (* allocated on first push *)
+  mutable start : int; (* index of the oldest element *)
+  mutable len : int;
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring_buffer.create: capacity < 1";
+  { capacity; data = [||]; start = 0; len = 0; pushed = 0 }
+
+let capacity t = t.capacity
+let length t = t.len
+let pushed t = t.pushed
+
+let push t x =
+  if Array.length t.data = 0 then t.data <- Array.make t.capacity x;
+  if t.len < t.capacity then begin
+    t.data.((t.start + t.len) mod t.capacity) <- x;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.data.(t.start) <- x;
+    t.start <- (t.start + 1) mod t.capacity
+  end;
+  t.pushed <- t.pushed + 1
+
+let to_array t =
+  Array.init t.len (fun i -> t.data.((t.start + i) mod t.capacity))
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.((t.start + i) mod t.capacity)
+  done

@@ -1,0 +1,28 @@
+(** Fixed-capacity overwrite-on-full buffer.
+
+    Holds the most recent [capacity] pushed elements in O(capacity)
+    memory regardless of how many are pushed; the total push count is
+    tracked separately so consumers can tell a truncated history from a
+    complete one. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val push : 'a t -> 'a -> unit
+(** O(1); evicts the oldest element once full. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently held, [min (pushed t) (capacity t)]. *)
+
+val pushed : 'a t -> int
+(** Total elements ever pushed (including evicted ones). *)
+
+val to_array : 'a t -> 'a array
+(** Held elements, oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)

@@ -261,10 +261,12 @@ let sybil_capacity o pid =
   | Params.Homogeneous -> o.params.Params.max_sybils
   | Params.Heterogeneous -> o.machs.(pid).strength
 
-let charge_lookup o =
+let lookup_cost (o : t) =
   let n = max 2 (ring_size o) in
-  let hops = int_of_float (ceil (Routing.expected_hops n)) in
-  o.msgs.lookup_hops <- o.msgs.lookup_hops + hops
+  int_of_float (ceil (Routing.expected_hops n))
+
+let charge_lookup (o : t) =
+  o.msgs.lookup_hops <- o.msgs.lookup_hops + lookup_cost o
 
 let create_sybil o pid id =
   let m = o.machs.(pid) in
@@ -307,23 +309,29 @@ let leave_phys o pid =
   end
   | _ :: _ -> assert false
 
+(* Rejoin lookups are charged only when the join lands (priced at the
+   pre-join ring size) — mirrors State.join_phys. *)
 let join_phys o pid =
   let m = o.machs.(pid) in
   let id =
     if o.params.Params.rejoin_fresh_id then Keygen.fresh o.rng
     else m.original_id
   in
-  charge_lookup o;
+  let hops = lookup_cost o in
   match join o ~id ~owner:pid with
   | Ok () ->
+    o.msgs.lookup_hops <- o.msgs.lookup_hops + hops;
     m.vnodes <- [ id ];
     m.active <- true
   | Error `Occupied -> () (* stays waiting; retries on a later tick *)
 
+(* Recovery traffic only if the machine actually departed — a surviving
+   last node recovers nothing.  Mirrors State.fail_phys. *)
 let fail_phys o pid =
   let lost = workload_of_phys o pid in
-  o.msgs.key_transfers <- o.msgs.key_transfers + lost;
-  leave_phys o pid
+  leave_phys o pid;
+  if not o.machs.(pid).active then
+    o.msgs.key_transfers <- o.msgs.key_transfers + lost
 
 let apply_churn o =
   let churn = o.params.Params.churn_rate

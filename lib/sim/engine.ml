@@ -11,17 +11,24 @@ type result = {
   work_per_tick : float;
   messages : Messages.t;
   trace : Trace.t;
+  metrics : Metrics.report;
   final_vnodes : int;
   final_active : int;
 }
 
-let run_state ?(snapshot_at = []) (state : State.t) strategy =
+let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
   let params = state.State.params in
   let ideal =
     Params.ideal_runtime params ~strengths:(State.strengths_of_initial state)
   in
   let cap = max 1 (params.Params.max_ticks_factor * max 1 ideal) in
-  let trace = Trace.create ~snapshot_at in
+  let trace = Trace.create ?sink ~snapshot_at () in
+  let m =
+    let enabled =
+      match metrics with Some e -> e | None -> Metrics.enabled_by_env ()
+    in
+    Metrics.create ~enabled ()
+  in
   (* Invariant mode: run the full harness after every tick, and verify
      message counters never run backwards (they only ever accumulate). *)
   let checking = Params.check_requested params in
@@ -42,11 +49,16 @@ let run_state ?(snapshot_at = []) (state : State.t) strategy =
     if State.remaining_tasks state = 0 then Finished state.State.tick
     else if state.State.tick >= cap then Aborted cap
     else begin
+      let t0 = Metrics.start m in
       Trace.maybe_snapshot trace state;
+      let t1 = Metrics.lap m Metrics.Trace t0 in
       strategy.decide state;
+      let t2 = Metrics.lap m Metrics.Decide t1 in
       let work_done = State.consume_tick state in
+      let t3 = Metrics.lap m Metrics.Consume t2 in
       State.apply_churn state;
       State.advance_tick state;
+      let t4 = Metrics.lap m Metrics.Churn t3 in
       Trace.record trace
         {
           Trace.tick = state.State.tick - 1;
@@ -55,11 +67,16 @@ let run_state ?(snapshot_at = []) (state : State.t) strategy =
           active_nodes = State.active_count state;
           vnodes = State.vnode_count state;
         };
+      let t5 = Metrics.lap m Metrics.Trace t4 in
       check_tick ();
+      let (_ : float) = Metrics.lap m Metrics.Check t5 in
+      Metrics.tick m;
       loop ()
     end
   in
-  let outcome = loop () in
+  let outcome =
+    Fun.protect ~finally:(fun () -> Trace.close trace) (fun () -> loop ())
+  in
   let ticks = match outcome with Finished t | Aborted t -> t in
   {
     outcome;
@@ -68,9 +85,10 @@ let run_state ?(snapshot_at = []) (state : State.t) strategy =
     work_per_tick = Trace.work_per_tick_mean trace;
     messages = Dht.messages state.State.dht;
     trace;
+    metrics = Metrics.report m;
     final_vnodes = State.vnode_count state;
     final_active = State.active_count state;
   }
 
-let run ?snapshot_at params strategy =
-  run_state ?snapshot_at (State.create params) strategy
+let run ?sink ?metrics ?snapshot_at params strategy =
+  run_state ?sink ?metrics ?snapshot_at (State.create params) strategy

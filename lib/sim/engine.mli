@@ -37,14 +37,34 @@ type result = {
   work_per_tick : float;
   messages : Messages.t;
   trace : Trace.t;
+  metrics : Metrics.report;
+      (** per-phase timings and GC deltas; all-zero unless metrics were
+          enabled (flag or [DHTLB_METRICS=1]) *)
   final_vnodes : int;
   final_active : int;
 }
 
-val run : ?snapshot_at:int list -> Params.t -> strategy -> result
+val run :
+  ?sink:Trace.sink ->
+  ?metrics:bool ->
+  ?snapshot_at:int list ->
+  Params.t ->
+  strategy ->
+  result
+(** [sink] selects where trace points go (default {!Trace.sink_of_env}:
+    [DHTLB_TRACE_OUT], else in-memory).  [metrics] turns per-phase
+    timing on (default {!Metrics.enabled_by_env}: [DHTLB_METRICS]).
+    Neither draws from the simulation PRNG, so they never change the
+    run's outcome.  File sinks are closed before [run] returns, even if
+    the strategy or an invariant check raises. *)
 
 val run_state :
-  ?snapshot_at:int list -> State.t -> strategy -> result
+  ?sink:Trace.sink ->
+  ?metrics:bool ->
+  ?snapshot_at:int list ->
+  State.t ->
+  strategy ->
+  result
 (** Like {!run} but over a pre-built state — lets callers share an
     identical initial configuration across strategies, as the paper's
     paired figures do. *)

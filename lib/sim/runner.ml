@@ -7,6 +7,9 @@ type aggregate = {
   mean_ticks : float;
   mean_ideal : float;
   aborted : int;
+  finished : int;
+  mean_factor_finished : float;
+  mean_ticks_finished : float;
   mean_messages : float;
 }
 
@@ -77,6 +80,21 @@ let run_trials ?trials ?domains params mk_strategy =
       results
   in
   let summary = Descriptive.summarize factors in
+  (* Aborted trials report the safety cap as their tick count, so the
+     mixed means above under-state how slow a capped configuration really
+     is.  The [*_finished] means drop those trials; [nan] when every
+     trial aborted (Json_out renders nan as null). *)
+  let is_finished r =
+    match r.Engine.outcome with
+    | Engine.Finished _ -> true
+    | Engine.Aborted _ -> false
+  in
+  let finished_results = Array.of_list (List.filter is_finished (Array.to_list results)) in
+  let finished = Array.length finished_results in
+  let mean_over f =
+    if finished = 0 then Float.nan
+    else Descriptive.mean (Array.map f finished_results)
+  in
   {
     trials = Array.length results;
     mean_factor = summary.Descriptive.mean;
@@ -86,13 +104,13 @@ let run_trials ?trials ?domains params mk_strategy =
     mean_ticks = Descriptive.mean ticks;
     mean_ideal =
       Descriptive.mean (Array.map (fun r -> float_of_int r.Engine.ideal) results);
-    aborted =
-      Array.fold_left
-        (fun acc r ->
+    aborted = Array.length results - finished;
+    finished;
+    mean_factor_finished = mean_over (fun r -> r.Engine.factor);
+    mean_ticks_finished =
+      mean_over (fun r ->
           match r.Engine.outcome with
-          | Engine.Aborted _ -> acc + 1
-          | Engine.Finished _ -> acc)
-        0 results;
+          | Engine.Finished t | Engine.Aborted t -> float_of_int t);
     mean_messages =
       Descriptive.mean
         (Array.map (fun r -> float_of_int (Messages.total r.Engine.messages)) results);
@@ -103,4 +121,7 @@ let pp_aggregate ppf a =
     "trials=%d factor=%.3f±%.3f [%.3f, %.3f] ticks=%.1f ideal=%.1f aborted=%d \
      msgs=%.0f"
     a.trials a.mean_factor a.stddev_factor a.min_factor a.max_factor
-    a.mean_ticks a.mean_ideal a.aborted a.mean_messages
+    a.mean_ticks a.mean_ideal a.aborted a.mean_messages;
+  if a.aborted > 0 && a.finished > 0 then
+    Format.fprintf ppf " finished-only: factor=%.3f ticks=%.1f (%d trials)"
+      a.mean_factor_finished a.mean_ticks_finished a.finished

@@ -13,6 +13,12 @@ type aggregate = {
   mean_ticks : float;
   mean_ideal : float;
   aborted : int;  (** trials that hit the safety cap *)
+  finished : int;  (** trials that actually completed ([trials - aborted]) *)
+  mean_factor_finished : float;
+      (** mean factor over finished trials only — the mixed [mean_factor]
+          folds each aborted trial in at the cap, understating slowness;
+          [nan] when every trial aborted *)
+  mean_ticks_finished : float;  (** ditto for ticks; [nan] if none finished *)
   mean_messages : float;  (** mean total messages per trial *)
 }
 

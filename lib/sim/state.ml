@@ -133,11 +133,13 @@ let consume_tick t =
 
 (* A join in a real DHT costs a lookup; with no live finger tables in the
    hot loop we charge Chord's expected hop count for the current size. *)
-let charge_lookup t =
+let lookup_cost t =
   let n = max 2 (Dht.size t.dht) in
-  let hops = int_of_float (ceil (Routing.expected_hops n)) in
+  int_of_float (ceil (Routing.expected_hops n))
+
+let charge_lookup t =
   (Dht.messages t.dht).Messages.lookup_hops <-
-    (Dht.messages t.dht).Messages.lookup_hops + hops
+    (Dht.messages t.dht).Messages.lookup_hops + lookup_cost t
 
 let create_sybil t pid id =
   let p = t.phys.(pid) in
@@ -193,14 +195,21 @@ let leave_phys t pid =
   end
   | _ :: _ -> assert false
 
+(* Message-accounting contract (docs/TESTING.md): a machine rejoin is
+   charged its lookup hops only when the join lands.  A refused rejoin
+   (`Occupied, only reachable with pinned identities) retries on a later
+   tick — billing every retry would charge one join without bound.  The
+   hop count is priced at the pre-join ring size, as before. *)
 let join_phys t pid =
   let p = t.phys.(pid) in
   let id =
     if t.params.rejoin_fresh_id then Keygen.fresh t.rng else p.original_id
   in
-  charge_lookup t;
+  let hops = lookup_cost t in
   match Dht.join t.dht ~id ~payload:{ owner = pid } with
   | Ok _ ->
+    (Dht.messages t.dht).Messages.lookup_hops <-
+      (Dht.messages t.dht).Messages.lookup_hops + hops;
     p.vnodes <- [ id ];
     p.active <- true
   | Error `Occupied -> () (* stays waiting; retries on a later tick *)
@@ -208,13 +217,18 @@ let join_phys t pid =
 (* Ungraceful death: like a leave, except nobody hands keys over — the
    successor must fetch them from its replicas, so the recovery costs a
    second transfer of every key the dead machine held (the paper's
-   active-backup assumption makes the fetch always succeed). *)
+   active-backup assumption makes the fetch always succeed).  Recovery
+   is billed only if the machine actually departs: the ring's last
+   key-holding vnode refuses the departure (`Last_node) and keeps
+   serving its keys, so there is nothing to recover. *)
 let fail_phys t pid =
   let lost_keys = workload_of_phys t pid in
-  let messages = Dht.messages t.dht in
-  messages.Messages.key_transfers <-
-    messages.Messages.key_transfers + lost_keys;
-  leave_phys t pid
+  leave_phys t pid;
+  if not t.phys.(pid).active then begin
+    let messages = Dht.messages t.dht in
+    messages.Messages.key_transfers <-
+      messages.Messages.key_transfers + lost_keys
+  end
 
 let apply_churn t =
   let churn = t.params.churn_rate and fail = t.params.failure_rate in

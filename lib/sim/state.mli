@@ -76,6 +76,26 @@ val create_sybil : t -> int -> Id.t -> bool
 val retire_sybils : t -> int -> unit
 (** All of the machine's Sybils leave the ring (keys hand over). *)
 
+val leave_phys : t -> int -> unit
+(** Graceful departure of a whole machine: Sybils retire, then the
+    primary leaves with key handover.  The primary stays (and the
+    machine remains active) only if it is the ring's last key-holding
+    vnode. *)
+
+val join_phys : t -> int -> unit
+(** A waiting machine rejoins at a fresh id ([rejoin_fresh_id]) or its
+    original one.  Lookup hops are charged {e only when the join lands};
+    a refused rejoin ([`Occupied], possible only with pinned identities)
+    is a free retry — see docs/TESTING.md's message-accounting
+    contract. *)
+
+val fail_phys : t -> int -> unit
+(** Ungraceful death: all vnodes depart without handover and the keys
+    the machine held are re-fetched from successor-list replicas,
+    charging [key_transfers] for each.  If the departure is refused
+    (last key-holding vnode) the machine stays and {e nothing} is
+    charged — a surviving node recovers no keys. *)
+
 val apply_churn : t -> unit
 (** One tick of churn: active machines leave gracefully with probability
     [churn_rate] or die ungracefully with probability [failure_rate]

@@ -6,33 +6,154 @@ type point = {
   vnodes : int;
 }
 
+type sink =
+  | Memory
+  | Ring of int
+  | Csv_file of string
+  | Jsonl_file of string
+  | Null
+
+type store =
+  | S_memory of { mutable points_rev : point list }
+  | S_ring of point Ring_buffer.t
+  | S_stream of { oc : out_channel; format : [ `Csv | `Jsonl ]; mutable closed : bool }
+  | S_null
+
 type t = {
-  snapshot_at : int list;
-  mutable points_rev : point list;
-  mutable n_points : int;
+  sink : sink;
+  store : store;
+  snapshot_at : int array; (* strictly ascending *)
+  mutable snap_cursor : int;
   mutable snapshots_rev : (int * int array) list;
+  mutable n_points : int;
+  mutable work_total : int;
 }
 
-let create ~snapshot_at =
-  { snapshot_at; points_rev = []; n_points = 0; snapshots_rev = [] }
+let sink_of_string s =
+  let prefixed prefix s =
+    let lp = String.length prefix in
+    if String.length s > lp && String.sub s 0 lp = prefix then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  match s with
+  | "memory" -> Ok Memory
+  | "null" -> Ok Null
+  | _ -> (
+    match prefixed "ring:" s with
+    | Some n -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Ok (Ring n)
+      | _ -> Error (Printf.sprintf "ring capacity must be a positive integer: %S" s))
+    | None -> (
+      match prefixed "csv:" s with
+      | Some path -> Ok (Csv_file path)
+      | None -> (
+        match prefixed "jsonl:" s with
+        | Some path -> Ok (Jsonl_file path)
+        | None ->
+          Error
+            (Printf.sprintf
+               "unknown trace sink %S (expected memory, null, ring:N, csv:PATH \
+                or jsonl:PATH)"
+               s))))
+
+(* DHTLB_TRACE_OUT selects the sink for every run in the process that
+   does not pass one explicitly.  Read once; a malformed value fails
+   fast rather than silently tracing to the wrong place. *)
+let env_sink =
+  lazy
+    (match Sys.getenv_opt "DHTLB_TRACE_OUT" with
+    | None | Some "" -> Memory
+    | Some s -> (
+      match sink_of_string s with
+      | Ok sink -> sink
+      | Error msg -> invalid_arg ("DHTLB_TRACE_OUT: " ^ msg)))
+
+let sink_of_env () = Lazy.force env_sink
+
+let csv_header = "tick,work_done,remaining,active_nodes,vnodes"
+
+let create ?sink ~snapshot_at () =
+  let sink = match sink with Some s -> s | None -> sink_of_env () in
+  let store =
+    match sink with
+    | Memory -> S_memory { points_rev = [] }
+    | Ring capacity -> S_ring (Ring_buffer.create ~capacity)
+    | Null -> S_null
+    | Csv_file path ->
+      let oc = open_out path in
+      output_string oc csv_header;
+      output_char oc '\n';
+      S_stream { oc; format = `Csv; closed = false }
+    | Jsonl_file path -> S_stream { oc = open_out path; format = `Jsonl; closed = false }
+  in
+  let snapshot_at =
+    let a = Array.of_list (List.sort_uniq compare snapshot_at) in
+    a
+  in
+  {
+    sink;
+    store;
+    snapshot_at;
+    snap_cursor = 0;
+    snapshots_rev = [];
+    n_points = 0;
+    work_total = 0;
+  }
+
+let sink t = t.sink
+
+let write_row oc format (p : point) =
+  match format with
+  | `Csv ->
+    Printf.fprintf oc "%d,%d,%d,%d,%d\n" p.tick p.work_done p.remaining
+      p.active_nodes p.vnodes
+  | `Jsonl ->
+    Printf.fprintf oc
+      "{\"tick\":%d,\"work_done\":%d,\"remaining\":%d,\"active_nodes\":%d,\"vnodes\":%d}\n"
+      p.tick p.work_done p.remaining p.active_nodes p.vnodes
 
 let record t p =
-  t.points_rev <- p :: t.points_rev;
-  t.n_points <- t.n_points + 1
+  t.n_points <- t.n_points + 1;
+  t.work_total <- t.work_total + p.work_done;
+  match t.store with
+  | S_memory m -> m.points_rev <- p :: m.points_rev
+  | S_ring rb -> Ring_buffer.push rb p
+  | S_null -> ()
+  | S_stream s -> if not s.closed then write_row s.oc s.format p
 
+let close t =
+  match t.store with
+  | S_stream s when not s.closed ->
+    s.closed <- true;
+    close_out s.oc
+  | _ -> ()
+
+(* The engine's tick counter is monotone, so a cursor over the sorted
+   request list replaces the old per-tick List.mem / mem_assoc scans:
+   amortized O(1) per tick instead of O(|snapshot_at|). *)
 let maybe_snapshot t state =
   let tick = state.State.tick in
-  if
-    List.mem tick t.snapshot_at
-    && not (List.mem_assoc tick t.snapshots_rev)
-  then t.snapshots_rev <- (tick, State.workloads_snapshot state) :: t.snapshots_rev
+  let n = Array.length t.snapshot_at in
+  while t.snap_cursor < n && t.snapshot_at.(t.snap_cursor) < tick do
+    t.snap_cursor <- t.snap_cursor + 1
+  done;
+  if t.snap_cursor < n && t.snapshot_at.(t.snap_cursor) = tick then begin
+    t.snapshots_rev <- (tick, State.workloads_snapshot state) :: t.snapshots_rev;
+    t.snap_cursor <- t.snap_cursor + 1
+  end
 
-let points t = Array.of_list (List.rev t.points_rev)
+let points t =
+  match t.store with
+  | S_memory m -> Array.of_list (List.rev m.points_rev)
+  | S_ring rb -> Ring_buffer.to_array rb
+  | S_null | S_stream _ -> [||]
+
+let recorded t = t.n_points
 let snapshots t = List.rev t.snapshots_rev
 let snapshot_at_tick t tick = List.assoc_opt tick t.snapshots_rev
 
 let work_per_tick_mean t =
   if t.n_points = 0 then 0.0
-  else
-    let total = List.fold_left (fun acc p -> acc + p.work_done) 0 t.points_rev in
-    float_of_int total /. float_of_int t.n_points
+  else float_of_int t.work_total /. float_of_int t.n_points

@@ -152,6 +152,67 @@ let test_run_state_equals_run () =
   Alcotest.(check int) "same ticks" (ticks r1) (ticks r2);
   Alcotest.(check (float 1e-12)) "same factor" r1.Engine.factor r2.Engine.factor
 
+(* ---- bounded-memory tracing and metrics -------------------------- *)
+
+let test_ring_sink_bounds_aborted_run () =
+  (* Acceptance case for the trace-memory fix: a 1000-machine run that
+     hits the safety cap keeps only O(ring capacity) points in memory,
+     while aggregates and the retained window stay exact — verified
+     against the identical run with the full in-memory sink. *)
+  let params =
+    {
+      (Params.default ~nodes:1000 ~tasks:20_000) with
+      Params.max_ticks_factor = 1;
+    }
+  in
+  let full = Engine.run ~sink:Trace.Memory params Engine.no_strategy in
+  let ring = Engine.run ~sink:(Trace.Ring 6) params Engine.no_strategy in
+  (match ring.Engine.outcome with
+  | Engine.Aborted _ -> ()
+  | Engine.Finished _ -> Alcotest.fail "run must hit the cap");
+  Alcotest.(check int) "same ticks" (ticks full) (ticks ring);
+  let fp = Trace.points full.Engine.trace in
+  let rp = Trace.points ring.Engine.trace in
+  Alcotest.(check int) "full sink kept every tick" (ticks full)
+    (Array.length fp);
+  Alcotest.(check int) "ring holds exactly its capacity" 6 (Array.length rp);
+  Alcotest.(check int) "every tick still counted" (ticks full)
+    (Trace.recorded ring.Engine.trace);
+  (* the retained window is the newest suffix of the full series *)
+  let off = Array.length fp - 6 in
+  Array.iteri
+    (fun i p ->
+      if p <> fp.(off + i) then Alcotest.failf "window point %d differs" i)
+    rp;
+  Alcotest.(check (float 1e-12)) "mean exact despite eviction"
+    full.Engine.work_per_tick ring.Engine.work_per_tick
+
+let test_metrics_do_not_perturb () =
+  (* Instrumentation must not touch the simulation PRNG: a metrics-on
+     run is bit-identical to the plain one. *)
+  let params = { base with Params.churn_rate = 0.05 } in
+  let plain = Engine.run ~metrics:false params Engine.no_strategy in
+  let timed = Engine.run ~metrics:true params Engine.no_strategy in
+  Alcotest.(check int) "same ticks" (ticks plain) (ticks timed);
+  Alcotest.(check (float 1e-12)) "same factor" plain.Engine.factor
+    timed.Engine.factor;
+  Alcotest.(check int) "same messages"
+    (Messages.total plain.Engine.messages)
+    (Messages.total timed.Engine.messages);
+  Alcotest.(check bool) "plain report disabled" false
+    plain.Engine.metrics.Metrics.enabled;
+  let m = timed.Engine.metrics in
+  Alcotest.(check bool) "timed report enabled" true m.Metrics.enabled;
+  Alcotest.(check int) "one metric tick per engine tick" (ticks timed)
+    m.Metrics.ticks;
+  let phases =
+    m.Metrics.decide_s +. m.Metrics.consume_s +. m.Metrics.churn_s
+    +. m.Metrics.check_s +. m.Metrics.trace_s
+  in
+  Alcotest.(check bool) "phases non-negative" true (phases >= 0.0);
+  Alcotest.(check bool) "phases within wall clock" true
+    (phases <= m.Metrics.wall_s +. 1e-3)
+
 (* Conservation across random parameter draws: whatever the strategy,
    churn, heterogeneity or key shape, every inserted task is consumed
    exactly once and the run terminates below the safety cap. *)
@@ -228,6 +289,13 @@ let () =
             test_decision_due_synchronized;
           Alcotest.test_case "work per tick" `Quick test_work_per_tick;
           Alcotest.test_case "run_state = run" `Quick test_run_state_equals_run;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "ring sink bounds aborted run" `Quick
+            test_ring_sink_bounds_aborted_run;
+          Alcotest.test_case "metrics do not perturb" `Quick
+            test_metrics_do_not_perturb;
         ] );
       ("properties", [ prop_conservation ]);
     ]

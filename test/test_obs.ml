@@ -1,0 +1,88 @@
+(* Observability primitives: the bounded ring buffer and phase metrics. *)
+
+let test_ring_basic () =
+  let rb = Ring_buffer.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Ring_buffer.length rb);
+  Ring_buffer.push rb 1;
+  Ring_buffer.push rb 2;
+  Alcotest.(check bool) "partial fill" true (Ring_buffer.to_array rb = [| 1; 2 |]);
+  Ring_buffer.push rb 3;
+  Ring_buffer.push rb 4;
+  (* oldest evicted, order preserved *)
+  Alcotest.(check bool) "window" true (Ring_buffer.to_array rb = [| 2; 3; 4 |]);
+  Alcotest.(check int) "length capped" 3 (Ring_buffer.length rb);
+  Alcotest.(check int) "total pushes" 4 (Ring_buffer.pushed rb);
+  Alcotest.(check int) "capacity" 3 (Ring_buffer.capacity rb)
+
+let test_ring_wraparound () =
+  let rb = Ring_buffer.create ~capacity:5 in
+  for i = 1 to 1000 do
+    Ring_buffer.push rb i
+  done;
+  Alcotest.(check bool) "last five" true
+    (Ring_buffer.to_array rb = [| 996; 997; 998; 999; 1000 |]);
+  let seen = ref [] in
+  Ring_buffer.iter (fun x -> seen := x :: !seen) rb;
+  Alcotest.(check bool) "iter oldest first" true
+    (List.rev !seen = [ 996; 997; 998; 999; 1000 ])
+
+let test_ring_rejects () =
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (try
+       ignore (Ring_buffer.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_disabled_is_inert () =
+  let m = Metrics.create ~enabled:false () in
+  Alcotest.(check bool) "disabled" false (Metrics.enabled m);
+  let mark = Metrics.start m in
+  Alcotest.(check (float 0.0)) "start returns 0" 0.0 mark;
+  let mark = Metrics.lap m Metrics.Decide mark in
+  Alcotest.(check (float 0.0)) "lap returns 0" 0.0 mark;
+  Metrics.tick m;
+  let r = Metrics.report m in
+  Alcotest.(check bool) "report disabled" false r.Metrics.enabled;
+  Alcotest.(check (float 0.0)) "no wall time" 0.0 r.Metrics.wall_s;
+  Alcotest.(check (float 0.0)) "no decide time" 0.0 r.Metrics.decide_s
+
+let test_metrics_accumulates () =
+  let m = Metrics.create ~enabled:true () in
+  Metrics.add m Metrics.Decide 0.5;
+  Metrics.add m Metrics.Decide 0.25;
+  Metrics.add m Metrics.Churn 1.0;
+  Metrics.tick m;
+  Metrics.tick m;
+  let r = Metrics.report m in
+  Alcotest.(check bool) "enabled" true r.Metrics.enabled;
+  Alcotest.(check int) "ticks" 2 r.Metrics.ticks;
+  Alcotest.(check (float 1e-9)) "decide summed" 0.75 r.Metrics.decide_s;
+  Alcotest.(check (float 1e-9)) "churn" 1.0 r.Metrics.churn_s;
+  Alcotest.(check (float 1e-9)) "consume untouched" 0.0 r.Metrics.consume_s;
+  Alcotest.(check bool) "wall clock moved" true (r.Metrics.wall_s >= 0.0)
+
+let test_metrics_lap_chain () =
+  let m = Metrics.create ~enabled:true () in
+  let t0 = Metrics.start m in
+  Alcotest.(check bool) "start is a timestamp" true (t0 > 0.0);
+  let t1 = Metrics.lap m Metrics.Consume t0 in
+  Alcotest.(check bool) "fresh mark" true (t1 >= t0);
+  let r = Metrics.report m in
+  Alcotest.(check bool) "charged" true (r.Metrics.consume_s >= 0.0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring-buffer",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "rejects" `Quick test_ring_rejects;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled inert" `Quick test_metrics_disabled_is_inert;
+          Alcotest.test_case "accumulates" `Quick test_metrics_accumulates;
+          Alcotest.test_case "lap chain" `Quick test_metrics_lap_chain;
+        ] );
+    ]

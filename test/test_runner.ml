@@ -39,6 +39,53 @@ let test_pp () =
   Alcotest.(check bool) "mentions trials" true
     (String.length s > 10)
 
+(* ---- finished-only means ----------------------------------------- *)
+
+let test_all_finished_means_coincide () =
+  let a = Runner.run_trials ~trials:4 base (Strategy.make Strategy.No_strategy) in
+  Alcotest.(check int) "all finished" 4 a.Runner.finished;
+  Alcotest.(check (float 1e-12)) "factor means coincide" a.Runner.mean_factor
+    a.Runner.mean_factor_finished;
+  Alcotest.(check (float 1e-12)) "tick means coincide" a.Runner.mean_ticks
+    a.Runner.mean_ticks_finished
+
+let test_all_aborted_means_nan () =
+  (* cap = ideal: the baseline's peak workload always exceeds the mean,
+     so every trial aborts and the finished-only means are undefined *)
+  let params = { base with Params.max_ticks_factor = 1 } in
+  let a = Runner.run_trials ~trials:3 params (Strategy.make Strategy.No_strategy) in
+  Alcotest.(check int) "all aborted" 3 a.Runner.aborted;
+  Alcotest.(check int) "none finished" 0 a.Runner.finished;
+  Alcotest.(check bool) "factor nan" true
+    (Float.is_nan a.Runner.mean_factor_finished);
+  Alcotest.(check bool) "ticks nan" true
+    (Float.is_nan a.Runner.mean_ticks_finished)
+
+let test_mixed_outcomes_not_flattened () =
+  (* Find a cap that splits the trial pool, then check the finished-only
+     means exclude the capped trials instead of folding them in at the
+     cap (the bug this field fixes). *)
+  let rec split factor =
+    if factor > 6 then Alcotest.fail "no splitting cap found"
+    else
+      let params = { base with Params.max_ticks_factor = factor } in
+      let a =
+        Runner.run_trials ~trials:10 params (Strategy.make Strategy.No_strategy)
+      in
+      if a.Runner.aborted > 0 && a.Runner.finished > 0 then (params, a)
+      else split (factor + 1)
+  in
+  let params, a = split 2 in
+  let cap = float_of_int (params.Params.max_ticks_factor * 10) in
+  Alcotest.(check int) "partition" 10 (a.Runner.finished + a.Runner.aborted);
+  Alcotest.(check bool) "finished trials beat the cap" true
+    (a.Runner.mean_ticks_finished <= cap);
+  (* aborted trials enter the mixed mean at the cap, dragging it up *)
+  Alcotest.(check bool) "mixed mean >= finished-only mean" true
+    (a.Runner.mean_ticks >= a.Runner.mean_ticks_finished);
+  Alcotest.(check bool) "factor likewise" true
+    (a.Runner.mean_factor >= a.Runner.mean_factor_finished)
+
 let test_parallel_matches_sequential () =
   let seq = Runner.factors ~trials:6 base (Strategy.make Strategy.No_strategy) in
   let par =
@@ -108,6 +155,15 @@ let () =
           Alcotest.test_case "factors deterministic" `Quick test_factors_deterministic;
           Alcotest.test_case "zero trials rejected" `Quick test_rejects_zero_trials;
           Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "finished-only",
+        [
+          Alcotest.test_case "all finished coincide" `Quick
+            test_all_finished_means_coincide;
+          Alcotest.test_case "all aborted are nan" `Quick
+            test_all_aborted_means_nan;
+          Alcotest.test_case "mixed outcomes not flattened" `Quick
+            test_mixed_outcomes_not_flattened;
         ] );
       ( "parallel",
         [

@@ -227,6 +227,85 @@ let test_failed_arc_memory () =
   done;
   Alcotest.(check bool) "aged out" false (State.arc_recently_failed s 0 arc)
 
+(* ---- message-accounting regressions (docs/TESTING.md) ------------ *)
+
+let ids = List.map Id.of_int
+
+let test_fail_last_node_charges_nothing () =
+  (* The ring's last key-holding vnode refuses the departure: the
+     machine survives and recovers nothing, so neither handover nor
+     replica-recovery traffic may be charged. *)
+  let params = Params.default ~nodes:1 ~tasks:3 in
+  let s =
+    State.For_testing.build ~params
+      ~machines:[| (1, ids [ 100 ]) |]
+      ~keys:(ids [ 1; 2; 3 ])
+  in
+  State.fail_phys s 0;
+  let m = Dht.messages s.State.dht in
+  Alcotest.(check bool) "still active" true s.State.phys.(0).State.active;
+  Alcotest.(check int) "no recovery traffic" 0 m.Messages.key_transfers;
+  Alcotest.(check int) "keys kept" 3 (State.remaining_tasks s);
+  State.check_invariants s
+
+let test_fail_charges_when_departed () =
+  (* m0 owns the wrap arc (200, 100]: keys 90 and 95.  An actual death
+     costs one handover transfer per key (Dht.leave) plus one recovery
+     fetch per key (fail_phys). *)
+  let params = Params.default ~nodes:2 ~tasks:4 in
+  let s =
+    State.For_testing.build ~params
+      ~machines:[| (1, ids [ 100 ]); (1, ids [ 200 ]) |]
+      ~keys:(ids [ 90; 95; 150; 160 ])
+  in
+  let w0 = State.workload_of_phys s 0 in
+  Alcotest.(check int) "m0 holds the wrap keys" 2 w0;
+  State.fail_phys s 0;
+  let m = Dht.messages s.State.dht in
+  Alcotest.(check bool) "departed" false s.State.phys.(0).State.active;
+  Alcotest.(check int) "handover + recovery per lost key" (2 * w0)
+    m.Messages.key_transfers;
+  Alcotest.(check int) "keys conserved" 4 (State.remaining_tasks s);
+  State.check_invariants s
+
+let test_rejoin_occupied_charges_nothing () =
+  (* Pinned identities: the waiting machine's original id (Id.zero for
+     hand-built waiting machines) is already taken, so the rejoin is
+     refused — and a refused rejoin is a free retry, not a billed
+     lookup. *)
+  let params =
+    { (Params.default ~nodes:2 ~tasks:1) with Params.rejoin_fresh_id = false }
+  in
+  let s =
+    State.For_testing.build ~params
+      ~machines:[| (1, [ Id.zero ]); (1, []) |]
+      ~keys:(ids [ 1 ])
+  in
+  State.join_phys s 1;
+  let m = Dht.messages s.State.dht in
+  Alcotest.(check bool) "still waiting" false s.State.phys.(1).State.active;
+  Alcotest.(check int) "no hops billed" 0 m.Messages.lookup_hops;
+  Alcotest.(check int) "no join recorded" 1 m.Messages.joins;
+  State.check_invariants s
+
+let test_rejoin_landed_charges_hops () =
+  (* The id is free: the rejoin lands and is billed the expected hops at
+     the pre-join ring size, exactly as before the fix. *)
+  let params =
+    { (Params.default ~nodes:2 ~tasks:1) with Params.rejoin_fresh_id = false }
+  in
+  let s =
+    State.For_testing.build ~params
+      ~machines:[| (1, ids [ 100 ]); (1, []) |]
+      ~keys:(ids [ 1 ])
+  in
+  let expect = int_of_float (ceil (Routing.expected_hops 2)) in
+  State.join_phys s 1;
+  let m = Dht.messages s.State.dht in
+  Alcotest.(check bool) "joined" true s.State.phys.(1).State.active;
+  Alcotest.(check int) "hops billed once" expect m.Messages.lookup_hops;
+  State.check_invariants s
+
 let () =
   Alcotest.run "state"
     [
@@ -253,5 +332,16 @@ let () =
           Alcotest.test_case "snapshot" `Quick test_snapshot;
           Alcotest.test_case "initial strengths" `Quick test_strengths_of_initial;
           Alcotest.test_case "failed-arc memory" `Quick test_failed_arc_memory;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "fail: last node charges nothing" `Quick
+            test_fail_last_node_charges_nothing;
+          Alcotest.test_case "fail: departure charges recovery" `Quick
+            test_fail_charges_when_departed;
+          Alcotest.test_case "rejoin: occupied charges nothing" `Quick
+            test_rejoin_occupied_charges_nothing;
+          Alcotest.test_case "rejoin: landed charges hops" `Quick
+            test_rejoin_landed_charges_hops;
         ] );
     ]

@@ -1,16 +1,21 @@
-(* Trace recording and snapshot capture. *)
+(* Trace recording, snapshot capture, and the pluggable sinks. *)
 
 let point tick work_done remaining =
   { Trace.tick; work_done; remaining; active_nodes = 10; vnodes = 10 }
 
+(* Tests that assert on retained points pin the Memory sink so they stay
+   valid even when the suite runs under DHTLB_TRACE_OUT. *)
+let memory_trace snapshot_at = Trace.create ~sink:Trace.Memory ~snapshot_at ()
+
 let test_empty () =
-  let t = Trace.create ~snapshot_at:[] in
+  let t = memory_trace [] in
   Alcotest.(check int) "no points" 0 (Array.length (Trace.points t));
+  Alcotest.(check int) "none recorded" 0 (Trace.recorded t);
   Alcotest.(check bool) "no snapshots" true (Trace.snapshots t = []);
   Alcotest.(check (float 0.0)) "mean 0" 0.0 (Trace.work_per_tick_mean t)
 
 let test_record_order () =
-  let t = Trace.create ~snapshot_at:[] in
+  let t = memory_trace [] in
   Trace.record t (point 0 5 95);
   Trace.record t (point 1 7 88);
   Trace.record t (point 2 3 85);
@@ -21,7 +26,7 @@ let test_record_order () =
   Alcotest.(check (float 1e-9)) "mean" 5.0 (Trace.work_per_tick_mean t)
 
 let test_snapshot_capture () =
-  let t = Trace.create ~snapshot_at:[ 0; 2 ] in
+  let t = memory_trace [ 0; 2 ] in
   let state = State.create (Params.default ~nodes:10 ~tasks:50) in
   Trace.maybe_snapshot t state;
   (* not requested at tick 1 *)
@@ -37,11 +42,108 @@ let test_snapshot_capture () =
   Alcotest.(check bool) "tick 1 absent" true (Trace.snapshot_at_tick t 1 = None)
 
 let test_snapshot_once () =
-  let t = Trace.create ~snapshot_at:[ 0 ] in
+  let t = memory_trace [ 0 ] in
   let state = State.create (Params.default ~nodes:5 ~tasks:10) in
   Trace.maybe_snapshot t state;
   Trace.maybe_snapshot t state;
   Alcotest.(check int) "captured once" 1 (List.length (Trace.snapshots t))
+
+let test_snapshot_skipped_ticks () =
+  (* A requested tick the state jumps over must not wedge the cursor. *)
+  let t = memory_trace [ 1; 3 ] in
+  let state = State.create (Params.default ~nodes:5 ~tasks:10) in
+  State.advance_tick state;
+  State.advance_tick state;
+  (* tick 2: request for 1 is already in the past *)
+  Trace.maybe_snapshot t state;
+  State.advance_tick state;
+  Trace.maybe_snapshot t state;
+  Alcotest.(check (list int))
+    "only tick 3" [ 3 ]
+    (List.map fst (Trace.snapshots t))
+
+(* --- sinks --- *)
+
+let test_sink_of_string () =
+  let ok s expect =
+    match Trace.sink_of_string s with
+    | Ok sink -> Alcotest.(check bool) s true (sink = expect)
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+  in
+  ok "memory" Trace.Memory;
+  ok "null" Trace.Null;
+  ok "ring:16" (Trace.Ring 16);
+  ok "csv:/tmp/x.csv" (Trace.Csv_file "/tmp/x.csv");
+  ok "jsonl:/tmp/x.jsonl" (Trace.Jsonl_file "/tmp/x.jsonl");
+  let bad s =
+    match Trace.sink_of_string s with
+    | Ok _ -> Alcotest.failf "%s accepted" s
+    | Error _ -> ()
+  in
+  bad "ring:0";
+  bad "ring:-3";
+  bad "ring:abc";
+  bad "bogus";
+  bad ""
+
+let test_ring_bounded () =
+  let t = Trace.create ~sink:(Trace.Ring 4) ~snapshot_at:[] () in
+  for i = 0 to 99 do
+    Trace.record t (point i 1 (100 - i))
+  done;
+  let pts = Trace.points t in
+  Alcotest.(check int) "window size" 4 (Array.length pts);
+  Alcotest.(check int) "oldest retained" 96 pts.(0).Trace.tick;
+  Alcotest.(check int) "newest retained" 99 pts.(3).Trace.tick;
+  Alcotest.(check int) "all recorded" 100 (Trace.recorded t);
+  (* the mean covers every recorded point, not just the window *)
+  Alcotest.(check (float 1e-9)) "exact mean" 1.0 (Trace.work_per_tick_mean t)
+
+let test_null_aggregates () =
+  let t = Trace.create ~sink:Trace.Null ~snapshot_at:[] () in
+  Trace.record t (point 0 2 8);
+  Trace.record t (point 1 4 4);
+  Alcotest.(check int) "nothing retained" 0 (Array.length (Trace.points t));
+  Alcotest.(check int) "recorded" 2 (Trace.recorded t);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Trace.work_per_tick_mean t)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_csv_stream_matches_export () =
+  (* The streaming CSV sink must reproduce Export.trace_csv byte for
+     byte, so downstream tooling can consume either. *)
+  let pts = [ point 0 5 95; point 1 7 88; point 2 3 85 ] in
+  let mem = memory_trace [] in
+  List.iter (Trace.record mem) pts;
+  let path = Filename.temp_file "dhtlb_trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let t = Trace.create ~sink:(Trace.Csv_file path) ~snapshot_at:[] () in
+      List.iter (Trace.record t) pts;
+      Trace.close t;
+      Trace.close t;
+      (* idempotent *)
+      Alcotest.(check string)
+        "same bytes" (Export.trace_csv mem) (read_file path))
+
+let test_jsonl_stream () =
+  let path = Filename.temp_file "dhtlb_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let t = Trace.create ~sink:(Trace.Jsonl_file path) ~snapshot_at:[] () in
+      Trace.record t (point 3 7 11);
+      Trace.close t;
+      Alcotest.(check string)
+        "one object per line"
+        "{\"tick\":3,\"work_done\":7,\"remaining\":11,\"active_nodes\":10,\"vnodes\":10}\n"
+        (read_file path))
 
 let () =
   Alcotest.run "trace"
@@ -52,5 +154,16 @@ let () =
           Alcotest.test_case "record order" `Quick test_record_order;
           Alcotest.test_case "snapshot capture" `Quick test_snapshot_capture;
           Alcotest.test_case "snapshot once" `Quick test_snapshot_once;
+          Alcotest.test_case "snapshot skipped ticks" `Quick
+            test_snapshot_skipped_ticks;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "sink_of_string" `Quick test_sink_of_string;
+          Alcotest.test_case "ring bounded" `Quick test_ring_bounded;
+          Alcotest.test_case "null aggregates" `Quick test_null_aggregates;
+          Alcotest.test_case "csv matches export" `Quick
+            test_csv_stream_matches_export;
+          Alcotest.test_case "jsonl stream" `Quick test_jsonl_stream;
         ] );
     ]
