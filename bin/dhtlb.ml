@@ -144,10 +144,27 @@ let zipf_t =
     & info [ "zipf-s" ] ~docv:"S"
         ~doc:"Zipf exponent for hotspot popularity (with --hotspots).")
 
+let faults_t =
+  let parse s =
+    match Faults.of_string s with Ok t -> Ok t | Error e -> Error (`Msg e)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Faults.pp)) Faults.none
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault plan: comma-separated clauses among $(b,drop=P) \
+           (control-plane reply loss probability), \
+           $(b,crash=COUNT@TICK+...) (crash bursts), $(b,straggle=N) \
+           (straggler machines, with $(b,straggle-delay=T)), \
+           $(b,retry-budget=N), $(b,backoff=BASE:CAP) and \
+           $(b,partition=START-STOP); or $(b,off).  Example: \
+           $(b,--faults drop=0.1,crash=5\\@200,straggle=3).")
+
 let params_t =
   let build nodes tasks churn failures threshold max_sybils successors hetero
       strength_work period no_stagger invite_factor median_split avoid_repeats
-      hotspots spread zipf_s seed =
+      hotspots spread zipf_s faults seed =
     {
       (Params.default ~nodes ~tasks) with
       Params.churn_rate = churn;
@@ -167,6 +184,7 @@ let params_t =
         (match hotspots with
         | Some h -> Params.Clustered { hotspots = h; spread; zipf_s }
         | None -> Params.Uniform_sha1);
+      faults;
       seed;
     }
   in
@@ -174,7 +192,7 @@ let params_t =
     const build $ nodes_t $ tasks_t $ churn_t $ failure_t $ threshold_t
     $ max_sybils_t $ successors_t $ hetero_t $ strength_work_t $ period_t
     $ no_stagger_t $ invite_factor_t $ median_split_t $ avoid_repeats_t
-    $ clustered_t $ spread_t $ zipf_t $ seed_t)
+    $ clustered_t $ spread_t $ zipf_t $ faults_t $ seed_t)
 
 (* ---------------------------------------------------------------- *)
 (* Commands                                                           *)
@@ -507,6 +525,19 @@ let compare_cmd =
        ~doc:"All strategies head-to-head on one network configuration.")
     Term.(const run $ params_t $ trials_t $ domains_t)
 
+let degrade_cmd =
+  Cmd.v
+    (Cmd.info "degrade"
+       ~doc:
+         "Graceful degradation: runtime factor per strategy as the \
+          control-plane message drop rate climbs.")
+    Term.(
+      const (fun trials seed csv ->
+          let cells = Degradation.run ~trials ~seed () in
+          print_string (Degradation.print_table cells);
+          maybe_csv csv (Export.degradation_csv cells))
+      $ trials_t $ seed_t $ csv_t)
+
 let maintenance_cmd =
   print_cmd "maintenance"
     "Stabilization cost under churn (paper footnote 2)." (fun seed ->
@@ -533,6 +564,7 @@ let main_cmd =
       ablate_cmd;
       messages_cmd;
       compare_cmd;
+      degrade_cmd;
       maintenance_cmd;
       failures_cmd;
       hops_cmd;

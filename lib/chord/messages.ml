@@ -6,6 +6,8 @@ type t = {
   mutable invitations : int;
   mutable lookup_hops : int;
   mutable maintenance : int;
+  mutable dropped : int;
+  mutable retries : int;
 }
 
 let create () =
@@ -17,6 +19,8 @@ let create () =
     invitations = 0;
     lookup_hops = 0;
     maintenance = 0;
+    dropped = 0;
+    retries = 0;
   }
 
 let reset t =
@@ -26,8 +30,14 @@ let reset t =
   t.workload_queries <- 0;
   t.invitations <- 0;
   t.lookup_hops <- 0;
-  t.maintenance <- 0
+  t.maintenance <- 0;
+  t.dropped <- 0;
+  t.retries <- 0
 
+(* [dropped]/[retries] stay out of the total: a dropped message was
+   already counted in its own category when it was sent, and a retry's
+   re-sent messages are charged again at the re-send — adding either
+   here would double-count bandwidth. *)
 let total t =
   t.joins + t.leaves + t.key_transfers + t.workload_queries + t.invitations
   + t.lookup_hops + t.maintenance
@@ -39,11 +49,15 @@ let add acc d =
   acc.workload_queries <- acc.workload_queries + d.workload_queries;
   acc.invitations <- acc.invitations + d.invitations;
   acc.lookup_hops <- acc.lookup_hops + d.lookup_hops;
-  acc.maintenance <- acc.maintenance + d.maintenance
+  acc.maintenance <- acc.maintenance + d.maintenance;
+  acc.dropped <- acc.dropped + d.dropped;
+  acc.retries <- acc.retries + d.retries
 
 let pp ppf t =
   Format.fprintf ppf
     "joins=%d leaves=%d key_transfers=%d queries=%d invitations=%d \
      lookup_hops=%d maintenance=%d total=%d"
     t.joins t.leaves t.key_transfers t.workload_queries t.invitations
-    t.lookup_hops t.maintenance (total t)
+    t.lookup_hops t.maintenance (total t);
+  if t.dropped > 0 || t.retries > 0 then
+    Format.fprintf ppf " dropped=%d retries=%d" t.dropped t.retries

@@ -14,11 +14,21 @@ type t = {
   mutable invitations : int;  (** overloaded-node help announcements *)
   mutable lookup_hops : int;  (** routing hops for joins/injections *)
   mutable maintenance : int;  (** periodic successor-list pings *)
+  mutable dropped : int;
+      (** control messages lost to a fault plan (drops / partitions) *)
+  mutable retries : int;
+      (** query rounds re-sent after a fault-plan timeout *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+
 val total : t -> int
+(** Total messages {e sent}.  [dropped] and [retries] are diagnostic
+    counters, not additional traffic: a dropped message was counted in
+    its own category when sent, and a retry's re-sent messages are
+    charged again at the re-send — so neither is summed here. *)
+
 val add : t -> t -> unit
 (** [add acc delta] accumulates [delta] into [acc]. *)
 

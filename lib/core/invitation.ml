@@ -44,7 +44,10 @@ let decide (state : State.t) =
   let messages = Dht.messages state.State.dht in
   Array.iter
     (fun (p : State.phys) ->
-      if p.State.active && Decision.due state p then begin
+      if
+        p.State.active && State.can_decide state p.State.pid
+        && Decision.due state p
+      then begin
         let pid = p.State.pid in
         let w = State.workload_of_phys state pid in
         if Random_injection.should_retire ~workload:w ~sybils:(State.sybil_count state pid)
@@ -64,10 +67,29 @@ let decide (state : State.t) =
                 (Dht.k_predecessors state.State.dht inviter_id k)
             in
             (* One announcement reaches k predecessors; each replies with
-               its workload. *)
+               its workload.  Under a fault plan the round-trip to a
+               predecessor can be lost (one outcome draw per predecessor,
+               nearest first — mirrored by the oracle): a dropped
+               predecessor never replies, so it is neither charged a
+               workload query nor considered as a helper.  A straggler's
+               late reply still lands before the next decision period, so
+               [`Delayed] counts as heard.  If every round-trip drops the
+               invitation is a no-op and the still-overloaded machine
+               simply re-announces at its next decision. *)
             messages.Messages.invitations <- messages.Messages.invitations + k;
+            let heard =
+              List.filter
+                (fun (vn : State.payload Dht.vnode) ->
+                  match
+                    State.reply_outcome state
+                      ~from_pid:vn.Dht.payload.State.owner
+                  with
+                  | `Ok | `Delayed -> true
+                  | `Dropped -> false)
+                preds
+            in
             messages.Messages.workload_queries <-
-              messages.Messages.workload_queries + List.length preds;
+              messages.Messages.workload_queries + List.length heard;
             let candidates =
               List.filter
                 (fun (vn : State.payload Dht.vnode) ->
@@ -75,7 +97,7 @@ let decide (state : State.t) =
                   State.workload_of_phys state hpid <= threshold
                   && State.sybil_count state hpid
                      < State.sybil_capacity state hpid)
-                preds
+                heard
             in
             let helper =
               choose_helper

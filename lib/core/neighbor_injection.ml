@@ -49,56 +49,126 @@ let pick_estimate state pid candidates =
   in
   pick_widest usable
 
-let pick_smart state candidates =
+(* One smart query round: a workload query is {e sent} to every candidate
+   (charged whether or not its reply makes it back), then one reply
+   outcome is drawn per candidate {e in candidate order} — the oracle
+   replays exactly this draw sequence.  The round succeeds only when
+   every reply arrives within the decision tick: a dropped reply (or a
+   straggler's late one, unless [straggle_delay = 0]) leaves the picture
+   incomplete, and picking "the heaviest of those who answered" would
+   silently bias toward responsive nodes.  Under {!Faults.none} every
+   outcome is [`Ok] with no draws, so this is the pre-fault rule. *)
+let query_round state candidates =
   match candidates with
-  | [] -> None
+  | [] -> `Answered None
   | _ ->
     let messages = Dht.messages state.State.dht in
     messages.Messages.workload_queries <-
       messages.Messages.workload_queries + List.length candidates;
-    pick_heaviest
-      ~load:(fun (_, (vn : State.payload Dht.vnode)) -> Id_set.cardinal vn.Dht.keys)
-      candidates
+    let delay = state.State.params.Params.faults.Faults.straggle_delay in
+    let all_in =
+      List.fold_left
+        (fun acc (_, (vn : State.payload Dht.vnode)) ->
+          (* Evaluate every reply even after a miss: the queries were all
+             sent in parallel, so every candidate consumes its draw. *)
+          match State.reply_outcome state ~from_pid:vn.Dht.payload.State.owner with
+          | `Ok -> acc
+          | `Delayed -> acc && delay = 0
+          | `Dropped -> false)
+        true candidates
+    in
+    if all_in then
+      `Answered
+        (pick_heaviest
+           ~load:(fun (_, (vn : State.payload Dht.vnode)) ->
+             Id_set.cardinal vn.Dht.keys)
+           candidates)
+    else `Timed_out
+
+(* Inject at the chosen arc's midpoint, with the avoid_repeats memory. *)
+let place state pid chosen =
+  match chosen with
+  | None -> ()
+  | Some (arc, _) ->
+    let sybil_id = Interval.midpoint arc in
+    if State.create_sybil state pid sybil_id then begin
+      if
+        state.State.params.Params.avoid_repeats
+        && Dht.workload state.State.dht sybil_id = 0
+      then State.note_failed_arc state pid arc
+    end
+    else if state.State.params.Params.avoid_repeats then
+      State.note_failed_arc state pid arc
+
+(* A due smart retry.  The machine re-checks that it still wants a Sybil
+   (work may have arrived while it waited out the backoff), re-sends the
+   query round — charged as [retries] plus the queries themselves — and
+   on budget exhaustion falls back to the dumb estimate rule {e the same
+   tick}: a zero-message decision needs no replies, so it is the natural
+   degraded mode.  No retirement here: retirement belongs to the regular
+   decision cadence. *)
+let retry_step (state : State.t) (p : State.phys) =
+  let pid = p.State.pid in
+  let threshold = state.State.params.Params.sybil_threshold in
+  let still_wants =
+    Random_injection.should_inject
+      ~workload:(State.workload_of_phys state pid)
+      ~threshold
+      ~sybils:(State.sybil_count state pid)
+      ~capacity:(State.sybil_capacity state pid)
+  in
+  if not still_wants then State.clear_smart_retry state pid
+  else
+    match p.State.vnodes with
+    | [] -> State.clear_smart_retry state pid
+    | self_id :: _ -> (
+      let candidates = successor_arcs state pid self_id in
+      State.charge_retry state;
+      match query_round state candidates with
+      | `Answered chosen ->
+        State.clear_smart_retry state pid;
+        place state pid chosen
+      | `Timed_out ->
+        if State.note_query_timeout state pid then
+          place state pid (pick_estimate state pid candidates))
 
 let decide variant (state : State.t) =
   let threshold = state.State.params.Params.sybil_threshold in
   Array.iter
     (fun (p : State.phys) ->
-      if p.State.active && Decision.due state p then begin
-        let pid = p.State.pid in
-        let w = State.workload_of_phys state pid in
-        (* Same Sybil lifecycle as random injection: fruitless Sybils
-           quit, then the node may target a new successor arc at once. *)
-        if
-          Random_injection.should_retire ~workload:w
-            ~sybils:(State.sybil_count state pid)
-        then State.retire_sybils state pid;
-        if
-          Random_injection.should_inject ~workload:w ~threshold
-            ~sybils:(State.sybil_count state pid)
-            ~capacity:(State.sybil_capacity state pid)
-        then begin
-          match p.State.vnodes with
-          | [] -> ()
-          | self_id :: _ ->
-            let candidates = successor_arcs state pid self_id in
-            let chosen =
+      let pid = p.State.pid in
+      if p.State.active && State.can_decide state pid then begin
+        if variant = Smart && State.retry_pending state pid then begin
+          (* An in-flight retry suppresses the regular decision cadence
+             until it fires or is abandoned. *)
+          if State.retry_due state pid then retry_step state p
+        end
+        else if Decision.due state p then begin
+          let w = State.workload_of_phys state pid in
+          (* Same Sybil lifecycle as random injection: fruitless Sybils
+             quit, then the node may target a new successor arc at once. *)
+          if
+            Random_injection.should_retire ~workload:w
+              ~sybils:(State.sybil_count state pid)
+          then State.retire_sybils state pid;
+          if
+            Random_injection.should_inject ~workload:w ~threshold
+              ~sybils:(State.sybil_count state pid)
+              ~capacity:(State.sybil_capacity state pid)
+          then begin
+            match p.State.vnodes with
+            | [] -> ()
+            | self_id :: _ -> (
+              let candidates = successor_arcs state pid self_id in
               match variant with
-              | Estimate -> pick_estimate state pid candidates
-              | Smart -> pick_smart state candidates
-            in
-            (match chosen with
-            | None -> ()
-            | Some (arc, _) ->
-              let sybil_id = Interval.midpoint arc in
-              if State.create_sybil state pid sybil_id then begin
-                if
-                  state.State.params.Params.avoid_repeats
-                  && Dht.workload state.State.dht sybil_id = 0
-                then State.note_failed_arc state pid arc
-              end
-              else if state.State.params.Params.avoid_repeats then
-                State.note_failed_arc state pid arc)
+              | Estimate -> place state pid (pick_estimate state pid candidates)
+              | Smart -> (
+                match query_round state candidates with
+                | `Answered chosen -> place state pid chosen
+                | `Timed_out ->
+                  if State.note_query_timeout state pid then
+                    place state pid (pick_estimate state pid candidates)))
+          end
         end
       end)
     state.State.phys

@@ -10,7 +10,16 @@
     With [params.avoid_repeats] set, a machine remembers arcs where a
     Sybil acquired nothing and skips them on later decisions — the
     refinement §IV-C suggests to break the "constantly checking the
-    largest gap" loop. *)
+    largest gap" loop.
+
+    Under a fault plan ({!Faults.t}) the Smart variant degrades
+    gracefully: a query round times out when any reply is dropped or
+    straggles past the tick, the machine retries after
+    {!Faults.backoff} ticks (suppressing its regular decisions while it
+    waits), and when [retry_budget] is exhausted it falls back to the
+    zero-message {!Estimate} rule — same arc the dumb rule would pick —
+    that same tick.  The Estimate variant never sends queries, so only
+    the partition gate ({!State.can_decide}) affects it. *)
 
 type variant = Estimate | Smart
 

@@ -9,7 +9,10 @@ let decide (state : State.t) =
   let threshold = state.State.params.Params.sybil_threshold in
   Array.iter
     (fun (p : State.phys) ->
-      if p.State.active && Decision.due state p then begin
+      if
+        p.State.active && State.can_decide state p.State.pid
+        && Decision.due state p
+      then begin
         let pid = p.State.pid in
         let w = State.workload_of_phys state pid in
         (* Sybils that acquired nothing quit first (freeing their ring

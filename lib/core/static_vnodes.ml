@@ -4,7 +4,10 @@ let decide (state : State.t) =
      strategy is inert. *)
   Array.iter
     (fun (p : State.phys) ->
-      if p.State.active && Decision.due state p then begin
+      if
+        p.State.active && State.can_decide state p.State.pid
+        && Decision.due state p
+      then begin
         let pid = p.State.pid in
         let want = State.sybil_capacity state pid - State.sybil_count state pid in
         for _ = 1 to want do

@@ -62,7 +62,10 @@ let decide (state : State.t) =
   let threshold = float_of_int params.Params.sybil_threshold in
   Array.iter
     (fun (p : State.phys) ->
-      if p.State.active && Decision.due state p then begin
+      if
+        p.State.active && State.can_decide state p.State.pid
+        && Decision.due state p
+      then begin
         let pid = p.State.pid in
         let w = State.workload_of_phys state pid in
         if Random_injection.should_retire ~workload:w ~sybils:(State.sybil_count state pid)
@@ -79,10 +82,29 @@ let decide (state : State.t) =
           | self_id :: _ ->
             let candidates = successor_arcs state pid self_id in
             let messages = Dht.messages state.State.dht in
+            (* Queries are sent to every candidate (charged), but under a
+               fault plan only the replies that arrive within the tick are
+               usable: one outcome draw per candidate in order, dropped or
+               straggling replies (unless [straggle_delay = 0]) are
+               invisible.  With nothing heard the machine falls back to a
+               random address — same shape as "nothing worth stealing". *)
             messages.Messages.workload_queries <-
               messages.Messages.workload_queries + List.length candidates;
+            let delay = params.Params.faults.Faults.straggle_delay in
+            let heard =
+              List.filter
+                (fun (_, (vn : State.payload Dht.vnode)) ->
+                  match
+                    State.reply_outcome state
+                      ~from_pid:vn.Dht.payload.State.owner
+                  with
+                  | `Ok -> true
+                  | `Delayed -> delay = 0
+                  | `Dropped -> false)
+                candidates
+            in
             let worst =
-              pick_slowest ~drain:(fun (_, vn) -> drain_time_of state vn) candidates
+              pick_slowest ~drain:(fun (_, vn) -> drain_time_of state vn) heard
             in
             let target =
               match worst with

@@ -1,4 +1,4 @@
-let p ?(seed = 42) nodes tasks = { (Params.default ~nodes ~tasks) with Params.seed }
+let p = Harness.p
 
 let section ?trials title rows =
   let buf = Buffer.create 2048 in

@@ -1,0 +1,69 @@
+(* Graceful-degradation sweep: how much runtime factor each strategy
+   loses as control-plane message loss climbs.  Data-plane traffic
+   (joins, key transfers, recovery) stays reliable — see lib/faults — so
+   every cell still terminates and conserves keys; what degrades is the
+   *quality* of placement decisions.  The interesting contrast is
+   zero-message strategies (none, churn, random, neighbor estimate,
+   static-vnodes), which should be flat across the whole row, against
+   the query-driven ones (smart-neighbor, invitation, strength-aware),
+   which pay for every lost reply with retries or a dumber pick. *)
+
+type cell = {
+  drop : float;
+  strategy : Strategy.t;
+  aggregate : Runner.aggregate;
+}
+
+let rates = [ 0.0; 0.05; 0.1; 0.2; 0.5 ]
+
+let plan drop = { Faults.none with Faults.drop }
+
+let run ?(trials = 3) ?(seed = 42) ?(rates = rates) ?(nodes = 100)
+    ?(tasks = 10_000) () =
+  List.concat_map
+    (fun drop ->
+      List.map
+        (fun strategy ->
+          let params =
+            Strategy.default_params strategy
+              {
+                (Harness.p ~seed nodes tasks) with
+                Params.churn_rate = 0.01;
+                failure_rate = 0.005;
+                sybil_threshold = 1;
+                faults = plan drop;
+              }
+          in
+          { drop; strategy; aggregate = Harness.aggregate ~trials params strategy })
+        Strategy.all)
+    rates
+
+let print_table cells =
+  let buf = Buffer.create 2048 in
+  let rates = List.sort_uniq compare (List.map (fun c -> c.drop) cells) in
+  Buffer.add_string buf
+    (Harness.header "Degradation: mean runtime factor vs control-plane drop rate");
+  Buffer.add_string buf (Printf.sprintf "%-18s" "strategy");
+  List.iter
+    (fun r -> Buffer.add_string buf (Printf.sprintf " | p=%-6g" r))
+    rates;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun strategy ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s" (Strategy.name strategy));
+      List.iter
+        (fun rate ->
+          match
+            List.find_opt
+              (fun c -> c.drop = rate && c.strategy = strategy)
+              cells
+          with
+          | Some c ->
+            Buffer.add_string buf
+              (Printf.sprintf " | %8.3f" c.aggregate.Runner.mean_factor)
+          | None -> Buffer.add_string buf (Printf.sprintf " | %8s" "-"))
+        rates;
+      Buffer.add_char buf '\n')
+    Strategy.all;
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Graceful-degradation sweep: runtime factor vs control-plane message
+    loss ({!Faults.t} drop rate), per strategy.
+
+    Message-free strategies are expected to stay flat across the row;
+    query-driven ones (Smart Neighbor, Invitation, Strength-aware) show
+    how far the retry/fallback machinery keeps them from the dumb
+    baseline as replies vanish.  Every cell terminates and conserves
+    keys regardless of drop rate — the fault model only degrades
+    decisions, never the data plane. *)
+
+type cell = {
+  drop : float;
+  strategy : Strategy.t;
+  aggregate : Runner.aggregate;
+}
+
+val rates : float list
+(** Default drop rates: 0, 0.05, 0.1, 0.2, 0.5. *)
+
+val plan : float -> Faults.t
+(** The fault plan a cell runs under: the given drop rate, every other
+    fault axis off, default retry knobs. *)
+
+val run :
+  ?trials:int ->
+  ?seed:int ->
+  ?rates:float list ->
+  ?nodes:int ->
+  ?tasks:int ->
+  unit ->
+  cell list
+(** Defaults: 3 trials, seed 42, 100 nodes, 10k tasks, moderate churn
+    (0.01) and failures (0.005) so recovery traffic is also exposed to
+    the drop rate's indirect effects. *)
+
+val print_table : cell list -> string
+(** Rows = strategies, columns = drop rates, cells = mean factor. *)

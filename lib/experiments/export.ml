@@ -43,6 +43,33 @@ let churn_sweep_csv cells =
          ])
        cells)
 
+let degradation_csv cells =
+  Csv_out.table
+    ~header:
+      [
+        "drop_rate";
+        "strategy";
+        "mean_factor";
+        "stddev_factor";
+        "trials";
+        "aborted";
+        "mean_factor_finished";
+      ]
+    (List.map
+       (fun (c : Degradation.cell) ->
+         let a = c.Degradation.aggregate in
+         [
+           f c.Degradation.drop;
+           Strategy.name c.Degradation.strategy;
+           f a.Runner.mean_factor;
+           f a.Runner.stddev_factor;
+           string_of_int a.Runner.trials;
+           string_of_int a.Runner.aborted;
+           (if a.Runner.finished = 0 then ""
+            else f a.Runner.mean_factor_finished);
+         ])
+       cells)
+
 let lookup_hops_csv rows =
   Csv_out.table
     ~header:[ "nodes"; "lookups"; "mean_hops"; "p99_hops"; "expected" ]
@@ -145,6 +172,8 @@ let messages_json (m : Messages.t) =
       ("invitations", Json_out.Int m.Messages.invitations);
       ("lookup_hops", Json_out.Int m.Messages.lookup_hops);
       ("maintenance", Json_out.Int m.Messages.maintenance);
+      ("dropped", Json_out.Int m.Messages.dropped);
+      ("retries", Json_out.Int m.Messages.retries);
       ("total", Json_out.Int (Messages.total m));
     ]
 

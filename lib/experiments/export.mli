@@ -2,6 +2,7 @@
 
 val table1_csv : Initial_distribution.table1_row list -> string
 val churn_sweep_csv : Churn_sweep.cell list -> string
+val degradation_csv : Degradation.cell list -> string
 val lookup_hops_csv : Lookup_hops.row list -> string
 val maintenance_csv : Maintenance.row list -> string
 val failure_recovery_csv : Failure_recovery.row list -> string

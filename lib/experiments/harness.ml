@@ -1,3 +1,6 @@
+let p ?(seed = 42) nodes tasks =
+  { (Params.default ~nodes ~tasks) with Params.seed }
+
 let aggregate ?trials params strategy =
   Runner.run_trials ?trials ~domains:(Scale.domains ()) params
     (Strategy.make strategy)

@@ -1,4 +1,4 @@
-let p ?(seed = 42) nodes tasks = { (Params.default ~nodes ~tasks) with Params.seed }
+let p = Harness.p
 
 let random_injection ?trials ?(seed = 42) () =
   let buf = Buffer.create 2048 in

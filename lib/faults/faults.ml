@@ -1,0 +1,192 @@
+type burst = { at : int; count : int }
+
+type t = {
+  drop : float;
+  crash_bursts : burst list;
+  stragglers : int;
+  straggle_delay : int;
+  retry_budget : int;
+  backoff_base : int;
+  backoff_cap : int;
+  partition : (int * int) option;
+}
+
+let none =
+  {
+    drop = 0.0;
+    crash_bursts = [];
+    stragglers = 0;
+    straggle_delay = 2;
+    retry_budget = 2;
+    backoff_base = 1;
+    backoff_cap = 8;
+    partition = None;
+  }
+
+let enabled t =
+  t.drop > 0.0 || t.crash_bursts <> [] || t.stragglers > 0
+  || t.partition <> None
+
+let validate t =
+  if not (t.drop >= 0.0 && t.drop <= 1.0) then Error "drop must be in [0, 1]"
+  else if List.exists (fun b -> b.at < 0) t.crash_bursts then
+    Error "crash burst tick must be >= 0"
+  else if List.exists (fun b -> b.count < 1) t.crash_bursts then
+    Error "crash burst count must be >= 1"
+  else if t.stragglers < 0 then Error "stragglers must be >= 0"
+  else if t.straggle_delay < 0 then Error "straggle_delay must be >= 0"
+  else if t.retry_budget < 0 then Error "retry_budget must be >= 0"
+  else if t.backoff_base < 1 then Error "backoff_base must be >= 1"
+  else if t.backoff_cap < t.backoff_base then
+    Error "backoff_cap must be >= backoff_base"
+  else
+    match t.partition with
+    | None -> Ok ()
+    | Some (start, stop) ->
+      if start < 0 then Error "partition start must be >= 0"
+      else if stop <= start then Error "partition window must be non-empty"
+      else Ok ()
+
+(* [1 lsl attempt] overflows past 62; by then the product long exceeded
+   any sane cap, so saturate the shift instead of the caller's cap. *)
+let backoff ~base ~cap ~attempt =
+  if attempt >= 30 then cap else min cap (base * (1 lsl max 0 attempt))
+
+let burst_at t ~tick =
+  List.fold_left
+    (fun acc b -> if b.at = tick then acc + b.count else acc)
+    0 t.crash_bursts
+
+let partition_active t ~tick =
+  match t.partition with
+  | None -> false
+  | Some (start, stop) -> tick >= start && tick < stop
+
+(* Split from the same integer seed as the main stream: a throwaway
+   parent seeded identically feeds one SplitMix64-mixed child.  The
+   child shares no state with the simulation's own [Prng.create seed],
+   so fault draws never perturb the main stream. *)
+let rng ~seed = Prng.split (Prng.create seed)
+
+(* ---- CLI spec ---------------------------------------------------- *)
+
+let to_string t =
+  if not (enabled t) then "off"
+  else begin
+    let buf = Buffer.create 64 in
+    let add fmt =
+      Printf.ksprintf
+        (fun s ->
+          if Buffer.length buf > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf s)
+        fmt
+    in
+    if t.drop > 0.0 then add "drop=%g" t.drop;
+    (match t.crash_bursts with
+    | [] -> ()
+    | bursts ->
+      add "crash=%s"
+        (String.concat "+"
+           (List.map (fun b -> Printf.sprintf "%d@%d" b.count b.at) bursts)));
+    if t.stragglers > 0 then begin
+      add "straggle=%d" t.stragglers;
+      if t.straggle_delay <> none.straggle_delay then
+        add "straggle-delay=%d" t.straggle_delay
+    end;
+    if t.retry_budget <> none.retry_budget then
+      add "retry-budget=%d" t.retry_budget;
+    if t.backoff_base <> none.backoff_base || t.backoff_cap <> none.backoff_cap
+    then add "backoff=%d:%d" t.backoff_base t.backoff_cap;
+    (match t.partition with
+    | None -> ()
+    | Some (start, stop) -> add "partition=%d-%d" start stop);
+    Buffer.contents buf
+  end
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" || String.lowercase_ascii s = "off" then Ok none
+  else begin
+    let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+    let int_of name v =
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name v)
+    in
+    let float_of name v =
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "%s: expected a number, got %S" name v)
+    in
+    let parse_burst spec =
+      match String.index_opt spec '@' with
+      | None -> Error (Printf.sprintf "crash: expected COUNT@TICK, got %S" spec)
+      | Some i ->
+        let* count = int_of "crash count" (String.sub spec 0 i) in
+        let* at =
+          int_of "crash tick"
+            (String.sub spec (i + 1) (String.length spec - i - 1))
+        in
+        Ok { at; count }
+    in
+    let parse_pair acc pair =
+      let* acc = acc in
+      match String.index_opt pair '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" pair)
+      | Some i ->
+        let key = String.lowercase_ascii (String.sub pair 0 i) in
+        let v = String.sub pair (i + 1) (String.length pair - i - 1) in
+        (match key with
+        | "drop" ->
+          let* d = float_of "drop" v in
+          Ok { acc with drop = d }
+        | "crash" ->
+          let* bursts =
+            List.fold_left
+              (fun r spec ->
+                let* l = r in
+                let* b = parse_burst spec in
+                Ok (b :: l))
+              (Ok []) (String.split_on_char '+' v)
+          in
+          Ok { acc with crash_bursts = acc.crash_bursts @ List.rev bursts }
+        | "straggle" ->
+          let* n = int_of "straggle" v in
+          Ok { acc with stragglers = n }
+        | "straggle-delay" ->
+          let* n = int_of "straggle-delay" v in
+          Ok { acc with straggle_delay = n }
+        | "retry-budget" ->
+          let* n = int_of "retry-budget" v in
+          Ok { acc with retry_budget = n }
+        | "backoff" -> (
+          match String.index_opt v ':' with
+          | None -> Error (Printf.sprintf "backoff: expected BASE:CAP, got %S" v)
+          | Some i ->
+            let* base = int_of "backoff base" (String.sub v 0 i) in
+            let* cap =
+              int_of "backoff cap"
+                (String.sub v (i + 1) (String.length v - i - 1))
+            in
+            Ok { acc with backoff_base = base; backoff_cap = cap })
+        | "partition" -> (
+          match String.index_opt v '-' with
+          | None ->
+            Error (Printf.sprintf "partition: expected START-STOP, got %S" v)
+          | Some i ->
+            let* start = int_of "partition start" (String.sub v 0 i) in
+            let* stop =
+              int_of "partition stop"
+                (String.sub v (i + 1) (String.length v - i - 1))
+            in
+            Ok { acc with partition = Some (start, stop) })
+        | _ -> Error (Printf.sprintf "unknown fault key %S" key))
+    in
+    let* plan =
+      List.fold_left parse_pair (Ok none) (String.split_on_char ',' s)
+    in
+    let* () = validate plan in
+    Ok plan
+  end

@@ -21,6 +21,21 @@
                short-circuits of Prng.bernoulli and the [churn > 0.0]
                guards in State.apply_churn)
 
+   Fault randomness lives on a SECOND stream (Faults.rng, split from the
+   same seed) with its own draw order, also mirrored here:
+
+     create:   straggler picks (without replacement, [stragglers] draws)
+               -> partition victim (one draw, iff a window is set)
+     per tick: one reply-outcome bernoulli per control-plane reply, in
+               the strategy's candidate order (skipped entirely when the
+               sender is partitioned or [drop] is 0/1 — Prng.bernoulli's
+               endpoint short-circuits) -> crash-burst victim picks
+               (without replacement from the active machines, after
+               churn)
+
+   A disabled plan never consumes a fault draw, which is why faults-off
+   runs are bit-identical to the pre-fault engine.
+
    The oracle additionally re-checks its own invariants after every tick
    unconditionally — it is the belt to the engine's DHTLB_CHECK braces. *)
 
@@ -34,9 +49,12 @@ type omach = {
   pid : int;
   strength : int;
   original_id : Id.t;
+  straggler : bool;
   mutable active : bool;
   mutable vnodes : Id.t list; (* head is the primary *)
   mutable failed_arcs : Interval.t list;
+  mutable retry_attempts : int;
+  mutable retry_at : int; (* -1 = none pending *)
 }
 
 type msgs = {
@@ -47,11 +65,15 @@ type msgs = {
   mutable invitations : int;
   mutable lookup_hops : int;
   mutable maintenance : int;
+  mutable dropped : int;
+  mutable retries : int;
 }
 
 type t = {
   params : Params.t;
   rng : Prng.t;
+  frng : Prng.t; (* dedicated fault stream, mirrors State.frng *)
+  partitioned : int; (* -1 = none *)
   mutable ring : ovnode list; (* ascending by id *)
   machs : omach array;
   msgs : msgs;
@@ -303,7 +325,9 @@ let leave_phys o pid =
     | Ok () ->
       m.vnodes <- [];
       m.active <- false;
-      m.failed_arcs <- []
+      m.failed_arcs <- [];
+      m.retry_attempts <- 0;
+      m.retry_at <- -1
     | Error `Last_node -> () (* stays: someone must hold the keys *)
     | Error `Not_member -> assert false
   end
@@ -366,6 +390,60 @@ let consume_tick o =
   o.work_done_total <- o.work_done_total + !done_;
   !done_
 
+(* ---- faults (mirroring State's fault helpers draw for draw) ------ *)
+
+let is_partitioned o pid =
+  pid = o.partitioned
+  && Faults.partition_active o.params.Params.faults ~tick:o.tick
+
+let can_decide o pid = not (is_partitioned o pid)
+
+let reply_outcome o ~from_pid =
+  let f = o.params.Params.faults in
+  let drop () =
+    o.msgs.dropped <- o.msgs.dropped + 1;
+    `Dropped
+  in
+  if is_partitioned o from_pid then drop ()
+  else if Prng.bernoulli o.frng f.Faults.drop then drop ()
+  else if o.machs.(from_pid).straggler then `Delayed
+  else `Ok
+
+let apply_crash_bursts o =
+  let count = Faults.burst_at o.params.Params.faults ~tick:o.tick in
+  if count > 0 then begin
+    let alive = ref [] in
+    Array.iter (fun m -> if m.active then alive := m.pid :: !alive) o.machs;
+    let pool = ref (List.rev !alive) in
+    for _ = 1 to min count (List.length !pool) do
+      let i = Prng.int_below o.frng (List.length !pool) in
+      let pid = List.nth !pool i in
+      pool := List.filteri (fun j _ -> j <> i) !pool;
+      fail_phys o pid
+    done
+  end
+
+let clear_smart_retry o pid =
+  let m = o.machs.(pid) in
+  m.retry_attempts <- 0;
+  m.retry_at <- -1
+
+let note_query_timeout o pid =
+  let f = o.params.Params.faults in
+  let m = o.machs.(pid) in
+  m.retry_attempts <- m.retry_attempts + 1;
+  if m.retry_attempts > f.Faults.retry_budget then begin
+    clear_smart_retry o pid;
+    true
+  end
+  else begin
+    m.retry_at <-
+      o.tick
+      + Faults.backoff ~base:f.Faults.backoff_base ~cap:f.Faults.backoff_cap
+          ~attempt:(m.retry_attempts - 1);
+    false
+  end
+
 let note_failed_arc o pid arc =
   let m = o.machs.(pid) in
   let keep = 8 in
@@ -392,6 +470,23 @@ let create (params : Params.t) =
   let n = params.Params.nodes in
   let total_phys = 2 * n in
   let ids = Keygen.node_ids rng total_phys in
+  (* Fault setup mirrors State.create: stragglers drawn without
+     replacement from all 2n pids, then the partition victim — all on the
+     dedicated stream, which a disabled plan never consumes. *)
+  let frng = Faults.rng ~seed:params.Params.seed in
+  let faults = params.Params.faults in
+  let straggler = Array.make total_phys false in
+  let pool = ref (List.init total_phys Fun.id) in
+  for _ = 1 to min faults.Faults.stragglers total_phys do
+    let i = Prng.int_below frng (List.length !pool) in
+    straggler.(List.nth !pool i) <- true;
+    pool := List.filteri (fun j _ -> j <> i) !pool
+  done;
+  let partitioned =
+    match faults.Faults.partition with
+    | Some _ -> Prng.int_below frng n
+    | None -> -1
+  in
   (* Array.init evaluates 0..n-1 in order, so an explicit ascending loop
      reproduces State.create's strength draws exactly. *)
   let machs =
@@ -406,15 +501,20 @@ let create (params : Params.t) =
           pid;
           strength;
           original_id = ids.(pid);
+          straggler = straggler.(pid);
           active = pid < n;
           vnodes = (if pid < n then [ ids.(pid) ] else []);
           failed_arcs = [];
+          retry_attempts = 0;
+          retry_at = -1;
         })
   in
   let o =
     {
       params;
       rng;
+      frng;
+      partitioned;
       ring = [];
       machs;
       msgs =
@@ -426,6 +526,8 @@ let create (params : Params.t) =
           invitations = 0;
           lookup_hops = 0;
           maintenance = 0;
+          dropped = 0;
+          retries = 0;
         };
       initial_mean =
         float_of_int params.Params.tasks /. float_of_int n;
@@ -475,7 +577,7 @@ let random_decide o =
   let threshold = o.params.Params.sybil_threshold in
   Array.iter
     (fun m ->
-      if m.active && due o m then begin
+      if m.active && can_decide o m.pid && due o m then begin
         let pid = m.pid in
         let w = workload_of_phys o pid in
         if Random_injection.should_retire ~workload:w ~sybils:(sybil_count o pid)
@@ -501,54 +603,116 @@ let successor_arcs o pid self_id =
   in
   arcs self_id succs
 
+(* Mirrors Neighbor_injection.pick_estimate. *)
+let pick_estimate (o : t) pid candidates =
+  let usable =
+    if o.params.Params.avoid_repeats then
+      List.filter
+        (fun (arc, _) -> not (arc_recently_failed o pid arc))
+        candidates
+    else candidates
+  in
+  Neighbor_injection.pick_widest usable
+
+(* Mirrors Neighbor_injection.query_round: charge every query sent, one
+   reply-outcome draw per candidate in candidate order, succeed only if
+   every reply lands within the tick. *)
+let query_round (o : t) candidates =
+  match candidates with
+  | [] -> `Answered None
+  | _ ->
+    o.msgs.workload_queries <-
+      o.msgs.workload_queries + List.length candidates;
+    let delay = o.params.Params.faults.Faults.straggle_delay in
+    let all_in =
+      List.fold_left
+        (fun acc (_, vn) ->
+          match reply_outcome o ~from_pid:vn.owner with
+          | `Ok -> acc
+          | `Delayed -> acc && delay = 0
+          | `Dropped -> false)
+        true candidates
+    in
+    if all_in then
+      `Answered
+        (Neighbor_injection.pick_heaviest
+           ~load:(fun (_, vn) -> List.length vn.keys)
+           candidates)
+    else `Timed_out
+
+(* Mirrors Neighbor_injection.place. *)
+let place (o : t) pid chosen =
+  let avoid = o.params.Params.avoid_repeats in
+  match chosen with
+  | None -> ()
+  | Some (arc, _) ->
+    let sybil_id = Interval.midpoint arc in
+    if create_sybil o pid sybil_id then begin
+      if avoid && vnode_workload o sybil_id = 0 then note_failed_arc o pid arc
+    end
+    else if avoid then note_failed_arc o pid arc
+
+(* Mirrors Neighbor_injection.retry_step. *)
+let retry_step (o : t) (m : omach) =
+  let pid = m.pid in
+  let threshold = o.params.Params.sybil_threshold in
+  let still_wants =
+    Random_injection.should_inject
+      ~workload:(workload_of_phys o pid)
+      ~threshold
+      ~sybils:(sybil_count o pid)
+      ~capacity:(sybil_capacity o pid)
+  in
+  if not still_wants then clear_smart_retry o pid
+  else
+    match m.vnodes with
+    | [] -> clear_smart_retry o pid
+    | self_id :: _ -> (
+      let candidates = successor_arcs o pid self_id in
+      o.msgs.retries <- o.msgs.retries + 1;
+      match query_round o candidates with
+      | `Answered chosen ->
+        clear_smart_retry o pid;
+        place o pid chosen
+      | `Timed_out ->
+        if note_query_timeout o pid then
+          place o pid (pick_estimate o pid candidates))
+
 let neighbor_decide variant o =
   let threshold = o.params.Params.sybil_threshold in
-  let avoid = o.params.Params.avoid_repeats in
   Array.iter
     (fun m ->
-      if m.active && due o m then begin
-        let pid = m.pid in
-        let w = workload_of_phys o pid in
-        if Random_injection.should_retire ~workload:w ~sybils:(sybil_count o pid)
-        then retire_sybils o pid;
+      let pid = m.pid in
+      if m.active && can_decide o pid then begin
         if
-          Random_injection.should_inject ~workload:w ~threshold
-            ~sybils:(sybil_count o pid) ~capacity:(sybil_capacity o pid)
+          variant = Neighbor_injection.Smart && m.retry_at >= 0
         then begin
-          match m.vnodes with
-          | [] -> ()
-          | self_id :: _ ->
-            let candidates = successor_arcs o pid self_id in
-            let chosen =
+          if m.retry_at <= o.tick then retry_step o m
+        end
+        else if due o m then begin
+          let w = workload_of_phys o pid in
+          if
+            Random_injection.should_retire ~workload:w
+              ~sybils:(sybil_count o pid)
+          then retire_sybils o pid;
+          if
+            Random_injection.should_inject ~workload:w ~threshold
+              ~sybils:(sybil_count o pid) ~capacity:(sybil_capacity o pid)
+          then begin
+            match m.vnodes with
+            | [] -> ()
+            | self_id :: _ -> (
+              let candidates = successor_arcs o pid self_id in
               match variant with
               | Neighbor_injection.Estimate ->
-                let usable =
-                  if avoid then
-                    List.filter
-                      (fun (arc, _) -> not (arc_recently_failed o pid arc))
-                      candidates
-                  else candidates
-                in
-                Neighbor_injection.pick_widest usable
+                place o pid (pick_estimate o pid candidates)
               | Neighbor_injection.Smart -> (
-                match candidates with
-                | [] -> None
-                | _ ->
-                  o.msgs.workload_queries <-
-                    o.msgs.workload_queries + List.length candidates;
-                  Neighbor_injection.pick_heaviest
-                    ~load:(fun (_, vn) -> List.length vn.keys)
-                    candidates)
-            in
-            (match chosen with
-            | None -> ()
-            | Some (arc, _) ->
-              let sybil_id = Interval.midpoint arc in
-              if create_sybil o pid sybil_id then begin
-                if avoid && vnode_workload o sybil_id = 0 then
-                  note_failed_arc o pid arc
-              end
-              else if avoid then note_failed_arc o pid arc)
+                match query_round o candidates with
+                | `Answered chosen -> place o pid chosen
+                | `Timed_out ->
+                  if note_query_timeout o pid then
+                    place o pid (pick_estimate o pid candidates)))
+          end
         end
       end)
     o.machs
@@ -565,7 +729,7 @@ let invitation_decide o =
   let threshold = o.params.Params.sybil_threshold in
   Array.iter
     (fun m ->
-      if m.active && due o m then begin
+      if m.active && can_decide o m.pid && due o m then begin
         let pid = m.pid in
         let w = workload_of_phys o pid in
         if Random_injection.should_retire ~workload:w ~sybils:(sybil_count o pid)
@@ -589,14 +753,25 @@ let invitation_decide o =
                 (k_predecessors o inviter_id k)
             in
             o.msgs.invitations <- o.msgs.invitations + k;
+            (* Mirrors Invitation.decide: one round-trip outcome per
+               predecessor (nearest first); dropped predecessors never
+               reply (not charged), delayed replies still count. *)
+            let heard =
+              List.filter
+                (fun vn ->
+                  match reply_outcome o ~from_pid:vn.owner with
+                  | `Ok | `Delayed -> true
+                  | `Dropped -> false)
+                preds
+            in
             o.msgs.workload_queries <-
-              o.msgs.workload_queries + List.length preds;
+              o.msgs.workload_queries + List.length heard;
             let candidates =
               List.filter
                 (fun vn ->
                   workload_of_phys o vn.owner <= threshold
                   && sybil_count o vn.owner < sybil_capacity o vn.owner)
-                preds
+                heard
             in
             let helper =
               Invitation.choose_helper
@@ -626,7 +801,7 @@ let strength_decide o =
   in
   Array.iter
     (fun m ->
-      if m.active && due o m then begin
+      if m.active && can_decide o m.pid && due o m then begin
         let pid = m.pid in
         let w = workload_of_phys o pid in
         if Random_injection.should_retire ~workload:w ~sybils:(sybil_count o pid)
@@ -646,10 +821,22 @@ let strength_decide o =
             let candidates = successor_arcs o pid self_id in
             o.msgs.workload_queries <-
               o.msgs.workload_queries + List.length candidates;
+            (* Mirrors Strength_aware.decide: queries all charged, one
+               outcome draw per candidate, only in-time replies usable. *)
+            let delay = o.params.Params.faults.Faults.straggle_delay in
+            let heard =
+              List.filter
+                (fun (_, vn) ->
+                  match reply_outcome o ~from_pid:vn.owner with
+                  | `Ok -> true
+                  | `Delayed -> delay = 0
+                  | `Dropped -> false)
+                candidates
+            in
             let worst =
               Strength_aware.pick_slowest
                 ~drain:(fun (_, vn) -> drain_of vn)
-                candidates
+                heard
             in
             let target =
               match worst with
@@ -667,7 +854,7 @@ let strength_decide o =
 let static_decide o =
   Array.iter
     (fun m ->
-      if m.active && due o m then begin
+      if m.active && can_decide o m.pid && due o m then begin
         let pid = m.pid in
         let want = sybil_capacity o pid - sybil_count o pid in
         for _ = 1 to want do
@@ -753,7 +940,8 @@ let check_invariants o =
         invalid_arg "Oracle: machine over its Sybil cap")
     o.machs;
   (* Message accounting: joins - leaves tracks the ring size, and the
-     total only ever grows. *)
+     total only ever grows.  [dropped]/[retries] are diagnostics, not
+     traffic — excluded exactly as Messages.total excludes them. *)
   if o.msgs.joins - o.msgs.leaves <> ring_size o then
     invalid_arg "Oracle: joins - leaves <> ring size";
   let total =
@@ -763,7 +951,18 @@ let check_invariants o =
   in
   if total < o.last_msg_total then
     invalid_arg "Oracle: message counters decreased";
-  o.last_msg_total <- total
+  o.last_msg_total <- total;
+  (* Fault-mode laws, mirroring State.check_tick_invariants. *)
+  let f = o.params.Params.faults in
+  if (not (Faults.enabled f)) && (o.msgs.dropped <> 0 || o.msgs.retries <> 0)
+  then invalid_arg "Oracle: fault counters moved without a fault plan";
+  Array.iter
+    (fun m ->
+      if m.retry_at >= 0 && not m.active then
+        invalid_arg "Oracle: waiting machine has a pending retry";
+      if m.retry_attempts < 0 || m.retry_attempts > f.Faults.retry_budget then
+        invalid_arg "Oracle: retry attempts outside budget")
+    o.machs
 
 (* ---- the run loop (mirroring Engine.run_state) ------------------- *)
 
@@ -784,6 +983,7 @@ let run (params : Params.t) (strat : Strategy.t) =
       decide o;
       let work_done = consume_tick o in
       apply_churn o;
+      apply_crash_bursts o;
       o.tick <- o.tick + 1;
       points_rev :=
         {

@@ -13,7 +13,10 @@
     Engine and oracle must match {e bit-for-bit} on: the outcome
     (finished tick or abort cap), every per-tick trace point
     ([work_done]/[remaining]/[active_nodes]/[vnodes]), the runtime
-    factor, and all seven message counters.  [test/test_oracle.ml]
+    factor, and all message counters — including the [dropped] and
+    [retries] diagnostics when a fault plan ({!Faults.t}) is active;
+    fault randomness is replayed on the same dedicated stream the
+    engine uses ({!Faults.rng}).  [test/test_oracle.ml]
     enforces this over qcheck-generated scenarios spanning every
     strategy; see [docs/TESTING.md] for the PRNG draw-order contract
     that keeps the two sides in lockstep.
@@ -30,6 +33,8 @@ type msgs = {
   mutable invitations : int;
   mutable lookup_hops : int;
   mutable maintenance : int;
+  mutable dropped : int;
+  mutable retries : int;
 }
 
 type point = {

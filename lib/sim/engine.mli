@@ -8,7 +8,9 @@
       [decision_period] ticks (staggered per node by default, matching
       the paper's "check occurs every 5 ticks");
     + every active machine completes up to its capacity in tasks;
-    + ambient churn moves machines between the ring and the waiting pool.
+    + ambient churn moves machines between the ring and the waiting pool;
+    + any crash burst the fault plan schedules for this tick fires
+      ({!State.apply_crash_bursts}; a no-op under {!Faults.none}).
 
     The run ends when no tasks remain; a safety cap of
     [max_ticks_factor × ideal] aborts pathological configurations.

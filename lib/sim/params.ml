@@ -25,6 +25,7 @@ type t = {
   seed : int;
   max_ticks_factor : int;
   check_every_tick : bool;
+  faults : Faults.t;
 }
 
 let default ~nodes ~tasks =
@@ -48,6 +49,7 @@ let default ~nodes ~tasks =
     seed = 42;
     max_ticks_factor = 50;
     check_every_tick = false;
+    faults = Faults.none;
   }
 
 (* DHTLB_CHECK=1 switches the invariant harness on for every run in the
@@ -84,14 +86,17 @@ let validate t =
   else if t.invite_factor <= 0.0 then Error "invite_factor must be > 0"
   else if t.max_ticks_factor < 1 then Error "max_ticks_factor must be >= 1"
   else
-    match t.keys with
-    | Uniform_sha1 -> Ok ()
-    | Clustered { hotspots; spread; zipf_s } ->
-      if hotspots < 1 then Error "clustered keys need hotspots >= 1"
-      else if not (spread > 0.0 && spread <= 1.0) then
-        Error "clustered spread must be in (0, 1]"
-      else if zipf_s < 0.0 then Error "zipf_s must be >= 0"
-      else Ok ()
+    match Faults.validate t.faults with
+    | Error e -> Error ("faults: " ^ e)
+    | Ok () -> (
+      match t.keys with
+      | Uniform_sha1 -> Ok ()
+      | Clustered { hotspots; spread; zipf_s } ->
+        if hotspots < 1 then Error "clustered keys need hotspots >= 1"
+        else if not (spread > 0.0 && spread <= 1.0) then
+          Error "clustered spread must be in (0, 1]"
+        else if zipf_s < 0.0 then Error "zipf_s must be >= 0"
+        else Ok ())
 
 let pp ppf t =
   let het =
@@ -108,4 +113,6 @@ let pp ppf t =
     "nodes=%d tasks=%d churn=%g fail=%g maxSybils=%d sybilThreshold=%d successors=%d \
      %s %s period=%d seed=%d"
     t.nodes t.tasks t.churn_rate t.failure_rate t.max_sybils t.sybil_threshold
-    t.num_successors het work t.decision_period t.seed
+    t.num_successors het work t.decision_period t.seed;
+  if Faults.enabled t.faults then
+    Format.fprintf ppf " faults=%a" Faults.pp t.faults

@@ -62,6 +62,11 @@ type t = {
       (** run the full invariant harness ({!State.check_tick_invariants})
           after every engine tick — O(nodes + keys) per tick, for tests
           and debugging (default [false]) *)
+  faults : Faults.t;
+      (** deterministic fault plan (message drops, stragglers, crash
+          bursts, a partition window); {!Faults.none} (the default)
+          reproduces the pre-fault engine bit-for-bit because fault
+          randomness lives on a dedicated stream split from [seed] *)
 }
 
 val default : nodes:int -> tasks:int -> t

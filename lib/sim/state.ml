@@ -4,9 +4,12 @@ type phys = {
   pid : int;
   strength : int;
   original_id : Id.t;
+  straggler : bool;
   mutable active : bool;
   mutable vnodes : Id.t list;
   mutable failed_arcs : Interval.t list;
+  mutable retry_attempts : int;
+  mutable retry_at : int;
 }
 
 type t = {
@@ -14,6 +17,8 @@ type t = {
   dht : payload Dht.t;
   phys : phys array;
   rng : Prng.t;
+  frng : Prng.t;
+  partitioned : int;
   initial_mean : float;
   initial_tasks : int;
   mutable tick : int;
@@ -28,6 +33,29 @@ let create (params : Params.t) =
   let n = params.nodes in
   let total_phys = 2 * n in
   let ids = Keygen.node_ids rng total_phys in
+  (* Fault-stream setup draws happen first and only when the plan asks
+     for them; with Faults.none the stream is created but never
+     consumed, and nothing here touches the main stream (mirrored in
+     lib/oracle — the fault draw-order contract). *)
+  let frng = Faults.rng ~seed:params.seed in
+  let faults = params.faults in
+  let straggler = Array.make total_phys false in
+  let draw_without_replacement pool_len k mark =
+    let pool = ref (List.init pool_len Fun.id) in
+    for _ = 1 to k do
+      let i = Prng.int_below frng (List.length !pool) in
+      mark (List.nth !pool i);
+      pool := List.filteri (fun j _ -> j <> i) !pool
+    done
+  in
+  draw_without_replacement total_phys
+    (min faults.Faults.stragglers total_phys)
+    (fun pid -> straggler.(pid) <- true);
+  let partitioned =
+    match faults.Faults.partition with
+    | Some _ -> Prng.int_below frng n
+    | None -> -1
+  in
   let strength () =
     match params.heterogeneity with
     | Params.Homogeneous -> 1
@@ -39,9 +67,12 @@ let create (params : Params.t) =
           pid;
           strength = strength ();
           original_id = ids.(pid);
+          straggler = straggler.(pid);
           active = pid < n;
           vnodes = (if pid < n then [ ids.(pid) ] else []);
           failed_arcs = [];
+          retry_attempts = 0;
+          retry_at = -1;
         })
   in
   let dht = Dht.create () in
@@ -70,6 +101,8 @@ let create (params : Params.t) =
     dht;
     phys;
     rng;
+    frng;
+    partitioned;
     initial_mean = float_of_int params.tasks /. float_of_int n;
     initial_tasks;
     tick = 0;
@@ -189,7 +222,11 @@ let leave_phys t pid =
     | Ok () ->
       p.vnodes <- [];
       p.active <- false;
-      p.failed_arcs <- []
+      p.failed_arcs <- [];
+      (* A departing machine abandons any in-flight query retry; it will
+         start fresh if it rejoins. *)
+      p.retry_attempts <- 0;
+      p.retry_at <- -1
     | Error `Last_node -> () (* stays: someone must hold the keys *)
     | Error `Not_member -> assert false
   end
@@ -266,6 +303,86 @@ let arc_recently_failed t pid arc =
       && Id.equal a.Interval.upto arc.Interval.upto)
     t.phys.(pid).failed_arcs
 
+(* --- Faults ------------------------------------------------------------
+   All fault randomness lives on [t.frng]; nothing below ever touches the
+   main stream, so a disabled plan leaves every simulation bit-identical.
+   The oracle replays these draws in the same order (docs/TESTING.md). *)
+
+let is_partitioned t pid =
+  pid = t.partitioned
+  && Faults.partition_active t.params.Params.faults ~tick:t.tick
+
+let can_decide t pid = not (is_partitioned t pid)
+
+(* Outcome of one control-plane reply from [from_pid] back to a querier.
+   Draw order: partition (no draw) → drop bernoulli (consumes a draw only
+   when 0 < p < 1 — [Prng.bernoulli] short-circuits at the endpoints) →
+   straggler flag (no draw).  Charges [dropped] internally so callers
+   cannot forget. *)
+let reply_outcome t ~from_pid =
+  let f = t.params.Params.faults in
+  let drop () =
+    let m = Dht.messages t.dht in
+    m.Messages.dropped <- m.Messages.dropped + 1;
+    `Dropped
+  in
+  if is_partitioned t from_pid then drop ()
+  else if Prng.bernoulli t.frng f.Faults.drop then drop ()
+  else if t.phys.(from_pid).straggler then `Delayed
+  else `Ok
+
+let charge_retry t =
+  let m = Dht.messages t.dht in
+  m.Messages.retries <- m.Messages.retries + 1
+
+(* Scheduled crash burst: [count] victims drawn without replacement from
+   the machines active when the burst fires, failed in draw order.  Each
+   dies ungracefully ([fail_phys]), so recovery traffic is charged and
+   the last-key-holder protection still applies. *)
+let apply_crash_bursts t =
+  let count = Faults.burst_at t.params.Params.faults ~tick:t.tick in
+  if count > 0 then begin
+    let alive = ref [] in
+    Array.iter (fun p -> if p.active then alive := p.pid :: !alive) t.phys;
+    let pool = ref (List.rev !alive) in
+    for _ = 1 to min count (List.length !pool) do
+      let i = Prng.int_below t.frng (List.length !pool) in
+      let pid = List.nth !pool i in
+      pool := List.filteri (fun j _ -> j <> i) !pool;
+      fail_phys t pid
+    done
+  end
+
+(* Smart-neighbor retry bookkeeping.  A machine whose workload queries
+   timed out waits [Faults.backoff] ticks between attempts; when the
+   budget is exhausted it clears its state and the strategy falls back to
+   the dumb estimate rule the same tick. *)
+
+let retry_pending t pid = t.phys.(pid).retry_at >= 0
+let retry_due t pid = t.phys.(pid).retry_at >= 0 && t.phys.(pid).retry_at <= t.tick
+let smart_retry_attempts t pid = t.phys.(pid).retry_attempts
+
+let clear_smart_retry t pid =
+  let p = t.phys.(pid) in
+  p.retry_attempts <- 0;
+  p.retry_at <- -1
+
+let note_query_timeout t pid =
+  let f = t.params.Params.faults in
+  let p = t.phys.(pid) in
+  p.retry_attempts <- p.retry_attempts + 1;
+  if p.retry_attempts > f.Faults.retry_budget then begin
+    clear_smart_retry t pid;
+    true
+  end
+  else begin
+    p.retry_at <-
+      t.tick
+      + Faults.backoff ~base:f.Faults.backoff_base ~cap:f.Faults.backoff_cap
+          ~attempt:(p.retry_attempts - 1);
+    false
+  end
+
 let check_invariants t =
   Dht.check_invariants t.dht;
   (* Every vnode in the ring is listed by exactly one active machine and
@@ -332,7 +449,28 @@ let check_tick_invariants t =
     invalid_arg
       (Printf.sprintf
          "State: message accounting broken (joins %d - leaves %d <> ring %d)"
-         m.Messages.joins m.Messages.leaves (Dht.size t.dht))
+         m.Messages.joins m.Messages.leaves (Dht.size t.dht));
+  (* Fault-mode laws: the diagnostic counters only move under an enabled
+     plan, and retry bookkeeping stays inside the budget and only on
+     active machines (a departure clears it). *)
+  let f = t.params.Params.faults in
+  if (not (Faults.enabled f)) && (m.Messages.dropped <> 0 || m.Messages.retries <> 0)
+  then
+    invalid_arg
+      (Printf.sprintf
+         "State: fault counters moved without a fault plan (dropped %d retries %d)"
+         m.Messages.dropped m.Messages.retries);
+  Array.iter
+    (fun p ->
+      if p.retry_at >= 0 && not p.active then
+        invalid_arg
+          (Printf.sprintf "State: waiting machine %d has a pending retry" p.pid);
+      if p.retry_attempts < 0 || p.retry_attempts > f.Faults.retry_budget then
+        invalid_arg
+          (Printf.sprintf
+             "State: machine %d retry attempts %d outside budget %d" p.pid
+             p.retry_attempts f.Faults.retry_budget))
+    t.phys
 
 (* Deterministic hand-built states for edge-case tests: exact vnode ids
    and key placement instead of SHA-1 draws.  Not for simulations —
@@ -358,9 +496,12 @@ module For_testing = struct
             pid;
             strength;
             original_id = (match vnodes with id :: _ -> id | [] -> Id.zero);
+            straggler = false;
             active = vnodes <> [];
             vnodes;
             failed_arcs = [];
+            retry_attempts = 0;
+            retry_at = -1;
           })
         machines
     in
@@ -374,6 +515,10 @@ module For_testing = struct
       dht;
       phys;
       rng = Prng.create params.Params.seed;
+      (* Hand-built states skip the fault setup draws: no stragglers, no
+         partition victim.  Drop/burst/retry behavior still works. *)
+      frng = Faults.rng ~seed:params.Params.seed;
+      partitioned = -1;
       initial_mean =
         float_of_int params.Params.tasks /. float_of_int params.Params.nodes;
       initial_tasks;

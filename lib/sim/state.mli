@@ -18,10 +18,14 @@ type phys = private {
   pid : int;
   strength : int;  (** 1 in homogeneous networks *)
   original_id : Id.t;  (** id at first join; reused if [rejoin_fresh_id=false] *)
+  straggler : bool;  (** replies arrive [straggle_delay] ticks late *)
   mutable active : bool;
   mutable vnodes : Id.t list;  (** head = primary vnode; rest = Sybils *)
   mutable failed_arcs : Interval.t list;
       (** arcs that yielded no work (neighbor injection, avoid_repeats) *)
+  mutable retry_attempts : int;
+      (** failed smart-query attempts so far (0 = none in flight) *)
+  mutable retry_at : int;  (** tick of the next retry; -1 = none pending *)
 }
 
 type t = private {
@@ -29,6 +33,10 @@ type t = private {
   dht : payload Dht.t;
   phys : phys array;  (** indices [0, nodes)] start active; rest waiting *)
   rng : Prng.t;
+  frng : Prng.t;
+      (** dedicated fault stream ({!Faults.rng}); never mixes with [rng],
+          so [Faults.none] runs are bit-identical to a fault-free build *)
+  partitioned : int;  (** pid cut off during the partition window; -1 = none *)
   initial_mean : float;  (** tasks / nodes at start *)
   initial_tasks : int;  (** keys actually stored at setup (conservation) *)
   mutable tick : int;
@@ -106,6 +114,57 @@ val apply_churn : t -> unit
 
 val advance_tick : t -> unit
 (** Increment the tick counter (engine use). *)
+
+(** {1 Faults}
+
+    All fault randomness draws from the dedicated [frng] stream; the
+    draw-order contract is mirrored verbatim by the oracle (see
+    docs/TESTING.md).  Every helper is a cheap no-op under
+    {!Faults.none}. *)
+
+val is_partitioned : t -> int -> bool
+(** The machine is the partition victim and the window covers the
+    current tick: its control messages are lost in both directions. *)
+
+val can_decide : t -> int -> bool
+(** Strategies gate their per-machine decision on this: a partitioned
+    machine cannot coordinate, so its decisions are suppressed for the
+    window. *)
+
+val reply_outcome : t -> from_pid:int -> [ `Ok | `Dropped | `Delayed ]
+(** Fate of one control-plane reply sent by [from_pid].  Partitioned
+    sender ⇒ [`Dropped] (no draw); otherwise lost with probability
+    [drop] (one fault-stream draw iff [0 < drop < 1]); otherwise
+    [`Delayed] iff the sender is a straggler.  Charges the [dropped]
+    counter internally.  Data-plane traffic (joins, key transfers,
+    recovery) never passes through here — faults cannot lose keys. *)
+
+val charge_retry : t -> unit
+(** Bump the [retries] diagnostic counter (one re-sent query round). *)
+
+val apply_crash_bursts : t -> unit
+(** If the plan schedules a burst at the current tick, fail [count]
+    machines drawn without replacement from the currently active ones,
+    in fault-stream draw order ({!fail_phys} each — recovery traffic is
+    charged and the last-key-holder protection applies). *)
+
+val retry_pending : t -> int -> bool
+(** A smart-query retry is scheduled (suppresses the machine's regular
+    decision dues until it fires). *)
+
+val retry_due : t -> int -> bool
+(** The scheduled retry fires at or before the current tick. *)
+
+val smart_retry_attempts : t -> int -> int
+
+val note_query_timeout : t -> int -> bool
+(** Record one failed query round.  Returns [true] when the attempt just
+    exceeded [retry_budget] — state is cleared and the caller must fall
+    back to the dumb estimate rule; [false] schedules the next retry at
+    [tick + backoff(attempts - 1)]. *)
+
+val clear_smart_retry : t -> int -> unit
+(** Forget any in-flight retry (called on success or fallback). *)
 
 val note_failed_arc : t -> int -> Interval.t -> unit
 val arc_recently_failed : t -> int -> Interval.t -> bool

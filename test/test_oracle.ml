@@ -129,12 +129,14 @@ type scenario = {
   avoid_repeats : bool;
   max_ticks_factor : int;
   seed : int;
+  faults : Faults.t;
 }
 
 let params_of (s : scenario) =
   {
     (Params.default ~nodes:s.nodes ~tasks:s.tasks) with
-    Params.churn_rate = s.churn;
+    Params.faults = s.faults;
+    churn_rate = s.churn;
     failure_rate = s.fail;
     heterogeneity = (if s.hetero then Params.Heterogeneous else Params.Homogeneous);
     work = (if s.strength_work then Params.Strength_per_tick else Params.Task_per_tick);
@@ -156,10 +158,12 @@ let print_scenario strat s =
   Printf.sprintf
     "strategy=%s nodes=%d tasks=%d churn=%g fail=%g hetero=%b strength_work=%b \
      clustered=%b threshold=%d period=%d stagger=%b rejoin_fresh=%b \
-     split_median=%b avoid_repeats=%b max_ticks_factor=%d Params.seed=%d"
+     split_median=%b avoid_repeats=%b max_ticks_factor=%d Params.seed=%d \
+     faults=%s"
     (Strategy.name strat) s.nodes s.tasks s.churn s.fail s.hetero
     s.strength_work s.clustered s.sybil_threshold s.period s.stagger
     s.rejoin_fresh s.split_median s.avoid_repeats s.max_ticks_factor s.seed
+    (Faults.to_string s.faults)
 
 let gen_scenario =
   QCheck.Gen.(
@@ -178,6 +182,41 @@ let gen_scenario =
     let* avoid_repeats = bool in
     let* max_ticks_factor = int_range 5 10 in
     let* seed = int_bound 1_000_000 in
+    (* Half the scenarios run fault-free (the plan must stay invisible);
+       the rest mix every fault axis, including the deterministic drop
+       endpoints 0 and 1 (no fault-stream draw either way). *)
+    let* faults =
+      frequency
+        [
+          (1, return Faults.none);
+          ( 1,
+            let* drop = oneofl [ 0.0; 0.1; 0.3; 1.0 ] in
+            let* stragglers = int_range 0 4 in
+            let* straggle_delay = oneofl [ 0; 2 ] in
+            let* retry_budget = int_range 0 3 in
+            let* backoff_base = int_range 1 2 in
+            let* crash_bursts =
+              oneofl
+                [
+                  [];
+                  [ { Faults.at = 3; count = 2 } ];
+                  [ { Faults.at = 2; count = 1 }; { Faults.at = 6; count = 3 } ];
+                ]
+            in
+            let* partition = oneofl [ None; Some (2, 12) ] in
+            return
+              {
+                Faults.none with
+                Faults.drop;
+                stragglers;
+                straggle_delay;
+                retry_budget;
+                backoff_base;
+                crash_bursts;
+                partition;
+              } );
+        ]
+    in
     return
       {
         nodes;
@@ -195,6 +234,7 @@ let gen_scenario =
         avoid_repeats;
         max_ticks_factor;
         seed;
+        faults;
       })
 
 (* A divergence shrinks toward the boring end of every axis: fewer
@@ -221,7 +261,21 @@ let shrink_scenario (s : scenario) yield =
   if not s.rejoin_fresh then yield { s with rejoin_fresh = true };
   if s.split_median then yield { s with split_median = false };
   if s.avoid_repeats then yield { s with avoid_repeats = false };
-  if s.max_ticks_factor > 5 then yield { s with max_ticks_factor = 5 }
+  if s.max_ticks_factor > 5 then yield { s with max_ticks_factor = 5 };
+  (* Faults shrink one axis at a time, then all the way off, so a
+     divergence pinpoints the responsible fault kind. *)
+  if Faults.enabled s.faults then begin
+    yield { s with faults = Faults.none };
+    let f = s.faults in
+    if f.Faults.drop > 0.0 then
+      yield { s with faults = { f with Faults.drop = 0.0 } };
+    if f.Faults.crash_bursts <> [] then
+      yield { s with faults = { f with Faults.crash_bursts = [] } };
+    if f.Faults.stragglers > 0 then
+      yield { s with faults = { f with Faults.stragglers = 0 } };
+    if f.Faults.partition <> None then
+      yield { s with faults = { f with Faults.partition = None } }
+  end
 
 let arb_scenario strat =
   QCheck.make ~print:(print_scenario strat) ~shrink:shrink_scenario gen_scenario
@@ -307,6 +361,8 @@ let compare_runs (strat : Strategy.t) (s : scenario) =
         ("invitations", em.Messages.invitations, om.Oracle.invitations);
         ("lookup_hops", em.Messages.lookup_hops, om.Oracle.lookup_hops);
         ("maintenance", em.Messages.maintenance, om.Oracle.maintenance);
+        ("dropped", em.Messages.dropped, om.Oracle.dropped);
+        ("retries", em.Messages.retries, om.Oracle.retries);
       ]
     in
     match List.find_opt (fun (_, a, b) -> a <> b) pairs with
@@ -369,6 +425,7 @@ let test_oracle_stressed strat () =
       avoid_repeats = true;
       max_ticks_factor = 8;
       seed = 1234;
+      faults = Faults.none;
     }
   in
   match compare_runs strat s with
@@ -400,6 +457,7 @@ let test_oracle_accounting_edges () =
       avoid_repeats = false;
       max_ticks_factor = 8;
       seed = 42;
+      faults = Faults.none;
     }
   in
   List.iter
@@ -410,6 +468,94 @@ let test_oracle_accounting_edges () =
         Alcotest.failf "engine/oracle diverged on %s: %s"
           (print_scenario strat s) msg)
     Strategy.all
+
+(* Deterministic fault-mode scenarios, every strategy: the oracle must
+   replay the fault stream draw for draw.  One scenario per dominant
+   fault kind — drop-heavy (exercises query_round misses, retries and
+   the dumb-rule fallback), straggler-heavy (delayed replies missing
+   and, with delay 0, making the window), and crash-burst (mass
+   ungraceful failures interleaved with churn), plus a partition
+   window. *)
+let fault_base =
+  {
+    nodes = 12;
+    tasks = 180;
+    churn = 0.05;
+    fail = 0.02;
+    hetero = true;
+    strength_work = true;
+    clustered = false;
+    sybil_threshold = 1;
+    period = 3;
+    stagger = true;
+    rejoin_fresh = true;
+    split_median = false;
+    avoid_repeats = true;
+    max_ticks_factor = 8;
+    seed = 4321;
+    faults = Faults.none;
+  }
+
+let fault_scenarios =
+  [
+    ( "drop-heavy",
+      { fault_base with
+        faults = { Faults.none with Faults.drop = 0.3; retry_budget = 2 } } );
+    ( "drop-certain",
+      { fault_base with
+        faults = { Faults.none with Faults.drop = 1.0; retry_budget = 1 } } );
+    ( "straggler-heavy",
+      { fault_base with
+        faults =
+          { Faults.none with Faults.stragglers = 8; straggle_delay = 2 } } );
+    ( "straggler-instant",
+      { fault_base with
+        faults =
+          { Faults.none with Faults.stragglers = 8; straggle_delay = 0 } } );
+    ( "crash-burst",
+      { fault_base with
+        faults =
+          {
+            Faults.none with
+            Faults.crash_bursts =
+              [ { Faults.at = 4; count = 4 }; { Faults.at = 9; count = 3 } ];
+          } } );
+    ( "partitioned",
+      { fault_base with
+        faults = { Faults.none with Faults.partition = Some (2, 14) } } );
+    ( "everything",
+      { fault_base with
+        faults =
+          {
+            Faults.drop = 0.2;
+            crash_bursts = [ { Faults.at = 5; count = 3 } ];
+            stragglers = 4;
+            straggle_delay = 2;
+            retry_budget = 2;
+            backoff_base = 1;
+            backoff_cap = 4;
+            partition = Some (3, 12);
+          } } );
+  ]
+
+let test_oracle_faulted (label, s) () =
+  List.iter
+    (fun strat ->
+      match compare_runs strat s with
+      | Ok () -> ()
+      | Error msg ->
+        Alcotest.failf "engine/oracle diverged (%s) on %s: %s" label
+          (print_scenario strat s) msg)
+    Strategy.all
+
+let faulted_cases =
+  List.map
+    (fun (label, s) ->
+      Alcotest.test_case
+        (Printf.sprintf "faulted %s" label)
+        `Quick
+        (test_oracle_faulted (label, s)))
+    fault_scenarios
 
 let stressed_cases =
   List.map
@@ -426,6 +572,6 @@ let () =
         Alcotest.test_case "known case" `Quick test_known_case
         :: Alcotest.test_case "accounting edges" `Quick
              test_oracle_accounting_edges
-        :: stressed_cases );
+        :: (stressed_cases @ faulted_cases) );
       ("properties", prop_engine_matches_reference :: oracle_props);
     ]
