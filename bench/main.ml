@@ -190,6 +190,45 @@ let hotpath () =
   metric "gc_major_words" (Json_out.Float m.Metrics.major_words);
   metric "gc_minor_collections" (Json_out.Int m.Metrics.minor_collections);
   metric "gc_major_collections" (Json_out.Int m.Metrics.major_collections);
+  (* Same scale with live replication on and two mid-run crash bursts:
+     what the survivable data plane costs end to end (replica upkeep on
+     every churn event plus burst recovery).  The headline sim_run_s
+     above stays recovery-off, so the CI gate keeps comparing like with
+     like across commits; this leg gets its own metrics. *)
+  let recovery_params =
+    {
+      params with
+      Params.replicas = 2;
+      faults =
+        {
+          Faults.none with
+          Faults.crash_bursts =
+            [ { Faults.at = 20; count = 50 }; { Faults.at = 60; count = 50 } ];
+        };
+    }
+  in
+  let recovery_state, dt_recovery_create =
+    timed (fun () -> State.create recovery_params)
+  in
+  let r3, dt_recovery =
+    timed (fun () ->
+        Engine.run_state ~sink:Trace.Memory ~metrics:false recovery_state
+          Engine.no_strategy)
+  in
+  let ticks3 =
+    match r3.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+  in
+  let m3 = r3.Engine.messages in
+  Printf.printf
+    "recovery-on rerun (replicas=2, 2x50-machine bursts): create %.3fs, run \
+     %.3fs (%d ticks, %d replications, %d tasks lost)\n"
+    dt_recovery_create dt_recovery ticks3 m3.Messages.replications
+    m3.Messages.tasks_lost;
+  metric "sim_create_recovery_s" (Json_out.Float dt_recovery_create);
+  metric "sim_run_recovery_s" (Json_out.Float dt_recovery);
+  metric "sim_recovery_ticks" (Json_out.Int ticks3);
+  metric "sim_recovery_replications" (Json_out.Int m3.Messages.replications);
+  metric "sim_recovery_tasks_lost" (Json_out.Int m3.Messages.tasks_lost);
   (* Drain a 100k-key set: the legacy nth+remove loop vs the one-pass
      bulk removal, on identical draw streams. *)
   let n_keys = 100_000 in

@@ -157,14 +157,37 @@ let faults_t =
            (control-plane reply loss probability), \
            $(b,crash=COUNT@TICK+...) (crash bursts), $(b,straggle=N) \
            (straggler machines, with $(b,straggle-delay=T)), \
-           $(b,retry-budget=N), $(b,backoff=BASE:CAP) and \
-           $(b,partition=START-STOP); or $(b,off).  Example: \
+           $(b,retry-budget=N), $(b,backoff=BASE:CAP), \
+           $(b,partition=START-STOP) and $(b,repl-drop=P) (replica \
+           enrolment loss, with --replicas); or $(b,off).  Example: \
            $(b,--faults drop=0.1,crash=5\\@200,straggle=3).")
+
+let replicas_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "replicas" ] ~docv:"R"
+        ~doc:
+          "Live replication degree: each vnode's tasks are backed up on \
+           its next R ring successors and crashed machines recover from \
+           surviving replicas; tasks whose whole replica group dies are \
+           genuinely lost.  0 (default) keeps the paper's \
+           assumed-reliable data plane, bit-for-bit.")
+
+let repair_lag_t =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "repair-lag" ] ~docv:"TICKS"
+        ~doc:
+          "Ticks between lazy replica-repair passes (with --replicas; \
+           larger lag widens the window in which a burst can catch \
+           under-replicated tasks).")
 
 let params_t =
   let build nodes tasks churn failures threshold max_sybils successors hetero
       strength_work period no_stagger invite_factor median_split avoid_repeats
-      hotspots spread zipf_s faults seed =
+      hotspots spread zipf_s faults replicas repair_lag seed =
     {
       (Params.default ~nodes ~tasks) with
       Params.churn_rate = churn;
@@ -185,6 +208,8 @@ let params_t =
         | Some h -> Params.Clustered { hotspots = h; spread; zipf_s }
         | None -> Params.Uniform_sha1);
       faults;
+      replicas;
+      repair_lag;
       seed;
     }
   in
@@ -192,7 +217,8 @@ let params_t =
     const build $ nodes_t $ tasks_t $ churn_t $ failure_t $ threshold_t
     $ max_sybils_t $ successors_t $ hetero_t $ strength_work_t $ period_t
     $ no_stagger_t $ invite_factor_t $ median_split_t $ avoid_repeats_t
-    $ clustered_t $ spread_t $ zipf_t $ faults_t $ seed_t)
+    $ clustered_t $ spread_t $ zipf_t $ faults_t $ replicas_t $ repair_lag_t
+    $ seed_t)
 
 (* ---------------------------------------------------------------- *)
 (* Commands                                                           *)
@@ -549,6 +575,19 @@ let failures_cmd =
     (fun ~trials ~seed ->
       Failure_recovery.print_table (Failure_recovery.run ~seed ~trials ()))
 
+let recovery_sweep_cmd =
+  Cmd.v
+    (Cmd.info "recovery-sweep"
+       ~doc:
+         "In-simulation crash recovery: tasks lost under a crash burst \
+          versus live replication degree, against the analytic f^(r+1).")
+    Term.(
+      const (fun trials seed csv ->
+          let cells = Recovery_sweep.run ~trials ~seed () in
+          print_string (Recovery_sweep.print_table cells);
+          maybe_csv csv (Export.recovery_sweep_csv cells))
+      $ trials_t $ seed_t $ csv_t)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dhtlb" ~version:"1.0.0"
@@ -567,6 +606,7 @@ let main_cmd =
       degrade_cmd;
       maintenance_cmd;
       failures_cmd;
+      recovery_sweep_cmd;
       hops_cmd;
       timeline_cmd;
     ]

@@ -16,14 +16,33 @@ echo "==> dune runtest"
 dune runtest
 
 echo "==> oracle smoke (engine vs naive reference model, 200 scenarios)"
+# The deterministic 'faulted recovery-*' cases in the differential group
+# pin the live-replication path (replicas 1-2 + crash bursts) bit-for-bit
+# against the oracle on every invocation; the generated scenarios also
+# draw replicas 1-3 for half the cases.
 DHTLB_ORACLE_CASES=200 dune exec test/test_oracle.exe
 
 echo "==> oracle smoke with metrics + ring trace sink (instrumentation must not perturb)"
 DHTLB_ORACLE_CASES=100 DHTLB_METRICS=1 DHTLB_TRACE_OUT=ring:32 \
   dune exec test/test_oracle.exe
 
+echo "==> recovery smoke (--replicas 2 + crash bursts through the real CLI, invariant-checked)"
+# End-to-end through bin/dhtlb with live replication on: every tick must
+# satisfy conserved-or-accounted-lost (DHTLB_CHECK=1) while two bursts
+# kill 35 machines mid-run.
+DHTLB_CHECK=1 dune exec bin/dhtlb.exe -- simulate \
+  --nodes 200 --tasks 20000 --churn 0.02 --failures 0.01 \
+  --replicas 2 --repair-lag 2 --faults drop=0.05,crash=20@10+15@30 --seed 7
+
 echo "==> full battery under the invariant harness (DHTLB_CHECK=1)"
 DHTLB_CHECK=1 dune runtest --force
+
+if command -v odoc >/dev/null 2>&1; then
+  echo "==> dune build @doc"
+  dune build @doc
+else
+  echo "==> dune build @doc skipped (odoc not installed)"
+fi
 
 echo "==> bench smoke (hotpath section, quick scale)"
 # Keep the committed baseline aside before the bench overwrites it.

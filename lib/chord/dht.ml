@@ -78,10 +78,41 @@ let leave t id =
       Ok ()
     end
 
+(* Ungraceful removal: the vnode vanishes with no key handover.  Its
+   keys leave the store (total_keys drops) and are handed back to the
+   caller, who either restores the survivors' copies ({!restore}) or
+   writes them off as lost.  Unlike {!leave} the last vnode may crash —
+   a crash does not ask permission — so the ring can empty out. *)
+let crash t id =
+  match Hashtbl.find_opt t.index id with
+  | None -> Error `Not_member
+  | Some vn ->
+    t.messages.leaves <- t.messages.leaves + 1;
+    t.ring <- Ring.remove id t.ring;
+    Hashtbl.remove t.index id;
+    t.total_keys <- t.total_keys - Id_set.cardinal vn.keys;
+    Ok vn.keys
+
 let owner_of t key =
   match Ring.successor_incl key t.ring with
   | None -> None
   | Some (_, vn) -> Some vn
+
+(* Recovery after a crash: re-insert a crashed vnode's keys at their
+   current owner — the first surviving vnode clockwise of [near] (the
+   crashed id), which owns the whole vacated arc.  Bills one transfer
+   per key (the fetch from a replica holder). *)
+let restore t ~near keys =
+  let moved = Id_set.cardinal keys in
+  if moved > 0 then begin
+    match owner_of t near with
+    | None -> invalid_arg "Dht.restore: empty ring"
+    | Some vn ->
+      vn.keys <- Id_set.union vn.keys keys;
+      t.total_keys <- t.total_keys + moved;
+      t.messages.key_transfers <- t.messages.key_transfers + moved
+  end;
+  moved
 
 let insert_key t key =
   match owner_of t key with

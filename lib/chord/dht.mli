@@ -43,6 +43,23 @@ val leave : 'a t -> Id.t -> (unit, [ `Not_member | `Last_node ]) result
     the last vnode while it still holds keys ([`Last_node]): the paper's
     networks never drain completely because joins and leaves balance. *)
 
+val crash : 'a t -> Id.t -> (Id_set.t, [ `Not_member ]) result
+(** Ungraceful removal: the vnode vanishes with {e no} key handover and
+    its keys leave the store ([total_keys] drops by their count).  The
+    keys are returned so the caller can either {!restore} them from
+    surviving replicas or account them lost.  A crash never asks
+    permission, so — unlike {!leave} — the last vnode can crash and
+    empty the ring.  Charges one leave (the departure is still observed
+    by the ring). *)
+
+val restore : 'a t -> near:Id.t -> Id_set.t -> int
+(** [restore t ~near keys] re-inserts a crashed vnode's keys at their
+    current owner: the first surviving vnode clockwise of [near] (the
+    crashed vnode's id), which owns the whole vacated arc.  Returns the
+    number of keys moved and charges each as a [key_transfers] fetch
+    from the replica holder.  No-op on an empty key set.
+    @raise Invalid_argument if keys are given and the ring is empty. *)
+
 val insert_key : 'a t -> Id.t -> (unit, [ `Empty_ring | `Duplicate ]) result
 (** Store a key on its owner (the first vnode clockwise of the key). *)
 

@@ -6,8 +6,10 @@ type t = {
   mutable invitations : int;
   mutable lookup_hops : int;
   mutable maintenance : int;
+  mutable replications : int;
   mutable dropped : int;
   mutable retries : int;
+  mutable tasks_lost : int;
 }
 
 let create () =
@@ -19,8 +21,10 @@ let create () =
     invitations = 0;
     lookup_hops = 0;
     maintenance = 0;
+    replications = 0;
     dropped = 0;
     retries = 0;
+    tasks_lost = 0;
   }
 
 let reset t =
@@ -31,16 +35,20 @@ let reset t =
   t.invitations <- 0;
   t.lookup_hops <- 0;
   t.maintenance <- 0;
+  t.replications <- 0;
   t.dropped <- 0;
-  t.retries <- 0
+  t.retries <- 0;
+  t.tasks_lost <- 0
 
 (* [dropped]/[retries] stay out of the total: a dropped message was
    already counted in its own category when it was sent, and a retry's
    re-sent messages are charged again at the re-send — adding either
-   here would double-count bandwidth. *)
+   here would double-count bandwidth.  [tasks_lost] is not a message at
+   all, just the loss ledger.  [replications] IS real traffic (a backup
+   copy of every enrolled task crosses the network), so it is summed. *)
 let total t =
   t.joins + t.leaves + t.key_transfers + t.workload_queries + t.invitations
-  + t.lookup_hops + t.maintenance
+  + t.lookup_hops + t.maintenance + t.replications
 
 let add acc d =
   acc.joins <- acc.joins + d.joins;
@@ -50,8 +58,10 @@ let add acc d =
   acc.invitations <- acc.invitations + d.invitations;
   acc.lookup_hops <- acc.lookup_hops + d.lookup_hops;
   acc.maintenance <- acc.maintenance + d.maintenance;
+  acc.replications <- acc.replications + d.replications;
   acc.dropped <- acc.dropped + d.dropped;
-  acc.retries <- acc.retries + d.retries
+  acc.retries <- acc.retries + d.retries;
+  acc.tasks_lost <- acc.tasks_lost + d.tasks_lost
 
 let pp ppf t =
   Format.fprintf ppf
@@ -59,5 +69,8 @@ let pp ppf t =
      lookup_hops=%d maintenance=%d total=%d"
     t.joins t.leaves t.key_transfers t.workload_queries t.invitations
     t.lookup_hops t.maintenance (total t);
+  if t.replications > 0 then
+    Format.fprintf ppf " replications=%d" t.replications;
   if t.dropped > 0 || t.retries > 0 then
-    Format.fprintf ppf " dropped=%d retries=%d" t.dropped t.retries
+    Format.fprintf ppf " dropped=%d retries=%d" t.dropped t.retries;
+  if t.tasks_lost > 0 then Format.fprintf ppf " tasks_lost=%d" t.tasks_lost

@@ -14,20 +14,29 @@ type t = {
   mutable invitations : int;  (** overloaded-node help announcements *)
   mutable lookup_hops : int;  (** routing hops for joins/injections *)
   mutable maintenance : int;  (** periodic successor-list pings *)
+  mutable replications : int;
+      (** tasks copied to a successor-list replica (live backup traffic;
+          moves only when [Params.replicas > 0]) *)
   mutable dropped : int;
       (** control messages lost to a fault plan (drops / partitions) *)
   mutable retries : int;
       (** query rounds re-sent after a fault-plan timeout *)
+  mutable tasks_lost : int;
+      (** tasks destroyed because a crash wiped the owner {e and} every
+          live replica (the conserved-or-accounted-lost ledger; not a
+          message) *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 
 val total : t -> int
-(** Total messages {e sent}.  [dropped] and [retries] are diagnostic
-    counters, not additional traffic: a dropped message was counted in
-    its own category when sent, and a retry's re-sent messages are
-    charged again at the re-send — so neither is summed here. *)
+(** Total messages {e sent}.  [dropped], [retries] and [tasks_lost] are
+    diagnostic counters, not additional traffic: a dropped message was
+    counted in its own category when sent, a retry's re-sent messages
+    are charged again at the re-send, and a lost task is not a message
+    at all — so none of them is summed here.  [replications] is real
+    backup traffic and {e is} included. *)
 
 val add : t -> t -> unit
 (** [add acc delta] accumulates [delta] into [acc]. *)

@@ -5,6 +5,11 @@ type outcome = {
   failed_nodes : int;
 }
 
+let is_full ~ring_size ~replicas =
+  if replicas < 0 then invalid_arg "Replication: replicas < 0";
+  if ring_size < 1 then invalid_arg "Replication: ring_size < 1";
+  replicas >= ring_size - 1
+
 let loss_after_failure ~ring ~keys ~failed ~replicas =
   if replicas < 0 then invalid_arg "Replication: replicas < 0";
   let n = Array.length ring in
@@ -20,6 +25,10 @@ let loss_after_failure ~ring ~keys ~failed ~replicas =
     done;
     if !lo = n then 0 else !lo
   in
+  (* The replica walk clamps at the ring: a key never has more holders
+     than there are nodes.  At [replicas >= n - 1] ({!is_full}) the
+     holder set is the whole ring, so a key is lost iff {e every} node
+     failed — raising [replicas] further cannot change any outcome. *)
   let holders = min n (replicas + 1) in
   let lost = ref 0 in
   Array.iter

@@ -17,6 +17,14 @@ type outcome = {
   failed_nodes : int;
 }
 
+val is_full : ring_size:int -> replicas:int -> bool
+(** The full-replication edge: [replicas >= ring_size - 1] means every
+    node holds every key, so a key can only be lost when the {e entire}
+    ring fails at once.  {!loss_after_failure} clamps its replica walk
+    at the ring, so any [replicas] at or past this edge yields identical
+    outcomes.  @raise Invalid_argument if [replicas < 0] or
+    [ring_size < 1]. *)
+
 val loss_after_failure :
   ring:Id.t array ->
   keys:Id.t array ->
@@ -25,9 +33,11 @@ val loss_after_failure :
   outcome
 (** Exact accounting on a concrete ring: a key survives iff its owner or
     one of the owner's next [replicas] live-at-assignment successors is
-    not in the failed set.  [ring] must be non-empty; it is sorted
-    internally.  @raise Invalid_argument if [replicas < 0] or the ring
-    is empty. *)
+    not in the failed set.  The holder walk clamps at the ring size
+    (see {!is_full}): [replicas >= length ring - 1] makes every node a
+    holder of every key, and loss then requires the whole ring to fail.
+    [ring] must be non-empty; it is sorted internally.
+    @raise Invalid_argument if [replicas < 0] or the ring is empty. *)
 
 val simulate :
   Prng.t ->

@@ -122,6 +122,34 @@ let failure_recovery_csv rows =
          ])
        rows)
 
+let recovery_sweep_csv cells =
+  Csv_out.table
+    ~header:
+      [
+        "replicas";
+        "burst_count";
+        "burst_fraction";
+        "measured_loss_rate";
+        "expected_loss_rate";
+        "mean_factor";
+        "mean_tasks_lost";
+        "trials";
+      ]
+    (List.map
+       (fun (c : Recovery_sweep.cell) ->
+         let a = c.Recovery_sweep.aggregate in
+         [
+           string_of_int c.Recovery_sweep.replicas;
+           string_of_int c.Recovery_sweep.burst_count;
+           f c.Recovery_sweep.burst_fraction;
+           f c.Recovery_sweep.measured_loss_rate;
+           f c.Recovery_sweep.expected_loss_rate;
+           f a.Runner.mean_factor;
+           f a.Runner.mean_tasks_lost;
+           string_of_int a.Runner.trials;
+         ])
+       cells)
+
 let work_timeline_csv series =
   let header =
     "tick"
@@ -172,8 +200,10 @@ let messages_json (m : Messages.t) =
       ("invitations", Json_out.Int m.Messages.invitations);
       ("lookup_hops", Json_out.Int m.Messages.lookup_hops);
       ("maintenance", Json_out.Int m.Messages.maintenance);
+      ("replications", Json_out.Int m.Messages.replications);
       ("dropped", Json_out.Int m.Messages.dropped);
       ("retries", Json_out.Int m.Messages.retries);
+      ("tasks_lost", Json_out.Int m.Messages.tasks_lost);
       ("total", Json_out.Int (Messages.total m));
     ]
 
@@ -234,4 +264,5 @@ let aggregate_json ~label (a : Runner.aggregate) =
       ("mean_factor_finished", Json_out.Float a.Runner.mean_factor_finished);
       ("mean_ticks_finished", Json_out.Float a.Runner.mean_ticks_finished);
       ("mean_messages", Json_out.Float a.Runner.mean_messages);
+      ("mean_tasks_lost", Json_out.Float a.Runner.mean_tasks_lost);
     ]

@@ -6,6 +6,7 @@ val degradation_csv : Degradation.cell list -> string
 val lookup_hops_csv : Lookup_hops.row list -> string
 val maintenance_csv : Maintenance.row list -> string
 val failure_recovery_csv : Failure_recovery.row list -> string
+val recovery_sweep_csv : Recovery_sweep.cell list -> string
 val work_timeline_csv : Work_timeline.series list -> string
 
 val trace_csv : Trace.t -> string

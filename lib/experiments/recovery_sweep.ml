@@ -1,0 +1,66 @@
+type cell = {
+  replicas : int;
+  burst_count : int;
+  burst_fraction : float;
+  measured_loss_rate : float;
+  expected_loss_rate : float;
+  aggregate : Runner.aggregate;
+}
+
+(* replicas = 0 is deliberately absent: it turns recovery off entirely
+   (the paper's assumed-reliable data plane), so its measured loss is 0
+   by construction and comparing it to the analytic f would mislead. *)
+let replica_counts = [ 1; 2; 3 ]
+let burst_counts = [ 4; 10; 20 ]
+
+let run ?(trials = 5) ?(seed = 42) ?(nodes = 40) ?(tasks = 4_000)
+    ?(replica_counts = replica_counts) ?(burst_counts = burst_counts) () =
+  List.concat_map
+    (fun replicas ->
+      List.map
+        (fun burst_count ->
+          (* Churn off and the burst early: the ring the burst hits is
+             the initial one, with every replica group fully enrolled at
+             setup and barely any tasks consumed yet — the closest the
+             live simulation gets to the analytic f^(r+1) model. *)
+          let faults =
+            {
+              Faults.none with
+              Faults.crash_bursts = [ { Faults.at = 1; count = burst_count } ];
+            }
+          in
+          let params =
+            { (Params.default ~nodes ~tasks) with Params.replicas; seed; faults }
+          in
+          let aggregate =
+            Runner.run_trials ~trials params
+              (Strategy.make Strategy.No_strategy)
+          in
+          let burst_fraction = float_of_int burst_count /. float_of_int nodes in
+          {
+            replicas;
+            burst_count;
+            burst_fraction;
+            measured_loss_rate =
+              aggregate.Runner.mean_tasks_lost /. float_of_int tasks;
+            expected_loss_rate =
+              Replication.expected_loss_rate ~fail_fraction:burst_fraction
+                ~replicas;
+            aggregate;
+          })
+        burst_counts)
+    replica_counts
+
+let print_table cells =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-8s %6s %7s %14s %14s %12s\n" "replicas" "burst" "frac"
+       "measured loss" "expected f^r+1" "mean factor");
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-8d %6d %7.3f %14.6f %14.6f %12.3f\n" c.replicas
+           c.burst_count c.burst_fraction c.measured_loss_rate
+           c.expected_loss_rate c.aggregate.Runner.mean_factor))
+    cells;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Live recovery under crash bursts: loss versus replication degree.
+
+    Unlike {!Failure_recovery} — which samples the standalone
+    {!Replication} model — this sweep runs the {e full simulation} with
+    live replication on ([Params.replicas > 0]) and a crash burst from
+    the fault plan, and reads the engine's own [tasks_lost] ledger.  The
+    measured in-sim loss rate should track the analytic [f^(r+1)] (up to
+    without-replacement sampling at small rings and the few tasks
+    consumed before the burst), tying the survivability model to the
+    tick-driven data plane it now protects. *)
+
+type cell = {
+  replicas : int;
+  burst_count : int;  (** machines killed by the single burst *)
+  burst_fraction : float;  (** [burst_count / nodes] *)
+  measured_loss_rate : float;  (** mean [tasks_lost] / tasks *)
+  expected_loss_rate : float;  (** analytic [f^(r+1)] *)
+  aggregate : Runner.aggregate;
+}
+
+val replica_counts : int list
+(** Live degrees only (default [1; 2; 3]): [0] would switch recovery off
+    and trivially measure zero loss under the assumed-reliable plane. *)
+
+val burst_counts : int list
+
+val run :
+  ?trials:int -> ?seed:int -> ?nodes:int -> ?tasks:int ->
+  ?replica_counts:int list -> ?burst_counts:int list -> unit -> cell list
+
+val print_table : cell list -> string

@@ -9,6 +9,7 @@ type t = {
   backoff_base : int;
   backoff_cap : int;
   partition : (int * int) option;
+  repl_drop : float;
 }
 
 let none =
@@ -21,11 +22,12 @@ let none =
     backoff_base = 1;
     backoff_cap = 8;
     partition = None;
+    repl_drop = 0.0;
   }
 
 let enabled t =
   t.drop > 0.0 || t.crash_bursts <> [] || t.stragglers > 0
-  || t.partition <> None
+  || t.partition <> None || t.repl_drop > 0.0
 
 let validate t =
   if not (t.drop >= 0.0 && t.drop <= 1.0) then Error "drop must be in [0, 1]"
@@ -39,6 +41,8 @@ let validate t =
   else if t.backoff_base < 1 then Error "backoff_base must be >= 1"
   else if t.backoff_cap < t.backoff_base then
     Error "backoff_cap must be >= backoff_base"
+  else if not (t.repl_drop >= 0.0 && t.repl_drop <= 1.0) then
+    Error "repl_drop must be in [0, 1]"
   else
     match t.partition with
     | None -> Ok ()
@@ -100,6 +104,7 @@ let to_string t =
     (match t.partition with
     | None -> ()
     | Some (start, stop) -> add "partition=%d-%d" start stop);
+    if t.repl_drop > 0.0 then add "repl-drop=%g" t.repl_drop;
     Buffer.contents buf
   end
 
@@ -131,18 +136,34 @@ let of_string s =
         in
         Ok { at; count }
     in
+    (* One clause per key: a duplicate is almost always a typo'd plan
+       (the old last-wins rule silently ignored half of it), so reject
+       it.  [crash] is no exception — several bursts are spelled with
+       [+] inside a single clause. *)
+    let valid_keys =
+      "drop, crash, straggle, straggle-delay, retry-budget, backoff, \
+       partition, repl-drop"
+    in
     let parse_pair acc pair =
-      let* acc = acc in
+      let* acc, seen = acc in
       match String.index_opt pair '=' with
       | None -> Error (Printf.sprintf "expected key=value, got %S" pair)
       | Some i ->
         let key = String.lowercase_ascii (String.sub pair 0 i) in
         let v = String.sub pair (i + 1) (String.length pair - i - 1) in
-        (match key with
-        | "drop" ->
+        let* acc =
+          if List.mem key seen then
+            Error
+              (Printf.sprintf "duplicate fault key %S (each key at most once)"
+                 key)
+          else Ok acc
+        in
+        let* acc =
+          match key with
+          | "drop" ->
           let* d = float_of "drop" v in
           Ok { acc with drop = d }
-        | "crash" ->
+          | "crash" ->
           let* bursts =
             List.fold_left
               (fun r spec ->
@@ -152,16 +173,16 @@ let of_string s =
               (Ok []) (String.split_on_char '+' v)
           in
           Ok { acc with crash_bursts = acc.crash_bursts @ List.rev bursts }
-        | "straggle" ->
+          | "straggle" ->
           let* n = int_of "straggle" v in
           Ok { acc with stragglers = n }
-        | "straggle-delay" ->
+          | "straggle-delay" ->
           let* n = int_of "straggle-delay" v in
           Ok { acc with straggle_delay = n }
-        | "retry-budget" ->
+          | "retry-budget" ->
           let* n = int_of "retry-budget" v in
           Ok { acc with retry_budget = n }
-        | "backoff" -> (
+          | "backoff" -> (
           match String.index_opt v ':' with
           | None -> Error (Printf.sprintf "backoff: expected BASE:CAP, got %S" v)
           | Some i ->
@@ -171,7 +192,7 @@ let of_string s =
                 (String.sub v (i + 1) (String.length v - i - 1))
             in
             Ok { acc with backoff_base = base; backoff_cap = cap })
-        | "partition" -> (
+          | "partition" -> (
           match String.index_opt v '-' with
           | None ->
             Error (Printf.sprintf "partition: expected START-STOP, got %S" v)
@@ -182,10 +203,18 @@ let of_string s =
                 (String.sub v (i + 1) (String.length v - i - 1))
             in
             Ok { acc with partition = Some (start, stop) })
-        | _ -> Error (Printf.sprintf "unknown fault key %S" key))
+          | "repl-drop" ->
+            let* d = float_of "repl-drop" v in
+            Ok { acc with repl_drop = d }
+          | _ ->
+            Error
+              (Printf.sprintf "unknown fault key %S (valid keys: %s)" key
+                 valid_keys)
+        in
+        Ok (acc, key :: seen)
     in
-    let* plan =
-      List.fold_left parse_pair (Ok none) (String.split_on_char ',' s)
+    let* plan, _ =
+      List.fold_left parse_pair (Ok (none, [])) (String.split_on_char ',' s)
     in
     let* () = validate plan in
     Ok plan

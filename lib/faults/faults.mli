@@ -12,13 +12,18 @@
     and any two runs with the same seed and the same plan are
     bit-identical regardless of instrumentation or domain count.
 
-    Scope: faults apply to the {e control plane} only — workload
-    queries, invitation announces and their replies.  Data-plane
-    traffic (join handovers, key transfers, replica recovery) is
-    modelled as reliable, exactly as the paper's active-backup
-    assumption demands; a fault plan therefore never loses or
-    duplicates a task key (the invariant harness checks conservation
-    under crash bursts like under any other churn). *)
+    Scope: most faults apply to the {e control plane} — workload
+    queries, invitation announces and their replies; join handovers and
+    key transfers are modelled as reliable.  Since live replication
+    exists ([Params.replicas > 0]) the plan also carries one data-plane
+    knob, {!field-repl_drop}: backup {e enrolments} can fail (and are
+    retried at the next repair pass), and the crash path itself loses
+    the tasks whose whole replica group died — accounted in
+    [Messages.tasks_lost], never silent (the invariant harness checks
+    the conserved-or-accounted-lost law under crash bursts like under
+    any other churn).  With [replicas = 0] the data plane behaves
+    exactly as before: failures teleport keys reliably and nothing is
+    ever lost. *)
 
 type burst = { at : int;  (** tick at which the burst fires *) count : int }
 (** [count] active machines die ungracefully at tick [at]. *)
@@ -45,6 +50,11 @@ type t = {
           from the fault stream at setup) is unreachable — messages to
           it are lost and it makes no decisions — but keeps consuming
           its own tasks *)
+  repl_drop : float;
+      (** probability that one backup enrolment (copying a vnode's tasks
+          to a new replica holder during a repair pass) fails that pass;
+          the holder stays missing and is retried at the next pass.
+          Only consulted when [Params.replicas > 0]; [0] = reliable *)
 }
 
 val none : t
@@ -55,7 +65,7 @@ val none : t
 
 val enabled : t -> bool
 (** [true] iff the plan can ever inject a fault (drop > 0, a burst, a
-    straggler, or a partition window). *)
+    straggler, a partition window, or repl_drop > 0). *)
 
 val validate : t -> (unit, string) result
 
@@ -81,8 +91,10 @@ val of_string : string -> (t, string) result
     Keys: [drop=0.1], [crash=5@200] (several bursts:
     [crash=5@200+3@400]), [straggle=3], [straggle-delay=2],
     [retry-budget=3], [backoff=1:8] (base:cap),
-    [partition=100-250] (window [[100, 250))).
-    [""] and ["off"] parse to {!none}. *)
+    [partition=100-250] (window [[100, 250))), [repl-drop=0.2].
+    [""] and ["off"] parse to {!none}.  Each key may appear at most
+    once (several crash bursts use [+] inside one [crash] clause); a
+    duplicate or unknown key is an [Error] naming the valid keys. *)
 
 val to_string : t -> string
 (** Canonical spec string ({!of_string} round-trips); ["off"] for

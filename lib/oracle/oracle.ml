@@ -31,10 +31,15 @@
                sender is partitioned or [drop] is 0/1 — Prng.bernoulli's
                endpoint short-circuits) -> crash-burst victim picks
                (without replacement from the active machines, after
-               churn)
+               churn) -> replica-repair enrolment bernoullis (vnodes in
+               ascending ring order, missing holders in successor-walk
+               order, one draw each iff 0 < repl_drop < 1; only when
+               [replicas > 0] and [tick mod repair_lag = 0])
 
    A disabled plan never consumes a fault draw, which is why faults-off
-   runs are bit-identical to the pre-fault engine.
+   runs are bit-identical to the pre-fault engine.  Crash recovery
+   itself is draw-free: victims are already chosen, and the
+   lost-or-recovered predicate is deterministic.
 
    The oracle additionally re-checks its own invariants after every tick
    unconditionally — it is the belt to the engine's DHTLB_CHECK braces. *)
@@ -65,8 +70,10 @@ type msgs = {
   mutable invitations : int;
   mutable lookup_hops : int;
   mutable maintenance : int;
+  mutable replications : int;
   mutable dropped : int;
   mutable retries : int;
+  mutable tasks_lost : int;
 }
 
 type t = {
@@ -77,6 +84,13 @@ type t = {
   mutable ring : ovnode list; (* ascending by id *)
   machs : omach array;
   msgs : msgs;
+  (* Live replica map, mirroring State.repl as an association list:
+     vnode id -> ids of its current backup holders.  Always [] when
+     [Params.replicas = 0].  Unlike the engine the oracle keeps no
+     repair-skip bookkeeping: the engine's skip fires only when the
+     pass would be a draw-free no-op, so running the pass anyway is
+     bit-identical. *)
+  mutable holders : (Id.t * Id.t list) list;
   initial_mean : float;
   mutable initial_tasks : int;
   mutable tick : int;
@@ -266,6 +280,117 @@ let consume o id budget =
       taken
     end
 
+(* ---- live replica map (mirroring State.repl) --------------------- *)
+
+let recovery_on o = Params.recovery_on o.params
+
+let holders_of o id =
+  match List.find_opt (fun (i, _) -> Id.equal i id) o.holders with
+  | Some (_, hs) -> hs
+  | None -> []
+
+let set_holders o id hs =
+  if List.exists (fun (i, _) -> Id.equal i id) o.holders then
+    o.holders <-
+      List.map (fun (i, h) -> if Id.equal i id then (i, hs) else (i, h)) o.holders
+  else o.holders <- (id, hs) :: o.holders
+
+let remove_holder_entry o id =
+  o.holders <- List.filter (fun (i, _) -> not (Id.equal i id)) o.holders
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+(* Mirrors State.repl_prune_one: departures leave every holder list. *)
+let prune_holder o id =
+  o.holders <-
+    List.map
+      (fun (i, hs) -> (i, List.filter (fun h -> not (Id.equal h id)) hs))
+      o.holders
+
+(* Mirrors State.repl_note_join: a newcomer splitting its donor's arc is
+   backed by the donor plus the donor's holders, capped at [replicas]. *)
+let repl_note_join o ~id ~donor =
+  if recovery_on o then
+    let hs =
+      match donor with
+      | None -> []
+      | Some d -> take o.params.Params.replicas (d :: holders_of o d)
+    in
+    set_holders o id hs
+
+(* Mirrors State.repl_note_leave: the recipient of a graceful merge keeps
+   only holders that already backed both ranges. *)
+let repl_note_leave o ~id ~recipient =
+  if recovery_on o then begin
+    let own = holders_of o id in
+    remove_holder_entry o id;
+    (match recipient with
+    | None -> ()
+    | Some s ->
+      set_holders o s
+        (List.filter (fun h -> List.exists (Id.equal h) own) (holders_of o s)));
+    prune_holder o id
+  end
+
+(* Donor/recipient snapshots taken before the join/leave mutates the
+   ring — mirror State.repl_donor / State.repl_recipient. *)
+let repl_donor o id =
+  if not (recovery_on o) then None
+  else match successor o id with None -> None | Some vn -> Some vn.id
+
+let repl_recipient o id =
+  if (not (recovery_on o)) || ring_size o <= 1 then None
+  else match successor o id with None -> None | Some vn -> Some vn.id
+
+(* Mirrors Dht.crash: no handover, no last-node protection; the keys are
+   handed back for recovery-or-loss accounting. *)
+let crash o id =
+  match find_vnode o id with
+  | None -> assert false
+  | Some vn ->
+    o.msgs.leaves <- o.msgs.leaves + 1;
+    o.ring <- List.filter (fun v -> not (Id.equal v.id id)) o.ring;
+    vn.keys
+
+(* Mirrors Dht.restore: a crashed vnode's keys land on the first
+   surviving vnode clockwise of its id, one transfer each. *)
+let restore o ~near keys =
+  let moved = List.length keys in
+  if moved > 0 then
+    match owner_of o near with
+    | None -> invalid_arg "Oracle: restore on an empty ring"
+    | Some vn ->
+      vn.keys <- merge_sorted vn.keys keys;
+      o.msgs.key_transfers <- o.msgs.key_transfers + moved
+
+(* Mirrors State.crash_machines: all vnodes of all [pids] die in one
+   simultaneous event; per vnode in death order its tasks are restored
+   from a surviving holder or charged to [tasks_lost]. *)
+let crash_machines o pids =
+  let dying = List.concat_map (fun pid -> o.machs.(pid).vnodes) pids in
+  let died id = List.exists (Id.equal id) dying in
+  let removed = List.map (fun id -> (id, crash o id)) dying in
+  List.iter
+    (fun pid ->
+      let m = o.machs.(pid) in
+      m.vnodes <- [];
+      m.active <- false;
+      m.failed_arcs <- [];
+      m.retry_attempts <- 0;
+      m.retry_at <- -1)
+    pids;
+  List.iter
+    (fun (id, keys) ->
+      let survives = List.exists (fun h -> not (died h)) (holders_of o id) in
+      if survives then restore o ~near:id keys
+      else o.msgs.tasks_lost <- o.msgs.tasks_lost + List.length keys)
+    removed;
+  List.iter (fun (id, _) -> remove_holder_entry o id) removed;
+  o.holders <-
+    List.map (fun (i, hs) -> (i, List.filter (fun h -> not (died h)) hs)) o.holders
+
 (* ---- machine lifecycle (mirroring State) ------------------------- *)
 
 let workload_of_phys o pid =
@@ -295,8 +420,10 @@ let create_sybil o pid id =
   if (not m.active) || sybil_count o pid >= sybil_capacity o pid then false
   else begin
     charge_lookup o;
+    let donor = repl_donor o id in
     match join o ~id ~owner:pid with
     | Ok () ->
+      repl_note_join o ~id ~donor;
       m.vnodes <- m.vnodes @ [ id ];
       true
     | Error `Occupied -> false
@@ -309,8 +436,9 @@ let retire_sybils o pid =
   | primary :: sybils ->
     List.iter
       (fun id ->
+        let recipient = repl_recipient o id in
         match leave o id with
-        | Ok () -> ()
+        | Ok () -> repl_note_leave o ~id ~recipient
         | Error (`Not_member | `Last_node) -> assert false)
       sybils;
     m.vnodes <- [ primary ]
@@ -321,8 +449,10 @@ let leave_phys o pid =
   match m.vnodes with
   | [] -> ()
   | [ primary ] -> begin
+    let recipient = repl_recipient o primary in
     match leave o primary with
     | Ok () ->
+      repl_note_leave o ~id:primary ~recipient;
       m.vnodes <- [];
       m.active <- false;
       m.failed_arcs <- [];
@@ -342,20 +472,27 @@ let join_phys o pid =
     else m.original_id
   in
   let hops = lookup_cost o in
+  let donor = repl_donor o id in
   match join o ~id ~owner:pid with
   | Ok () ->
     o.msgs.lookup_hops <- o.msgs.lookup_hops + hops;
+    repl_note_join o ~id ~donor;
     m.vnodes <- [ id ];
     m.active <- true
   | Error `Occupied -> () (* stays waiting; retries on a later tick *)
 
 (* Recovery traffic only if the machine actually departed — a surviving
-   last node recovers nothing.  Mirrors State.fail_phys. *)
-let fail_phys o pid =
+   last node recovers nothing.  Mirrors State.fail_phys_assumed. *)
+let fail_phys_assumed o pid =
   let lost = workload_of_phys o pid in
   leave_phys o pid;
   if not o.machs.(pid).active then
     o.msgs.key_transfers <- o.msgs.key_transfers + lost
+
+(* Mirrors State.fail_phys: a lone churn failure is a one-machine crash
+   event under live replication. *)
+let fail_phys o pid =
+  if recovery_on o then crash_machines o [ pid ] else fail_phys_assumed o pid
 
 let apply_churn o =
   let churn = o.params.Params.churn_rate
@@ -415,12 +552,45 @@ let apply_crash_bursts o =
     let alive = ref [] in
     Array.iter (fun m -> if m.active then alive := m.pid :: !alive) o.machs;
     let pool = ref (List.rev !alive) in
+    let victims = ref [] in
     for _ = 1 to min count (List.length !pool) do
       let i = Prng.int_below o.frng (List.length !pool) in
-      let pid = List.nth !pool i in
-      pool := List.filteri (fun j _ -> j <> i) !pool;
-      fail_phys o pid
-    done
+      victims := List.nth !pool i :: !victims;
+      pool := List.filteri (fun j _ -> j <> i) !pool
+    done;
+    let victims = List.rev !victims in
+    if recovery_on o then begin
+      if victims <> [] then crash_machines o victims
+    end
+    else List.iter (fail_phys_assumed o) victims
+  end
+
+(* Mirrors State.repair_replicas minus the draw-free skip: every
+   [repair_lag] ticks walk the ring ascending and restore each vnode's
+   holder list to its current successor list — kept holders are free,
+   each missing one costs a copy of the vnode's tasks and (iff
+   0 < repl_drop < 1) one fault-stream bernoulli. *)
+let repair_replicas o =
+  if recovery_on o && o.tick mod o.params.Params.repair_lag = 0 then begin
+    let p = o.params.Params.faults.Faults.repl_drop in
+    List.iter
+      (fun vn ->
+        let current = holders_of o vn.id in
+        let desired = k_successors o vn.id o.params.Params.replicas in
+        let hs =
+          List.filter_map
+            (fun s ->
+              if List.exists (Id.equal s.id) current then Some s.id
+              else if Prng.bernoulli o.frng p then None
+              else begin
+                o.msgs.replications <-
+                  o.msgs.replications + List.length vn.keys;
+                Some s.id
+              end)
+            desired
+        in
+        set_holders o vn.id hs)
+      o.ring
   end
 
 let clear_smart_retry o pid =
@@ -526,9 +696,12 @@ let create (params : Params.t) =
           invitations = 0;
           lookup_hops = 0;
           maintenance = 0;
+          replications = 0;
           dropped = 0;
           retries = 0;
+          tasks_lost = 0;
         };
+      holders = [];
       initial_mean =
         float_of_int params.Params.tasks /. float_of_int n;
       initial_tasks = 0;
@@ -564,6 +737,18 @@ let create (params : Params.t) =
           o.initial_tasks <- o.initial_tasks + 1
         end)
     keys;
+  (* Mirrors State.create's initial enrolment: the data load ships with
+     its backups — charged as replication traffic, no drop draws. *)
+  if recovery_on o then
+    List.iter
+      (fun vn ->
+        let desired = k_successors o vn.id params.Params.replicas in
+        List.iter
+          (fun _ ->
+            o.msgs.replications <- o.msgs.replications + List.length vn.keys)
+          desired;
+        set_holders o vn.id (List.map (fun s -> s.id) desired))
+      o.ring;
   o
 
 (* ---- strategy replays -------------------------------------------- *)
@@ -930,9 +1115,40 @@ let check_invariants o =
     o.ring;
   if Hashtbl.length listed <> ring_size o then
     invalid_arg "Oracle: machine lists a vnode missing from the ring";
-  (* Key conservation. *)
-  if o.work_done_total + remaining_tasks o <> o.initial_tasks then
-    invalid_arg "Oracle: key conservation violated";
+  (* Key conservation, conserved-or-accounted-lost (tasks_lost is
+     pinned to zero below when live replication is off). *)
+  if o.work_done_total + remaining_tasks o + o.msgs.tasks_lost <> o.initial_tasks
+  then invalid_arg "Oracle: key conservation violated";
+  if not (recovery_on o) then begin
+    if o.msgs.tasks_lost <> 0 then
+      invalid_arg "Oracle: tasks lost with live replication off";
+    if o.msgs.replications <> 0 then
+      invalid_arg "Oracle: replication traffic with live replication off"
+  end
+  else begin
+    (* Holder-map structural laws, mirroring the engine's harness. *)
+    if List.length o.holders <> ring_size o then
+      invalid_arg "Oracle: replica map size <> ring size";
+    List.iter
+      (fun (id, hs) ->
+        if find_vnode o id = None then
+          invalid_arg "Oracle: replica map entry for a vnode not in the ring";
+        if List.length hs > o.params.Params.replicas then
+          invalid_arg "Oracle: holder list longer than the replication degree";
+        let rec dup = function
+          | [] -> false
+          | h :: tl -> List.exists (Id.equal h) tl || dup tl
+        in
+        if dup hs then invalid_arg "Oracle: duplicate replica holder";
+        List.iter
+          (fun h ->
+            if Id.equal h id then
+              invalid_arg "Oracle: vnode is its own replica holder";
+            if find_vnode o h = None then
+              invalid_arg "Oracle: replica holder not in the ring")
+          hs)
+      o.holders
+  end;
   (* Sybil caps. *)
   Array.iter
     (fun m ->
@@ -947,7 +1163,7 @@ let check_invariants o =
   let total =
     o.msgs.joins + o.msgs.leaves + o.msgs.key_transfers
     + o.msgs.workload_queries + o.msgs.invitations + o.msgs.lookup_hops
-    + o.msgs.maintenance
+    + o.msgs.maintenance + o.msgs.replications
   in
   if total < o.last_msg_total then
     invalid_arg "Oracle: message counters decreased";
@@ -984,6 +1200,7 @@ let run (params : Params.t) (strat : Strategy.t) =
       let work_done = consume_tick o in
       apply_churn o;
       apply_crash_bursts o;
+      repair_replicas o;
       o.tick <- o.tick + 1;
       points_rev :=
         {

@@ -14,9 +14,11 @@
     (finished tick or abort cap), every per-tick trace point
     ([work_done]/[remaining]/[active_nodes]/[vnodes]), the runtime
     factor, and all message counters — including the [dropped] and
-    [retries] diagnostics when a fault plan ({!Faults.t}) is active;
-    fault randomness is replayed on the same dedicated stream the
-    engine uses ({!Faults.rng}).  [test/test_oracle.ml]
+    [retries] diagnostics when a fault plan ({!Faults.t}) is active,
+    and the [replications] and [tasks_lost] counters when live
+    replication ([Params.replicas > 0]) is on; fault randomness is
+    replayed on the same dedicated stream the engine uses
+    ({!Faults.rng}).  [test/test_oracle.ml]
     enforces this over qcheck-generated scenarios spanning every
     strategy; see [docs/TESTING.md] for the PRNG draw-order contract
     that keeps the two sides in lockstep.
@@ -33,9 +35,14 @@ type msgs = {
   mutable invitations : int;
   mutable lookup_hops : int;
   mutable maintenance : int;
+  mutable replications : int;
   mutable dropped : int;
   mutable retries : int;
+  mutable tasks_lost : int;
 }
+(** Mirrors {!Messages.t} field for field, including the live-replication
+    counters: [replications] (backup copies shipped) and [tasks_lost]
+    (the crash-loss ledger). *)
 
 type point = {
   tick : int;

@@ -58,6 +58,7 @@ let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
       let t3 = Metrics.lap m Metrics.Consume t2 in
       State.apply_churn state;
       State.apply_crash_bursts state;
+      State.repair_replicas state;
       State.advance_tick state;
       let t4 = Metrics.lap m Metrics.Churn t3 in
       Trace.record trace

@@ -10,7 +10,9 @@
     + every active machine completes up to its capacity in tasks;
     + ambient churn moves machines between the ring and the waiting pool;
     + any crash burst the fault plan schedules for this tick fires
-      ({!State.apply_crash_bursts}; a no-op under {!Faults.none}).
+      ({!State.apply_crash_bursts}; a no-op under {!Faults.none});
+    + the lazy replica-repair pass re-enrols missing backups
+      ({!State.repair_replicas}; a no-op unless [Params.replicas > 0]).
 
     The run ends when no tasks remain; a safety cap of
     [max_ticks_factor × ideal] aborts pathological configurations.

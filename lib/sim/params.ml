@@ -26,6 +26,8 @@ type t = {
   max_ticks_factor : int;
   check_every_tick : bool;
   faults : Faults.t;
+  replicas : int;
+  repair_lag : int;
 }
 
 let default ~nodes ~tasks =
@@ -50,7 +52,11 @@ let default ~nodes ~tasks =
     max_ticks_factor = 50;
     check_every_tick = false;
     faults = Faults.none;
+    replicas = 0;
+    repair_lag = 1;
   }
+
+let recovery_on t = t.replicas > 0
 
 (* DHTLB_CHECK=1 switches the invariant harness on for every run in the
    process without threading a flag through callers — CI uses it to run
@@ -85,6 +91,8 @@ let validate t =
   else if t.decision_period < 1 then Error "decision_period must be >= 1"
   else if t.invite_factor <= 0.0 then Error "invite_factor must be > 0"
   else if t.max_ticks_factor < 1 then Error "max_ticks_factor must be >= 1"
+  else if t.replicas < 0 then Error "replicas must be >= 0"
+  else if t.repair_lag < 1 then Error "repair_lag must be >= 1"
   else
     match Faults.validate t.faults with
     | Error e -> Error ("faults: " ^ e)
@@ -114,5 +122,7 @@ let pp ppf t =
      %s %s period=%d seed=%d"
     t.nodes t.tasks t.churn_rate t.failure_rate t.max_sybils t.sybil_threshold
     t.num_successors het work t.decision_period t.seed;
+  if recovery_on t then
+    Format.fprintf ppf " replicas=%d repair-lag=%d" t.replicas t.repair_lag;
   if Faults.enabled t.faults then
     Format.fprintf ppf " faults=%a" Faults.pp t.faults

@@ -24,11 +24,14 @@ type t = {
   tasks : int;  (** job size in tasks *)
   churn_rate : float;  (** per-node, per-tick leave/join probability *)
   failure_rate : float;
-      (** per-node, per-tick probability of dying {e without} handover;
-          keys are recovered from successor-list replicas (the paper's
-          active-backup assumption), which costs recovery traffic but
-          loses nothing.  Failed machines rejoin like churned ones.
-          Default 0. *)
+      (** per-node, per-tick probability of dying {e without} handover.
+          With [replicas = 0] keys are recovered from assumed
+          successor-list replicas (the paper's active-backup
+          assumption), which costs recovery traffic but loses nothing;
+          with [replicas > 0] recovery uses the {e live} replica map and
+          tasks whose whole replica group is dead are genuinely lost
+          ([Messages.tasks_lost]).  Failed machines rejoin like churned
+          ones.  Default 0. *)
   max_sybils : int;  (** Sybil cap (homogeneous); strength range (hetero) *)
   sybil_threshold : int;  (** workload at or below which Sybils are made *)
   num_successors : int;  (** successor/predecessor list length *)
@@ -64,15 +67,29 @@ type t = {
           and debugging (default [false]) *)
   faults : Faults.t;
       (** deterministic fault plan (message drops, stragglers, crash
-          bursts, a partition window); {!Faults.none} (the default)
-          reproduces the pre-fault engine bit-for-bit because fault
-          randomness lives on a dedicated stream split from [seed] *)
+          bursts, a partition window, backup-enrolment drops);
+          {!Faults.none} (the default) reproduces the pre-fault engine
+          bit-for-bit because fault randomness lives on a dedicated
+          stream split from [seed] *)
+  replicas : int;
+      (** live successor-list replication degree: each vnode's tasks are
+          backed up on its next [replicas] ring successors, maintained
+          by a lazy repair pass and used to recover from crashes.  [0]
+          (the default) disables the subsystem entirely and is pinned
+          bit-for-bit identical to the engine before it existed. *)
+  repair_lag : int;
+      (** ticks between replica repair passes ([>= 1]); the window in
+          which a changed ring leaves tasks under-replicated.  Only
+          meaningful when [replicas > 0].  Default 1. *)
 }
 
 val default : nodes:int -> tasks:int -> t
 (** Paper defaults: no churn, [max_sybils = 5], [sybil_threshold = 0],
     [num_successors = 5], homogeneous, one task per tick, decisions every
-    5 ticks, [invite_factor = 2.0], seed 42. *)
+    5 ticks, [invite_factor = 2.0], seed 42, no live replication. *)
+
+val recovery_on : t -> bool
+(** [replicas > 0]: the live replication/recovery subsystem is active. *)
 
 val ideal_runtime : t -> strengths:int array -> int
 (** ⌈tasks / total capacity⌉ where capacity is the number of initially

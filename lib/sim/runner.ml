@@ -11,6 +11,7 @@ type aggregate = {
   mean_factor_finished : float;
   mean_ticks_finished : float;
   mean_messages : float;
+  mean_tasks_lost : float;
 }
 
 let run_one (params : Params.t) mk_strategy i =
@@ -114,6 +115,11 @@ let run_trials ?trials ?domains params mk_strategy =
     mean_messages =
       Descriptive.mean
         (Array.map (fun r -> float_of_int (Messages.total r.Engine.messages)) results);
+    mean_tasks_lost =
+      Descriptive.mean
+        (Array.map
+           (fun r -> float_of_int r.Engine.messages.Messages.tasks_lost)
+           results);
   }
 
 let pp_aggregate ppf a =
@@ -122,6 +128,8 @@ let pp_aggregate ppf a =
      msgs=%.0f"
     a.trials a.mean_factor a.stddev_factor a.min_factor a.max_factor
     a.mean_ticks a.mean_ideal a.aborted a.mean_messages;
+  if a.mean_tasks_lost > 0.0 then
+    Format.fprintf ppf " lost=%.1f" a.mean_tasks_lost;
   if a.aborted > 0 && a.finished > 0 then
     Format.fprintf ppf " finished-only: factor=%.3f ticks=%.1f (%d trials)"
       a.mean_factor_finished a.mean_ticks_finished a.finished

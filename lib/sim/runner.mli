@@ -20,6 +20,9 @@ type aggregate = {
           [nan] when every trial aborted *)
   mean_ticks_finished : float;  (** ditto for ticks; [nan] if none finished *)
   mean_messages : float;  (** mean total messages per trial *)
+  mean_tasks_lost : float;
+      (** mean tasks genuinely lost per trial — 0 unless live replication
+          is on ([Params.replicas > 0]) and whole replica groups died *)
 }
 
 val run_trials :

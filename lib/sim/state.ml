@@ -12,6 +12,20 @@ type phys = {
   mutable retry_at : int;
 }
 
+(* Live replica map ([Params.replicas > 0] only): vnode id -> ids of the
+   ring vnodes currently holding a backup of its tasks.  Holder lists
+   exclude the owner, contain only live ring members (departures are
+   pruned eagerly — with pinned identities a machine can rejoin at an id
+   a stale list still names, which would fake a backup), and are capped
+   at [replicas].  [last_version]/[last_complete] let the repair pass
+   skip itself when the ring has not changed since a fully successful
+   pass — a draw-free, state-free skip the oracle need not mirror. *)
+type repl = {
+  holders : (Id.t, Id.t list) Hashtbl.t;
+  mutable last_version : int;  (* joins + leaves at the last pass; -1 = never *)
+  mutable last_complete : bool;  (* that pass enrolled every desired holder *)
+}
+
 type t = {
   params : Params.t;
   dht : payload Dht.t;
@@ -19,6 +33,7 @@ type t = {
   rng : Prng.t;
   frng : Prng.t;
   partitioned : int;
+  repl : repl option;
   initial_mean : float;
   initial_tasks : int;
   mutable tick : int;
@@ -96,6 +111,33 @@ let create (params : Params.t) =
     | Ok n -> n (* duplicate keys (negligible probability) drop silently *)
     | Error `Empty_ring -> assert false
   in
+  (* Live replication: the initial data load ships with its backups —
+     every vnode's tasks are enrolled on its next [replicas] successors,
+     charged as replication traffic but with no enrolment-drop draws
+     (repl_drop models the lazy repair path, not the setup). *)
+  let repl =
+    if not (Params.recovery_on params) then None
+    else begin
+      let r =
+        { holders = Hashtbl.create 256; last_version = -1; last_complete = false }
+      in
+      let m = Dht.messages dht in
+      Dht.iter
+        (fun vn ->
+          let desired = Dht.k_successors dht vn.Dht.id params.replicas in
+          List.iter
+            (fun _ ->
+              m.Messages.replications <-
+                m.Messages.replications + Id_set.cardinal vn.Dht.keys)
+            desired;
+          Hashtbl.replace r.holders vn.Dht.id
+            (List.map (fun s -> s.Dht.id) desired))
+        dht;
+      r.last_version <- m.Messages.joins + m.Messages.leaves;
+      r.last_complete <- true;
+      Some r
+    end
+  in
   {
     params;
     dht;
@@ -103,6 +145,7 @@ let create (params : Params.t) =
     rng;
     frng;
     partitioned;
+    repl;
     initial_mean = float_of_int params.tasks /. float_of_int n;
     initial_tasks;
     tick = 0;
@@ -174,13 +217,100 @@ let charge_lookup t =
   (Dht.messages t.dht).Messages.lookup_hops <-
     (Dht.messages t.dht).Messages.lookup_hops + lookup_cost t
 
+(* --- Replica-map maintenance -------------------------------------------
+   Only live when [Params.replicas > 0] ([t.repl = Some _]); every helper
+   is a no-op otherwise, so the recovery-off engine is untouched.  The
+   bookkeeping below is deterministic (no draws); the only recovery
+   randomness is the optional repl_drop bernoulli in the repair pass. *)
+
+let replica_holders t id =
+  match t.repl with
+  | None -> []
+  | Some r -> Option.value ~default:[] (Hashtbl.find_opt r.holders id)
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+(* A vnode joining with a key split takes over part of its donor's arc;
+   the donor keeps holding the handed-over tasks, so the newcomer starts
+   out backed by the donor plus the donor's own holders (capped at
+   [replicas]) until the next repair pass rebuilds its true successor
+   list. *)
+let repl_note_join t ~id ~donor =
+  match t.repl with
+  | None -> ()
+  | Some r ->
+    let hs =
+      match donor with
+      | None -> []
+      | Some d ->
+        take t.params.Params.replicas
+          (d :: Option.value ~default:[] (Hashtbl.find_opt r.holders d))
+    in
+    Hashtbl.replace r.holders id hs
+
+(* Drop a departed vnode from every holder list.  Eager rather than
+   lazy-on-use: with pinned identities ([rejoin_fresh_id = false]) a
+   machine can rejoin at an id a stale list still names, and the fresh
+   vnode holds no backup — a stale entry would fake protection. *)
+let repl_prune_one t id =
+  match t.repl with
+  | None -> ()
+  | Some r ->
+    Hashtbl.filter_map_inplace
+      (fun _ hs -> Some (List.filter (fun h -> not (Id.equal h id)) hs))
+      r.holders
+
+(* A graceful leave merges the leaver's range into its successor: a
+   holder backs the merged range only if it already backed both parts,
+   so the recipient's list intersects with the leaver's. *)
+let repl_note_leave t ~id ~recipient =
+  match t.repl with
+  | None -> ()
+  | Some r ->
+    let own = Option.value ~default:[] (Hashtbl.find_opt r.holders id) in
+    Hashtbl.remove r.holders id;
+    (match recipient with
+    | None -> ()
+    | Some s ->
+      let sh = Option.value ~default:[] (Hashtbl.find_opt r.holders s) in
+      Hashtbl.replace r.holders s
+        (List.filter (fun h -> List.exists (Id.equal h) own) sh));
+    repl_prune_one t id
+
+(* Key donor (the successor) of a join at [id], recorded before the join
+   lands; [None] when the map is off (avoids the ring walk) or the ring
+   is empty. *)
+let repl_donor t id =
+  match t.repl with
+  | None -> None
+  | Some _ -> (
+    match Dht.successor t.dht id with
+    | None -> None
+    | Some vn -> Some vn.Dht.id)
+
+(* Graceful-leave recipient, recorded before the leave: the successor
+   that will absorb the keys, or [None] when the leaver is alone. *)
+let repl_recipient t id =
+  match t.repl with
+  | None -> None
+  | Some _ ->
+    if Dht.size t.dht <= 1 then None
+    else (
+      match Dht.successor t.dht id with
+      | None -> None
+      | Some vn -> Some vn.Dht.id)
+
 let create_sybil t pid id =
   let p = t.phys.(pid) in
   if (not p.active) || sybil_count t pid >= sybil_capacity t pid then false
   else begin
     charge_lookup t;
+    let donor = repl_donor t id in
     match Dht.join t.dht ~id ~payload:{ owner = pid } with
     | Ok _ ->
+      repl_note_join t ~id ~donor;
       p.vnodes <- p.vnodes @ [ id ];
       true
     | Error `Occupied -> false
@@ -193,8 +323,9 @@ let retire_sybils t pid =
   | primary :: sybils ->
     List.iter
       (fun id ->
+        let recipient = repl_recipient t id in
         match Dht.leave t.dht id with
-        | Ok () -> ()
+        | Ok () -> repl_note_leave t ~id ~recipient
         | Error `Not_member -> assert false
         | Error `Last_node -> assert false (* the primary is still present *))
       sybils;
@@ -218,8 +349,10 @@ let leave_phys t pid =
   match p.vnodes with
   | [] -> ()
   | [ primary ] -> begin
+    let recipient = repl_recipient t primary in
     match Dht.leave t.dht primary with
     | Ok () ->
+      repl_note_leave t ~id:primary ~recipient;
       p.vnodes <- [];
       p.active <- false;
       p.failed_arcs <- [];
@@ -243,22 +376,25 @@ let join_phys t pid =
     if t.params.rejoin_fresh_id then Keygen.fresh t.rng else p.original_id
   in
   let hops = lookup_cost t in
+  let donor = repl_donor t id in
   match Dht.join t.dht ~id ~payload:{ owner = pid } with
   | Ok _ ->
     (Dht.messages t.dht).Messages.lookup_hops <-
       (Dht.messages t.dht).Messages.lookup_hops + hops;
+    repl_note_join t ~id ~donor;
     p.vnodes <- [ id ];
     p.active <- true
   | Error `Occupied -> () (* stays waiting; retries on a later tick *)
 
-(* Ungraceful death: like a leave, except nobody hands keys over — the
-   successor must fetch them from its replicas, so the recovery costs a
-   second transfer of every key the dead machine held (the paper's
-   active-backup assumption makes the fetch always succeed).  Recovery
-   is billed only if the machine actually departs: the ring's last
-   key-holding vnode refuses the departure (`Last_node) and keeps
-   serving its keys, so there is nothing to recover. *)
-let fail_phys t pid =
+(* Ungraceful death, assumed-reliable model ([replicas = 0]): like a
+   leave, except nobody hands keys over — the successor must fetch them
+   from its replicas, so the recovery costs a second transfer of every
+   key the dead machine held (the paper's active-backup assumption makes
+   the fetch always succeed).  Recovery is billed only if the machine
+   actually departs: the ring's last key-holding vnode refuses the
+   departure (`Last_node) and keeps serving its keys, so there is
+   nothing to recover. *)
+let fail_phys_assumed t pid =
   let lost_keys = workload_of_phys t pid in
   leave_phys t pid;
   if not t.phys.(pid).active then begin
@@ -266,6 +402,66 @@ let fail_phys t pid =
     messages.Messages.key_transfers <-
       messages.Messages.key_transfers + lost_keys
   end
+
+(* Ungraceful death, live-replication model ([replicas > 0]): all vnodes
+   of all [pids] die in ONE simultaneous event.  Every dying vnode is
+   torn out of the ring with no handover; then, per vnode in death
+   order, its tasks are either fetched from a surviving replica holder
+   (merging into the first surviving successor, one [key_transfers]
+   charge per task) or — when the whole replica group died in the event
+   — genuinely lost and charged to [tasks_lost].  No draws: the victim
+   selection already happened on the fault stream, and the loss
+   predicate is deterministic (it must equal
+   [Replication.loss_after_failure] on the same ring).  There is no
+   last-node protection here: a crash does not ask permission, so a
+   large enough event may empty the ring and lose everything. *)
+let crash_machines t pids =
+  let r = match t.repl with Some r -> r | None -> assert false in
+  let dying = List.concat_map (fun pid -> t.phys.(pid).vnodes) pids in
+  let dead = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace dead id ()) dying;
+  let removed =
+    List.map
+      (fun id ->
+        match Dht.crash t.dht id with
+        | Ok keys -> (id, keys)
+        | Error `Not_member -> assert false)
+      dying
+  in
+  List.iter
+    (fun pid ->
+      let p = t.phys.(pid) in
+      p.vnodes <- [];
+      p.active <- false;
+      p.failed_arcs <- [];
+      p.retry_attempts <- 0;
+      p.retry_at <- -1)
+    pids;
+  let m = Dht.messages t.dht in
+  List.iter
+    (fun (id, keys) ->
+      let survives =
+        (* Eager pruning keeps holder lists inside the ring, so a holder
+           is live iff it did not die in this same event. *)
+        List.exists
+          (fun h -> not (Hashtbl.mem dead h))
+          (Option.value ~default:[] (Hashtbl.find_opt r.holders id))
+      in
+      if survives then ignore (Dht.restore t.dht ~near:id keys)
+      else
+        m.Messages.tasks_lost <- m.Messages.tasks_lost + Id_set.cardinal keys)
+    removed;
+  List.iter (fun (id, _) -> Hashtbl.remove r.holders id) removed;
+  Hashtbl.filter_map_inplace
+    (fun _ hs -> Some (List.filter (fun h -> not (Hashtbl.mem dead h)) hs))
+    r.holders
+
+(* A lone churn failure is a one-machine crash event: with live
+   replication its tasks survive iff a replica holder outlives it. *)
+let fail_phys t pid =
+  match t.repl with
+  | None -> fail_phys_assumed t pid
+  | Some _ -> crash_machines t [ pid ]
 
 let apply_churn t =
   let churn = t.params.churn_rate and fail = t.params.failure_rate in
@@ -336,22 +532,84 @@ let charge_retry t =
   m.Messages.retries <- m.Messages.retries + 1
 
 (* Scheduled crash burst: [count] victims drawn without replacement from
-   the machines active when the burst fires, failed in draw order.  Each
-   dies ungracefully ([fail_phys]), so recovery traffic is charged and
-   the last-key-holder protection still applies. *)
+   the machines active when the burst fires, in fault-stream draw order.
+   The draws never depend on earlier victims' deaths (the pool is fixed
+   up front), so collecting all victims first is bit-identical to the
+   old draw-one-fail-one loop.  With [replicas = 0] each victim then
+   dies via the assumed-reliable path in draw order (recovery traffic
+   charged, last-key-holder protection applies); with [replicas > 0]
+   the whole burst is ONE simultaneous crash event — a task is lost iff
+   its owner and every replica holder died together, matching
+   [Replication.loss_after_failure] on the pre-burst ring. *)
 let apply_crash_bursts t =
   let count = Faults.burst_at t.params.Params.faults ~tick:t.tick in
   if count > 0 then begin
     let alive = ref [] in
     Array.iter (fun p -> if p.active then alive := p.pid :: !alive) t.phys;
     let pool = ref (List.rev !alive) in
+    let victims = ref [] in
     for _ = 1 to min count (List.length !pool) do
       let i = Prng.int_below t.frng (List.length !pool) in
-      let pid = List.nth !pool i in
-      pool := List.filteri (fun j _ -> j <> i) !pool;
-      fail_phys t pid
-    done
+      victims := List.nth !pool i :: !victims;
+      pool := List.filteri (fun j _ -> j <> i) !pool
+    done;
+    let victims = List.rev !victims in
+    match t.repl with
+    | None -> List.iter (fail_phys_assumed t) victims
+    | Some _ -> if victims <> [] then crash_machines t victims
   end
+
+(* Lazy replica repair ([replicas > 0] only): every [repair_lag] ticks,
+   walk the ring in ascending id order and bring every vnode's holder list
+   back to its current successor list.  Holders already enrolled carry
+   over for free; each missing one costs a fresh copy of the vnode's
+   current tasks ([replications] charges) and — under a [repl_drop]
+   plan — one fault-stream bernoulli that can fail the enrolment for
+   this pass (retried next pass).  Draw order: vnodes ascending, then
+   missing holders in successor-walk order.  Holders that fell out of
+   the successor list (ring drift) are dropped.  When the ring has not
+   changed since a fully successful pass the walk is skipped outright —
+   a no-op pass would keep every holder and draw nothing, so the skip
+   is invisible to the oracle. *)
+let repair_replicas t =
+  match t.repl with
+  | None -> ()
+  | Some r ->
+    if t.tick mod t.params.Params.repair_lag = 0 then begin
+      let m = Dht.messages t.dht in
+      let version = m.Messages.joins + m.Messages.leaves in
+      if not (r.last_complete && version = r.last_version) then begin
+        let p = t.params.Params.faults.Faults.repl_drop in
+        let complete = ref true in
+        Dht.iter
+          (fun vn ->
+            let id = vn.Dht.id in
+            let current =
+              Option.value ~default:[] (Hashtbl.find_opt r.holders id)
+            in
+            let desired = Dht.k_successors t.dht id t.params.Params.replicas in
+            let hs =
+              List.filter_map
+                (fun s ->
+                  let hid = s.Dht.id in
+                  if List.exists (Id.equal hid) current then Some hid
+                  else if Prng.bernoulli t.frng p then begin
+                    complete := false;
+                    None
+                  end
+                  else begin
+                    m.Messages.replications <-
+                      m.Messages.replications + Id_set.cardinal vn.Dht.keys;
+                    Some hid
+                  end)
+                desired
+            in
+            Hashtbl.replace r.holders id hs)
+          t.dht;
+        r.last_version <- version;
+        r.last_complete <- !complete
+      end
+    end
 
 (* Smart-neighbor retry bookkeeping.  A machine whose workload queries
    timed out waits [Faults.backoff] ticks between attempts; when the
@@ -416,14 +674,56 @@ let check_invariants t =
    O(nodes + keys); run by the engine when [Params.check_requested]. *)
 let check_tick_invariants t =
   check_invariants t;
-  (* Key conservation: tasks are only ever completed, never lost in a
-     join/leave/failure handover. *)
+  (* Key conservation, relaxed to conserved-or-accounted-lost: a task is
+     either still stored, completed, or on the [tasks_lost] ledger
+     because a crash wiped its whole replica group — it never silently
+     vanishes or duplicates.  With [replicas = 0] the ledger is pinned
+     to zero below, restoring the strict law. *)
+  let m = Dht.messages t.dht in
   let remaining = remaining_tasks t in
-  if t.work_done_total + remaining <> t.initial_tasks then
+  if t.work_done_total + remaining + m.Messages.tasks_lost <> t.initial_tasks
+  then
     invalid_arg
       (Printf.sprintf
-         "State: key conservation violated (done %d + remaining %d <> initial %d)"
-         t.work_done_total remaining t.initial_tasks);
+         "State: key conservation violated (done %d + remaining %d + lost %d \
+          <> initial %d)"
+         t.work_done_total remaining m.Messages.tasks_lost t.initial_tasks);
+  (* Recovery-off laws: without live replication nothing is ever lost
+     and no replication traffic flows. *)
+  if not (Params.recovery_on t.params) then begin
+    if m.Messages.tasks_lost <> 0 then
+      invalid_arg "State: tasks lost with live replication off";
+    if m.Messages.replications <> 0 then
+      invalid_arg "State: replication traffic with live replication off"
+  end;
+  (* Holder-map structural laws: one entry per ring vnode; holders are
+     live ring members, never the owner, never duplicated, at most
+     [replicas] of them. *)
+  (match t.repl with
+  | None -> ()
+  | Some r ->
+    if Hashtbl.length r.holders <> Dht.size t.dht then
+      invalid_arg
+        (Printf.sprintf "State: replica map has %d entries but the ring has %d"
+           (Hashtbl.length r.holders) (Dht.size t.dht));
+    Hashtbl.iter
+      (fun id hs ->
+        if Dht.find t.dht id = None then
+          invalid_arg "State: replica map entry for a vnode not in the ring";
+        if List.length hs > t.params.Params.replicas then
+          invalid_arg "State: holder list longer than the replication degree";
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun h ->
+            if Id.equal h id then
+              invalid_arg "State: vnode listed as its own replica holder";
+            if Hashtbl.mem seen h then
+              invalid_arg "State: duplicate replica holder";
+            Hashtbl.replace seen h ();
+            if Dht.find t.dht h = None then
+              invalid_arg "State: replica holder not in the ring (stale entry)")
+          hs)
+      r.holders);
   (* Sybil caps: no machine exceeds max_sybils (homogeneous) or its
      strength (heterogeneous). *)
   Array.iter
@@ -442,9 +742,9 @@ let check_tick_invariants t =
     invalid_arg
       (Printf.sprintf "State: machines list %d vnodes but the ring has %d"
          total_vnodes (Dht.size t.dht));
-  (* Message accounting: every successful join and leave is charged, so
-     the ring size is exactly their difference. *)
-  let m = Dht.messages t.dht in
+  (* Message accounting: every successful join and leave (crashes
+     included) is charged, so the ring size is exactly their
+     difference. *)
   if m.Messages.joins - m.Messages.leaves <> Dht.size t.dht then
     invalid_arg
       (Printf.sprintf
@@ -510,6 +810,37 @@ module For_testing = struct
       | Ok n -> n
       | Error `Empty_ring -> invalid_arg "State.For_testing.build: no vnodes"
     in
+    (* Mirrors [create]: the hand-built load ships with its backups,
+       charged as replication traffic, with no enrolment-drop draws. *)
+    let repl =
+      if not (Params.recovery_on params) then None
+      else begin
+        let r =
+          {
+            holders = Hashtbl.create 64;
+            last_version = -1;
+            last_complete = false;
+          }
+        in
+        let m = Dht.messages dht in
+        Dht.iter
+          (fun vn ->
+            let desired =
+              Dht.k_successors dht vn.Dht.id params.Params.replicas
+            in
+            List.iter
+              (fun _ ->
+                m.Messages.replications <-
+                  m.Messages.replications + Id_set.cardinal vn.Dht.keys)
+              desired;
+            Hashtbl.replace r.holders vn.Dht.id
+              (List.map (fun s -> s.Dht.id) desired))
+          dht;
+        r.last_version <- m.Messages.joins + m.Messages.leaves;
+        r.last_complete <- true;
+        Some r
+      end
+    in
     {
       params;
       dht;
@@ -519,6 +850,7 @@ module For_testing = struct
          partition victim.  Drop/burst/retry behavior still works. *)
       frng = Faults.rng ~seed:params.Params.seed;
       partitioned = -1;
+      repl;
       initial_mean =
         float_of_int params.Params.tasks /. float_of_int params.Params.nodes;
       initial_tasks;

@@ -28,6 +28,11 @@ type phys = private {
   mutable retry_at : int;  (** tick of the next retry; -1 = none pending *)
 }
 
+type repl
+(** Live replica map ([Params.replicas > 0] only): which ring vnodes
+    hold a backup of each vnode's tasks, plus repair-pass bookkeeping.
+    Opaque; query through {!replica_holders}. *)
+
 type t = private {
   params : Params.t;
   dht : payload Dht.t;
@@ -37,6 +42,7 @@ type t = private {
       (** dedicated fault stream ({!Faults.rng}); never mixes with [rng],
           so [Faults.none] runs are bit-identical to a fault-free build *)
   partitioned : int;  (** pid cut off during the partition window; -1 = none *)
+  repl : repl option;  (** [Some] iff [Params.recovery_on params] *)
   initial_mean : float;  (** tasks / nodes at start *)
   initial_tasks : int;  (** keys actually stored at setup (conservation) *)
   mutable tick : int;
@@ -98,19 +104,41 @@ val join_phys : t -> int -> unit
     contract. *)
 
 val fail_phys : t -> int -> unit
-(** Ungraceful death: all vnodes depart without handover and the keys
-    the machine held are re-fetched from successor-list replicas,
-    charging [key_transfers] for each.  If the departure is refused
-    (last key-holding vnode) the machine stays and {e nothing} is
-    charged — a surviving node recovers no keys. *)
+(** Ungraceful death.  With [replicas = 0] (the paper's assumed-reliable
+    data plane): all vnodes depart without handover and the keys the
+    machine held are re-fetched from successor-list replicas, charging
+    [key_transfers] for each; if the departure is refused (last
+    key-holding vnode) the machine stays and {e nothing} is charged.
+    With [replicas > 0] the machine dies as a one-machine crash event:
+    each vnode's tasks are recovered from the live replica map iff a
+    holder outlives the event (a [key_transfers] fetch per task) and
+    charged to [tasks_lost] otherwise — and there is no last-node
+    protection, because a crash does not ask permission. *)
 
 val apply_churn : t -> unit
 (** One tick of churn: active machines leave gracefully with probability
     [churn_rate] or die ungracefully with probability [failure_rate]
-    (failures charge replica-recovery traffic; all vnodes depart either
-    way; the ring's last key-holding vnode is protected), and waiting
+    ({!fail_phys} semantics — assumed-reliable recovery at
+    [replicas = 0], live replica recovery otherwise), and waiting
     machines join at a fresh or original id at the combined rate.
     No-op when both rates are 0. *)
+
+val replica_holders : t -> Id.t -> Id.t list
+(** Current replica holders of a vnode's tasks (never including the
+    vnode itself; at most [replicas]); [[]] when recovery is off or the
+    id is unknown. *)
+
+val repair_replicas : t -> unit
+(** The lazy repair pass (engine hook; no-op when [replicas = 0]).
+    Every [repair_lag] ticks, restore each vnode's holder list to its
+    current [replicas] ring successors in ascending-vnode order:
+    already-enrolled holders carry over free, each missing one costs a
+    copy of the vnode's current tasks (one [replications] charge per
+    task) and, under a [repl_drop] plan, one fault-stream bernoulli
+    that can postpone the enrolment to the next pass.  Skipped outright
+    when the ring is unchanged since a fully successful pass (the skip
+    is draw-free and state-identical, so the oracle does not mirror
+    it). *)
 
 val advance_tick : t -> unit
 (** Increment the tick counter (engine use). *)

@@ -134,6 +134,34 @@ let test_failure_recovery_small () =
   let printed = Failure_recovery.print_table rows in
   Alcotest.(check bool) "table header" true (contains printed "replicas")
 
+let test_recovery_sweep_small () =
+  let cells =
+    Recovery_sweep.run ~seed:6 ~nodes:24 ~tasks:1_200 ~trials:2
+      ~replica_counts:[ 1; 3 ] ~burst_counts:[ 12 ] ()
+  in
+  Alcotest.(check int) "two cells" 2 (List.length cells);
+  (match cells with
+  | [ r1; r3 ] ->
+    Alcotest.(check bool) "more replicas never lose more" true
+      (r3.Recovery_sweep.measured_loss_rate
+      <= r1.Recovery_sweep.measured_loss_rate);
+    List.iter
+      (fun (c : Recovery_sweep.cell) ->
+        Alcotest.(check bool) "loss rate in [0, 1]" true
+          (c.Recovery_sweep.measured_loss_rate >= 0.0
+          && c.Recovery_sweep.measured_loss_rate <= 1.0);
+        Alcotest.(check bool) "aggregate ledger matches rate" true
+          (Float.abs
+             (c.Recovery_sweep.aggregate.Runner.mean_tasks_lost
+             -. (c.Recovery_sweep.measured_loss_rate *. 1_200.0))
+          < 1e-6))
+      cells
+  | _ -> Alcotest.fail "cell shape");
+  let printed = Recovery_sweep.print_table cells in
+  Alcotest.(check bool) "table header" true (contains printed "expected f^r+1");
+  Alcotest.(check bool) "csv header" true
+    (contains (Export.recovery_sweep_csv cells) "measured_loss_rate")
+
 let test_lookup_hops_scaling () =
   let rows = Lookup_hops.run ~seed:9 ~sizes:[ 64; 512 ] ~lookups:200 () in
   (match rows with
@@ -203,6 +231,7 @@ let () =
         [
           Alcotest.test_case "maintenance" `Quick test_maintenance_small;
           Alcotest.test_case "failure recovery" `Quick test_failure_recovery_small;
+          Alcotest.test_case "recovery sweep" `Quick test_recovery_sweep_small;
           Alcotest.test_case "lookup hops" `Quick test_lookup_hops_scaling;
           Alcotest.test_case "work timeline" `Quick test_work_timeline;
           Alcotest.test_case "export csvs" `Quick test_export_csvs_shape;

@@ -208,6 +208,7 @@ let gen_plan =
         ]
     in
     let* partition = oneofl [ None; Some (10, 50) ] in
+    let* repl_drop = oneofl [ 0.0; 0.1; 0.5; 1.0 ] in
     return
       {
         Faults.drop;
@@ -218,6 +219,7 @@ let gen_plan =
         backoff_base;
         backoff_cap;
         partition;
+        repl_drop;
       })
 
 (* [to_string] is canonical: a disabled plan prints as "off" (knob
@@ -238,6 +240,35 @@ let prop_spec_roundtrip =
       match Faults.of_string (Faults.to_string plan) with
       | Ok plan' -> plan' = normalize_plan plan
       | Error e -> QCheck.Test.fail_reportf "spec did not parse back: %s" e)
+
+(* A malformed --faults spec must be rejected with a pointed error, not
+   silently last-writer-wins (duplicates) or ignored (unknown keys). *)
+let test_spec_rejects_bad_keys () =
+  let expect_error ~needle spec =
+    match Faults.of_string spec with
+    | Ok _ -> Alcotest.failf "%S parsed but should be rejected" spec
+    | Error e ->
+      let has sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      if not (has needle e) then
+        Alcotest.failf "%S: error %S does not mention %S" spec e needle
+  in
+  expect_error ~needle:"duplicate fault key \"drop\"" "drop=0.1,drop=0.2";
+  expect_error ~needle:"duplicate fault key \"crash\"" "crash=2@3,straggle=1,crash=1@9";
+  expect_error ~needle:"duplicate fault key \"repl-drop\"" "repl-drop=0.1,repl-drop=0.1";
+  expect_error ~needle:"unknown fault key \"bogus\"" "bogus=1";
+  (* The unknown-key error lists every valid key so the user can fix the
+     spec without reading the source. *)
+  expect_error ~needle:"valid keys: drop, crash, straggle, straggle-delay, \
+                        retry-budget, backoff, partition, repl-drop"
+    "drop=0.1,typo=3";
+  (match Faults.of_string "repl-drop=0.25" with
+  | Ok p ->
+    Alcotest.(check (float 0.0)) "repl-drop parses" 0.25 p.Faults.repl_drop
+  | Error e -> Alcotest.failf "repl-drop spec rejected: %s" e)
 
 (* ---- 3. exact degraded-mode semantics (drop = 1.0) ---------------- *)
 
@@ -366,6 +397,7 @@ let faulted_params =
         backoff_base = 1;
         backoff_cap = 8;
         partition = Some (2, 10);
+        repl_drop = 0.0;
       };
   }
 
@@ -434,8 +466,13 @@ let () =
             test_golden_p2;
         ] );
       ( "plan",
-        [ prop_backoff_monotone_capped; prop_retry_schedule; prop_spec_roundtrip ]
-      );
+        [
+          prop_backoff_monotone_capped;
+          prop_retry_schedule;
+          prop_spec_roundtrip;
+          Alcotest.test_case "spec rejects duplicate/unknown keys" `Quick
+            test_spec_rejects_bad_keys;
+        ] );
       ( "degraded",
         [
           Alcotest.test_case "smart fallback exact accounting" `Quick

@@ -130,12 +130,16 @@ type scenario = {
   max_ticks_factor : int;
   seed : int;
   faults : Faults.t;
+  replicas : int;
+  repair_lag : int;
 }
 
 let params_of (s : scenario) =
   {
     (Params.default ~nodes:s.nodes ~tasks:s.tasks) with
     Params.faults = s.faults;
+    replicas = s.replicas;
+    repair_lag = s.repair_lag;
     churn_rate = s.churn;
     failure_rate = s.fail;
     heterogeneity = (if s.hetero then Params.Heterogeneous else Params.Homogeneous);
@@ -159,11 +163,11 @@ let print_scenario strat s =
     "strategy=%s nodes=%d tasks=%d churn=%g fail=%g hetero=%b strength_work=%b \
      clustered=%b threshold=%d period=%d stagger=%b rejoin_fresh=%b \
      split_median=%b avoid_repeats=%b max_ticks_factor=%d Params.seed=%d \
-     faults=%s"
+     faults=%s replicas=%d repair_lag=%d"
     (Strategy.name strat) s.nodes s.tasks s.churn s.fail s.hetero
     s.strength_work s.clustered s.sybil_threshold s.period s.stagger
     s.rejoin_fresh s.split_median s.avoid_repeats s.max_ticks_factor s.seed
-    (Faults.to_string s.faults)
+    (Faults.to_string s.faults) s.replicas s.repair_lag
 
 let gen_scenario =
   QCheck.Gen.(
@@ -204,6 +208,7 @@ let gen_scenario =
                 ]
             in
             let* partition = oneofl [ None; Some (2, 12) ] in
+            let* repl_drop = oneofl [ 0.0; 0.0; 0.3; 1.0 ] in
             return
               {
                 Faults.none with
@@ -214,9 +219,15 @@ let gen_scenario =
                 backoff_base;
                 crash_bursts;
                 partition;
+                repl_drop;
               } );
         ]
     in
+    (* Half the scenarios keep live replication off (the subsystem must
+       stay invisible at replicas = 0); the rest sweep the degree and a
+       lagged repair. *)
+    let* replicas = frequency [ (1, return 0); (1, int_range 1 3) ] in
+    let* repair_lag = int_range 1 3 in
     return
       {
         nodes;
@@ -235,6 +246,8 @@ let gen_scenario =
         max_ticks_factor;
         seed;
         faults;
+        replicas;
+        repair_lag;
       })
 
 (* A divergence shrinks toward the boring end of every axis: fewer
@@ -274,8 +287,17 @@ let shrink_scenario (s : scenario) yield =
     if f.Faults.stragglers > 0 then
       yield { s with faults = { f with Faults.stragglers = 0 } };
     if f.Faults.partition <> None then
-      yield { s with faults = { f with Faults.partition = None } }
-  end
+      yield { s with faults = { f with Faults.partition = None } };
+    if f.Faults.repl_drop > 0.0 then
+      yield { s with faults = { f with Faults.repl_drop = 0.0 } }
+  end;
+  (* Recovery shrinks toward off, then toward a thinner degree and an
+     eager repair. *)
+  if s.replicas > 0 then begin
+    yield { s with replicas = 0 };
+    if s.replicas > 1 then yield { s with replicas = s.replicas - 1 }
+  end;
+  if s.repair_lag > 1 then yield { s with repair_lag = 1 }
 
 let arb_scenario strat =
   QCheck.make ~print:(print_scenario strat) ~shrink:shrink_scenario gen_scenario
@@ -361,8 +383,10 @@ let compare_runs (strat : Strategy.t) (s : scenario) =
         ("invitations", em.Messages.invitations, om.Oracle.invitations);
         ("lookup_hops", em.Messages.lookup_hops, om.Oracle.lookup_hops);
         ("maintenance", em.Messages.maintenance, om.Oracle.maintenance);
+        ("replications", em.Messages.replications, om.Oracle.replications);
         ("dropped", em.Messages.dropped, om.Oracle.dropped);
         ("retries", em.Messages.retries, om.Oracle.retries);
+        ("tasks_lost", em.Messages.tasks_lost, om.Oracle.tasks_lost);
       ]
     in
     match List.find_opt (fun (_, a, b) -> a <> b) pairs with
@@ -426,6 +450,8 @@ let test_oracle_stressed strat () =
       max_ticks_factor = 8;
       seed = 1234;
       faults = Faults.none;
+      replicas = 0;
+      repair_lag = 1;
     }
   in
   match compare_runs strat s with
@@ -458,6 +484,8 @@ let test_oracle_accounting_edges () =
       max_ticks_factor = 8;
       seed = 42;
       faults = Faults.none;
+      replicas = 0;
+      repair_lag = 1;
     }
   in
   List.iter
@@ -494,6 +522,8 @@ let fault_base =
     max_ticks_factor = 8;
     seed = 4321;
     faults = Faults.none;
+    replicas = 0;
+    repair_lag = 1;
   }
 
 let fault_scenarios =
@@ -535,7 +565,37 @@ let fault_scenarios =
             backoff_base = 1;
             backoff_cap = 4;
             partition = Some (3, 12);
+            repl_drop = 0.0;
           } } );
+    (* Live replication on: the oracle must mirror crash recovery (the
+       lost-or-recovered predicate and its key_transfers/tasks_lost
+       charges) and the repair pass's enrolment draws bit-for-bit. *)
+    ( "recovery-crash",
+      { fault_base with
+        replicas = 2;
+        faults =
+          {
+            Faults.none with
+            Faults.crash_bursts =
+              [ { Faults.at = 4; count = 4 }; { Faults.at = 9; count = 3 } ];
+          } } );
+    ( "recovery-lossy-repair",
+      { fault_base with
+        replicas = 1;
+        repair_lag = 2;
+        faults =
+          {
+            Faults.none with
+            Faults.repl_drop = 0.5;
+            crash_bursts =
+              [ { Faults.at = 3; count = 3 }; { Faults.at = 7; count = 3 } ];
+          } } );
+    ( "recovery-near-wipeout",
+      { fault_base with
+        replicas = 1;
+        faults =
+          { Faults.none with
+            Faults.crash_bursts = [ { Faults.at = 4; count = 10 } ] } } );
   ]
 
 let test_oracle_faulted (label, s) () =

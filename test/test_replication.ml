@@ -51,6 +51,43 @@ let test_replicas_capped_by_ring () =
   let o = Replication.loss_after_failure ~ring ~keys ~failed ~replicas:99 in
   Alcotest.(check int) "capped at ring size" 0 o.Replication.lost_keys
 
+let test_is_full_edge () =
+  (* The pinned edge: replicas >= ring_size - 1 means every node holds
+     every key, so a key is lost only when the whole ring fails — and
+     raising replicas past the edge changes nothing. *)
+  Alcotest.(check bool) "4-ring, r=3 is full" true
+    (Replication.is_full ~ring_size:4 ~replicas:3);
+  Alcotest.(check bool) "4-ring, r=2 is not" false
+    (Replication.is_full ~ring_size:4 ~replicas:2);
+  Alcotest.(check bool) "singleton ring always full" true
+    (Replication.is_full ~ring_size:1 ~replicas:0);
+  let ring = [| i 100; i 200; i 300; i 400 |] in
+  let keys = [| i 150; i 250; i 350; i 450 |] in
+  (* At the edge, killing all but one node loses nothing... *)
+  let failed id = not (Id.equal id (i 300)) in
+  let o = Replication.loss_after_failure ~ring ~keys ~failed ~replicas:3 in
+  Alcotest.(check int) "all-but-one dead, nothing lost" 0
+    o.Replication.lost_keys;
+  (* ...killing every node loses everything... *)
+  let o =
+    Replication.loss_after_failure ~ring ~keys ~failed:(fun _ -> true)
+      ~replicas:3
+  in
+  Alcotest.(check int) "whole ring dead, all lost" 4 o.Replication.lost_keys;
+  (* ...and any degree at or past the edge is outcome-identical. *)
+  List.iter
+    (fun r ->
+      let a = Replication.loss_after_failure ~ring ~keys ~failed ~replicas:r in
+      let b = Replication.loss_after_failure ~ring ~keys ~failed ~replicas:3 in
+      if a <> b then Alcotest.failf "replicas=%d differs from the edge" r)
+    [ 4; 7; 100 ];
+  Alcotest.(check bool) "is_full rejects replicas < 0" true
+    (try ignore (Replication.is_full ~ring_size:3 ~replicas:(-1)); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "is_full rejects ring_size < 1" true
+    (try ignore (Replication.is_full ~ring_size:0 ~replicas:2); false
+     with Invalid_argument _ -> true)
+
 let test_rejects () =
   Alcotest.(check bool) "negative replicas" true
     (try
@@ -118,6 +155,7 @@ let () =
           Alcotest.test_case "exact accounting" `Quick test_exact_accounting;
           Alcotest.test_case "wrap replicas" `Quick test_wrap_replicas;
           Alcotest.test_case "replicas capped" `Quick test_replicas_capped_by_ring;
+          Alcotest.test_case "full-replication edge" `Quick test_is_full_edge;
           Alcotest.test_case "rejects" `Quick test_rejects;
           Alcotest.test_case "matches f^(r+1)" `Quick test_loss_matches_theory;
           Alcotest.test_case "monotone in replicas" `Quick
