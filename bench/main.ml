@@ -272,6 +272,112 @@ let hotpath () =
   metric "bulk1_speedup" (Json_out.Float (dt_single /. dt_bulk1));
   metric "bulk6_speedup" (Json_out.Float (dt_single /. dt_bulk6))
 
+(* ------------------------------------------------------------------ *)
+(* The scale leg: the simulation at DHT-population sizes, driven by a   *)
+(* real balancing strategy.  The hotpath section above watches the      *)
+(* 1000-node tick machinery; this one answers "does a 100k-node /       *)
+(* 1M-task run finish in single-digit seconds, and does setup stay      *)
+(* below the strategy run it feeds?".  Each leg sweeps three seeds and  *)
+(* reports per-seed numbers plus medians, which is what ci.sh gates.    *)
+
+let scale_json : Json_out.t option ref = ref None
+
+let scale () =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let strategy = Strategy.Random_injection in
+  let seeds = [ seed; seed + 1; seed + 2 ] in
+  let median l =
+    let a = List.sort compare l in
+    List.nth a (List.length a / 2)
+  in
+  let leg name ~nodes ~tasks ~churn =
+    Printf.printf "%s leg: %dn / %dt, churn %.2f, strategy %s\n%!" name nodes
+      tasks churn (Strategy.name strategy);
+    let runs =
+      List.map
+        (fun sd ->
+          let params =
+            {
+              (Params.default ~nodes ~tasks) with
+              Params.seed = sd;
+              churn_rate = churn;
+            }
+          in
+          let state, dt_create = timed (fun () -> State.create params) in
+          let r, dt_run =
+            timed (fun () ->
+                Engine.run_state ~sink:Trace.Memory ~metrics:false state
+                  (Strategy.make strategy ()))
+          in
+          let ticks =
+            match r.Engine.outcome with
+            | Engine.Finished t | Engine.Aborted t -> t
+          in
+          let keys_per_s = float_of_int tasks /. dt_run in
+          Printf.printf
+            "  seed %d: create %.2fs, run %.2fs (%d ticks, factor %.2f, %.0f \
+             keys/s)\n%!"
+            sd dt_create dt_run ticks r.Engine.factor keys_per_s;
+          (sd, dt_create, dt_run, ticks, r.Engine.factor, keys_per_s))
+        seeds
+    in
+    let med_create = median (List.map (fun (_, c, _, _, _, _) -> c) runs) in
+    let med_run = median (List.map (fun (_, _, r, _, _, _) -> r) runs) in
+    let med_keys = median (List.map (fun (_, _, _, _, _, k) -> k) runs) in
+    (* High-water mark of the major heap so far: the memory envelope the
+       leg fits in (monotone across legs, so the last leg reports the
+       run's overall peak). *)
+    let top_heap_mb =
+      float_of_int (Gc.quick_stat ()).Gc.top_heap_words *. 8.0 /. 1e6
+    in
+    Printf.printf
+      "  %s medians: create %.2fs %s run %.2fs, %.0f keys/s, heap \
+       high-water %.0f MB\n%!"
+      name med_create
+      (if med_create < med_run then "<" else ">=")
+      med_run med_keys top_heap_mb;
+    ( name,
+      Json_out.Obj
+        [
+          ("nodes", Json_out.Int nodes);
+          ("tasks", Json_out.Int tasks);
+          ("churn", Json_out.Float churn);
+          ( "runs",
+            Json_out.List
+              (List.map
+                 (fun (sd, c, r, t, f, k) ->
+                   Json_out.Obj
+                     [
+                       ("seed", Json_out.Int sd);
+                       ("sim_create_s", Json_out.Float c);
+                       ("sim_run_s", Json_out.Float r);
+                       ("ticks", Json_out.Int t);
+                       ("factor", Json_out.Float f);
+                       ("keys_per_s", Json_out.Float k);
+                     ])
+                 runs) );
+          ("sim_create_s_median", Json_out.Float med_create);
+          ("sim_run_s_median", Json_out.Float med_run);
+          ("keys_per_s_median", Json_out.Float med_keys);
+          ("top_heap_mb", Json_out.Float top_heap_mb);
+        ] )
+  in
+  let quick = leg "quick" ~nodes:20_000 ~tasks:200_000 ~churn:0.01 in
+  let full = leg "full" ~nodes:100_000 ~tasks:1_000_000 ~churn:0.0 in
+  scale_json :=
+    Some
+      (Json_out.Obj
+         [
+           ("strategy", Json_out.String (Strategy.name strategy));
+           ("seeds", Json_out.List (List.map (fun s -> Json_out.Int s) seeds));
+           quick;
+           full;
+         ])
+
 (* Stamp the emitted metrics with enough provenance to compare runs
    across commits and machines: the git revision the numbers belong to,
    the core count, and the compiler that produced the binary. *)
@@ -285,6 +391,11 @@ let git_rev () =
   with _ -> "unknown"
 
 let emit_hotpath_json () =
+  (* Only when the hotpath section actually ran: a DHTLB_ONLY run of
+     some other section must not clobber the committed baseline with a
+     file that has no hotpath numbers (ci.sh gates against it). *)
+  if !hotpath_metrics = [] then ()
+  else begin
   let file = "BENCH_hotpath.json" in
   let json =
     Json_out.Obj
@@ -306,6 +417,28 @@ let emit_hotpath_json () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n%!" file
+  end
+
+let emit_scale_json () =
+  match !scale_json with
+  | None -> ()
+  | Some legs ->
+      let file = "BENCH_scale.json" in
+      let json =
+        Json_out.Obj
+          [
+            ("schema", Json_out.String "dhtlb-scale/1");
+            ("git_rev", Json_out.String (git_rev ()));
+            ("domains", Json_out.Int (Domain.recommended_domain_count ()));
+            ("ocaml_version", Json_out.String Sys.ocaml_version);
+            ("scale", legs);
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (Json_out.to_string ~pretty:true json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n%!" file
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate's hot operations.        *)
@@ -387,5 +520,7 @@ let () =
   section "routing" routing;
   section "timeline" timeline;
   section "hotpath" hotpath;
+  section "scale" scale;
   section "micro" micro;
-  emit_hotpath_json ()
+  emit_hotpath_json ();
+  emit_scale_json ()

@@ -1,0 +1,88 @@
+(* Throwaway profiling harness for the scale work; not part of CI. *)
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let g0 = Gc.quick_stat () in
+  let r = f () in
+  let g1 = Gc.quick_stat () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "  %-26s %8.3fs  minor %.1fM major %.1fM\n%!" name dt
+    ((g1.Gc.minor_words -. g0.Gc.minor_words) /. 1e6)
+    ((g1.Gc.major_words -. g0.Gc.major_words) /. 1e6);
+  r
+
+let run nodes tasks =
+  Printf.printf "=== %dn / %dt ===\n%!" nodes tasks;
+  let params = { (Params.default ~nodes ~tasks) with Params.seed = 42 } in
+  let rng = Prng.create 42 in
+  let ids = timed "keygen node_ids" (fun () -> Keygen.node_ids rng (2 * nodes)) in
+  let keys = timed "keygen task_keys" (fun () -> Keygen.task_keys rng tasks) in
+  let sorted = Array.copy keys in
+  timed "  sort only" (fun () -> Array.sort Id.compare sorted);
+  let dht = Dht.create () in
+  timed "dht joins" (fun () ->
+      for pid = 0 to nodes - 1 do
+        ignore (Dht.join dht ~id:ids.(pid) ~payload:pid)
+      done);
+  let _ = timed "dht insert_keys" (fun () -> Dht.insert_keys dht keys) in
+  let state = timed "State.create" (fun () -> State.create params) in
+  let r =
+    timed "Engine.run (metrics)" (fun () ->
+        Engine.run_state ~sink:Trace.Memory ~metrics:true state
+          Engine.no_strategy)
+  in
+  let m = r.Engine.metrics in
+  Printf.printf
+    "  phases: decide %.3f consume %.3f churn %.3f trace %.3f check %.3f\n%!"
+    m.Metrics.decide_s m.Metrics.consume_s m.Metrics.churn_s m.Metrics.trace_s
+    m.Metrics.check_s;
+  let ticks =
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+  in
+  Printf.printf "  ticks=%d heap high-water %.0f MB\n%!" ticks
+    (float_of_int (Gc.quick_stat ()).Gc.top_heap_words *. 8.0 /. 1e6)
+
+let run_strategy nodes tasks churn strat =
+  let params =
+    {
+      (Params.default ~nodes ~tasks) with
+      Params.seed = 42;
+      churn_rate = churn;
+    }
+  in
+  let state = timed "State.create" (fun () -> State.create params) in
+  let r =
+    timed
+      (Printf.sprintf "run %s churn=%.2f" (Strategy.name strat) churn)
+      (fun () ->
+        Engine.run_state ~sink:Trace.Memory ~metrics:true state
+          (Strategy.make strat ()))
+  in
+  let ticks =
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+  in
+  let m = r.Engine.metrics in
+  Printf.printf
+    "  ticks=%d factor=%.3f phases: decide %.3f consume %.3f churn %.3f \
+     trace %.3f\n%!"
+    ticks r.Engine.factor m.Metrics.decide_s m.Metrics.consume_s
+    m.Metrics.churn_s m.Metrics.trace_s
+
+let () =
+  (* profile_scale [NODES TASKS [STRATEGY CHURN]] — component timings
+     for the no-strategy run, or create+run phase split under a named
+     strategy. *)
+  match Array.to_list Sys.argv with
+  | [ _ ] -> run 100_000 1_000_000
+  | [ _; n; t ] -> run (int_of_string n) (int_of_string t)
+  | [ _; n; t; strat; churn ] -> (
+      match Strategy.of_name strat with
+      | Ok s ->
+          run_strategy (int_of_string n) (int_of_string t)
+            (float_of_string churn) s
+      | Error msg ->
+          prerr_endline msg;
+          exit 2)
+  | _ ->
+      prerr_endline "usage: profile_scale [NODES TASKS [STRATEGY CHURN]]";
+      exit 2

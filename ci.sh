@@ -37,6 +37,12 @@ DHTLB_CHECK=1 dune exec bin/dhtlb.exe -- simulate \
 echo "==> full battery under the invariant harness (DHTLB_CHECK=1)"
 DHTLB_CHECK=1 dune runtest --force
 
+echo "==> scale smoke (50k nodes, invariant-checked, golden-pinned engine)"
+# The victim-pin suite's scale case: a 50k-node / 200k-task churny run
+# with a 1000-machine crash burst, every tick invariant-checked.  Off by
+# default in dune runtest because of its size.
+DHTLB_SCALE_SMOKE=1 dune exec test/test_victim_pins.exe
+
 if command -v odoc >/dev/null 2>&1; then
   echo "==> dune build @doc"
   dune build @doc
@@ -98,5 +104,64 @@ else
   echo "==> bench gate OK: best-of-3 sim_run_s ${best}s vs baseline ${old}s"
   rm -f "$baseline"
 fi
+
+echo "==> scale bench (20k and 100k legs, 3 seeds each; writes BENCH_scale.json)"
+# The scale section sweeps three seeds per leg, so one pass already
+# yields a stable median — no best-of-3 re-runs of a 30s section.
+# Two gates: (a) setup must stay cheaper than the strategy run it feeds
+# (sim_create_s_median < sim_run_s_median on both legs — the quick leg's
+# line is the first match, the full leg's the last); (b) the full leg's
+# median run time must not regress >25% against the committed baseline.
+scale_baseline=""
+if [ -f BENCH_scale.json ]; then
+  scale_baseline=$(mktemp)
+  cp BENCH_scale.json "$scale_baseline"
+fi
+
+scale_field() { # file field first|last
+  if [ "$3" = first ]; then
+    grep "\"$2\"" "$1" | head -n1 | sed 's/.*: *//; s/,.*//'
+  else
+    grep "\"$2\"" "$1" | tail -n1 | sed 's/.*: *//; s/,.*//'
+  fi
+}
+
+DHTLB_ONLY=scale dune exec bench/main.exe
+for leg in first last; do
+  create=$(scale_field BENCH_scale.json sim_create_s_median "$leg")
+  run=$(scale_field BENCH_scale.json sim_run_s_median "$leg")
+  if [ -z "$create" ] || [ -z "$run" ]; then
+    echo "==> scale gate: could not read medians from BENCH_scale.json" >&2
+    rm -f "$scale_baseline"
+    exit 1
+  fi
+  if awk -v c="$create" -v r="$run" 'BEGIN { exit !(c >= r) }'; then
+    echo "==> scale gate FAILED ($leg leg): sim_create_s_median ${create}s >= sim_run_s_median ${run}s" >&2
+    rm -f "$scale_baseline"
+    exit 1
+  fi
+done
+new_full=$(scale_field BENCH_scale.json sim_run_s_median last)
+if [ "${DHTLB_BENCH_GATE:-1}" = "0" ] || [ -z "$scale_baseline" ]; then
+  if [ "${DHTLB_BENCH_GATE:-1}" = "0" ]; then
+    echo "==> scale regression gate skipped (DHTLB_BENCH_GATE=0); create<run held on both legs"
+  else
+    echo "==> scale regression gate skipped (no committed BENCH_scale.json baseline); create<run held on both legs"
+  fi
+else
+  old_full=$(scale_field "$scale_baseline" sim_run_s_median last)
+  if [ -z "$old_full" ]; then
+    echo "==> scale gate: could not read sim_run_s_median from baseline" >&2
+    rm -f "$scale_baseline"
+    exit 1
+  fi
+  if awk -v old="$old_full" -v new="$new_full" 'BEGIN { exit !(new > old * 1.25) }'; then
+    echo "==> scale gate FAILED: full-leg sim_run_s_median ${new_full}s vs baseline ${old_full}s (>25% slower)" >&2
+    rm -f "$scale_baseline"
+    exit 1
+  fi
+  echo "==> scale gate OK: full-leg sim_run_s_median ${new_full}s vs baseline ${old_full}s; create<run held on both legs"
+fi
+rm -f "$scale_baseline"
 
 echo "==> ci.sh: all green"

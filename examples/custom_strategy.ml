@@ -11,7 +11,10 @@
    Run with: dune exec examples/custom_strategy.exe *)
 
 let greedy_split_decide (state : State.t) =
-  Array.iter
+  (* [iter_decision_candidates] visits only machines that can possibly be
+     due this tick (all of them under a fault plan); keep the usual
+     active/due guards on what it hands you. *)
+  State.iter_decision_candidates state
     (fun (p : State.phys) ->
       if p.State.active && Decision.due state p then begin
         let pid = p.State.pid in
@@ -25,7 +28,7 @@ let greedy_split_decide (state : State.t) =
           | [] -> ()
           | self :: _ ->
             (* look at the successor list; pick the heaviest arc *)
-            let succs = Dht.k_successors state.State.dht self 5 in
+            let succs = Dht.k_successors state.State.dht self.Dht.id 5 in
             let heaviest =
               List.fold_left
                 (fun best (vn : State.payload Dht.vnode) ->
@@ -48,7 +51,6 @@ let greedy_split_decide (state : State.t) =
             | _ -> ()
         end
       end)
-    state.State.phys
 
 let greedy_split = { Engine.name = "greedy-split"; decide = greedy_split_decide }
 

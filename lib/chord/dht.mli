@@ -87,6 +87,13 @@ val consume : pick:(int -> int) -> 'a t -> Id.t -> int -> int
     the random stream matches the per-key loop it replaced.
     @raise Invalid_argument if [pick] returns an index out of range. *)
 
+val consume_vnode : pick:(int -> int) -> 'a t -> 'a vnode -> int -> int
+(** {!consume} on a vnode record the caller already holds, skipping the
+    id lookup.  The record must be a current ring member (the engine
+    keeps each machine's records in sync with its ring presence); a
+    departed record has been emptied, so consuming it is a harmless
+    no-op rather than corruption. *)
+
 val workload : 'a t -> Id.t -> int
 (** Tasks currently owned by a vnode; [0] if not a member. O(1). *)
 

@@ -1,30 +1,40 @@
 module M = Map.Make (Id)
 
-type 'a t = 'a M.t
+(* The map carries its cardinality: [Map.cardinal] walks the whole tree,
+   and the simulation asks for the ring size on hot paths (every leave's
+   last-node check, every join's lookup-hop pricing, every trace record),
+   which turned O(1) questions into O(n) scans at 100k+ nodes. *)
+type 'a t = { m : 'a M.t; size : int }
 
-let empty = M.empty
-let is_empty = M.is_empty
-let cardinal = M.cardinal
-let mem = M.mem
-let find_opt = M.find_opt
-let add = M.add
-let remove = M.remove
-let min_binding_opt = M.min_binding_opt
+let empty = { m = M.empty; size = 0 }
+let is_empty t = t.size = 0
+let cardinal t = t.size
+let mem id t = M.mem id t.m
+let find_opt id t = M.find_opt id t.m
+
+let add id v t =
+  let size = if M.mem id t.m then t.size else t.size + 1 in
+  { m = M.add id v t.m; size }
+
+let remove id t =
+  if M.mem id t.m then { m = M.remove id t.m; size = t.size - 1 } else t
+
+let min_binding_opt t = M.min_binding_opt t.m
 
 let successor id t =
-  match M.find_first_opt (fun k -> Id.compare k id > 0) t with
+  match M.find_first_opt (fun k -> Id.compare k id > 0) t.m with
   | Some _ as s -> s
-  | None -> M.min_binding_opt t
+  | None -> M.min_binding_opt t.m
 
 let successor_incl id t =
-  match M.find_first_opt (fun k -> Id.compare k id >= 0) t with
+  match M.find_first_opt (fun k -> Id.compare k id >= 0) t.m with
   | Some _ as s -> s
-  | None -> M.min_binding_opt t
+  | None -> M.min_binding_opt t.m
 
 let predecessor id t =
-  match M.find_last_opt (fun k -> Id.compare k id < 0) t with
+  match M.find_last_opt (fun k -> Id.compare k id < 0) t.m with
   | Some _ as s -> s
-  | None -> M.max_binding_opt t
+  | None -> M.max_binding_opt t.m
 
 let k_neighbors next id k t =
   let n = cardinal t in
@@ -44,15 +54,15 @@ let k_successors id k t = k_neighbors successor id k t
 let k_predecessors id k t = k_neighbors predecessor id k t
 
 let arc_of id t =
-  if not (M.mem id t) then None
+  if not (M.mem id t.m) then None
   else
     match predecessor id t with
     | None -> Some (Interval.full id)
     | Some (p, _) -> Some (Interval.make ~after:p ~upto:id)
 
-let iter = M.iter
-let fold = M.fold
-let bindings = M.bindings
+let iter f t = M.iter f t.m
+let fold f t acc = M.fold f t.m acc
+let bindings t = M.bindings t.m
 
 let nth t i =
   if i < 0 || i >= cardinal t then invalid_arg "Ring.nth: index out of bounds";
@@ -65,6 +75,6 @@ let nth t i =
            raise Exit
          end
          else decr remaining)
-       t
+       t.m
    with Exit -> ());
   match !result with Some b -> b | None -> assert false

@@ -8,7 +8,12 @@ type 'a t
 
 val empty : 'a t
 val is_empty : 'a t -> bool
+
 val cardinal : 'a t -> int
+(** O(1): the size rides along with the map, because the simulation
+    asks for it on per-tick paths (leave checks, join pricing,
+    tracing). *)
+
 val mem : Id.t -> 'a t -> bool
 val find_opt : Id.t -> 'a t -> 'a option
 val add : Id.t -> 'a -> 'a t -> 'a t

@@ -24,9 +24,12 @@ let choose_helper (candidates : ('a * int) list) =
       | _ -> Some (h, hw))
     None candidates
 
-let heaviest_vnode (state : State.t) (p : State.phys) =
+let heaviest_vnode (p : State.phys) =
   pick_heaviest_vnode
-    (List.map (fun id -> (id, Dht.workload state.State.dht id)) p.State.vnodes)
+    (List.map
+       (fun (vn : State.payload Dht.vnode) ->
+         (vn.Dht.id, Id_set.cardinal vn.Dht.keys))
+       p.State.vnodes)
 
 let split_point (state : State.t) inviter_id arc =
   if state.State.params.Params.split_at_median then
@@ -42,7 +45,7 @@ let decide (state : State.t) =
   let params = state.State.params in
   let threshold = params.Params.sybil_threshold in
   let messages = Dht.messages state.State.dht in
-  Array.iter
+  State.iter_decision_candidates state
     (fun (p : State.phys) ->
       if
         p.State.active && State.can_decide state p.State.pid
@@ -56,7 +59,7 @@ let decide (state : State.t) =
           is_overloaded ~workload:w ~invite_factor:params.Params.invite_factor
             ~initial_mean:state.State.initial_mean
         then begin
-          match heaviest_vnode state p with
+          match heaviest_vnode p with
           | None | Some (_, 0) -> ()
           | Some (inviter_id, _) -> begin
             let k = params.Params.num_successors in
@@ -119,6 +122,5 @@ let decide (state : State.t) =
           end
         end
       end)
-    state.State.phys
 
 let strategy () = { Engine.name = "invitation"; decide }

@@ -121,8 +121,8 @@ let retry_step (state : State.t) (p : State.phys) =
   else
     match p.State.vnodes with
     | [] -> State.clear_smart_retry state pid
-    | self_id :: _ -> (
-      let candidates = successor_arcs state pid self_id in
+    | self :: _ -> (
+      let candidates = successor_arcs state pid self.Dht.id in
       State.charge_retry state;
       match query_round state candidates with
       | `Answered chosen ->
@@ -134,7 +134,7 @@ let retry_step (state : State.t) (p : State.phys) =
 
 let decide variant (state : State.t) =
   let threshold = state.State.params.Params.sybil_threshold in
-  Array.iter
+  State.iter_decision_candidates state
     (fun (p : State.phys) ->
       let pid = p.State.pid in
       if p.State.active && State.can_decide state pid then begin
@@ -158,8 +158,8 @@ let decide variant (state : State.t) =
           then begin
             match p.State.vnodes with
             | [] -> ()
-            | self_id :: _ -> (
-              let candidates = successor_arcs state pid self_id in
+            | self :: _ -> (
+              let candidates = successor_arcs state pid self.Dht.id in
               match variant with
               | Estimate -> place state pid (pick_estimate state pid candidates)
               | Smart -> (
@@ -171,7 +171,6 @@ let decide variant (state : State.t) =
           end
         end
       end)
-    state.State.phys
 
 let strategy variant () =
   let name =

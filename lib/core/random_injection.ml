@@ -7,7 +7,7 @@ let should_inject ~workload ~threshold ~sybils ~capacity =
 
 let decide (state : State.t) =
   let threshold = state.State.params.Params.sybil_threshold in
-  Array.iter
+  State.iter_decision_candidates state
     (fun (p : State.phys) ->
       if
         p.State.active && State.can_decide state p.State.pid
@@ -30,6 +30,5 @@ let decide (state : State.t) =
              attempt, as it would in a real ring. *)
           ignore (State.create_sybil state pid (Keygen.fresh state.State.rng))
       end)
-    state.State.phys
 
 let strategy () = { Engine.name = "random-injection"; decide }

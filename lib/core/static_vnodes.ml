@@ -2,7 +2,7 @@ let decide (state : State.t) =
   (* Only the first period matters: every machine's first due tick falls
      in ticks [0, period); afterwards everyone is at capacity and the
      strategy is inert. *)
-  Array.iter
+  State.iter_decision_candidates state
     (fun (p : State.phys) ->
       if
         p.State.active && State.can_decide state p.State.pid
@@ -14,6 +14,5 @@ let decide (state : State.t) =
           ignore (State.create_sybil state pid (Keygen.fresh state.State.rng))
         done
       end)
-    state.State.phys
 
 let strategy () = { Engine.name = "static-vnodes"; decide }

@@ -60,7 +60,7 @@ let successor_arcs (state : State.t) pid self_id =
 let decide (state : State.t) =
   let params = state.State.params in
   let threshold = float_of_int params.Params.sybil_threshold in
-  Array.iter
+  State.iter_decision_candidates state
     (fun (p : State.phys) ->
       if
         p.State.active && State.can_decide state p.State.pid
@@ -79,8 +79,8 @@ let decide (state : State.t) =
         if own_drain <= threshold && State.sybil_count state pid < cap then begin
           match p.State.vnodes with
           | [] -> ()
-          | self_id :: _ ->
-            let candidates = successor_arcs state pid self_id in
+          | self :: _ ->
+            let candidates = successor_arcs state pid self.Dht.id in
             let messages = Dht.messages state.State.dht in
             (* Queries are sent to every candidate (charged), but under a
                fault plan only the replies that arrive within the tick are
@@ -117,6 +117,5 @@ let decide (state : State.t) =
             ignore (State.create_sybil state pid target)
         end
       end)
-    state.State.phys
 
 let strategy () = { Engine.name = "strength-aware"; decide }

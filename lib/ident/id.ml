@@ -47,6 +47,62 @@ let compare = String.compare
 let equal = String.equal
 let hash = Hashtbl.hash
 
+(* In-place sort, same order as [Array.sort compare].  Generic sort pays
+   a closure call plus a full 20-byte [String.compare] per comparison;
+   bucketing on the first two bytes first means the comparison-sorted
+   runs are tiny (bulk key loads sort millions of SHA-1-uniform ids, so
+   expected bucket size is n / 65536) and nearly every comparison is
+   skipped.  Skewed inputs (e.g. clustered key workloads) can still pile
+   into few buckets, so big buckets fall back to [Array.sort]. *)
+let sort_array a =
+  let n = Array.length a in
+  if n < 4096 then Array.sort compare a
+  else begin
+    let buckets = 65536 in
+    let key (id : t) =
+      (Char.code (String.unsafe_get id 0) lsl 8)
+      lor Char.code (String.unsafe_get id 1)
+    in
+    (* Counting sort on the 16-bit prefix: count, prefix-sum, scatter. *)
+    let count = Array.make (buckets + 1) 0 in
+    for i = 0 to n - 1 do
+      let k = key a.(i) in
+      count.(k + 1) <- count.(k + 1) + 1
+    done;
+    for b = 1 to buckets do
+      count.(b) <- count.(b) + count.(b - 1)
+    done;
+    let cur = Array.sub count 0 buckets in
+    let out = Array.make n a.(0) in
+    for i = 0 to n - 1 do
+      let k = key a.(i) in
+      out.(cur.(k)) <- a.(i);
+      cur.(k) <- cur.(k) + 1
+    done;
+    Array.blit out 0 a 0 n;
+    (* Finish each bucket; the prefix is equal within a bucket, so any
+       correct sort of the bucket yields the globally sorted array. *)
+    for b = 0 to buckets - 1 do
+      let lo = count.(b) and hi = count.(b + 1) - 1 in
+      if hi - lo > 32 then begin
+        let len = hi - lo + 1 in
+        let sub = Array.sub a lo len in
+        Array.sort compare sub;
+        Array.blit sub 0 a lo len
+      end
+      else
+        for i = lo + 1 to hi do
+          let x = a.(i) in
+          let j = ref (i - 1) in
+          while !j >= lo && compare a.(!j) x > 0 do
+            a.(!j + 1) <- a.(!j);
+            decr j
+          done;
+          a.(!j + 1) <- x
+        done
+    done
+  end
+
 let pp ppf t = Format.fprintf ppf "%s.." (String.sub (to_hex t) 0 8)
 let pp_full ppf t = Format.pp_print_string ppf (to_hex t)
 

@@ -45,6 +45,13 @@ val equal : t -> t -> bool
 
 val hash : t -> int
 
+val sort_array : t array -> unit
+(** In-place ascending sort, same result as [Array.sort compare].
+    Counting-sorts on the leading 16 bits first, so sorting millions of
+    uniformly distributed ids (bulk key loads) costs almost no full id
+    comparisons; skewed inputs fall back to comparison sort per
+    bucket. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints the first 8 hex digits followed by [..] — enough to tell ids
     apart in logs without drowning them. *)

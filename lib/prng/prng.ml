@@ -76,11 +76,16 @@ let fill_bytes t buf =
   let n = Bytes.length buf in
   let i = ref 0 in
   while !i < n do
-    let v = ref (bits64 t) in
+    (* Split the draw into untagged ints up front — an [Int64.to_int]
+       pair instead of a boxed shift per byte; the byte layout (least
+       significant byte first) is unchanged. *)
+    let v = bits64 t in
+    let lo = Int64.to_int v (* bits 0-62 *)
+    and hi = Int64.to_int (Int64.shift_right_logical v 56) (* bits 56-63 *) in
     let take = min 8 (n - !i) in
     for j = 0 to take - 1 do
-      Bytes.set buf (!i + j) (Char.chr (Int64.to_int !v land 0xff));
-      v := Int64.shift_right_logical !v 8
+      let byte = if j = 7 then hi land 0xff else (lo lsr (j * 8)) land 0xff in
+      Bytes.unsafe_set buf (!i + j) (Char.unsafe_chr byte)
     done;
     i := !i + take
   done

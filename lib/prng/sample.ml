@@ -1,0 +1,78 @@
+(* Without-replacement sampling over [0, n), replacing the engine's old
+   shrinking-list selection loop:
+
+     for _ = 1 to k do
+       let i = Prng.int_below rng (List.length !pool) in
+       pick (List.nth !pool i);
+       pool := List.filteri (fun j _ -> j <> i) !pool
+     done
+
+   That loop is O(n * k) — quadratic on the churn path once crash bursts
+   fail a fixed fraction of a 100k-node ring.  This module draws the
+   SAME values from the PRNG (one [int_below] per pick, bounds n,
+   n-1, ...) and returns the SAME selections: the i-th draw indexes the
+   ascending sequence of not-yet-picked slots, exactly as [List.nth]
+   indexed the shrinking list.  Rank selection over a Fenwick tree of
+   0/1 slot weights makes each pick O(log n), so the engine's draw
+   stream and victim choices are bit-identical to the old loop while
+   the cost drops to O((n + k) log n).  The differential oracle keeps
+   the naive loop as the reference implementation. *)
+
+(* Fenwick (binary indexed) tree over 1-based slots, each of weight 1
+   until picked. *)
+type fenwick = { tree : int array; mutable remaining : int }
+
+let fenwick_create n =
+  (* tree.(i) holds the sum of the (i - lsb(i), i] slot range; building
+     all-ones bottom-up is O(n). *)
+  let tree = Array.make (n + 1) 0 in
+  for i = 1 to n do
+    tree.(i) <- tree.(i) + 1;
+    let j = i + (i land -i) in
+    if j <= n then tree.(j) <- tree.(j) + tree.(i)
+  done;
+  { tree; remaining = n }
+
+(* Largest power of two <= n, the Fenwick descent's starting stride. *)
+let top_stride n =
+  let rec go s = if s * 2 <= n then go (s * 2) else s in
+  if n = 0 then 0 else go 1
+
+(* Index (0-based) of the (rank+1)-th still-present slot, then remove
+   it.  Standard Fenwick rank descent: walk strides top-down, stepping
+   right whenever the left subtree holds too few present slots. *)
+let fenwick_take f ~rank =
+  let n = Array.length f.tree - 1 in
+  let pos = ref 0 and want = ref (rank + 1) in
+  let stride = ref (top_stride n) in
+  while !stride > 0 do
+    let next = !pos + !stride in
+    if next <= n && f.tree.(next) < !want then begin
+      want := !want - f.tree.(next);
+      pos := next
+    end;
+    stride := !stride / 2
+  done;
+  let slot = !pos + 1 in
+  (* Remove: subtract 1 on the update path. *)
+  let i = ref slot in
+  while !i <= n do
+    f.tree.(!i) <- f.tree.(!i) - 1;
+    i := !i + (!i land - !i)
+  done;
+  f.remaining <- f.remaining - 1;
+  slot - 1
+
+let indices rng ~n ~k =
+  if n < 0 then invalid_arg "Sample.indices: n < 0";
+  let k = min k n in
+  if k <= 0 then []
+  else begin
+    let f = fenwick_create n in
+    let out = ref [] in
+    for _ = 1 to k do
+      let rank = Prng.int_below rng f.remaining in
+      out := fenwick_take f ~rank :: !out
+    done;
+    List.rev !out
+  end

@@ -1,0 +1,11 @@
+(** Without-replacement sampling that is draw-for-draw and pick-for-pick
+    identical to the naive shrinking-list loop it replaced (one
+    [Prng.int_below] per pick with bounds [n], [n-1], ..., the i-th draw
+    indexing the ascending sequence of unpicked slots), in
+    O((n + k) log n) instead of O(n * k).  See docs/TESTING.md for the
+    draw-order contract; the differential oracle keeps the naive loop. *)
+
+val indices : Prng.t -> n:int -> k:int -> int list
+(** [indices rng ~n ~k] draws [min k n] distinct slots of [0, n), in
+    draw order.  Empty when [k <= 0] or [n = 0].
+    @raise Invalid_argument if [n < 0]. *)

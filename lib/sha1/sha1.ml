@@ -144,6 +144,152 @@ let digest_string s =
   feed_string ctx s;
   get ctx
 
+(* One-shot digest of a short input — at most 55 bytes, so message,
+   0x80 terminator and the 8-byte length all fit a single padded block.
+   Produces exactly the init/feed/get digest while allocating only the
+   staging block, a 16-word circular schedule and the output: keygen
+   hashes millions of 16-byte seeds during setup, and the ctx path's
+   per-digest ctx + 80-word schedule + clone dominated minor-heap
+   traffic there. *)
+(* The four round groups as mutually tail-recursive functions: the five
+   chaining words travel as arguments — registers, not ref cells — and
+   each group has its fixed f/k instead of a per-round comparison chain.
+   Round i passes (temp, a, rotl30 b, c, d) along.  The circular
+   schedule update (w[i-16] lives at w[i land 15]) is spelled out in
+   each body: without flambda a shared helper would be a real call, 64
+   of them per digest. *)
+let rec rounds1 w i a b c d e =
+  if i = 20 then rounds2 w 20 a b c d e
+  else
+    let wi =
+      if i < 16 then Array.unsafe_get w i
+      else begin
+        let v =
+          rotl32
+            (Array.unsafe_get w ((i - 3) land 15)
+            lxor Array.unsafe_get w ((i - 8) land 15)
+            lxor Array.unsafe_get w ((i - 14) land 15)
+            lxor Array.unsafe_get w (i land 15))
+            1
+        in
+        Array.unsafe_set w (i land 15) v;
+        v
+      end
+    in
+    rounds1 w (i + 1)
+      ((rotl32 a 5
+       + (((b land c) lor (lnot b land d)) land mask32)
+       + e + 0x5a827999 + wi)
+      land mask32)
+      a (rotl32 b 30) c d
+
+and rounds2 w i a b c d e =
+  if i = 40 then rounds3 w 40 a b c d e
+  else begin
+    let wi =
+      rotl32
+        (Array.unsafe_get w ((i - 3) land 15)
+        lxor Array.unsafe_get w ((i - 8) land 15)
+        lxor Array.unsafe_get w ((i - 14) land 15)
+        lxor Array.unsafe_get w (i land 15))
+        1
+    in
+    Array.unsafe_set w (i land 15) wi;
+    rounds2 w (i + 1)
+      ((rotl32 a 5 + (b lxor c lxor d) + e + 0x6ed9eba1 + wi) land mask32)
+      a (rotl32 b 30) c d
+  end
+
+and rounds3 w i a b c d e =
+  if i = 60 then rounds4 w 60 a b c d e
+  else begin
+    let wi =
+      rotl32
+        (Array.unsafe_get w ((i - 3) land 15)
+        lxor Array.unsafe_get w ((i - 8) land 15)
+        lxor Array.unsafe_get w ((i - 14) land 15)
+        lxor Array.unsafe_get w (i land 15))
+        1
+    in
+    Array.unsafe_set w (i land 15) wi;
+    rounds3 w (i + 1)
+      ((rotl32 a 5
+       + ((b land c) lor (b land d) lor (c land d))
+       + e + 0x8f1bbcdc + wi)
+      land mask32)
+      a (rotl32 b 30) c d
+  end
+
+and rounds4 w i a b c d e =
+  if i = 80 then (a, b, c, d, e)
+  else begin
+    let wi =
+      rotl32
+        (Array.unsafe_get w ((i - 3) land 15)
+        lxor Array.unsafe_get w ((i - 8) land 15)
+        lxor Array.unsafe_get w ((i - 14) land 15)
+        lxor Array.unsafe_get w (i land 15))
+        1
+    in
+    Array.unsafe_set w (i land 15) wi;
+    rounds4 w (i + 1)
+      ((rotl32 a 5 + (b lxor c lxor d) + e + 0xca62c1d6 + wi) land mask32)
+      a (rotl32 b 30) c d
+  end
+
+let digest_short b off len =
+  (* Build the padded schedule directly from the input — message bytes
+     big-endian, the 0x80 terminator, zeros, then the bit length — with
+     no 64-byte staging block: [len <= 55] guarantees the terminator
+     falls before word 14 and the length fits word 15. *)
+  let w = Array.make 16 0 in
+  let full = len lsr 2 in
+  for i = 0 to full - 1 do
+    let j = off + (i * 4) in
+    w.(i) <-
+      (Char.code (Bytes.unsafe_get b j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get b (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get b (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get b (j + 3))
+  done;
+  (* Boundary word: the 0-3 trailing message bytes followed by the 0x80
+     terminator, left-aligned; remaining words stay zero. *)
+  let r = len land 3 in
+  let bw = ref 0 in
+  for j = 0 to r - 1 do
+    bw := (!bw lsl 8) lor Char.code (Bytes.unsafe_get b (off + (full * 4) + j))
+  done;
+  bw := ((!bw lsl 8) lor 0x80) lsl (8 * (3 - r));
+  w.(full) <- !bw;
+  w.(15) <- len * 8;
+  let a, b', c, d, e =
+    rounds1 w 0 0x67452301 0xefcdab89 0x98badcfe 0x10325476 0xc3d2e1f0
+  in
+  let out = Bytes.create 20 in
+  let put i v =
+    Bytes.set out i (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set out (i + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out (i + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out (i + 3) (Char.chr (v land 0xff))
+  in
+  put 0 ((0x67452301 + a) land mask32);
+  put 4 ((0xefcdab89 + b') land mask32);
+  put 8 ((0x98badcfe + c) land mask32);
+  put 12 ((0x10325476 + d) land mask32);
+  put 16 ((0xc3d2e1f0 + e) land mask32);
+  Bytes.unsafe_to_string out
+
+let digest_bytes ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Sha1.digest_bytes: bad bounds";
+  if len <= 55 then digest_short b off len
+  else begin
+    let ctx = init () in
+    feed_bytes ctx ~off ~len b;
+    get ctx
+  end
+
 let hex_of_digest d =
   let b = Buffer.create 40 in
   String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) d;

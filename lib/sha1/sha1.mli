@@ -26,6 +26,13 @@ val get : ctx -> string
 val digest_string : string -> string
 (** One-shot convenience: [digest_string s] is the 20-byte digest. *)
 
+val digest_bytes : ?off:int -> ?len:int -> bytes -> string
+(** One-shot digest of a byte range, identical to init/feed/get.  Inputs
+    of at most 55 bytes (one padded block) take a low-allocation fast
+    path — keygen digests millions of 16-byte seeds during setup, where
+    the incremental context's per-digest allocations dominated.
+    @raise Invalid_argument on bad bounds. *)
+
 val hex_of_digest : string -> string
 (** Render a 20-byte digest as 40 lowercase hex characters. *)
 

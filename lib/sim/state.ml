@@ -1,12 +1,20 @@
 type payload = { owner : int }
 
+(* A machine's ring presences are held as the live [Dht.vnode] records,
+   not ids: the consume/workload hot paths touch every machine every
+   tick, and going id -> record through the DHT's hash index on each
+   touch dominated the tick at 100k+ nodes.  The lists are kept in
+   strict sync with ring membership (join/leave/crash update both
+   sides), and [check_invariants] verifies each held record is
+   physically the ring's own — a departed record is dropped here and
+   emptied by the DHT, so stale reads cannot fabricate workload. *)
 type phys = {
   pid : int;
   strength : int;
   original_id : Id.t;
   straggler : bool;
   mutable active : bool;
-  mutable vnodes : Id.t list;
+  mutable vnodes : payload Dht.vnode list;
   mutable failed_arcs : Interval.t list;
   mutable retry_attempts : int;
   mutable retry_at : int;
@@ -17,11 +25,15 @@ type phys = {
    exclude the owner, contain only live ring members (departures are
    pruned eagerly — with pinned identities a machine can rejoin at an id
    a stale list still names, which would fake a backup), and are capped
-   at [replicas].  [last_version]/[last_complete] let the repair pass
-   skip itself when the ring has not changed since a fully successful
-   pass — a draw-free, state-free skip the oracle need not mirror. *)
+   at [replicas].  [backs] is the exact reverse index (holder id -> the
+   vnodes whose lists name it): pruning a departure used to scan every
+   holder list, which made each churn departure O(ring).
+   [last_version]/[last_complete] let the repair pass skip itself when
+   the ring has not changed since a fully successful pass — a draw-free,
+   state-free skip the oracle need not mirror. *)
 type repl = {
   holders : (Id.t, Id.t list) Hashtbl.t;
+  backs : (Id.t, Id.t list ref) Hashtbl.t;
   mutable last_version : int;  (* joins + leaves at the last pass; -1 = never *)
   mutable last_complete : bool;  (* that pass enrolled every desired holder *)
 }
@@ -38,7 +50,60 @@ type t = {
   initial_tasks : int;
   mutable tick : int;
   mutable work_done_total : int;
+  mutable n_active : int;
 }
+
+(* --- Replica reverse-index bookkeeping --------------------------------
+   [holders] and [backs] always change together through these helpers;
+   the checked-mode invariant verifies they stay exact inverses. *)
+
+let backs_add r h v =
+  match Hashtbl.find_opt r.backs h with
+  | None -> Hashtbl.replace r.backs h (ref [ v ])
+  | Some l -> if not (List.exists (Id.equal v) !l) then l := v :: !l
+
+let backs_remove r h v =
+  match Hashtbl.find_opt r.backs h with
+  | None -> ()
+  | Some l ->
+    l := List.filter (fun x -> not (Id.equal x v)) !l;
+    if !l = [] then Hashtbl.remove r.backs h
+
+(* Replace vnode [v]'s holder list, diffing the reverse index. *)
+let set_holders r v hs =
+  let old = Option.value ~default:[] (Hashtbl.find_opt r.holders v) in
+  List.iter
+    (fun h -> if not (List.exists (Id.equal h) hs) then backs_remove r h v)
+    old;
+  List.iter
+    (fun h -> if not (List.exists (Id.equal h) old) then backs_add r h v)
+    hs;
+  Hashtbl.replace r.holders v hs
+
+(* Forget vnode [v]'s own entry (it left the ring). *)
+let drop_holder_entry r v =
+  (match Hashtbl.find_opt r.holders v with
+  | None -> ()
+  | Some hs -> List.iter (fun h -> backs_remove r h v) hs);
+  Hashtbl.remove r.holders v
+
+(* Drop departed id [h] from every holder list that names it — the
+   reverse index knows exactly which, so a departure costs O(lists
+   naming it) instead of a scan of the whole map. *)
+let prune_holder r h =
+  match Hashtbl.find_opt r.backs h with
+  | None -> ()
+  | Some l ->
+    let backed = !l in
+    Hashtbl.remove r.backs h;
+    List.iter
+      (fun v ->
+        match Hashtbl.find_opt r.holders v with
+        | None -> ()
+        | Some hs ->
+          Hashtbl.replace r.holders v
+            (List.filter (fun x -> not (Id.equal x h)) hs))
+      backed
 
 let create (params : Params.t) =
   (match Params.validate params with
@@ -51,21 +116,16 @@ let create (params : Params.t) =
   (* Fault-stream setup draws happen first and only when the plan asks
      for them; with Faults.none the stream is created but never
      consumed, and nothing here touches the main stream (mirrored in
-     lib/oracle — the fault draw-order contract). *)
+     lib/oracle — the fault draw-order contract).  The straggler picks
+     go through [Sample.indices], which draws and selects exactly like
+     the naive shrinking-list loop the oracle still runs. *)
   let frng = Faults.rng ~seed:params.seed in
   let faults = params.faults in
   let straggler = Array.make total_phys false in
-  let draw_without_replacement pool_len k mark =
-    let pool = ref (List.init pool_len Fun.id) in
-    for _ = 1 to k do
-      let i = Prng.int_below frng (List.length !pool) in
-      mark (List.nth !pool i);
-      pool := List.filteri (fun j _ -> j <> i) !pool
-    done
-  in
-  draw_without_replacement total_phys
-    (min faults.Faults.stragglers total_phys)
-    (fun pid -> straggler.(pid) <- true);
+  List.iter
+    (fun pid -> straggler.(pid) <- true)
+    (Sample.indices frng ~n:total_phys
+       ~k:(min faults.Faults.stragglers total_phys));
   let partitioned =
     match faults.Faults.partition with
     | Some _ -> Prng.int_below frng n
@@ -76,26 +136,34 @@ let create (params : Params.t) =
     | Params.Homogeneous -> 1
     | Params.Heterogeneous -> Prng.int_in rng ~lo:1 ~hi:params.max_sybils
   in
+  (* All strengths are drawn before the joins (which draw nothing) and
+     the task keys, in pid order — the stream layout predates the
+     record-holding phys array and must not move. *)
+  let strengths = Array.init total_phys (fun _ -> strength ()) in
+  let dht = Dht.create () in
+  let initial_vnode = Array.make n None in
+  for pid = 0 to n - 1 do
+    match Dht.join dht ~id:ids.(pid) ~payload:{ owner = pid } with
+    | Ok vn -> initial_vnode.(pid) <- Some vn
+    | Error `Occupied -> assert false (* node ids are drawn distinct *)
+  done;
   let phys =
     Array.init total_phys (fun pid ->
         {
           pid;
-          strength = strength ();
+          strength = strengths.(pid);
           original_id = ids.(pid);
           straggler = straggler.(pid);
           active = pid < n;
-          vnodes = (if pid < n then [ ids.(pid) ] else []);
+          vnodes =
+            (if pid < n then
+               match initial_vnode.(pid) with Some vn -> [ vn ] | None -> []
+             else []);
           failed_arcs = [];
           retry_attempts = 0;
           retry_at = -1;
         })
   in
-  let dht = Dht.create () in
-  for pid = 0 to n - 1 do
-    match Dht.join dht ~id:ids.(pid) ~payload:{ owner = pid } with
-    | Ok _ -> ()
-    | Error `Occupied -> assert false (* node ids are drawn distinct *)
-  done;
   let keys =
     match params.keys with
     | Params.Uniform_sha1 -> Keygen.task_keys rng params.tasks
@@ -114,25 +182,41 @@ let create (params : Params.t) =
   (* Live replication: the initial data load ships with its backups —
      every vnode's tasks are enrolled on its next [replicas] successors,
      charged as replication traffic but with no enrolment-drop draws
-     (repl_drop models the lazy repair path, not the setup). *)
+     (repl_drop models the lazy repair path, not the setup).  Enrolment
+     is bulk: one ascending pass with index arithmetic over the sorted
+     vnode array gives each vnode the same successor list a per-vnode
+     ring walk would, without n O(k log n) walks. *)
   let repl =
     if not (Params.recovery_on params) then None
     else begin
       let r =
-        { holders = Hashtbl.create 256; last_version = -1; last_complete = false }
+        {
+          holders = Hashtbl.create 256;
+          backs = Hashtbl.create 256;
+          last_version = -1;
+          last_complete = false;
+        }
       in
       let m = Dht.messages dht in
-      Dht.iter
-        (fun vn ->
-          let desired = Dht.k_successors dht vn.Dht.id params.replicas in
-          List.iter
-            (fun _ ->
-              m.Messages.replications <-
-                m.Messages.replications + Id_set.cardinal vn.Dht.keys)
-            desired;
-          Hashtbl.replace r.holders vn.Dht.id
-            (List.map (fun s -> s.Dht.id) desired))
-        dht;
+      let vns =
+        (* Ascending id order, as [Dht.iter] would visit. *)
+        let acc = ref [] in
+        Dht.iter (fun vn -> acc := vn :: !acc) dht;
+        Array.of_list (List.rev !acc)
+      in
+      let count = Array.length vns in
+      let want = min params.replicas (count - 1) in
+      Array.iteri
+        (fun i vn ->
+          let hs = ref [] in
+          for j = want downto 1 do
+            hs := vns.((i + j) mod count).Dht.id :: !hs
+          done;
+          m.Messages.replications <-
+            m.Messages.replications + (want * Id_set.cardinal vn.Dht.keys);
+          Hashtbl.replace r.holders vn.Dht.id !hs;
+          List.iter (fun h -> backs_add r h vn.Dht.id) !hs)
+        vns;
       r.last_version <- m.Messages.joins + m.Messages.leaves;
       r.last_complete <- true;
       Some r
@@ -150,23 +234,33 @@ let create (params : Params.t) =
     initial_tasks;
     tick = 0;
     work_done_total = 0;
+    n_active = n;
   }
 
 let remaining_tasks t = Dht.total_keys t.dht
 
-let active_count t =
-  Array.fold_left (fun acc p -> if p.active then acc + 1 else acc) 0 t.phys
+(* Maintained at every join/leave/crash: [Trace.record] asks once per
+   tick, which used to re-fold the whole phys array. *)
+let active_count t = t.n_active
 
 let vnode_count t = Dht.size t.dht
 
 let workload_of_phys t pid =
-  List.fold_left (fun acc id -> acc + Dht.workload t.dht id) 0 t.phys.(pid).vnodes
+  let rec go acc = function
+    | [] -> acc
+    | (vn : payload Dht.vnode) :: rest ->
+      go (acc + Id_set.cardinal vn.Dht.keys) rest
+  in
+  go 0 t.phys.(pid).vnodes
 
 let capacity_of_phys t pid =
   match t.params.work with
   | Params.Task_per_tick -> 1
   | Params.Strength_per_tick -> t.phys.(pid).strength
 
+(* Ring presences per machine are capped at [max_sybils + 1], so the
+   list length here is a bounded constant, not a per-tick scan (the
+   ISSUE-6 audit of per-tick List.length calls). *)
 let sybil_count t pid = max 0 (List.length t.phys.(pid).vnodes - 1)
 
 let sybil_capacity t pid =
@@ -185,27 +279,35 @@ let strengths_of_initial t =
   Array.init t.params.nodes (fun pid -> t.phys.(pid).strength)
 
 let consume_tick t =
-  let done_ = ref 0 in
   (* Workers complete tasks in no particular key order; a uniform pick
      keeps the remaining keys uniformly spread within each arc, which
      matters because Sybil placement reasons about arc fractions. *)
+  let dht = t.dht in
   let pick c = Prng.int_below t.rng c in
-  Array.iter
-    (fun p ->
-      if p.active then begin
-        let budget = ref (capacity_of_phys t p.pid) in
-        List.iter
-          (fun vid ->
-            if !budget > 0 then begin
-              let c = Dht.consume ~pick t.dht vid !budget in
-              budget := !budget - c;
-              done_ := !done_ + c
-            end)
-          p.vnodes
-      end)
-    t.phys;
-  t.work_done_total <- t.work_done_total + !done_;
-  !done_
+  let rec drain vns budget acc =
+    match vns with
+    | [] -> acc
+    | vn :: rest ->
+      if budget <= 0 then acc
+      else
+        let c = Dht.consume_vnode ~pick dht vn budget in
+        drain rest (budget - c) (acc + c)
+  in
+  let per_strength =
+    match t.params.work with
+    | Params.Task_per_tick -> false
+    | Params.Strength_per_tick -> true
+  in
+  let phys = t.phys in
+  let total = ref 0 in
+  for pid = 0 to Array.length phys - 1 do
+    let p = Array.unsafe_get phys pid in
+    if p.active then
+      total :=
+        !total + drain p.vnodes (if per_strength then p.strength else 1) 0
+  done;
+  t.work_done_total <- t.work_done_total + !total;
+  !total
 
 (* A join in a real DHT costs a lookup; with no live finger tables in the
    hot loop we charge Chord's expected hop count for the current size. *)
@@ -248,19 +350,7 @@ let repl_note_join t ~id ~donor =
         take t.params.Params.replicas
           (d :: Option.value ~default:[] (Hashtbl.find_opt r.holders d))
     in
-    Hashtbl.replace r.holders id hs
-
-(* Drop a departed vnode from every holder list.  Eager rather than
-   lazy-on-use: with pinned identities ([rejoin_fresh_id = false]) a
-   machine can rejoin at an id a stale list still names, and the fresh
-   vnode holds no backup — a stale entry would fake protection. *)
-let repl_prune_one t id =
-  match t.repl with
-  | None -> ()
-  | Some r ->
-    Hashtbl.filter_map_inplace
-      (fun _ hs -> Some (List.filter (fun h -> not (Id.equal h id)) hs))
-      r.holders
+    set_holders r id hs
 
 (* A graceful leave merges the leaver's range into its successor: a
    holder backs the merged range only if it already backed both parts,
@@ -270,14 +360,13 @@ let repl_note_leave t ~id ~recipient =
   | None -> ()
   | Some r ->
     let own = Option.value ~default:[] (Hashtbl.find_opt r.holders id) in
-    Hashtbl.remove r.holders id;
+    drop_holder_entry r id;
     (match recipient with
     | None -> ()
     | Some s ->
       let sh = Option.value ~default:[] (Hashtbl.find_opt r.holders s) in
-      Hashtbl.replace r.holders s
-        (List.filter (fun h -> List.exists (Id.equal h) own) sh));
-    repl_prune_one t id
+      set_holders r s (List.filter (fun h -> List.exists (Id.equal h) own) sh));
+    prune_holder r id
 
 (* Key donor (the successor) of a join at [id], recorded before the join
    lands; [None] when the map is off (avoids the ring walk) or the ring
@@ -309,9 +398,9 @@ let create_sybil t pid id =
     charge_lookup t;
     let donor = repl_donor t id in
     match Dht.join t.dht ~id ~payload:{ owner = pid } with
-    | Ok _ ->
+    | Ok vn ->
       repl_note_join t ~id ~donor;
-      p.vnodes <- p.vnodes @ [ id ];
+      p.vnodes <- p.vnodes @ [ vn ];
       true
     | Error `Occupied -> false
   end
@@ -322,7 +411,8 @@ let retire_sybils t pid =
   | [] -> ()
   | primary :: sybils ->
     List.iter
-      (fun id ->
+      (fun (vn : payload Dht.vnode) ->
+        let id = vn.Dht.id in
         let recipient = repl_recipient t id in
         match Dht.leave t.dht id with
         | Ok () -> repl_note_leave t ~id ~recipient
@@ -334,8 +424,8 @@ let retire_sybils t pid =
        a zero-work machine must not keep ghost Sybil vnodes behind. *)
     if Params.check_requested t.params then
       List.iter
-        (fun id ->
-          match Dht.find t.dht id with
+        (fun (vn : payload Dht.vnode) ->
+          match Dht.find t.dht vn.Dht.id with
           | Some _ ->
             invalid_arg "State: retired Sybil vnode still present in the ring"
           | None -> ())
@@ -349,12 +439,14 @@ let leave_phys t pid =
   match p.vnodes with
   | [] -> ()
   | [ primary ] -> begin
-    let recipient = repl_recipient t primary in
-    match Dht.leave t.dht primary with
+    let primary_id = primary.Dht.id in
+    let recipient = repl_recipient t primary_id in
+    match Dht.leave t.dht primary_id with
     | Ok () ->
-      repl_note_leave t ~id:primary ~recipient;
+      repl_note_leave t ~id:primary_id ~recipient;
       p.vnodes <- [];
       p.active <- false;
+      t.n_active <- t.n_active - 1;
       p.failed_arcs <- [];
       (* A departing machine abandons any in-flight query retry; it will
          start fresh if it rejoins. *)
@@ -378,12 +470,13 @@ let join_phys t pid =
   let hops = lookup_cost t in
   let donor = repl_donor t id in
   match Dht.join t.dht ~id ~payload:{ owner = pid } with
-  | Ok _ ->
+  | Ok vn ->
     (Dht.messages t.dht).Messages.lookup_hops <-
       (Dht.messages t.dht).Messages.lookup_hops + hops;
     repl_note_join t ~id ~donor;
-    p.vnodes <- [ id ];
-    p.active <- true
+    p.vnodes <- [ vn ];
+    p.active <- true;
+    t.n_active <- t.n_active + 1
   | Error `Occupied -> () (* stays waiting; retries on a later tick *)
 
 (* Ungraceful death, assumed-reliable model ([replicas = 0]): like a
@@ -417,7 +510,12 @@ let fail_phys_assumed t pid =
    large enough event may empty the ring and lose everything. *)
 let crash_machines t pids =
   let r = match t.repl with Some r -> r | None -> assert false in
-  let dying = List.concat_map (fun pid -> t.phys.(pid).vnodes) pids in
+  let dying =
+    List.concat_map
+      (fun pid ->
+        List.map (fun (vn : payload Dht.vnode) -> vn.Dht.id) t.phys.(pid).vnodes)
+      pids
+  in
   let dead = Hashtbl.create 16 in
   List.iter (fun id -> Hashtbl.replace dead id ()) dying;
   let removed =
@@ -432,6 +530,7 @@ let crash_machines t pids =
     (fun pid ->
       let p = t.phys.(pid) in
       p.vnodes <- [];
+      if p.active then t.n_active <- t.n_active - 1;
       p.active <- false;
       p.failed_arcs <- [];
       p.retry_attempts <- 0;
@@ -451,10 +550,8 @@ let crash_machines t pids =
       else
         m.Messages.tasks_lost <- m.Messages.tasks_lost + Id_set.cardinal keys)
     removed;
-  List.iter (fun (id, _) -> Hashtbl.remove r.holders id) removed;
-  Hashtbl.filter_map_inplace
-    (fun _ hs -> Some (List.filter (fun h -> not (Hashtbl.mem dead h)) hs))
-    r.holders
+  List.iter (fun (id, _) -> drop_holder_entry r id) removed;
+  List.iter (fun (id, _) -> prune_holder r id) removed
 
 (* A lone churn failure is a one-machine crash event: with live
    replication its tasks survive iff a replica holder outlives it. *)
@@ -480,6 +577,33 @@ let apply_churn t =
       t.phys
 
 let advance_tick t = t.tick <- t.tick + 1
+
+(* Visit, in ascending pid order, every machine whose decision logic
+   could possibly act this tick; strategies keep their own active /
+   can_decide / due guards on the visited machines.  Under a fault plan
+   this is all machines (smart-query retries fire off the regular
+   cadence, and only a fault plan can create them); otherwise only the
+   machines passing [Decision.due] are visited — with a staggered
+   cadence that is every [period]-th pid, so a tick costs O(n / period)
+   instead of scanning the whole ring to discard the not-due
+   majority. *)
+let iter_decision_candidates t f =
+  if Faults.enabled t.params.Params.faults then Array.iter f t.phys
+  else begin
+    let period = t.params.Params.decision_period in
+    if t.params.Params.stagger_decisions then begin
+      (* due_at: (tick + pid) mod period = 0  <=>  pid ≡ -tick (mod p). *)
+      let start = (period - (t.tick mod period)) mod period in
+      let n = Array.length t.phys in
+      let pid = ref start in
+      while !pid < n do
+        f t.phys.(!pid);
+        pid := !pid + period
+      done
+    end
+    else if t.tick mod t.params.Params.decision_period = 0 then
+      Array.iter f t.phys
+  end
 
 let note_failed_arc t pid arc =
   let p = t.phys.(pid) in
@@ -535,25 +659,32 @@ let charge_retry t =
    the machines active when the burst fires, in fault-stream draw order.
    The draws never depend on earlier victims' deaths (the pool is fixed
    up front), so collecting all victims first is bit-identical to the
-   old draw-one-fail-one loop.  With [replicas = 0] each victim then
-   dies via the assumed-reliable path in draw order (recovery traffic
-   charged, last-key-holder protection applies); with [replicas > 0]
-   the whole burst is ONE simultaneous crash event — a task is lost iff
-   its owner and every replica holder died together, matching
+   old draw-one-fail-one loop.  [Sample.indices] consumes the same
+   draws and returns the same picks as the naive shrinking-list loop
+   (which the oracle still runs as the reference) in O((n + k) log n)
+   instead of O(n * k).  With [replicas = 0] each victim then dies via
+   the assumed-reliable path in draw order (recovery traffic charged,
+   last-key-holder protection applies); with [replicas > 0] the whole
+   burst is ONE simultaneous crash event — a task is lost iff its owner
+   and every replica holder died together, matching
    [Replication.loss_after_failure] on the pre-burst ring. *)
 let apply_crash_bursts t =
   let count = Faults.burst_at t.params.Params.faults ~tick:t.tick in
   if count > 0 then begin
-    let alive = ref [] in
-    Array.iter (fun p -> if p.active then alive := p.pid :: !alive) t.phys;
-    let pool = ref (List.rev !alive) in
-    let victims = ref [] in
-    for _ = 1 to min count (List.length !pool) do
-      let i = Prng.int_below t.frng (List.length !pool) in
-      victims := List.nth !pool i :: !victims;
-      pool := List.filteri (fun j _ -> j <> i) !pool
-    done;
-    let victims = List.rev !victims in
+    let alive = Array.make (max 1 t.n_active) 0 in
+    let m = ref 0 in
+    Array.iter
+      (fun p ->
+        if p.active then begin
+          alive.(!m) <- p.pid;
+          incr m
+        end)
+      t.phys;
+    let victims =
+      List.map
+        (fun i -> alive.(i))
+        (Sample.indices t.frng ~n:!m ~k:(min count !m))
+    in
     match t.repl with
     | None -> List.iter (fail_phys_assumed t) victims
     | Some _ -> if victims <> [] then crash_machines t victims
@@ -604,7 +735,7 @@ let repair_replicas t =
                   end)
                 desired
             in
-            Hashtbl.replace r.holders id hs)
+            set_holders r id hs)
           t.dht;
         r.last_version <- version;
         r.last_complete <- !complete
@@ -644,7 +775,8 @@ let note_query_timeout t pid =
 let check_invariants t =
   Dht.check_invariants t.dht;
   (* Every vnode in the ring is listed by exactly one active machine and
-     vice versa. *)
+     vice versa — and the machine holds the ring's OWN record (physical
+     equality), never a stale copy. *)
   let listed = Hashtbl.create 64 in
   Array.iter
     (fun p ->
@@ -653,7 +785,13 @@ let check_invariants t =
       if p.active && p.vnodes = [] then
         invalid_arg "State: active machine with no ring presence";
       List.iter
-        (fun id ->
+        (fun (vn : payload Dht.vnode) ->
+          let id = vn.Dht.id in
+          (match Dht.find t.dht id with
+          | Some vn' when vn' == vn -> ()
+          | Some _ -> invalid_arg "State: machine holds a stale vnode record"
+          | None ->
+            invalid_arg "State: machine lists a vnode missing from the ring");
           if Hashtbl.mem listed id then invalid_arg "State: vnode listed twice";
           Hashtbl.replace listed id p.pid)
         p.vnodes)
@@ -667,7 +805,15 @@ let check_invariants t =
           invalid_arg "State: payload owner mismatch")
     t.dht;
   if Hashtbl.length listed <> Dht.size t.dht then
-    invalid_arg "State: machine lists a vnode missing from the ring"
+    invalid_arg "State: machine lists a vnode missing from the ring";
+  (* The cached active count is exactly the fold it replaced. *)
+  let counted =
+    Array.fold_left (fun acc p -> if p.active then acc + 1 else acc) 0 t.phys
+  in
+  if counted <> t.n_active then
+    invalid_arg
+      (Printf.sprintf "State: cached n_active %d but %d machines are active"
+         t.n_active counted)
 
 (* The full per-tick harness: structural invariants plus the conservation
    and accounting laws every refactor of the hot path must preserve.
@@ -698,7 +844,8 @@ let check_tick_invariants t =
   end;
   (* Holder-map structural laws: one entry per ring vnode; holders are
      live ring members, never the owner, never duplicated, at most
-     [replicas] of them. *)
+     [replicas] of them; and the reverse index is the exact inverse of
+     the holder lists (the pruning fast path depends on it). *)
   (match t.repl with
   | None -> ()
   | Some r ->
@@ -706,6 +853,7 @@ let check_tick_invariants t =
       invalid_arg
         (Printf.sprintf "State: replica map has %d entries but the ring has %d"
            (Hashtbl.length r.holders) (Dht.size t.dht));
+    let pairs = ref 0 in
     Hashtbl.iter
       (fun id hs ->
         if Dht.find t.dht id = None then
@@ -721,9 +869,23 @@ let check_tick_invariants t =
               invalid_arg "State: duplicate replica holder";
             Hashtbl.replace seen h ();
             if Dht.find t.dht h = None then
-              invalid_arg "State: replica holder not in the ring (stale entry)")
+              invalid_arg "State: replica holder not in the ring (stale entry)";
+            incr pairs;
+            match Hashtbl.find_opt r.backs h with
+            | Some l when List.exists (Id.equal id) !l -> ()
+            | _ ->
+              invalid_arg
+                "State: holder missing from the replica reverse index")
           hs)
-      r.holders);
+      r.holders;
+    let rev_pairs =
+      Hashtbl.fold (fun _ l acc -> acc + List.length !l) r.backs 0
+    in
+    if rev_pairs <> !pairs then
+      invalid_arg
+        (Printf.sprintf
+           "State: replica reverse index has %d pairs but holder lists have %d"
+           rev_pairs !pairs));
   (* Sybil caps: no machine exceeds max_sybils (homogeneous) or its
      strength (heterogeneous). *)
   Array.iter
@@ -734,7 +896,9 @@ let check_tick_invariants t =
              p.pid (sybil_count t p.pid) (sybil_capacity t p.pid)))
     t.phys;
   (* Ring-presence accounting: every machine vnode is in the ring exactly
-     once, so the ring size is the sum of the per-machine lists. *)
+     once, so the ring size is the sum of the per-machine lists.  (This
+     fold and the holder-map walk above are O(nodes) by design — they
+     run only in checked mode, never on the production tick path.) *)
   let total_vnodes =
     Array.fold_left (fun acc p -> acc + List.length p.vnodes) 0 t.phys
   in
@@ -784,18 +948,20 @@ module For_testing = struct
     let dht = Dht.create () in
     let phys =
       Array.mapi
-        (fun pid (strength, vnodes) ->
-          List.iter
-            (fun id ->
-              match Dht.join dht ~id ~payload:{ owner = pid } with
-              | Ok _ -> ()
-              | Error `Occupied ->
-                invalid_arg "State.For_testing.build: duplicate vnode id")
-            vnodes;
+        (fun pid (strength, vnode_ids) ->
+          let vnodes =
+            List.map
+              (fun id ->
+                match Dht.join dht ~id ~payload:{ owner = pid } with
+                | Ok vn -> vn
+                | Error `Occupied ->
+                  invalid_arg "State.For_testing.build: duplicate vnode id")
+              vnode_ids
+          in
           {
             pid;
             strength;
-            original_id = (match vnodes with id :: _ -> id | [] -> Id.zero);
+            original_id = (match vnode_ids with id :: _ -> id | [] -> Id.zero);
             straggler = false;
             active = vnodes <> [];
             vnodes;
@@ -818,6 +984,7 @@ module For_testing = struct
         let r =
           {
             holders = Hashtbl.create 64;
+            backs = Hashtbl.create 64;
             last_version = -1;
             last_complete = false;
           }
@@ -833,7 +1000,7 @@ module For_testing = struct
                 m.Messages.replications <-
                   m.Messages.replications + Id_set.cardinal vn.Dht.keys)
               desired;
-            Hashtbl.replace r.holders vn.Dht.id
+            set_holders r vn.Dht.id
               (List.map (fun s -> s.Dht.id) desired))
           dht;
         r.last_version <- m.Messages.joins + m.Messages.leaves;
@@ -856,5 +1023,7 @@ module For_testing = struct
       initial_tasks;
       tick = 0;
       work_done_total = 0;
+      n_active =
+        Array.fold_left (fun acc p -> if p.active then acc + 1 else acc) 0 phys;
     }
 end

@@ -20,7 +20,12 @@ type phys = private {
   original_id : Id.t;  (** id at first join; reused if [rejoin_fresh_id=false] *)
   straggler : bool;  (** replies arrive [straggle_delay] ticks late *)
   mutable active : bool;
-  mutable vnodes : Id.t list;  (** head = primary vnode; rest = Sybils *)
+  mutable vnodes : payload Dht.vnode list;
+      (** head = primary vnode; rest = Sybils.  Live ring records, not
+          ids: the per-tick consume/workload paths touch every machine,
+          and an id-to-record lookup per touch dominated the tick at
+          100k+ nodes.  Kept in strict sync with ring membership — a
+          departed record is dropped here and emptied by the DHT. *)
   mutable failed_arcs : Interval.t list;
       (** arcs that yielded no work (neighbor injection, avoid_repeats) *)
   mutable retry_attempts : int;
@@ -47,6 +52,10 @@ type t = private {
   initial_tasks : int;  (** keys actually stored at setup (conservation) *)
   mutable tick : int;
   mutable work_done_total : int;
+  mutable n_active : int;
+      (** cached count of active machines, maintained at every
+          join/leave/crash; {!active_count} reads it in O(1) instead of
+          folding the phys array once per tick for the trace *)
 }
 
 val create : Params.t -> t
@@ -143,6 +152,19 @@ val repair_replicas : t -> unit
 val advance_tick : t -> unit
 (** Increment the tick counter (engine use). *)
 
+val iter_decision_candidates : t -> (phys -> unit) -> unit
+(** Visit, in ascending pid order, every machine whose decision logic
+    could possibly act this tick; the strategy keeps its own [active] /
+    {!can_decide} / [Decision.due] guards on the visited machines.
+    Under an enabled fault plan this visits {e all} machines (smart-query
+    retries fire off the regular cadence, and only a fault plan can
+    create them); otherwise only the machines passing [Decision.due] are
+    visited — with a staggered cadence that is every [period]-th pid, so
+    a decision sweep costs O(n / period) instead of scanning the whole
+    machine array to discard the not-due majority.  Strategies must not
+    act on a machine outside its due tick except for fault-driven
+    retries, or the skipped visits would change behavior. *)
+
 (** {1 Faults}
 
     All fault randomness draws from the dedicated [frng] stream; the
@@ -174,7 +196,10 @@ val apply_crash_bursts : t -> unit
 (** If the plan schedules a burst at the current tick, fail [count]
     machines drawn without replacement from the currently active ones,
     in fault-stream draw order ({!fail_phys} each — recovery traffic is
-    charged and the last-key-holder protection applies). *)
+    charged and the last-key-holder protection applies).  Selection goes
+    through [Sample.indices] (Fenwick rank selection), which consumes
+    the same fault-stream draws and picks the same victims as the naive
+    shrinking-list loop the oracle still runs — see docs/TESTING.md. *)
 
 val retry_pending : t -> int -> bool
 (** A smart-query retry is scheduled (suppresses the machine's regular

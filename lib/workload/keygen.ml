@@ -1,30 +1,63 @@
-let fresh rng =
-  let buf = Bytes.create 16 in
+let fresh_of rng buf =
   Prng.fill_bytes rng buf;
-  let ctx = Sha1.init () in
-  Sha1.feed_bytes ctx buf;
-  Id.of_raw_string (Sha1.get ctx)
+  Id.of_raw_string (Sha1.digest_bytes buf)
+
+let fresh rng = fresh_of rng (Bytes.create 16)
 
 let rec fresh_distinct rng taken =
   let id = fresh rng in
   if Id_set.mem id taken then fresh_distinct rng taken else id
 
 let distinct rng n =
-  (* Dedup via a hash table, not an ordered set: O(1) per draw, and the
-     membership structure consumes no randomness, so the id stream is
-     identical either way. *)
-  let out = Array.make n Id.zero in
-  let taken = Hashtbl.create (2 * n) in
-  for i = 0 to n - 1 do
-    let rec draw () =
-      let id = fresh rng in
-      if Hashtbl.mem taken id then draw () else id
+  (* Dedup structure: membership consumes no randomness, so the id
+     stream is identical whatever the structure — a redraw happens
+     exactly on a true 160-bit duplicate.  A flat open-addressing probe
+     table (slot = leading id bytes, which are SHA-1 output and hence
+     uniform; value = index + 1 into [out]) replaces the chained
+     [Hashtbl] that used to cost as much as the digests themselves at
+     the scale-leg sizes: one cache line per probe, zero allocation,
+     load factor <= 1/4.  One scratch buffer serves every draw. *)
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n Id.zero in
+    let cap =
+      let c = ref 16 in
+      while !c < 4 * n do
+        c := !c * 2
+      done;
+      !c
     in
-    let id = draw () in
-    Hashtbl.replace taken id ();
-    out.(i) <- id
-  done;
-  out
+    let mask = cap - 1 in
+    let table = Array.make cap 0 in
+    let buf = Bytes.create 16 in
+    let slot_of id =
+      (* 56 uniform bits, comfortably inside the 63-bit int. *)
+      let s = Id.to_raw_string id in
+      let h = ref 0 in
+      for k = 0 to 6 do
+        h := (!h lsl 8) lor Char.code (String.unsafe_get s k)
+      done;
+      !h land mask
+    in
+    let i = ref 0 in
+    while !i < n do
+      let id = fresh_of rng buf in
+      let s = ref (slot_of id) in
+      while
+        Array.unsafe_get table !s <> 0
+        && not (Id.equal out.(Array.unsafe_get table !s - 1) id)
+      do
+        s := (!s + 1) land mask
+      done;
+      if Array.unsafe_get table !s = 0 then begin
+        table.(!s) <- !i + 1;
+        out.(!i) <- id;
+        incr i
+      end
+      (* else: a true duplicate — redraw, exactly like the naive loop *)
+    done;
+    out
+  end
 
 let node_ids = distinct
 let task_keys = distinct

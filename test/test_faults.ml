@@ -343,7 +343,7 @@ let test_smart_fallback_exact () =
   (match state.State.phys.(0).State.vnodes with
   | [ _; sybil ] ->
     Alcotest.(check bool) "sybil at the widest arc's midpoint" true
-      (Id.equal sybil expected)
+      (Id.equal sybil.Dht.id expected)
   | l -> Alcotest.failf "machine 0 has %d vnodes, wanted 2" (List.length l));
   (* Retry state fully cleared after the fallback. *)
   Alcotest.(check int) "attempts cleared" 0

@@ -313,7 +313,12 @@ let burst_loss_case ~nodes ~tasks ~replicas ~count ~seed =
   in
   let victims = replay_victims ~seed ~nodes ~count in
   let victim_ids =
-    List.concat_map (fun pid -> state.State.phys.(pid).State.vnodes) victims
+    List.concat_map
+      (fun pid ->
+        List.map
+          (fun (vn : State.payload Dht.vnode) -> vn.Dht.id)
+          state.State.phys.(pid).State.vnodes)
+      victims
   in
   let at_risk =
     List.fold_left

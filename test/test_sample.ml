@@ -1,0 +1,74 @@
+(* Sample.indices against the naive shrinking-list loop it replaced on
+   the churn path.  The contract (docs/TESTING.md) is exact: same PRNG
+   draws (one [int_below] per pick, bounds n, n-1, ...) AND same picks,
+   so swapping one for the other anywhere in the engine is invisible to
+   the differential oracle, which still runs the naive loop. *)
+
+(* The pre-PR selection verbatim in shape: index the i-th live slot with
+   [List.nth], drop it with [List.filteri].  O(n^2) — fine at test
+   sizes. *)
+let naive rng ~n ~k =
+  if n < 0 then invalid_arg "naive: n < 0";
+  let pool = ref (List.init n Fun.id) in
+  let picks = if k < 0 then 0 else min k n in
+  let out = ref [] in
+  for _ = 1 to picks do
+    let i = Prng.int_below rng (List.length !pool) in
+    out := List.nth !pool i :: !out;
+    pool := List.filteri (fun j _ -> j <> i) !pool
+  done;
+  List.rev !out
+
+let prop_matches_naive =
+  Testutil.prop ~count:500 "indices = naive loop (picks and stream)"
+    QCheck.(triple (int_range 0 200) (int_range 0 230) small_int)
+    (fun (n, k, seed) ->
+      let a = Prng.create seed and b = Prng.create seed in
+      let fast = Sample.indices a ~n ~k in
+      let slow = naive b ~n ~k in
+      (* Same picks in the same order, and the two generators must have
+         consumed the same number of draws: their next outputs agree. *)
+      fast = slow && Int64.equal (Prng.bits64 a) (Prng.bits64 b))
+
+let prop_distinct_in_range =
+  Testutil.prop ~count:300 "picks are distinct slots of [0, n)"
+    QCheck.(triple (int_range 0 200) (int_range 0 230) small_int)
+    (fun (n, k, seed) ->
+      let picks = Sample.indices (Prng.create seed) ~n ~k in
+      List.length picks = min (max k 0) n
+      && List.for_all (fun i -> i >= 0 && i < n) picks
+      && List.length (List.sort_uniq compare picks) = List.length picks)
+
+let test_edges () =
+  let rng = Prng.create 1 in
+  Alcotest.(check (list int)) "k = 0" [] (Sample.indices rng ~n:10 ~k:0);
+  Alcotest.(check (list int)) "k < 0" [] (Sample.indices rng ~n:10 ~k:(-3));
+  Alcotest.(check (list int)) "n = 0" [] (Sample.indices rng ~n:0 ~k:5);
+  let all = Sample.indices rng ~n:7 ~k:100 in
+  Alcotest.(check (list int))
+    "k >= n exhausts every slot"
+    [ 0; 1; 2; 3; 4; 5; 6 ]
+    (List.sort compare all);
+  Alcotest.check_raises "n < 0 rejected"
+    (Invalid_argument "Sample.indices: n < 0") (fun () ->
+      ignore (Sample.indices rng ~n:(-1) ~k:1))
+
+let test_no_draws_when_empty () =
+  (* The k <= 0 and n = 0 short-circuits must not touch the generator:
+     the engine relies on that when a tick has no churn victims. *)
+  let a = Prng.create 9 and b = Prng.create 9 in
+  ignore (Sample.indices a ~n:0 ~k:4);
+  ignore (Sample.indices a ~n:50 ~k:0);
+  Alcotest.(check int64) "stream untouched" (Prng.bits64 b) (Prng.bits64 a)
+
+let () =
+  Alcotest.run "sample"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "edge cases" `Quick test_edges;
+          Alcotest.test_case "no draws on empty selection" `Quick
+            test_no_draws_when_empty;
+        ] );
+      ("properties", [ prop_matches_naive; prop_distinct_in_range ]);
+    ]

@@ -104,7 +104,7 @@ let test_sybil_cap_enforced () =
 
 let test_sybil_occupied_id () =
   let s = mk () in
-  let taken = List.hd s.State.phys.(1).State.vnodes in
+  let taken = (List.hd s.State.phys.(1).State.vnodes).Dht.id in
   Alcotest.(check bool) "occupied id refused" false (State.create_sybil s 0 taken)
 
 let test_churn_preserves_tasks () =
@@ -148,7 +148,8 @@ let test_churn_rejoins_original_id () =
       if p.State.active then
         match p.State.vnodes with
         | primary :: _ ->
-          Alcotest.check Testutil.check_id "pinned id" p.State.original_id primary
+          Alcotest.check Testutil.check_id "pinned id" p.State.original_id
+            primary.Dht.id
         | [] -> Alcotest.fail "active without vnode")
     s.State.phys
 

@@ -180,14 +180,15 @@ let test_neighbor_injection_places_in_successor_arc () =
       match p.State.vnodes with
       | primary :: sybils when sybils <> [] ->
         List.iter
-          (fun sybil ->
+          (fun (sybil : State.payload Dht.vnode) ->
             (* the sybil must lie in the arc covered by the successor
                list: (primary, k-th successor] *)
-            let succs = Dht.k_successors state.State.dht primary 20 in
+            let succs = Dht.k_successors state.State.dht primary.Dht.id 20 in
             match List.rev succs with
             | last :: _ ->
               Alcotest.(check bool) "sybil within visible arc" true
-                (Id.between_oc ~after:primary ~upto:last.Dht.id sybil)
+                (Id.between_oc ~after:primary.Dht.id ~upto:last.Dht.id
+                   sybil.Dht.id)
             | [] -> ())
           sybils
       | _ -> ())

@@ -1,0 +1,148 @@
+(* Bit-identity pins for the churn-path victim selection (ISSUE 6).
+
+   The golden digests below were recorded from the engine BEFORE the
+   Fenwick-based sampler replaced the naive [List.nth]+[List.filteri]
+   victim-selection loops (straggler picks in [State.create] and the
+   crash-burst picker).  The new sampler must consume the identical
+   fault-stream draws AND select the identical victims, so every run
+   here — all 8 strategies under a plan that exercises stragglers,
+   two crash bursts, a partition window, drops, and churn, with and
+   without live replication — must still reproduce these numbers
+   exactly.  A mismatch means the draw-order contract (docs/TESTING.md)
+   was broken. *)
+
+let digest params strat =
+  let state = State.create params in
+  let r = Engine.run_state ~sink:Trace.Memory ~metrics:false state strat in
+  let ticks =
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+  in
+  let m = r.Engine.messages in
+  [
+    ticks;
+    state.State.work_done_total;
+    State.remaining_tasks state;
+    r.Engine.final_vnodes;
+    r.Engine.final_active;
+    m.Messages.joins;
+    m.Messages.leaves;
+    m.Messages.key_transfers;
+    m.Messages.workload_queries;
+    m.Messages.invitations;
+    m.Messages.lookup_hops;
+    m.Messages.replications;
+    m.Messages.dropped;
+    m.Messages.retries;
+    m.Messages.tasks_lost;
+  ]
+
+let config_a =
+  {
+    (Params.default ~nodes:120 ~tasks:4000) with
+    Params.seed = 97;
+    churn_rate = 0.03;
+    failure_rate = 0.01;
+    heterogeneity = Params.Heterogeneous;
+    faults =
+      {
+        Faults.none with
+        Faults.drop = 0.05;
+        crash_bursts =
+          [ { Faults.at = 6; count = 25 }; { Faults.at = 18; count = 10 } ];
+        stragglers = 12;
+        partition = Some (4, 16);
+      };
+  }
+
+let config_b =
+  {
+    config_a with
+    Params.replicas = 2;
+    repair_lag = 3;
+    failure_rate = 0.02;
+    faults = { config_a.Params.faults with Faults.repl_drop = 0.1 };
+  }
+
+(* (config, strategy, [ticks; work_done; remaining; final_vnodes;
+    final_active; joins; leaves; key_transfers; workload_queries;
+    invitations; lookup_hops; replications; dropped; retries;
+    tasks_lost]) — recorded from the pre-PR engine at seed 97. *)
+let goldens =
+  [
+    ("a", "none", [ 88; 4000; 0; 119; 119; 579; 460; 15094; 0; 0; 1836; 0; 0; 0; 0 ]);
+    ("a", "churn", [ 88; 4000; 0; 119; 119; 579; 460; 15094; 0; 0; 1836; 0; 0; 0; 0 ]);
+    ("a", "random", [ 66; 4000; 0; 209; 113; 1263; 1054; 12434; 0; 0; 4572; 0; 0; 0; 0 ]);
+    ("a", "neighbor", [ 63; 4000; 0; 211; 118; 1112; 901; 12139; 0; 0; 3968; 0; 0; 0; 0 ]);
+    ("a", "smart-neighbor", [ 51; 4000; 0; 208; 120; 838; 630; 12931; 3605; 0; 2872; 0; 183; 234; 0 ]);
+    ("a", "invitation", [ 76; 4000; 0; 121; 121; 525; 404; 11469; 280; 290; 1620; 0; 7; 0; 0 ]);
+    ("a", "strength-aware", [ 58; 4000; 0; 201; 115; 913; 712; 12560; 2415; 0; 3172; 0; 130; 0; 0 ]);
+    ("a", "static-vnodes", [ 72; 4000; 0; 455; 122; 1856; 1401; 14599; 0; 0; 8525; 0; 0; 0; 0 ]);
+    ("b", "none", [ 94; 3555; 0; 110; 110; 697; 587; 10237; 0; 0; 2308; 23646; 0; 0; 445 ]);
+    ("b", "churn", [ 94; 3555; 0; 110; 110; 697; 587; 10237; 0; 0; 2308; 23646; 0; 0; 445 ]);
+    ("b", "random", [ 60; 3845; 0; 228; 121; 1223; 995; 11039; 0; 0; 4412; 23699; 0; 0; 155 ]);
+    ("b", "neighbor", [ 60; 3804; 0; 218; 123; 1174; 956; 10667; 0; 0; 4216; 22947; 0; 0; 196 ]);
+    ("b", "smart-neighbor", [ 64; 3705; 0; 204; 116; 1282; 1078; 10803; 6355; 0; 4648; 22097; 338; 461; 295 ]);
+    ("b", "invitation", [ 72; 3839; 0; 109; 109; 589; 480; 10702; 253; 260; 1876; 24463; 5; 0; 161 ]);
+    ("b", "strength-aware", [ 60; 3749; 0; 215; 129; 1080; 865; 10443; 2840; 0; 3840; 22014; 135; 0; 251 ]);
+    ("b", "static-vnodes", [ 62; 3865; 0; 390; 110; 1841; 1451; 13665; 0; 0; 8457; 26792; 0; 0; 135 ]);
+  ]
+
+let config_of = function
+  | "a" -> config_a
+  | "b" -> config_b
+  | c -> Alcotest.failf "unknown pin config %S" c
+
+let test_pin (cname, sname, expected) () =
+  let s =
+    match Strategy.of_name sname with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let params = Strategy.default_params s (config_of cname) in
+  Alcotest.(check (list int))
+    (Printf.sprintf "config %s / %s digest" cname sname)
+    expected
+    (digest params (Strategy.make s ()))
+
+(* Scale smoke (satellite 4): a >= 50k-node run with the invariant
+   harness forced on every tick, exercising the Fenwick victim
+   selection at scale (a 1000-machine burst plus background churn).
+   Costs a few seconds, so it hides behind DHTLB_SCALE_SMOKE=1 — ci.sh
+   sets it. *)
+let scale_smoke_wanted =
+  match Sys.getenv_opt "DHTLB_SCALE_SMOKE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let test_scale_smoke () =
+  let params =
+    {
+      (Params.default ~nodes:50_000 ~tasks:200_000) with
+      Params.seed = 11;
+      churn_rate = 0.002;
+      check_every_tick = true;
+      faults =
+        { Faults.none with Faults.crash_bursts = [ { Faults.at = 3; count = 1000 } ] };
+    }
+  in
+  let state = State.create params in
+  let r = Engine.run_state ~sink:Trace.Memory ~metrics:false state Engine.no_strategy in
+  (match r.Engine.outcome with
+  | Engine.Finished _ -> ()
+  | Engine.Aborted t -> Alcotest.failf "scale smoke aborted at tick %d" t);
+  Alcotest.(check int) "all tasks conserved" 0 (State.remaining_tasks state)
+
+let () =
+  let pins =
+    List.map
+      (fun ((c, s, _) as g) ->
+        Alcotest.test_case (Printf.sprintf "%s/%s" c s) `Slow (test_pin g))
+      goldens
+  in
+  let smoke =
+    if scale_smoke_wanted then
+      [ Alcotest.test_case "50k-node checked smoke" `Slow test_scale_smoke ]
+    else []
+  in
+  Alcotest.run "victim_pins"
+    [ ("pre-PR bit-identity", pins); ("scale smoke", smoke) ]
