@@ -378,6 +378,107 @@ let scale () =
            full;
          ])
 
+(* ------------------------------------------------------------------ *)
+(* The streaming leg: the open-system engine under continuous Poisson  *)
+(* arrival.  The scale section above times draining a fixed batch; this *)
+(* one times a fixed 300-tick horizon in which roughly 6x the initial   *)
+(* batch arrives while it runs — the steady-state path (arrival draws,  *)
+(* birth ledger, window collector) is what's on the clock.  Three       *)
+(* seeds, per-seed numbers plus medians; ci.sh gates the run-time       *)
+(* median against the committed BENCH_stream.json.                      *)
+
+let stream_json : Json_out.t option ref = ref None
+
+let stream_bench () =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let strategy = Strategy.Random_injection in
+  let seeds = [ seed; seed + 1; seed + 2 ] in
+  let median l =
+    let a = List.sort compare l in
+    List.nth a (List.length a / 2)
+  in
+  let nodes = 10_000 and tasks = 100_000 and churn = 0.01 in
+  let arrivals =
+    {
+      Arrivals.none with
+      Arrivals.profile = Some (Arrivals.Poisson { rate = 2_000.0 });
+      horizon = 300;
+      window = 50;
+    }
+  in
+  Printf.printf
+    "stream leg: %dn / %dt initial, poisson=2000/tick over %d ticks, churn \
+     %.2f, strategy %s\n%!"
+    nodes tasks arrivals.Arrivals.horizon churn (Strategy.name strategy);
+  let runs =
+    List.map
+      (fun sd ->
+        let params =
+          {
+            (Params.default ~nodes ~tasks) with
+            Params.seed = sd;
+            churn_rate = churn;
+            arrivals;
+          }
+        in
+        let state, dt_create = timed (fun () -> State.create params) in
+        let r, dt_run =
+          timed (fun () ->
+              Engine.run_state ~sink:Trace.Memory ~metrics:false state
+                (Strategy.make strategy ()))
+        in
+        let completed =
+          List.fold_left (fun acc (_, c) -> acc + c) 0 r.Engine.sojourn_ledger
+        in
+        let keys_per_s = float_of_int completed /. dt_run in
+        Printf.printf
+          "  seed %d: create %.2fs, run %.2fs (%d arrived, %d completed, \
+           %.0f keys/s)\n%!"
+          sd dt_create dt_run r.Engine.arrived_total completed keys_per_s;
+        (sd, dt_create, dt_run, r.Engine.arrived_total, completed, keys_per_s))
+      seeds
+  in
+  let med_create = median (List.map (fun (_, c, _, _, _, _) -> c) runs) in
+  let med_run = median (List.map (fun (_, _, r, _, _, _) -> r) runs) in
+  let med_keys = median (List.map (fun (_, _, _, _, _, k) -> k) runs) in
+  Printf.printf
+    "  stream medians: create %.2fs %s run %.2fs, %.0f keys completed/s\n%!"
+    med_create
+    (if med_create < med_run then "<" else ">=")
+    med_run med_keys;
+  stream_json :=
+    Some
+      (Json_out.Obj
+         [
+           ("strategy", Json_out.String (Strategy.name strategy));
+           ("seeds", Json_out.List (List.map (fun s -> Json_out.Int s) seeds));
+           ("nodes", Json_out.Int nodes);
+           ("tasks", Json_out.Int tasks);
+           ("churn", Json_out.Float churn);
+           ("arrivals", Json_out.String (Arrivals.to_string arrivals));
+           ( "runs",
+             Json_out.List
+               (List.map
+                  (fun (sd, c, r, a, d, k) ->
+                    Json_out.Obj
+                      [
+                        ("seed", Json_out.Int sd);
+                        ("sim_create_s", Json_out.Float c);
+                        ("sim_run_s", Json_out.Float r);
+                        ("arrived", Json_out.Int a);
+                        ("completed", Json_out.Int d);
+                        ("keys_per_s", Json_out.Float k);
+                      ])
+                  runs) );
+           ("sim_create_s_median", Json_out.Float med_create);
+           ("sim_run_s_median", Json_out.Float med_run);
+           ("keys_per_s_median", Json_out.Float med_keys);
+         ])
+
 (* Stamp the emitted metrics with enough provenance to compare runs
    across commits and machines: the git revision the numbers belong to,
    the core count, and the compiler that produced the binary. *)
@@ -432,6 +533,27 @@ let emit_scale_json () =
             ("domains", Json_out.Int (Domain.recommended_domain_count ()));
             ("ocaml_version", Json_out.String Sys.ocaml_version);
             ("scale", legs);
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (Json_out.to_string ~pretty:true json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n%!" file
+
+let emit_stream_json () =
+  match !stream_json with
+  | None -> ()
+  | Some leg ->
+      let file = "BENCH_stream.json" in
+      let json =
+        Json_out.Obj
+          [
+            ("schema", Json_out.String "dhtlb-stream/1");
+            ("git_rev", Json_out.String (git_rev ()));
+            ("domains", Json_out.Int (Domain.recommended_domain_count ()));
+            ("ocaml_version", Json_out.String Sys.ocaml_version);
+            ("stream", leg);
           ]
       in
       let oc = open_out file in
@@ -521,6 +643,8 @@ let () =
   section "timeline" timeline;
   section "hotpath" hotpath;
   section "scale" scale;
+  section "stream" stream_bench;
   section "micro" micro;
   emit_hotpath_json ();
-  emit_scale_json ()
+  emit_scale_json ();
+  emit_stream_json ()

@@ -162,6 +162,25 @@ let faults_t =
            enrolment loss, with --replicas); or $(b,off).  Example: \
            $(b,--faults drop=0.1,crash=5\\@200,straggle=3).")
 
+let arrivals_t =
+  let parse s =
+    match Arrivals.of_string s with Ok t -> Ok t | Error e -> Error (`Msg e)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Arrivals.pp)) Arrivals.none
+    & info [ "arrivals" ] ~docv:"SPEC"
+        ~doc:
+          "Arrival plan (open system): comma-separated clauses with \
+           exactly one rate profile among $(b,poisson=RATE), \
+           $(b,burst=LO:HI:ON:OFF) (interrupted Poisson) and \
+           $(b,diurnal=MEAN:AMP:PERIOD); plus optional \
+           $(b,hot=HOTSPOTS:SPREAD:ZIPF_S) (Zipf-skewed task keys), \
+           $(b,horizon=TICKS) and $(b,window=TICKS); or $(b,off).  With \
+           a profile the run lasts exactly horizon ticks and reports \
+           steady-state windows instead of a makespan.  Example: \
+           $(b,--arrivals poisson=8,hot=4:0.05:1.1,horizon=400).")
+
 let replicas_t =
   Arg.(
     value
@@ -187,7 +206,7 @@ let repair_lag_t =
 let params_t =
   let build nodes tasks churn failures threshold max_sybils successors hetero
       strength_work period no_stagger invite_factor median_split avoid_repeats
-      hotspots spread zipf_s faults replicas repair_lag seed =
+      hotspots spread zipf_s faults replicas repair_lag arrivals seed =
     {
       (Params.default ~nodes ~tasks) with
       Params.churn_rate = churn;
@@ -210,6 +229,7 @@ let params_t =
       faults;
       replicas;
       repair_lag;
+      arrivals;
       seed;
     }
   in
@@ -218,7 +238,7 @@ let params_t =
     $ max_sybils_t $ successors_t $ hetero_t $ strength_work_t $ period_t
     $ no_stagger_t $ invite_factor_t $ median_split_t $ avoid_repeats_t
     $ clustered_t $ spread_t $ zipf_t $ faults_t $ replicas_t $ repair_lag_t
-    $ seed_t)
+    $ arrivals_t $ seed_t)
 
 (* ---------------------------------------------------------------- *)
 (* Commands                                                           *)
@@ -236,24 +256,28 @@ let maybe_csv path contents =
     Printf.eprintf "wrote %s\n%!" file
   | None -> ()
 
-let simulate params strategy trials domains snapshots trace_csv trace_out
-    metrics json =
-  let params = Strategy.default_params strategy params in
-  (match Params.validate params with
+let validate_or_die params =
+  match Params.validate params with
   | Ok () -> ()
   | Error e ->
     prerr_endline ("invalid parameters: " ^ e);
-    exit 2);
-  let sink =
-    match trace_out with
-    | None -> None
-    | Some spec -> (
-      match Trace.sink_of_string spec with
-      | Ok s -> Some s
-      | Error e ->
-        prerr_endline ("invalid --trace-out: " ^ e);
-        exit 2)
-  in
+    exit 2
+
+let sink_of_opt trace_out =
+  match trace_out with
+  | None -> None
+  | Some spec -> (
+    match Trace.sink_of_string spec with
+    | Ok s -> Some s
+    | Error e ->
+      prerr_endline ("invalid --trace-out: " ^ e);
+      exit 2)
+
+let simulate params strategy trials domains snapshots trace_csv trace_out
+    metrics json =
+  let params = Strategy.default_params strategy params in
+  validate_or_die params;
+  let sink = sink_of_opt trace_out in
   (* file sinks would have every trial overwrite the same path *)
   (match sink with
   | Some (Trace.Csv_file _ | Trace.Jsonl_file _) when trials > 1 ->
@@ -300,6 +324,17 @@ let simulate params strategy trials domains snapshots trace_csv trace_out
            (Export.aggregate_json ~label:(Strategy.name strategy) agg))
   end
 
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"SPEC"
+        ~doc:
+          "Trace sink: $(b,memory), $(b,null), $(b,ring:N), $(b,csv:PATH) \
+           or $(b,jsonl:PATH).  Bounds trace memory for long runs; \
+           defaults to \\$DHTLB_TRACE_OUT, else memory.  File sinks \
+           require --trials 1.")
+
 let simulate_cmd =
   let snapshots_t =
     Arg.(
@@ -314,17 +349,6 @@ let simulate_cmd =
       & opt (some string) None
       & info [ "trace-csv" ] ~docv:"FILE"
           ~doc:"Write the per-tick trace as CSV (single-trial runs).")
-  in
-  let trace_out_t =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-out" ] ~docv:"SPEC"
-          ~doc:
-            "Trace sink: $(b,memory), $(b,null), $(b,ring:N), $(b,csv:PATH) \
-             or $(b,jsonl:PATH).  Bounds trace memory for long runs; \
-             defaults to \\$DHTLB_TRACE_OUT, else memory.  File sinks \
-             require --trials 1.")
   in
   let metrics_t =
     Arg.(
@@ -342,6 +366,94 @@ let simulate_cmd =
     Term.(
       const simulate $ params_t $ strategy_t $ trials_t $ domains_t
       $ snapshots_t $ trace_csv_t $ trace_out_t $ metrics_t $ json_t)
+
+(* ---------------------------------------------------------------- *)
+(* Open-system streaming                                              *)
+
+let window_table windows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%4s %6s %5s %7s %7s %18s %21s %14s\n" "win" "start"
+       "ticks" "arr/t" "done/t" "queue p50/p95/p99" "sojourn p50/p95/p99"
+       "sybils min..max");
+  let one v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v in
+  let pcts a b c = Printf.sprintf "%s/%s/%s" (one a) (one b) (one c) in
+  Array.iter
+    (fun (w : Steady.window) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%4d %6d %5d %7.2f %7.2f %18s %21s %6d..%-6d\n"
+           w.Steady.index w.Steady.start_tick w.Steady.ticks
+           w.Steady.arrival_rate w.Steady.completion_rate
+           (pcts w.Steady.queue_p50 w.Steady.queue_p95 w.Steady.queue_p99)
+           (pcts w.Steady.sojourn_p50 w.Steady.sojourn_p95 w.Steady.sojourn_p99)
+           w.Steady.sybil_min w.Steady.sybil_max))
+    windows;
+  Buffer.contents buf
+
+let stream params strategy trace_out csv json =
+  (* `stream` means open system: supply a default Poisson plan when the
+     user gave none rather than silently running the batch engine. *)
+  let params =
+    if Arrivals.enabled params.Params.arrivals then params
+    else
+      {
+        params with
+        Params.arrivals =
+          {
+            params.Params.arrivals with
+            Arrivals.profile = Some (Arrivals.Poisson { rate = 4.0 });
+          };
+      }
+  in
+  let params = Strategy.default_params strategy params in
+  validate_or_die params;
+  let sink = sink_of_opt trace_out in
+  Format.printf "parameters: %a@." Params.pp params;
+  let r = Engine.run ?sink params (Strategy.make strategy ()) in
+  (match r.Engine.outcome with
+  | Engine.Finished t -> Format.printf "horizon reached: %d ticks@." t
+  | Engine.Aborted t -> Format.printf "ABORTED at safety cap %d ticks@." t);
+  let completed =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 r.Engine.sojourn_ledger
+  in
+  Format.printf "arrived: %d; completed: %d; lost: %d; final vnodes: %d; active: %d@."
+    r.Engine.arrived_total completed
+    r.Engine.messages.Messages.tasks_lost r.Engine.final_vnodes
+    r.Engine.final_active;
+  Format.printf "messages: %a@." Messages.pp r.Engine.messages;
+  print_string (window_table r.Engine.steady);
+  maybe_csv csv (Export.steady_csv r.Engine.steady);
+  if json then
+    print_endline (Json_out.to_string ~pretty:true (Export.result_json r))
+
+let stream_cmd =
+  let json_t =
+    Arg.(value & flag & info [ "json" ] ~doc:"Also print the result as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "One open-system run: continuous task arrival over a fixed \
+          horizon, reported as steady-state measurement windows \
+          (arrival/completion rates, queue and sojourn percentiles, \
+          Sybil-count swing).  Defaults to $(b,--arrivals poisson=4) \
+          when no plan is given.")
+    Term.(
+      const stream $ params_t $ strategy_t $ trace_out_t $ csv_t $ json_t)
+
+let steady_sweep_cmd =
+  Cmd.v
+    (Cmd.info "steady-sweep"
+       ~doc:
+         "Steady-state sweep: strategy × Poisson arrival rate × churn, \
+          each cell an open-system run reporting warm-up-discarded \
+          queue and sojourn percentiles.")
+    Term.(
+      const (fun trials seed csv ->
+          let cells = Steady_sweep.run ~trials ~seed () in
+          print_string (Steady_sweep.print_table cells);
+          maybe_csv csv (Export.steady_sweep_csv cells))
+      $ trials_t $ seed_t $ csv_t)
 
 let print_cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const (fun s -> print_string (f s)) $ seed_t)
@@ -609,6 +721,8 @@ let main_cmd =
       recovery_sweep_cmd;
       hops_cmd;
       timeline_cmd;
+      stream_cmd;
+      steady_sweep_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -34,6 +34,16 @@ DHTLB_CHECK=1 dune exec bin/dhtlb.exe -- simulate \
   --nodes 200 --tasks 20000 --churn 0.02 --failures 0.01 \
   --replicas 2 --repair-lag 2 --faults drop=0.05,crash=20@10+15@30 --seed 7
 
+echo "==> stream smoke (open-system run through the real CLI, invariant-checked, bounded trace)"
+# End-to-end through bin/dhtlb with continuous arrivals: a bursty plan
+# over Zipf-hot keys under churn and control-plane message drop, every
+# tick checked against the conservation law (work_done + remaining +
+# lost = initial + arrived) with the ring trace sink bounding memory.
+DHTLB_CHECK=1 DHTLB_TRACE_OUT=ring:32 dune exec bin/dhtlb.exe -- stream \
+  --nodes 200 --tasks 5000 --churn 0.02 --strategy invitation \
+  --faults drop=0.05 \
+  --arrivals burst=20:150:10:20,hot=4:0.05:1.1,horizon=120,window=20 --seed 7
+
 echo "==> full battery under the invariant harness (DHTLB_CHECK=1)"
 DHTLB_CHECK=1 dune runtest --force
 
@@ -163,5 +173,52 @@ else
   echo "==> scale gate OK: full-leg sim_run_s_median ${new_full}s vs baseline ${old_full}s; create<run held on both legs"
 fi
 rm -f "$scale_baseline"
+
+echo "==> stream bench (open-system leg, 3 seeds; writes BENCH_stream.json)"
+# Same shape as the scale gate: three seeds in one pass give a stable
+# median, gated at 25% against the committed baseline, plus the
+# setup-cheaper-than-run sanity check.  The leg exercises the streaming
+# path end to end: arrival draws, the birth ledger, and the windowed
+# steady-state collector are all on the clock.
+stream_baseline=""
+if [ -f BENCH_stream.json ]; then
+  stream_baseline=$(mktemp)
+  cp BENCH_stream.json "$stream_baseline"
+fi
+
+DHTLB_ONLY=stream dune exec bench/main.exe
+s_create=$(scale_field BENCH_stream.json sim_create_s_median first)
+s_run=$(scale_field BENCH_stream.json sim_run_s_median first)
+if [ -z "$s_create" ] || [ -z "$s_run" ]; then
+  echo "==> stream gate: could not read medians from BENCH_stream.json" >&2
+  rm -f "$stream_baseline"
+  exit 1
+fi
+if awk -v c="$s_create" -v r="$s_run" 'BEGIN { exit !(c >= r) }'; then
+  echo "==> stream gate FAILED: sim_create_s_median ${s_create}s >= sim_run_s_median ${s_run}s" >&2
+  rm -f "$stream_baseline"
+  exit 1
+fi
+if [ "${DHTLB_BENCH_GATE:-1}" = "0" ] || [ -z "$stream_baseline" ]; then
+  if [ "${DHTLB_BENCH_GATE:-1}" = "0" ]; then
+    echo "==> stream regression gate skipped (DHTLB_BENCH_GATE=0); create<run held"
+  else
+    echo "==> stream regression gate skipped (no committed BENCH_stream.json baseline); create<run held"
+  fi
+else
+  old_run=$(scale_field "$stream_baseline" sim_run_s_median first)
+  if [ -z "$old_run" ]; then
+    echo "==> stream gate: could not read sim_run_s_median from baseline" >&2
+    rm -f "$stream_baseline"
+    exit 1
+  fi
+  if awk -v old="$old_run" -v new="$s_run" 'BEGIN { exit !(new > old * 1.25) }'; then
+    echo "==> stream gate FAILED: sim_run_s_median ${s_run}s vs baseline ${old_run}s (>25% slower)" >&2
+    rm -f "$stream_baseline"
+    exit 1
+  fi
+  echo "==> stream gate OK: sim_run_s_median ${s_run}s vs baseline ${old_run}s; create<run held"
+fi
+rm -f "$stream_baseline"
 
 echo "==> ci.sh: all green"

@@ -206,9 +206,9 @@ let insert_keys t keys =
 (* Record-direct variant: the engine holds each machine's vnode records
    and consumes every tick, so the per-call [Hashtbl] lookup of the
    id-keyed [consume] was the single hottest operation at 100k nodes. *)
-let consume_vnode ~pick t vn n =
+let consume_vnode_keys ~pick t vn n =
   let c = Id_set.cardinal vn.keys in
-  if n <= 0 || c = 0 then 0
+  if n <= 0 || c = 0 then []
   else begin
     let rand bound =
       let i = pick bound in
@@ -216,11 +216,12 @@ let consume_vnode ~pick t vn n =
       i
     in
     let taken, rest = Id_set.take_random_n ~rand vn.keys n in
-    let completed = List.length taken in
     vn.keys <- rest;
-    t.total_keys <- t.total_keys - completed;
-    completed
+    t.total_keys <- t.total_keys - List.length taken;
+    taken
   end
+
+let consume_vnode ~pick t vn n = List.length (consume_vnode_keys ~pick t vn n)
 
 let consume ~pick t id n =
   match Hashtbl.find_opt t.index id with

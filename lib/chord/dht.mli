@@ -94,6 +94,13 @@ val consume_vnode : pick:(int -> int) -> 'a t -> 'a vnode -> int -> int
     departed record has been emptied, so consuming it is a harmless
     no-op rather than corruption. *)
 
+val consume_vnode_keys : pick:(int -> int) -> 'a t -> 'a vnode -> int -> Id.t list
+(** {!consume_vnode}, but returns the completed keys themselves (in
+    extraction order) instead of just their count — the open-system
+    engine needs the identities to settle each task's sojourn ledger
+    entry.  Same draws, same removals; [consume_vnode] is this with
+    [List.length]. *)
+
 val workload : 'a t -> Id.t -> int
 (** Tasks currently owned by a vnode; [0] if not a member. O(1). *)
 

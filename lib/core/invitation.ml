@@ -56,8 +56,11 @@ let decide (state : State.t) =
         if Random_injection.should_retire ~workload:w ~sybils:(State.sybil_count state pid)
         then State.retire_sybils state pid;
         if
+          (* The bar is the frozen setup mean for batch runs and the
+             live mean under continuous arrivals ([State.load_reference]
+             — identical to [initial_mean] when arrivals are off). *)
           is_overloaded ~workload:w ~invite_factor:params.Params.invite_factor
-            ~initial_mean:state.State.initial_mean
+            ~initial_mean:(State.load_reference state)
         then begin
           match heaviest_vnode p with
           | None | Some (_, 0) -> ()

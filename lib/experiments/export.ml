@@ -150,6 +150,92 @@ let recovery_sweep_csv cells =
          ])
        cells)
 
+(* NaN percentiles (no completions in the window) become empty cells,
+   matching the finished-only convention above. *)
+let fnan v = if Float.is_nan v then "" else f v
+
+let steady_csv windows =
+  Csv_out.table
+    ~header:
+      [
+        "window";
+        "start_tick";
+        "ticks";
+        "arrivals";
+        "completions";
+        "arrival_rate";
+        "completion_rate";
+        "queue_p50";
+        "queue_p95";
+        "queue_p99";
+        "sojourn_p50";
+        "sojourn_p95";
+        "sojourn_p99";
+        "sojourn_mean";
+        "sybil_min";
+        "sybil_max";
+        "sybil_mean";
+      ]
+    (Array.to_list
+       (Array.map
+          (fun (w : Steady.window) ->
+            [
+              string_of_int w.Steady.index;
+              string_of_int w.Steady.start_tick;
+              string_of_int w.Steady.ticks;
+              string_of_int w.Steady.arrivals;
+              string_of_int w.Steady.completions;
+              f w.Steady.arrival_rate;
+              f w.Steady.completion_rate;
+              f w.Steady.queue_p50;
+              f w.Steady.queue_p95;
+              f w.Steady.queue_p99;
+              fnan w.Steady.sojourn_p50;
+              fnan w.Steady.sojourn_p95;
+              fnan w.Steady.sojourn_p99;
+              fnan w.Steady.sojourn_mean;
+              string_of_int w.Steady.sybil_min;
+              string_of_int w.Steady.sybil_max;
+              f w.Steady.sybil_mean;
+            ])
+          windows))
+
+let steady_sweep_csv cells =
+  Csv_out.table
+    ~header:
+      [
+        "strategy";
+        "rate";
+        "churn";
+        "trials";
+        "mean_arrived";
+        "mean_tasks_lost";
+        "queue_p50";
+        "queue_p95";
+        "queue_p99";
+        "sojourn_p50";
+        "sojourn_p95";
+        "sojourn_p99";
+      ]
+    (List.map
+       (fun (c : Steady_sweep.cell) ->
+         let a = c.Steady_sweep.aggregate in
+         [
+           Strategy.name c.Steady_sweep.strategy;
+           f c.Steady_sweep.rate;
+           f c.Steady_sweep.churn;
+           string_of_int a.Runner.trials;
+           f a.Runner.mean_arrived;
+           f a.Runner.mean_tasks_lost;
+           fnan a.Runner.steady_queue_p50;
+           fnan a.Runner.steady_queue_p95;
+           fnan a.Runner.steady_queue_p99;
+           fnan a.Runner.steady_sojourn_p50;
+           fnan a.Runner.steady_sojourn_p95;
+           fnan a.Runner.steady_sojourn_p99;
+         ])
+       cells)
+
 let work_timeline_csv series =
   let header =
     "tick"
@@ -213,6 +299,7 @@ let metrics_json (m : Metrics.report) =
       ("enabled", Json_out.Bool m.Metrics.enabled);
       ("ticks", Json_out.Int m.Metrics.ticks);
       ("wall_s", Json_out.Float m.Metrics.wall_s);
+      ("arrive_s", Json_out.Float m.Metrics.arrive_s);
       ("decide_s", Json_out.Float m.Metrics.decide_s);
       ("consume_s", Json_out.Float m.Metrics.consume_s);
       ("churn_s", Json_out.Float m.Metrics.churn_s);
@@ -242,6 +329,18 @@ let result_json (r : Engine.result) =
        ("final_active", Json_out.Int r.Engine.final_active);
        ("messages", messages_json r.Engine.messages);
      ]
+    (* keep the historical shape for batch runs *)
+    @ (if Array.length r.Engine.steady > 0 then
+         [
+           ("arrived_total", Json_out.Int r.Engine.arrived_total);
+           ( "sojourn_ledger",
+             Json_out.List
+               (List.map
+                  (fun (s, c) ->
+                    Json_out.List [ Json_out.Int s; Json_out.Int c ])
+                  r.Engine.sojourn_ledger) );
+         ]
+       else [])
     (* keep the historical shape when metrics were off *)
     @
     if r.Engine.metrics.Metrics.enabled then
@@ -265,4 +364,14 @@ let aggregate_json ~label (a : Runner.aggregate) =
       ("mean_ticks_finished", Json_out.Float a.Runner.mean_ticks_finished);
       ("mean_messages", Json_out.Float a.Runner.mean_messages);
       ("mean_tasks_lost", Json_out.Float a.Runner.mean_tasks_lost);
+      ("open_system", Json_out.Bool a.Runner.open_system);
+      (* NaN renders as null: the factor family above for open systems,
+         the steady family below for batch runs. *)
+      ("mean_arrived", Json_out.Float a.Runner.mean_arrived);
+      ("steady_queue_p50", Json_out.Float a.Runner.steady_queue_p50);
+      ("steady_queue_p95", Json_out.Float a.Runner.steady_queue_p95);
+      ("steady_queue_p99", Json_out.Float a.Runner.steady_queue_p99);
+      ("steady_sojourn_p50", Json_out.Float a.Runner.steady_sojourn_p50);
+      ("steady_sojourn_p95", Json_out.Float a.Runner.steady_sojourn_p95);
+      ("steady_sojourn_p99", Json_out.Float a.Runner.steady_sojourn_p99);
     ]

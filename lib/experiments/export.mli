@@ -7,6 +7,16 @@ val lookup_hops_csv : Lookup_hops.row list -> string
 val maintenance_csv : Maintenance.row list -> string
 val failure_recovery_csv : Failure_recovery.row list -> string
 val recovery_sweep_csv : Recovery_sweep.cell list -> string
+
+val steady_csv : Steady.window array -> string
+(** One open-system run's measurement windows: arrival/completion rates,
+    queue and sojourn percentiles, Sybil-count extremes per window.  NaN
+    sojourn cells (no completions in the window) export as empty. *)
+
+val steady_sweep_csv : Steady_sweep.cell list -> string
+(** The steady-state sweep grid, one row per
+    strategy × rate × churn cell. *)
+
 val work_timeline_csv : Work_timeline.series list -> string
 
 val trace_csv : Trace.t -> string

@@ -1,0 +1,79 @@
+type cell = {
+  strategy : Strategy.t;
+  rate : float;
+  churn : float;
+  aggregate : Runner.aggregate;
+}
+
+(* The default grid keeps one strategy per interesting family: the
+   do-nothing baseline, blind injection, the query-driven variant with
+   retries, and the paper's cooperative protocol. *)
+let strategies =
+  [
+    Strategy.No_strategy;
+    Strategy.Random_injection;
+    Strategy.Smart_neighbor_injection;
+    Strategy.Invitation;
+  ]
+
+(* Light / moderate / saturating load for the default 40-machine ring:
+   at 1 task/machine/tick of service, 20 arrivals/tick leaves no slack
+   once churn removes a few machines. *)
+let rates = [ 2.0; 8.0; 20.0 ]
+let churn_rates = [ 0.0; 0.05 ]
+
+let run ?(trials = 3) ?(seed = 42) ?(nodes = 40) ?(tasks = 500)
+    ?(horizon = 120) ?(window = 20) ?(strategies = strategies)
+    ?(rates = rates) ?(churn_rates = churn_rates) () =
+  List.concat_map
+    (fun strategy ->
+      List.concat_map
+        (fun rate ->
+          List.map
+            (fun churn ->
+              let arrivals =
+                {
+                  Arrivals.none with
+                  Arrivals.profile = Some (Arrivals.Poisson { rate });
+                  horizon;
+                  window;
+                }
+              in
+              let params =
+                Strategy.default_params strategy
+                  {
+                    (Params.default ~nodes ~tasks) with
+                    Params.seed = seed;
+                    churn_rate = churn;
+                    arrivals;
+                  }
+              in
+              let aggregate =
+                Runner.run_trials ~trials params (Strategy.make strategy)
+              in
+              { strategy; rate; churn; aggregate })
+            churn_rates)
+        rates)
+    strategies
+
+let print_table cells =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-16s %6s %6s %9s %21s %21s\n" "strategy" "rate" "churn"
+       "arrived" "queue p50/p95/p99" "sojourn p50/p95/p99");
+  let pcts a b c =
+    let one v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v in
+    Printf.sprintf "%s/%s/%s" (one a) (one b) (one c)
+  in
+  List.iter
+    (fun c ->
+      let a = c.aggregate in
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %6.1f %6.2f %9.1f %21s %21s\n"
+           (Strategy.name c.strategy) c.rate c.churn a.Runner.mean_arrived
+           (pcts a.Runner.steady_queue_p50 a.Runner.steady_queue_p95
+              a.Runner.steady_queue_p99)
+           (pcts a.Runner.steady_sojourn_p50 a.Runner.steady_sojourn_p95
+              a.Runner.steady_sojourn_p99)))
+    cells;
+  Buffer.contents buf

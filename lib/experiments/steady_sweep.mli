@@ -1,0 +1,48 @@
+(** Open-system steady state: strategy × arrival rate × churn.
+
+    The paper's experiments race strategies to drain a fixed batch; this
+    sweep instead holds each strategy under {e continuous} Poisson task
+    arrival ({!Arrivals}) for a fixed horizon and reads the steady-state
+    aggregates from {!Runner.run_trials} — windowed queue-length and
+    sojourn percentiles with the first half of each run discarded as
+    warm-up.  The question it answers is the open-system version of the
+    paper's: once tasks never stop coming, which balancing strategy
+    keeps sojourn tails flat as the offered load and the churn rate
+    climb? *)
+
+type cell = {
+  strategy : Strategy.t;
+  rate : float;  (** Poisson arrival rate, tasks/tick *)
+  churn : float;  (** ambient churn probability per machine per tick *)
+  aggregate : Runner.aggregate;
+      (** open-system aggregate: the factor family is NaN here, the
+          steady fields are live *)
+}
+
+val strategies : Strategy.t list
+(** Default strategy column: baseline, random, smart-neighbor,
+    invitation — one per family. *)
+
+val rates : float list
+(** Default light / moderate / saturating offered loads. *)
+
+val churn_rates : float list
+
+val run :
+  ?trials:int ->
+  ?seed:int ->
+  ?nodes:int ->
+  ?tasks:int ->
+  ?horizon:int ->
+  ?window:int ->
+  ?strategies:Strategy.t list ->
+  ?rates:float list ->
+  ?churn_rates:float list ->
+  unit ->
+  cell list
+(** Grid order: strategies outermost, then rates, then churn — matching
+    {!print_table}'s grouping.  [tasks] seeds the initial batch (the
+    queue the system starts from); [horizon]/[window] shape every cell's
+    arrival plan. *)
+
+val print_table : cell list -> string

@@ -1,8 +1,9 @@
-type phase = Decide | Consume | Churn | Check | Trace
+type phase = Arrive | Decide | Consume | Churn | Check | Trace
 
 type t = {
   enabled : bool;
   mutable ticks : int;
+  mutable arrive_s : float;
   mutable decide_s : float;
   mutable consume_s : float;
   mutable churn_s : float;
@@ -20,6 +21,7 @@ type report = {
   enabled : bool;
   ticks : int;
   wall_s : float;
+  arrive_s : float;
   decide_s : float;
   consume_s : float;
   churn_s : float;
@@ -49,6 +51,7 @@ let create ~enabled () =
     {
       enabled = false;
       ticks = 0;
+      arrive_s = 0.0;
       decide_s = 0.0;
       consume_s = 0.0;
       churn_s = 0.0;
@@ -66,6 +69,7 @@ let create ~enabled () =
     {
       enabled = true;
       ticks = 0;
+      arrive_s = 0.0;
       decide_s = 0.0;
       consume_s = 0.0;
       churn_s = 0.0;
@@ -83,6 +87,7 @@ let enabled (t : t) = t.enabled
 
 let add (t : t) phase dt =
   match phase with
+  | Arrive -> t.arrive_s <- t.arrive_s +. dt
   | Decide -> t.decide_s <- t.decide_s +. dt
   | Consume -> t.consume_s <- t.consume_s +. dt
   | Churn -> t.churn_s <- t.churn_s +. dt
@@ -111,6 +116,7 @@ let report (t : t) : report =
       enabled = false;
       ticks = t.ticks;
       wall_s = 0.0;
+      arrive_s = 0.0;
       decide_s = 0.0;
       consume_s = 0.0;
       churn_s = 0.0;
@@ -128,6 +134,7 @@ let report (t : t) : report =
       enabled = true;
       ticks = t.ticks;
       wall_s = now () -. t.created_at;
+      arrive_s = t.arrive_s;
       decide_s = t.decide_s;
       consume_s = t.consume_s;
       churn_s = t.churn_s;
@@ -144,7 +151,9 @@ let pp_report ppf (r : report) =
   if not r.enabled then Format.fprintf ppf "metrics disabled"
   else
     Format.fprintf ppf
-      "ticks=%d wall=%.3fs decide=%.3fs consume=%.3fs churn=%.3fs check=%.3fs \
-       trace=%.3fs gc_minor=%.0fw gc_major=%.0fw collections=%d/%d"
-      r.ticks r.wall_s r.decide_s r.consume_s r.churn_s r.check_s r.trace_s
+      "ticks=%d wall=%.3fs arrive=%.3fs decide=%.3fs consume=%.3fs \
+       churn=%.3fs check=%.3fs trace=%.3fs gc_minor=%.0fw gc_major=%.0fw \
+       collections=%d/%d"
+      r.ticks r.wall_s r.arrive_s r.decide_s r.consume_s r.churn_s r.check_s
+      r.trace_s
       r.minor_words r.major_words r.minor_collections r.major_collections

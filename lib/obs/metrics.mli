@@ -11,6 +11,7 @@
     with metrics on to prove it). *)
 
 type phase =
+  | Arrive  (** open-system task injection ([State.apply_arrivals]) *)
   | Decide  (** strategy decision step *)
   | Consume  (** task consumption ([State.consume_tick]) *)
   | Churn  (** [State.apply_churn] *)
@@ -50,6 +51,7 @@ type report = {
   enabled : bool;
   ticks : int;
   wall_s : float;  (** creation to [report] call *)
+  arrive_s : float;  (** only nonzero for open-system runs *)
   decide_s : float;
   consume_s : float;
   churn_s : float;

@@ -41,6 +41,22 @@
    itself is draw-free: victims are already chosen, and the
    lost-or-recovered predicate is deterministic.
 
+   Arrival randomness (open-system runs) lives on a THIRD stream
+   (Arrivals.rng, the second split off the same seed), also mirrored
+   draw for draw:
+
+     create:   [hotspots] hot-key centers (2 x bits64 each), iff the
+               plan is enabled AND its key mix is [Hot]
+     per tick (before the decide step): the Knuth product-of-uniforms
+     Poisson loop — k+1 float_unit draws for a count of k, and NO draw
+     at all when the tick's rate is <= 0 — then per arrival exactly one
+     key draw, unconditionally (the stream layout must not depend on
+     ring state): a fresh uniform key (2 x bits64) or a hot key (one
+     zipf float_unit + one offset float_unit)
+
+   A disabled plan never consumes an arrival draw, which is why
+   arrivals-off runs are bit-identical to the batch engine.
+
    The oracle additionally re-checks its own invariants after every tick
    unconditionally — it is the belt to the engine's DHTLB_CHECK braces. *)
 
@@ -80,6 +96,8 @@ type t = {
   params : Params.t;
   rng : Prng.t;
   frng : Prng.t; (* dedicated fault stream, mirrors State.frng *)
+  arng : Prng.t; (* dedicated arrival stream, mirrors State.arng *)
+  hot_centers : Id.t array; (* [||] unless arrivals are on with hot keys *)
   partitioned : int; (* -1 = none *)
   mutable ring : ovnode list; (* ascending by id *)
   machs : omach array;
@@ -93,6 +111,12 @@ type t = {
   mutable holders : (Id.t * Id.t list) list;
   initial_mean : float;
   mutable initial_tasks : int;
+  (* Open-system ledgers, mirroring State.birth / State.sojourn_hist as
+     association lists: birth tick per live task, and the completed-task
+     sojourn histogram.  Both stay [] when the arrival plan is off. *)
+  mutable birth : (Id.t * int) list;
+  mutable sojourn_hist : (int * int) list;
+  mutable arrived_total : int;
   mutable tick : int;
   mutable work_done_total : int;
   mutable last_msg_total : int;
@@ -117,6 +141,8 @@ type result = {
   final_vnodes : int;
   final_active : int;
   work_done_total : int;
+  arrived_total : int;
+  sojourn_ledger : (int * int) list;
 }
 
 (* ---- sorted-list primitives -------------------------------------- *)
@@ -263,8 +289,31 @@ let leave o id =
       Ok ()
     end
 
+let arrivals_on o = Arrivals.enabled o.params.Params.arrivals
+
+(* Mirrors State.note_sojourn: completing a task settles its birth entry
+   into the sojourn histogram (sojourn = completion - birth + 1,
+   inclusive of both ticks). *)
+let note_sojourn o key =
+  let rec pull acc = function
+    | [] -> invalid_arg "Oracle: completed a task with no birth record"
+    | (k, b) :: tl ->
+      if Id.equal k key then (b, List.rev_append acc tl)
+      else pull ((k, b) :: acc) tl
+  in
+  let b, rest = pull [] o.birth in
+  o.birth <- rest;
+  let s = o.tick - b + 1 in
+  let rec bump = function
+    | [] -> [ (s, 1) ]
+    | (s', c) :: tl -> if s' = s then (s', c + 1) :: tl else (s', c) :: bump tl
+  in
+  o.sojourn_hist <- bump o.sojourn_hist
+
 (* Same draw discipline as Id_set.take_random_n: one [int_below] per
-   taken key, bounds c, c-1, ..., each indexing the shrinking set. *)
+   taken key, bounds c, c-1, ..., each indexing the shrinking set.  In
+   open-system runs each removed key's identity settles its sojourn —
+   identical draws either way. *)
 let consume o id budget =
   match find_vnode o id with
   | None -> 0
@@ -275,6 +324,7 @@ let consume o id budget =
       let taken = min budget c in
       for j = 0 to taken - 1 do
         let i = Prng.int_below o.rng (c - j) in
+        if arrivals_on o then note_sojourn o (List.nth vn.keys i);
         vn.keys <- remove_index i vn.keys
       done;
       taken
@@ -385,7 +435,15 @@ let crash_machines o pids =
     (fun (id, keys) ->
       let survives = List.exists (fun h -> not (died h)) (holders_of o id) in
       if survives then restore o ~near:id keys
-      else o.msgs.tasks_lost <- o.msgs.tasks_lost + List.length keys)
+      else begin
+        o.msgs.tasks_lost <- o.msgs.tasks_lost + List.length keys;
+        (* Lost tasks leave the birth ledger — mirrors State.crash_machines. *)
+        if arrivals_on o then
+          o.birth <-
+            List.filter
+              (fun (k, _) -> not (List.exists (Id.equal k) keys))
+              o.birth
+      end)
     removed;
   List.iter (fun (id, _) -> remove_holder_entry o id) removed;
   o.holders <-
@@ -657,6 +715,16 @@ let create (params : Params.t) =
     | Some _ -> Prng.int_below frng n
     | None -> -1
   in
+  (* Arrival setup mirrors State.create: the dedicated third stream, and
+     the hot-key centers drawn from it iff the plan is on with hot keys.
+     A disabled plan draws nothing. *)
+  let arng = Arrivals.rng ~seed:params.Params.seed in
+  let arrivals = params.Params.arrivals in
+  let hot_centers =
+    match (Arrivals.enabled arrivals, arrivals.Arrivals.keys) with
+    | true, Arrivals.Hot { hotspots; _ } -> Keygen.node_ids arng hotspots
+    | _ -> [||]
+  in
   (* Array.init evaluates 0..n-1 in order, so an explicit ascending loop
      reproduces State.create's strength draws exactly. *)
   let machs =
@@ -684,6 +752,8 @@ let create (params : Params.t) =
       params;
       rng;
       frng;
+      arng;
+      hot_centers;
       partitioned;
       ring = [];
       machs;
@@ -705,6 +775,9 @@ let create (params : Params.t) =
       initial_mean =
         float_of_int params.Params.tasks /. float_of_int n;
       initial_tasks = 0;
+      birth = [];
+      sojourn_hist = [];
+      arrived_total = 0;
       tick = 0;
       work_done_total = 0;
       last_msg_total = 0;
@@ -737,6 +810,12 @@ let create (params : Params.t) =
           o.initial_tasks <- o.initial_tasks + 1
         end)
     keys;
+  (* Open system: the initial batch is born at tick 0 — mirrors
+     State.create's birth seeding over the stored key set. *)
+  if Arrivals.enabled arrivals then
+    List.iter
+      (fun vn -> List.iter (fun k -> o.birth <- (k, 0) :: o.birth) vn.keys)
+      o.ring;
   (* Mirrors State.create's initial enrolment: the data load ships with
      its backups — charged as replication traffic, no drop draws. *)
   if recovery_on o then
@@ -750,6 +829,76 @@ let create (params : Params.t) =
         set_holders o vn.id (List.map (fun s -> s.id) desired))
       o.ring;
   o
+
+(* ---- arrivals (mirroring State.apply_arrivals draw for draw) ----- *)
+
+let active_count o =
+  Array.fold_left (fun acc m -> if m.active then acc + 1 else acc) 0 o.machs
+
+(* Naive Knuth product-of-uniforms Poisson sampler: k+1 [float_unit]
+   draws for a count of k, and no draw at all when the rate is <= 0 —
+   the same stream contract as Arrivals.poisson_count, re-derived. *)
+let poisson_count_naive o lambda =
+  if lambda <= 0.0 then 0
+  else begin
+    let l = exp (-.lambda) in
+    let rec go k p =
+      let p = p *. Prng.float_unit o.arng in
+      if p <= l then k else go (k + 1) p
+    in
+    go 0 1.0
+  end
+
+let apply_arrivals o =
+  let plan = o.params.Params.arrivals in
+  if not (Arrivals.enabled plan) then 0
+  else begin
+    let lambda = Arrivals.rate_at plan ~tick:o.tick in
+    let count = poisson_count_naive o lambda in
+    let accepted = ref 0 in
+    for _ = 1 to count do
+      (* Key drawn unconditionally, exactly as the engine does. *)
+      let key =
+        match plan.Arrivals.keys with
+        | Arrivals.Uniform -> Keygen.fresh o.arng
+        | Arrivals.Hot { hotspots; spread; zipf_s } ->
+          let j = Keygen.zipf o.arng ~n:hotspots ~s:zipf_s - 1 in
+          let offset = Id.of_fraction (Prng.float_unit o.arng *. spread) in
+          Id.add o.hot_centers.(j) offset
+      in
+      if ring_size o = 0 then begin
+        (* Dead system: accepted, immediately lost, no hops charged. *)
+        o.arrived_total <- o.arrived_total + 1;
+        incr accepted;
+        o.msgs.tasks_lost <- o.msgs.tasks_lost + 1
+      end
+      else begin
+        (* A lookup is charged even for duplicates (the node had to
+           route there to find out) — mirrors State.apply_arrivals. *)
+        charge_lookup o;
+        match owner_of o key with
+        | None -> assert false
+        | Some vn ->
+          if not (mem_key key vn.keys) then begin
+            vn.keys <- insert_sorted key vn.keys;
+            o.arrived_total <- o.arrived_total + 1;
+            incr accepted;
+            o.birth <- (key, o.tick) :: o.birth
+          end
+        (* else: duplicate, dropped at the door — never entered *)
+      end
+    done;
+    !accepted
+  end
+
+(* The overload bar Invitation measures against — mirrors
+   State.load_reference: the frozen setup mean for batch runs, the live
+   mean per active machine for open systems (identical float
+   computation on both sides). *)
+let load_reference o =
+  if arrivals_on o then
+    float_of_int (remaining_tasks o) /. float_of_int (max 1 (active_count o))
+  else o.initial_mean
 
 (* ---- strategy replays -------------------------------------------- *)
 
@@ -922,7 +1071,7 @@ let invitation_decide o =
         if
           Invitation.is_overloaded ~workload:w
             ~invite_factor:o.params.Params.invite_factor
-            ~initial_mean:o.initial_mean
+            ~initial_mean:(load_reference o)
         then begin
           let heaviest =
             Invitation.pick_heaviest_vnode
@@ -1116,9 +1265,31 @@ let check_invariants o =
   if Hashtbl.length listed <> ring_size o then
     invalid_arg "Oracle: machine lists a vnode missing from the ring";
   (* Key conservation, conserved-or-accounted-lost (tasks_lost is
-     pinned to zero below when live replication is off). *)
-  if o.work_done_total + remaining_tasks o + o.msgs.tasks_lost <> o.initial_tasks
+     pinned to zero below when live replication is off).  Open systems
+     extend the right-hand side with everything the arrival process
+     accepted. *)
+  if
+    o.work_done_total + remaining_tasks o + o.msgs.tasks_lost
+    <> o.initial_tasks + o.arrived_total
   then invalid_arg "Oracle: key conservation violated";
+  (* Arrival-ledger laws, mirroring State.check_tick_invariants. *)
+  if arrivals_on o then begin
+    if List.length o.birth <> remaining_tasks o then
+      invalid_arg "Oracle: birth ledger size <> live task count";
+    List.iter
+      (fun vn ->
+        List.iter
+          (fun k ->
+            if not (List.exists (fun (k', _) -> Id.equal k k') o.birth) then
+              invalid_arg "Oracle: stored task without a birth record")
+          vn.keys)
+      o.ring;
+    let settled = List.fold_left (fun acc (_, c) -> acc + c) 0 o.sojourn_hist in
+    if settled <> o.work_done_total then
+      invalid_arg "Oracle: sojourn ledger disagrees with work done"
+  end
+  else if o.arrived_total <> 0 || o.birth <> [] || o.sojourn_hist <> [] then
+    invalid_arg "Oracle: arrival state moved without an arrival plan";
   if not (recovery_on o) then begin
     if o.msgs.tasks_lost <> 0 then
       invalid_arg "Oracle: tasks lost with live replication off";
@@ -1182,36 +1353,47 @@ let check_invariants o =
 
 (* ---- the run loop (mirroring Engine.run_state) ------------------- *)
 
-let active_count o =
-  Array.fold_left (fun acc m -> if m.active then acc + 1 else acc) 0 o.machs
-
 let run (params : Params.t) (strat : Strategy.t) =
   let o = create params in
   let decide = decide_of strat in
   let strengths = Array.init params.Params.nodes (fun pid -> o.machs.(pid).strength) in
   let ideal = Params.ideal_runtime params ~strengths in
   let cap = max 1 (params.Params.max_ticks_factor * max 1 ideal) in
+  let open_sys = Arrivals.enabled params.Params.arrivals in
+  let horizon = params.Params.arrivals.Arrivals.horizon in
   let points_rev = ref [] in
+  (* Same tick order as Engine.run_state: arrivals land before the
+     decide step, so deciders see the load the tick brings. *)
+  let step () =
+    let (_ : int) = apply_arrivals o in
+    decide o;
+    let work_done = consume_tick o in
+    apply_churn o;
+    apply_crash_bursts o;
+    repair_replicas o;
+    o.tick <- o.tick + 1;
+    points_rev :=
+      {
+        tick = o.tick - 1;
+        work_done;
+        remaining = remaining_tasks o;
+        active_nodes = active_count o;
+        vnodes = ring_size o;
+      }
+      :: !points_rev;
+    check_invariants o
+  in
   let rec loop () =
-    if remaining_tasks o = 0 then Finished o.tick
+    if open_sys then
+      if o.tick >= horizon then Finished horizon
+      else begin
+        step ();
+        loop ()
+      end
+    else if remaining_tasks o = 0 then Finished o.tick
     else if o.tick >= cap then Aborted cap
     else begin
-      decide o;
-      let work_done = consume_tick o in
-      apply_churn o;
-      apply_crash_bursts o;
-      repair_replicas o;
-      o.tick <- o.tick + 1;
-      points_rev :=
-        {
-          tick = o.tick - 1;
-          work_done;
-          remaining = remaining_tasks o;
-          active_nodes = active_count o;
-          vnodes = ring_size o;
-        }
-        :: !points_rev;
-      check_invariants o;
+      step ();
       loop ()
     end
   in
@@ -1226,4 +1408,6 @@ let run (params : Params.t) (strat : Strategy.t) =
     final_vnodes = ring_size o;
     final_active = active_count o;
     work_done_total = o.work_done_total;
+    arrived_total = o.arrived_total;
+    sojourn_ledger = List.sort compare o.sojourn_hist;
   }

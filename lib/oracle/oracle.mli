@@ -18,7 +18,10 @@
     and the [replications] and [tasks_lost] counters when live
     replication ([Params.replicas > 0]) is on; fault randomness is
     replayed on the same dedicated stream the engine uses
-    ({!Faults.rng}).  [test/test_oracle.ml]
+    ({!Faults.rng}).  Open-system runs (an enabled {!Arrivals.t} plan)
+    additionally match on [arrived_total] and the complete sojourn
+    ledger, with arrival randomness replayed on its dedicated third
+    stream ({!Arrivals.rng}).  [test/test_oracle.ml]
     enforces this over qcheck-generated scenarios spanning every
     strategy; see [docs/TESTING.md] for the PRNG draw-order contract
     that keeps the two sides in lockstep.
@@ -65,6 +68,12 @@ type result = {
   final_vnodes : int;
   final_active : int;
   work_done_total : int;
+  arrived_total : int;
+      (** tasks accepted by the arrival process (0 for batch runs) —
+          mirrors [Engine.result.arrived_total] *)
+  sojourn_ledger : (int * int) list;
+      (** sorted [(sojourn, completions)] histogram — mirrors
+          [Engine.result.sojourn_ledger]; [[]] for batch runs *)
 }
 
 val run : Params.t -> Strategy.t -> result

@@ -14,6 +14,9 @@ type result = {
   metrics : Metrics.report;
   final_vnodes : int;
   final_active : int;
+  arrived_total : int;
+  sojourn_ledger : (int * int) list;
+  steady : Steady.window array;
 }
 
 let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
@@ -28,6 +31,17 @@ let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
       match metrics with Some e -> e | None -> Metrics.enabled_by_env ()
     in
     Metrics.create ~enabled ()
+  in
+  (* Open system: tasks keep arriving, so the run neither drains to zero
+     nor needs the runaway cap — it lasts exactly [horizon] ticks and is
+     always [Finished horizon].  The steady collector folds each tick
+     into fixed-length measurement windows. *)
+  let arrivals = params.Params.arrivals in
+  let open_sys = Arrivals.enabled arrivals in
+  let horizon = arrivals.Arrivals.horizon in
+  let steady =
+    if open_sys then Some (Steady.create ~window:arrivals.Arrivals.window)
+    else None
   in
   (* Invariant mode: run the full harness after every tick, and verify
      message counters never run backwards (they only ever accumulate). *)
@@ -45,34 +59,55 @@ let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
       last_messages := total
     end
   in
+  let step () =
+    let t0 = Metrics.start m in
+    (* Arrivals land at the start of the tick, before the strategy's
+       decision step — deciders see (and react to) the load the tick
+       brings, the "same-tick decider interaction" of an open system. *)
+    let arrived = State.apply_arrivals state in
+    let t1 = Metrics.lap m Metrics.Arrive t0 in
+    Trace.maybe_snapshot trace state;
+    let t2 = Metrics.lap m Metrics.Trace t1 in
+    strategy.decide state;
+    let t3 = Metrics.lap m Metrics.Decide t2 in
+    let work_done = State.consume_tick state in
+    let t4 = Metrics.lap m Metrics.Consume t3 in
+    State.apply_churn state;
+    State.apply_crash_bursts state;
+    State.repair_replicas state;
+    State.advance_tick state;
+    let t5 = Metrics.lap m Metrics.Churn t4 in
+    Trace.record trace
+      {
+        Trace.tick = state.State.tick - 1;
+        work_done;
+        remaining = State.remaining_tasks state;
+        active_nodes = State.active_count state;
+        vnodes = State.vnode_count state;
+      };
+    (match steady with
+    | None -> ()
+    | Some sc ->
+      Steady.note sc ~arrivals:arrived ~completions:work_done
+        ~queue:(State.remaining_tasks state)
+        ~sybils:(State.vnode_count state - State.active_count state)
+        ~sojourns:state.State.tick_sojourns);
+    let t6 = Metrics.lap m Metrics.Trace t5 in
+    check_tick ();
+    let (_ : float) = Metrics.lap m Metrics.Check t6 in
+    Metrics.tick m
+  in
   let rec loop () =
-    if State.remaining_tasks state = 0 then Finished state.State.tick
+    if open_sys then
+      if state.State.tick >= horizon then Finished horizon
+      else begin
+        step ();
+        loop ()
+      end
+    else if State.remaining_tasks state = 0 then Finished state.State.tick
     else if state.State.tick >= cap then Aborted cap
     else begin
-      let t0 = Metrics.start m in
-      Trace.maybe_snapshot trace state;
-      let t1 = Metrics.lap m Metrics.Trace t0 in
-      strategy.decide state;
-      let t2 = Metrics.lap m Metrics.Decide t1 in
-      let work_done = State.consume_tick state in
-      let t3 = Metrics.lap m Metrics.Consume t2 in
-      State.apply_churn state;
-      State.apply_crash_bursts state;
-      State.repair_replicas state;
-      State.advance_tick state;
-      let t4 = Metrics.lap m Metrics.Churn t3 in
-      Trace.record trace
-        {
-          Trace.tick = state.State.tick - 1;
-          work_done;
-          remaining = State.remaining_tasks state;
-          active_nodes = State.active_count state;
-          vnodes = State.vnode_count state;
-        };
-      let t5 = Metrics.lap m Metrics.Trace t4 in
-      check_tick ();
-      let (_ : float) = Metrics.lap m Metrics.Check t5 in
-      Metrics.tick m;
+      step ();
       loop ()
     end
   in
@@ -90,6 +125,9 @@ let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
     metrics = Metrics.report m;
     final_vnodes = State.vnode_count state;
     final_active = State.active_count state;
+    arrived_total = state.State.arrived_total;
+    sojourn_ledger = State.sojourn_ledger state;
+    steady = (match steady with None -> [||] | Some sc -> Steady.windows sc);
   }
 
 let run ?sink ?metrics ?snapshot_at params strategy =

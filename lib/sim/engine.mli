@@ -2,6 +2,8 @@
 
     Each tick, in order:
 
+    + inject the tick's task arrivals ({!State.apply_arrivals}; a no-op
+      under {!Arrivals.none}) — deciders see the load the tick brings;
     + capture a workload snapshot if requested for this tick;
     + run the balancing strategy's decision step — called every tick;
       strategies use {!Decision.due} so each node acts once per
@@ -16,6 +18,10 @@
 
     The run ends when no tasks remain; a safety cap of
     [max_ticks_factor × ideal] aborts pathological configurations.
+    {e Open-system} runs (an enabled arrival plan) instead last exactly
+    [arrivals.horizon] ticks — always [Finished horizon]; neither the
+    drain test nor the cap applies, and each tick is folded into the
+    steady-state window collector ({!Steady}).
 
     When {!Params.check_requested} (set [check_every_tick], or run with
     [DHTLB_CHECK=1]) the engine executes {!State.check_tick_invariants}
@@ -46,6 +52,13 @@ type result = {
           enabled (flag or [DHTLB_METRICS=1]) *)
   final_vnodes : int;
   final_active : int;
+  arrived_total : int;
+      (** tasks accepted by the arrival process (0 for batch runs) *)
+  sojourn_ledger : (int * int) list;
+      (** sorted [(sojourn, completions)] histogram — the run-level
+          ledger the oracle matches bit-for-bit; [[]] for batch runs *)
+  steady : Steady.window array;
+      (** steady-state measurement windows; [[||]] for batch runs *)
 }
 
 val run :

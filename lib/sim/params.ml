@@ -28,6 +28,7 @@ type t = {
   faults : Faults.t;
   replicas : int;
   repair_lag : int;
+  arrivals : Arrivals.t;
 }
 
 let default ~nodes ~tasks =
@@ -54,6 +55,7 @@ let default ~nodes ~tasks =
     faults = Faults.none;
     replicas = 0;
     repair_lag = 1;
+    arrivals = Arrivals.none;
   }
 
 let recovery_on t = t.replicas > 0
@@ -97,14 +99,17 @@ let validate t =
     match Faults.validate t.faults with
     | Error e -> Error ("faults: " ^ e)
     | Ok () -> (
-      match t.keys with
-      | Uniform_sha1 -> Ok ()
-      | Clustered { hotspots; spread; zipf_s } ->
-        if hotspots < 1 then Error "clustered keys need hotspots >= 1"
-        else if not (spread > 0.0 && spread <= 1.0) then
-          Error "clustered spread must be in (0, 1]"
-        else if zipf_s < 0.0 then Error "zipf_s must be >= 0"
-        else Ok ())
+      match Arrivals.validate t.arrivals with
+      | Error e -> Error ("arrivals: " ^ e)
+      | Ok () -> (
+        match t.keys with
+        | Uniform_sha1 -> Ok ()
+        | Clustered { hotspots; spread; zipf_s } ->
+          if hotspots < 1 then Error "clustered keys need hotspots >= 1"
+          else if not (spread > 0.0 && spread <= 1.0) then
+            Error "clustered spread must be in (0, 1]"
+          else if zipf_s < 0.0 then Error "zipf_s must be >= 0"
+          else Ok ()))
 
 let pp ppf t =
   let het =
@@ -125,4 +130,6 @@ let pp ppf t =
   if recovery_on t then
     Format.fprintf ppf " replicas=%d repair-lag=%d" t.replicas t.repair_lag;
   if Faults.enabled t.faults then
-    Format.fprintf ppf " faults=%a" Faults.pp t.faults
+    Format.fprintf ppf " faults=%a" Faults.pp t.faults;
+  if Arrivals.enabled t.arrivals then
+    Format.fprintf ppf " arrivals=%a" Arrivals.pp t.arrivals

@@ -81,6 +81,13 @@ type t = {
       (** ticks between replica repair passes ([>= 1]); the window in
           which a changed ring leaves tasks under-replicated.  Only
           meaningful when [replicas > 0].  Default 1. *)
+  arrivals : Arrivals.t;
+      (** open-system arrival plan: with a profile set, new tasks are
+          injected every tick from a dedicated PRNG stream and the run
+          lasts exactly [arrivals.horizon] ticks, measured in
+          steady-state windows instead of makespan.  {!Arrivals.none}
+          (the default) keeps batch semantics and is pinned bit-for-bit
+          identical to the engine before arrivals existed. *)
 }
 
 val default : nodes:int -> tasks:int -> t

@@ -1,5 +1,6 @@
 type aggregate = {
   trials : int;
+  open_system : bool;
   mean_factor : float;
   stddev_factor : float;
   min_factor : float;
@@ -12,6 +13,13 @@ type aggregate = {
   mean_ticks_finished : float;
   mean_messages : float;
   mean_tasks_lost : float;
+  mean_arrived : float;
+  steady_queue_p50 : float;
+  steady_queue_p95 : float;
+  steady_queue_p99 : float;
+  steady_sojourn_p50 : float;
+  steady_sojourn_p95 : float;
+  steady_sojourn_p99 : float;
 }
 
 let run_one (params : Params.t) mk_strategy i =
@@ -70,8 +78,34 @@ let run_all ?(trials = 10) ?(domains = 1) (params : Params.t) mk_strategy =
 let factors ?trials ?domains params mk_strategy =
   Array.map (fun r -> r.Engine.factor) (run_all ?trials ?domains params mk_strategy)
 
+(* Steady-state aggregation discards the first half of each trial's
+   measurement windows as warm-up (the queue starts from the initial
+   batch, not from equilibrium) and averages the remainder — first
+   within a trial, then across trials.  NaN windows (nothing completed)
+   are skipped; all-NaN stays NaN, which Json_out renders as null. *)
+let mean_finite xs =
+  let sum = ref 0.0 and count = ref 0 in
+  Array.iter
+    (fun x ->
+      if not (Float.is_nan x) then begin
+        sum := !sum +. x;
+        incr count
+      end)
+    xs;
+  if !count = 0 then Float.nan else !sum /. float_of_int !count
+
+let steady_mean results field =
+  mean_finite
+    (Array.map
+       (fun (r : Engine.result) ->
+         let w = r.Engine.steady in
+         let n = Array.length w in
+         mean_finite (Array.map field (Array.sub w (n / 2) (n - (n / 2)))))
+       results)
+
 let run_trials ?trials ?domains params mk_strategy =
   let results = run_all ?trials ?domains params mk_strategy in
+  let open_system = Arrivals.enabled params.Params.arrivals in
   let factors = Array.map (fun r -> r.Engine.factor) results in
   let ticks =
     Array.map
@@ -96,22 +130,33 @@ let run_trials ?trials ?domains params mk_strategy =
     if finished = 0 then Float.nan
     else Descriptive.mean (Array.map f finished_results)
   in
+  (* An open-system run always lasts exactly [horizon] ticks, so the
+     whole makespan-factor family — mixed, spread, and the finished-only
+     repair for capped trials — measures nothing: conflating "finished
+     the batch" with "reached the horizon" once produced factor tables
+     for streaming runs that merely restated horizon / ideal.  Those
+     fields are NaN for open systems (null in JSON); the steady-state
+     fields are NaN for batch runs symmetrically. *)
+  let batch_only v = if open_system then Float.nan else v in
+  let steady field = if open_system then steady_mean results field else Float.nan in
   {
     trials = Array.length results;
-    mean_factor = summary.Descriptive.mean;
-    stddev_factor = summary.Descriptive.stddev;
-    min_factor = summary.Descriptive.min;
-    max_factor = summary.Descriptive.max;
+    open_system;
+    mean_factor = batch_only summary.Descriptive.mean;
+    stddev_factor = batch_only summary.Descriptive.stddev;
+    min_factor = batch_only summary.Descriptive.min;
+    max_factor = batch_only summary.Descriptive.max;
     mean_ticks = Descriptive.mean ticks;
     mean_ideal =
       Descriptive.mean (Array.map (fun r -> float_of_int r.Engine.ideal) results);
     aborted = Array.length results - finished;
     finished;
-    mean_factor_finished = mean_over (fun r -> r.Engine.factor);
+    mean_factor_finished = batch_only (mean_over (fun r -> r.Engine.factor));
     mean_ticks_finished =
-      mean_over (fun r ->
-          match r.Engine.outcome with
-          | Engine.Finished t | Engine.Aborted t -> float_of_int t);
+      batch_only
+        (mean_over (fun r ->
+             match r.Engine.outcome with
+             | Engine.Finished t | Engine.Aborted t -> float_of_int t));
     mean_messages =
       Descriptive.mean
         (Array.map (fun r -> float_of_int (Messages.total r.Engine.messages)) results);
@@ -120,16 +165,39 @@ let run_trials ?trials ?domains params mk_strategy =
         (Array.map
            (fun r -> float_of_int r.Engine.messages.Messages.tasks_lost)
            results);
+    mean_arrived =
+      (if open_system then
+         Descriptive.mean
+           (Array.map (fun r -> float_of_int r.Engine.arrived_total) results)
+       else Float.nan);
+    steady_queue_p50 = steady (fun w -> w.Steady.queue_p50);
+    steady_queue_p95 = steady (fun w -> w.Steady.queue_p95);
+    steady_queue_p99 = steady (fun w -> w.Steady.queue_p99);
+    steady_sojourn_p50 = steady (fun w -> w.Steady.sojourn_p50);
+    steady_sojourn_p95 = steady (fun w -> w.Steady.sojourn_p95);
+    steady_sojourn_p99 = steady (fun w -> w.Steady.sojourn_p99);
   }
 
 let pp_aggregate ppf a =
-  Format.fprintf ppf
-    "trials=%d factor=%.3f±%.3f [%.3f, %.3f] ticks=%.1f ideal=%.1f aborted=%d \
-     msgs=%.0f"
-    a.trials a.mean_factor a.stddev_factor a.min_factor a.max_factor
-    a.mean_ticks a.mean_ideal a.aborted a.mean_messages;
-  if a.mean_tasks_lost > 0.0 then
-    Format.fprintf ppf " lost=%.1f" a.mean_tasks_lost;
-  if a.aborted > 0 && a.finished > 0 then
-    Format.fprintf ppf " finished-only: factor=%.3f ticks=%.1f (%d trials)"
-      a.mean_factor_finished a.mean_ticks_finished a.finished
+  if a.open_system then begin
+    Format.fprintf ppf
+      "trials=%d ticks=%.1f arrived=%.1f queue p50/p95/p99=%.1f/%.1f/%.1f \
+       sojourn p50/p95/p99=%.1f/%.1f/%.1f msgs=%.0f"
+      a.trials a.mean_ticks a.mean_arrived a.steady_queue_p50 a.steady_queue_p95
+      a.steady_queue_p99 a.steady_sojourn_p50 a.steady_sojourn_p95
+      a.steady_sojourn_p99 a.mean_messages;
+    if a.mean_tasks_lost > 0.0 then
+      Format.fprintf ppf " lost=%.1f" a.mean_tasks_lost
+  end
+  else begin
+    Format.fprintf ppf
+      "trials=%d factor=%.3f±%.3f [%.3f, %.3f] ticks=%.1f ideal=%.1f \
+       aborted=%d msgs=%.0f"
+      a.trials a.mean_factor a.stddev_factor a.min_factor a.max_factor
+      a.mean_ticks a.mean_ideal a.aborted a.mean_messages;
+    if a.mean_tasks_lost > 0.0 then
+      Format.fprintf ppf " lost=%.1f" a.mean_tasks_lost;
+    if a.aborted > 0 && a.finished > 0 then
+      Format.fprintf ppf " finished-only: factor=%.3f ticks=%.1f (%d trials)"
+        a.mean_factor_finished a.mean_ticks_finished a.finished
+  end

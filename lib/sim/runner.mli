@@ -6,23 +6,45 @@
 
 type aggregate = {
   trials : int;
-  mean_factor : float;
+  open_system : bool;
+      (** [true] iff the trials ran under an enabled arrival plan — the
+          makespan-factor family below is NaN then, and the steady-state
+          family is NaN otherwise.  The two regimes measure different
+          things; conflating them once produced "factor" tables for
+          streaming runs that merely restated [horizon / ideal]. *)
+  mean_factor : float;  (** NaN for open-system trials *)
   stddev_factor : float;
   min_factor : float;
   max_factor : float;
   mean_ticks : float;
+      (** mixed mean run length; for open systems this is exactly the
+          plan's horizon *)
   mean_ideal : float;
-  aborted : int;  (** trials that hit the safety cap *)
+  aborted : int;  (** trials that hit the safety cap (always 0 open) *)
   finished : int;  (** trials that actually completed ([trials - aborted]) *)
   mean_factor_finished : float;
       (** mean factor over finished trials only — the mixed [mean_factor]
           folds each aborted trial in at the cap, understating slowness;
-          [nan] when every trial aborted *)
+          [nan] when every trial aborted, and for open-system trials
+          (every trial "finishes" at the horizon by construction, so a
+          finished-only mean is vacuous there) *)
   mean_ticks_finished : float;  (** ditto for ticks; [nan] if none finished *)
   mean_messages : float;  (** mean total messages per trial *)
   mean_tasks_lost : float;
       (** mean tasks genuinely lost per trial — 0 unless live replication
           is on ([Params.replicas > 0]) and whole replica groups died *)
+  mean_arrived : float;
+      (** mean tasks accepted by the arrival process; NaN for batch *)
+  steady_queue_p50 : float;
+      (** steady-state aggregates: each trial's {e second half} of
+          measurement windows (first half discarded as warm-up) is
+          averaged, then trials are averaged.  NaN for batch runs, and
+          for sojourn fields when no window saw a completion. *)
+  steady_queue_p95 : float;
+  steady_queue_p99 : float;
+  steady_sojourn_p50 : float;
+  steady_sojourn_p95 : float;
+  steady_sojourn_p99 : float;
 }
 
 val run_trials :

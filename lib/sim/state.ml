@@ -44,13 +44,19 @@ type t = {
   phys : phys array;
   rng : Prng.t;
   frng : Prng.t;
+  arng : Prng.t;
   partitioned : int;
   repl : repl option;
   initial_mean : float;
   initial_tasks : int;
+  hot_centers : Id.t array;
+  birth : (Id.t, int) Hashtbl.t;
+  sojourn_hist : (int, int) Hashtbl.t;
   mutable tick : int;
   mutable work_done_total : int;
   mutable n_active : int;
+  mutable arrived_total : int;
+  mutable tick_sojourns : int list;
 }
 
 (* --- Replica reverse-index bookkeeping --------------------------------
@@ -222,19 +228,50 @@ let create (params : Params.t) =
       Some r
     end
   in
+  (* Arrival-stream setup draws ([Arrivals.rng], the third dedicated
+     stream): iff the plan is enabled AND uses hot keys, the hotspot
+     centers are drawn first; nothing else draws at setup.  A disabled
+     plan never consumes an arrival draw, so the run stays bit-identical
+     to an engine without lib/arrivals at all (mirrored in lib/oracle —
+     the arrival draw-order contract in docs/TESTING.md). *)
+  let arng = Arrivals.rng ~seed:params.seed in
+  let arrivals_on = Arrivals.enabled params.arrivals in
+  let hot_centers =
+    if arrivals_on then
+      match params.arrivals.Arrivals.keys with
+      | Arrivals.Hot { hotspots; _ } -> Keygen.node_ids arng hotspots
+      | Arrivals.Uniform -> [||]
+    else [||]
+  in
+  (* Open system only: every stored key carries a birth tick so its
+     sojourn can be settled at completion.  The initial batch is born at
+     tick 0; [insert_keys] already dropped duplicates, so enrolling the
+     stored keys from the ring (not the raw draw array) records exactly
+     the live population. *)
+  let birth = Hashtbl.create (if arrivals_on then 4096 else 1) in
+  if arrivals_on then
+    Dht.iter
+      (fun vn -> Id_set.iter (fun k -> Hashtbl.replace birth k 0) vn.Dht.keys)
+      dht;
   {
     params;
     dht;
     phys;
     rng;
     frng;
+    arng;
     partitioned;
     repl;
     initial_mean = float_of_int params.tasks /. float_of_int n;
     initial_tasks;
+    hot_centers;
+    birth;
+    sojourn_hist = Hashtbl.create (if arrivals_on then 256 else 1);
     tick = 0;
     work_done_total = 0;
     n_active = n;
+    arrived_total = 0;
+    tick_sojourns = [];
   }
 
 let remaining_tasks t = Dht.total_keys t.dht
@@ -278,19 +315,46 @@ let workloads_snapshot t =
 let strengths_of_initial t =
   Array.init t.params.nodes (fun pid -> t.phys.(pid).strength)
 
+(* Settle a completed task's ledger entry (open system only): sojourn is
+   arrival-to-completion inclusive, so a task injected and completed in
+   the same tick scores 1.  The per-tick list feeds the steady-state
+   window collector; the histogram is the run-level ledger the oracle
+   must match bit-for-bit. *)
+let note_sojourn t key =
+  match Hashtbl.find_opt t.birth key with
+  | None -> invalid_arg "State: completed a task with no birth record"
+  | Some b ->
+    Hashtbl.remove t.birth key;
+    let s = t.tick - b + 1 in
+    t.tick_sojourns <- s :: t.tick_sojourns;
+    Hashtbl.replace t.sojourn_hist s
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.sojourn_hist s))
+
 let consume_tick t =
   (* Workers complete tasks in no particular key order; a uniform pick
      keeps the remaining keys uniformly spread within each arc, which
      matters because Sybil placement reasons about arc fractions. *)
   let dht = t.dht in
   let pick c = Prng.int_below t.rng c in
+  (* The open-system drain takes the same keys with the same draws; it
+     additionally learns their identities to settle sojourns.  The
+     closed-system path stays the count-only hot path. *)
+  let open_sys = Arrivals.enabled t.params.Params.arrivals in
+  if open_sys then t.tick_sojourns <- [];
   let rec drain vns budget acc =
     match vns with
     | [] -> acc
     | vn :: rest ->
       if budget <= 0 then acc
       else
-        let c = Dht.consume_vnode ~pick dht vn budget in
+        let c =
+          if open_sys then begin
+            let taken = Dht.consume_vnode_keys ~pick dht vn budget in
+            List.iter (note_sojourn t) taken;
+            List.length taken
+          end
+          else Dht.consume_vnode ~pick dht vn budget
+        in
         drain rest (budget - c) (acc + c)
   in
   let per_strength =
@@ -547,8 +611,13 @@ let crash_machines t pids =
           (Option.value ~default:[] (Hashtbl.find_opt r.holders id))
       in
       if survives then ignore (Dht.restore t.dht ~near:id keys)
-      else
-        m.Messages.tasks_lost <- m.Messages.tasks_lost + Id_set.cardinal keys)
+      else begin
+        m.Messages.tasks_lost <- m.Messages.tasks_lost + Id_set.cardinal keys;
+        (* Lost tasks never complete: close their ledger entries so the
+           birth table keeps tracking exactly the live population. *)
+        if Arrivals.enabled t.params.Params.arrivals then
+          Id_set.iter (fun k -> Hashtbl.remove t.birth k) keys
+      end)
     removed;
   List.iter (fun (id, _) -> drop_holder_entry r id) removed;
   List.iter (fun (id, _) -> prune_holder r id) removed
@@ -575,6 +644,77 @@ let apply_churn t =
         end
         else if Prng.bernoulli t.rng rejoin then join_phys t p.pid)
       t.phys
+
+(* --- Arrivals ----------------------------------------------------------
+   All arrival randomness lives on [t.arng]; nothing below ever touches
+   the main or fault streams, so a disabled plan leaves every simulation
+   bit-identical.  The oracle replays these draws in the same order
+   (docs/TESTING.md).  Per tick: one Knuth product loop for the count
+   (k+1 [float_unit] draws for k arrivals; a zero rate draws nothing),
+   then per arriving task in order its key draw — uniform keys cost two
+   [bits64] draws ([Keygen.fresh]), hot keys one zipf [float_unit] plus
+   one offset [float_unit], exactly like clustered batch keys. *)
+
+let apply_arrivals t =
+  let plan = t.params.Params.arrivals in
+  if not (Arrivals.enabled plan) then 0
+  else begin
+    let lambda = Arrivals.rate_at plan ~tick:t.tick in
+    let count = Arrivals.poisson_count t.arng lambda in
+    let m = Dht.messages t.dht in
+    let accepted = ref 0 in
+    for _ = 1 to count do
+      (* The key is drawn unconditionally — the arrival-stream layout
+         must not depend on ring state. *)
+      let key =
+        match plan.Arrivals.keys with
+        | Arrivals.Uniform -> Keygen.fresh t.arng
+        | Arrivals.Hot { hotspots; spread; zipf_s } ->
+          let j = Keygen.zipf t.arng ~n:hotspots ~s:zipf_s - 1 in
+          let offset = Id.of_fraction (Prng.float_unit t.arng *. spread) in
+          Id.add t.hot_centers.(j) offset
+      in
+      if Dht.size t.dht = 0 then begin
+        (* Total wipeout (reachable only with live replication on): the
+           task arrived to a dead system — accepted, immediately lost,
+           and accounted; there was nobody to route through, so no hops
+           are charged. *)
+        t.arrived_total <- t.arrived_total + 1;
+        incr accepted;
+        m.Messages.tasks_lost <- m.Messages.tasks_lost + 1
+      end
+      else begin
+        (* Routing the task to its owner costs a lookup — charged even
+           when the key turns out to be a duplicate (the node had to
+           route there to discover that, like create_sybil's refused
+           midpoint). *)
+        charge_lookup t;
+        match Dht.insert_key t.dht key with
+        | Ok () ->
+          t.arrived_total <- t.arrived_total + 1;
+          incr accepted;
+          Hashtbl.replace t.birth key t.tick
+        | Error `Duplicate -> () (* dropped at the door; never entered *)
+        | Error `Empty_ring -> assert false
+      end
+    done;
+    !accepted
+  end
+
+(* The overload bar Invitation measures against.  A batch run compares
+   to the frozen setup mean (tasks / nodes) — the paper's rule; an open
+   system has no meaningful fixed total, so the bar tracks the live mean
+   load per active machine.  Same float computation on both sides of the
+   differential oracle; arrivals-off returns [initial_mean] exactly, so
+   golden pins are unaffected. *)
+let load_reference t =
+  if Arrivals.enabled t.params.Params.arrivals then
+    float_of_int (Dht.total_keys t.dht) /. float_of_int (max 1 t.n_active)
+  else t.initial_mean
+
+let sojourn_ledger t =
+  List.sort compare
+    (Hashtbl.fold (fun s c acc -> (s, c) :: acc) t.sojourn_hist [])
 
 let advance_tick t = t.tick <- t.tick + 1
 
@@ -827,13 +967,47 @@ let check_tick_invariants t =
      to zero below, restoring the strict law. *)
   let m = Dht.messages t.dht in
   let remaining = remaining_tasks t in
-  if t.work_done_total + remaining + m.Messages.tasks_lost <> t.initial_tasks
+  if
+    t.work_done_total + remaining + m.Messages.tasks_lost
+    <> t.initial_tasks + t.arrived_total
   then
     invalid_arg
       (Printf.sprintf
          "State: key conservation violated (done %d + remaining %d + lost %d \
-          <> initial %d)"
-         t.work_done_total remaining m.Messages.tasks_lost t.initial_tasks);
+          <> initial %d + arrived %d)"
+         t.work_done_total remaining m.Messages.tasks_lost t.initial_tasks
+         t.arrived_total);
+  (* Arrival laws.  Open system: the birth table tracks exactly the live
+     key population (every stored key has one open ledger entry; entries
+     close on completion or accounted loss), and the sojourn histogram
+     records exactly one settled sojourn per completed task.  Closed
+     system: the arrival state must never move. *)
+  if Arrivals.enabled t.params.Params.arrivals then begin
+    if Hashtbl.length t.birth <> remaining then
+      invalid_arg
+        (Printf.sprintf
+           "State: birth table tracks %d tasks but %d are stored"
+           (Hashtbl.length t.birth) remaining);
+    Dht.iter
+      (fun vn ->
+        Id_set.iter
+          (fun k ->
+            if not (Hashtbl.mem t.birth k) then
+              invalid_arg "State: stored task with no birth record")
+          vn.Dht.keys)
+      t.dht;
+    let settled = Hashtbl.fold (fun _ c acc -> acc + c) t.sojourn_hist 0 in
+    if settled <> t.work_done_total then
+      invalid_arg
+        (Printf.sprintf
+           "State: %d sojourns settled but %d tasks completed" settled
+           t.work_done_total)
+  end
+  else if
+    t.arrived_total <> 0
+    || Hashtbl.length t.birth <> 0
+    || Hashtbl.length t.sojourn_hist <> 0
+  then invalid_arg "State: arrival state moved without an arrival plan";
   (* Recovery-off laws: without live replication nothing is ever lost
      and no replication traffic flows. *)
   if not (Params.recovery_on t.params) then begin
@@ -1008,6 +1182,17 @@ module For_testing = struct
         Some r
       end
     in
+    (* Mirrors [create]: with an arrival plan the hand-placed keys are
+       born at tick 0 so sojourn settlement and the birth-table
+       invariant work on hand-built states too.  Hot centers are not
+       drawn — [For_testing] states place keys by hand. *)
+    let arrivals_on = Arrivals.enabled params.Params.arrivals in
+    let birth = Hashtbl.create (if arrivals_on then 64 else 1) in
+    if arrivals_on then
+      Dht.iter
+        (fun vn ->
+          Id_set.iter (fun k -> Hashtbl.replace birth k 0) vn.Dht.keys)
+        dht;
     {
       params;
       dht;
@@ -1016,14 +1201,20 @@ module For_testing = struct
       (* Hand-built states skip the fault setup draws: no stragglers, no
          partition victim.  Drop/burst/retry behavior still works. *)
       frng = Faults.rng ~seed:params.Params.seed;
+      arng = Arrivals.rng ~seed:params.Params.seed;
       partitioned = -1;
       repl;
       initial_mean =
         float_of_int params.Params.tasks /. float_of_int params.Params.nodes;
       initial_tasks;
+      hot_centers = [||];
+      birth;
+      sojourn_hist = Hashtbl.create (if arrivals_on then 64 else 1);
       tick = 0;
       work_done_total = 0;
       n_active =
         Array.fold_left (fun acc p -> if p.active then acc + 1 else acc) 0 phys;
+      arrived_total = 0;
+      tick_sojourns = [];
     }
 end

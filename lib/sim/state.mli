@@ -46,16 +46,36 @@ type t = private {
   frng : Prng.t;
       (** dedicated fault stream ({!Faults.rng}); never mixes with [rng],
           so [Faults.none] runs are bit-identical to a fault-free build *)
+  arng : Prng.t;
+      (** dedicated arrival stream ({!Arrivals.rng}, the third stream);
+          never mixes with [rng] or [frng], so {!Arrivals.none} runs are
+          bit-identical to an arrivals-free build *)
   partitioned : int;  (** pid cut off during the partition window; -1 = none *)
   repl : repl option;  (** [Some] iff [Params.recovery_on params] *)
   initial_mean : float;  (** tasks / nodes at start *)
   initial_tasks : int;  (** keys actually stored at setup (conservation) *)
+  hot_centers : Id.t array;
+      (** hotspot centers for [Arrivals.Hot] key placement, drawn from
+          the arrival stream at setup; [[||]] otherwise *)
+  birth : (Id.t, int) Hashtbl.t;
+      (** open system only: arrival tick of every stored task (initial
+          batch = 0); entries close on completion or accounted loss, so
+          the table tracks exactly the live key population *)
+  sojourn_hist : (int, int) Hashtbl.t;
+      (** open system only: sojourn (ticks, inclusive) -> completions
+          with that sojourn — the run-level ledger the oracle matches *)
   mutable tick : int;
   mutable work_done_total : int;
   mutable n_active : int;
       (** cached count of active machines, maintained at every
           join/leave/crash; {!active_count} reads it in O(1) instead of
           folding the phys array once per tick for the trace *)
+  mutable arrived_total : int;
+      (** tasks accepted by {!apply_arrivals} over the whole run
+          (stored or counted lost; door-dropped duplicates excluded) *)
+  mutable tick_sojourns : int list;
+      (** sojourns settled during the current tick's consume phase, for
+          the steady-state window collector; reset at each consume *)
 }
 
 val create : Params.t -> t
@@ -149,6 +169,30 @@ val repair_replicas : t -> unit
     is draw-free and state-identical, so the oracle does not mirror
     it). *)
 
+val apply_arrivals : t -> int
+(** One tick of the arrival process (no-op returning 0 under
+    {!Arrivals.none}): draw the tick's Poisson count at the profile's
+    current rate, then per arriving task draw its key and route it to
+    its owner (one expected-hops lookup charge, like any other routed
+    operation).  Returns the number of tasks {e accepted} — stored, or
+    arrived-to-an-empty-ring and charged to [tasks_lost] (reachable only
+    after a total wipeout with live replication on).  A key already
+    stored is dropped at the door: not accepted, not charged beyond the
+    lookup that discovered the collision.  All randomness is on the
+    dedicated arrival stream; the draw-order contract is mirrored
+    verbatim by the oracle (docs/TESTING.md). *)
+
+val load_reference : t -> float
+(** The overload bar Invitation measures workloads against: the frozen
+    setup mean ([initial_mean], the paper's rule) for batch runs, the
+    live mean load per active machine for open-system runs (a fixed
+    total is meaningless under continuous arrivals). *)
+
+val sojourn_ledger : t -> (int * int) list
+(** The sojourn histogram as a sorted [(sojourn, completions)] list —
+    the run-level ledger compared bit-for-bit against the oracle.
+    Empty for batch runs. *)
+
 val advance_tick : t -> unit
 (** Increment the tick counter (engine use). *)
 
@@ -228,8 +272,12 @@ val check_invariants : t -> unit
 val check_tick_invariants : t -> unit
 (** {!check_invariants} plus the conservation and accounting laws:
 
-    - {b key conservation}: [work_done_total + remaining = initial_tasks]
-      — handovers and failure recovery never lose or duplicate a task;
+    - {b key conservation}: [work_done_total + remaining + tasks_lost =
+      initial_tasks + arrived_total] — handovers, failure recovery and
+      open-system injection never lose or duplicate a task silently;
+    - {b arrival laws}: open system — the birth table tracks exactly the
+      stored keys and the sojourn histogram settles exactly one entry
+      per completion; closed system — the arrival state never moves;
     - {b ownership rule}: every key lies in its owner vnode's arc, and
       every ring vnode belongs to exactly one active machine (via
       {!check_invariants});

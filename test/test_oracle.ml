@@ -132,6 +132,7 @@ type scenario = {
   faults : Faults.t;
   replicas : int;
   repair_lag : int;
+  arrivals : Arrivals.t;
 }
 
 let params_of (s : scenario) =
@@ -140,6 +141,7 @@ let params_of (s : scenario) =
     Params.faults = s.faults;
     replicas = s.replicas;
     repair_lag = s.repair_lag;
+    arrivals = s.arrivals;
     churn_rate = s.churn;
     failure_rate = s.fail;
     heterogeneity = (if s.hetero then Params.Heterogeneous else Params.Homogeneous);
@@ -163,11 +165,12 @@ let print_scenario strat s =
     "strategy=%s nodes=%d tasks=%d churn=%g fail=%g hetero=%b strength_work=%b \
      clustered=%b threshold=%d period=%d stagger=%b rejoin_fresh=%b \
      split_median=%b avoid_repeats=%b max_ticks_factor=%d Params.seed=%d \
-     faults=%s replicas=%d repair_lag=%d"
+     faults=%s replicas=%d repair_lag=%d arrivals=%s"
     (Strategy.name strat) s.nodes s.tasks s.churn s.fail s.hetero
     s.strength_work s.clustered s.sybil_threshold s.period s.stagger
     s.rejoin_fresh s.split_median s.avoid_repeats s.max_ticks_factor s.seed
     (Faults.to_string s.faults) s.replicas s.repair_lag
+    (Arrivals.to_string s.arrivals)
 
 let gen_scenario =
   QCheck.Gen.(
@@ -228,6 +231,45 @@ let gen_scenario =
        lagged repair. *)
     let* replicas = frequency [ (1, return 0); (1, int_range 1 3) ] in
     let* repair_lag = int_range 1 3 in
+    (* Half the scenarios stay batch (arrivals must be invisible when
+       off); the rest sweep every profile shape, the zero-rate edge (an
+       open-system run that never draws an arrival), hot keys, and short
+       horizons that keep the naive oracle fast. *)
+    let* arrivals =
+      frequency
+        [
+          (1, return Arrivals.none);
+          ( 1,
+            let* profile =
+              oneof
+                [
+                  (let* rate = oneofl [ 0.0; 0.5; 2.0; 8.0 ] in
+                   return (Arrivals.Poisson { rate }));
+                  (let* on = int_range 1 4 in
+                   let* off = int_range 1 4 in
+                   return
+                     (Arrivals.Bursty { rate = 0.5; burst_rate = 6.0; on; off }));
+                  (let* period = int_range 2 10 in
+                   return
+                     (Arrivals.Diurnal { rate = 3.0; amplitude = 2.0; period }));
+                ]
+            in
+            let* keys =
+              frequency
+                [
+                  (2, return Arrivals.Uniform);
+                  ( 1,
+                    let* hotspots = int_range 1 4 in
+                    return
+                      (Arrivals.Hot { hotspots; spread = 0.05; zipf_s = 1.1 })
+                  );
+                ]
+            in
+            let* horizon = int_range 5 40 in
+            let* window = int_range 2 10 in
+            return { Arrivals.profile = Some profile; keys; horizon; window } );
+        ]
+    in
     return
       {
         nodes;
@@ -248,6 +290,7 @@ let gen_scenario =
         faults;
         replicas;
         repair_lag;
+        arrivals;
       })
 
 (* A divergence shrinks toward the boring end of every axis: fewer
@@ -297,7 +340,27 @@ let shrink_scenario (s : scenario) yield =
     yield { s with replicas = 0 };
     if s.replicas > 1 then yield { s with replicas = s.replicas - 1 }
   end;
-  if s.repair_lag > 1 then yield { s with repair_lag = 1 }
+  if s.repair_lag > 1 then yield { s with repair_lag = 1 };
+  (* Arrivals shrink toward off, then toward a shorter horizon, uniform
+     keys and the plainest profile, so a divergence pinpoints the
+     responsible arrival axis. *)
+  if Arrivals.enabled s.arrivals then begin
+    yield { s with arrivals = Arrivals.none };
+    let a = s.arrivals in
+    if a.Arrivals.horizon > 5 then
+      yield
+        { s with arrivals = { a with Arrivals.horizon = a.Arrivals.horizon / 2 } };
+    if a.Arrivals.keys <> Arrivals.Uniform then
+      yield { s with arrivals = { a with Arrivals.keys = Arrivals.Uniform } };
+    match a.Arrivals.profile with
+    | None | Some (Arrivals.Poisson _) -> ()
+    | Some (Arrivals.Bursty { rate; _ } | Arrivals.Diurnal { rate; _ }) ->
+      yield
+        {
+          s with
+          arrivals = { a with Arrivals.profile = Some (Arrivals.Poisson { rate }) };
+        }
+  end
 
 let arb_scenario strat =
   QCheck.make ~print:(print_scenario strat) ~shrink:shrink_scenario gen_scenario
@@ -399,10 +462,30 @@ let compare_runs (strat : Strategy.t) (s : scenario) =
       fail "final_vnodes: engine %d, oracle %d" er.Engine.final_vnodes
         orr.Oracle.final_vnodes
   in
-  if er.Engine.final_active = orr.Oracle.final_active then Ok ()
+  let* () =
+    if er.Engine.final_active = orr.Oracle.final_active then Ok ()
+    else
+      fail "final_active: engine %d, oracle %d" er.Engine.final_active
+        orr.Oracle.final_active
+  in
+  (* Open-system ledgers (both sides hold 0 / [] for batch runs). *)
+  let* () =
+    if er.Engine.arrived_total = orr.Oracle.arrived_total then Ok ()
+    else
+      fail "arrived_total: engine %d, oracle %d" er.Engine.arrived_total
+        orr.Oracle.arrived_total
+  in
+  if er.Engine.sojourn_ledger = orr.Oracle.sojourn_ledger then Ok ()
   else
-    fail "final_active: engine %d, oracle %d" er.Engine.final_active
-      orr.Oracle.final_active
+    let ledger l =
+      "["
+      ^ String.concat "; "
+          (List.map (fun (s, c) -> Printf.sprintf "%d:%d" s c) l)
+      ^ "]"
+    in
+    fail "sojourn_ledger: engine %s, oracle %s"
+      (ledger er.Engine.sojourn_ledger)
+      (ledger orr.Oracle.sojourn_ledger)
 
 (* Total generated scenarios across all strategies; DHTLB_ORACLE_CASES
    overrides (CI smoke uses a smaller pool, nightly a larger one). *)
@@ -452,6 +535,7 @@ let test_oracle_stressed strat () =
       faults = Faults.none;
       replicas = 0;
       repair_lag = 1;
+      arrivals = Arrivals.none;
     }
   in
   match compare_runs strat s with
@@ -486,6 +570,7 @@ let test_oracle_accounting_edges () =
       faults = Faults.none;
       replicas = 0;
       repair_lag = 1;
+      arrivals = Arrivals.none;
     }
   in
   List.iter
@@ -524,6 +609,7 @@ let fault_base =
     faults = Faults.none;
     replicas = 0;
     repair_lag = 1;
+    arrivals = Arrivals.none;
   }
 
 let fault_scenarios =
@@ -598,6 +684,83 @@ let fault_scenarios =
             Faults.crash_bursts = [ { Faults.at = 4; count = 10 } ] } } );
   ]
 
+(* Deterministic open-system scenarios, every strategy: the oracle must
+   replay the arrival stream draw for draw and settle the identical
+   sojourn ledger.  One scenario per arrival shape, one with hot keys
+   (exercising the zipf + offset draws and door-dropped duplicates), one
+   from an empty task pool (every task is stream-born), and the full
+   stack — arrivals x faults x live replication — where crash losses
+   must leave both birth ledgers in lockstep. *)
+let arrival_scenarios =
+  [
+    ( "poisson-steady",
+      { fault_base with
+        arrivals =
+          { Arrivals.none with
+            Arrivals.profile = Some (Arrivals.Poisson { rate = 4.0 });
+            horizon = 30;
+            window = 10 } } );
+    ( "bursty",
+      { fault_base with
+        arrivals =
+          { Arrivals.none with
+            Arrivals.profile =
+              Some
+                (Arrivals.Bursty
+                   { rate = 0.5; burst_rate = 8.0; on = 3; off = 5 });
+            horizon = 32;
+            window = 8 } } );
+    ( "diurnal",
+      { fault_base with
+        arrivals =
+          { Arrivals.none with
+            Arrivals.profile =
+              Some (Arrivals.Diurnal { rate = 3.0; amplitude = 2.5; period = 8 });
+            horizon = 32;
+            window = 8 } } );
+    ( "hot-keys",
+      { fault_base with
+        arrivals =
+          { Arrivals.profile = Some (Arrivals.Poisson { rate = 6.0 });
+            keys = Arrivals.Hot { hotspots = 2; spread = 0.02; zipf_s = 1.2 };
+            horizon = 30;
+            window = 10 } } );
+    ( "stream-born",
+      { fault_base with
+        tasks = 0;
+        arrivals =
+          { Arrivals.none with
+            Arrivals.profile = Some (Arrivals.Poisson { rate = 5.0 });
+            horizon = 25;
+            window = 5 } } );
+    ( "zero-rate",
+      { fault_base with
+        arrivals =
+          { Arrivals.none with
+            Arrivals.profile = Some (Arrivals.Poisson { rate = 0.0 });
+            horizon = 20;
+            window = 5 } } );
+    ( "full-stack",
+      { fault_base with
+        replicas = 2;
+        repair_lag = 2;
+        faults =
+          {
+            Faults.none with
+            Faults.drop = 0.2;
+            stragglers = 4;
+            straggle_delay = 2;
+            crash_bursts =
+              [ { Faults.at = 5; count = 4 }; { Faults.at = 12; count = 3 } ];
+            repl_drop = 0.3;
+          };
+        arrivals =
+          { Arrivals.profile = Some (Arrivals.Poisson { rate = 4.0 });
+            keys = Arrivals.Hot { hotspots = 3; spread = 0.05; zipf_s = 1.0 };
+            horizon = 30;
+            window = 6 } } );
+  ]
+
 let test_oracle_faulted (label, s) () =
   List.iter
     (fun strat ->
@@ -617,6 +780,15 @@ let faulted_cases =
         (test_oracle_faulted (label, s)))
     fault_scenarios
 
+let arrival_cases =
+  List.map
+    (fun (label, s) ->
+      Alcotest.test_case
+        (Printf.sprintf "open-system %s" label)
+        `Quick
+        (test_oracle_faulted (label, s)))
+    arrival_scenarios
+
 let stressed_cases =
   List.map
     (fun strat ->
@@ -632,6 +804,6 @@ let () =
         Alcotest.test_case "known case" `Quick test_known_case
         :: Alcotest.test_case "accounting edges" `Quick
              test_oracle_accounting_edges
-        :: (stressed_cases @ faulted_cases) );
+        :: (stressed_cases @ faulted_cases @ arrival_cases) );
       ("properties", prop_engine_matches_reference :: oracle_props);
     ]

@@ -86,6 +86,103 @@ let test_mixed_outcomes_not_flattened () =
   Alcotest.(check bool) "factor likewise" true
     (a.Runner.mean_factor >= a.Runner.mean_factor_finished)
 
+(* ---- open/batch conflation ---------------------------------------- *)
+
+(* The regression these fields fix: an open-system run always lasts
+   exactly [horizon] ticks, so its "factor" merely restates
+   horizon/ideal — averaging it alongside batch makespans produced
+   tables that looked meaningful and weren't.  Open-system aggregates
+   must NaN the whole factor family and report the steady fields
+   instead; batch aggregates the reverse. *)
+
+let open_params =
+  {
+    base with
+    Params.arrivals =
+      {
+        Arrivals.none with
+        Arrivals.profile = Some (Arrivals.Poisson { rate = 6.0 });
+        horizon = 40;
+        window = 8;
+      };
+  }
+
+let test_open_system_nans_factor_family () =
+  let a =
+    Runner.run_trials ~trials:3 open_params (Strategy.make Strategy.No_strategy)
+  in
+  Alcotest.(check bool) "flagged open" true a.Runner.open_system;
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " is nan") true (Float.is_nan v))
+    [
+      ("mean_factor", a.Runner.mean_factor);
+      ("stddev_factor", a.Runner.stddev_factor);
+      ("min_factor", a.Runner.min_factor);
+      ("max_factor", a.Runner.max_factor);
+      ("mean_factor_finished", a.Runner.mean_factor_finished);
+      ("mean_ticks_finished", a.Runner.mean_ticks_finished);
+    ];
+  (* horizon runs always complete: trial counting still works *)
+  Alcotest.(check int) "all finished" 3 a.Runner.finished;
+  Alcotest.(check (float 1e-9)) "ticks = horizon" 40.0 a.Runner.mean_ticks
+
+let test_open_system_steady_fields_live () =
+  let a =
+    Runner.run_trials ~trials:3 open_params (Strategy.make Strategy.No_strategy)
+  in
+  Alcotest.(check bool) "arrived > 0" true (a.Runner.mean_arrived > 0.0);
+  (* rate 6/tick over 40 ticks: the second-half windows cannot all be
+     empty, so the steady percentiles must be real numbers *)
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " is finite") true (not (Float.is_nan v));
+      Alcotest.(check bool) (name ^ " >= 0") true (v >= 0.0))
+    [
+      ("steady_queue_p50", a.Runner.steady_queue_p50);
+      ("steady_queue_p95", a.Runner.steady_queue_p95);
+      ("steady_queue_p99", a.Runner.steady_queue_p99);
+      ("steady_sojourn_p50", a.Runner.steady_sojourn_p50);
+      ("steady_sojourn_p95", a.Runner.steady_sojourn_p95);
+      ("steady_sojourn_p99", a.Runner.steady_sojourn_p99);
+    ];
+  Alcotest.(check bool) "queue p50 <= p99" true
+    (a.Runner.steady_queue_p50 <= a.Runner.steady_queue_p99);
+  Alcotest.(check bool) "sojourn p50 <= p99" true
+    (a.Runner.steady_sojourn_p50 <= a.Runner.steady_sojourn_p99)
+
+let test_batch_nans_steady_family () =
+  let a = Runner.run_trials ~trials:2 base (Strategy.make Strategy.No_strategy) in
+  Alcotest.(check bool) "flagged batch" false a.Runner.open_system;
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " is nan") true (Float.is_nan v))
+    [
+      ("mean_arrived", a.Runner.mean_arrived);
+      ("steady_queue_p50", a.Runner.steady_queue_p50);
+      ("steady_queue_p95", a.Runner.steady_queue_p95);
+      ("steady_queue_p99", a.Runner.steady_queue_p99);
+      ("steady_sojourn_p50", a.Runner.steady_sojourn_p50);
+      ("steady_sojourn_p95", a.Runner.steady_sojourn_p95);
+      ("steady_sojourn_p99", a.Runner.steady_sojourn_p99);
+    ];
+  (* and the factor family stays live, as before this PR *)
+  Alcotest.(check bool) "factor finite" true
+    (not (Float.is_nan a.Runner.mean_factor))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_open_pp_reports_steady () =
+  let a =
+    Runner.run_trials ~trials:2 open_params (Strategy.make Strategy.No_strategy)
+  in
+  let s = Format.asprintf "%a" Runner.pp_aggregate a in
+  Alcotest.(check bool) "mentions sojourn" true (contains s "sojourn");
+  Alcotest.(check bool) "no factor column" false (contains s "factor")
+
 let test_parallel_matches_sequential () =
   let seq = Runner.factors ~trials:6 base (Strategy.make Strategy.No_strategy) in
   let par =
@@ -164,6 +261,17 @@ let () =
             test_all_aborted_means_nan;
           Alcotest.test_case "mixed outcomes not flattened" `Quick
             test_mixed_outcomes_not_flattened;
+        ] );
+      ( "open-system",
+        [
+          Alcotest.test_case "open NaNs the factor family" `Quick
+            test_open_system_nans_factor_family;
+          Alcotest.test_case "open steady fields live" `Quick
+            test_open_system_steady_fields_live;
+          Alcotest.test_case "batch NaNs the steady family" `Quick
+            test_batch_nans_steady_family;
+          Alcotest.test_case "open pp reports steady" `Quick
+            test_open_pp_reports_steady;
         ] );
       ( "parallel",
         [
