@@ -181,6 +181,34 @@ let arrivals_t =
            steady-state windows instead of a makespan.  Example: \
            $(b,--arrivals poisson=8,hot=4:0.05:1.1,horizon=400).")
 
+let attack_t =
+  let parse s =
+    match Attack.of_string s with Ok t -> Ok t | Error e -> Error (`Msg e)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Attack.pp)) Attack.none
+    & info [ "attack" ] ~docv:"SPEC"
+        ~doc:
+          "Adversarial Sybil plan: comma-separated clauses among \
+           $(b,strength=N) (injections per malicious machine per tick), \
+           $(b,machines=M) (malicious machines, drawn from the initial \
+           network), $(b,target=F) and $(b,width=F) (eclipsed arc as \
+           ring fractions), and $(b,window=START:STOP) (active ticks; \
+           at STOP every attacker crashes at once); or $(b,off).  \
+           Example: $(b,--attack strength=2,machines=4,window=10:40).")
+
+let puzzle_cost_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "puzzle-cost" ] ~docv:"TICKS"
+        ~doc:
+          "Admission-puzzle defense: every Sybil join (benign or \
+           adversarial) first solves a puzzle taking this many ticks, \
+           one outstanding admission per machine.  0 (default) admits \
+           immediately, bit-for-bit the undefended engine.")
+
 let replicas_t =
   Arg.(
     value
@@ -206,7 +234,8 @@ let repair_lag_t =
 let params_t =
   let build nodes tasks churn failures threshold max_sybils successors hetero
       strength_work period no_stagger invite_factor median_split avoid_repeats
-      hotspots spread zipf_s faults replicas repair_lag arrivals seed =
+      hotspots spread zipf_s faults replicas repair_lag arrivals attack
+      puzzle_cost seed =
     {
       (Params.default ~nodes ~tasks) with
       Params.churn_rate = churn;
@@ -230,6 +259,8 @@ let params_t =
       replicas;
       repair_lag;
       arrivals;
+      attack;
+      puzzle_cost;
       seed;
     }
   in
@@ -238,7 +269,7 @@ let params_t =
     $ max_sybils_t $ successors_t $ hetero_t $ strength_work_t $ period_t
     $ no_stagger_t $ invite_factor_t $ median_split_t $ avoid_repeats_t
     $ clustered_t $ spread_t $ zipf_t $ faults_t $ replicas_t $ repair_lag_t
-    $ arrivals_t $ seed_t)
+    $ arrivals_t $ attack_t $ puzzle_cost_t $ seed_t)
 
 (* ---------------------------------------------------------------- *)
 (* Commands                                                           *)
@@ -700,6 +731,25 @@ let recovery_sweep_cmd =
           maybe_csv csv (Export.recovery_sweep_csv cells))
       $ trials_t $ seed_t $ csv_t)
 
+let attack_sweep_cmd =
+  Cmd.v
+    (Cmd.info "attack-sweep"
+       ~doc:
+         "Adversarial sweep: runtime factor and recovery-plane task \
+          loss versus eclipse-attacker strength, undefended and under \
+          the admission-puzzle defense.")
+    Term.(
+      const (fun trials seed csv json ->
+          let cells = Attack_sweep.run ~trials ~seed () in
+          print_string (Attack_sweep.print_table cells);
+          maybe_csv csv (Export.attack_sweep_csv cells);
+          if json then
+            print_endline
+              (Json_out.to_string ~pretty:true (Export.attack_sweep_json cells)))
+      $ trials_t $ seed_t $ csv_t
+      $ Arg.(
+          value & flag & info [ "json" ] ~doc:"Also print the sweep as JSON."))
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dhtlb" ~version:"1.0.0"
@@ -723,6 +773,7 @@ let main_cmd =
       timeline_cmd;
       stream_cmd;
       steady_sweep_cmd;
+      attack_sweep_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

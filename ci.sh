@@ -44,6 +44,27 @@ DHTLB_CHECK=1 DHTLB_TRACE_OUT=ring:32 dune exec bin/dhtlb.exe -- stream \
   --faults drop=0.05 \
   --arrivals burst=20:150:10:20,hot=4:0.05:1.1,horizon=120,window=20 --seed 7
 
+echo "==> attack smoke (Sybil eclipse through the real CLI, invariant-checked, undefended then defended)"
+# End-to-end through bin/dhtlb with the adversary on: a windowed eclipse
+# of one ring arc under churn and live replication, every tick checked
+# against the attack laws and the conservation law.  Run twice — without
+# the admission defense (the eclipse bites) and with --puzzle-cost (the
+# puzzle throttles it) — so both adversary paths stay exercised.
+DHTLB_CHECK=1 dune exec bin/dhtlb.exe -- simulate \
+  --nodes 200 --tasks 20000 --churn 0.02 --replicas 2 --repair-lag 2 \
+  --attack strength=2,machines=5,target=0.25,width=0.15,window=5:40 --seed 7
+DHTLB_CHECK=1 dune exec bin/dhtlb.exe -- simulate \
+  --nodes 200 --tasks 20000 --churn 0.02 --replicas 2 --repair-lag 2 \
+  --attack strength=2,machines=5,target=0.25,width=0.15,window=5:40 \
+  --puzzle-cost 4 --seed 7
+
+echo "==> attack-off oracle smoke (adversary wired in, --attack off must stay bit-identical)"
+# The oracle suite's deterministic adversarial scenarios run on every
+# invocation above; this pass re-runs the generated sweep with a fresh
+# case budget so attack-off runs keep matching the naive reference
+# bit-for-bit with lib/adversary linked in.
+DHTLB_ORACLE_CASES=100 dune exec test/test_oracle.exe
+
 echo "==> full battery under the invariant harness (DHTLB_CHECK=1)"
 DHTLB_CHECK=1 dune runtest --force
 

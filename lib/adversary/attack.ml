@@ -1,0 +1,158 @@
+type t = {
+  strength : int;
+  machines : int;
+  target : float;
+  width : float;
+  window : (int * int) option;
+}
+
+let none =
+  { strength = 0; machines = 0; target = 0.0; width = 0.1; window = None }
+
+let enabled t = t.strength > 0 && t.machines > 0
+
+let active t ~tick =
+  enabled t
+  &&
+  match t.window with
+  | None -> true
+  | Some (start, stop) -> tick >= start && tick < stop
+
+(* The attackers abandon the network when their window closes: the tick
+   at which every still-active malicious machine crashes (an open-ended
+   plan never retreats). *)
+let crash_tick t =
+  if not (enabled t) then None
+  else match t.window with None -> None | Some (_, stop) -> Some stop
+
+let validate t =
+  if t.strength < 0 then Error "strength must be >= 0"
+  else if t.machines < 0 then Error "machines must be >= 0"
+  else if (t.strength > 0) <> (t.machines > 0) then
+    Error "strength and machines must be enabled together"
+  else if not (t.target >= 0.0 && t.target < 1.0) then
+    Error "target must be in [0, 1)"
+  else if not (t.width > 0.0 && t.width <= 1.0) then
+    Error "width must be in (0, 1]"
+  else
+    match t.window with
+    | None -> Ok ()
+    | Some (start, stop) ->
+      if start < 0 then Error "window start must be >= 0"
+      else if stop <= start then Error "window must be non-empty"
+      else Ok ()
+
+(* One eclipse placement: a uniform offset within the targeted arc,
+   clockwise of its start.  Exactly one [float_unit] draw — the
+   attack-stream draw-order contract (docs/TESTING.md) counts on it. *)
+let inject_id rng t =
+  Id.add (Id.of_fraction t.target)
+    (Id.of_fraction (Prng.float_unit rng *. t.width))
+
+(* Split from the same integer seed as the main stream: a throwaway
+   parent seeded identically feeds its THIRD SplitMix64-mixed child —
+   the first is the fault stream ([Faults.rng]), the second the arrival
+   stream ([Arrivals.rng]) — making this the fourth stream overall
+   after the main one.  The child shares no state with any of them, so
+   attack draws never perturb the main, fault, or arrival streams — a
+   disabled plan never draws at all, and attack-off runs are
+   bit-identical to the pre-attack engine. *)
+let rng ~seed =
+  let parent = Prng.create seed in
+  let (_ : Prng.t) = Prng.split parent in
+  let (_ : Prng.t) = Prng.split parent in
+  Prng.split parent
+
+(* ---- CLI spec ---------------------------------------------------- *)
+
+let to_string t =
+  if not (enabled t) then "off"
+  else begin
+    let buf = Buffer.create 64 in
+    let add fmt =
+      Printf.ksprintf
+        (fun s ->
+          if Buffer.length buf > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf s)
+        fmt
+    in
+    add "strength=%d" t.strength;
+    add "machines=%d" t.machines;
+    if t.target <> none.target then add "target=%g" t.target;
+    if t.width <> none.width then add "width=%g" t.width;
+    (match t.window with
+    | None -> ()
+    | Some (start, stop) -> add "window=%d:%d" start stop);
+    Buffer.contents buf
+  end
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" || String.lowercase_ascii s = "off" then Ok none
+  else begin
+    let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+    let int_of name v =
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name v)
+    in
+    let float_of name v =
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "%s: expected a number, got %S" name v)
+    in
+    let valid_keys = "strength, machines, target, width, window" in
+    let parse_pair acc pair =
+      let* acc, seen = acc in
+      match String.index_opt pair '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" pair)
+      | Some i ->
+        let key = String.lowercase_ascii (String.sub pair 0 i) in
+        let v = String.sub pair (i + 1) (String.length pair - i - 1) in
+        let* acc =
+          if List.mem key seen then
+            Error
+              (Printf.sprintf "duplicate attack key %S (each key at most once)"
+                 key)
+          else Ok acc
+        in
+        let* acc =
+          match key with
+          | "strength" ->
+            let* n = int_of "strength" v in
+            Ok { acc with strength = n }
+          | "machines" ->
+            let* n = int_of "machines" v in
+            Ok { acc with machines = n }
+          | "target" ->
+            let* f = float_of "target" v in
+            Ok { acc with target = f }
+          | "width" ->
+            let* f = float_of "width" v in
+            Ok { acc with width = f }
+          | "window" -> (
+            match String.index_opt v ':' with
+            | None ->
+              Error (Printf.sprintf "window: expected START:STOP, got %S" v)
+            | Some i ->
+              let* start = int_of "window start" (String.sub v 0 i) in
+              let* stop =
+                int_of "window stop"
+                  (String.sub v (i + 1) (String.length v - i - 1))
+              in
+              Ok { acc with window = Some (start, stop) })
+          | _ ->
+            Error
+              (Printf.sprintf "unknown attack key %S (valid keys: %s)" key
+                 valid_keys)
+        in
+        Ok (acc, key :: seen)
+    in
+    let* plan, _ =
+      List.fold_left parse_pair (Ok (none, [])) (String.split_on_char ',' s)
+    in
+    let* () = validate plan in
+    Ok plan
+  end

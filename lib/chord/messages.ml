@@ -10,6 +10,8 @@ type t = {
   mutable dropped : int;
   mutable retries : int;
   mutable tasks_lost : int;
+  mutable attack_joins : int;
+  mutable puzzles : int;
 }
 
 let create () =
@@ -25,6 +27,8 @@ let create () =
     dropped = 0;
     retries = 0;
     tasks_lost = 0;
+    attack_joins = 0;
+    puzzles = 0;
   }
 
 let reset t =
@@ -38,14 +42,18 @@ let reset t =
   t.replications <- 0;
   t.dropped <- 0;
   t.retries <- 0;
-  t.tasks_lost <- 0
+  t.tasks_lost <- 0;
+  t.attack_joins <- 0;
+  t.puzzles <- 0
 
 (* [dropped]/[retries] stay out of the total: a dropped message was
    already counted in its own category when it was sent, and a retry's
    re-sent messages are charged again at the re-send — adding either
    here would double-count bandwidth.  [tasks_lost] is not a message at
    all, just the loss ledger.  [replications] IS real traffic (a backup
-   copy of every enrolled task crosses the network), so it is summed. *)
+   copy of every enrolled task crosses the network), so it is summed.
+   [attack_joins] is a subset of [joins] (already summed) and [puzzles]
+   a local computation, so both stay diagnostic. *)
 let total t =
   t.joins + t.leaves + t.key_transfers + t.workload_queries + t.invitations
   + t.lookup_hops + t.maintenance + t.replications
@@ -61,7 +69,9 @@ let add acc d =
   acc.replications <- acc.replications + d.replications;
   acc.dropped <- acc.dropped + d.dropped;
   acc.retries <- acc.retries + d.retries;
-  acc.tasks_lost <- acc.tasks_lost + d.tasks_lost
+  acc.tasks_lost <- acc.tasks_lost + d.tasks_lost;
+  acc.attack_joins <- acc.attack_joins + d.attack_joins;
+  acc.puzzles <- acc.puzzles + d.puzzles
 
 let pp ppf t =
   Format.fprintf ppf
@@ -73,4 +83,6 @@ let pp ppf t =
     Format.fprintf ppf " replications=%d" t.replications;
   if t.dropped > 0 || t.retries > 0 then
     Format.fprintf ppf " dropped=%d retries=%d" t.dropped t.retries;
-  if t.tasks_lost > 0 then Format.fprintf ppf " tasks_lost=%d" t.tasks_lost
+  if t.tasks_lost > 0 then Format.fprintf ppf " tasks_lost=%d" t.tasks_lost;
+  if t.attack_joins > 0 then Format.fprintf ppf " attack_joins=%d" t.attack_joins;
+  if t.puzzles > 0 then Format.fprintf ppf " puzzles=%d" t.puzzles

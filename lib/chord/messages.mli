@@ -25,6 +25,14 @@ type t = {
       (** tasks destroyed because a crash wiped the owner {e and} every
           live replica (the conserved-or-accounted-lost ledger; not a
           message) *)
+  mutable attack_joins : int;
+      (** Sybil vnodes successfully joined through the adversarial
+          injection path (a subset of [joins]; moves only under an
+          enabled attack plan) *)
+  mutable puzzles : int;
+      (** admission puzzles started — one per Sybil creation request
+          when [Params.puzzle_cost > 0] (local computation, not a
+          message) *)
 }
 
 val create : unit -> t
@@ -35,8 +43,10 @@ val total : t -> int
     diagnostic counters, not additional traffic: a dropped message was
     counted in its own category when sent, a retry's re-sent messages
     are charged again at the re-send, and a lost task is not a message
-    at all — so none of them is summed here.  [replications] is real
-    backup traffic and {e is} included. *)
+    at all — so none of them is summed here.  [attack_joins] (a subset
+    of [joins]) and [puzzles] (local computation) are likewise
+    diagnostic.  [replications] is real backup traffic and {e is}
+    included. *)
 
 val add : t -> t -> unit
 (** [add acc delta] accumulates [delta] into [acc]. *)

@@ -85,7 +85,10 @@ let query_round state candidates =
            candidates)
     else `Timed_out
 
-(* Inject at the chosen arc's midpoint, with the avoid_repeats memory. *)
+(* Inject at the chosen arc's midpoint, with the avoid_repeats memory.
+   Under the admission defense an accepted request has no ring presence
+   yet — its workload cannot be read — so the zero-work probe only runs
+   when the join landed immediately. *)
 let place state pid chosen =
   match chosen with
   | None -> ()
@@ -94,6 +97,7 @@ let place state pid chosen =
     if State.create_sybil state pid sybil_id then begin
       if
         state.State.params.Params.avoid_repeats
+        && state.State.params.Params.puzzle_cost = 0
         && Dht.workload state.State.dht sybil_id = 0
       then State.note_failed_arc state pid arc
     end

@@ -1,0 +1,92 @@
+(* Adversarial sweep: what an eclipse-and-abandon attacker costs the
+   network, and what the admission-puzzle defense buys back.  Each cell
+   runs the full batch simulation with a windowed attack plan at a given
+   strength, with and without [Params.puzzle_cost]: the attackers hoard
+   the keys routed into the eclipsed arc while their window is open,
+   then crash together when it closes, so the damage shows up twice —
+   in the runtime factor (load-balance quality, honest machines starve
+   while hostage tasks sit on attacker Sybils) and in the recovery
+   plane's [tasks_lost] ledger (hostage tasks whose whole replica group
+   died with the attackers).  The defense throttles injection to one
+   admission slot per machine per [puzzle_cost] ticks, shrinking both.
+
+   strength = 0 is the attack-off baseline ({!Attack.none}, bit-for-bit
+   the pre-attack engine); the defended baseline row still prices the
+   puzzle tax benign Sybils pay. *)
+
+type cell = {
+  strength : int;
+  puzzle_cost : int;
+  mean_attack_joins : float;
+  mean_puzzles : float;
+  mean_tasks_lost : float;
+  aggregate : Runner.aggregate;
+}
+
+let strengths = [ 0; 2; 4; 8 ]
+let puzzle_costs = [ 0; 4 ]
+
+let plan ~strength ~window =
+  if strength = 0 then Attack.none
+  else
+    {
+      Attack.strength;
+      machines = 4;
+      target = 0.25;
+      width = 0.15;
+      window = Some window;
+    }
+
+let run ?(trials = 3) ?(seed = 42) ?(nodes = 48) ?(tasks = 4_000)
+    ?(replicas = 2) ?(window = (2, 18)) ?(strengths = strengths)
+    ?(puzzle_costs = puzzle_costs) ?(strategy = Strategy.Random_injection) () =
+  let grid =
+    List.concat_map
+      (fun strength -> List.map (fun cost -> (strength, cost)) puzzle_costs)
+      strengths
+  in
+  (* Disjoint per-cell seed ranges; see Runner.stride_seed. *)
+  List.mapi
+    (fun index (strength, puzzle_cost) ->
+      let params =
+        Strategy.default_params strategy
+          {
+            (Params.default ~nodes ~tasks) with
+            Params.seed = Runner.stride_seed ~base:seed ~trials ~index;
+            replicas;
+            churn_rate = 0.01;
+            attack = plan ~strength ~window;
+            puzzle_cost;
+          }
+      in
+      let results = Runner.run_all ~trials params (Strategy.make strategy) in
+      let mean_msg field =
+        Descriptive.mean
+          (Array.map
+             (fun (r : Engine.result) -> float_of_int (field r.Engine.messages))
+             results)
+      in
+      {
+        strength;
+        puzzle_cost;
+        mean_attack_joins = mean_msg (fun m -> m.Messages.attack_joins);
+        mean_puzzles = mean_msg (fun m -> m.Messages.puzzles);
+        mean_tasks_lost = mean_msg (fun m -> m.Messages.tasks_lost);
+        aggregate = Runner.aggregate_of params results;
+      })
+    grid
+
+let print_table cells =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-8s %6s %12s %8s %10s %12s %8s\n" "strength" "puzzle"
+       "attack_joins" "puzzles" "tasks_lost" "mean factor" "aborted");
+  List.iter
+    (fun c ->
+      let a = c.aggregate in
+      Buffer.add_string buf
+        (Printf.sprintf "%-8d %6d %12.1f %8.1f %10.1f %12.3f %8d\n" c.strength
+           c.puzzle_cost c.mean_attack_joins c.mean_puzzles c.mean_tasks_lost
+           a.Runner.mean_factor a.Runner.aborted))
+    cells;
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Eclipse-attack damage versus the admission-puzzle defense.
+
+    Sweeps attacker {!Attack.t.strength} against [Params.puzzle_cost]
+    on the full batch simulation with live replication: each cell's
+    windowed attack eclipses one arc, holds its keys hostage, and
+    crashes every attacker when the window closes.  Two damage readings
+    per cell — the runtime factor (how badly the eclipse starves honest
+    load balancing) and the recovery plane's [tasks_lost] (hostage tasks
+    whose replica group died in the exit crash) — plus the
+    [attack_joins] / [puzzles] ledgers showing the defense throttling
+    the injection rate.  [strength = 0] rows are the attack-off
+    baseline; defended ones still price the tax benign Sybils pay. *)
+
+type cell = {
+  strength : int;
+  puzzle_cost : int;
+  mean_attack_joins : float;  (** mean Sybils the attacker landed per trial *)
+  mean_puzzles : float;  (** mean admission puzzles issued per trial *)
+  mean_tasks_lost : float;  (** mean recovery-plane loss per trial *)
+  aggregate : Runner.aggregate;
+}
+
+val strengths : int list
+(** Default [0; 2; 4; 8]; [0] is the attack-off baseline. *)
+
+val puzzle_costs : int list
+(** Default [0; 4]: undefended versus a 4-tick admission puzzle. *)
+
+val run :
+  ?trials:int ->
+  ?seed:int ->
+  ?nodes:int ->
+  ?tasks:int ->
+  ?replicas:int ->
+  ?window:int * int ->
+  ?strengths:int list ->
+  ?puzzle_costs:int list ->
+  ?strategy:Strategy.t ->
+  unit ->
+  cell list
+(** Cells in [strengths] × [puzzle_costs] order, per-cell seeds strided
+    by {!Runner.stride_seed} so no two cells share a trial seed. *)
+
+val print_table : cell list -> string

@@ -17,22 +17,27 @@ let configs =
   ]
 
 let run ?(trials = 3) ?(seed = 42) ?(rates = rates) ?(configs = configs) () =
-  List.concat_map
-    (fun churn_rate ->
-      List.map
-        (fun (nodes, tasks) ->
-          let params =
-            { (Params.default ~nodes ~tasks) with
-              Params.churn_rate;
-              seed;
-            }
-          in
-          let aggregate =
-            Runner.run_trials ~trials params (Strategy.make Strategy.Induced_churn)
-          in
-          { churn_rate; nodes; tasks; aggregate })
-        configs)
-    rates
+  let grid =
+    List.concat_map
+      (fun churn_rate ->
+        List.map (fun config -> (churn_rate, config)) configs)
+      rates
+  in
+  (* Each cell gets a disjoint seed range (trial [i] runs on
+     [cell seed + i]); see Runner.stride_seed. *)
+  List.mapi
+    (fun index (churn_rate, (nodes, tasks)) ->
+      let params =
+        { (Params.default ~nodes ~tasks) with
+          Params.churn_rate;
+          seed = Runner.stride_seed ~base:seed ~trials ~index;
+        }
+      in
+      let aggregate =
+        Runner.run_trials ~trials params (Strategy.make Strategy.Induced_churn)
+      in
+      { churn_rate; nodes; tasks; aggregate })
+    grid
 
 let print_table cells =
   let buf = Buffer.create 1024 in

@@ -20,23 +20,27 @@ let plan drop = { Faults.none with Faults.drop }
 
 let run ?(trials = 3) ?(seed = 42) ?(rates = rates) ?(nodes = 100)
     ?(tasks = 10_000) () =
-  List.concat_map
-    (fun drop ->
-      List.map
-        (fun strategy ->
-          let params =
-            Strategy.default_params strategy
-              {
-                (Harness.p ~seed nodes tasks) with
-                Params.churn_rate = 0.01;
-                failure_rate = 0.005;
-                sybil_threshold = 1;
-                faults = plan drop;
-              }
-          in
-          { drop; strategy; aggregate = Harness.aggregate ~trials params strategy })
-        Strategy.all)
-    rates
+  let grid =
+    List.concat_map
+      (fun drop -> List.map (fun strategy -> (drop, strategy)) Strategy.all)
+      rates
+  in
+  (* Disjoint per-cell seed ranges; see Runner.stride_seed. *)
+  List.mapi
+    (fun index (drop, strategy) ->
+      let seed = Runner.stride_seed ~base:seed ~trials ~index in
+      let params =
+        Strategy.default_params strategy
+          {
+            (Harness.p ~seed nodes tasks) with
+            Params.churn_rate = 0.01;
+            failure_rate = 0.005;
+            sybil_threshold = 1;
+            faults = plan drop;
+          }
+      in
+      { drop; strategy; aggregate = Harness.aggregate ~trials params strategy })
+    grid
 
 let print_table cells =
   let buf = Buffer.create 2048 in

@@ -236,6 +236,39 @@ let steady_sweep_csv cells =
          ])
        cells)
 
+let attack_sweep_csv cells =
+  Csv_out.table
+    ~header:
+      [
+        "strength";
+        "puzzle_cost";
+        "mean_attack_joins";
+        "mean_puzzles";
+        "mean_tasks_lost";
+        "mean_factor";
+        "stddev_factor";
+        "trials";
+        "aborted";
+        "mean_factor_finished";
+      ]
+    (List.map
+       (fun (c : Attack_sweep.cell) ->
+         let a = c.Attack_sweep.aggregate in
+         [
+           string_of_int c.Attack_sweep.strength;
+           string_of_int c.Attack_sweep.puzzle_cost;
+           f c.Attack_sweep.mean_attack_joins;
+           f c.Attack_sweep.mean_puzzles;
+           f c.Attack_sweep.mean_tasks_lost;
+           f a.Runner.mean_factor;
+           f a.Runner.stddev_factor;
+           string_of_int a.Runner.trials;
+           string_of_int a.Runner.aborted;
+           (if a.Runner.finished = 0 then ""
+            else f a.Runner.mean_factor_finished);
+         ])
+       cells)
+
 let work_timeline_csv series =
   let header =
     "tick"
@@ -290,6 +323,8 @@ let messages_json (m : Messages.t) =
       ("dropped", Json_out.Int m.Messages.dropped);
       ("retries", Json_out.Int m.Messages.retries);
       ("tasks_lost", Json_out.Int m.Messages.tasks_lost);
+      ("attack_joins", Json_out.Int m.Messages.attack_joins);
+      ("puzzles", Json_out.Int m.Messages.puzzles);
       ("total", Json_out.Int (Messages.total m));
     ]
 
@@ -375,3 +410,24 @@ let aggregate_json ~label (a : Runner.aggregate) =
       ("steady_sojourn_p95", Json_out.Float a.Runner.steady_sojourn_p95);
       ("steady_sojourn_p99", Json_out.Float a.Runner.steady_sojourn_p99);
     ]
+
+let attack_sweep_json cells =
+  Json_out.List
+    (List.map
+       (fun (c : Attack_sweep.cell) ->
+         Json_out.Obj
+           [
+             ("strength", Json_out.Int c.Attack_sweep.strength);
+             ("puzzle_cost", Json_out.Int c.Attack_sweep.puzzle_cost);
+             ( "mean_attack_joins",
+               Json_out.Float c.Attack_sweep.mean_attack_joins );
+             ("mean_puzzles", Json_out.Float c.Attack_sweep.mean_puzzles);
+             ("mean_tasks_lost", Json_out.Float c.Attack_sweep.mean_tasks_lost);
+             ( "aggregate",
+               aggregate_json
+                 ~label:
+                   (Printf.sprintf "strength=%d puzzle_cost=%d"
+                      c.Attack_sweep.strength c.Attack_sweep.puzzle_cost)
+                 c.Attack_sweep.aggregate );
+           ])
+       cells)

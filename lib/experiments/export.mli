@@ -8,6 +8,11 @@ val maintenance_csv : Maintenance.row list -> string
 val failure_recovery_csv : Failure_recovery.row list -> string
 val recovery_sweep_csv : Recovery_sweep.cell list -> string
 
+val attack_sweep_csv : Attack_sweep.cell list -> string
+(** The adversarial sweep grid, one row per strength × puzzle_cost
+    cell: landed Sybils, puzzles issued, recovery-plane loss, and the
+    makespan-factor family. *)
+
 val steady_csv : Steady.window array -> string
 (** One open-system run's measurement windows: arrival/completion rates,
     queue and sojourn percentiles, Sybil-count extremes per window.  NaN
@@ -33,3 +38,7 @@ val result_json : Engine.result -> Json_out.t
     unchanged otherwise. *)
 
 val aggregate_json : label:string -> Runner.aggregate -> Json_out.t
+
+val attack_sweep_json : Attack_sweep.cell list -> Json_out.t
+(** The adversarial sweep as a JSON list, one object per cell with the
+    full aggregate embedded. *)

@@ -15,41 +15,47 @@ let burst_counts = [ 4; 10; 20 ]
 
 let run ?(trials = 5) ?(seed = 42) ?(nodes = 40) ?(tasks = 4_000)
     ?(replica_counts = replica_counts) ?(burst_counts = burst_counts) () =
-  List.concat_map
-    (fun replicas ->
-      List.map
-        (fun burst_count ->
-          (* Churn off and the burst early: the ring the burst hits is
-             the initial one, with every replica group fully enrolled at
-             setup and barely any tasks consumed yet — the closest the
-             live simulation gets to the analytic f^(r+1) model. *)
-          let faults =
-            {
-              Faults.none with
-              Faults.crash_bursts = [ { Faults.at = 1; count = burst_count } ];
-            }
-          in
-          let params =
-            { (Params.default ~nodes ~tasks) with Params.replicas; seed; faults }
-          in
-          let aggregate =
-            Runner.run_trials ~trials params
-              (Strategy.make Strategy.No_strategy)
-          in
-          let burst_fraction = float_of_int burst_count /. float_of_int nodes in
-          {
-            replicas;
-            burst_count;
-            burst_fraction;
-            measured_loss_rate =
-              aggregate.Runner.mean_tasks_lost /. float_of_int tasks;
-            expected_loss_rate =
-              Replication.expected_loss_rate ~fail_fraction:burst_fraction
-                ~replicas;
-            aggregate;
-          })
-        burst_counts)
-    replica_counts
+  let grid =
+    List.concat_map
+      (fun replicas -> List.map (fun b -> (replicas, b)) burst_counts)
+      replica_counts
+  in
+  (* Disjoint per-cell seed ranges; see Runner.stride_seed. *)
+  List.mapi
+    (fun index (replicas, burst_count) ->
+      (* Churn off and the burst early: the ring the burst hits is
+         the initial one, with every replica group fully enrolled at
+         setup and barely any tasks consumed yet — the closest the
+         live simulation gets to the analytic f^(r+1) model. *)
+      let faults =
+        {
+          Faults.none with
+          Faults.crash_bursts = [ { Faults.at = 1; count = burst_count } ];
+        }
+      in
+      let params =
+        { (Params.default ~nodes ~tasks) with
+          Params.replicas;
+          seed = Runner.stride_seed ~base:seed ~trials ~index;
+          faults;
+        }
+      in
+      let aggregate =
+        Runner.run_trials ~trials params (Strategy.make Strategy.No_strategy)
+      in
+      let burst_fraction = float_of_int burst_count /. float_of_int nodes in
+      {
+        replicas;
+        burst_count;
+        burst_fraction;
+        measured_loss_rate =
+          aggregate.Runner.mean_tasks_lost /. float_of_int tasks;
+        expected_loss_rate =
+          Replication.expected_loss_rate ~fail_fraction:burst_fraction
+            ~replicas;
+        aggregate;
+      })
+    grid
 
 let print_table cells =
   let buf = Buffer.create 512 in

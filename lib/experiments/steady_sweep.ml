@@ -25,36 +25,37 @@ let churn_rates = [ 0.0; 0.05 ]
 let run ?(trials = 3) ?(seed = 42) ?(nodes = 40) ?(tasks = 500)
     ?(horizon = 120) ?(window = 20) ?(strategies = strategies)
     ?(rates = rates) ?(churn_rates = churn_rates) () =
-  List.concat_map
-    (fun strategy ->
-      List.concat_map
-        (fun rate ->
-          List.map
-            (fun churn ->
-              let arrivals =
-                {
-                  Arrivals.none with
-                  Arrivals.profile = Some (Arrivals.Poisson { rate });
-                  horizon;
-                  window;
-                }
-              in
-              let params =
-                Strategy.default_params strategy
-                  {
-                    (Params.default ~nodes ~tasks) with
-                    Params.seed = seed;
-                    churn_rate = churn;
-                    arrivals;
-                  }
-              in
-              let aggregate =
-                Runner.run_trials ~trials params (Strategy.make strategy)
-              in
-              { strategy; rate; churn; aggregate })
-            churn_rates)
-        rates)
-    strategies
+  let grid =
+    List.concat_map
+      (fun strategy ->
+        List.concat_map
+          (fun rate -> List.map (fun churn -> (strategy, rate, churn)) churn_rates)
+          rates)
+      strategies
+  in
+  (* Disjoint per-cell seed ranges; see Runner.stride_seed. *)
+  List.mapi
+    (fun index (strategy, rate, churn) ->
+      let arrivals =
+        {
+          Arrivals.none with
+          Arrivals.profile = Some (Arrivals.Poisson { rate });
+          horizon;
+          window;
+        }
+      in
+      let params =
+        Strategy.default_params strategy
+          {
+            (Params.default ~nodes ~tasks) with
+            Params.seed = Runner.stride_seed ~base:seed ~trials ~index;
+            churn_rate = churn;
+            arrivals;
+          }
+      in
+      let aggregate = Runner.run_trials ~trials params (Strategy.make strategy) in
+      { strategy; rate; churn; aggregate })
+    grid
 
 let print_table cells =
   let buf = Buffer.create 1024 in

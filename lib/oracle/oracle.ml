@@ -57,6 +57,22 @@
    A disabled plan never consumes an arrival draw, which is why
    arrivals-off runs are bit-identical to the batch engine.
 
+   Attack randomness (adversarial Sybil injection) lives on a FOURTH
+   stream (Attack.rng, the third split off the same seed), also
+   mirrored draw for draw:
+
+     create:   [machines] malicious-machine picks (without replacement
+               from the initially active pids), iff the plan is enabled
+     per tick (after the arrivals and admission settlement, before the
+     decide step), iff the window covers the tick: per still-active
+     malicious machine in ascending pid order — defense off, [strength]
+     placement draws (one float_unit each); defense on, ONE placement
+     draw iff the machine's admission slot is free, none otherwise.
+     The window-close crash and the admission settlement are draw-free.
+
+   A disabled plan never consumes an attack draw, which is why
+   attack-off runs are bit-identical to the pre-adversary engine.
+
    The oracle additionally re-checks its own invariants after every tick
    unconditionally — it is the belt to the engine's DHTLB_CHECK braces. *)
 
@@ -71,11 +87,15 @@ type omach = {
   strength : int;
   original_id : Id.t;
   straggler : bool;
+  malicious : bool;
   mutable active : bool;
   mutable vnodes : Id.t list; (* head is the primary *)
   mutable failed_arcs : Interval.t list;
   mutable retry_attempts : int;
   mutable retry_at : int; (* -1 = none pending *)
+  (* Pending admission under the puzzle defense, mirroring State's
+     [phys.puzzle]: (requested id, ready tick, from the attack path). *)
+  mutable puzzle : (Id.t * int * bool) option;
 }
 
 type msgs = {
@@ -90,6 +110,8 @@ type msgs = {
   mutable dropped : int;
   mutable retries : int;
   mutable tasks_lost : int;
+  mutable attack_joins : int;
+  mutable puzzles : int;
 }
 
 type t = {
@@ -97,8 +119,10 @@ type t = {
   rng : Prng.t;
   frng : Prng.t; (* dedicated fault stream, mirrors State.frng *)
   arng : Prng.t; (* dedicated arrival stream, mirrors State.arng *)
+  krng : Prng.t; (* dedicated attack stream, mirrors State.krng *)
   hot_centers : Id.t array; (* [||] unless arrivals are on with hot keys *)
   partitioned : int; (* -1 = none *)
+  attackers : int list; (* malicious pids ascending; [] without a plan *)
   mutable ring : ovnode list; (* ascending by id *)
   machs : omach array;
   msgs : msgs;
@@ -429,7 +453,8 @@ let crash_machines o pids =
       m.active <- false;
       m.failed_arcs <- [];
       m.retry_attempts <- 0;
-      m.retry_at <- -1)
+      m.retry_at <- -1;
+      m.puzzle <- None)
     pids;
   List.iter
     (fun (id, keys) ->
@@ -473,9 +498,23 @@ let lookup_cost (o : t) =
 let charge_lookup (o : t) =
   o.msgs.lookup_hops <- o.msgs.lookup_hops + lookup_cost o
 
+(* Mirrors State.start_puzzle: the lookup and the puzzle are charged at
+   request time; the join defers to the admission settlement. *)
+let start_puzzle o pid id ~from_attack =
+  charge_lookup o;
+  o.msgs.puzzles <- o.msgs.puzzles + 1;
+  o.machs.(pid).puzzle <-
+    Some (id, o.tick + o.params.Params.puzzle_cost, from_attack)
+
 let create_sybil o pid id =
   let m = o.machs.(pid) in
   if (not m.active) || sybil_count o pid >= sybil_capacity o pid then false
+  else if o.params.Params.puzzle_cost > 0 then
+    if m.puzzle <> None then false
+    else begin
+      start_puzzle o pid id ~from_attack:false;
+      true
+    end
   else begin
     charge_lookup o;
     let donor = repl_donor o id in
@@ -515,7 +554,8 @@ let leave_phys o pid =
       m.active <- false;
       m.failed_arcs <- [];
       m.retry_attempts <- 0;
-      m.retry_at <- -1
+      m.retry_at <- -1;
+      m.puzzle <- None
     | Error `Last_node -> () (* stays: someone must hold the keys *)
     | Error `Not_member -> assert false
   end
@@ -568,9 +608,12 @@ let apply_churn o =
 
 let consume_tick o =
   let done_ = ref 0 in
+  (* Mirrors State.consume_tick's starvation skip: attacking machines
+     hold their keys hostage while the window is active. *)
+  let attacking = Attack.active o.params.Params.attack ~tick:o.tick in
   Array.iter
     (fun m ->
-      if m.active then begin
+      if m.active && not (attacking && m.malicious) then begin
         let budget = ref (capacity_of_phys o m.pid) in
         List.iter
           (fun vid ->
@@ -585,13 +628,82 @@ let consume_tick o =
   o.work_done_total <- o.work_done_total + !done_;
   !done_
 
+(* ---- adversary (mirroring State's attack helpers draw for draw) -- *)
+
+(* Mirrors State.process_admissions: settle due puzzles, ascending pid
+   order, draw-free; a filled id wastes the puzzle. *)
+let process_admissions o =
+  if o.params.Params.puzzle_cost > 0 then
+    Array.iter
+      (fun m ->
+        match m.puzzle with
+        | Some (id, ready, from_attack) when ready <= o.tick ->
+          m.puzzle <- None;
+          if m.active then begin
+            let donor = repl_donor o id in
+            match join o ~id ~owner:m.pid with
+            | Ok () ->
+              repl_note_join o ~id ~donor;
+              m.vnodes <- m.vnodes @ [ id ];
+              if from_attack then o.msgs.attack_joins <- o.msgs.attack_joins + 1
+            | Error `Occupied -> ()
+          end
+        | _ -> ())
+      o.machs
+
+(* Mirrors State.inject_attack_sybil: an immediate cap-bypassing join. *)
+let inject_attack_sybil o pid id =
+  charge_lookup o;
+  let donor = repl_donor o id in
+  match join o ~id ~owner:pid with
+  | Ok () ->
+    repl_note_join o ~id ~donor;
+    o.machs.(pid).vnodes <- o.machs.(pid).vnodes @ [ id ];
+    o.msgs.attack_joins <- o.msgs.attack_joins + 1
+  | Error `Occupied -> ()
+
+(* Mirrors State.apply_attack: injections while the window is active
+   (attack-stream draws per the contract above), then the window-close
+   crash of every still-active attacker in one event. *)
+let apply_attack o =
+  let plan = o.params.Params.attack in
+  if Attack.enabled plan then begin
+    if Attack.active plan ~tick:o.tick then
+      List.iter
+        (fun pid ->
+          let m = o.machs.(pid) in
+          if m.active then
+            if o.params.Params.puzzle_cost > 0 then begin
+              if m.puzzle = None then
+                start_puzzle o pid (Attack.inject_id o.krng plan)
+                  ~from_attack:true
+            end
+            else
+              for _ = 1 to plan.Attack.strength do
+                inject_attack_sybil o pid (Attack.inject_id o.krng plan)
+              done)
+        o.attackers;
+    match Attack.crash_tick plan with
+    | Some stop when stop = o.tick -> begin
+      let victims = List.filter (fun pid -> o.machs.(pid).active) o.attackers in
+      if victims <> [] then
+        if recovery_on o then crash_machines o victims
+        else List.iter (fail_phys_assumed o) victims
+    end
+    | _ -> ()
+  end
+
 (* ---- faults (mirroring State's fault helpers draw for draw) ------ *)
 
 let is_partitioned o pid =
   pid = o.partitioned
   && Faults.partition_active o.params.Params.faults ~tick:o.tick
 
-let can_decide o pid = not (is_partitioned o pid)
+let can_decide o pid =
+  (not (is_partitioned o pid))
+  && not
+       (o.machs.(pid).malicious
+       && Attack.active o.params.Params.attack ~tick:o.tick)
 
 let reply_outcome o ~from_pid =
   let f = o.params.Params.faults in
@@ -715,6 +827,27 @@ let create (params : Params.t) =
     | Some _ -> Prng.int_below frng n
     | None -> -1
   in
+  (* Attack setup mirrors State.create: the malicious machines drawn
+     without replacement from the initially active pids — the naive
+     shrinking-list loop consuming the same draws as Sample.indices.
+     A disabled plan draws nothing. *)
+  let krng = Attack.rng ~seed:params.Params.seed in
+  let malicious = Array.make total_phys false in
+  let attackers =
+    if Attack.enabled params.Params.attack then begin
+      let pool = ref (List.init n Fun.id) in
+      let picks = ref [] in
+      for _ = 1 to min params.Params.attack.Attack.machines n do
+        let i = Prng.int_below krng (List.length !pool) in
+        picks := List.nth !pool i :: !picks;
+        pool := List.filteri (fun j _ -> j <> i) !pool
+      done;
+      let picks = List.sort compare !picks in
+      List.iter (fun pid -> malicious.(pid) <- true) picks;
+      picks
+    end
+    else []
+  in
   (* Arrival setup mirrors State.create: the dedicated third stream, and
      the hot-key centers drawn from it iff the plan is on with hot keys.
      A disabled plan draws nothing. *)
@@ -740,11 +873,13 @@ let create (params : Params.t) =
           strength;
           original_id = ids.(pid);
           straggler = straggler.(pid);
+          malicious = malicious.(pid);
           active = pid < n;
           vnodes = (if pid < n then [ ids.(pid) ] else []);
           failed_arcs = [];
           retry_attempts = 0;
           retry_at = -1;
+          puzzle = None;
         })
   in
   let o =
@@ -753,8 +888,10 @@ let create (params : Params.t) =
       rng;
       frng;
       arng;
+      krng;
       hot_centers;
       partitioned;
+      attackers;
       ring = [];
       machs;
       msgs =
@@ -770,6 +907,8 @@ let create (params : Params.t) =
           dropped = 0;
           retries = 0;
           tasks_lost = 0;
+          attack_joins = 0;
+          puzzles = 0;
         };
       holders = [];
       initial_mean =
@@ -982,7 +1121,10 @@ let place (o : t) pid chosen =
   | Some (arc, _) ->
     let sybil_id = Interval.midpoint arc in
     if create_sybil o pid sybil_id then begin
-      if avoid && vnode_workload o sybil_id = 0 then note_failed_arc o pid arc
+      (* Mirrors Neighbor_injection.place's admission guard: under the
+         defense an accepted request has no ring presence to probe. *)
+      if avoid && o.params.Params.puzzle_cost = 0 && vnode_workload o sybil_id = 0
+      then note_failed_arc o pid arc
     end
     else if avoid then note_failed_arc o pid arc
 
@@ -1320,12 +1462,50 @@ let check_invariants o =
           hs)
       o.holders
   end;
-  (* Sybil caps. *)
+  (* Sybil caps — malicious machines under an enabled plan are exempt,
+     mirroring the engine's harness. *)
+  let attack_on = Attack.enabled o.params.Params.attack in
   Array.iter
     (fun m ->
-      if m.active && sybil_count o m.pid > sybil_capacity o m.pid then
-        invalid_arg "Oracle: machine over its Sybil cap")
+      if
+        m.active
+        && (not (m.malicious && attack_on))
+        && sybil_count o m.pid > sybil_capacity o m.pid
+      then invalid_arg "Oracle: machine over its Sybil cap")
     o.machs;
+  (* Attack and admission laws, mirroring State.check_tick_invariants. *)
+  if not attack_on then begin
+    if o.msgs.attack_joins <> 0 then
+      invalid_arg "Oracle: attack_joins moved without an attack plan";
+    if o.attackers <> [] then
+      invalid_arg "Oracle: attacker list nonempty without an attack plan"
+  end;
+  if o.msgs.attack_joins > o.msgs.joins then
+    invalid_arg "Oracle: more adversarial joins than joins";
+  Array.iter
+    (fun m ->
+      if m.malicious <> List.mem m.pid o.attackers then
+        invalid_arg "Oracle: malicious flag out of sync")
+    o.machs;
+  if o.params.Params.puzzle_cost = 0 then
+    Array.iter
+      (fun m ->
+        if m.puzzle <> None then
+          invalid_arg "Oracle: admission slot with the defense off")
+      o.machs
+  else
+    Array.iter
+      (fun m ->
+        match m.puzzle with
+        | None -> ()
+        | Some (_, ready, _) ->
+          if not m.active then
+            invalid_arg "Oracle: waiting machine holds an admission";
+          if ready < 0 || ready > o.tick + o.params.Params.puzzle_cost then
+            invalid_arg "Oracle: admission deadline out of range")
+      o.machs;
+  if o.params.Params.puzzle_cost = 0 && o.msgs.puzzles <> 0 then
+    invalid_arg "Oracle: puzzles counted with the admission defense off";
   (* Message accounting: joins - leaves tracks the ring size, and the
      total only ever grows.  [dropped]/[retries] are diagnostics, not
      traffic — excluded exactly as Messages.total excludes them. *)
@@ -1362,10 +1542,13 @@ let run (params : Params.t) (strat : Strategy.t) =
   let open_sys = Arrivals.enabled params.Params.arrivals in
   let horizon = params.Params.arrivals.Arrivals.horizon in
   let points_rev = ref [] in
-  (* Same tick order as Engine.run_state: arrivals land before the
-     decide step, so deciders see the load the tick brings. *)
+  (* Same tick order as Engine.run_state: arrivals land first, then due
+     admissions settle, then the adversary moves, then the strategy
+     decides on the ring it can actually see. *)
   let step () =
     let (_ : int) = apply_arrivals o in
+    process_admissions o;
+    apply_attack o;
     decide o;
     let work_done = consume_tick o in
     apply_churn o;

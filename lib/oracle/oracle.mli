@@ -21,10 +21,13 @@
     ({!Faults.rng}).  Open-system runs (an enabled {!Arrivals.t} plan)
     additionally match on [arrived_total] and the complete sojourn
     ledger, with arrival randomness replayed on its dedicated third
-    stream ({!Arrivals.rng}).  [test/test_oracle.ml]
-    enforces this over qcheck-generated scenarios spanning every
-    strategy; see [docs/TESTING.md] for the PRNG draw-order contract
-    that keeps the two sides in lockstep.
+    stream ({!Arrivals.rng}).  Adversarial runs (an enabled {!Attack.t}
+    plan, with or without the [Params.puzzle_cost] admission defense)
+    match on the [attack_joins] and [puzzles] counters too, with attack
+    randomness replayed on its dedicated fourth stream ({!Attack.rng}).
+    [test/test_oracle.ml] enforces this over qcheck-generated scenarios
+    spanning every strategy; see [docs/TESTING.md] for the PRNG
+    draw-order contract that keeps the two sides in lockstep.
 
     The oracle re-checks its own invariants (key conservation, arc
     ownership, Sybil caps, message accounting) after every tick,
@@ -42,10 +45,12 @@ type msgs = {
   mutable dropped : int;
   mutable retries : int;
   mutable tasks_lost : int;
+  mutable attack_joins : int;
+  mutable puzzles : int;
 }
 (** Mirrors {!Messages.t} field for field, including the live-replication
-    counters: [replications] (backup copies shipped) and [tasks_lost]
-    (the crash-loss ledger). *)
+    counters ([replications], [tasks_lost]) and the adversary/defense
+    diagnostics ([attack_joins], [puzzles]). *)
 
 type point = {
   tick : int;

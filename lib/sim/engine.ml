@@ -65,6 +65,12 @@ let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
        decision step — deciders see (and react to) the load the tick
        brings, the "same-tick decider interaction" of an open system. *)
     let arrived = State.apply_arrivals state in
+    (* Due admission puzzles settle before the adversary moves and before
+       the strategy decides: a slot freed this tick can be refilled this
+       tick, so [puzzle_cost = 1] means exactly one blocked tick per
+       Sybil.  Both are guarded no-ops without their subsystem. *)
+    State.process_admissions state;
+    State.apply_attack state;
     let t1 = Metrics.lap m Metrics.Arrive t0 in
     Trace.maybe_snapshot trace state;
     let t2 = Metrics.lap m Metrics.Trace t1 in

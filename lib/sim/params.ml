@@ -29,6 +29,8 @@ type t = {
   replicas : int;
   repair_lag : int;
   arrivals : Arrivals.t;
+  attack : Attack.t;
+  puzzle_cost : int;
 }
 
 let default ~nodes ~tasks =
@@ -56,6 +58,8 @@ let default ~nodes ~tasks =
     replicas = 0;
     repair_lag = 1;
     arrivals = Arrivals.none;
+    attack = Attack.none;
+    puzzle_cost = 0;
   }
 
 let recovery_on t = t.replicas > 0
@@ -95,10 +99,14 @@ let validate t =
   else if t.max_ticks_factor < 1 then Error "max_ticks_factor must be >= 1"
   else if t.replicas < 0 then Error "replicas must be >= 0"
   else if t.repair_lag < 1 then Error "repair_lag must be >= 1"
+  else if t.puzzle_cost < 0 then Error "puzzle_cost must be >= 0"
   else
     match Faults.validate t.faults with
     | Error e -> Error ("faults: " ^ e)
     | Ok () -> (
+      match Attack.validate t.attack with
+      | Error e -> Error ("attack: " ^ e)
+      | Ok () -> (
       match Arrivals.validate t.arrivals with
       | Error e -> Error ("arrivals: " ^ e)
       | Ok () -> (
@@ -109,7 +117,7 @@ let validate t =
           else if not (spread > 0.0 && spread <= 1.0) then
             Error "clustered spread must be in (0, 1]"
           else if zipf_s < 0.0 then Error "zipf_s must be >= 0"
-          else Ok ()))
+          else Ok ())))
 
 let pp ppf t =
   let het =
@@ -132,4 +140,7 @@ let pp ppf t =
   if Faults.enabled t.faults then
     Format.fprintf ppf " faults=%a" Faults.pp t.faults;
   if Arrivals.enabled t.arrivals then
-    Format.fprintf ppf " arrivals=%a" Arrivals.pp t.arrivals
+    Format.fprintf ppf " arrivals=%a" Arrivals.pp t.arrivals;
+  if Attack.enabled t.attack then
+    Format.fprintf ppf " attack=%a" Attack.pp t.attack;
+  if t.puzzle_cost > 0 then Format.fprintf ppf " puzzle-cost=%d" t.puzzle_cost

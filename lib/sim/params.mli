@@ -88,6 +88,19 @@ type t = {
           steady-state windows instead of makespan.  {!Arrivals.none}
           (the default) keeps batch semantics and is pinned bit-for-bit
           identical to the engine before arrivals existed. *)
+  attack : Attack.t;
+      (** adversarial Sybil plan: malicious machines eclipse a targeted
+          arc with hostage-holding Sybils while starving honest work,
+          then crash together when their window closes.  All attack
+          randomness lives on a dedicated PRNG stream, so
+          {!Attack.none} (the default) is pinned bit-for-bit identical
+          to the engine before the adversary existed. *)
+  puzzle_cost : int;
+      (** SybilControl-style admission tax: every Sybil creation request
+          (benign or adversarial) must first solve a computational
+          puzzle taking this many ticks, during which at most one
+          admission per machine is in flight.  [0] (the default)
+          disables the defense and is pinned bit-for-bit identical. *)
 }
 
 val default : nodes:int -> tasks:int -> t

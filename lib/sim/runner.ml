@@ -26,6 +26,12 @@ let run_one (params : Params.t) mk_strategy i =
   let params = { params with Params.seed = params.Params.seed + i } in
   Engine.run params (mk_strategy ())
 
+(* Trial [i] of a cell runs on [seed + i], so two cells whose base seeds
+   are closer than [trials] share trials — cell A's trial 3 is cell B's
+   trial 0, silently correlating rows of a sweep.  Stepping cell bases by
+   at least [trials] keeps every cell's seed range disjoint. *)
+let stride_seed ~base ~trials ~index = base + (index * max 1 trials)
+
 (* Trials are embarrassingly parallel: each builds its own state and
    PRNG, so partitioning the index range across domains is race-free and
    bit-reproducible.  Each domain owns a contiguous chunk and fills a
@@ -103,8 +109,7 @@ let steady_mean results field =
          mean_finite (Array.map field (Array.sub w (n / 2) (n - (n / 2)))))
        results)
 
-let run_trials ?trials ?domains params mk_strategy =
-  let results = run_all ?trials ?domains params mk_strategy in
+let aggregate_of (params : Params.t) results =
   let open_system = Arrivals.enabled params.Params.arrivals in
   let factors = Array.map (fun r -> r.Engine.factor) results in
   let ticks =
@@ -177,6 +182,9 @@ let run_trials ?trials ?domains params mk_strategy =
     steady_sojourn_p95 = steady (fun w -> w.Steady.sojourn_p95);
     steady_sojourn_p99 = steady (fun w -> w.Steady.sojourn_p99);
   }
+
+let run_trials ?trials ?domains params mk_strategy =
+  aggregate_of params (run_all ?trials ?domains params mk_strategy)
 
 let pp_aggregate ppf a =
   if a.open_system then begin

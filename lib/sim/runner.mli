@@ -66,6 +66,31 @@ val run_trials :
     trial is rethrown with its backtrace, independent of scheduling.
     @raise Invalid_argument if [trials < 1] or [domains < 1]. *)
 
+val run_all :
+  ?trials:int ->
+  ?domains:int ->
+  Params.t ->
+  (unit -> Engine.strategy) ->
+  Engine.result array
+(** The raw per-trial results behind {!run_trials} (same seeding and
+    parallelism), for experiments that read counters the aggregate does
+    not carry.  [aggregate_of params (run_all ... params mk)] is exactly
+    [run_trials ... params mk]. *)
+
+val aggregate_of : Params.t -> Engine.result array -> aggregate
+(** Fold raw trial results into an {!aggregate}.  [params] must be the
+    parameter record the trials ran under (it decides the open-system
+    split). *)
+
+val stride_seed : base:int -> trials:int -> index:int -> int
+(** [stride_seed ~base ~trials ~index] is the base seed for the
+    [index]-th cell of a sweep whose cells each run [trials] trials:
+    [base + index * max 1 trials].  Because trial [i] of a cell runs on
+    [cell_seed + i], stepping cell bases by anything less than [trials]
+    makes adjacent cells share trial seeds — their rows are then
+    correlated, not independent.  Sweep experiments must derive per-cell
+    seeds through this helper; see [docs/TESTING.md]. *)
+
 val factors :
   ?trials:int -> ?domains:int -> Params.t -> (unit -> Engine.strategy) ->
   float array

@@ -8,16 +8,25 @@ type payload = { owner : int }
    sides), and [check_invariants] verifies each held record is
    physically the ring's own — a departed record is dropped here and
    emptied by the DHT, so stale reads cannot fabricate workload. *)
+(* A pending Sybil admission under the puzzle defense: the vnode id the
+   machine wants to join, the tick its puzzle is solved, and whether the
+   request came from the adversarial injection path (for the
+   [attack_joins] ledger).  At most one per machine — the admission tax
+   serializes Sybil creation. *)
+type admission = { adm_id : Id.t; ready : int; from_attack : bool }
+
 type phys = {
   pid : int;
   strength : int;
   original_id : Id.t;
   straggler : bool;
+  malicious : bool;
   mutable active : bool;
   mutable vnodes : payload Dht.vnode list;
   mutable failed_arcs : Interval.t list;
   mutable retry_attempts : int;
   mutable retry_at : int;
+  mutable puzzle : admission option;
 }
 
 (* Live replica map ([Params.replicas > 0] only): vnode id -> ids of the
@@ -45,7 +54,9 @@ type t = {
   rng : Prng.t;
   frng : Prng.t;
   arng : Prng.t;
+  krng : Prng.t;
   partitioned : int;
+  attackers : int list;
   repl : repl option;
   initial_mean : float;
   initial_tasks : int;
@@ -137,6 +148,27 @@ let create (params : Params.t) =
     | Some _ -> Prng.int_below frng n
     | None -> -1
   in
+  (* Attack-stream setup draws ([Attack.rng], the fourth dedicated
+     stream): iff the plan is enabled, the malicious machines are drawn
+     without replacement from the initially active pids — through
+     [Sample.indices], which draws and selects exactly like the naive
+     shrinking-list loop the oracle still runs.  A disabled plan never
+     consumes an attack draw, so the run stays bit-identical to an
+     engine without lib/adversary at all (mirrored in lib/oracle — the
+     attack draw-order contract in docs/TESTING.md). *)
+  let krng = Attack.rng ~seed:params.seed in
+  let malicious = Array.make total_phys false in
+  let attackers =
+    if Attack.enabled params.attack then begin
+      let picks =
+        List.sort compare
+          (Sample.indices krng ~n ~k:(min params.attack.Attack.machines n))
+      in
+      List.iter (fun pid -> malicious.(pid) <- true) picks;
+      picks
+    end
+    else []
+  in
   let strength () =
     match params.heterogeneity with
     | Params.Homogeneous -> 1
@@ -160,6 +192,7 @@ let create (params : Params.t) =
           strength = strengths.(pid);
           original_id = ids.(pid);
           straggler = straggler.(pid);
+          malicious = malicious.(pid);
           active = pid < n;
           vnodes =
             (if pid < n then
@@ -168,6 +201,7 @@ let create (params : Params.t) =
           failed_arcs = [];
           retry_attempts = 0;
           retry_at = -1;
+          puzzle = None;
         })
   in
   let keys =
@@ -260,7 +294,9 @@ let create (params : Params.t) =
     rng;
     frng;
     arng;
+    krng;
     partitioned;
+    attackers;
     repl;
     initial_mean = float_of_int params.tasks /. float_of_int n;
     initial_tasks;
@@ -363,10 +399,14 @@ let consume_tick t =
     | Params.Strength_per_tick -> true
   in
   let phys = t.phys in
+  (* Work starvation: while the attack window is active, malicious
+     machines hold their arcs hostage — vnodes stay in the ring and
+     accumulate keys, but complete no tasks. *)
+  let attacking = Attack.active t.params.Params.attack ~tick:t.tick in
   let total = ref 0 in
   for pid = 0 to Array.length phys - 1 do
     let p = Array.unsafe_get phys pid in
-    if p.active then
+    if p.active && not (attacking && p.malicious) then
       total :=
         !total + drain p.vnodes (if per_strength then p.strength else 1) 0
   done;
@@ -455,9 +495,32 @@ let repl_recipient t id =
       | None -> None
       | Some vn -> Some vn.Dht.id)
 
+(* Start one admission puzzle ([Params.puzzle_cost > 0] only): the
+   lookup is charged now (the requester had to route to the target id
+   either way) and the join is deferred to [process_admissions] at
+   [tick + puzzle_cost].  At most one per machine — callers check the
+   slot is free, so the tax serializes Sybil creation per machine. *)
+let start_puzzle t pid id ~from_attack =
+  charge_lookup t;
+  let m = Dht.messages t.dht in
+  m.Messages.puzzles <- m.Messages.puzzles + 1;
+  t.phys.(pid).puzzle <-
+    Some { adm_id = id; ready = t.tick + t.params.Params.puzzle_cost; from_attack }
+
 let create_sybil t pid id =
   let p = t.phys.(pid) in
   if (not p.active) || sybil_count t pid >= sybil_capacity t pid then false
+  else if t.params.Params.puzzle_cost > 0 then
+    (* Puzzle defense: the request is accepted only if no admission is
+       already pending here; the vnode joins once the puzzle is solved.
+       The cap needs no re-check at completion — between request and
+       admission this machine can gain no other vnode (the busy slot
+       refuses further requests), and leave/crash clears the slot. *)
+    if p.puzzle <> None then false
+    else begin
+      start_puzzle t pid id ~from_attack:false;
+      true
+    end
   else begin
     charge_lookup t;
     let donor = repl_donor t id in
@@ -512,10 +575,12 @@ let leave_phys t pid =
       p.active <- false;
       t.n_active <- t.n_active - 1;
       p.failed_arcs <- [];
-      (* A departing machine abandons any in-flight query retry; it will
-         start fresh if it rejoins. *)
+      (* A departing machine abandons any in-flight query retry and any
+         half-solved admission puzzle; it will start fresh if it
+         rejoins. *)
       p.retry_attempts <- 0;
-      p.retry_at <- -1
+      p.retry_at <- -1;
+      p.puzzle <- None
     | Error `Last_node -> () (* stays: someone must hold the keys *)
     | Error `Not_member -> assert false
   end
@@ -598,7 +663,8 @@ let crash_machines t pids =
       p.active <- false;
       p.failed_arcs <- [];
       p.retry_attempts <- 0;
-      p.retry_at <- -1)
+      p.retry_at <- -1;
+      p.puzzle <- None)
     pids;
   let m = Dht.messages t.dht in
   List.iter
@@ -701,6 +767,95 @@ let apply_arrivals t =
     !accepted
   end
 
+(* --- Adversary ---------------------------------------------------------
+   All attack randomness lives on [t.krng]; nothing below ever touches
+   the main, fault or arrival streams, so a disabled plan leaves every
+   simulation bit-identical.  The oracle replays these draws in the same
+   order (the attack draw-order contract in docs/TESTING.md). *)
+
+(* Settle due admission puzzles, in ascending pid order.  Draw-free: the
+   admission id was drawn at request time.  The slot is cleared first so
+   a refused join (`Occupied — the id filled while solving) simply
+   wastes the puzzle.  An inactive machine's slot was already cleared by
+   leave/crash, so the [p.active] guard is belt-and-braces for the
+   window between those paths and this pass. *)
+let process_admissions t =
+  if t.params.Params.puzzle_cost > 0 then
+    Array.iter
+      (fun p ->
+        match p.puzzle with
+        | Some a when a.ready <= t.tick ->
+          p.puzzle <- None;
+          if p.active then begin
+            let donor = repl_donor t a.adm_id in
+            match Dht.join t.dht ~id:a.adm_id ~payload:{ owner = p.pid } with
+            | Ok vn ->
+              repl_note_join t ~id:a.adm_id ~donor;
+              p.vnodes <- p.vnodes @ [ vn ];
+              if a.from_attack then begin
+                let m = Dht.messages t.dht in
+                m.Messages.attack_joins <- m.Messages.attack_joins + 1
+              end
+            | Error `Occupied -> ()
+          end
+        | _ -> ())
+      t.phys
+
+(* One adversarial Sybil joining immediately (defense off).  Bypasses
+   the Sybil cap — fabricating identities is exactly what the cap cannot
+   police without an admission cost — but pays the same lookup any join
+   pays.  A refused join (`Occupied) wastes the attempt. *)
+let inject_attack_sybil t pid id =
+  charge_lookup t;
+  let donor = repl_donor t id in
+  match Dht.join t.dht ~id ~payload:{ owner = pid } with
+  | Ok vn ->
+    repl_note_join t ~id ~donor;
+    t.phys.(pid).vnodes <- t.phys.(pid).vnodes @ [ vn ];
+    let m = Dht.messages t.dht in
+    m.Messages.attack_joins <- m.Messages.attack_joins + 1
+  | Error `Occupied -> ()
+
+(* One tick of the adversary.  While the plan is active, each
+   still-active malicious machine — ascending pid order — eclipses the
+   targeted arc: defense off, [strength] placements per tick (one
+   attack-stream draw each, joined immediately); defense on, ONE
+   placement draw iff the machine's puzzle slot is free — the admission
+   tax throttles even the adversary to one pending Sybil at a time.
+   Inactive attackers (churned out) draw nothing.  When a windowed
+   plan's window closes (the tick AFTER the last active one), every
+   still-active malicious machine crashes in one event — recovered from
+   live replicas when they exist, via the assumed-backup path
+   otherwise. *)
+let apply_attack t =
+  let plan = t.params.Params.attack in
+  if Attack.enabled plan then begin
+    if Attack.active plan ~tick:t.tick then
+      List.iter
+        (fun pid ->
+          let p = t.phys.(pid) in
+          if p.active then
+            if t.params.Params.puzzle_cost > 0 then begin
+              if p.puzzle = None then
+                start_puzzle t pid (Attack.inject_id t.krng plan)
+                  ~from_attack:true
+            end
+            else
+              for _ = 1 to plan.Attack.strength do
+                inject_attack_sybil t pid (Attack.inject_id t.krng plan)
+              done)
+        t.attackers;
+    match Attack.crash_tick plan with
+    | Some stop when stop = t.tick -> begin
+      let victims = List.filter (fun pid -> t.phys.(pid).active) t.attackers in
+      if victims <> [] then
+        match t.repl with
+        | None -> List.iter (fail_phys_assumed t) victims
+        | Some _ -> crash_machines t victims
+    end
+    | _ -> ()
+  end
+
 (* The overload bar Invitation measures against.  A batch run compares
    to the frozen setup mean (tasks / nodes) — the paper's rule; an open
    system has no meaningful fixed total, so the bar tracks the live mean
@@ -772,7 +927,15 @@ let is_partitioned t pid =
   pid = t.partitioned
   && Faults.partition_active t.params.Params.faults ~tick:t.tick
 
-let can_decide t pid = not (is_partitioned t pid)
+(* Malicious machines run no honest balancing logic while their plan is
+   active (their Sybils come from the injection path); outside the
+   window — before it opens, or for a rejoined attacker after the crash
+   — they behave like any other machine. *)
+let can_decide t pid =
+  (not (is_partitioned t pid))
+  && not
+       (t.phys.(pid).malicious
+       && Attack.active t.params.Params.attack ~tick:t.tick)
 
 (* Outcome of one control-plane reply from [from_pid] back to a querier.
    Draw order: partition (no draw) → drop bernoulli (consumes a draw only
@@ -1061,14 +1224,72 @@ let check_tick_invariants t =
            "State: replica reverse index has %d pairs but holder lists have %d"
            rev_pairs !pairs));
   (* Sybil caps: no machine exceeds max_sybils (homogeneous) or its
-     strength (heterogeneous). *)
+     strength (heterogeneous).  Malicious machines under an enabled
+     attack plan are exempt — the adversarial injection path fabricates
+     identities past the cap by design (that is the attack). *)
+  let attack_on = Attack.enabled t.params.Params.attack in
   Array.iter
     (fun p ->
-      if p.active && sybil_count t p.pid > sybil_capacity t p.pid then
+      if
+        p.active
+        && (not (p.malicious && attack_on))
+        && sybil_count t p.pid > sybil_capacity t p.pid
+      then
         invalid_arg
           (Printf.sprintf "State: machine %d runs %d Sybils over its cap %d"
              p.pid (sybil_count t p.pid) (sybil_capacity t p.pid)))
     t.phys;
+  (* Attack laws: without a plan no machine is malicious and the attack
+     ledger is pinned to zero; with one, every adversarial join was a
+     join.  The [attackers] list and the per-machine flags must agree —
+     honest-arc accounting rests on the flag being exact. *)
+  if not attack_on then begin
+    if m.Messages.attack_joins <> 0 then
+      invalid_arg "State: attack_joins moved without an attack plan";
+    if t.attackers <> [] then
+      invalid_arg "State: attacker list nonempty without an attack plan"
+  end;
+  if m.Messages.attack_joins > m.Messages.joins then
+    invalid_arg "State: more adversarial joins than joins";
+  Array.iter
+    (fun p ->
+      if p.malicious <> List.mem p.pid t.attackers then
+        invalid_arg
+          (Printf.sprintf "State: machine %d malicious flag out of sync" p.pid))
+    t.phys;
+  (* Admission laws: with the defense off no puzzle ever starts and no
+     slot exists; with it on, slots live only on active machines and
+     their deadlines sit inside [request_tick, request_tick +
+     puzzle_cost] — i.e. never past [tick + puzzle_cost], never
+     negative.  (Due slots may linger within a tick between
+     [process_admissions] and the check — but never across ticks, hence
+     the lower bound of 0, not tick.) *)
+  if t.params.Params.puzzle_cost = 0 then begin
+    if m.Messages.puzzles <> 0 then
+      invalid_arg "State: puzzles counted with the admission defense off";
+    Array.iter
+      (fun p ->
+        if p.puzzle <> None then
+          invalid_arg "State: admission slot with the defense off")
+      t.phys
+  end
+  else
+    Array.iter
+      (fun p ->
+        match p.puzzle with
+        | None -> ()
+        | Some a ->
+          if not p.active then
+            invalid_arg
+              (Printf.sprintf "State: waiting machine %d holds an admission"
+                 p.pid);
+          if a.ready < 0 || a.ready > t.tick + t.params.Params.puzzle_cost then
+            invalid_arg
+              (Printf.sprintf
+                 "State: machine %d admission deadline %d out of range (tick \
+                  %d, cost %d)"
+                 p.pid a.ready t.tick t.params.Params.puzzle_cost))
+      t.phys;
   (* Ring-presence accounting: every machine vnode is in the ring exactly
      once, so the ring size is the sum of the per-machine lists.  (This
      fold and the holder-map walk above are O(nodes) by design — they
@@ -1137,11 +1358,13 @@ module For_testing = struct
             strength;
             original_id = (match vnode_ids with id :: _ -> id | [] -> Id.zero);
             straggler = false;
+            malicious = false;
             active = vnodes <> [];
             vnodes;
             failed_arcs = [];
             retry_attempts = 0;
             retry_at = -1;
+            puzzle = None;
           })
         machines
     in
@@ -1202,7 +1425,9 @@ module For_testing = struct
          partition victim.  Drop/burst/retry behavior still works. *)
       frng = Faults.rng ~seed:params.Params.seed;
       arng = Arrivals.rng ~seed:params.Params.seed;
+      krng = Attack.rng ~seed:params.Params.seed;
       partitioned = -1;
+      attackers = [];
       repl;
       initial_mean =
         float_of_int params.Params.tasks /. float_of_int params.Params.nodes;

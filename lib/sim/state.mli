@@ -14,11 +14,21 @@
 type payload = { owner : int }
 (** DHT vnode payload: index of the owning physical node. *)
 
+type admission = private { adm_id : Id.t; ready : int; from_attack : bool }
+(** A pending Sybil admission under the puzzle defense
+    ([Params.puzzle_cost > 0]): the vnode id requested, the tick its
+    puzzle is solved, and whether the request came through the
+    adversarial injection path (for the [attack_joins] ledger). *)
+
 type phys = private {
   pid : int;
   strength : int;  (** 1 in homogeneous networks *)
   original_id : Id.t;  (** id at first join; reused if [rejoin_fresh_id=false] *)
   straggler : bool;  (** replies arrive [straggle_delay] ticks late *)
+  malicious : bool;
+      (** drawn at setup from the attack stream iff the plan is enabled;
+          malicious machines inject eclipse Sybils and starve honest
+          work while the attack window is active *)
   mutable active : bool;
   mutable vnodes : payload Dht.vnode list;
       (** head = primary vnode; rest = Sybils.  Live ring records, not
@@ -31,6 +41,9 @@ type phys = private {
   mutable retry_attempts : int;
       (** failed smart-query attempts so far (0 = none in flight) *)
   mutable retry_at : int;  (** tick of the next retry; -1 = none pending *)
+  mutable puzzle : admission option;
+      (** the machine's single in-flight admission; always [None] with
+          the defense off, cleared on leave/crash *)
 }
 
 type repl
@@ -50,7 +63,14 @@ type t = private {
       (** dedicated arrival stream ({!Arrivals.rng}, the third stream);
           never mixes with [rng] or [frng], so {!Arrivals.none} runs are
           bit-identical to an arrivals-free build *)
+  krng : Prng.t;
+      (** dedicated attack stream ({!Attack.rng}, the fourth stream);
+          never mixes with the others, so {!Attack.none} runs are
+          bit-identical to an adversary-free build *)
   partitioned : int;  (** pid cut off during the partition window; -1 = none *)
+  attackers : int list;
+      (** pids of the malicious machines, ascending; [[]] without an
+          enabled attack plan *)
   repl : repl option;  (** [Some] iff [Params.recovery_on params] *)
   initial_mean : float;  (** tasks / nodes at start *)
   initial_tasks : int;  (** keys actually stored at setup (conservation) *)
@@ -114,7 +134,16 @@ val consume_tick : t -> int
 val create_sybil : t -> int -> Id.t -> bool
 (** [create_sybil t pid id] joins a Sybil vnode for machine [pid] at
     [id]; charges the join's expected lookup hops.  [false] if the id is
-    occupied, the machine is inactive, or it is at its Sybil cap. *)
+    occupied, the machine is inactive, or it is at its Sybil cap.
+
+    With the admission defense on ([Params.puzzle_cost > 0]) a [true]
+    return means the request was {e accepted}, not that the vnode is in
+    the ring: the machine starts its puzzle (one [puzzles] charge, plus
+    the lookup it would pay anyway) and the join lands in
+    {!process_admissions} [puzzle_cost] ticks later — or never, if the
+    machine departs or the id fills meanwhile.  A machine with an
+    admission already in flight is refused ([false]): the tax serializes
+    Sybil creation per machine. *)
 
 val retire_sybils : t -> int -> unit
 (** All of the machine's Sybils leave the ring (keys hand over). *)
@@ -182,6 +211,26 @@ val apply_arrivals : t -> int
     dedicated arrival stream; the draw-order contract is mirrored
     verbatim by the oracle (docs/TESTING.md). *)
 
+val process_admissions : t -> unit
+(** Settle due admission puzzles, ascending pid order (engine hook; a
+    draw-free no-op when [Params.puzzle_cost = 0]).  Each due slot is
+    cleared and its vnode joined — adversarial admissions additionally
+    charge [attack_joins].  A slot whose id filled while solving
+    ([`Occupied]) is simply wasted; departures already cleared theirs. *)
+
+val apply_attack : t -> unit
+(** One tick of the adversary (no-op under {!Attack.none}).  While the
+    plan's window covers the current tick, each still-active malicious
+    machine — ascending pid order — injects Sybils into the targeted
+    arc: with the defense off, [strength] immediate cap-bypassing joins
+    per tick (one attack-stream draw each); with it on, one placement
+    draw iff the machine's admission slot is free (the puzzle tax
+    throttles even the adversary).  The tick the window closes, every
+    still-active malicious machine crashes in one event ({!fail_phys}
+    semantics).  All randomness is on the dedicated attack stream; the
+    draw-order contract is mirrored verbatim by the oracle
+    (docs/TESTING.md). *)
+
 val load_reference : t -> float
 (** The overload bar Invitation measures workloads against: the frozen
     setup mean ([initial_mean], the paper's rule) for batch runs, the
@@ -223,7 +272,8 @@ val is_partitioned : t -> int -> bool
 val can_decide : t -> int -> bool
 (** Strategies gate their per-machine decision on this: a partitioned
     machine cannot coordinate, so its decisions are suppressed for the
-    window. *)
+    window — and a malicious machine runs no honest balancing logic
+    while its attack plan is active. *)
 
 val reply_outcome : t -> from_pid:int -> [ `Ok | `Dropped | `Delayed ]
 (** Fate of one control-plane reply sent by [from_pid].  Partitioned
@@ -282,7 +332,15 @@ val check_tick_invariants : t -> unit
       every ring vnode belongs to exactly one active machine (via
       {!check_invariants});
     - {b Sybil caps}: no machine exceeds [max_sybils] (homogeneous) or
-      its strength (heterogeneous);
+      its strength (heterogeneous) — except malicious machines under an
+      enabled attack plan, whose injection path bypasses the cap by
+      design;
+    - {b attack laws}: without a plan, no machine is malicious and
+      [attack_joins] is pinned to zero; with one, [attack_joins <=
+      joins] and the attacker list matches the per-machine flags;
+    - {b admission laws}: with the defense off, no admission slot exists
+      and [puzzles] is pinned to zero; with it on, slots live only on
+      active machines with deadlines within [puzzle_cost] of now;
     - {b ring-presence accounting}: ring size equals the sum of the
       machines' vnode lists;
     - {b message accounting}: [joins - leaves] equals the ring size.

@@ -293,17 +293,29 @@ let test_validate_rejects () =
     (Arrivals.validate Arrivals.none)
 
 let test_of_string_errors () =
-  let bad l s =
+  (* Same contract as fault specs: a rejection must NAME the problem —
+     an unknown key lists the valid ones, a duplicate says which key
+     repeated — so a CLI typo is a one-read fix. *)
+  let bad l s sub =
     match Arrivals.of_string s with
     | Ok _ -> Alcotest.failf "%s: expected parse error for %S" l s
-    | Error _ -> ()
+    | Error e ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      if not (contains e sub) then
+        Alcotest.failf "%s: error %S does not mention %S" l e sub
   in
-  bad "unknown key" "nonsense=3";
-  bad "duplicate key" "poisson=2,poisson=3";
-  bad "two profiles" "poisson=1,burst=1:2:1:1";
-  bad "profile missing" "hot=2:0.1:1.0";
-  bad "negative rate" "poisson=-1";
-  bad "arity" "burst=1:2:3";
+  bad "unknown key" "nonsense=3" "valid keys:";
+  bad "unknown key named" "nonsense=3" "nonsense";
+  bad "duplicate key" "poisson=2,poisson=3" "duplicate arrival key";
+  bad "duplicate key named" "poisson=2,poisson=3" "poisson";
+  bad "two profiles" "poisson=1,burst=1:2:1:1" "profile";
+  bad "profile missing" "hot=2:0.1:1.0" "profile";
+  bad "negative rate" "poisson=-1" "rate";
+  bad "arity" "burst=1:2:3" "burst";
   (match Arrivals.of_string "" with
   | Ok t ->
     Alcotest.(check bool) "empty spec is off" false (Arrivals.enabled t)

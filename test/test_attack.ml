@@ -1,0 +1,503 @@
+(* The adversarial Sybil plane (lib/adversary) and its admission-puzzle
+   defense.
+
+   Four concerns, in order:
+
+   - BIT-IDENTITY PINS: the attack-off digests below were recorded from
+     the engine BEFORE the adversary existed (the PR 7 open-system
+     engine), under the heaviest config in the suite — faults + live
+     replication + hot-key Poisson arrivals — for all 8 strategies.  A
+     run with [Attack.none] and [puzzle_cost = 0] must still reproduce
+     every one of them exactly, proving the attack plumbing is
+     invisible when off.  A mismatch means a draw leaked onto one of
+     the PRNG streams or the tick loop reordered.  The attack-on and
+     defended digests were recorded once at introduction and lock the
+     adversary's own draw order.
+
+   - STREAM CONTRACTS: [Attack.rng] is the fourth split (fault,
+     discarded, arrival, attack), [inject_id] consumes exactly one
+     draw and always lands inside the eclipsed arc.
+
+   - PLAN / DEFENSE SEMANTICS: validation and CLI-spec algebra, the
+     one-slot admission deferral of [State.create_sybil] under
+     [puzzle_cost > 0], and the window-close crash that fells every
+     still-active attacker at once.
+
+   - ATTACK LAWS: conservation and the full invariant harness forced
+     on every tick across all strategies while an attack runs; the
+     defense measurably throttles the attacker; an eclipse delays a
+     batch run. *)
+
+(* ---- golden pins ------------------------------------------------- *)
+
+let digest params strat =
+  let state = State.create params in
+  let r = Engine.run_state ~sink:Trace.Memory ~metrics:false state strat in
+  let ticks =
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+  in
+  let m = r.Engine.messages in
+  [
+    ticks;
+    state.State.work_done_total;
+    State.remaining_tasks state;
+    r.Engine.final_vnodes;
+    r.Engine.final_active;
+    m.Messages.joins;
+    m.Messages.leaves;
+    m.Messages.key_transfers;
+    m.Messages.workload_queries;
+    m.Messages.invitations;
+    m.Messages.lookup_hops;
+    m.Messages.replications;
+    m.Messages.dropped;
+    m.Messages.retries;
+    m.Messages.tasks_lost;
+    m.Messages.attack_joins;
+    m.Messages.puzzles;
+  ]
+
+(* The full-stack open-system config of test_arrivals (faults + live
+   replication + hot-key Poisson arrivals at seed 97). *)
+let config_open =
+  {
+    (Params.default ~nodes:120 ~tasks:4000) with
+    Params.seed = 97;
+    churn_rate = 0.03;
+    failure_rate = 0.02;
+    heterogeneity = Params.Heterogeneous;
+    replicas = 2;
+    repair_lag = 3;
+    faults =
+      {
+        Faults.none with
+        Faults.drop = 0.05;
+        crash_bursts =
+          [ { Faults.at = 6; count = 25 }; { Faults.at = 18; count = 10 } ];
+        stragglers = 12;
+        partition = Some (4, 16);
+        repl_drop = 0.1;
+      };
+    arrivals =
+      {
+        Arrivals.profile = Some (Arrivals.Poisson { rate = 30.0 });
+        keys = Arrivals.Hot { hotspots = 3; spread = 0.05; zipf_s = 1.1 };
+        horizon = 30;
+        window = 6;
+      };
+  }
+
+let pin_plan =
+  {
+    Attack.strength = 2;
+    machines = 3;
+    target = 0.25;
+    width = 0.1;
+    window = Some (2, 20);
+  }
+
+let config_attack = { config_open with Params.attack = pin_plan }
+let config_defended = { config_attack with Params.puzzle_cost = 2 }
+
+let config_of = function
+  | "open" -> config_open
+  | "attack" -> config_attack
+  | "defended" -> config_defended
+  | c -> Alcotest.failf "unknown pin config %S" c
+
+(* (config, strategy, [ticks; work_done; remaining; final_vnodes;
+    final_active; joins; leaves; key_transfers; workload_queries;
+    invitations; lookup_hops; replications; dropped; retries;
+    tasks_lost; attack_joins; puzzles]).  The "open" rows were recorded
+    from the PRE-ADVERSARY engine (attack_joins/puzzles trivially 0);
+    the "attack" and "defended" rows at the adversary's introduction. *)
+let goldens =
+  [
+    ("open", "none", [ 30; 2520; 1890; 117; 117; 325; 208; 10073; 0; 0; 4500; 23938; 0; 0; 510; 0; 0 ]);
+    ("open", "churn", [ 30; 2520; 1890; 117; 117; 325; 208; 10073; 0; 0; 4500; 23938; 0; 0; 510; 0; 0 ]);
+    ("open", "random", [ 30; 2978; 1841; 183; 126; 451; 268; 12006; 0; 0; 5004; 25580; 0; 0; 101; 0; 0 ]);
+    ("open", "neighbor", [ 30; 3110; 1606; 172; 119; 448; 276; 10791; 0; 0; 4992; 22150; 0; 0; 204; 0; 0 ]);
+    ("open", "smart-neighbor", [ 30; 2990; 1707; 163; 119; 415; 252; 11133; 880; 0; 4860; 22132; 50; 60; 223; 0; 0 ]);
+    ("open", "invitation", [ 30; 2829; 1890; 125; 110; 362; 237; 11198; 498; 525; 4648; 23797; 19; 0; 201; 0; 0 ]);
+    ("open", "strength-aware", [ 30; 3013; 1788; 156; 118; 397; 241; 10862; 355; 0; 4788; 22507; 22; 0; 119; 0; 0 ]);
+    ("open", "static-vnodes", [ 30; 3039; 1668; 425; 116; 1207; 782; 14533; 0; 0; 9813; 27045; 0; 0; 213; 0; 0 ]);
+    ("attack", "none", [ 30; 2404; 2150; 113; 113; 406; 293; 12224; 0; 0; 4824; 26312; 0; 0; 366; 84; 0 ]);
+    ("attack", "churn", [ 30; 2404; 2150; 113; 113; 406; 293; 12224; 0; 0; 4824; 26312; 0; 0; 366; 84; 0 ]);
+    ("attack", "random", [ 30; 2936; 1846; 163; 112; 498; 335; 13850; 0; 0; 5192; 25590; 0; 0; 138; 46; 0 ]);
+    ("attack", "neighbor", [ 30; 2936; 1397; 177; 121; 492; 315; 10145; 0; 0; 5168; 22808; 0; 0; 587; 44; 0 ]);
+    ("attack", "smart-neighbor", [ 30; 2788; 1761; 143; 112; 508; 365; 12560; 765; 0; 5232; 25898; 50; 59; 371; 100; 0 ]);
+    ("attack", "invitation", [ 30; 2606; 1893; 135; 122; 430; 295; 11619; 392; 425; 4920; 26541; 25; 0; 421; 68; 0 ]);
+    ("attack", "strength-aware", [ 30; 2842; 1699; 169; 127; 521; 352; 12603; 480; 0; 5284; 24985; 28; 0; 379; 92; 0 ]);
+    ("attack", "static-vnodes", [ 30; 2975; 1695; 393; 113; 1252; 859; 15770; 0; 0; 10038; 28344; 0; 0; 250; 84; 0 ]);
+    ("defended", "none", [ 30; 2482; 2322; 107; 107; 337; 230; 13584; 0; 0; 4556; 27628; 0; 0; 116; 15; 17 ]);
+    ("defended", "churn", [ 30; 2482; 2322; 107; 107; 337; 230; 13584; 0; 0; 4556; 27628; 0; 0; 116; 15; 17 ]);
+    ("defended", "random", [ 30; 2945; 1804; 152; 118; 442; 290; 12004; 0; 0; 5092; 24647; 0; 0; 171; 18; 141 ]);
+    ("defended", "neighbor", [ 30; 2847; 1506; 153; 115; 424; 271; 9829; 0; 0; 5044; 21534; 0; 0; 567; 11; 139 ]);
+    ("defended", "smart-neighbor", [ 30; 2760; 2014; 128; 108; 379; 251; 11309; 615; 0; 4816; 24849; 27; 36; 146; 15; 90 ]);
+    ("defended", "invitation", [ 30; 2717; 1973; 128; 115; 383; 255; 10535; 488; 530; 4756; 24457; 26; 0; 230; 20; 60 ]);
+    ("defended", "strength-aware", [ 30; 2658; 1556; 152; 118; 401; 249; 10923; 375; 0; 4868; 23821; 16; 0; 706; 12; 89 ]);
+    ("defended", "static-vnodes", [ 30; 3042; 1786; 333; 126; 797; 464; 14486; 0; 0; 7508; 25296; 0; 0; 92; 17; 543 ]);
+  ]
+
+let test_pin (cname, sname, expected) () =
+  let s =
+    match Strategy.of_name sname with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let params = Strategy.default_params s (config_of cname) in
+  Alcotest.(check (list int))
+    (Printf.sprintf "config %s / %s digest" cname sname)
+    expected
+    (digest params (Strategy.make s ()))
+
+(* ---- stream contracts -------------------------------------------- *)
+
+let test_attack_stream_is_fourth () =
+  (* [Attack.rng ~seed] must be the THIRD SplitMix64 child of a parent
+     seeded with [seed] — after the fault (first) and arrival (second)
+     children, the fourth stream overall counting the main one. *)
+  let parent = Prng.create 23 in
+  let (_ : Prng.t) = Prng.split parent in
+  let (_ : Prng.t) = Prng.split parent in
+  let third = Prng.split parent in
+  let atk = Attack.rng ~seed:23 in
+  Alcotest.(check int64) "third split" (Prng.bits64 third) (Prng.bits64 atk);
+  (* Drawing from the attack stream leaves the other streams' sequences
+     exactly where a fresh derivation puts them. *)
+  let atk' = Attack.rng ~seed:23 in
+  for _ = 1 to 10 do
+    ignore (Prng.float_unit atk')
+  done;
+  Alcotest.(check int64) "fault stream untouched"
+    (Prng.bits64 (Faults.rng ~seed:23))
+    (Prng.bits64 (Faults.rng ~seed:23));
+  Alcotest.(check int64) "arrival stream untouched"
+    (Prng.bits64 (Arrivals.rng ~seed:23))
+    (Prng.bits64 (Arrivals.rng ~seed:23))
+
+let test_inject_id_contract () =
+  let plan =
+    { Attack.strength = 1; machines = 1; target = 0.25; width = 0.1;
+      window = None }
+  in
+  (* Exactly one [float_unit] draw per call: after one inject_id, the
+     stream sits where one manual draw leaves a twin stream. *)
+  let r1 = Attack.rng ~seed:7 and r2 = Attack.rng ~seed:7 in
+  let id = Attack.inject_id r1 plan in
+  let (_ : float) = Prng.float_unit r2 in
+  Alcotest.(check int64) "one draw consumed" (Prng.bits64 r2) (Prng.bits64 r1);
+  (* Every placement lands inside the eclipsed arc [target,
+     target + width). *)
+  let in_arc id =
+    let f = Id.to_fraction id in
+    f >= 0.25 && f < 0.35 +. 1e-9
+  in
+  Alcotest.(check bool) "first placement in arc" true (in_arc id);
+  let r = Attack.rng ~seed:99 in
+  for _ = 1 to 200 do
+    if not (in_arc (Attack.inject_id r plan)) then
+      Alcotest.fail "placement escaped the eclipsed arc"
+  done
+
+(* ---- plan algebra ------------------------------------------------ *)
+
+let test_plan_predicates () =
+  Alcotest.(check bool) "none disabled" false (Attack.enabled Attack.none);
+  let windowed =
+    { Attack.strength = 1; machines = 2; target = 0.0; width = 0.5;
+      window = Some (3, 7) }
+  in
+  Alcotest.(check bool) "enabled" true (Attack.enabled windowed);
+  Alcotest.(check bool) "inactive before start" false
+    (Attack.active windowed ~tick:2);
+  Alcotest.(check bool) "active at start" true (Attack.active windowed ~tick:3);
+  Alcotest.(check bool) "inactive at stop" false
+    (Attack.active windowed ~tick:7);
+  Alcotest.(check (option int)) "crashes at stop" (Some 7)
+    (Attack.crash_tick windowed);
+  let always = { windowed with Attack.window = None } in
+  Alcotest.(check bool) "unwindowed always active" true
+    (Attack.active always ~tick:1_000);
+  Alcotest.(check (option int)) "unwindowed never retreats" None
+    (Attack.crash_tick always);
+  Alcotest.(check (option int)) "disabled never crashes" None
+    (Attack.crash_tick { windowed with Attack.strength = 0; machines = 0 })
+
+let test_validate_rejects () =
+  let bad l t =
+    match Attack.validate t with
+    | Ok () -> Alcotest.failf "%s: expected rejection" l
+    | Error _ -> ()
+  in
+  bad "negative strength" { Attack.none with Attack.strength = -1 };
+  bad "strength without machines" { Attack.none with Attack.strength = 2 };
+  bad "machines without strength" { Attack.none with Attack.machines = 2 };
+  bad "target at 1"
+    { Attack.none with Attack.strength = 1; machines = 1; target = 1.0 };
+  bad "zero width"
+    { Attack.none with Attack.strength = 1; machines = 1; width = 0.0 };
+  bad "width above 1"
+    { Attack.none with Attack.strength = 1; machines = 1; width = 1.5 };
+  bad "negative window start"
+    { Attack.none with
+      Attack.strength = 1;
+      machines = 1;
+      window = Some (-1, 3) };
+  bad "empty window"
+    { Attack.none with Attack.strength = 1; machines = 1; window = Some (5, 5) };
+  Alcotest.(check (result unit string)) "none validates" (Ok ())
+    (Attack.validate Attack.none)
+
+let test_of_string_errors () =
+  let bad l s sub =
+    match Attack.of_string s with
+    | Ok _ -> Alcotest.failf "%s: expected parse error for %S" l s
+    | Error e ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      if not (contains e sub) then
+        Alcotest.failf "%s: error %S does not mention %S" l e sub
+  in
+  bad "unknown key" "nonsense=3" "valid keys: strength, machines, target, width, window";
+  bad "duplicate key" "strength=1,machines=1,strength=2" "duplicate attack key";
+  bad "window arity" "strength=1,machines=1,window=5" "START:STOP";
+  bad "non-integer" "strength=two,machines=1" "expected an integer";
+  bad "strength alone fails validation" "strength=3" "together";
+  (match Attack.of_string "" with
+  | Ok t -> Alcotest.(check bool) "empty spec is off" false (Attack.enabled t)
+  | Error e -> Alcotest.failf "empty spec rejected: %s" e);
+  match Attack.of_string "off" with
+  | Ok t -> Alcotest.(check bool) "off spec is off" false (Attack.enabled t)
+  | Error e -> Alcotest.failf "off spec rejected: %s" e
+
+(* Exactly-representable decimals so the %g print/parse cycle is
+   lossless. *)
+let gen_plan =
+  QCheck.Gen.(
+    let* strength = int_range 1 9 in
+    let* machines = int_range 1 9 in
+    let* target = oneofl [ 0.0; 0.25; 0.5; 0.75 ] in
+    let* width = oneofl [ 0.05; 0.1; 0.5; 1.0 ] in
+    let* window =
+      oneof
+        [
+          return None;
+          (let* start = int_range 0 20 in
+           let* len = int_range 1 30 in
+           return (Some (start, start + len)));
+        ]
+    in
+    return { Attack.strength; machines; target; width; window })
+
+let prop_spec_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"of_string (to_string t) = Ok t"
+       (QCheck.make gen_plan ~print:Attack.to_string)
+       (fun t ->
+         match Attack.of_string (Attack.to_string t) with
+         | Ok t' -> t' = t
+         | Error e -> QCheck.Test.fail_reportf "rejected own spec: %s" e))
+
+(* ---- defense semantics: one-slot admission deferral --------------- *)
+
+let quiet_params =
+  {
+    (Params.default ~nodes:16 ~tasks:400) with
+    Params.seed = 11;
+    churn_rate = 0.0;
+    failure_rate = 0.0;
+  }
+
+let test_admission_deferral () =
+  let st = State.create { quiet_params with Params.puzzle_cost = 2 } in
+  let v0 = State.vnode_count st in
+  let m = Dht.messages st.State.dht in
+  Alcotest.(check bool) "request accepted" true
+    (State.create_sybil st 0 (Id.of_fraction 0.93));
+  Alcotest.(check int) "join deferred" v0 (State.vnode_count st);
+  Alcotest.(check int) "one puzzle issued" 1 m.Messages.puzzles;
+  Alcotest.(check bool) "slot busy: second request refused" false
+    (State.create_sybil st 0 (Id.of_fraction 0.94));
+  Alcotest.(check int) "refusal issues no puzzle" 1 m.Messages.puzzles;
+  (* cost = 2: due at tick 2, not before. *)
+  State.process_admissions st;
+  Alcotest.(check int) "not due at tick 0" v0 (State.vnode_count st);
+  State.advance_tick st;
+  State.process_admissions st;
+  Alcotest.(check int) "not due at tick 1" v0 (State.vnode_count st);
+  State.advance_tick st;
+  State.process_admissions st;
+  Alcotest.(check int) "joined at tick 2" (v0 + 1) (State.vnode_count st);
+  Alcotest.(check int) "benign join: no attack_joins" 0 m.Messages.attack_joins;
+  Alcotest.(check bool) "slot freed: next request accepted" true
+    (State.create_sybil st 0 (Id.of_fraction 0.95));
+  Alcotest.(check int) "second puzzle issued" 2 m.Messages.puzzles
+
+let test_zero_cost_admits_immediately () =
+  let st = State.create quiet_params in
+  let v0 = State.vnode_count st in
+  let m = Dht.messages st.State.dht in
+  Alcotest.(check bool) "immediate join" true
+    (State.create_sybil st 0 (Id.of_fraction 0.93));
+  Alcotest.(check int) "vnode landed" (v0 + 1) (State.vnode_count st);
+  Alcotest.(check int) "no puzzles without the defense" 0 m.Messages.puzzles
+
+(* ---- window-close crash ------------------------------------------ *)
+
+let test_window_close_crash () =
+  let params =
+    {
+      quiet_params with
+      Params.attack =
+        { Attack.strength = 1; machines = 3; target = 0.0; width = 0.2;
+          window = Some (0, 3) };
+    }
+  in
+  let st = State.create params in
+  Alcotest.(check int) "three attackers drawn" 3 (List.length st.State.attackers);
+  List.iter
+    (fun pid ->
+      Alcotest.(check bool) "attacker flagged" true
+        st.State.phys.(pid).State.malicious;
+      Alcotest.(check bool) "attacker starts active" true
+        st.State.phys.(pid).State.active)
+    st.State.attackers;
+  for _tick = 0 to 3 do
+    State.apply_attack st;
+    State.advance_tick st
+  done;
+  let m = Dht.messages st.State.dht in
+  Alcotest.(check bool) "eclipse Sybils landed" true (m.Messages.attack_joins > 0);
+  List.iter
+    (fun pid ->
+      Alcotest.(check bool) "attacker crashed at window close" false
+        st.State.phys.(pid).State.active)
+    st.State.attackers;
+  State.check_tick_invariants st
+
+(* ---- attack laws across all strategies --------------------------- *)
+
+let battle_params =
+  {
+    (Params.default ~nodes:40 ~tasks:1_500) with
+    Params.seed = 19;
+    churn_rate = 0.02;
+    replicas = 2;
+    check_every_tick = true;
+    attack =
+      { Attack.strength = 2; machines = 3; target = 0.3; width = 0.15;
+        window = Some (2, 12) };
+  }
+
+let test_attack_conservation strat () =
+  let run params =
+    let params = Strategy.default_params strat params in
+    let state = State.create params in
+    let r =
+      Engine.run_state ~sink:Trace.Memory ~metrics:false state
+        (Strategy.make strat ())
+    in
+    (state, r)
+  in
+  let state, r = run battle_params in
+  (match r.Engine.outcome with
+  | Engine.Finished _ -> ()
+  | Engine.Aborted t -> Alcotest.failf "aborted at %d" t);
+  let m = r.Engine.messages in
+  Alcotest.(check int) "conservation: done + queued + lost = initial"
+    state.State.initial_tasks
+    (state.State.work_done_total + State.remaining_tasks state
+   + m.Messages.tasks_lost);
+  Alcotest.(check bool) "the attacker landed Sybils" true
+    (m.Messages.attack_joins > 0);
+  (* The defense throttles the same plan: fewer eclipse Sybils land,
+     and every admission paid a puzzle. *)
+  let _, rd = run { battle_params with Params.puzzle_cost = 3 } in
+  let md = rd.Engine.messages in
+  Alcotest.(check bool) "defense throttles the attacker" true
+    (md.Messages.attack_joins < m.Messages.attack_joins);
+  Alcotest.(check bool) "puzzles were issued" true (md.Messages.puzzles > 0)
+
+let test_eclipse_delays_batch () =
+  (* A quiet batch ring, no strategy: during the window the attackers do
+     no honest work and the eclipsed keys sit hostage, so the makespan
+     can only grow. *)
+  let base =
+    {
+      (Params.default ~nodes:30 ~tasks:1_000) with
+      Params.seed = 5;
+      churn_rate = 0.0;
+      failure_rate = 0.0;
+    }
+  in
+  let ticks params =
+    match (Engine.run params Engine.no_strategy).Engine.outcome with
+    | Engine.Finished t -> t
+    | Engine.Aborted t -> Alcotest.failf "aborted at %d" t
+  in
+  let quiet = ticks base in
+  let attacked =
+    ticks
+      {
+        base with
+        Params.attack =
+          { Attack.strength = 2; machines = 5; target = 0.0; width = 0.2;
+            window = Some (0, 8) };
+      }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "eclipse delays completion (%d > %d)" attacked quiet)
+    true (attacked > quiet)
+
+let () =
+  let pins =
+    List.map
+      (fun ((c, s, _) as g) ->
+        Alcotest.test_case (Printf.sprintf "%s/%s" c s) `Slow (test_pin g))
+      goldens
+  in
+  let conservation =
+    List.map
+      (fun strat ->
+        Alcotest.test_case
+          (Printf.sprintf "conservation + defense %s" (Strategy.name strat))
+          `Slow
+          (test_attack_conservation strat))
+      Strategy.all
+  in
+  Alcotest.run "attack"
+    [
+      ("bit-identity pins", pins);
+      ( "stream contracts",
+        [
+          Alcotest.test_case "attack stream is the fourth split" `Quick
+            test_attack_stream_is_fourth;
+          Alcotest.test_case "inject_id: one draw, inside the arc" `Quick
+            test_inject_id_contract;
+        ] );
+      ( "plan algebra",
+        [
+          Alcotest.test_case "enabled / active / crash_tick" `Quick
+            test_plan_predicates;
+          Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+          Alcotest.test_case "of_string errors" `Quick test_of_string_errors;
+          prop_spec_roundtrip;
+        ] );
+      ( "defense semantics",
+        [
+          Alcotest.test_case "one-slot admission deferral" `Quick
+            test_admission_deferral;
+          Alcotest.test_case "zero cost admits immediately" `Quick
+            test_zero_cost_admits_immediately;
+          Alcotest.test_case "window-close crash" `Quick
+            test_window_close_crash;
+        ] );
+      ( "attack laws",
+        Alcotest.test_case "eclipse delays a batch run" `Quick
+          test_eclipse_delays_batch
+        :: conservation );
+    ]

@@ -162,6 +162,28 @@ let test_recovery_sweep_small () =
   Alcotest.(check bool) "csv header" true
     (contains (Export.recovery_sweep_csv cells) "measured_loss_rate")
 
+let test_attack_sweep_small () =
+  let cells =
+    Attack_sweep.run ~trials:1 ~seed:13 ~nodes:24 ~tasks:1_000 ~window:(2, 10)
+      ~strengths:[ 0; 3 ] ~puzzle_costs:[ 0 ] ()
+  in
+  Alcotest.(check int) "two cells" 2 (List.length cells);
+  (match cells with
+  | [ baseline; attacked ] ->
+    Alcotest.(check (float 1e-9)) "no attacker, no attack joins" 0.0
+      baseline.Attack_sweep.mean_attack_joins;
+    Alcotest.(check bool) "attacker injects" true
+      (attacked.Attack_sweep.mean_attack_joins > 0.0);
+    Alcotest.(check (float 1e-9)) "defense off, no puzzles" 0.0
+      attacked.Attack_sweep.mean_puzzles
+  | _ -> Alcotest.fail "cell shape");
+  let printed = Attack_sweep.print_table cells in
+  Alcotest.(check bool) "table header" true (contains printed "puzzle");
+  let csv = Export.attack_sweep_csv cells in
+  Alcotest.(check bool) "csv header" true (contains csv "mean_attack_joins");
+  Alcotest.(check bool) "csv tracks tasks_lost" true
+    (contains csv "mean_tasks_lost")
+
 let test_lookup_hops_scaling () =
   let rows = Lookup_hops.run ~seed:9 ~sizes:[ 64; 512 ] ~lookups:200 () in
   (match rows with
@@ -232,6 +254,7 @@ let () =
           Alcotest.test_case "maintenance" `Quick test_maintenance_small;
           Alcotest.test_case "failure recovery" `Quick test_failure_recovery_small;
           Alcotest.test_case "recovery sweep" `Quick test_recovery_sweep_small;
+          Alcotest.test_case "attack sweep" `Quick test_attack_sweep_small;
           Alcotest.test_case "lookup hops" `Quick test_lookup_hops_scaling;
           Alcotest.test_case "work timeline" `Quick test_work_timeline;
           Alcotest.test_case "export csvs" `Quick test_export_csvs_shape;

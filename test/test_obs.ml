@@ -61,6 +61,70 @@ let test_metrics_accumulates () =
   Alcotest.(check (float 1e-9)) "consume untouched" 0.0 r.Metrics.consume_s;
   Alcotest.(check bool) "wall clock moved" true (r.Metrics.wall_s >= 0.0)
 
+(* ---- steady-state collector edges -------------------------------- *)
+
+(* A trailing partial window must divide its rates by the ticks it
+   actually saw, not the nominal window length — otherwise a horizon
+   that is not a multiple of the window under-reports the tail's
+   throughput. *)
+let test_steady_partial_window_rates () =
+  let sc = Steady.create ~window:4 in
+  (* 6 ticks at 3 arrivals / 2 completions each: one full window, then
+     a 2-tick tail. *)
+  for _ = 1 to 6 do
+    Steady.note sc ~arrivals:3 ~completions:2 ~queue:5 ~sybils:1 ~sojourns:[ 1 ]
+  done;
+  let w = Steady.windows sc in
+  Alcotest.(check int) "full + partial" 2 (Array.length w);
+  Alcotest.(check int) "tail saw 2 ticks" 2 w.(1).Steady.ticks;
+  Alcotest.(check int) "tail starts after the full window" 4
+    w.(1).Steady.start_tick;
+  Alcotest.(check (float 1e-9)) "tail arrival rate over 2 ticks" 3.0
+    w.(1).Steady.arrival_rate;
+  Alcotest.(check (float 1e-9)) "tail completion rate over 2 ticks" 2.0
+    w.(1).Steady.completion_rate;
+  Alcotest.(check (float 1e-9)) "tail sybil mean over 2 ticks" 1.0
+    w.(1).Steady.sybil_mean
+
+(* The fold over per-tick Sybil samples starts at (max_int, min_int);
+   a window with no ticks recorded yet must clamp both to 0, not leak
+   the sentinels. *)
+let test_steady_empty_sybil_extremes () =
+  let sc = Steady.create ~window:3 in
+  Steady.note sc ~arrivals:0 ~completions:0 ~queue:0 ~sybils:0 ~sojourns:[];
+  let w = Steady.windows sc in
+  Alcotest.(check int) "one partial window" 1 (Array.length w);
+  Alcotest.(check int) "sybil_min clamped" 0 w.(0).Steady.sybil_min;
+  Alcotest.(check int) "sybil_max clamped" 0 w.(0).Steady.sybil_max
+
+(* A run whose every window saw no completion has all-NaN sojourn
+   percentiles; Runner's steady aggregation must skip them and report
+   NaN rather than raise or average garbage. *)
+let test_steady_all_nan_survives_runner () =
+  let params =
+    {
+      (Params.default ~nodes:10 ~tasks:0) with
+      Params.arrivals =
+        {
+          Arrivals.profile = Some (Arrivals.Poisson { rate = 0.0 });
+          keys = Arrivals.Uniform;
+          horizon = 8;
+          window = 3;
+        };
+    }
+  in
+  let a = Runner.run_trials ~trials:2 params (Strategy.make Strategy.No_strategy) in
+  Alcotest.(check bool) "open system" true a.Runner.open_system;
+  Alcotest.(check (float 1e-9)) "nothing arrived" 0.0 a.Runner.mean_arrived;
+  Alcotest.(check bool) "sojourn p50 stays NaN" true
+    (Float.is_nan a.Runner.steady_sojourn_p50);
+  Alcotest.(check bool) "sojourn p99 stays NaN" true
+    (Float.is_nan a.Runner.steady_sojourn_p99);
+  (* Queue percentiles still aggregate: the queue was observed (empty)
+     every tick, so they are real zeros, not NaN. *)
+  Alcotest.(check (float 1e-9)) "queue p95 is a real 0" 0.0
+    a.Runner.steady_queue_p95
+
 let test_metrics_lap_chain () =
   let m = Metrics.create ~enabled:true () in
   let t0 = Metrics.start m in
@@ -84,5 +148,14 @@ let () =
           Alcotest.test_case "disabled inert" `Quick test_metrics_disabled_is_inert;
           Alcotest.test_case "accumulates" `Quick test_metrics_accumulates;
           Alcotest.test_case "lap chain" `Quick test_metrics_lap_chain;
+        ] );
+      ( "steady edges",
+        [
+          Alcotest.test_case "partial window uses actual ticks" `Quick
+            test_steady_partial_window_rates;
+          Alcotest.test_case "empty sybil extremes clamp to 0" `Quick
+            test_steady_empty_sybil_extremes;
+          Alcotest.test_case "all-NaN sojourns survive aggregation" `Quick
+            test_steady_all_nan_survives_runner;
         ] );
     ]

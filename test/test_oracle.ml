@@ -133,6 +133,8 @@ type scenario = {
   replicas : int;
   repair_lag : int;
   arrivals : Arrivals.t;
+  attack : Attack.t;
+  puzzle_cost : int;
 }
 
 let params_of (s : scenario) =
@@ -142,6 +144,8 @@ let params_of (s : scenario) =
     replicas = s.replicas;
     repair_lag = s.repair_lag;
     arrivals = s.arrivals;
+    attack = s.attack;
+    puzzle_cost = s.puzzle_cost;
     churn_rate = s.churn;
     failure_rate = s.fail;
     heterogeneity = (if s.hetero then Params.Heterogeneous else Params.Homogeneous);
@@ -165,12 +169,12 @@ let print_scenario strat s =
     "strategy=%s nodes=%d tasks=%d churn=%g fail=%g hetero=%b strength_work=%b \
      clustered=%b threshold=%d period=%d stagger=%b rejoin_fresh=%b \
      split_median=%b avoid_repeats=%b max_ticks_factor=%d Params.seed=%d \
-     faults=%s replicas=%d repair_lag=%d arrivals=%s"
+     faults=%s replicas=%d repair_lag=%d arrivals=%s attack=%s puzzle_cost=%d"
     (Strategy.name strat) s.nodes s.tasks s.churn s.fail s.hetero
     s.strength_work s.clustered s.sybil_threshold s.period s.stagger
     s.rejoin_fresh s.split_median s.avoid_repeats s.max_ticks_factor s.seed
     (Faults.to_string s.faults) s.replicas s.repair_lag
-    (Arrivals.to_string s.arrivals)
+    (Arrivals.to_string s.arrivals) (Attack.to_string s.attack) s.puzzle_cost
 
 let gen_scenario =
   QCheck.Gen.(
@@ -270,6 +274,26 @@ let gen_scenario =
             return { Arrivals.profile = Some profile; keys; horizon; window } );
         ]
     in
+    (* Half the scenarios run attack-free (the adversary must stay
+       invisible when off); the rest sweep strength, the attacker count,
+       the target arc, windowed vs. always-on plans (a window exercises
+       the coordinated crash), and the puzzle defense. *)
+    let* attack =
+      frequency
+        [
+          (1, return Attack.none);
+          ( 1,
+            let* strength = int_range 1 3 in
+            let* machines = int_range 1 3 in
+            let* target = oneofl [ 0.0; 0.25; 0.7 ] in
+            let* width = oneofl [ 0.05; 0.2 ] in
+            let* window = oneofl [ None; Some (2, 8); Some (0, 5) ] in
+            return { Attack.strength; machines; target; width; window } );
+        ]
+    in
+    let* puzzle_cost =
+      frequency [ (2, return 0); (1, int_range 1 3) ]
+    in
     return
       {
         nodes;
@@ -291,6 +315,8 @@ let gen_scenario =
         replicas;
         repair_lag;
         arrivals;
+        attack;
+        puzzle_cost;
       })
 
 (* A divergence shrinks toward the boring end of every axis: fewer
@@ -360,6 +386,23 @@ let shrink_scenario (s : scenario) yield =
           s with
           arrivals = { a with Arrivals.profile = Some (Arrivals.Poisson { rate }) };
         }
+  end;
+  (* The adversary shrinks toward off, then toward one weak attacker on
+     an always-on plan (no coordinated crash), so a divergence pinpoints
+     the responsible attack axis; the defense shrinks toward off. *)
+  if Attack.enabled s.attack then begin
+    yield { s with attack = Attack.none };
+    let a = s.attack in
+    if a.Attack.strength > 1 then
+      yield { s with attack = { a with Attack.strength = 1 } };
+    if a.Attack.machines > 1 then
+      yield { s with attack = { a with Attack.machines = 1 } };
+    if a.Attack.window <> None then
+      yield { s with attack = { a with Attack.window = None } }
+  end;
+  if s.puzzle_cost > 0 then begin
+    yield { s with puzzle_cost = 0 };
+    if s.puzzle_cost > 1 then yield { s with puzzle_cost = 1 }
   end
 
 let arb_scenario strat =
@@ -450,6 +493,8 @@ let compare_runs (strat : Strategy.t) (s : scenario) =
         ("dropped", em.Messages.dropped, om.Oracle.dropped);
         ("retries", em.Messages.retries, om.Oracle.retries);
         ("tasks_lost", em.Messages.tasks_lost, om.Oracle.tasks_lost);
+        ("attack_joins", em.Messages.attack_joins, om.Oracle.attack_joins);
+        ("puzzles", em.Messages.puzzles, om.Oracle.puzzles);
       ]
     in
     match List.find_opt (fun (_, a, b) -> a <> b) pairs with
@@ -536,6 +581,8 @@ let test_oracle_stressed strat () =
       replicas = 0;
       repair_lag = 1;
       arrivals = Arrivals.none;
+      attack = Attack.none;
+      puzzle_cost = 0;
     }
   in
   match compare_runs strat s with
@@ -571,6 +618,8 @@ let test_oracle_accounting_edges () =
       replicas = 0;
       repair_lag = 1;
       arrivals = Arrivals.none;
+      attack = Attack.none;
+      puzzle_cost = 0;
     }
   in
   List.iter
@@ -610,6 +659,8 @@ let fault_base =
     replicas = 0;
     repair_lag = 1;
     arrivals = Arrivals.none;
+    attack = Attack.none;
+    puzzle_cost = 0;
   }
 
 let fault_scenarios =
@@ -761,6 +812,63 @@ let arrival_scenarios =
             window = 6 } } );
   ]
 
+(* Deterministic adversarial scenarios, every strategy: the oracle must
+   replay the attack stream draw for draw and agree on the attack_joins
+   and puzzles ledgers.  One scenario per regime — an always-on eclipse,
+   a windowed attack whose close crashes the attackers (with and without
+   live replication, exercising both recovery paths), the puzzle
+   defense throttling the same plan, defense-only (benign admissions,
+   no adversary), and the full stack. *)
+let attack_scenarios =
+  [
+    ( "eclipse-always-on",
+      { fault_base with
+        attack =
+          { Attack.strength = 2; machines = 3; target = 0.25; width = 0.1;
+            window = None } } );
+    ( "windowed-crash",
+      { fault_base with
+        attack =
+          { Attack.strength = 3; machines = 3; target = 0.7; width = 0.05;
+            window = Some (2, 9) } } );
+    ( "windowed-crash-recovery",
+      { fault_base with
+        replicas = 2;
+        attack =
+          { Attack.strength = 3; machines = 3; target = 0.7; width = 0.05;
+            window = Some (2, 9) } } );
+    ( "defended",
+      { fault_base with
+        puzzle_cost = 2;
+        attack =
+          { Attack.strength = 3; machines = 3; target = 0.25; width = 0.1;
+            window = Some (2, 9) } } );
+    ( "defense-only",
+      { fault_base with puzzle_cost = 2 } );
+    ( "attack-full-stack",
+      { fault_base with
+        replicas = 2;
+        repair_lag = 2;
+        puzzle_cost = 1;
+        faults =
+          {
+            Faults.none with
+            Faults.drop = 0.2;
+            stragglers = 4;
+            straggle_delay = 2;
+            crash_bursts = [ { Faults.at = 5; count = 3 } ];
+            repl_drop = 0.3;
+          };
+        arrivals =
+          { Arrivals.profile = Some (Arrivals.Poisson { rate = 4.0 });
+            keys = Arrivals.Hot { hotspots = 3; spread = 0.05; zipf_s = 1.0 };
+            horizon = 30;
+            window = 6 };
+        attack =
+          { Attack.strength = 2; machines = 2; target = 0.5; width = 0.1;
+            window = Some (3, 14) } } );
+  ]
+
 let test_oracle_faulted (label, s) () =
   List.iter
     (fun strat ->
@@ -789,6 +897,15 @@ let arrival_cases =
         (test_oracle_faulted (label, s)))
     arrival_scenarios
 
+let attack_cases =
+  List.map
+    (fun (label, s) ->
+      Alcotest.test_case
+        (Printf.sprintf "adversarial %s" label)
+        `Quick
+        (test_oracle_faulted (label, s)))
+    attack_scenarios
+
 let stressed_cases =
   List.map
     (fun strat ->
@@ -804,6 +921,6 @@ let () =
         Alcotest.test_case "known case" `Quick test_known_case
         :: Alcotest.test_case "accounting edges" `Quick
              test_oracle_accounting_edges
-        :: (stressed_cases @ faulted_cases @ arrival_cases) );
+        :: (stressed_cases @ faulted_cases @ arrival_cases @ attack_cases) );
       ("properties", prop_engine_matches_reference :: oracle_props);
     ]

@@ -28,6 +28,42 @@ let test_factors_deterministic () =
   Alcotest.(check (array (float 1e-12))) "reproducible" f1 f2;
   Alcotest.(check int) "length" 3 (Array.length f1)
 
+(* Pin both seed-derivation rules.  [run_one] derives trial [i]'s seed
+   as [base + i] — pinned because every recorded golden digest in the
+   suite depends on it.  [stride_seed] exists because of that rule:
+   sweep cells whose base seeds sit closer than [trials] would share
+   trial seeds (cell A's trial k = cell B's trial 0), silently
+   correlating sweep rows. *)
+let test_stride_seed_pin () =
+  Alcotest.(check (list int))
+    "cells step by trials"
+    [ 42; 47; 52; 57 ]
+    (List.map
+       (fun index -> Runner.stride_seed ~base:42 ~trials:5 ~index)
+       [ 0; 1; 2; 3 ]);
+  Alcotest.(check int) "trials=0 still advances"
+    8 (Runner.stride_seed ~base:7 ~trials:0 ~index:1);
+  (* Adjacent strided cells share no trial seed: cell i covers
+     [base + i*t, base + i*t + t). *)
+  let t = 5 in
+  let cell i = List.init t (fun k -> Runner.stride_seed ~base:42 ~trials:t ~index:i + k) in
+  List.iter
+    (fun s ->
+      if List.mem s (cell 1) then
+        Alcotest.failf "trial seed %d shared between adjacent cells" s)
+    (cell 0);
+  (* And the per-trial rule itself: trial i of a cell runs on seed+i —
+     run_one's derivation, locked by every golden pin in the suite. *)
+  let r0 = Runner.run_all ~trials:2 base (Strategy.make Strategy.No_strategy) in
+  let shifted =
+    Runner.run_all ~trials:1
+      { base with Params.seed = base.Params.seed + 1 }
+      (Strategy.make Strategy.No_strategy)
+  in
+  Alcotest.(check (float 1e-12))
+    "trial 1 = trial 0 of a base+1 run"
+    shifted.(0).Engine.factor r0.(1).Engine.factor
+
 let test_rejects_zero_trials () =
   Alcotest.check_raises "trials<1" (Invalid_argument "Runner.run_all: trials < 1")
     (fun () ->
@@ -250,6 +286,7 @@ let () =
           Alcotest.test_case "aggregate consistency" `Quick test_aggregate_consistency;
           Alcotest.test_case "trials vary" `Quick test_trials_vary;
           Alcotest.test_case "factors deterministic" `Quick test_factors_deterministic;
+          Alcotest.test_case "stride_seed pin" `Quick test_stride_seed_pin;
           Alcotest.test_case "zero trials rejected" `Quick test_rejects_zero_trials;
           Alcotest.test_case "pp" `Quick test_pp;
         ] );
