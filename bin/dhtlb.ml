@@ -59,7 +59,8 @@ let strategy_t =
     & info [ "strategy" ] ~docv:"NAME"
         ~doc:
           "Balancing strategy: none, churn, random, neighbor, smart-neighbor, \
-           invitation, strength-aware or static-vnodes.")
+           invitation, strength-aware, static-vnodes, diffusive or \
+           range-reassign.")
 
 let threshold_t =
   Arg.(
@@ -750,6 +751,32 @@ let attack_sweep_cmd =
       $ Arg.(
           value & flag & info [ "json" ] ~doc:"Also print the sweep as JSON."))
 
+let head_to_head_cmd =
+  Cmd.v
+    (Cmd.info "head-to-head"
+       ~doc:
+         "Strategy families head to head: the Sybil strategies against \
+          the non-Sybil competitors (diffusive transfers, range \
+          reassignment) across churn and reply-drop regimes, plus a \
+          ChordReduce word-count makespan leg on each family's warmed \
+          ring.")
+    Term.(
+      const (fun trials seed csv json ->
+          let cells = Headtohead.run ~trials ~seed () in
+          let makespans = Headtohead.makespans ~seed () in
+          print_string (Headtohead.print_table cells);
+          print_newline ();
+          print_string (Headtohead.print_makespans makespans);
+          maybe_csv csv (Export.head_to_head_csv cells);
+          if json then
+            print_endline
+              (Json_out.to_string ~pretty:true
+                 (Export.head_to_head_json cells makespans)))
+      $ trials_t $ seed_t $ csv_t
+      $ Arg.(
+          value & flag
+          & info [ "json" ] ~doc:"Also print the comparison as JSON."))
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dhtlb" ~version:"1.0.0"
@@ -774,6 +801,7 @@ let main_cmd =
       stream_cmd;
       steady_sweep_cmd;
       attack_sweep_cmd;
+      head_to_head_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

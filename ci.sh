@@ -58,6 +58,21 @@ DHTLB_CHECK=1 dune exec bin/dhtlb.exe -- simulate \
   --attack strength=2,machines=5,target=0.25,width=0.15,window=5:40 \
   --puzzle-cost 4 --seed 7
 
+echo "==> non-Sybil strategy smokes (diffusive + range-reassign through the real CLI, invariant-checked)"
+# End-to-end through bin/dhtlb with the two non-Sybil families on: the
+# diffusive run must satisfy the relaxed arc-membership law (transferred
+# tasks legitimately sit outside their holder's arc once work_transfers
+# > 0) while every other invariant stays strict; the range-reassignment
+# run moves ownership through the real leave/join machinery under churn
+# and drops.  Both families are also drawn by the generated oracle
+# sweeps above, which prove them bit-identical to the naive reference.
+DHTLB_CHECK=1 dune exec bin/dhtlb.exe -- simulate \
+  --nodes 200 --tasks 20000 --churn 0.02 --failures 0.01 \
+  --strategy diffusive --faults drop=0.05 --seed 7
+DHTLB_CHECK=1 dune exec bin/dhtlb.exe -- simulate \
+  --nodes 200 --tasks 20000 --churn 0.02 --failures 0.01 \
+  --strategy range-reassign --faults drop=0.05 --seed 7
+
 echo "==> attack-off oracle smoke (adversary wired in, --attack off must stay bit-identical)"
 # The oracle suite's deterministic adversarial scenarios run on every
 # invocation above; this pass re-runs the generated sweep with a fresh

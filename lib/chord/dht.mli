@@ -101,6 +101,20 @@ val consume_vnode_keys : pick:(int -> int) -> 'a t -> 'a vnode -> int -> Id.t li
     entry.  Same draws, same removals; [consume_vnode] is this with
     [List.length]. *)
 
+val transfer_keys :
+  pick:(int -> int) -> 'a t -> src:'a vnode -> dst:'a vnode -> int -> int
+(** [transfer_keys ~pick t ~src ~dst n] moves up to [n] randomly-picked
+    tasks from [src] to [dst] {e without} changing key ownership — the
+    diffusive balancing primitive.  Draws like {!consume_vnode}: one
+    [pick c] per taken key, bounds c, c-1, ...  Returns the number of
+    tasks actually moved and charges each to [work_transfers];
+    [total_keys] is unchanged (conservation).  No draws and no charge
+    when [n <= 0], [src] is empty, or [src == dst].  A picked key that
+    [dst] already holds stays with [src] (never silently collapsed).
+    After the first transfer, keys may legitimately live outside their
+    holder's arc; {!check_invariants} relaxes accordingly.
+    @raise Invalid_argument if [pick] returns an index out of range. *)
+
 val workload : 'a t -> Id.t -> int
 (** Tasks currently owned by a vnode; [0] if not a member. O(1). *)
 
@@ -117,5 +131,6 @@ val ring : 'a t -> 'a vnode Ring.t
 (** The underlying ring, e.g. for building finger tables. *)
 
 val check_invariants : 'a t -> unit
-(** Asserts: key counts consistent, every key owned by the correct vnode.
-    O(n·keys); for tests only. *)
+(** Asserts: key counts consistent and — while no work transfer has
+    happened ([work_transfers = 0]) — every key owned by the correct
+    vnode.  O(n·keys); for tests only. *)

@@ -12,6 +12,7 @@ type t = {
   mutable tasks_lost : int;
   mutable attack_joins : int;
   mutable puzzles : int;
+  mutable work_transfers : int;
 }
 
 let create () =
@@ -29,6 +30,7 @@ let create () =
     tasks_lost = 0;
     attack_joins = 0;
     puzzles = 0;
+    work_transfers = 0;
   }
 
 let reset t =
@@ -44,7 +46,8 @@ let reset t =
   t.retries <- 0;
   t.tasks_lost <- 0;
   t.attack_joins <- 0;
-  t.puzzles <- 0
+  t.puzzles <- 0;
+  t.work_transfers <- 0
 
 (* [dropped]/[retries] stay out of the total: a dropped message was
    already counted in its own category when it was sent, and a retry's
@@ -53,10 +56,13 @@ let reset t =
    all, just the loss ledger.  [replications] IS real traffic (a backup
    copy of every enrolled task crosses the network), so it is summed.
    [attack_joins] is a subset of [joins] (already summed) and [puzzles]
-   a local computation, so both stay diagnostic. *)
+   a local computation, so both stay diagnostic.  [work_transfers] is
+   real traffic too — each diffused task crosses to a neighbor, and
+   unlike [key_transfers] no ownership change explains the move — so it
+   is summed. *)
 let total t =
   t.joins + t.leaves + t.key_transfers + t.workload_queries + t.invitations
-  + t.lookup_hops + t.maintenance + t.replications
+  + t.lookup_hops + t.maintenance + t.replications + t.work_transfers
 
 let add acc d =
   acc.joins <- acc.joins + d.joins;
@@ -71,7 +77,8 @@ let add acc d =
   acc.retries <- acc.retries + d.retries;
   acc.tasks_lost <- acc.tasks_lost + d.tasks_lost;
   acc.attack_joins <- acc.attack_joins + d.attack_joins;
-  acc.puzzles <- acc.puzzles + d.puzzles
+  acc.puzzles <- acc.puzzles + d.puzzles;
+  acc.work_transfers <- acc.work_transfers + d.work_transfers
 
 let pp ppf t =
   Format.fprintf ppf
@@ -85,4 +92,6 @@ let pp ppf t =
     Format.fprintf ppf " dropped=%d retries=%d" t.dropped t.retries;
   if t.tasks_lost > 0 then Format.fprintf ppf " tasks_lost=%d" t.tasks_lost;
   if t.attack_joins > 0 then Format.fprintf ppf " attack_joins=%d" t.attack_joins;
-  if t.puzzles > 0 then Format.fprintf ppf " puzzles=%d" t.puzzles
+  if t.puzzles > 0 then Format.fprintf ppf " puzzles=%d" t.puzzles;
+  if t.work_transfers > 0 then
+    Format.fprintf ppf " work_transfers=%d" t.work_transfers

@@ -33,6 +33,10 @@ type t = {
       (** admission puzzles started — one per Sybil creation request
           when [Params.puzzle_cost > 0] (local computation, not a
           message) *)
+  mutable work_transfers : int;
+      (** individual tasks handed to a ring neighbor by diffusive
+          balancing — the task moves but key ownership does not (moves
+          only under the [diffusive] strategy) *)
 }
 
 val create : unit -> t
@@ -45,8 +49,8 @@ val total : t -> int
     are charged again at the re-send, and a lost task is not a message
     at all — so none of them is summed here.  [attack_joins] (a subset
     of [joins]) and [puzzles] (local computation) are likewise
-    diagnostic.  [replications] is real backup traffic and {e is}
-    included. *)
+    diagnostic.  [replications] and [work_transfers] are real traffic
+    and {e are} included. *)
 
 val add : t -> t -> unit
 (** [add acc delta] accumulates [delta] into [acc]. *)

@@ -1,0 +1,33 @@
+(** Diffusive load balancing (strategy 9) — the first non-Sybil
+    competitor (after Douglas & Harwood).
+
+    Each decision period a machine compares its primary vnode's queue
+    length with its two ring neighbors (successor first, then
+    predecessor; own Sybils excluded) and transfers up to half the
+    difference to the lighter side.  The tasks move {e without} any
+    ownership change, charged per task to [Messages.work_transfers];
+    total keys are conserved.
+
+    Draw-order contract (docs/TESTING.md): per acting machine, one
+    fault-stream reply draw per neighbor in candidate order, then — only
+    when a positive amount moves — one main-stream [Prng.int_below] per
+    transferred task (bounds c, c-1, ...), exactly the consumption
+    discipline. *)
+
+val strategy : unit -> Engine.strategy
+
+(** {1 Pure decision rules}
+
+    Exposed so the reference oracle (lib/oracle) and the unit/property
+    suite replay literally the same arithmetic. *)
+
+val transfer_amount : own:int -> neighbor:int -> int
+(** Half the queue gradient, [max 0 ((own - neighbor) / 2)]: zero when
+    the neighbor is at or above us (never a negative transfer), and
+    always strictly less than [own] (the sender keeps the larger
+    half). *)
+
+val pick_lighter : ('a * int) list -> ('a * int) option
+(** The least-loaded neighbor; the {e first} minimum wins ties, so
+    candidate order (successor before predecessor) is part of the
+    rule.  [None] on an empty candidate list. *)

@@ -30,3 +30,9 @@ val pick_heaviest_vnode : ('a * int) list -> ('a * int) option
 
 val choose_helper : ('a * int) list -> ('a * int) option
 (** The least-loaded qualifying predecessor (nearest wins ties). *)
+
+val heaviest_vnode : State.phys -> (Id.t * int) option
+(** {!pick_heaviest_vnode} over a machine's live vnode list:
+    [(id, task count)] of its heaviest ring presence.  Shared with the
+    range-reassignment strategy, which splits the same vnode an
+    invitation would have split. *)

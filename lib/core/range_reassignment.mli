@@ -1,0 +1,33 @@
+(** Range reassignment (strategy 10) — the second non-Sybil competitor
+    (after Chawachat & Fakcharoenphol's item balancing for
+    range-partitioned data).
+
+    An overloaded machine (same bar as Invitation) announces to the
+    [num_successors] successors of its heaviest vnode; the least-loaded
+    answering machine that holds {e exactly its primary presence} gives
+    up its ring position and rejoins at the inviter's median task key
+    ([State.relocate_phys]).  Keys move by ownership change through the
+    ordinary leave/join machinery — no Sybil identities, no work
+    transfers.
+
+    Draw-order contract (docs/TESTING.md): per acting machine, one
+    fault-stream reply draw per announced successor in walk order; the
+    relocation itself consumes {e no} strategy-stream draws. *)
+
+val strategy : unit -> Engine.strategy
+
+(** {1 Pure split arithmetic}
+
+    Exposed so the reference oracle (lib/oracle) and the property suite
+    replay literally the same split. *)
+
+val split_rank : count:int -> int
+(** Rank (0-based, in key order) of the split key among the inviter's
+    [count] tasks: [(count / 2) - 1].  The helper joins {e at} that key,
+    taking the keys at ranks [0 .. count/2 - 1].  Requires
+    [count >= 2]. *)
+
+val split_sizes : count:int -> int * int
+(** [(helper's share, inviter's share)] = [(count / 2, count - count / 2)]
+    — both strictly positive for [count >= 2], and they sum to [count]
+    exactly (keys conserve). *)

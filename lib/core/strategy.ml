@@ -7,6 +7,8 @@ type t =
   | Invitation
   | Strength_aware_injection
   | Static_virtual_nodes
+  | Diffusive
+  | Range_reassignment
 
 let all =
   [
@@ -18,6 +20,8 @@ let all =
     Invitation;
     Strength_aware_injection;
     Static_virtual_nodes;
+    Diffusive;
+    Range_reassignment;
   ]
 
 let name = function
@@ -29,6 +33,8 @@ let name = function
   | Invitation -> "invitation"
   | Strength_aware_injection -> "strength-aware"
   | Static_virtual_nodes -> "static-vnodes"
+  | Diffusive -> "diffusive"
+  | Range_reassignment -> "range-reassign"
 
 let of_name s =
   match
@@ -49,6 +55,8 @@ let make = function
   | Invitation -> Invitation.strategy
   | Strength_aware_injection -> Strength_aware.strategy
   | Static_virtual_nodes -> Static_vnodes.strategy
+  | Diffusive -> Diffusive.strategy
+  | Range_reassignment -> Range_reassignment.strategy
 
 let default_params t (params : Params.t) =
   match t with

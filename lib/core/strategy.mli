@@ -19,6 +19,12 @@ type t =
   | Static_virtual_nodes
       (** classic non-adaptive baseline: a fixed Sybil allowance placed
           once at startup *)
+  | Diffusive
+      (** non-Sybil competitor: neighbor-pairwise work transfers down
+          the queue gradient (Douglas & Harwood) *)
+  | Range_reassignment
+      (** non-Sybil competitor: an idle neighbor rejoins at the
+          overloaded machine's median key (Chawachat & Fakcharoenphol) *)
 
 val all : t list
 

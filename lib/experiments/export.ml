@@ -269,6 +269,39 @@ let attack_sweep_csv cells =
          ])
        cells)
 
+let head_to_head_csv cells =
+  Csv_out.table
+    ~header:
+      [
+        "strategy";
+        "churn";
+        "drop";
+        "mean_work_transfers";
+        "mean_key_transfers";
+        "mean_factor";
+        "stddev_factor";
+        "trials";
+        "aborted";
+        "mean_factor_finished";
+      ]
+    (List.map
+       (fun (c : Headtohead.cell) ->
+         let a = c.Headtohead.aggregate in
+         [
+           Strategy.name c.Headtohead.strategy;
+           f c.Headtohead.churn;
+           f c.Headtohead.drop;
+           f c.Headtohead.mean_work_transfers;
+           f c.Headtohead.mean_key_transfers;
+           f a.Runner.mean_factor;
+           f a.Runner.stddev_factor;
+           string_of_int a.Runner.trials;
+           string_of_int a.Runner.aborted;
+           (if a.Runner.finished = 0 then ""
+            else f a.Runner.mean_factor_finished);
+         ])
+       cells)
+
 let work_timeline_csv series =
   let header =
     "tick"
@@ -325,6 +358,7 @@ let messages_json (m : Messages.t) =
       ("tasks_lost", Json_out.Int m.Messages.tasks_lost);
       ("attack_joins", Json_out.Int m.Messages.attack_joins);
       ("puzzles", Json_out.Int m.Messages.puzzles);
+      ("work_transfers", Json_out.Int m.Messages.work_transfers);
       ("total", Json_out.Int (Messages.total m));
     ]
 
@@ -409,6 +443,49 @@ let aggregate_json ~label (a : Runner.aggregate) =
       ("steady_sojourn_p50", Json_out.Float a.Runner.steady_sojourn_p50);
       ("steady_sojourn_p95", Json_out.Float a.Runner.steady_sojourn_p95);
       ("steady_sojourn_p99", Json_out.Float a.Runner.steady_sojourn_p99);
+    ]
+
+let head_to_head_json cells makespans =
+  Json_out.Obj
+    [
+      ( "grid",
+        Json_out.List
+          (List.map
+             (fun (c : Headtohead.cell) ->
+               Json_out.Obj
+                 [
+                   ( "strategy",
+                     Json_out.String (Strategy.name c.Headtohead.strategy) );
+                   ("churn", Json_out.Float c.Headtohead.churn);
+                   ("drop", Json_out.Float c.Headtohead.drop);
+                   ( "mean_work_transfers",
+                     Json_out.Float c.Headtohead.mean_work_transfers );
+                   ( "mean_key_transfers",
+                     Json_out.Float c.Headtohead.mean_key_transfers );
+                   ( "aggregate",
+                     aggregate_json
+                       ~label:
+                         (Printf.sprintf "%s churn=%g drop=%g"
+                            (Strategy.name c.Headtohead.strategy)
+                            c.Headtohead.churn c.Headtohead.drop)
+                       c.Headtohead.aggregate );
+                 ])
+             cells) );
+      ( "makespans",
+        Json_out.List
+          (List.map
+             (fun (m : Headtohead.makespan) ->
+               Json_out.Obj
+                 [
+                   ( "strategy",
+                     Json_out.String (Strategy.name m.Headtohead.ms_strategy) );
+                   ("warm_vnodes", Json_out.Int m.Headtohead.warm_vnodes);
+                   ("map_makespan", Json_out.Int m.Headtohead.map_makespan);
+                   ( "reduce_makespan",
+                     Json_out.Int m.Headtohead.reduce_makespan );
+                   ("total_makespan", Json_out.Int m.Headtohead.total_makespan);
+                 ])
+             makespans) );
     ]
 
 let attack_sweep_json cells =

@@ -13,6 +13,10 @@ val attack_sweep_csv : Attack_sweep.cell list -> string
     cell: landed Sybils, puzzles issued, recovery-plane loss, and the
     makespan-factor family. *)
 
+val head_to_head_csv : Headtohead.cell list -> string
+(** The strategy-family grid, one row per strategy × churn × drop cell:
+    the two transfer currencies plus the makespan-factor family. *)
+
 val steady_csv : Steady.window array -> string
 (** One open-system run's measurement windows: arrival/completion rates,
     queue and sojourn percentiles, Sybil-count extremes per window.  NaN
@@ -42,3 +46,8 @@ val aggregate_json : label:string -> Runner.aggregate -> Json_out.t
 val attack_sweep_json : Attack_sweep.cell list -> Json_out.t
 (** The adversarial sweep as a JSON list, one object per cell with the
     full aggregate embedded. *)
+
+val head_to_head_json :
+  Headtohead.cell list -> Headtohead.makespan list -> Json_out.t
+(** The head-to-head comparison as one object: the ["grid"] cells (full
+    aggregates embedded) and the ChordReduce ["makespans"] leg. *)

@@ -1,0 +1,157 @@
+(* Head-to-head: the Sybil strategy family against the two non-Sybil
+   competitors (diffusive transfers and range reassignment), on the same
+   footing.  Each grid cell runs the full batch simulation for one
+   (strategy, churn, reply-drop) combination, so the comparison covers
+   the regimes the paper cares about: a calm network, ambient churn, a
+   lossy control plane, and both at once.  Two traffic readings separate
+   the families mechanically — [work_transfers] (tasks moved without an
+   ownership change; nonzero only for diffusive) and [key_transfers]
+   (ownership handovers; the Sybil and reassignment currencies).
+
+   The ChordReduce leg reruns the paper's motivating workload: warm each
+   strategy's ring for a few decision periods, then run a word-count
+   MapReduce over the resulting vnode set.  The map-phase makespan is
+   the quantity the balancing families are supposed to shrink. *)
+
+type cell = {
+  strategy : Strategy.t;
+  churn : float;
+  drop : float;
+  mean_work_transfers : float;
+  mean_key_transfers : float;
+  aggregate : Runner.aggregate;
+}
+
+type makespan = {
+  ms_strategy : Strategy.t;
+  warm_vnodes : int;
+  map_makespan : int;
+  reduce_makespan : int;
+  total_makespan : int;
+}
+
+(* One representative per family: the no-balancing floor, the two
+   paper Sybil strategies (proactive and reactive), and the two
+   non-Sybil competitors under test. *)
+let families =
+  [
+    Strategy.No_strategy;
+    Strategy.Random_injection;
+    Strategy.Invitation;
+    Strategy.Diffusive;
+    Strategy.Range_reassignment;
+  ]
+
+let churns = [ 0.0; 0.01 ]
+let drops = [ 0.0; 0.05 ]
+
+let run ?(trials = 3) ?(seed = 42) ?(nodes = 48) ?(tasks = 4_000)
+    ?(families = families) ?(churns = churns) ?(drops = drops) () =
+  let grid =
+    List.concat_map
+      (fun strategy ->
+        List.concat_map
+          (fun churn -> List.map (fun drop -> (strategy, churn, drop)) drops)
+          churns)
+      families
+  in
+  (* Disjoint per-cell seed ranges; see Runner.stride_seed. *)
+  List.mapi
+    (fun index (strategy, churn, drop) ->
+      let params =
+        Strategy.default_params strategy
+          {
+            (Params.default ~nodes ~tasks) with
+            Params.seed = Runner.stride_seed ~base:seed ~trials ~index;
+            churn_rate = churn;
+            faults = { Faults.none with Faults.drop };
+          }
+      in
+      let results = Runner.run_all ~trials params (Strategy.make strategy) in
+      let mean_msg field =
+        Descriptive.mean
+          (Array.map
+             (fun (r : Engine.result) -> float_of_int (field r.Engine.messages))
+             results)
+      in
+      {
+        strategy;
+        churn;
+        drop;
+        mean_work_transfers = mean_msg (fun m -> m.Messages.work_transfers);
+        mean_key_transfers = mean_msg (fun m -> m.Messages.key_transfers);
+        aggregate = Runner.aggregate_of params results;
+      })
+    grid
+
+(* A deterministic corpus: enough repeated vocabulary that the shuffle
+   phase concentrates load on the hot words' owners. *)
+let corpus =
+  List.concat_map
+    (fun i ->
+      [
+        Printf.sprintf "the quick brown fox jumps over the lazy dog %d" i;
+        Printf.sprintf "pack my box with five dozen liquor jugs %d" i;
+        "the autonomous ring balances the autonomous ring";
+        "sybil sybil churn churn churn load load balance";
+      ])
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let makespans ?(seed = 42) ?(nodes = 24) ?(tasks = 1_200) ?(warm_ticks = 30)
+    ?(families = families) () =
+  List.mapi
+    (fun index strategy ->
+      let params =
+        Strategy.default_params strategy
+          { (Params.default ~nodes ~tasks) with Params.seed = seed + index }
+      in
+      let state = State.create params in
+      let strat = Strategy.make strategy () in
+      (* The engine's tick order minus the planes this leg leaves off
+         (faults, arrivals, adversary): decide, consume, churn. *)
+      for _ = 1 to warm_ticks do
+        strat.Engine.decide state;
+        ignore (State.consume_tick state);
+        State.apply_churn state;
+        State.advance_tick state
+      done;
+      let workers = Array.of_list (Dht.vnode_ids state.State.dht) in
+      let input = Mapreduce.chunk_input corpus in
+      let r = Mapreduce.run ~workers ~input Mapreduce.word_count in
+      {
+        ms_strategy = strategy;
+        warm_vnodes = Array.length workers;
+        map_makespan = r.Mapreduce.map_stats.Mapreduce.makespan;
+        reduce_makespan = r.Mapreduce.reduce_stats.Mapreduce.makespan;
+        total_makespan = r.Mapreduce.total_makespan;
+      })
+    families
+
+let print_table cells =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-15s %6s %6s %14s %13s %12s %8s\n" "strategy" "churn"
+       "drop" "work_transfers" "key_transfers" "mean factor" "aborted");
+  List.iter
+    (fun c ->
+      let a = c.aggregate in
+      Buffer.add_string buf
+        (Printf.sprintf "%-15s %6.3f %6.3f %14.1f %13.1f %12.3f %8d\n"
+           (Strategy.name c.strategy) c.churn c.drop c.mean_work_transfers
+           c.mean_key_transfers a.Runner.mean_factor a.Runner.aborted))
+    cells;
+  Buffer.contents buf
+
+let print_makespans rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-15s %8s %12s %15s %14s\n" "strategy" "vnodes"
+       "map_makespan" "reduce_makespan" "total_makespan");
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-15s %8d %12d %15d %14d\n"
+           (Strategy.name m.ms_strategy) m.warm_vnodes m.map_makespan
+           m.reduce_makespan m.total_makespan))
+    rows;
+  Buffer.contents buf

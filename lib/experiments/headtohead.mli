@@ -1,0 +1,68 @@
+(** Head-to-head: Sybil strategies versus the non-Sybil competitors.
+
+    A (strategy family × churn × reply-drop) grid on the full batch
+    simulation, plus a ChordReduce makespan leg: warm each strategy's
+    ring, then run a word-count MapReduce ({!Mapreduce.word_count}) over
+    the resulting vnode set and report the per-phase makespans the
+    balancing families are supposed to shrink.
+
+    Per cell, [mean_work_transfers] (tasks moved with no ownership
+    change — nonzero only for {!Strategy.Diffusive}) and
+    [mean_key_transfers] (ownership handovers — the Sybil and
+    range-reassignment currencies) separate the families mechanically
+    alongside the usual runtime-factor aggregate. *)
+
+type cell = {
+  strategy : Strategy.t;
+  churn : float;  (** per-node per-tick churn rate for this cell *)
+  drop : float;  (** control-plane reply-drop probability *)
+  mean_work_transfers : float;  (** mean diffusive transfers per trial *)
+  mean_key_transfers : float;  (** mean ownership handovers per trial *)
+  aggregate : Runner.aggregate;
+}
+
+type makespan = {
+  ms_strategy : Strategy.t;
+  warm_vnodes : int;  (** ring size after the warm-up ticks *)
+  map_makespan : int;
+  reduce_makespan : int;
+  total_makespan : int;
+}
+
+val families : Strategy.t list
+(** Default [none; random; invitation; diffusive; range-reassign] — one
+    representative per family plus the no-balancing floor. *)
+
+val churns : float list
+(** Default [0.0; 0.01]. *)
+
+val drops : float list
+(** Default [0.0; 0.05]. *)
+
+val run :
+  ?trials:int ->
+  ?seed:int ->
+  ?nodes:int ->
+  ?tasks:int ->
+  ?families:Strategy.t list ->
+  ?churns:float list ->
+  ?drops:float list ->
+  unit ->
+  cell list
+(** Cells in [families] × [churns] × [drops] order, per-cell seeds
+    strided by {!Runner.stride_seed} so no two cells share a trial
+    seed. *)
+
+val makespans :
+  ?seed:int ->
+  ?nodes:int ->
+  ?tasks:int ->
+  ?warm_ticks:int ->
+  ?families:Strategy.t list ->
+  unit ->
+  makespan list
+(** The ChordReduce leg: one warmed ring and one word-count job per
+    family, on a deterministic corpus. *)
+
+val print_table : cell list -> string
+val print_makespans : makespan list -> string

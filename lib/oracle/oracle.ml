@@ -21,6 +21,15 @@
                short-circuits of Prng.bernoulli and the [churn > 0.0]
                guards in State.apply_churn)
 
+   Diffusive work transfers (strategy 9) also live on the MAIN stream:
+   at the point in the decide scan where the acting machine moves work —
+   after its fault-stream reply draws for that tick — one [int_below]
+   per task taken, bounds c, c-1, ..., each indexing the donor's
+   shrinking key set in key order (the same discipline as the consume
+   loop).  Range reassignment (strategy 10) consumes NO main-stream
+   draws: its split point is a computed key rank and the helper's
+   leave/join pair is draw-free.
+
    Fault randomness lives on a SECOND stream (Faults.rng, split from the
    same seed) with its own draw order, also mirrored here:
 
@@ -112,6 +121,7 @@ type msgs = {
   mutable tasks_lost : int;
   mutable attack_joins : int;
   mutable puzzles : int;
+  mutable work_transfers : int;
 }
 
 type t = {
@@ -354,6 +364,36 @@ let consume o id budget =
       taken
     end
 
+(* Mirrors Dht.transfer_keys (via State.transfer_work): the same draw
+   discipline as consumption — one main-stream [int_below] per taken
+   key, bounds c, c-1, ..., each indexing the donor's shrinking key
+   list in key order.  A picked key the recipient already holds stays
+   with the donor and is not charged, exactly as the engine refuses to
+   collapse it in a set union. *)
+let transfer_work o ~src ~dst n =
+  let c = List.length src.keys in
+  if n <= 0 || c = 0 || Id.equal src.id dst.id then 0
+  else begin
+    let taken = min n c in
+    let picked = ref [] in
+    for j = 0 to taken - 1 do
+      let i = Prng.int_below o.rng (c - j) in
+      picked := List.nth src.keys i :: !picked;
+      src.keys <- remove_index i src.keys
+    done;
+    let moved = ref 0 in
+    List.iter
+      (fun key ->
+        if mem_key key dst.keys then src.keys <- insert_sorted key src.keys
+        else begin
+          dst.keys <- insert_sorted key dst.keys;
+          incr moved
+        end)
+      (List.rev !picked);
+    o.msgs.work_transfers <- o.msgs.work_transfers + !moved;
+    !moved
+  end
+
 (* ---- live replica map (mirroring State.repl) --------------------- *)
 
 let recovery_on o = Params.recovery_on o.params
@@ -578,6 +618,36 @@ let join_phys o pid =
     m.vnodes <- [ id ];
     m.active <- true
   | Error `Occupied -> () (* stays waiting; retries on a later tick *)
+
+(* Mirrors State.relocate_phys: a single-presence helper gives up its
+   ring position and rejoins at [id].  Draw-free; the rejoin lookup is
+   priced at the post-leave ring size and charged only when the join
+   lands. *)
+let relocate_phys o pid ~id =
+  let m = o.machs.(pid) in
+  match m.vnodes with
+  | [ primary ] when m.active && find_vnode o id = None -> begin
+    let recipient = repl_recipient o primary in
+    match leave o primary with
+    | Error `Last_node -> false
+    | Error `Not_member -> assert false
+    | Ok () ->
+      repl_note_leave o ~id:primary ~recipient;
+      let hops = lookup_cost o in
+      let donor = repl_donor o id in
+      (match join o ~id ~owner:pid with
+      | Ok () ->
+        o.msgs.lookup_hops <- o.msgs.lookup_hops + hops;
+        repl_note_join o ~id ~donor;
+        m.vnodes <- [ id ];
+        m.failed_arcs <- [];
+        m.retry_attempts <- 0;
+        m.retry_at <- -1;
+        m.puzzle <- None;
+        true
+      | Error `Occupied -> assert false)
+  end
+  | _ -> false
 
 (* Recovery traffic only if the machine actually departed — a surviving
    last node recovers nothing.  Mirrors State.fail_phys_assumed. *)
@@ -909,6 +979,7 @@ let create (params : Params.t) =
           tasks_lost = 0;
           attack_joins = 0;
           puzzles = 0;
+          work_transfers = 0;
         };
       holders = [];
       initial_mean =
@@ -1339,6 +1410,134 @@ let static_decide o =
       end)
     o.machs
 
+(* Mirrors Diffusive.decide: candidates are the primary vnode's
+   immediate ring neighbors (successor first, then predecessor, deduped
+   on a 2-vnode ring, own vnodes excluded); one workload query and one
+   fault-stream reply draw per candidate in that order; then up to half
+   the queue gradient moves to the lighter heard neighbor through the
+   main-stream transfer draws. *)
+let diffusive_decide o =
+  Array.iter
+    (fun m ->
+      if m.active && can_decide o m.pid && due o m then begin
+        let pid = m.pid in
+        match m.vnodes with
+        | [] -> ()
+        | self_id :: _ -> begin
+          match find_vnode o self_id with
+          | None -> assert false
+          | Some self -> begin
+            let keep = function
+              | Some vn when vn.owner <> pid -> Some vn
+              | _ -> None
+            in
+            let succ = keep (successor o self_id) in
+            let pred = keep (predecessor o self_id) in
+            let candidates =
+              match (succ, pred) with
+              | Some s, Some p when Id.equal s.id p.id -> [ s ]
+              | Some s, Some p -> [ s; p ]
+              | Some s, None -> [ s ]
+              | None, Some p -> [ p ]
+              | None, None -> []
+            in
+            match candidates with
+            | [] -> ()
+            | _ ->
+              o.msgs.workload_queries <-
+                o.msgs.workload_queries + List.length candidates;
+              let heard =
+                List.filter
+                  (fun vn ->
+                    match reply_outcome o ~from_pid:vn.owner with
+                    | `Ok | `Delayed -> true
+                    | `Dropped -> false)
+                  candidates
+              in
+              let lighter =
+                Diffusive.pick_lighter
+                  (List.map (fun vn -> (vn, List.length vn.keys)) heard)
+              in
+              match lighter with
+              | None -> ()
+              | Some (dst, neighbor) ->
+                let own = List.length self.keys in
+                let n = Diffusive.transfer_amount ~own ~neighbor in
+                if n > 0 then ignore (transfer_work o ~src:self ~dst n)
+          end
+        end
+      end)
+    o.machs
+
+(* Mirrors Range_reassignment.decide: the Invitation overload bar and
+   heaviest-vnode rule, an announcement to that vnode's successors (one
+   fault-stream reply draw each in walk order, heard ones charged a
+   workload query), helper = least-loaded idle machine holding exactly
+   its primary presence; the relocation itself is draw-free. *)
+let range_decide o =
+  let threshold = o.params.Params.sybil_threshold in
+  Array.iter
+    (fun m ->
+      if m.active && can_decide o m.pid && due o m then begin
+        let pid = m.pid in
+        let w = workload_of_phys o pid in
+        if
+          Invitation.is_overloaded ~workload:w
+            ~invite_factor:o.params.Params.invite_factor
+            ~initial_mean:(load_reference o)
+        then begin
+          let heaviest =
+            Invitation.pick_heaviest_vnode
+              (List.map (fun id -> (id, vnode_workload o id)) m.vnodes)
+          in
+          match heaviest with
+          | None | Some (_, 0) | Some (_, 1) -> ()
+          | Some (heavy_id, heavy_count) -> begin
+            let k = o.params.Params.num_successors in
+            let succs =
+              List.filter (fun vn -> vn.owner <> pid) (k_successors o heavy_id k)
+            in
+            o.msgs.invitations <- o.msgs.invitations + k;
+            let heard =
+              List.filter
+                (fun vn ->
+                  match reply_outcome o ~from_pid:vn.owner with
+                  | `Ok | `Delayed -> true
+                  | `Dropped -> false)
+                succs
+            in
+            o.msgs.workload_queries <-
+              o.msgs.workload_queries + List.length heard;
+            let candidates =
+              List.filter
+                (fun vn ->
+                  workload_of_phys o vn.owner <= threshold
+                  && sybil_count o vn.owner = 0)
+                heard
+            in
+            let helper =
+              Invitation.choose_helper
+                (List.map
+                   (fun vn -> (vn.owner, workload_of_phys o vn.owner))
+                   candidates)
+            in
+            match helper with
+            | None -> () (* reassignment refused *)
+            | Some (hpid, _) -> begin
+              match find_vnode o heavy_id with
+              | None -> assert false
+              | Some heavy ->
+                let split =
+                  List.nth heavy.keys
+                    (Range_reassignment.split_rank ~count:heavy_count)
+                in
+                ignore (relocate_phys o hpid ~id:split)
+            end
+          end
+        end
+      end)
+    o.machs
+
 let decide_of = function
   | Strategy.No_strategy | Strategy.Induced_churn -> fun _ -> ()
   | Strategy.Random_injection -> random_decide
@@ -1347,18 +1546,18 @@ let decide_of = function
   | Strategy.Invitation -> invitation_decide
   | Strategy.Strength_aware_injection -> strength_decide
   | Strategy.Static_virtual_nodes -> static_decide
+  | Strategy.Diffusive -> diffusive_decide
+  | Strategy.Range_reassignment -> range_decide
 
 (* ---- internal invariants (always on) ----------------------------- *)
 
-let check_invariants o =
-  (* Keys strictly ascending and inside their vnode's arc. *)
+let check_invariants (o : t) =
+  (* Keys strictly ascending and inside their vnode's arc — arc
+     membership only until the first diffusive transfer, which
+     legitimately parks tasks outside their holder's arc (mirrors
+     Dht.check_invariants' relaxation). *)
   List.iter
     (fun vn ->
-      let arc =
-        match arc_of o vn.id with
-        | Some a -> a
-        | None -> invalid_arg "Oracle: vnode without arc"
-      in
       let rec check_sorted = function
         | a :: (b :: _ as tl) ->
           if Id.compare a b >= 0 then
@@ -1367,11 +1566,18 @@ let check_invariants o =
         | _ -> ()
       in
       check_sorted vn.keys;
-      List.iter
-        (fun k ->
-          if not (Interval.mem k arc) then
-            invalid_arg "Oracle: key outside its vnode's arc")
-        vn.keys)
+      if o.msgs.work_transfers = 0 then begin
+        let arc =
+          match arc_of o vn.id with
+          | Some a -> a
+          | None -> invalid_arg "Oracle: vnode without arc"
+        in
+        List.iter
+          (fun k ->
+            if not (Interval.mem k arc) then
+              invalid_arg "Oracle: key outside its vnode's arc")
+          vn.keys
+      end)
     o.ring;
   (* Ring strictly ascending by id. *)
   let rec ring_sorted = function
@@ -1514,7 +1720,7 @@ let check_invariants o =
   let total =
     o.msgs.joins + o.msgs.leaves + o.msgs.key_transfers
     + o.msgs.workload_queries + o.msgs.invitations + o.msgs.lookup_hops
-    + o.msgs.maintenance + o.msgs.replications
+    + o.msgs.maintenance + o.msgs.replications + o.msgs.work_transfers
   in
   if total < o.last_msg_total then
     invalid_arg "Oracle: message counters decreased";

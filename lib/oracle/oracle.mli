@@ -47,10 +47,12 @@ type msgs = {
   mutable tasks_lost : int;
   mutable attack_joins : int;
   mutable puzzles : int;
+  mutable work_transfers : int;
 }
 (** Mirrors {!Messages.t} field for field, including the live-replication
-    counters ([replications], [tasks_lost]) and the adversary/defense
-    diagnostics ([attack_joins], [puzzles]). *)
+    counters ([replications], [tasks_lost]), the adversary/defense
+    diagnostics ([attack_joins], [puzzles]), and the diffusive-balancing
+    traffic ([work_transfers]). *)
 
 type point = {
   tick : int;

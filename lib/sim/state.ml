@@ -413,6 +413,17 @@ let consume_tick t =
   t.work_done_total <- t.work_done_total + !total;
   !total
 
+(* Diffusive work transfer (strategy 9): tasks move between two vnode
+   records on the main strategy stream — one [Prng.int_below] per moved
+   task, bounds c, c-1, ... exactly like consumption, drawn at the point
+   in the decide scan where the transferring machine acts.  The oracle
+   replays these draws naively, so the draw-order contract
+   (docs/TESTING.md) names them.  Conservation: [total_keys] is
+   unchanged; each move is charged to [work_transfers]. *)
+let transfer_work t ~src ~dst n =
+  let pick c = Prng.int_below t.rng c in
+  Dht.transfer_keys ~pick t.dht ~src ~dst n
+
 (* A join in a real DHT costs a lookup; with no live finger tables in the
    hot loop we charge Chord's expected hop count for the current size. *)
 let lookup_cost t =
@@ -607,6 +618,48 @@ let join_phys t pid =
     p.active <- true;
     t.n_active <- t.n_active + 1
   | Error `Occupied -> () (* stays waiting; retries on a later tick *)
+
+(* Range reassignment (strategy 10): a helper machine gives up its
+   current ring position and rejoins at [id] — typically a split point
+   inside an overloaded neighbor's arc — so keys move by ownership
+   change through the existing leave/join machinery, no Sybils and no
+   work transfers.  Only a machine with exactly its primary presence
+   relocates (Sybil holders keep their portfolio).  The move consumes no
+   strategy-stream draws; it charges the leave, the join, both key
+   handovers, and the join's lookup at the post-leave ring size.
+   Refused — a deterministic no-op with no charges — when the target id
+   is occupied or the leaver is the ring's last key-holding vnode. *)
+let relocate_phys t pid ~id =
+  let p = t.phys.(pid) in
+  match p.vnodes with
+  | [ primary ] when p.active && Dht.find t.dht id = None -> begin
+    let primary_id = primary.Dht.id in
+    let recipient = repl_recipient t primary_id in
+    match Dht.leave t.dht primary_id with
+    | Error `Last_node -> false (* someone must hold the keys *)
+    | Error `Not_member -> assert false
+    | Ok () ->
+      repl_note_leave t ~id:primary_id ~recipient;
+      let hops = lookup_cost t in
+      let donor = repl_donor t id in
+      (match Dht.join t.dht ~id ~payload:{ owner = pid } with
+      | Ok vn ->
+        (Dht.messages t.dht).Messages.lookup_hops <-
+          (Dht.messages t.dht).Messages.lookup_hops + hops;
+        repl_note_join t ~id ~donor;
+        p.vnodes <- [ vn ];
+        (* The machine moved: its arc memory, in-flight retry, and any
+           half-solved admission puzzle are stale at the new position. *)
+        p.failed_arcs <- [];
+        p.retry_attempts <- 0;
+        p.retry_at <- -1;
+        p.puzzle <- None;
+        true
+      | Error `Occupied ->
+        (* The target was checked free and a leave cannot occupy it. *)
+        assert false)
+  end
+  | _ -> false
 
 (* Ungraceful death, assumed-reliable model ([replicas = 0]): like a
    leave, except nobody hands keys over — the successor must fetch them

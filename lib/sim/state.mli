@@ -131,6 +131,29 @@ val consume_tick : t -> int
 (** Every active machine completes up to its capacity in tasks; returns
     total work done this tick. *)
 
+val transfer_work :
+  t -> src:payload Dht.vnode -> dst:payload Dht.vnode -> int -> int
+(** [transfer_work t ~src ~dst n] moves up to [n] randomly-picked tasks
+    from [src] to [dst] without changing key ownership — the diffusive
+    balancing primitive ({!Dht.transfer_keys}).  Draws one
+    [Prng.int_below] per moved task on the {e main strategy stream}
+    (bounds c, c-1, ..., like consumption) at the point in the decide
+    scan where the call happens; the oracle replays the same draws.
+    Returns the number of tasks moved, each charged to
+    [work_transfers]; total keys are conserved.  No draws when [n <= 0],
+    [src] is empty, or [src == dst]. *)
+
+val relocate_phys : t -> int -> id:Id.t -> bool
+(** [relocate_phys t pid ~id] makes machine [pid] give up its current
+    ring position and rejoin at [id] — range reassignment through the
+    existing leave/join machinery, so keys move by ownership change.
+    Acts only when the machine is active with exactly its primary
+    presence (no Sybils) and [id] is free; consumes no strategy-stream
+    draws.  Charges the leave, the join, both key handovers, and the
+    join's lookup hops at the post-leave ring size.  [false] — no
+    charges, no state change — when refused (Sybils held, target
+    occupied, or the leaver is the ring's last key-holding vnode). *)
+
 val create_sybil : t -> int -> Id.t -> bool
 (** [create_sybil t pid id] joins a Sybil vnode for machine [pid] at
     [id]; charges the join's expected lookup hops.  [false] if the id is

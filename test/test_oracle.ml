@@ -495,6 +495,7 @@ let compare_runs (strat : Strategy.t) (s : scenario) =
         ("tasks_lost", em.Messages.tasks_lost, om.Oracle.tasks_lost);
         ("attack_joins", em.Messages.attack_joins, om.Oracle.attack_joins);
         ("puzzles", em.Messages.puzzles, om.Oracle.puzzles);
+        ("work_transfers", em.Messages.work_transfers, om.Oracle.work_transfers);
       ]
     in
     match List.find_opt (fun (_, a, b) -> a <> b) pairs with
@@ -869,6 +870,42 @@ let attack_scenarios =
             window = Some (3, 14) } } );
   ]
 
+(* Deterministic transfer/reassignment edge scenarios, every strategy
+   (the non-transfer strategies pin work_transfers to zero on both
+   sides).  A 2-node ring collapses successor and predecessor into one
+   candidate (the dedup arm) and regularly leaves a machine with no
+   foreign neighbor at all; an empty task pool under arrivals makes
+   empty-source and empty-destination transfers routine; crash bursts
+   landing just after the first transfers park out-of-arc keys on a
+   crashing machine, so recovery must restore keys a vnode never owned;
+   clustered keys concentrate load so range reassignment actually finds
+   an overloaded inviter and relocates helpers mid-churn. *)
+let transfer_scenarios =
+  [
+    ( "transfer-tiny-ring",
+      { fault_base with nodes = 2; tasks = 40; churn = 0.1; fail = 0.05 } );
+    ( "transfer-empty-pool",
+      { fault_base with
+        tasks = 0;
+        faults = { Faults.none with Faults.drop = 0.3 };
+        arrivals =
+          { Arrivals.profile = Some (Arrivals.Poisson { rate = 3.0 });
+            keys = Arrivals.Uniform;
+            horizon = 25;
+            window = 5 } } );
+    ( "transfer-into-crash",
+      { fault_base with
+        replicas = 2;
+        faults =
+          {
+            Faults.none with
+            Faults.crash_bursts =
+              [ { Faults.at = 2; count = 3 }; { Faults.at = 4; count = 4 } ];
+          } } );
+    ( "transfer-clustered-overload",
+      { fault_base with clustered = true; sybil_threshold = 2; churn = 0.08 } );
+  ]
+
 let test_oracle_faulted (label, s) () =
   List.iter
     (fun strat ->
@@ -906,6 +943,15 @@ let attack_cases =
         (test_oracle_faulted (label, s)))
     attack_scenarios
 
+let transfer_cases =
+  List.map
+    (fun (label, s) ->
+      Alcotest.test_case
+        (Printf.sprintf "edge %s" label)
+        `Quick
+        (test_oracle_faulted (label, s)))
+    transfer_scenarios
+
 let stressed_cases =
   List.map
     (fun strat ->
@@ -921,6 +967,7 @@ let () =
         Alcotest.test_case "known case" `Quick test_known_case
         :: Alcotest.test_case "accounting edges" `Quick
              test_oracle_accounting_edges
-        :: (stressed_cases @ faulted_cases @ arrival_cases @ attack_cases) );
+        :: (stressed_cases @ faulted_cases @ arrival_cases @ attack_cases
+           @ transfer_cases) );
       ("properties", prop_engine_matches_reference :: oracle_props);
     ]

@@ -62,6 +62,29 @@ let test_names_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown name accepted"
 
+let test_of_name_lists_all () =
+  (* The rejection message derives from [Strategy.all], so a strategy
+     added without a CLI name (or vice versa) fails here by name. *)
+  match Strategy.of_name "bogus" with
+  | Ok _ -> Alcotest.fail "unknown name accepted"
+  | Error msg ->
+    Alcotest.(check string)
+      "error message lists every strategy"
+      "unknown strategy \"bogus\" (expected one of: none, churn, random, \
+       neighbor, smart-neighbor, invitation, strength-aware, static-vnodes, \
+       diffusive, range-reassign)"
+      msg;
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    List.iter
+      (fun s ->
+        if not (contains msg (Strategy.name s)) then
+          Alcotest.failf "error message omits %s" (Strategy.name s))
+      Strategy.all
+
 let test_default_params () =
   let p = Params.default ~nodes ~tasks in
   let p' = Strategy.default_params Strategy.Induced_churn p in
@@ -308,6 +331,78 @@ let test_neighbor_avoid_repeats_runs () =
   | Engine.Finished _ -> ()
   | Engine.Aborted _ -> Alcotest.fail "avoid-repeats neighbor aborted"
 
+(* Pure decision helpers of the two non-Sybil strategies (ISSUE 9). *)
+
+let test_transfer_amount_units () =
+  Alcotest.(check int) "half the gradient" 3
+    (Diffusive.transfer_amount ~own:10 ~neighbor:4);
+  Alcotest.(check int) "rounds toward zero" 2
+    (Diffusive.transfer_amount ~own:9 ~neighbor:4);
+  Alcotest.(check int) "never negative" 0
+    (Diffusive.transfer_amount ~own:4 ~neighbor:10);
+  Alcotest.(check int) "level queues stay" 0
+    (Diffusive.transfer_amount ~own:7 ~neighbor:7);
+  Alcotest.(check int) "gradient of one stays" 0
+    (Diffusive.transfer_amount ~own:5 ~neighbor:4);
+  Alcotest.(check int) "empty donor" 0
+    (Diffusive.transfer_amount ~own:0 ~neighbor:0)
+
+let prop_transfer_amount =
+  Testutil.prop ~count:500 "transfer_amount never overshoots"
+    QCheck.(pair (int_bound 2_000) (int_bound 2_000))
+    (fun (own, neighbor) ->
+      let t = Diffusive.transfer_amount ~own ~neighbor in
+      (* Nonnegative, within the donor's queue, and moving [t] can never
+         invert the gradient: the donor keeps at least as much as the
+         recipient ends with. *)
+      t >= 0 && t <= own
+      && (own <= neighbor || own - t >= neighbor + t)
+      && (own > neighbor || t = 0))
+
+let test_pick_lighter_first_min () =
+  Alcotest.(check (option (pair char int)))
+    "first minimum wins ties"
+    (Some ('a', 1))
+    (Diffusive.pick_lighter [ ('a', 1); ('b', 1); ('c', 2) ]);
+  Alcotest.(check (option (pair char int)))
+    "later strict minimum wins"
+    (Some ('c', 0))
+    (Diffusive.pick_lighter [ ('a', 1); ('b', 1); ('c', 0) ]);
+  Alcotest.(check (option (pair char int)))
+    "empty list refuses" None
+    (Diffusive.pick_lighter [])
+
+let prop_pick_lighter =
+  Testutil.prop ~count:500 "pick_lighter = first minimum"
+    QCheck.(list (int_bound 50))
+    (fun weights ->
+      let labeled = List.mapi (fun i w -> (i, w)) weights in
+      match Diffusive.pick_lighter labeled with
+      | None -> weights = []
+      | Some (i, w) ->
+        w = List.fold_left min max_int weights
+        && List.for_all (fun (j, w') -> j >= i || w' > w) labeled
+        && List.nth weights i = w)
+
+let test_split_arithmetic_units () =
+  Alcotest.(check (pair int int)) "even split" (2, 2)
+    (Range_reassignment.split_sizes ~count:4);
+  Alcotest.(check (pair int int)) "odd split favors inviter" (2, 3)
+    (Range_reassignment.split_sizes ~count:5);
+  Alcotest.(check (pair int int)) "minimum split" (1, 1)
+    (Range_reassignment.split_sizes ~count:2);
+  Alcotest.(check int) "split rank is helper share - 1" 1
+    (Range_reassignment.split_rank ~count:4)
+
+let prop_split_conserves =
+  Testutil.prop ~count:500 "split conserves keys, both halves nonempty"
+    QCheck.(map (fun n -> n + 2) (int_bound 10_000))
+    (fun count ->
+      let h, r = Range_reassignment.split_sizes ~count in
+      let rank = Range_reassignment.split_rank ~count in
+      h > 0 && r > 0 && h + r = count && rank = h - 1 && rank >= 0
+      && rank < count)
+
 let () =
   Alcotest.run "strategies"
     [
@@ -322,6 +417,7 @@ let () =
       ( "rules",
         [
           Alcotest.test_case "name roundtrip" `Quick test_names_roundtrip;
+          Alcotest.test_case "of_name lists all" `Quick test_of_name_lists_all;
           Alcotest.test_case "default params" `Quick test_default_params;
           Alcotest.test_case "sybil cap during run" `Quick
             test_sybil_cap_respected_during_run;
@@ -360,5 +456,15 @@ let () =
             test_invitation_median_split_runs;
           Alcotest.test_case "neighbor avoid repeats" `Quick
             test_neighbor_avoid_repeats_runs;
+        ] );
+      ( "non-sybil helpers",
+        [
+          Alcotest.test_case "transfer amount" `Quick test_transfer_amount_units;
+          prop_transfer_amount;
+          Alcotest.test_case "pick lighter" `Quick test_pick_lighter_first_min;
+          prop_pick_lighter;
+          Alcotest.test_case "split arithmetic" `Quick
+            test_split_arithmetic_units;
+          prop_split_conserves;
         ] );
     ]
