@@ -146,7 +146,7 @@ let hotpath () =
         Engine.run_state ~sink:Trace.Memory ~metrics:false state
           Engine.no_strategy)
   in
-  let ticks = match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t in
+  let ticks = match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t in
   let ticks_per_s = float_of_int ticks /. dt_run in
   let keys_per_s = float_of_int tasks /. dt_run in
   Printf.printf
@@ -169,7 +169,7 @@ let hotpath () =
       Engine.no_strategy
   in
   let ticks2 =
-    match r2.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+    match r2.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
   in
   if ticks2 <> ticks then
     Printf.printf "WARNING: metrics-on rerun took %d ticks, expected %d\n"
@@ -216,7 +216,7 @@ let hotpath () =
           Engine.no_strategy)
   in
   let ticks3 =
-    match r3.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+    match r3.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
   in
   let m3 = r3.Engine.messages in
   Printf.printf
@@ -315,7 +315,7 @@ let scale () =
           in
           let ticks =
             match r.Engine.outcome with
-            | Engine.Finished t | Engine.Aborted t -> t
+            | Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
           in
           let keys_per_s = float_of_int tasks /. dt_run in
           Printf.printf
@@ -513,10 +513,7 @@ let emit_hotpath_json () =
         ("hotpath", Json_out.Obj (List.rev !hotpath_metrics));
       ]
   in
-  let oc = open_out file in
-  output_string oc (Json_out.to_string ~pretty:true json);
-  output_char oc '\n';
-  close_out oc;
+  Atomic_write.write file (Json_out.to_string ~pretty:true json ^ "\n");
   Printf.printf "wrote %s\n%!" file
   end
 
@@ -535,10 +532,7 @@ let emit_scale_json () =
             ("scale", legs);
           ]
       in
-      let oc = open_out file in
-      output_string oc (Json_out.to_string ~pretty:true json);
-      output_char oc '\n';
-      close_out oc;
+      Atomic_write.write file (Json_out.to_string ~pretty:true json ^ "\n");
       Printf.printf "wrote %s\n%!" file
 
 let emit_stream_json () =
@@ -556,10 +550,7 @@ let emit_stream_json () =
             ("stream", leg);
           ]
       in
-      let oc = open_out file in
-      output_string oc (Json_out.to_string ~pretty:true json);
-      output_char oc '\n';
-      close_out oc;
+      Atomic_write.write file (Json_out.to_string ~pretty:true json ^ "\n");
       Printf.printf "wrote %s\n%!" file
 
 (* ------------------------------------------------------------------ *)

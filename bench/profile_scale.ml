@@ -37,7 +37,7 @@ let run nodes tasks =
     m.Metrics.decide_s m.Metrics.consume_s m.Metrics.churn_s m.Metrics.trace_s
     m.Metrics.check_s;
   let ticks =
-    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
   in
   Printf.printf "  ticks=%d heap high-water %.0f MB\n%!" ticks
     (float_of_int (Gc.quick_stat ()).Gc.top_heap_words *. 8.0 /. 1e6)
@@ -59,7 +59,7 @@ let run_strategy nodes tasks churn strat =
           (Strategy.make strat ()))
   in
   let ticks =
-    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
   in
   let m = r.Engine.metrics in
   Printf.printf

@@ -281,6 +281,129 @@ let csv_t =
     & opt (some string) None
     & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the result as CSV to $(docv).")
 
+let out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:
+          "Write the result JSON to $(docv) (atomic write-then-rename), \
+           independent of the human-readable report on stdout.")
+
+let checkpoint_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Checkpoint file: written atomically on SIGINT/SIGTERM (and \
+           every --checkpoint-every ticks), read back by --resume.  \
+           Single-run commands only (--trials 1).")
+
+let checkpoint_every_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"TICKS"
+        ~doc:
+          "With --checkpoint, also snapshot every $(docv) ticks, so a \
+           SIGKILL loses at most that much progress.")
+
+let resume_t =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the --checkpoint file instead of starting fresh; \
+           bit-for-bit identical to the uninterrupted run.  A missing \
+           checkpoint file falls back to a fresh run; a mismatched one \
+           (different parameters or format) is refused.")
+
+let trial_timeout_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "trial-timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock watchdog per trial: a trial still running after \
+           $(docv) seconds stops between ticks and is counted as \
+           timed-out in the aggregate instead of poisoning the means.")
+
+let journal_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Per-cell result journal (JSONL, one fsynced line per \
+           completed cell).  Rerunning a killed sweep with the same \
+           journal skips exactly the cells already recorded there.")
+
+let with_journal path f =
+  match path with
+  | None -> f None
+  | Some p ->
+    let j = Journal.open_ p in
+    if Journal.loaded j > 0 then
+      Printf.eprintf "journal %s: resuming, %d cell(s) already recorded\n%!" p
+        (Journal.loaded j);
+    Fun.protect ~finally:(fun () -> Journal.close j) (fun () -> f (Some j))
+
+(* Cooperative interrupts: the handlers only set the engine's atomic
+   flag; the tick loop notices at the next tick boundary, writes a final
+   checkpoint when one is configured, closes trace sinks and raises
+   [Engine.Interrupted].  Exit codes follow the shell convention
+   (128 + signal): 130 for SIGINT, 143 for SIGTERM. *)
+let last_signal = ref Sys.sigint
+
+let install_interrupt_handlers () =
+  List.iter
+    (fun signum ->
+      Sys.set_signal signum
+        (Sys.Signal_handle
+           (fun s ->
+             last_signal := s;
+             Engine.request_interrupt ())))
+    [ Sys.sigint; Sys.sigterm ]
+
+let interrupt_exit_code () = if !last_signal = Sys.sigterm then 143 else 130
+
+let handle_interrupted ~checkpoint tick =
+  Format.eprintf "interrupted at tick %d%s@." tick
+    (match checkpoint with
+    | Some path -> "; checkpoint written to " ^ path
+    | None -> "");
+  exit (interrupt_exit_code ())
+
+let maybe_out out json =
+  match out with
+  | Some file ->
+    Atomic_write.write file (Json_out.to_string ~pretty:true json ^ "\n");
+    Printf.eprintf "wrote %s\n%!" file
+  | None -> ()
+
+(* The checkpoint hook for a run, plus the resume-or-fresh split.  A
+   missing checkpoint file degrades to a fresh run (so wrappers can
+   always pass --resume without racing the first checkpoint); anything
+   else Checkpoint.load refuses is fatal. *)
+let checkpoint_hook params = function
+  | None -> None
+  | Some path -> Some (fun p -> Checkpoint.save ~path params p)
+
+let load_checkpoint_or_die ~path params =
+  match Checkpoint.load ~path params with
+  | Ok (p, hdr) ->
+    let current = Checkpoint.current_git_rev () in
+    if not (String.equal hdr.Checkpoint.git_rev current) then
+      Format.eprintf
+        "warning: checkpoint %s was written at rev %s, current is %s@." path
+        hdr.Checkpoint.git_rev current;
+    Format.eprintf "resuming %s from tick %d@." path hdr.Checkpoint.tick;
+    p
+  | Error e ->
+    prerr_endline e;
+    exit 2
+
 let maybe_csv path contents =
   match path with
   | Some file ->
@@ -306,29 +429,51 @@ let sink_of_opt trace_out =
       exit 2)
 
 let simulate params strategy trials domains snapshots trace_csv trace_out
-    metrics json =
+    metrics json out checkpoint checkpoint_every resume trial_timeout =
   let params = Strategy.default_params strategy params in
   validate_or_die params;
   let sink = sink_of_opt trace_out in
-  (* file sinks would have every trial overwrite the same path *)
-  (match sink with
-  | Some (Trace.Csv_file _ | Trace.Jsonl_file _) when trials > 1 ->
-    prerr_endline "--trace-out csv:/jsonl: requires --trials 1";
+  if (checkpoint <> None || resume) && trials > 1 then begin
+    prerr_endline "--checkpoint/--resume require --trials 1";
     exit 2
-  | _ -> ());
+  end;
+  if resume && checkpoint = None then begin
+    prerr_endline "--resume requires --checkpoint FILE";
+    exit 2
+  end;
   Format.printf "parameters: %a@." Params.pp params;
   if trials = 1 then begin
+    install_interrupt_handlers ();
+    let hook = checkpoint_hook params checkpoint in
+    let metrics = if metrics then Some true else None in
+    let strat = Strategy.make strategy () in
+    let run_fresh () =
+      Engine.run ?sink ?metrics ~snapshot_at:snapshots ?checkpoint_every
+        ?checkpoint:hook ?timeout:trial_timeout params strat
+    in
     let r =
-      Engine.run ?sink ?metrics:(if metrics then Some true else None)
-        ~snapshot_at:snapshots params
-        (Strategy.make strategy ())
+      match
+        match checkpoint with
+        | Some path when resume && Sys.file_exists path ->
+          let p = load_checkpoint_or_die ~path params in
+          Engine.resume ?sink ?metrics ?checkpoint_every ?checkpoint:hook
+            ?timeout:trial_timeout p strat
+        | Some path when resume ->
+          Format.eprintf "checkpoint %s not found; starting fresh@." path;
+          run_fresh ()
+        | _ -> run_fresh ()
+      with
+      | r -> r
+      | exception Engine.Interrupted tick -> handle_interrupted ~checkpoint tick
     in
     (match r.Engine.outcome with
     | Engine.Finished t ->
       Format.printf "finished in %d ticks (ideal %d, factor %.3f)@." t
         r.Engine.ideal r.Engine.factor
     | Engine.Aborted t ->
-      Format.printf "ABORTED at safety cap %d ticks (ideal %d)@." t r.Engine.ideal);
+      Format.printf "ABORTED at safety cap %d ticks (ideal %d)@." t r.Engine.ideal
+    | Engine.Timed_out t ->
+      Format.printf "TIMED OUT at tick %d (ideal %d)@." t r.Engine.ideal);
     Format.printf "work/tick mean: %.1f; final vnodes: %d; active: %d@."
       r.Engine.work_per_tick r.Engine.final_vnodes r.Engine.final_active;
     Format.printf "messages: %a@." Messages.pp r.Engine.messages;
@@ -342,18 +487,19 @@ let simulate params strategy trials domains snapshots trace_csv trace_out
                [ { Figure.label = Strategy.name strategy; workloads = w } ]))
       (Trace.snapshots r.Engine.trace);
     maybe_csv trace_csv (Export.trace_csv r.Engine.trace);
-    if json then
-      print_endline (Json_out.to_string ~pretty:true (Export.result_json r))
+    let result = Export.result_json r in
+    maybe_out out result;
+    if json then print_endline (Json_out.to_string ~pretty:true result)
   end
   else begin
     let agg =
-      Runner.run_trials ~trials ~domains params (Strategy.make strategy)
+      Runner.run_trials ~trials ~domains ?sink ?trial_timeout params
+        (Strategy.make strategy)
     in
     Format.printf "%a@." Runner.pp_aggregate agg;
-    if json then
-      print_endline
-        (Json_out.to_string ~pretty:true
-           (Export.aggregate_json ~label:(Strategy.name strategy) agg))
+    let result = Export.aggregate_json ~label:(Strategy.name strategy) agg in
+    maybe_out out result;
+    if json then print_endline (Json_out.to_string ~pretty:true result)
   end
 
 let trace_out_t =
@@ -364,8 +510,9 @@ let trace_out_t =
         ~doc:
           "Trace sink: $(b,memory), $(b,null), $(b,ring:N), $(b,csv:PATH) \
            or $(b,jsonl:PATH).  Bounds trace memory for long runs; \
-           defaults to \\$DHTLB_TRACE_OUT, else memory.  File sinks \
-           require --trials 1.")
+           defaults to \\$DHTLB_TRACE_OUT, else memory.  Multi-trial \
+           runs suffix file-sink paths with the trial index \
+           (trace.csv becomes trace.0.csv, trace.1.csv, ...).")
 
 let simulate_cmd =
   let snapshots_t =
@@ -397,7 +544,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one simulation configuration.")
     Term.(
       const simulate $ params_t $ strategy_t $ trials_t $ domains_t
-      $ snapshots_t $ trace_csv_t $ trace_out_t $ metrics_t $ json_t)
+      $ snapshots_t $ trace_csv_t $ trace_out_t $ metrics_t $ json_t $ out_t
+      $ checkpoint_t $ checkpoint_every_t $ resume_t $ trial_timeout_t)
 
 (* ---------------------------------------------------------------- *)
 (* Open-system streaming                                              *)
@@ -422,7 +570,8 @@ let window_table windows =
     windows;
   Buffer.contents buf
 
-let stream params strategy trace_out csv json =
+let stream params strategy trace_out csv json out checkpoint checkpoint_every
+    resume =
   (* `stream` means open system: supply a default Poisson plan when the
      user gave none rather than silently running the batch engine. *)
   let params =
@@ -439,12 +588,36 @@ let stream params strategy trace_out csv json =
   in
   let params = Strategy.default_params strategy params in
   validate_or_die params;
+  if resume && checkpoint = None then begin
+    prerr_endline "--resume requires --checkpoint FILE";
+    exit 2
+  end;
   let sink = sink_of_opt trace_out in
   Format.printf "parameters: %a@." Params.pp params;
-  let r = Engine.run ?sink params (Strategy.make strategy ()) in
+  install_interrupt_handlers ();
+  let hook = checkpoint_hook params checkpoint in
+  let strat = Strategy.make strategy () in
+  let run_fresh () =
+    Engine.run ?sink ?checkpoint_every ?checkpoint:hook params strat
+  in
+  let r =
+    match
+      match checkpoint with
+      | Some path when resume && Sys.file_exists path ->
+        let p = load_checkpoint_or_die ~path params in
+        Engine.resume ?sink ?checkpoint_every ?checkpoint:hook p strat
+      | Some path when resume ->
+        Format.eprintf "checkpoint %s not found; starting fresh@." path;
+        run_fresh ()
+      | _ -> run_fresh ()
+    with
+    | r -> r
+    | exception Engine.Interrupted tick -> handle_interrupted ~checkpoint tick
+  in
   (match r.Engine.outcome with
   | Engine.Finished t -> Format.printf "horizon reached: %d ticks@." t
-  | Engine.Aborted t -> Format.printf "ABORTED at safety cap %d ticks@." t);
+  | Engine.Aborted t -> Format.printf "ABORTED at safety cap %d ticks@." t
+  | Engine.Timed_out t -> Format.printf "TIMED OUT at tick %d@." t);
   let completed =
     List.fold_left (fun acc (_, c) -> acc + c) 0 r.Engine.sojourn_ledger
   in
@@ -455,8 +628,9 @@ let stream params strategy trace_out csv json =
   Format.printf "messages: %a@." Messages.pp r.Engine.messages;
   print_string (window_table r.Engine.steady);
   maybe_csv csv (Export.steady_csv r.Engine.steady);
-  if json then
-    print_endline (Json_out.to_string ~pretty:true (Export.result_json r))
+  let result = Export.result_json r in
+  maybe_out out result;
+  if json then print_endline (Json_out.to_string ~pretty:true result)
 
 let stream_cmd =
   let json_t =
@@ -471,7 +645,8 @@ let stream_cmd =
           Sybil-count swing).  Defaults to $(b,--arrivals poisson=4) \
           when no plan is given.")
     Term.(
-      const stream $ params_t $ strategy_t $ trace_out_t $ csv_t $ json_t)
+      const stream $ params_t $ strategy_t $ trace_out_t $ csv_t $ json_t
+      $ out_t $ checkpoint_t $ checkpoint_every_t $ resume_t)
 
 let steady_sweep_cmd =
   Cmd.v
@@ -481,11 +656,14 @@ let steady_sweep_cmd =
           each cell an open-system run reporting warm-up-discarded \
           queue and sojourn percentiles.")
     Term.(
-      const (fun trials seed csv ->
-          let cells = Steady_sweep.run ~trials ~seed () in
+      const (fun trials seed csv journal trial_timeout ->
+          let cells =
+            with_journal journal (fun journal ->
+                Steady_sweep.run ~trials ~seed ?journal ?trial_timeout ())
+          in
           print_string (Steady_sweep.print_table cells);
           maybe_csv csv (Export.steady_sweep_csv cells))
-      $ trials_t $ seed_t $ csv_t)
+      $ trials_t $ seed_t $ csv_t $ journal_t $ trial_timeout_t)
 
 let print_cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const (fun s -> print_string (f s)) $ seed_t)
@@ -510,11 +688,14 @@ let table2_cmd =
   Cmd.v
     (Cmd.info "table2" ~doc:"Table II: churn-rate sweep.")
     Term.(
-      const (fun trials seed csv ->
-          let cells = Churn_sweep.run ~trials ~seed () in
+      const (fun trials seed csv journal trial_timeout ->
+          let cells =
+            with_journal journal (fun journal ->
+                Churn_sweep.run ~trials ~seed ?journal ?trial_timeout ())
+          in
           print_string (Churn_sweep.print_table cells);
           maybe_csv csv (Export.churn_sweep_csv cells))
-      $ trials_t $ seed_t $ csv_t)
+      $ trials_t $ seed_t $ csv_t $ journal_t $ trial_timeout_t)
 
 let hops_cmd =
   Cmd.v
@@ -702,11 +883,14 @@ let degrade_cmd =
          "Graceful degradation: runtime factor per strategy as the \
           control-plane message drop rate climbs.")
     Term.(
-      const (fun trials seed csv ->
-          let cells = Degradation.run ~trials ~seed () in
+      const (fun trials seed csv journal trial_timeout ->
+          let cells =
+            with_journal journal (fun journal ->
+                Degradation.run ~trials ~seed ?journal ?trial_timeout ())
+          in
           print_string (Degradation.print_table cells);
           maybe_csv csv (Export.degradation_csv cells))
-      $ trials_t $ seed_t $ csv_t)
+      $ trials_t $ seed_t $ csv_t $ journal_t $ trial_timeout_t)
 
 let maintenance_cmd =
   print_cmd "maintenance"
@@ -726,11 +910,14 @@ let recovery_sweep_cmd =
          "In-simulation crash recovery: tasks lost under a crash burst \
           versus live replication degree, against the analytic f^(r+1).")
     Term.(
-      const (fun trials seed csv ->
-          let cells = Recovery_sweep.run ~trials ~seed () in
+      const (fun trials seed csv journal trial_timeout ->
+          let cells =
+            with_journal journal (fun journal ->
+                Recovery_sweep.run ~trials ~seed ?journal ?trial_timeout ())
+          in
           print_string (Recovery_sweep.print_table cells);
           maybe_csv csv (Export.recovery_sweep_csv cells))
-      $ trials_t $ seed_t $ csv_t)
+      $ trials_t $ seed_t $ csv_t $ journal_t $ trial_timeout_t)
 
 let attack_sweep_cmd =
   Cmd.v
@@ -740,8 +927,11 @@ let attack_sweep_cmd =
           loss versus eclipse-attacker strength, undefended and under \
           the admission-puzzle defense.")
     Term.(
-      const (fun trials seed csv json ->
-          let cells = Attack_sweep.run ~trials ~seed () in
+      const (fun trials seed csv json journal trial_timeout ->
+          let cells =
+            with_journal journal (fun journal ->
+                Attack_sweep.run ~trials ~seed ?journal ?trial_timeout ())
+          in
           print_string (Attack_sweep.print_table cells);
           maybe_csv csv (Export.attack_sweep_csv cells);
           if json then
@@ -749,7 +939,8 @@ let attack_sweep_cmd =
               (Json_out.to_string ~pretty:true (Export.attack_sweep_json cells)))
       $ trials_t $ seed_t $ csv_t
       $ Arg.(
-          value & flag & info [ "json" ] ~doc:"Also print the sweep as JSON."))
+          value & flag & info [ "json" ] ~doc:"Also print the sweep as JSON.")
+      $ journal_t $ trial_timeout_t)
 
 let head_to_head_cmd =
   Cmd.v
@@ -761,8 +952,11 @@ let head_to_head_cmd =
           ChordReduce word-count makespan leg on each family's warmed \
           ring.")
     Term.(
-      const (fun trials seed csv json ->
-          let cells = Headtohead.run ~trials ~seed () in
+      const (fun trials seed csv json journal trial_timeout ->
+          let cells =
+            with_journal journal (fun journal ->
+                Headtohead.run ~trials ~seed ?journal ?trial_timeout ())
+          in
           let makespans = Headtohead.makespans ~seed () in
           print_string (Headtohead.print_table cells);
           print_newline ();
@@ -775,7 +969,8 @@ let head_to_head_cmd =
       $ trials_t $ seed_t $ csv_t
       $ Arg.(
           value & flag
-          & info [ "json" ] ~doc:"Also print the comparison as JSON."))
+          & info [ "json" ] ~doc:"Also print the comparison as JSON.")
+      $ journal_t $ trial_timeout_t)
 
 let main_cmd =
   Cmd.group

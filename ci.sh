@@ -44,6 +44,60 @@ DHTLB_CHECK=1 DHTLB_TRACE_OUT=ring:32 dune exec bin/dhtlb.exe -- stream \
   --faults drop=0.05 \
   --arrivals burst=20:150:10:20,hot=4:0.05:1.1,horizon=120,window=20 --seed 7
 
+echo "==> checkpoint kill-and-resume smoke (SIGKILL mid-run, resumed result must be byte-identical)"
+# One uninterrupted reference run writes its result JSON; the same
+# configuration is then checkpointed every 200 ticks, SIGKILLed
+# mid-run, and rerun with --resume.  The resumed result file must be
+# byte-identical to the reference.  Every timing of the kill is legal:
+# killed before the first checkpoint, --resume falls back to a fresh
+# (still identical) run; killed after the horizon, the rerun resumes
+# from the last periodic checkpoint and replays the tail.  The direct
+# binary path (not dune exec) keeps the kill from hitting a wrapper.
+dhtlb=./_build/default/bin/dhtlb.exe
+ckpt_dir=$(mktemp -d)
+ckpt_args="--nodes 300 --tasks 10000 --churn 0.02 --strategy invitation \
+  --arrivals poisson=60,horizon=3000,window=100 --seed 7"
+DHTLB_CHECK=1 "$dhtlb" stream $ckpt_args \
+  --out "$ckpt_dir/reference.json" >/dev/null
+DHTLB_CHECK=1 "$dhtlb" stream $ckpt_args \
+  --checkpoint "$ckpt_dir/run.ckpt" --checkpoint-every 200 \
+  --out "$ckpt_dir/killed.json" >/dev/null 2>&1 &
+victim=$!
+sleep 0.7
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+DHTLB_CHECK=1 "$dhtlb" stream $ckpt_args \
+  --checkpoint "$ckpt_dir/run.ckpt" --resume \
+  --out "$ckpt_dir/resumed.json" >/dev/null
+cmp "$ckpt_dir/reference.json" "$ckpt_dir/resumed.json"
+echo "    resumed result byte-identical to the uninterrupted run"
+rm -rf "$ckpt_dir"
+
+echo "==> journaled sweep resume smoke (truncated journal recomputes only the missing cells)"
+# A journaled attack-sweep must print the same table as an unjournaled
+# one; truncating the journal to its first 3 cells and rerunning must
+# recompute exactly the missing cells, print a byte-identical table,
+# and leave the journal complete again.
+sweep_dir=$(mktemp -d)
+DHTLB_CHECK=1 "$dhtlb" attack-sweep --trials 1 --seed 11 \
+  > "$sweep_dir/reference.txt"
+DHTLB_CHECK=1 "$dhtlb" attack-sweep --trials 1 --seed 11 \
+  --journal "$sweep_dir/sweep.jsonl" > "$sweep_dir/full.txt"
+cmp "$sweep_dir/reference.txt" "$sweep_dir/full.txt"
+cells=$(wc -l < "$sweep_dir/sweep.jsonl")
+head -n 3 "$sweep_dir/sweep.jsonl" > "$sweep_dir/truncated.jsonl"
+DHTLB_CHECK=1 "$dhtlb" attack-sweep --trials 1 --seed 11 \
+  --journal "$sweep_dir/truncated.jsonl" > "$sweep_dir/resumed.txt"
+cmp "$sweep_dir/reference.txt" "$sweep_dir/resumed.txt"
+repaired=$(wc -l < "$sweep_dir/truncated.jsonl")
+if [ "$repaired" -ne "$cells" ]; then
+  echo "==> journal smoke FAILED: $repaired cells after resume, expected $cells" >&2
+  rm -rf "$sweep_dir"
+  exit 1
+fi
+echo "    resumed sweep byte-identical; journal repaired to $cells cells"
+rm -rf "$sweep_dir"
+
 echo "==> attack smoke (Sybil eclipse through the real CLI, invariant-checked, undefended then defended)"
 # End-to-end through bin/dhtlb with the adversary on: a windowed eclipse
 # of one ring arc under churn and live replication, every tick checked

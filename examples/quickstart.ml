@@ -18,7 +18,7 @@ let () =
   in
 
   let ticks r =
-    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
   in
   Printf.printf "ideal runtime:            %d ticks\n" baseline.Engine.ideal;
   Printf.printf "no strategy:              %d ticks (factor %.2f)\n"

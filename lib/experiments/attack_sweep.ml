@@ -37,9 +37,40 @@ let plan ~strength ~window =
       window = Some window;
     }
 
+(* Journal payload: the per-cell derived means plus the aggregate; the
+   coordinates live in the key and are re-attached on decode. *)
+let cell_to_json c =
+  Json_out.Obj
+    [
+      ("mean_attack_joins", Json_out.Float c.mean_attack_joins);
+      ("mean_puzzles", Json_out.Float c.mean_puzzles);
+      ("mean_tasks_lost", Json_out.Float c.mean_tasks_lost);
+      ("aggregate", Journal.aggregate_to_json c.aggregate);
+    ]
+
+let cell_of_json ~strength ~puzzle_cost v =
+  let ( let* ) = Option.bind in
+  let flt name = Option.bind (Json_in.member name v) Json_in.to_float in
+  let* mean_attack_joins = flt "mean_attack_joins" in
+  let* mean_puzzles = flt "mean_puzzles" in
+  let* mean_tasks_lost = flt "mean_tasks_lost" in
+  let* aggregate =
+    Option.bind (Json_in.member "aggregate" v) Journal.aggregate_of_json
+  in
+  Some
+    {
+      strength;
+      puzzle_cost;
+      mean_attack_joins;
+      mean_puzzles;
+      mean_tasks_lost;
+      aggregate;
+    }
+
 let run ?(trials = 3) ?(seed = 42) ?(nodes = 48) ?(tasks = 4_000)
     ?(replicas = 2) ?(window = (2, 18)) ?(strengths = strengths)
-    ?(puzzle_costs = puzzle_costs) ?(strategy = Strategy.Random_injection) () =
+    ?(puzzle_costs = puzzle_costs) ?(strategy = Strategy.Random_injection)
+    ?journal ?trial_timeout () =
   let grid =
     List.concat_map
       (fun strength -> List.map (fun cost -> (strength, cost)) puzzle_costs)
@@ -48,32 +79,52 @@ let run ?(trials = 3) ?(seed = 42) ?(nodes = 48) ?(tasks = 4_000)
   (* Disjoint per-cell seed ranges; see Runner.stride_seed. *)
   List.mapi
     (fun index (strength, puzzle_cost) ->
+      let cell_seed = Runner.stride_seed ~base:seed ~trials ~index in
       let params =
         Strategy.default_params strategy
           {
             (Params.default ~nodes ~tasks) with
-            Params.seed = Runner.stride_seed ~base:seed ~trials ~index;
+            Params.seed = cell_seed;
             replicas;
             churn_rate = 0.01;
             attack = plan ~strength ~window;
             puzzle_cost;
           }
       in
-      let results = Runner.run_all ~trials params (Strategy.make strategy) in
-      let mean_msg field =
-        Descriptive.mean
-          (Array.map
-             (fun (r : Engine.result) -> float_of_int (field r.Engine.messages))
-             results)
+      let key =
+        Journal.key
+          [
+            ("experiment", Json_out.String "attack_sweep");
+            ("strategy", Json_out.String (Strategy.name strategy));
+            ("strength", Json_out.Int strength);
+            ("puzzle_cost", Json_out.Int puzzle_cost);
+            ("nodes", Json_out.Int nodes);
+            ("tasks", Json_out.Int tasks);
+            ("replicas", Json_out.Int replicas);
+            ("seed", Json_out.Int cell_seed);
+            ("trials", Json_out.Int trials);
+          ]
       in
-      {
-        strength;
-        puzzle_cost;
-        mean_attack_joins = mean_msg (fun m -> m.Messages.attack_joins);
-        mean_puzzles = mean_msg (fun m -> m.Messages.puzzles);
-        mean_tasks_lost = mean_msg (fun m -> m.Messages.tasks_lost);
-        aggregate = Runner.aggregate_of params results;
-      })
+      Journal.cell journal ~key ~encode:cell_to_json
+        ~decode:(cell_of_json ~strength ~puzzle_cost) (fun () ->
+          let results =
+            Runner.run_all ~trials ?trial_timeout params (Strategy.make strategy)
+          in
+          let mean_msg field =
+            Descriptive.mean
+              (Array.map
+                 (fun (r : Engine.result) ->
+                   float_of_int (field r.Engine.messages))
+                 results)
+          in
+          {
+            strength;
+            puzzle_cost;
+            mean_attack_joins = mean_msg (fun m -> m.Messages.attack_joins);
+            mean_puzzles = mean_msg (fun m -> m.Messages.puzzles);
+            mean_tasks_lost = mean_msg (fun m -> m.Messages.tasks_lost);
+            aggregate = Runner.aggregate_of params results;
+          }))
     grid
 
 let print_table cells =

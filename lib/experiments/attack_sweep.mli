@@ -36,9 +36,14 @@ val run :
   ?strengths:int list ->
   ?puzzle_costs:int list ->
   ?strategy:Strategy.t ->
+  ?journal:Journal.t ->
+  ?trial_timeout:float ->
   unit ->
   cell list
 (** Cells in [strengths] × [puzzle_costs] order, per-cell seeds strided
-    by {!Runner.stride_seed} so no two cells share a trial seed. *)
+    by {!Runner.stride_seed} so no two cells share a trial seed.
+    [journal] makes the sweep resumable (completed cells skipped, new
+    ones appended — {!Journal}); [trial_timeout] arms the per-trial
+    watchdog ({!Runner.run_trials}). *)
 
 val print_table : cell list -> string

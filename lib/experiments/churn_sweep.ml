@@ -16,7 +16,8 @@ let configs =
     (100, 1_000_000);
   ]
 
-let run ?(trials = 3) ?(seed = 42) ?(rates = rates) ?(configs = configs) () =
+let run ?(trials = 3) ?(seed = 42) ?(rates = rates) ?(configs = configs)
+    ?journal ?trial_timeout () =
   let grid =
     List.concat_map
       (fun churn_rate ->
@@ -27,14 +28,29 @@ let run ?(trials = 3) ?(seed = 42) ?(rates = rates) ?(configs = configs) () =
      [cell seed + i]); see Runner.stride_seed. *)
   List.mapi
     (fun index (churn_rate, (nodes, tasks)) ->
+      let cell_seed = Runner.stride_seed ~base:seed ~trials ~index in
       let params =
         { (Params.default ~nodes ~tasks) with
           Params.churn_rate;
-          seed = Runner.stride_seed ~base:seed ~trials ~index;
+          seed = cell_seed;
         }
       in
+      let key =
+        Journal.key
+          [
+            ("experiment", Json_out.String "churn_sweep");
+            ("churn_rate", Json_out.Float churn_rate);
+            ("nodes", Json_out.Int nodes);
+            ("tasks", Json_out.Int tasks);
+            ("seed", Json_out.Int cell_seed);
+            ("trials", Json_out.Int trials);
+          ]
+      in
       let aggregate =
-        Runner.run_trials ~trials params (Strategy.make Strategy.Induced_churn)
+        Journal.cell journal ~key ~encode:Journal.aggregate_to_json
+          ~decode:Journal.aggregate_of_json (fun () ->
+            Runner.run_trials ~trials ?trial_timeout params
+              (Strategy.make Strategy.Induced_churn))
       in
       { churn_rate; nodes; tasks; aggregate })
     grid

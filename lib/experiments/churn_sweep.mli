@@ -16,7 +16,12 @@ val configs : (int * int) list
 
 val run :
   ?trials:int -> ?seed:int -> ?rates:float list -> ?configs:(int * int) list ->
+  ?journal:Journal.t -> ?trial_timeout:float ->
   unit -> cell list
+(** [journal] makes the sweep resumable: completed cells recorded there
+    (matching coordinates, seed and trial count) are skipped, newly
+    computed ones appended ({!Journal}).  [trial_timeout] arms the
+    per-trial watchdog ({!Runner.run_trials}). *)
 
 val print_table : cell list -> string
 (** Rows = churn rates, columns = network configurations — Table II's

@@ -19,7 +19,7 @@ let rates = [ 0.0; 0.05; 0.1; 0.2; 0.5 ]
 let plan drop = { Faults.none with Faults.drop }
 
 let run ?(trials = 3) ?(seed = 42) ?(rates = rates) ?(nodes = 100)
-    ?(tasks = 10_000) () =
+    ?(tasks = 10_000) ?journal ?trial_timeout () =
   let grid =
     List.concat_map
       (fun drop -> List.map (fun strategy -> (drop, strategy)) Strategy.all)
@@ -28,18 +28,35 @@ let run ?(trials = 3) ?(seed = 42) ?(rates = rates) ?(nodes = 100)
   (* Disjoint per-cell seed ranges; see Runner.stride_seed. *)
   List.mapi
     (fun index (drop, strategy) ->
-      let seed = Runner.stride_seed ~base:seed ~trials ~index in
+      let cell_seed = Runner.stride_seed ~base:seed ~trials ~index in
       let params =
         Strategy.default_params strategy
           {
-            (Harness.p ~seed nodes tasks) with
+            (Harness.p ~seed:cell_seed nodes tasks) with
             Params.churn_rate = 0.01;
             failure_rate = 0.005;
             sybil_threshold = 1;
             faults = plan drop;
           }
       in
-      { drop; strategy; aggregate = Harness.aggregate ~trials params strategy })
+      let key =
+        Journal.key
+          [
+            ("experiment", Json_out.String "degradation");
+            ("drop", Json_out.Float drop);
+            ("strategy", Json_out.String (Strategy.name strategy));
+            ("nodes", Json_out.Int nodes);
+            ("tasks", Json_out.Int tasks);
+            ("seed", Json_out.Int cell_seed);
+            ("trials", Json_out.Int trials);
+          ]
+      in
+      let aggregate =
+        Journal.cell journal ~key ~encode:Journal.aggregate_to_json
+          ~decode:Journal.aggregate_of_json (fun () ->
+            Harness.aggregate ~trials ?trial_timeout params strategy)
+      in
+      { drop; strategy; aggregate })
     grid
 
 let print_table cells =

@@ -27,11 +27,15 @@ val run :
   ?rates:float list ->
   ?nodes:int ->
   ?tasks:int ->
+  ?journal:Journal.t ->
+  ?trial_timeout:float ->
   unit ->
   cell list
 (** Defaults: 3 trials, seed 42, 100 nodes, 10k tasks, moderate churn
     (0.01) and failures (0.005) so recovery traffic is also exposed to
-    the drop rate's indirect effects. *)
+    the drop rate's indirect effects.  [journal] makes the sweep
+    resumable (completed cells skipped — {!Journal}); [trial_timeout]
+    arms the per-trial watchdog ({!Runner.run_trials}). *)
 
 val print_table : cell list -> string
 (** Rows = strategies, columns = drop rates, cells = mean factor. *)

@@ -386,6 +386,7 @@ let result_json (r : Engine.result) =
     match r.Engine.outcome with
     | Engine.Finished t -> ("finished", t)
     | Engine.Aborted t -> ("aborted", t)
+    | Engine.Timed_out t -> ("timed_out", t)
   in
   Json_out.Obj
     ([
@@ -429,6 +430,7 @@ let aggregate_json ~label (a : Runner.aggregate) =
       ("mean_ideal", Json_out.Float a.Runner.mean_ideal);
       ("aborted", Json_out.Int a.Runner.aborted);
       ("finished", Json_out.Int a.Runner.finished);
+      ("timed_out", Json_out.Int a.Runner.timed_out);
       ("mean_factor_finished", Json_out.Float a.Runner.mean_factor_finished);
       ("mean_ticks_finished", Json_out.Float a.Runner.mean_ticks_finished);
       ("mean_messages", Json_out.Float a.Runner.mean_messages);

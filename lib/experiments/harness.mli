@@ -5,8 +5,11 @@ val p : ?seed:int -> int -> int -> Params.t
     baseline every experiment table perturbs. *)
 
 val aggregate :
-  ?trials:int -> Params.t -> Strategy.t -> Runner.aggregate
-(** Multi-trial run of one (parameters, strategy) cell. *)
+  ?trials:int -> ?trial_timeout:float -> Params.t -> Strategy.t ->
+  Runner.aggregate
+(** Multi-trial run of one (parameters, strategy) cell.
+    [trial_timeout] arms the per-trial watchdog
+    ({!Runner.run_trials}). *)
 
 val row :
   label:string -> Runner.aggregate -> string

@@ -45,8 +45,30 @@ let families =
 let churns = [ 0.0; 0.01 ]
 let drops = [ 0.0; 0.05 ]
 
+(* Journal payload: the per-cell transfer means plus the aggregate; the
+   coordinates live in the key and are re-attached on decode. *)
+let cell_to_json c =
+  Json_out.Obj
+    [
+      ("mean_work_transfers", Json_out.Float c.mean_work_transfers);
+      ("mean_key_transfers", Json_out.Float c.mean_key_transfers);
+      ("aggregate", Journal.aggregate_to_json c.aggregate);
+    ]
+
+let cell_of_json ~strategy ~churn ~drop v =
+  let ( let* ) = Option.bind in
+  let flt name = Option.bind (Json_in.member name v) Json_in.to_float in
+  let* mean_work_transfers = flt "mean_work_transfers" in
+  let* mean_key_transfers = flt "mean_key_transfers" in
+  let* aggregate =
+    Option.bind (Json_in.member "aggregate" v) Journal.aggregate_of_json
+  in
+  Some
+    { strategy; churn; drop; mean_work_transfers; mean_key_transfers; aggregate }
+
 let run ?(trials = 3) ?(seed = 42) ?(nodes = 48) ?(tasks = 4_000)
-    ?(families = families) ?(churns = churns) ?(drops = drops) () =
+    ?(families = families) ?(churns = churns) ?(drops = drops) ?journal
+    ?trial_timeout () =
   let grid =
     List.concat_map
       (fun strategy ->
@@ -58,30 +80,49 @@ let run ?(trials = 3) ?(seed = 42) ?(nodes = 48) ?(tasks = 4_000)
   (* Disjoint per-cell seed ranges; see Runner.stride_seed. *)
   List.mapi
     (fun index (strategy, churn, drop) ->
+      let cell_seed = Runner.stride_seed ~base:seed ~trials ~index in
       let params =
         Strategy.default_params strategy
           {
             (Params.default ~nodes ~tasks) with
-            Params.seed = Runner.stride_seed ~base:seed ~trials ~index;
+            Params.seed = cell_seed;
             churn_rate = churn;
             faults = { Faults.none with Faults.drop };
           }
       in
-      let results = Runner.run_all ~trials params (Strategy.make strategy) in
-      let mean_msg field =
-        Descriptive.mean
-          (Array.map
-             (fun (r : Engine.result) -> float_of_int (field r.Engine.messages))
-             results)
+      let key =
+        Journal.key
+          [
+            ("experiment", Json_out.String "head_to_head");
+            ("strategy", Json_out.String (Strategy.name strategy));
+            ("churn", Json_out.Float churn);
+            ("drop", Json_out.Float drop);
+            ("nodes", Json_out.Int nodes);
+            ("tasks", Json_out.Int tasks);
+            ("seed", Json_out.Int cell_seed);
+            ("trials", Json_out.Int trials);
+          ]
       in
-      {
-        strategy;
-        churn;
-        drop;
-        mean_work_transfers = mean_msg (fun m -> m.Messages.work_transfers);
-        mean_key_transfers = mean_msg (fun m -> m.Messages.key_transfers);
-        aggregate = Runner.aggregate_of params results;
-      })
+      Journal.cell journal ~key ~encode:cell_to_json
+        ~decode:(cell_of_json ~strategy ~churn ~drop) (fun () ->
+          let results =
+            Runner.run_all ~trials ?trial_timeout params (Strategy.make strategy)
+          in
+          let mean_msg field =
+            Descriptive.mean
+              (Array.map
+                 (fun (r : Engine.result) ->
+                   float_of_int (field r.Engine.messages))
+                 results)
+          in
+          {
+            strategy;
+            churn;
+            drop;
+            mean_work_transfers = mean_msg (fun m -> m.Messages.work_transfers);
+            mean_key_transfers = mean_msg (fun m -> m.Messages.key_transfers);
+            aggregate = Runner.aggregate_of params results;
+          }))
     grid
 
 (* A deterministic corpus: enough repeated vocabulary that the shuffle

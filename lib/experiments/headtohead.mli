@@ -47,11 +47,15 @@ val run :
   ?families:Strategy.t list ->
   ?churns:float list ->
   ?drops:float list ->
+  ?journal:Journal.t ->
+  ?trial_timeout:float ->
   unit ->
   cell list
 (** Cells in [families] × [churns] × [drops] order, per-cell seeds
     strided by {!Runner.stride_seed} so no two cells share a trial
-    seed. *)
+    seed.  [journal] makes the sweep resumable (completed cells skipped
+    — {!Journal}); [trial_timeout] arms the per-trial watchdog
+    ({!Runner.run_trials}). *)
 
 val makespans :
   ?seed:int ->

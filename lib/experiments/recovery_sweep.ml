@@ -13,8 +13,37 @@ type cell = {
 let replica_counts = [ 1; 2; 3 ]
 let burst_counts = [ 4; 10; 20 ]
 
+(* Journal payload: the derived loss rates plus the aggregate; the
+   coordinates live in the key and are re-attached on decode. *)
+let cell_to_json c =
+  Json_out.Obj
+    [
+      ("measured_loss_rate", Json_out.Float c.measured_loss_rate);
+      ("expected_loss_rate", Json_out.Float c.expected_loss_rate);
+      ("aggregate", Journal.aggregate_to_json c.aggregate);
+    ]
+
+let cell_of_json ~replicas ~burst_count ~burst_fraction v =
+  let ( let* ) = Option.bind in
+  let flt name = Option.bind (Json_in.member name v) Json_in.to_float in
+  let* measured_loss_rate = flt "measured_loss_rate" in
+  let* expected_loss_rate = flt "expected_loss_rate" in
+  let* aggregate =
+    Option.bind (Json_in.member "aggregate" v) Journal.aggregate_of_json
+  in
+  Some
+    {
+      replicas;
+      burst_count;
+      burst_fraction;
+      measured_loss_rate;
+      expected_loss_rate;
+      aggregate;
+    }
+
 let run ?(trials = 5) ?(seed = 42) ?(nodes = 40) ?(tasks = 4_000)
-    ?(replica_counts = replica_counts) ?(burst_counts = burst_counts) () =
+    ?(replica_counts = replica_counts) ?(burst_counts = burst_counts)
+    ?journal ?trial_timeout () =
   let grid =
     List.concat_map
       (fun replicas -> List.map (fun b -> (replicas, b)) burst_counts)
@@ -33,28 +62,45 @@ let run ?(trials = 5) ?(seed = 42) ?(nodes = 40) ?(tasks = 4_000)
           Faults.crash_bursts = [ { Faults.at = 1; count = burst_count } ];
         }
       in
+      let cell_seed = Runner.stride_seed ~base:seed ~trials ~index in
       let params =
         { (Params.default ~nodes ~tasks) with
           Params.replicas;
-          seed = Runner.stride_seed ~base:seed ~trials ~index;
+          seed = cell_seed;
           faults;
         }
       in
-      let aggregate =
-        Runner.run_trials ~trials params (Strategy.make Strategy.No_strategy)
-      in
       let burst_fraction = float_of_int burst_count /. float_of_int nodes in
-      {
-        replicas;
-        burst_count;
-        burst_fraction;
-        measured_loss_rate =
-          aggregate.Runner.mean_tasks_lost /. float_of_int tasks;
-        expected_loss_rate =
-          Replication.expected_loss_rate ~fail_fraction:burst_fraction
-            ~replicas;
-        aggregate;
-      })
+      let key =
+        Journal.key
+          [
+            ("experiment", Json_out.String "recovery_sweep");
+            ("replicas", Json_out.Int replicas);
+            ("burst_count", Json_out.Int burst_count);
+            ("nodes", Json_out.Int nodes);
+            ("tasks", Json_out.Int tasks);
+            ("seed", Json_out.Int cell_seed);
+            ("trials", Json_out.Int trials);
+          ]
+      in
+      Journal.cell journal ~key ~encode:cell_to_json
+        ~decode:(cell_of_json ~replicas ~burst_count ~burst_fraction)
+        (fun () ->
+          let aggregate =
+            Runner.run_trials ~trials ?trial_timeout params
+              (Strategy.make Strategy.No_strategy)
+          in
+          {
+            replicas;
+            burst_count;
+            burst_fraction;
+            measured_loss_rate =
+              aggregate.Runner.mean_tasks_lost /. float_of_int tasks;
+            expected_loss_rate =
+              Replication.expected_loss_rate ~fail_fraction:burst_fraction
+                ~replicas;
+            aggregate;
+          }))
     grid
 
 let print_table cells =

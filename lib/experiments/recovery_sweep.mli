@@ -26,6 +26,10 @@ val burst_counts : int list
 
 val run :
   ?trials:int -> ?seed:int -> ?nodes:int -> ?tasks:int ->
-  ?replica_counts:int list -> ?burst_counts:int list -> unit -> cell list
+  ?replica_counts:int list -> ?burst_counts:int list ->
+  ?journal:Journal.t -> ?trial_timeout:float -> unit -> cell list
+(** [journal] makes the sweep resumable (completed cells skipped —
+    {!Journal}); [trial_timeout] arms the per-trial watchdog
+    ({!Runner.run_trials}). *)
 
 val print_table : cell list -> string

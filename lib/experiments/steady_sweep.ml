@@ -24,7 +24,7 @@ let churn_rates = [ 0.0; 0.05 ]
 
 let run ?(trials = 3) ?(seed = 42) ?(nodes = 40) ?(tasks = 500)
     ?(horizon = 120) ?(window = 20) ?(strategies = strategies)
-    ?(rates = rates) ?(churn_rates = churn_rates) () =
+    ?(rates = rates) ?(churn_rates = churn_rates) ?journal ?trial_timeout () =
   let grid =
     List.concat_map
       (fun strategy ->
@@ -44,16 +44,37 @@ let run ?(trials = 3) ?(seed = 42) ?(nodes = 40) ?(tasks = 500)
           window;
         }
       in
+      let cell_seed = Runner.stride_seed ~base:seed ~trials ~index in
       let params =
         Strategy.default_params strategy
           {
             (Params.default ~nodes ~tasks) with
-            Params.seed = Runner.stride_seed ~base:seed ~trials ~index;
+            Params.seed = cell_seed;
             churn_rate = churn;
             arrivals;
           }
       in
-      let aggregate = Runner.run_trials ~trials params (Strategy.make strategy) in
+      let key =
+        Journal.key
+          [
+            ("experiment", Json_out.String "steady_sweep");
+            ("strategy", Json_out.String (Strategy.name strategy));
+            ("rate", Json_out.Float rate);
+            ("churn", Json_out.Float churn);
+            ("nodes", Json_out.Int nodes);
+            ("tasks", Json_out.Int tasks);
+            ("horizon", Json_out.Int horizon);
+            ("window", Json_out.Int window);
+            ("seed", Json_out.Int cell_seed);
+            ("trials", Json_out.Int trials);
+          ]
+      in
+      let aggregate =
+        Journal.cell journal ~key ~encode:Journal.aggregate_to_json
+          ~decode:Journal.aggregate_of_json (fun () ->
+            Runner.run_trials ~trials ?trial_timeout params
+              (Strategy.make strategy))
+      in
       { strategy; rate; churn; aggregate })
     grid
 

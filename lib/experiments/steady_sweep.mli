@@ -38,11 +38,15 @@ val run :
   ?strategies:Strategy.t list ->
   ?rates:float list ->
   ?churn_rates:float list ->
+  ?journal:Journal.t ->
+  ?trial_timeout:float ->
   unit ->
   cell list
 (** Grid order: strategies outermost, then rates, then churn — matching
     {!print_table}'s grouping.  [tasks] seeds the initial batch (the
     queue the system starts from); [horizon]/[window] shape every cell's
-    arrival plan. *)
+    arrival plan.  [journal] makes the sweep resumable (completed cells
+    skipped — {!Journal}); [trial_timeout] arms the per-trial watchdog
+    ({!Runner.run_trials}). *)
 
 val print_table : cell list -> string

@@ -30,8 +30,6 @@ let table ~header rows =
     rows;
   Buffer.contents buf
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+(* Atomic so a kill mid-export can never leave a truncated CSV for a
+   downstream consumer (plots, the ci.sh gates) to misread. *)
+let write_file path contents = Atomic_write.write path contents

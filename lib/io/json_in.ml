@@ -1,0 +1,208 @@
+(* A minimal JSON reader for the files this repository writes itself —
+   sweep journals and exported results, all produced by Json_out.  It
+   parses full JSON (the journal must survive hand-truncation and
+   foreign editors), but its design center is round-tripping Json_out:
+   numbers without '.', 'e' or 'E' come back as [Int], everything else
+   as [Float] via [float_of_string] (which inverts Json_out's %.17g
+   exactly), and [null] maps to [Null] — readers expecting a float
+   treat it as NaN, inverting Json_out's NaN-to-null rendering. *)
+
+type error = { pos : int; msg : string }
+
+let error_to_string e = Printf.sprintf "at offset %d: %s" e.pos e.msg
+
+exception Fail of error
+
+let fail pos msg = raise (Fail { pos; msg })
+
+let parse (s : string) : (Json_out.t, error) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail !pos (Printf.sprintf "expected %C, found %C" c c')
+    | None -> fail !pos (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail !pos (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail !pos "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail !pos "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | '/' -> Buffer.add_char buf '/'; advance ()
+             | 'b' -> Buffer.add_char buf '\b'; advance ()
+             | 'f' -> Buffer.add_char buf '\012'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 'r' -> Buffer.add_char buf '\r'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'u' ->
+               advance ();
+               if !pos + 4 > n then fail !pos "truncated \\u escape";
+               let code =
+                 try int_of_string ("0x" ^ String.sub s !pos 4)
+                 with Failure _ -> fail !pos "bad \\u escape"
+               in
+               pos := !pos + 4;
+               (* UTF-8-encode the code point; Json_out only emits
+                  \u00XX control escapes, but accept the full BMP. *)
+               if code < 0x80 then Buffer.add_char buf (Char.chr code)
+               else if code < 0x800 then begin
+                 Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                 Buffer.add_char buf
+                   (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+             | c -> fail !pos (Printf.sprintf "bad escape \\%C" c));
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    let is_float =
+      String.exists (function '.' | 'e' | 'E' -> true | _ -> false) tok
+    in
+    if is_float then
+      match float_of_string_opt tok with
+      | Some f -> Json_out.Float f
+      | None -> fail start (Printf.sprintf "bad number %S" tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Json_out.Int i
+      | None -> (
+        (* An integer literal too large for OCaml's int still parses as
+           a float rather than failing the whole document. *)
+        match float_of_string_opt tok with
+        | Some f -> Json_out.Float f
+        | None -> fail start (Printf.sprintf "bad number %S" tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some 'n' -> literal "null" Json_out.Null
+    | Some 't' -> literal "true" (Json_out.Bool true)
+    | Some 'f' -> literal "false" (Json_out.Bool false)
+    | Some '"' -> Json_out.String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Json_out.List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        Json_out.List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Json_out.Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Json_out.Obj (List.rev !fields)
+      end
+    | Some c -> fail !pos (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail !pos "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Fail e -> Error e
+
+(* ---------------------------------------------------------------- *)
+(* Accessors: total functions returning options, for decoders that    *)
+(* must reject malformed journal lines rather than crash on them.     *)
+
+let member key = function
+  | Json_out.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function Json_out.Int i -> Some i | _ -> None
+
+(* Json_out renders NaN/inf as null; invert that here so float fields
+   round-trip through a journal line. *)
+let to_float = function
+  | Json_out.Float f -> Some f
+  | Json_out.Int i -> Some (float_of_int i)
+  | Json_out.Null -> Some Float.nan
+  | _ -> None
+
+let to_bool = function Json_out.Bool b -> Some b | _ -> None
+let to_string = function Json_out.String s -> Some s | _ -> None
+let to_list = function Json_out.List l -> Some l | _ -> None

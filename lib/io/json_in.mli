@@ -1,0 +1,34 @@
+(** Minimal JSON reader, the inverse of {!Json_out}.
+
+    Built for the files this repository writes itself — sweep journal
+    lines and exported results — though it accepts any standard JSON
+    document.  Round-trip conventions: numbers without a fractional or
+    exponent part parse as [Int], others as [Float] (inverting
+    Json_out's [%.17g] rendering exactly); [null] parses as [Null], and
+    {!to_float} maps [Null] back to NaN, inverting Json_out's
+    NaN-to-null rendering. *)
+
+type error = { pos : int; msg : string }
+
+val error_to_string : error -> string
+
+val parse : string -> (Json_out.t, error) result
+(** Parse one complete JSON value; trailing non-whitespace is an
+    error. *)
+
+(** {1 Accessors}
+
+    Total lookups for decoders that must treat a malformed line as
+    "absent", never crash on it. *)
+
+val member : string -> Json_out.t -> Json_out.t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val to_int : Json_out.t -> int option
+
+val to_float : Json_out.t -> float option
+(** Accepts [Float], [Int] (widened) and [Null] (NaN). *)
+
+val to_bool : Json_out.t -> bool option
+val to_string : Json_out.t -> string option
+val to_list : Json_out.t -> Json_out.t list option

@@ -90,6 +90,25 @@ let fill_bytes t buf =
     i := !i + take
   done
 
+type state = { c0 : int64; c1 : int64; c2 : int64; c3 : int64 }
+
+let capture t = { c0 = t.s0; c1 = t.s1; c2 = t.s2; c3 = t.s3 }
+
+let restore t s =
+  t.s0 <- s.c0;
+  t.s1 <- s.c1;
+  t.s2 <- s.c2;
+  t.s3 <- s.c3
+
+let state_equal a b =
+  Int64.equal a.c0 b.c0 && Int64.equal a.c1 b.c1 && Int64.equal a.c2 b.c2
+  && Int64.equal a.c3 b.c3
+
+let of_state s =
+  let t = { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L } in
+  restore t s;
+  t
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int_below t (i + 1) in

@@ -35,6 +35,30 @@ val bernoulli : t -> float -> bool
     @raise Invalid_argument if [p] is outside [0, 1] (or NaN) — a
     caller-side rate arithmetic bug, not something to clamp silently. *)
 
+type state
+(** A frozen generator state: the four xoshiro256** words, immutable.
+    Plain data with no sharing back into the generator, so it can be
+    stored, marshaled into a checkpoint, or compared long after the
+    generator has moved on. *)
+
+val capture : t -> state
+(** Freeze the full state of the generator without advancing it:
+    [restore t (capture t)] is a no-op, and a generator restored from a
+    captured state replays exactly the draw sequence the original would
+    have produced from that point. *)
+
+val restore : t -> state -> unit
+(** Overwrite the generator's state with a captured one. *)
+
+val of_state : state -> t
+(** A fresh generator starting at the captured state (equivalent to
+    [create]-then-[restore], without needing a seed). *)
+
+val state_equal : state -> state -> bool
+(** Bit-for-bit equality of two captured states — the draw-free
+    assertion primitive: capture before a supposedly draw-free
+    operation, capture after, and demand equality. *)
+
 val fill_bytes : t -> bytes -> unit
 (** Overwrite a buffer with random bytes. *)
 

@@ -2,7 +2,7 @@ type strategy = { name : string; decide : State.t -> unit }
 
 let no_strategy = { name = "none"; decide = (fun _ -> ()) }
 
-type outcome = Finished of int | Aborted of int
+type outcome = Finished of int | Aborted of int | Timed_out of int
 
 type result = {
   outcome : outcome;
@@ -19,13 +19,32 @@ type result = {
   steady : Steady.window array;
 }
 
-let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
+type progress = {
+  p_state : State.t;
+  p_trace : Trace.persist;
+  p_steady : Steady.t option;
+}
+
+exception Interrupted of int
+
+(* One process-wide flag, set from signal handlers (bin/dhtlb.ml) and
+   polled once per tick: a cooperative interrupt that lands between
+   ticks, where the state is consistent and checkpointable. *)
+let interrupt_flag = Atomic.make false
+let request_interrupt () = Atomic.set interrupt_flag true
+let clear_interrupt () = Atomic.set interrupt_flag false
+
+(* The shared tick loop behind [run_state] and [resume]: everything a
+   run accumulates outside [state] itself — the trace and the steady
+   collector — is passed in, so a resumed run continues them instead of
+   restarting them. *)
+let run_core ?metrics ?checkpoint_every ?checkpoint ?timeout ~trace ~steady
+    (state : State.t) strategy =
   let params = state.State.params in
   let ideal =
     Params.ideal_runtime params ~strengths:(State.strengths_of_initial state)
   in
   let cap = max 1 (params.Params.max_ticks_factor * max 1 ideal) in
-  let trace = Trace.create ?sink ~snapshot_at () in
   let m =
     let enabled =
       match metrics with Some e -> e | None -> Metrics.enabled_by_env ()
@@ -39,10 +58,6 @@ let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
   let arrivals = params.Params.arrivals in
   let open_sys = Arrivals.enabled arrivals in
   let horizon = arrivals.Arrivals.horizon in
-  let steady =
-    if open_sys then Some (Steady.create ~window:arrivals.Arrivals.window)
-    else None
-  in
   (* Invariant mode: run the full harness after every tick, and verify
      message counters never run backwards (they only ever accumulate). *)
   let checking = Params.check_requested params in
@@ -58,6 +73,51 @@ let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
              !last_messages total state.State.tick);
       last_messages := total
     end
+  in
+  (* Checkpointing is draw-free by construction — the hook only reads
+     state — and that is itself an invariant: capture all four PRNG
+     streams around the hook and refuse a hook that consumed draws,
+     which would silently fork the resumed run off the uninterrupted
+     one. *)
+  let do_checkpoint hook =
+    let c_rng = Prng.capture state.State.rng
+    and c_frng = Prng.capture state.State.frng
+    and c_arng = Prng.capture state.State.arng
+    and c_krng = Prng.capture state.State.krng in
+    hook { p_state = state; p_trace = Trace.persist trace; p_steady = steady };
+    if
+      not
+        (Prng.state_equal c_rng (Prng.capture state.State.rng)
+        && Prng.state_equal c_frng (Prng.capture state.State.frng)
+        && Prng.state_equal c_arng (Prng.capture state.State.arng)
+        && Prng.state_equal c_krng (Prng.capture state.State.krng))
+    then
+      invalid_arg
+        (Printf.sprintf
+           "Engine: checkpoint hook consumed PRNG draws at tick %d (checkpoints \
+            must be draw-free)"
+           state.State.tick)
+  in
+  let ckpt_every =
+    match checkpoint_every with
+    | Some e when e >= 1 -> e
+    | Some e -> invalid_arg (Printf.sprintf "Engine: checkpoint_every %d < 1" e)
+    | None -> 0
+  in
+  let maybe_checkpoint () =
+    match checkpoint with
+    | Some hook
+      when ckpt_every > 0
+           && state.State.tick > 0
+           && state.State.tick mod ckpt_every = 0 -> do_checkpoint hook
+    | _ -> ()
+  in
+  (* The watchdog deadline is wall-clock (for aborting genuinely hung
+     configurations), checked between ticks like the interrupt flag —
+     cooperative, so a single stuck tick is beyond its reach. *)
+  let deadline = Option.map (fun s -> Metrics.now () +. s) timeout in
+  let timed_out () =
+    match deadline with Some d -> Metrics.now () >= d | None -> false
   in
   let step () =
     let t0 = Metrics.start m in
@@ -104,15 +164,25 @@ let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
     Metrics.tick m
   in
   let rec loop () =
-    if open_sys then
+    if Atomic.get interrupt_flag then begin
+      (* A final checkpoint (when enabled) before bailing out: the
+         interrupted run is resumable from its very last tick. *)
+      (match checkpoint with Some hook -> do_checkpoint hook | None -> ());
+      raise (Interrupted state.State.tick)
+    end
+    else if open_sys then
       if state.State.tick >= horizon then Finished horizon
+      else if timed_out () then Timed_out state.State.tick
       else begin
+        maybe_checkpoint ();
         step ();
         loop ()
       end
     else if State.remaining_tasks state = 0 then Finished state.State.tick
     else if state.State.tick >= cap then Aborted cap
+    else if timed_out () then Timed_out state.State.tick
     else begin
+      maybe_checkpoint ();
       step ();
       loop ()
     end
@@ -120,7 +190,7 @@ let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
   let outcome =
     Fun.protect ~finally:(fun () -> Trace.close trace) (fun () -> loop ())
   in
-  let ticks = match outcome with Finished t | Aborted t -> t in
+  let ticks = match outcome with Finished t | Aborted t | Timed_out t -> t in
   {
     outcome;
     ideal;
@@ -136,5 +206,25 @@ let run_state ?sink ?metrics ?(snapshot_at = []) (state : State.t) strategy =
     steady = (match steady with None -> [||] | Some sc -> Steady.windows sc);
   }
 
-let run ?sink ?metrics ?snapshot_at params strategy =
-  run_state ?sink ?metrics ?snapshot_at (State.create params) strategy
+let run_state ?sink ?metrics ?(snapshot_at = []) ?checkpoint_every ?checkpoint
+    ?timeout (state : State.t) strategy =
+  let trace = Trace.create ?sink ~snapshot_at () in
+  let steady =
+    let arrivals = state.State.params.Params.arrivals in
+    if Arrivals.enabled arrivals then
+      Some (Steady.create ~window:arrivals.Arrivals.window)
+    else None
+  in
+  run_core ?metrics ?checkpoint_every ?checkpoint ?timeout ~trace ~steady state
+    strategy
+
+let run ?sink ?metrics ?snapshot_at ?checkpoint_every ?checkpoint ?timeout
+    params strategy =
+  run_state ?sink ?metrics ?snapshot_at ?checkpoint_every ?checkpoint ?timeout
+    (State.create params) strategy
+
+let resume ?sink ?metrics ?checkpoint_every ?checkpoint ?timeout (p : progress)
+    strategy =
+  let trace = Trace.resume ?sink p.p_trace in
+  run_core ?metrics ?checkpoint_every ?checkpoint ?timeout ~trace
+    ~steady:p.p_steady p.p_state strategy

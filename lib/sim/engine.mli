@@ -26,7 +26,18 @@
     When {!Params.check_requested} (set [check_every_tick], or run with
     [DHTLB_CHECK=1]) the engine executes {!State.check_tick_invariants}
     after every tick and verifies message counters are monotone — the
-    always-on safety net for hot-path refactors. *)
+    always-on safety net for hot-path refactors.
+
+    {2 Checkpoint/resume}
+
+    [checkpoint_every]/[checkpoint] invoke a hook with a {!progress}
+    snapshot between ticks; {!resume} continues a run from such a
+    snapshot bit-for-bit: a run checkpointed at any tick and resumed
+    produces the same outcome, trace aggregates and message counters as
+    the uninterrupted run.  The hook must be {e draw-free} — it only
+    serializes — and the engine asserts this by capturing all four PRNG
+    streams around every hook call (see [lib/checkpoint] for the file
+    format and docs/TESTING.md for the contract). *)
 
 type strategy = {
   name : string;
@@ -38,7 +49,14 @@ val no_strategy : strategy
     [churn_rate = 0] for the no-op baseline, or [> 0] for the Induced
     Churn strategy). *)
 
-type outcome = Finished of int  (** ticks taken *) | Aborted of int
+type outcome =
+  | Finished of int  (** ticks taken *)
+  | Aborted of int  (** hit the [max_ticks_factor × ideal] safety cap *)
+  | Timed_out of int
+      (** the wall-clock watchdog ([?timeout]) expired between ticks;
+          carries the tick reached.  Wall-clock, hence machine-dependent:
+          aggregates record these trials separately instead of folding
+          them into means ({!Runner.aggregate.timed_out}). *)
 
 type result = {
   outcome : outcome;
@@ -61,10 +79,37 @@ type result = {
       (** steady-state measurement windows; [[||]] for batch runs *)
 }
 
+type progress = {
+  p_state : State.t;  (** the complete simulation state, PRNGs included *)
+  p_trace : Trace.persist;  (** trace aggregates and snapshot bookkeeping *)
+  p_steady : Steady.t option;  (** the window collector ([Some] iff open) *)
+}
+(** Everything {!resume} needs to continue a run bit-for-bit, captured
+    between ticks.  Plain marshalable data: no channels, no closures
+    (the strategy is re-supplied at resume). *)
+
+exception Interrupted of int
+(** Raised out of the tick loop (after a final checkpoint, when a hook
+    is installed) once {!request_interrupt} has been called; carries the
+    tick reached.  File trace sinks are closed before the exception
+    escapes. *)
+
+val request_interrupt : unit -> unit
+(** Ask every running engine loop in the process to stop at its next
+    tick boundary — async-signal-safe (sets an atomic flag), so signal
+    handlers can call it directly. *)
+
+val clear_interrupt : unit -> unit
+(** Reset the interrupt flag (tests; or a driver that chooses to
+    continue after catching {!Interrupted}). *)
+
 val run :
   ?sink:Trace.sink ->
   ?metrics:bool ->
   ?snapshot_at:int list ->
+  ?checkpoint_every:int ->
+  ?checkpoint:(progress -> unit) ->
+  ?timeout:float ->
   Params.t ->
   strategy ->
   result
@@ -73,15 +118,43 @@ val run :
     timing on (default {!Metrics.enabled_by_env}: [DHTLB_METRICS]).
     Neither draws from the simulation PRNG, so they never change the
     run's outcome.  File sinks are closed before [run] returns, even if
-    the strategy or an invariant check raises. *)
+    the strategy or an invariant check raises.
+
+    [checkpoint] (with [checkpoint_every = n >= 1]) is invoked with a
+    {!progress} snapshot before every [n]-th tick executes, and once
+    more on interrupt; it must not consume PRNG draws (asserted).
+    Omitting both leaves the loop bit-identical to a checkpoint-free
+    build.  [timeout] arms the wall-clock watchdog: once that many
+    seconds elapse the run stops between ticks with {!Timed_out}.
+    @raise Invalid_argument if [checkpoint_every < 1]. *)
 
 val run_state :
   ?sink:Trace.sink ->
   ?metrics:bool ->
   ?snapshot_at:int list ->
+  ?checkpoint_every:int ->
+  ?checkpoint:(progress -> unit) ->
+  ?timeout:float ->
   State.t ->
   strategy ->
   result
 (** Like {!run} but over a pre-built state — lets callers share an
     identical initial configuration across strategies, as the paper's
     paired figures do. *)
+
+val resume :
+  ?sink:Trace.sink ->
+  ?metrics:bool ->
+  ?checkpoint_every:int ->
+  ?checkpoint:(progress -> unit) ->
+  ?timeout:float ->
+  progress ->
+  strategy ->
+  result
+(** Continue a checkpointed run to completion.  The strategy must be
+    (re)built from the same {!Strategy.t} the original run used — the
+    snapshot carries no closures.  [sink] defaults to the {e persisted}
+    sink (file sinks reopen in append mode; see {!Trace.resume}), not
+    the environment.  Bit-for-bit: outcome, counters and trace
+    aggregates equal the uninterrupted run's.  [snapshot_at] is not
+    accepted here — the request list rides in the persisted trace. *)

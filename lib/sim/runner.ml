@@ -9,6 +9,7 @@ type aggregate = {
   mean_ideal : float;
   aborted : int;
   finished : int;
+  timed_out : int;
   mean_factor_finished : float;
   mean_ticks_finished : float;
   mean_messages : float;
@@ -22,9 +23,13 @@ type aggregate = {
   steady_sojourn_p99 : float;
 }
 
-let run_one (params : Params.t) mk_strategy i =
+let run_one ?sink ?timeout (params : Params.t) mk_strategy i =
   let params = { params with Params.seed = params.Params.seed + i } in
-  Engine.run params (mk_strategy ())
+  (* Each trial of a multi-trial run streams to its own suffixed file
+     (trace.csv -> trace.0.csv, trace.1.csv, ...), so file sinks no
+     longer collide across trials — or domains. *)
+  let sink = Option.map (Trace.sink_for_trial ~trial:i) sink in
+  Engine.run ?sink ?timeout params (mk_strategy ())
 
 (* Trial [i] of a cell runs on [seed + i], so two cells whose base seeds
    are closer than [trials] share trials — cell A's trial 3 is cell B's
@@ -38,8 +43,10 @@ let stride_seed ~base ~trials ~index = base + (index * max 1 trials)
    private array returned through [Domain.join] — no strided writes into
    a shared boxed-option array, so nothing depends on publication order.
    Static block partitioning is fine: trials of one experiment have
-   near-identical cost. *)
-let run_parallel ~trials ~domains params mk_strategy =
+   near-identical cost.  The watchdog changes none of this: a timeout
+   only flips a trial's own outcome to [Timed_out], the trial-to-seed
+   mapping and the result ordering stay fixed. *)
+let run_parallel ?sink ?timeout ~trials ~domains params mk_strategy =
   let base = trials / domains and rem = trials mod domains in
   let chunk d =
     (* Domains [0, rem) take one extra trial each. *)
@@ -56,7 +63,7 @@ let run_parallel ~trials ~domains params mk_strategy =
                   (* A raising trial must not leave the whole experiment
                      half-filled: capture per trial and rethrow after all
                      domains have joined. *)
-                  match run_one params mk_strategy (lo + j) with
+                  match run_one ?sink ?timeout params mk_strategy (lo + j) with
                   | r -> Ok r
                   | exception e -> Error (e, Printexc.get_raw_backtrace ())) )))
   in
@@ -74,12 +81,14 @@ let run_parallel ~trials ~domains params mk_strategy =
       | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
     slots
 
-let run_all ?(trials = 10) ?(domains = 1) (params : Params.t) mk_strategy =
+let run_all ?(trials = 10) ?(domains = 1) ?sink ?trial_timeout (params : Params.t)
+    mk_strategy =
   if trials < 1 then invalid_arg "Runner.run_all: trials < 1";
   if domains < 1 then invalid_arg "Runner.run_all: domains < 1";
   let domains = min domains trials in
-  if domains = 1 then Array.init trials (run_one params mk_strategy)
-  else run_parallel ~trials ~domains params mk_strategy
+  if domains = 1 then
+    Array.init trials (run_one ?sink ?timeout:trial_timeout params mk_strategy)
+  else run_parallel ?sink ?timeout:trial_timeout ~trials ~domains params mk_strategy
 
 let factors ?trials ?domains params mk_strategy =
   Array.map (fun r -> r.Engine.factor) (run_all ?trials ?domains params mk_strategy)
@@ -111,15 +120,51 @@ let steady_mean results field =
 
 let aggregate_of (params : Params.t) results =
   let open_system = Arrivals.enabled params.Params.arrivals in
+  (* Timed-out trials carry no meaningful makespan, factor or counters —
+     they stopped wherever the wall clock caught them — so they are
+     counted separately and excluded from every mean below rather than
+     poisoning it.  [trials] still reports the full attempt count. *)
+  let all_trials = Array.length results in
+  let timed_out_n =
+    Array.fold_left
+      (fun acc (r : Engine.result) ->
+        match r.Engine.outcome with
+        | Engine.Timed_out _ -> acc + 1
+        | Engine.Finished _ | Engine.Aborted _ -> acc)
+      0 results
+  in
+  let results =
+    Array.of_list
+      (List.filter
+         (fun (r : Engine.result) ->
+           match r.Engine.outcome with
+           | Engine.Timed_out _ -> false
+           | Engine.Finished _ | Engine.Aborted _ -> true)
+         (Array.to_list results))
+  in
+  let counted = Array.length results in
+  let mean_or_nan a = if Array.length a = 0 then Float.nan else Descriptive.mean a in
   let factors = Array.map (fun r -> r.Engine.factor) results in
   let ticks =
     Array.map
       (fun r ->
         match r.Engine.outcome with
-        | Engine.Finished t | Engine.Aborted t -> float_of_int t)
+        | Engine.Finished t | Engine.Aborted t | Engine.Timed_out t ->
+          float_of_int t)
       results
   in
-  let summary = Descriptive.summarize factors in
+  let summary =
+    if counted = 0 then
+      {
+        Descriptive.n = 0;
+        mean = Float.nan;
+        median = Float.nan;
+        stddev = Float.nan;
+        min = Float.nan;
+        max = Float.nan;
+      }
+    else Descriptive.summarize factors
+  in
   (* Aborted trials report the safety cap as their tick count, so the
      mixed means above under-state how slow a capped configuration really
      is.  The [*_finished] means drop those trials; [nan] when every
@@ -127,7 +172,7 @@ let aggregate_of (params : Params.t) results =
   let is_finished r =
     match r.Engine.outcome with
     | Engine.Finished _ -> true
-    | Engine.Aborted _ -> false
+    | Engine.Aborted _ | Engine.Timed_out _ -> false
   in
   let finished_results = Array.of_list (List.filter is_finished (Array.to_list results)) in
   let finished = Array.length finished_results in
@@ -145,34 +190,36 @@ let aggregate_of (params : Params.t) results =
   let batch_only v = if open_system then Float.nan else v in
   let steady field = if open_system then steady_mean results field else Float.nan in
   {
-    trials = Array.length results;
+    trials = all_trials;
     open_system;
     mean_factor = batch_only summary.Descriptive.mean;
     stddev_factor = batch_only summary.Descriptive.stddev;
     min_factor = batch_only summary.Descriptive.min;
     max_factor = batch_only summary.Descriptive.max;
-    mean_ticks = Descriptive.mean ticks;
+    mean_ticks = mean_or_nan ticks;
     mean_ideal =
-      Descriptive.mean (Array.map (fun r -> float_of_int r.Engine.ideal) results);
-    aborted = Array.length results - finished;
+      mean_or_nan (Array.map (fun r -> float_of_int r.Engine.ideal) results);
+    aborted = counted - finished;
     finished;
+    timed_out = timed_out_n;
     mean_factor_finished = batch_only (mean_over (fun r -> r.Engine.factor));
     mean_ticks_finished =
       batch_only
         (mean_over (fun r ->
              match r.Engine.outcome with
-             | Engine.Finished t | Engine.Aborted t -> float_of_int t));
+             | Engine.Finished t | Engine.Aborted t | Engine.Timed_out t ->
+               float_of_int t));
     mean_messages =
-      Descriptive.mean
+      mean_or_nan
         (Array.map (fun r -> float_of_int (Messages.total r.Engine.messages)) results);
     mean_tasks_lost =
-      Descriptive.mean
+      mean_or_nan
         (Array.map
            (fun r -> float_of_int r.Engine.messages.Messages.tasks_lost)
            results);
     mean_arrived =
       (if open_system then
-         Descriptive.mean
+         mean_or_nan
            (Array.map (fun r -> float_of_int r.Engine.arrived_total) results)
        else Float.nan);
     steady_queue_p50 = steady (fun w -> w.Steady.queue_p50);
@@ -183,8 +230,8 @@ let aggregate_of (params : Params.t) results =
     steady_sojourn_p99 = steady (fun w -> w.Steady.sojourn_p99);
   }
 
-let run_trials ?trials ?domains params mk_strategy =
-  aggregate_of params (run_all ?trials ?domains params mk_strategy)
+let run_trials ?trials ?domains ?sink ?trial_timeout params mk_strategy =
+  aggregate_of params (run_all ?trials ?domains ?sink ?trial_timeout params mk_strategy)
 
 let pp_aggregate ppf a =
   if a.open_system then begin
@@ -195,7 +242,8 @@ let pp_aggregate ppf a =
       a.steady_queue_p99 a.steady_sojourn_p50 a.steady_sojourn_p95
       a.steady_sojourn_p99 a.mean_messages;
     if a.mean_tasks_lost > 0.0 then
-      Format.fprintf ppf " lost=%.1f" a.mean_tasks_lost
+      Format.fprintf ppf " lost=%.1f" a.mean_tasks_lost;
+    if a.timed_out > 0 then Format.fprintf ppf " timed-out=%d" a.timed_out
   end
   else begin
     Format.fprintf ppf
@@ -205,6 +253,7 @@ let pp_aggregate ppf a =
       a.mean_ticks a.mean_ideal a.aborted a.mean_messages;
     if a.mean_tasks_lost > 0.0 then
       Format.fprintf ppf " lost=%.1f" a.mean_tasks_lost;
+    if a.timed_out > 0 then Format.fprintf ppf " timed-out=%d" a.timed_out;
     if a.aborted > 0 && a.finished > 0 then
       Format.fprintf ppf " finished-only: factor=%.3f ticks=%.1f (%d trials)"
         a.mean_factor_finished a.mean_ticks_finished a.finished

@@ -21,7 +21,16 @@ type aggregate = {
           plan's horizon *)
   mean_ideal : float;
   aborted : int;  (** trials that hit the safety cap (always 0 open) *)
-  finished : int;  (** trials that actually completed ([trials - aborted]) *)
+  finished : int;
+      (** trials that actually completed
+          ([trials - aborted - timed_out]) *)
+  timed_out : int;
+      (** trials stopped by the wall-clock watchdog ([?trial_timeout]);
+          excluded from {e every} mean in this record — a timed-out
+          trial stopped wherever the clock caught it, so folding its
+          partial counters into a mean would poison it.  Always 0
+          without a timeout, keeping aggregates bit-identical to the
+          watchdog-free harness. *)
   mean_factor_finished : float;
       (** mean factor over finished trials only — the mixed [mean_factor]
           folds each aborted trial in at the cap, understating slowness;
@@ -50,6 +59,8 @@ type aggregate = {
 val run_trials :
   ?trials:int ->
   ?domains:int ->
+  ?sink:Trace.sink ->
+  ?trial_timeout:float ->
   Params.t ->
   (unit -> Engine.strategy) ->
   aggregate
@@ -64,18 +75,32 @@ val run_trials :
     run regardless of the domain count.  If a trial raises, every domain
     is still joined and the exception of the lowest-numbered failing
     trial is rethrown with its backtrace, independent of scheduling.
+
+    [sink] gives every trial its own trace sink; file sinks are suffixed
+    with the trial index ({!Trace.sink_for_trial}: [trace.csv] becomes
+    [trace.0.csv], [trace.1.csv], ...), so multi-trial — and
+    multi-domain — runs can stream traces without colliding on one
+    path.  [trial_timeout] arms the per-trial wall-clock watchdog
+    ({!Engine.run}'s [timeout]): a hung trial stops between ticks with
+    [Timed_out] and is recorded in the aggregate's [timed_out] count
+    instead of poisoning the means; trial seeding, ordering and the
+    domain partition are unaffected, so the harness stays deterministic
+    (the {e set} of timed-out trials is of course machine-dependent —
+    that is what a wall-clock watchdog measures).
     @raise Invalid_argument if [trials < 1] or [domains < 1]. *)
 
 val run_all :
   ?trials:int ->
   ?domains:int ->
+  ?sink:Trace.sink ->
+  ?trial_timeout:float ->
   Params.t ->
   (unit -> Engine.strategy) ->
   Engine.result array
-(** The raw per-trial results behind {!run_trials} (same seeding and
-    parallelism), for experiments that read counters the aggregate does
-    not carry.  [aggregate_of params (run_all ... params mk)] is exactly
-    [run_trials ... params mk]. *)
+(** The raw per-trial results behind {!run_trials} (same seeding,
+    parallelism, sinks and watchdog), for experiments that read counters
+    the aggregate does not carry.  [aggregate_of params (run_all ...
+    params mk)] is exactly [run_trials ... params mk]. *)
 
 val aggregate_of : Params.t -> Engine.result array -> aggregate
 (** Fold raw trial results into an {!aggregate}.  [params] must be the

@@ -104,6 +104,94 @@ let create ?sink ~snapshot_at () =
 
 let sink t = t.sink
 
+(* Suffix a file-sink path with the trial index before the final
+   extension: trace.csv -> trace.3.csv, trace -> trace.3.  Multi-trial
+   runs stream each trial to its own file instead of overwriting one
+   shared path. *)
+let suffix_path path ~trial =
+  (* Splice in place rather than via Filename.dirname/concat, which
+     would rewrite a bare "trace.csv" as "./trace.3.csv". *)
+  let dir_end =
+    match String.rindex_opt path '/' with Some i -> i + 1 | None -> 0
+  in
+  let cut =
+    match String.rindex_opt path '.' with
+    (* [> dir_end]: a leading dot names a hidden file, not an extension *)
+    | Some i when i > dir_end -> i
+    | _ -> String.length path
+  in
+  Printf.sprintf "%s.%d%s" (String.sub path 0 cut) trial
+    (String.sub path cut (String.length path - cut))
+
+let sink_for_trial sink ~trial =
+  match sink with
+  | Csv_file path -> Csv_file (suffix_path path ~trial)
+  | Jsonl_file path -> Jsonl_file (suffix_path path ~trial)
+  | (Memory | Ring _ | Null) as s -> s
+
+(* ---------------------------------------------------------------- *)
+(* Checkpointable view                                                *)
+
+(* Everything a resumed run needs to carry the aggregates and snapshot
+   bookkeeping forward, and nothing that cannot be marshaled: the
+   in-memory/ring point stores and file channels stay behind.  File
+   sinks are reopened in append mode on resume so the rows streamed
+   before the checkpoint are kept; memory/ring points recorded before
+   the checkpoint are intentionally not revived (the aggregates remain
+   exact — see docs/TESTING.md). *)
+type persist = {
+  p_sink : sink;
+  p_snapshot_at : int array;
+  p_snap_cursor : int;
+  p_snapshots_rev : (int * int array) list;
+  p_n_points : int;
+  p_work_total : int;
+}
+
+let persist t =
+  {
+    p_sink = t.sink;
+    p_snapshot_at = t.snapshot_at;
+    p_snap_cursor = t.snap_cursor;
+    p_snapshots_rev = t.snapshots_rev;
+    p_n_points = t.n_points;
+    p_work_total = t.work_total;
+  }
+
+let resume ?sink p =
+  let sink = match sink with Some s -> s | None -> p.p_sink in
+  let store =
+    match sink with
+    | Memory -> S_memory { points_rev = [] }
+    | Ring capacity -> S_ring (Ring_buffer.create ~capacity)
+    | Null -> S_null
+    | Csv_file path ->
+      (* Append, keeping the pre-checkpoint rows; a vanished file gets
+         its header back before new rows land. *)
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      if out_channel_length oc = 0 then begin
+        output_string oc csv_header;
+        output_char oc '\n'
+      end;
+      S_stream { oc; format = `Csv; closed = false }
+    | Jsonl_file path ->
+      S_stream
+        {
+          oc = open_out_gen [ Open_append; Open_creat ] 0o644 path;
+          format = `Jsonl;
+          closed = false;
+        }
+  in
+  {
+    sink;
+    store;
+    snapshot_at = p.p_snapshot_at;
+    snap_cursor = p.p_snap_cursor;
+    snapshots_rev = p.p_snapshots_rev;
+    n_points = p.p_n_points;
+    work_total = p.p_work_total;
+  }
+
 let write_row oc format (p : point) =
   match format with
   | `Csv ->

@@ -46,6 +46,33 @@ val create : ?sink:sink -> snapshot_at:int list -> unit -> t
 
 val sink : t -> sink
 
+val sink_for_trial : sink -> trial:int -> sink
+(** Suffix a file sink's path with the trial index before the final
+    extension ([trace.csv] becomes [trace.3.csv]; an extensionless
+    [trace] becomes [trace.3]) so each trial of a multi-trial run
+    streams to its own file.  Memory/ring/null sinks pass through
+    unchanged. *)
+
+type persist
+(** The marshalable slice of a trace: sink selection, incremental
+    aggregates ({!recorded}, {!work_per_tick_mean}), and the snapshot
+    cursor plus captured snapshots.  Open file channels and the
+    memory/ring point stores stay behind — see {!resume}. *)
+
+val persist : t -> persist
+(** Capture the checkpointable view of the trace (cheap; no copy of
+    recorded points). *)
+
+val resume : ?sink:sink -> persist -> t
+(** Rebuild a live trace from a checkpointed view; [sink] (default: the
+    persisted one) lets a resume redirect output.  Aggregates and
+    snapshots continue exactly where the checkpoint left them.  File
+    sinks reopen in {e append} mode, so rows streamed before the
+    checkpoint survive (a missing CSV file gets its header rewritten);
+    memory and ring stores restart empty — points recorded before the
+    checkpoint are not revived, only their aggregates, so {!points} on
+    a resumed memory trace holds the post-resume suffix. *)
+
 val record : t -> point -> unit
 
 val close : t -> unit

@@ -30,7 +30,7 @@ let digest params strat =
   let state = State.create params in
   let r = Engine.run_state ~sink:Trace.Memory ~metrics:false state strat in
   let ticks =
-    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
   in
   let m = r.Engine.messages in
   [
@@ -390,7 +390,8 @@ let test_horizon_and_windows () =
   (match r.Engine.outcome with
   | Engine.Finished t ->
     Alcotest.(check int) "finishes exactly at the horizon" 45 t
-  | Engine.Aborted t -> Alcotest.failf "open-system run aborted at %d" t);
+  | Engine.Aborted t | Engine.Timed_out t ->
+    Alcotest.failf "open-system run aborted at %d" t);
   let w = r.Engine.steady in
   Alcotest.(check int) "ceil(45/10) windows" 5 (Array.length w);
   Array.iteri
@@ -429,7 +430,7 @@ let test_open_conservation strat () =
   in
   (match r.Engine.outcome with
   | Engine.Finished t -> Alcotest.(check int) "horizon" 30 t
-  | Engine.Aborted t -> Alcotest.failf "aborted at %d" t);
+  | Engine.Aborted t | Engine.Timed_out t -> Alcotest.failf "aborted at %d" t);
   let m = r.Engine.messages in
   Alcotest.(check int) "conservation: done + queued + lost = initial + arrived"
     (state.State.initial_tasks + r.Engine.arrived_total)

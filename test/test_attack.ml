@@ -34,7 +34,7 @@ let digest params strat =
   let state = State.create params in
   let r = Engine.run_state ~sink:Trace.Memory ~metrics:false state strat in
   let ticks =
-    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
   in
   let m = r.Engine.messages in
   [
@@ -406,7 +406,7 @@ let test_attack_conservation strat () =
   let state, r = run battle_params in
   (match r.Engine.outcome with
   | Engine.Finished _ -> ()
-  | Engine.Aborted t -> Alcotest.failf "aborted at %d" t);
+  | Engine.Aborted t | Engine.Timed_out t -> Alcotest.failf "aborted at %d" t);
   let m = r.Engine.messages in
   Alcotest.(check int) "conservation: done + queued + lost = initial"
     state.State.initial_tasks
@@ -437,7 +437,7 @@ let test_eclipse_delays_batch () =
   let ticks params =
     match (Engine.run params Engine.no_strategy).Engine.outcome with
     | Engine.Finished t -> t
-    | Engine.Aborted t -> Alcotest.failf "aborted at %d" t
+    | Engine.Aborted t | Engine.Timed_out t -> Alcotest.failf "aborted at %d" t
   in
   let quiet = ticks base in
   let attacked =

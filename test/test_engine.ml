@@ -2,13 +2,13 @@
 
 let base = Params.default ~nodes:50 ~tasks:500
 
-let ticks r = match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+let ticks r = match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
 
 let test_baseline_terminates () =
   let r = Engine.run base Engine.no_strategy in
   (match r.Engine.outcome with
   | Engine.Finished _ -> ()
-  | Engine.Aborted _ -> Alcotest.fail "baseline must finish");
+  | Engine.Aborted _ | Engine.Timed_out _ -> Alcotest.fail "baseline must finish");
   Alcotest.(check int) "ideal" 10 r.Engine.ideal;
   Alcotest.(check bool) "factor >= 1" true (r.Engine.factor >= 1.0)
 
@@ -81,6 +81,7 @@ let test_abort_cap () =
   in
   match r.Engine.outcome with
   | Engine.Aborted t -> Alcotest.(check int) "aborted at cap" 10 t
+  | Engine.Timed_out t -> Alcotest.failf "timed out at %d" t
   | Engine.Finished _ -> Alcotest.fail "should abort at the cap"
 
 let test_zero_tasks () =
@@ -169,7 +170,7 @@ let test_ring_sink_bounds_aborted_run () =
   let ring = Engine.run ~sink:(Trace.Ring 6) params Engine.no_strategy in
   (match ring.Engine.outcome with
   | Engine.Aborted _ -> ()
-  | Engine.Finished _ -> Alcotest.fail "run must hit the cap");
+  | Engine.Finished _ | Engine.Timed_out _ -> Alcotest.fail "run must hit the cap");
   Alcotest.(check int) "same ticks" (ticks full) (ticks ring);
   let fp = Trace.points full.Engine.trace in
   let rp = Trace.points ring.Engine.trace in
@@ -264,7 +265,7 @@ let prop_conservation =
       in
       match r.Engine.outcome with
       | Engine.Finished _ -> total = params.Params.tasks
-      | Engine.Aborted _ -> false)
+      | Engine.Aborted _ | Engine.Timed_out _ -> false)
 
 let () =
   Alcotest.run "engine"

@@ -109,7 +109,8 @@ let check_golden params (g : golden) =
   (match r.Engine.outcome with
   | Engine.Finished t ->
     Alcotest.(check int) (name ^ " ticks") g.ticks t
-  | Engine.Aborted t -> Alcotest.failf "%s aborted at %d" name t);
+  | Engine.Aborted t | Engine.Timed_out t ->
+    Alcotest.failf "%s aborted at %d" name t);
   Alcotest.(check (float 0.0)) (name ^ " factor") g.factor r.Engine.factor;
   let m = r.Engine.messages in
   Alcotest.(check int) (name ^ " joins") g.joins m.Messages.joins;
@@ -428,7 +429,7 @@ let test_conservation_under_faults () =
       let r = Engine.run p (Strategy.make strat ()) in
       match r.Engine.outcome with
       | Engine.Finished _ -> ()
-      | Engine.Aborted t ->
+      | Engine.Aborted t | Engine.Timed_out t ->
         Alcotest.failf "%s hit the tick cap (%d) under faults"
           (Strategy.name strat) t)
     Strategy.all

@@ -15,7 +15,7 @@ let digest params strat =
   let state = State.create params in
   let r = Engine.run_state ~sink:Trace.Memory ~metrics:false state strat in
   let ticks =
-    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
   in
   let m = r.Engine.messages in
   [
@@ -153,7 +153,7 @@ let test_pin (cname, sname, expected) () =
   let state = State.create params in
   let r = Engine.run_state ~sink:Trace.Memory ~metrics:false state (Strategy.make s ()) in
   let ticks =
-    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
   in
   let m = r.Engine.messages in
   let d =

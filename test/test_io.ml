@@ -71,7 +71,7 @@ let test_export_trace_csv () =
   Alcotest.(check string) "header" "tick,work_done,remaining,active_nodes,vnodes"
     (List.hd lines);
   (* one row per tick *)
-  let ticks = match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t in
+  let ticks = match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t in
   Alcotest.(check int) "rows" ticks (List.length lines - 1)
 
 let test_export_result_json () =

@@ -48,7 +48,7 @@ let reference_runtime ~node_ids ~task_keys ~capacities =
 
 let engine_runtime params =
   let r = Engine.run params Engine.no_strategy in
-  match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+  match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
 
 (* Rebuild the same ids/keys the engine draws, by replaying its seeding
    discipline (State.create draws 2n node ids then the task keys). *)
@@ -420,6 +420,7 @@ let compare_runs (strat : Strategy.t) (s : scenario) =
       Printf.sprintf "Finished %d" t
     | `E (Engine.Aborted t) | `O (Oracle.Aborted t) ->
       Printf.sprintf "Aborted %d" t
+    | `E (Engine.Timed_out t) -> Printf.sprintf "Timed_out %d" t
   in
   let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
   let* () =

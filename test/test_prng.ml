@@ -117,6 +117,30 @@ let test_shuffle () =
   Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted;
   Alcotest.(check bool) "actually moved" false (a = Array.init 50 Fun.id)
 
+(* capture/restore is the checkpoint primitive: a generator restored
+   from a captured state (or a fresh one built from it) must replay
+   exactly the draw sequence the original produced. *)
+let prop_capture_restore_replays =
+  Testutil.prop ~count:300 "capture/restore replays the draw sequence"
+    QCheck.(pair small_int (int_range 1 64))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      (* advance to an arbitrary mid-stream point before capturing *)
+      for _ = 1 to n do
+        ignore (Prng.int_below rng 1_000_000)
+      done;
+      let state = Prng.capture rng in
+      let original = Array.init n (fun _ -> Prng.int_below rng 1_000_000) in
+      Prng.restore rng state;
+      let restored = Array.init n (fun _ -> Prng.int_below rng 1_000_000) in
+      let detached = Prng.of_state state in
+      let fresh = Array.init n (fun _ -> Prng.int_below detached 1_000_000) in
+      Prng.state_equal state state
+      && original = restored && original = fresh
+      (* after replaying, the live generator sits at the same state as
+         the detached copy *)
+      && Prng.state_equal (Prng.capture rng) (Prng.capture detached))
+
 let prop_int_below_in_range =
   Testutil.prop ~count:500 "int_below always in range"
     QCheck.(pair (int_range 1 1_000_000) small_int)
@@ -143,5 +167,6 @@ let () =
           Alcotest.test_case "fill_bytes" `Quick test_fill_bytes;
           Alcotest.test_case "shuffle" `Quick test_shuffle;
         ] );
-      ("properties", [ prop_int_below_in_range ]);
+      ( "properties",
+        [ prop_int_below_in_range; prop_capture_restore_replays ] );
     ]

@@ -166,7 +166,8 @@ let check_golden params (g : golden) =
   let name = Strategy.name g.strat in
   (match r.Engine.outcome with
   | Engine.Finished t -> Alcotest.(check int) (name ^ " ticks") g.ticks t
-  | Engine.Aborted t -> Alcotest.failf "%s aborted at %d" name t);
+  | Engine.Aborted t | Engine.Timed_out t ->
+    Alcotest.failf "%s aborted at %d" name t);
   Alcotest.(check (float 0.0)) (name ^ " factor") g.factor r.Engine.factor;
   let m = r.Engine.messages in
   Alcotest.(check int) (name ^ " joins") g.joins m.Messages.joins;
@@ -409,7 +410,7 @@ let test_conservation_or_lost () =
       let r = Engine.run_state state (Strategy.make strat ()) in
       (match r.Engine.outcome with
       | Engine.Finished _ -> ()
-      | Engine.Aborted t ->
+      | Engine.Aborted t | Engine.Timed_out t ->
         Alcotest.failf "%s hit the tick cap (%d) under recovery"
           (Strategy.name strat) t);
       let m = r.Engine.messages in

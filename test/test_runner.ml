@@ -122,6 +122,65 @@ let test_mixed_outcomes_not_flattened () =
   Alcotest.(check bool) "factor likewise" true
     (a.Runner.mean_factor >= a.Runner.mean_factor_finished)
 
+(* ---- wall-clock watchdog ------------------------------------------ *)
+
+let test_timeout_zero_times_out_every_trial () =
+  (* deadline = now + 0: the watchdog fires at the first between-tick
+     check, deterministically, before any tick runs *)
+  let a =
+    Runner.run_trials ~trials:3 ~trial_timeout:0.0 base
+      (Strategy.make Strategy.No_strategy)
+  in
+  Alcotest.(check int) "all timed out" 3 a.Runner.timed_out;
+  Alcotest.(check int) "none finished" 0 a.Runner.finished;
+  Alcotest.(check int) "none aborted" 0 a.Runner.aborted;
+  Alcotest.(check int) "trials counts every attempt" 3 a.Runner.trials;
+  (* timed-out trials are excluded from every mean, so with nothing else
+     to average the means are undefined, not zero *)
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " is nan") true (Float.is_nan v))
+    [
+      ("mean_factor", a.Runner.mean_factor);
+      ("mean_ticks", a.Runner.mean_ticks);
+      ("mean_messages", a.Runner.mean_messages);
+      ("mean_factor_finished", a.Runner.mean_factor_finished);
+    ]
+
+let test_timeout_pp_reports () =
+  let a =
+    Runner.run_trials ~trials:2 ~trial_timeout:0.0 base
+      (Strategy.make Strategy.No_strategy)
+  in
+  let s = Format.asprintf "%a" Runner.pp_aggregate a in
+  Alcotest.(check bool) "pp mentions timed-out" true
+    (let n = String.length s in
+     let sub = "timed-out=2" in
+     let m = String.length sub in
+     let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+     go 0)
+
+let test_no_timeout_keeps_aggregates_identical () =
+  (* a generous timeout arms the watchdog without tripping it; the
+     aggregate must be bit-identical to the watchdog-free harness *)
+  let plain = Runner.run_trials ~trials:3 base (Strategy.make Strategy.No_strategy) in
+  let armed =
+    Runner.run_trials ~trials:3 ~trial_timeout:1e9 base
+      (Strategy.make Strategy.No_strategy)
+  in
+  Alcotest.(check int) "nothing timed out" 0 armed.Runner.timed_out;
+  Alcotest.(check bool) "aggregates bit-identical" true (compare plain armed = 0)
+
+let test_engine_timeout_outcome () =
+  match
+    Engine.run ~sink:Trace.Null ~timeout:0.0 base
+      (Strategy.make Strategy.No_strategy ())
+  with
+  | { Engine.outcome = Engine.Timed_out 0; _ } -> ()
+  | r ->
+    Alcotest.failf "expected Timed_out 0, got factor %g with another outcome"
+      r.Engine.factor
+
 (* ---- open/batch conflation ---------------------------------------- *)
 
 (* The regression these fields fix: an open-system run always lasts
@@ -298,6 +357,16 @@ let () =
             test_all_aborted_means_nan;
           Alcotest.test_case "mixed outcomes not flattened" `Quick
             test_mixed_outcomes_not_flattened;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "timeout 0 times out every trial" `Quick
+            test_timeout_zero_times_out_every_trial;
+          Alcotest.test_case "pp reports timed-out" `Quick test_timeout_pp_reports;
+          Alcotest.test_case "unarmed watchdog is bit-identical" `Quick
+            test_no_timeout_keeps_aggregates_identical;
+          Alcotest.test_case "engine Timed_out outcome" `Quick
+            test_engine_timeout_outcome;
         ] );
       ( "open-system",
         [

@@ -319,7 +319,8 @@ let test_invitation_median_split_runs () =
   let r = Engine.run params (Strategy.make Strategy.Invitation ()) in
   (match r.Engine.outcome with
   | Engine.Finished _ -> ()
-  | Engine.Aborted _ -> Alcotest.fail "median-split invitation aborted");
+  | Engine.Aborted _ | Engine.Timed_out _ ->
+    Alcotest.fail "median-split invitation aborted");
   Alcotest.(check bool) "balances" true (r.Engine.factor < 5.0)
 
 let test_neighbor_avoid_repeats_runs () =
@@ -329,7 +330,8 @@ let test_neighbor_avoid_repeats_runs () =
   let r = Engine.run params (Strategy.make Strategy.Neighbor_injection ()) in
   match r.Engine.outcome with
   | Engine.Finished _ -> ()
-  | Engine.Aborted _ -> Alcotest.fail "avoid-repeats neighbor aborted"
+  | Engine.Aborted _ | Engine.Timed_out _ ->
+    Alcotest.fail "avoid-repeats neighbor aborted"
 
 (* Pure decision helpers of the two non-Sybil strategies (ISSUE 9). *)
 

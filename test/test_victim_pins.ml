@@ -15,7 +15,7 @@ let digest params strat =
   let state = State.create params in
   let r = Engine.run_state ~sink:Trace.Memory ~metrics:false state strat in
   let ticks =
-    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t -> t
+    match r.Engine.outcome with Engine.Finished t | Engine.Aborted t | Engine.Timed_out t -> t
   in
   let m = r.Engine.messages in
   [
@@ -129,7 +129,8 @@ let test_scale_smoke () =
   let r = Engine.run_state ~sink:Trace.Memory ~metrics:false state Engine.no_strategy in
   (match r.Engine.outcome with
   | Engine.Finished _ -> ()
-  | Engine.Aborted t -> Alcotest.failf "scale smoke aborted at tick %d" t);
+  | Engine.Aborted t | Engine.Timed_out t ->
+    Alcotest.failf "scale smoke aborted at tick %d" t);
   Alcotest.(check int) "all tasks conserved" 0 (State.remaining_tasks state)
 
 let () =
